@@ -1,0 +1,129 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out,
+//! measured in **simulated training epochs** (the paper's cost unit) via
+//! `iter_custom` so Criterion reports the budget each variant consumes:
+//!
+//! * clustering ablation — proxy score per cluster representative vs per
+//!   model (the §III-A O(|MC|) vs O(|M|) claim);
+//! * trend-filter ablation — fine-selection vs plain successive halving
+//!   (the Algorithm 1 contribution);
+//! * threshold ablation — FS at 0% vs 10% threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tps_core::ids::ModelId;
+use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+use tps_core::proxy::leep::leep;
+use tps_core::recall::{coarse_recall, RecallConfig};
+use tps_core::select::fine::{fine_selection, FineSelectionConfig};
+use tps_core::select::halving::successive_halving;
+use tps_core::traits::ProxyOracle;
+use tps_zoo::{World, ZooOracle, ZooTrainer};
+
+/// Report a simulated epoch count as nanoseconds so Criterion's statistics
+/// and change detection apply to the budget rather than wall time.
+fn epochs_as_duration(epochs: f64, iters: u64) -> Duration {
+    Duration::from_nanos((epochs * 1000.0) as u64 * iters)
+}
+
+fn artifacts(world: &World) -> OfflineArtifacts {
+    let (matrix, curves) = world.build_offline().unwrap();
+    OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap()
+}
+
+/// Proxy-epoch cost with clustering (score representatives only) vs the
+/// ablated variant (score every model directly).
+fn bench_clustering_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/proxy-cost-epochs");
+    let world = World::nlp(42);
+    let arts = artifacts(&world);
+    let oracle = ZooOracle::new(&world, 0).unwrap();
+
+    group.bench_function("with-clustering", |b| {
+        b.iter_custom(|iters| {
+            let mut total = 0.0;
+            for _ in 0..iters {
+                let out = coarse_recall(
+                    &arts.matrix,
+                    &arts.clustering,
+                    &arts.similarity,
+                    &RecallConfig::default(),
+                    |rep| {
+                        let p = oracle.predictions(rep)?;
+                        leep(&p, oracle.target_labels(), oracle.n_target_labels())
+                    },
+                )
+                .unwrap();
+                total += out.proxy_epochs;
+            }
+            epochs_as_duration(total / iters as f64, iters)
+        })
+    });
+    group.bench_function("without-clustering", |b| {
+        b.iter_custom(|iters| {
+            // Ablated: every model is scored directly (0.5 epochs each).
+            let mut total = 0.0;
+            for _ in 0..iters {
+                for m in arts.matrix.model_ids() {
+                    let p = oracle.predictions(m).unwrap();
+                    let _ = leep(&p, oracle.target_labels(), oracle.n_target_labels()).unwrap();
+                    total += 0.5;
+                }
+            }
+            epochs_as_duration(total / iters as f64, iters)
+        })
+    });
+    group.finish();
+}
+
+/// Fine-tuning epoch budget: SH vs FS (0%) vs FS (10%) on the same pool.
+fn bench_trend_filter_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/selection-epochs");
+    let world = World::nlp(42);
+    let arts = artifacts(&world);
+    let pool: Vec<ModelId> = arts.matrix.model_ids().collect();
+
+    group.bench_function("successive-halving", |b| {
+        b.iter_custom(|iters| {
+            let mut total = 0.0;
+            for _ in 0..iters {
+                let mut t = ZooTrainer::new(&world, 0).unwrap();
+                total += successive_halving(&mut t, &pool, world.stages)
+                    .unwrap()
+                    .ledger
+                    .total();
+            }
+            epochs_as_duration(total / iters as f64, iters)
+        })
+    });
+    for (label, threshold) in [("fine-selection-0pct", 0.0), ("fine-selection-10pct", 0.10)] {
+        group.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    let mut t = ZooTrainer::new(&world, 0).unwrap();
+                    total += fine_selection(
+                        &mut t,
+                        &pool,
+                        world.stages,
+                        &arts.trends,
+                        &FineSelectionConfig { threshold },
+                    )
+                    .unwrap()
+                    .ledger
+                    .total();
+                }
+                epochs_as_duration(total / iters as f64, iters)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Deterministic epoch budgets have zero variance; the plotting backend
+    // cannot draw a PDF from identical samples, so plots are disabled.
+    config = Criterion::default().without_plots();
+    targets = bench_clustering_ablation, bench_trend_filter_ablation
+}
+criterion_main!(benches);

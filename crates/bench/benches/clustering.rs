@@ -1,0 +1,119 @@
+//! Criterion benchmarks for the offline clustering machinery as the
+//! repository scales (the paper's motivation: repositories keep growing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tps_core::cluster::hierarchical::{agglomerate, Linkage};
+use tps_core::cluster::kmeans::{kmeans, KMeansConfig};
+use tps_core::cluster::silhouette::silhouette;
+use tps_core::similarity::SimilarityMatrix;
+use tps_zoo::{SyntheticConfig, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn world_of(n_families: usize, n_singletons: usize) -> World {
+    World::synthetic(&SyntheticConfig {
+        seed: 3,
+        n_families,
+        family_size: (3, 5),
+        n_singletons,
+        n_benchmarks: 24,
+        n_targets: 1,
+        stages: 5,
+    })
+}
+
+fn bench_similarity_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering/similarity-matrix");
+    group.sample_size(20);
+    for &(f, s) in &[(5usize, 5usize), (12, 12), (25, 25)] {
+        let world = world_of(f, s);
+        let (matrix, _) = world.build_offline().unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}models", matrix.n_models())),
+            &matrix,
+            |b, m| b.iter(|| SimilarityMatrix::from_performance(black_box(m), 5).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_agglomerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering/hierarchical");
+    group.sample_size(20);
+    for &(f, s) in &[(5usize, 5usize), (12, 12), (25, 25), (50, 50)] {
+        let world = world_of(f, s);
+        let (matrix, _) = world.build_offline().unwrap();
+        let sim = SimilarityMatrix::from_performance(&matrix, 5).unwrap();
+        let dist = sim.distance_matrix();
+        let n = matrix.n_models();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}models")),
+            &(dist, n),
+            |b, (dist, n)| {
+                b.iter(|| agglomerate(black_box(dist), *n, Linkage::Average).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering/kmeans");
+    group.sample_size(20);
+    for &(f, s) in &[(5usize, 5usize), (12, 12), (25, 25)] {
+        let world = world_of(f, s);
+        let (matrix, _) = world.build_offline().unwrap();
+        let vectors = matrix.model_vectors();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}models", matrix.n_models())),
+            &vectors,
+            |b, vectors| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(11);
+                    kmeans(
+                        black_box(vectors),
+                        &KMeansConfig {
+                            k: 10,
+                            ..Default::default()
+                        },
+                        &mut rng,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_silhouette(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering/silhouette");
+    for &(f, s) in &[(12usize, 12usize), (25, 25)] {
+        let world = world_of(f, s);
+        let (matrix, _) = world.build_offline().unwrap();
+        let sim = SimilarityMatrix::from_performance(&matrix, 5).unwrap();
+        let dist = sim.distance_matrix();
+        let n = matrix.n_models();
+        let clustering =
+            tps_core::cluster::hierarchical::hierarchical_k(&dist, n, 10, Linkage::Average)
+                .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}models")),
+            &(dist, clustering),
+            |b, (dist, clustering)| {
+                b.iter(|| silhouette(black_box(dist), n, black_box(clustering)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_similarity_matrix,
+    bench_agglomerate,
+    bench_kmeans,
+    bench_silhouette
+);
+criterion_main!(benches);

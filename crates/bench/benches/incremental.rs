@@ -1,0 +1,72 @@
+//! Criterion benchmark: incremental model addition vs full offline rebuild
+//! as the repository grows — the maintenance-cost claim of
+//! `tps_core::incremental` quantified in wall time (the *fine-tuning*
+//! saving, |D| runs instead of |M|·|D|, is measured in simulated epochs by
+//! the `incremental_update` example).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tps_core::incremental::ModelAddition;
+use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+use tps_zoo::{SyntheticConfig, World};
+
+fn world_of(n_families: usize, n_singletons: usize) -> World {
+    World::synthetic(&SyntheticConfig {
+        seed: 5,
+        n_families,
+        family_size: (3, 5),
+        n_singletons,
+        n_benchmarks: 24,
+        n_targets: 1,
+        stages: 5,
+    })
+}
+
+fn addition_for(world: &World) -> ModelAddition {
+    let spec = world.models[0].clone();
+    ModelAddition {
+        name: "bench/newcomer".into(),
+        benchmark_curves: world
+            .benchmarks
+            .iter()
+            .map(|b| world.law.run(&spec, b, world.stages, world.hyper, world.seed).to_curve())
+            .collect(),
+    }
+}
+
+fn bench_incremental_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental/add-one-model");
+    group.sample_size(20);
+    for &(f, s) in &[(5usize, 5usize), (12, 12), (25, 25)] {
+        let world = world_of(f, s);
+        let (matrix, curves) = world.build_offline().unwrap();
+        let config = OfflineConfig::default();
+        let artifacts = OfflineArtifacts::build(matrix.clone(), &curves, &config).unwrap();
+        let addition = addition_for(&world);
+        let n = world.n_models();
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("{n}models")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let mut a = artifacts.clone();
+                    a.add_model(black_box(&addition), &config).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full-rebuild", format!("{n}models")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    OfflineArtifacts::build(matrix.clone(), &curves, &config).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_rebuild);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the micro neural-network substrate: training
+//! throughput, inference, and the real offline build — establishing that
+//! the "honest" substrate is fast enough for integration testing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tps_nn::{evaluate, train_epoch, Mlp, NnTask, RealZoo, RealZooConfig, SgdState, TaskUniverse, TrainConfig};
+
+fn task_setup(n_per_class: usize) -> (TaskUniverse, tps_nn::LabelledData) {
+    let universe = TaskUniverse::new(12, 18, 5);
+    let task = NnTask {
+        name: "bench".into(),
+        proto_ids: vec![0, 3, 6],
+        center_jitter: 0.1,
+        sample_noise: 0.45,
+        seed: 5,
+    };
+    let data = task.sample(&universe, n_per_class, 1);
+    (universe, data)
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn/train-epoch");
+    for &n in &[20usize, 50, 200] {
+        let (universe, data) = task_setup(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}samples", data.len())),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let mut mlp = Mlp::new(universe.dim(), 24, 3, &mut rng);
+                    let mut state = SgdState::for_mlp(&mlp);
+                    train_epoch(
+                        &mut mlp,
+                        &mut state,
+                        black_box(data),
+                        &TrainConfig::default(),
+                        &mut rng,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn/inference");
+    let (universe, data) = task_setup(100);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mlp = Mlp::new(universe.dim(), 24, 3, &mut rng);
+    group.bench_function("predict-proba-300", |b| {
+        b.iter(|| mlp.predict_proba(black_box(&data.x)))
+    });
+    group.bench_function("evaluate-300", |b| b.iter(|| evaluate(&mlp, black_box(&data))));
+    group.finish();
+}
+
+fn bench_real_offline_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn/offline-build");
+    group.sample_size(10);
+    let zoo = RealZoo::generate(&RealZooConfig {
+        n_families: 3,
+        family_size: 2,
+        n_singletons: 2,
+        n_benchmarks: 4,
+        stages: 2,
+        pretrain_epochs: 8,
+        n_train_per_class: 20,
+        n_eval_per_class: 10,
+        ..Default::default()
+    });
+    group.bench_function("8models-4benchmarks", |b| {
+        b.iter(|| zoo.build_offline().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_epoch, bench_inference, bench_real_offline_build);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the proxy scores: the per-model online
+//! cost of the coarse-recall phase (paper §III: "load and inference may
+//! consume dozens of seconds" — here we measure our implementations'
+//! scoring cost once predictions/features exist).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tps_core::proxy::knn::knn_proxy;
+use tps_core::proxy::leep::leep;
+use tps_core::proxy::logme::logme;
+use tps_core::proxy::nce::nce;
+use tps_core::proxy::PredictionMatrix;
+
+fn random_predictions(n: usize, z: usize, seed: u64) -> (PredictionMatrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n * z);
+    for _ in 0..n {
+        let mut logits: Vec<f64> = (0..z).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = logits.iter().map(|l| (l - max).exp()).sum();
+        for l in &mut logits {
+            *l = (*l - max).exp() / sum;
+        }
+        rows.extend(logits);
+    }
+    let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+    (PredictionMatrix::new(z, rows).unwrap(), labels)
+}
+
+fn random_features(n: usize, d: usize, seed: u64) -> (Vec<f64>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let labels = (0..n).map(|i| i % 3).collect();
+    (f, labels)
+}
+
+fn bench_leep_nce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proxy/prediction-based");
+    for &(n, z) in &[(200usize, 4usize), (1000, 4), (1000, 32), (5000, 32)] {
+        let (p, labels) = random_predictions(n, z, 7);
+        group.bench_with_input(
+            BenchmarkId::new("leep", format!("n{n}_z{z}")),
+            &(&p, &labels),
+            |b, (p, labels)| b.iter(|| leep(black_box(p), black_box(labels), 3).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nce", format!("n{n}_z{z}")),
+            &(&p, &labels),
+            |b, (p, labels)| b.iter(|| nce(black_box(p), black_box(labels), 3).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_feature_proxies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proxy/feature-based");
+    group.sample_size(20);
+    for &(n, d) in &[(200usize, 16usize), (500, 16), (500, 64)] {
+        let (f, labels) = random_features(n, d, 9);
+        group.bench_with_input(
+            BenchmarkId::new("logme", format!("n{n}_d{d}")),
+            &(&f, &labels),
+            |b, (f, labels)| {
+                b.iter(|| logme(black_box(f), n, d, black_box(labels), 3).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("knn", format!("n{n}_d{d}")),
+            &(&f, &labels),
+            |b, (f, labels)| {
+                b.iter(|| knn_proxy(black_box(f), n, d, black_box(labels), 5).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_leep_nce, bench_feature_proxies);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Criterion benchmarks for the online phases: coarse-recall, the three
+//! selectors, and trend mining — the framework's own CPU cost (distinct
+//! from the *simulated epoch* budgets of Tables V/VI, which measure what
+//! the framework saves, not what it costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tps_core::ids::ModelId;
+use tps_core::pipeline::{two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig};
+use tps_core::proxy::leep::leep;
+use tps_core::recall::{coarse_recall, RecallConfig};
+use tps_core::select::brute::brute_force;
+use tps_core::select::fine::{fine_selection, FineSelectionConfig};
+use tps_core::select::halving::successive_halving;
+use tps_core::traits::ProxyOracle;
+use tps_core::trend::{TrendBook, TrendConfig};
+use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
+
+fn bundle(n_families: usize, n_singletons: usize) -> (World, OfflineArtifacts) {
+    let world = World::synthetic(&SyntheticConfig {
+        seed: 13,
+        n_families,
+        family_size: (3, 5),
+        n_singletons,
+        n_benchmarks: 24,
+        n_targets: 1,
+        stages: 5,
+    });
+    let (matrix, curves) = world.build_offline().unwrap();
+    let artifacts =
+        OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+    (world, artifacts)
+}
+
+fn bench_recall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online/coarse-recall");
+    group.sample_size(20);
+    for &(f, s) in &[(5usize, 5usize), (12, 12), (25, 25)] {
+        let (world, artifacts) = bundle(f, s);
+        let oracle = ZooOracle::new(&world, 0).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}models", world.n_models())),
+            &(&world, &artifacts, &oracle),
+            |b, (_, artifacts, oracle)| {
+                b.iter(|| {
+                    coarse_recall(
+                        &artifacts.matrix,
+                        &artifacts.clustering,
+                        &artifacts.similarity,
+                        &RecallConfig::default(),
+                        |rep| {
+                            let p = oracle.predictions(rep)?;
+                            leep(&p, oracle.target_labels(), oracle.n_target_labels())
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online/selectors");
+    group.sample_size(20);
+    let (world, artifacts) = bundle(12, 12);
+    let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+    group.bench_function("brute-force", |b| {
+        b.iter(|| {
+            let mut t = ZooTrainer::new(&world, 0).unwrap();
+            brute_force(&mut t, black_box(&pool), world.stages).unwrap()
+        })
+    });
+    group.bench_function("successive-halving", |b| {
+        b.iter(|| {
+            let mut t = ZooTrainer::new(&world, 0).unwrap();
+            successive_halving(&mut t, black_box(&pool), world.stages).unwrap()
+        })
+    });
+    group.bench_function("fine-selection", |b| {
+        b.iter(|| {
+            let mut t = ZooTrainer::new(&world, 0).unwrap();
+            fine_selection(
+                &mut t,
+                black_box(&pool),
+                world.stages,
+                &artifacts.trends,
+                &FineSelectionConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_trend_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline/trend-mining");
+    group.sample_size(20);
+    for &(f, s) in &[(5usize, 5usize), (12, 12), (25, 25)] {
+        let world = World::synthetic(&SyntheticConfig {
+            seed: 13,
+            n_families: f,
+            family_size: (3, 5),
+            n_singletons: s,
+            n_benchmarks: 24,
+            n_targets: 1,
+            stages: 5,
+        });
+        let (_, curves) = world.build_offline().unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}models", world.n_models())),
+            &curves,
+            |b, curves| {
+                b.iter(|| {
+                    TrendBook::mine(black_box(curves), 5, &TrendConfig::default()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online/end-to-end");
+    group.sample_size(20);
+    for (label, world) in [("nlp-40", World::nlp(42)), ("cv-30", World::cv(42))] {
+        let (matrix, curves) = world.build_offline().unwrap();
+        let artifacts =
+            OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let oracle = ZooOracle::new(&world, 0).unwrap();
+                let mut trainer = ZooTrainer::new(&world, 0).unwrap();
+                two_phase_select(
+                    &artifacts,
+                    &oracle,
+                    &mut trainer,
+                    &PipelineConfig {
+                        total_stages: world.stages,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline/artifact-build");
+    group.sample_size(10);
+    for (label, world) in [("nlp-40", World::nlp(42)), ("cv-30", World::cv(42))] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (matrix, curves) = world.build_offline().unwrap();
+                OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_recall,
+    bench_selectors,
+    bench_trend_mining,
+    bench_end_to_end,
+    bench_offline_build
+);
+criterion_main!(benches);

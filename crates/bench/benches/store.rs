@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the artifact store: put/get latency for
+//! realistic payloads (a full NLP offline-artifact bundle is ~1-2 MB of
+//! JSON) and checksum throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+use tps_store::{crc32, ArtifactKind, Store};
+use tps_zoo::World;
+
+fn temp_store(tag: &str) -> (Store, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("tps-store-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (Store::open(&dir).unwrap(), dir)
+}
+
+fn nlp_artifacts() -> OfflineArtifacts {
+    let world = World::nlp(42);
+    let (matrix, curves) = world.build_offline().unwrap();
+    OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap()
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/crc32");
+    for &size in &[4usize << 10, 256 << 10, 4 << 20] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{}KiB", size >> 10), |b| {
+            b.iter(|| crc32(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_put_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/roundtrip");
+    group.sample_size(20);
+    let artifacts = nlp_artifacts();
+    let (mut store, dir) = temp_store("putget");
+    group.bench_function("put-overwrite-nlp-artifacts", |b| {
+        b.iter(|| {
+            store
+                .put_overwrite("bundle", ArtifactKind::OfflineArtifacts, black_box(&artifacts))
+                .unwrap()
+        })
+    });
+    group.bench_function("get-nlp-artifacts", |b| {
+        b.iter(|| {
+            let a: OfflineArtifacts = store
+                .get("bundle", ArtifactKind::OfflineArtifacts)
+                .unwrap();
+            black_box(a)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+criterion_group!(benches, bench_crc, bench_put_get);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Reproduction driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all            # every experiment, in paper order
+//! repro tab5 fig7      # specific experiments
+//! repro --list         # available ids
+//! ```
+//!
+//! Output tables print to stdout; structured records land in `results/`.
+
+use std::process::ExitCode;
+use tps_bench::experiments::{by_id, registry};
+use tps_bench::{print_ignoring_pipe, results_dir};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (id, title, _) in registry() {
+            print_ignoring_pipe(&format!("{id:>6}  {title}\n"));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let dir = results_dir();
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        registry().into_iter().map(|(id, _, _)| id.to_string()).collect()
+    } else {
+        args
+    };
+
+    for id in &ids {
+        let Some(runner) = by_id(id) else {
+            eprintln!("unknown experiment `{id}` — try --list");
+            return ExitCode::FAILURE;
+        };
+        let report = runner();
+        if let Err(e) = report.emit(&dir) {
+            eprintln!("failed to persist {id}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    print_ignoring_pipe(&format!("results written to {}\n", dir.display()));
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    print_ignoring_pipe(
+        "usage: repro [all | <id>...] [--list]\n\n\
+         Regenerates the paper's tables and figures on the synthetic world\n\
+         model. Known ids:\n",
+    );
+    for (id, title, _) in registry() {
+        print_ignoring_pipe(&format!("  {id:>6}  {title}\n"));
+    }
+}

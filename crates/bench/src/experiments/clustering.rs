@@ -1,0 +1,395 @@
+//! Model-clustering experiments: Table I (method comparison), Table II
+//! (hierarchical memberships), Table III (singleton vs non-singleton),
+//! Table X (similarity top-k sweep, App. D) and Table XI (k-means
+//! memberships, App. F).
+
+use crate::table::{acc, Table};
+use crate::{Report, WorldBundle, SEED};
+use serde::Serialize;
+use tps_core::cluster::hierarchical::{hierarchical_k, Linkage};
+use tps_core::cluster::kmeans::{kmeans, KMeansConfig};
+use tps_core::cluster::silhouette::silhouette;
+use tps_core::cluster::Clustering;
+use tps_core::ids::ModelId;
+use tps_core::similarity::{embed_text, SimilarityMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Dimension of the hashed bag-of-words card embedding.
+const TEXT_DIM: usize = 128;
+
+/// Number of clusters used for the fixed-k method comparison: the count the
+/// paper reports (8 NLP / 6 CV non-singleton clusters, plus slack for
+/// singletons).
+fn comparison_k(bundle: &WorldBundle) -> usize {
+    bundle.artifacts.clustering.n_clusters().max(2)
+}
+
+/// Text-based similarity matrix from model cards (the SBERT substitute).
+pub fn text_similarity(bundle: &WorldBundle) -> SimilarityMatrix {
+    let cards = bundle.world.model_cards();
+    let embeddings: Vec<Vec<f64>> = cards.iter().map(|c| embed_text(c, TEXT_DIM)).collect();
+    SimilarityMatrix::from_vectors_cosine(&embeddings)
+        .expect("non-empty model list embeds cleanly")
+}
+
+fn silhouette_of(bundle: &WorldBundle, sim: &SimilarityMatrix, clustering: &Clustering) -> f64 {
+    silhouette(
+        &sim.distance_matrix(),
+        bundle.matrix().n_models(),
+        clustering,
+    )
+    .unwrap_or(0.0)
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct Tab1Cell {
+    domain: String,
+    similarity: String,
+    algorithm: String,
+    silhouette: f64,
+}
+
+/// Table I: {performance, text} similarity × {hierarchical, k-means}.
+pub fn tab1() -> Report {
+    let mut record = Vec::new();
+    let mut table = Table::new(vec![
+        "similarity",
+        "hier (NLP)",
+        "hier (CV)",
+        "kmeans (NLP)",
+        "kmeans (CV)",
+    ])
+    .label_first();
+
+    let bundles = [WorldBundle::nlp(SEED), WorldBundle::cv(SEED)];
+    let mut cells = vec![vec![0.0; 4]; 2];
+    for (bi, bundle) in bundles.iter().enumerate() {
+        let n = bundle.matrix().n_models();
+        let k = comparison_k(bundle);
+        let perf_sim = &bundle.artifacts.similarity;
+        let text_sim = text_similarity(bundle);
+        let mut rng = StdRng::seed_from_u64(SEED);
+
+        // Performance-based.
+        let hier_perf =
+            hierarchical_k(&perf_sim.distance_matrix(), n, k, Linkage::Average).unwrap();
+        let km_perf = kmeans(
+            &bundle.matrix().model_vectors(),
+            &KMeansConfig { k, ..Default::default() },
+            &mut rng,
+        )
+        .unwrap();
+        // Text-based.
+        let hier_text =
+            hierarchical_k(&text_sim.distance_matrix(), n, k, Linkage::Average).unwrap();
+        let cards = bundle.world.model_cards();
+        let text_vecs: Vec<Vec<f64>> = cards.iter().map(|c| embed_text(c, TEXT_DIM)).collect();
+        let km_text = kmeans(
+            &text_vecs,
+            &KMeansConfig { k, ..Default::default() },
+            &mut rng,
+        )
+        .unwrap();
+
+        // Silhouette of each clustering under its own similarity's distance.
+        cells[0][bi] = silhouette_of(bundle, perf_sim, &hier_perf);
+        cells[0][2 + bi] = silhouette_of(bundle, perf_sim, &km_perf);
+        cells[1][bi] = silhouette_of(bundle, &text_sim, &hier_text);
+        cells[1][2 + bi] = silhouette_of(bundle, &text_sim, &km_text);
+
+        let domain = if bi == 0 { "NLP" } else { "CV" };
+        for (si, sim_name) in ["performance-based", "text-based"].iter().enumerate() {
+            for (ai, alg) in ["hierarchical", "kmeans"].iter().enumerate() {
+                record.push(Tab1Cell {
+                    domain: domain.into(),
+                    similarity: sim_name.to_string(),
+                    algorithm: alg.to_string(),
+                    silhouette: cells[si][2 * ai + bi],
+                });
+            }
+        }
+    }
+    for (si, sim_name) in ["performance-based", "text-based"].iter().enumerate() {
+        table.row(vec![
+            sim_name.to_string(),
+            acc(cells[si][0]),
+            acc(cells[si][1]),
+            acc(cells[si][2]),
+            acc(cells[si][3]),
+        ]);
+    }
+    Report::new(
+        "tab1",
+        "Clustering methods comparison (silhouette coefficient)",
+        table.render(),
+        &record,
+    )
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct ClusterRow {
+    domain: String,
+    cluster: usize,
+    size: usize,
+    members: Vec<String>,
+}
+
+fn membership_table(
+    bundles: &[(&str, &WorldBundle, Clustering)],
+    only_non_singleton: bool,
+) -> (String, Vec<ClusterRow>) {
+    let mut body = String::new();
+    let mut record = Vec::new();
+    for (domain, bundle, clustering) in bundles {
+        let mut table = Table::new(vec!["cluster", "size", "members"]).aligns(vec![
+            crate::table::Align::Left,
+            crate::table::Align::Right,
+            crate::table::Align::Left,
+        ]);
+        let clusters: Vec<usize> = if only_non_singleton {
+            clustering.non_singleton_clusters()
+        } else {
+            (0..clustering.n_clusters()).collect()
+        };
+        for (ci, &c) in clusters.iter().enumerate() {
+            let members: Vec<String> = clustering
+                .members(c)
+                .iter()
+                .map(|&m| bundle.matrix().model_name(m).to_string())
+                .collect();
+            table.row(vec![
+                format!("C{}", ci + 1),
+                members.len().to_string(),
+                members.join(", "),
+            ]);
+            record.push(ClusterRow {
+                domain: domain.to_string(),
+                cluster: ci + 1,
+                size: members.len(),
+                members,
+            });
+        }
+        body.push_str(&format!("{domain} model clusters:\n"));
+        body.push_str(&table.render());
+        body.push('\n');
+    }
+    (body, record)
+}
+
+/// Table II: hierarchical (threshold-cut) non-singleton memberships.
+pub fn tab2() -> Report {
+    let nlp = WorldBundle::nlp(SEED);
+    let cv = WorldBundle::cv(SEED);
+    let nc = nlp.artifacts.clustering.clone();
+    let cc = cv.artifacts.clustering.clone();
+    let (body, record) = membership_table(
+        &[("NLP", &nlp, nc), ("CV", &cv, cc)],
+        true,
+    );
+    Report::new(
+        "tab2",
+        "Model clustering results (hierarchical, non-singleton clusters)",
+        body,
+        &record,
+    )
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct Tab3Row {
+    domain: String,
+    cluster_type: String,
+    avg_acc: f64,
+    n_maximum_acc: usize,
+}
+
+/// Table III: average benchmark accuracy and #best-models, singleton vs
+/// non-singleton clusters.
+pub fn tab3() -> Report {
+    let mut table = Table::new(vec!["task type", "cluster type", "avg(acc)", "no. maximum(acc)"])
+        .aligns(vec![
+            crate::table::Align::Left,
+            crate::table::Align::Left,
+            crate::table::Align::Right,
+            crate::table::Align::Right,
+        ]);
+    let mut record = Vec::new();
+    for (domain, bundle) in [("NLP", WorldBundle::nlp(SEED)), ("CV", WorldBundle::cv(SEED))] {
+        let clustering = &bundle.artifacts.clustering;
+        let matrix = bundle.matrix();
+        let best = matrix.best_model_per_dataset();
+        for (label, non_singleton) in [("Non-Singleton", true), ("Singleton", false)] {
+            let members: Vec<ModelId> = matrix
+                .model_ids()
+                .filter(|&m| clustering.in_non_singleton(m) == non_singleton)
+                .collect();
+            let avg = if members.is_empty() {
+                0.0
+            } else {
+                members.iter().map(|&m| matrix.avg_accuracy(m)).sum::<f64>()
+                    / members.len() as f64
+            };
+            let n_max = best.iter().filter(|m| members.contains(m)).count();
+            table.row(vec![
+                domain.to_string(),
+                label.to_string(),
+                acc(avg),
+                n_max.to_string(),
+            ]);
+            record.push(Tab3Row {
+                domain: domain.into(),
+                cluster_type: label.into(),
+                avg_acc: avg,
+                n_maximum_acc: n_max,
+            });
+        }
+    }
+    Report::new(
+        "tab3",
+        "Performance of models in singleton vs non-singleton clusters",
+        table.render(),
+        &record,
+    )
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct TabXRow {
+    domain: String,
+    k: usize,
+    silhouette: f64,
+}
+
+/// Table X (App. D): silhouette of the threshold clustering as the
+/// similarity top-k parameter sweeps.
+pub fn tabx() -> Report {
+    let mut table = Table::new(vec!["domain", "k", "silhouette"]).label_first();
+    let mut record = Vec::new();
+    for (domain, bundle, ks) in [
+        ("NLP", WorldBundle::nlp(SEED), vec![5usize, 10, 15]),
+        ("CV", WorldBundle::cv(SEED), vec![3, 4, 5]),
+    ] {
+        let n = bundle.matrix().n_models();
+        for k in ks {
+            let sim = SimilarityMatrix::from_performance(bundle.matrix(), k).unwrap();
+            let clustering = tps_core::cluster::hierarchical::hierarchical_threshold(
+                &sim.distance_matrix(),
+                n,
+                0.05,
+                Linkage::Average,
+            )
+            .unwrap();
+            let s = silhouette_of(&bundle, &sim, &clustering);
+            table.row(vec![domain.to_string(), k.to_string(), acc(s)]);
+            record.push(TabXRow {
+                domain: domain.into(),
+                k,
+                silhouette: s,
+            });
+        }
+    }
+    Report::new(
+        "tabx",
+        "Similarity top-k parameter selection (App. D)",
+        table.render(),
+        &record,
+    )
+}
+
+/// Table XI (App. F): k-means memberships for comparison with Table II.
+pub fn tab11() -> Report {
+    let nlp = WorldBundle::nlp(SEED);
+    let cv = WorldBundle::cv(SEED);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let nk = comparison_k(&nlp);
+    let ck = comparison_k(&cv);
+    let nc = kmeans(
+        &nlp.matrix().model_vectors(),
+        &KMeansConfig { k: nk, ..Default::default() },
+        &mut rng,
+    )
+    .unwrap();
+    let cc = kmeans(
+        &cv.matrix().model_vectors(),
+        &KMeansConfig { k: ck, ..Default::default() },
+        &mut rng,
+    )
+    .unwrap();
+    let (body, record) = membership_table(&[("NLP", &nlp, nc), ("CV", &cv, cc)], true);
+    Report::new(
+        "tab11",
+        "Model clustering results using k-means (App. F)",
+        body,
+        &record,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab1_reproduces_paper_ordering() {
+        let r = tab1();
+        let cells: Vec<Tab1Cell> = serde_json::from_value(r.json).unwrap();
+        let get = |sim: &str, alg: &str, dom: &str| {
+            cells
+                .iter()
+                .find(|c| c.similarity == sim && c.algorithm == alg && c.domain == dom)
+                .unwrap()
+                .silhouette
+        };
+        // The paper's headline: performance-based similarity clusters better
+        // than text-based under hierarchical clustering.
+        for dom in ["NLP", "CV"] {
+            assert!(
+                get("performance-based", "hierarchical", dom)
+                    > get("text-based", "hierarchical", dom),
+                "{dom}: perf should beat text"
+            );
+        }
+        // And hierarchical beats k-means on performance similarity.
+        for dom in ["NLP", "CV"] {
+            assert!(
+                get("performance-based", "hierarchical", dom)
+                    >= get("performance-based", "kmeans", dom) - 0.05,
+                "{dom}: hier should not lose clearly to kmeans"
+            );
+        }
+    }
+
+    #[test]
+    fn tab3_non_singletons_dominate() {
+        let r = tab3();
+        let rows: Vec<Tab3Row> = serde_json::from_value(r.json).unwrap();
+        for dom in ["NLP", "CV"] {
+            let non = rows
+                .iter()
+                .find(|x| x.domain == dom && x.cluster_type == "Non-Singleton")
+                .unwrap();
+            let single = rows
+                .iter()
+                .find(|x| x.domain == dom && x.cluster_type == "Singleton")
+                .unwrap();
+            assert!(non.avg_acc > single.avg_acc, "{dom} avg acc ordering");
+            assert!(non.n_maximum_acc >= single.n_maximum_acc, "{dom} max count");
+        }
+    }
+
+    #[test]
+    fn tab2_has_expected_structure() {
+        let r = tab2();
+        let rows: Vec<ClusterRow> = serde_json::from_value(r.json).unwrap();
+        let nlp_rows: Vec<_> = rows.iter().filter(|x| x.domain == "NLP").collect();
+        let cv_rows: Vec<_> = rows.iter().filter(|x| x.domain == "CV").collect();
+        assert!(
+            (5..=10).contains(&nlp_rows.len()),
+            "NLP non-singleton clusters {}",
+            nlp_rows.len()
+        );
+        assert!((4..=8).contains(&cv_rows.len()), "CV clusters {}", cv_rows.len());
+        // The qqp family must be one pure cluster.
+        assert!(nlp_rows.iter().any(|c| {
+            c.size == 5 && c.members.iter().all(|m| m.contains("bert_ft_qqp"))
+        }));
+    }
+}

@@ -1,0 +1,288 @@
+//! Learning-curve figures: Fig. 1 (accuracy spread across the repository),
+//! Fig. 3 / Fig. 8 (top-10 validation curves on MNLI under two LR regimes)
+//! and Fig. 4 (one model's per-benchmark performance and its trend groups).
+
+use crate::table::{acc, Align, Table};
+use crate::{Report, WorldBundle, SEED};
+use serde::Serialize;
+use tps_core::ids::{DatasetId, ModelId};
+use tps_core::trend::{mine_trends, TrendConfig};
+use tps_zoo::{TrainHyper, World};
+
+#[derive(Serialize, serde::Deserialize)]
+struct Fig1Series {
+    dataset: String,
+    sorted_accuracies: Vec<f64>,
+}
+
+/// Fig. 1: fine-tuning accuracy of every repository model on one NLP and
+/// one CV task, sorted descending — the "few good models, many poor ones"
+/// motivation.
+pub fn fig1() -> Report {
+    let nlp = WorldBundle::nlp(SEED);
+    let cv = WorldBundle::cv(SEED);
+    let mnli = nlp.world.target_by_name("mnli").expect("preset target");
+
+    let mut series = Vec::new();
+    // NLP: every model fine-tuned on the MNLI target (ground-truth runs).
+    let mut nlp_accs: Vec<f64> = (0..nlp.world.n_models())
+        .map(|m| nlp.world.target_accuracy(ModelId::from(m), mnli))
+        .collect();
+    nlp_accs.sort_by(|a, b| b.total_cmp(a));
+    series.push(Fig1Series {
+        dataset: "mnli".into(),
+        sorted_accuracies: nlp_accs,
+    });
+    // CV: the paper's CC6204 (birds) stand-in is the cub200 benchmark; its
+    // column of the performance matrix is exactly "all models fine-tuned".
+    let cub = cv.matrix().dataset_by_name("cub200").expect("preset benchmark");
+    let mut cv_accs: Vec<f64> = cv.matrix().dataset_row(cub).to_vec();
+    cv_accs.sort_by(|a, b| b.total_cmp(a));
+    series.push(Fig1Series {
+        dataset: "cub200".into(),
+        sorted_accuracies: cv_accs,
+    });
+
+    let mut body = String::new();
+    for s in &series {
+        let mut table = Table::new(vec!["rank", "accuracy"]);
+        for (i, &a) in s.sorted_accuracies.iter().enumerate() {
+            table.row(vec![(i + 1).to_string(), acc(a)]);
+        }
+        let n = s.sorted_accuracies.len();
+        let top = s.sorted_accuracies[0];
+        let median = s.sorted_accuracies[n / 2];
+        body.push_str(&format!(
+            "{} — {} models, top {:.3}, median {:.3}, spread {:.3}\n{}\n",
+            s.dataset,
+            n,
+            top,
+            median,
+            top - s.sorted_accuracies[n - 1],
+            table.render()
+        ));
+    }
+    Report::new(
+        "fig1",
+        "Fine-tuning accuracy of every model on MNLI (NLP) and cub200 (CV)",
+        body,
+        &series,
+    )
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct CurveRow {
+    model: String,
+    vals: Vec<f64>,
+    test: f64,
+}
+
+fn mnli_top10_curves(hyper: TrainHyper) -> (String, Vec<CurveRow>) {
+    let mut world = World::nlp(SEED);
+    world.hyper = hyper;
+    let bundle = WorldBundle::from_world(world);
+    let target = bundle.world.target_by_name("mnli").expect("preset target");
+
+    // Coarse-recall to get the top-10, then plot their ground-truth curves.
+    let oracle = tps_zoo::ZooOracle::new(&bundle.world, target).expect("valid target");
+    let recall = tps_core::recall::coarse_recall(
+        bundle.matrix(),
+        &bundle.artifacts.clustering,
+        &bundle.artifacts.similarity,
+        &tps_core::recall::RecallConfig::default(),
+        |rep| {
+            use tps_core::traits::ProxyOracle;
+            let p = oracle.predictions(rep)?;
+            tps_core::proxy::leep::leep(&p, oracle.target_labels(), oracle.n_target_labels())
+        },
+    )
+    .expect("recall runs on preset world");
+
+    let mut rows = Vec::new();
+    let mut headers = vec!["model".to_string()];
+    for t in 0..bundle.world.stages {
+        headers.push(format!("val@{}", t + 1));
+    }
+    headers.push("test".into());
+    let mut table = Table::new(headers).label_first();
+    for &m in &recall.recalled {
+        let run = bundle.world.target_run(m, target);
+        let mut cells = vec![bundle.matrix().model_name(m).to_string()];
+        cells.extend(run.vals.iter().map(|&v| acc(v)));
+        cells.push(acc(run.final_test()));
+        table.row(cells);
+        rows.push(CurveRow {
+            model: bundle.matrix().model_name(m).to_string(),
+            vals: run.vals.clone(),
+            test: run.final_test(),
+        });
+    }
+    (table.render(), rows)
+}
+
+/// Fig. 3: validation/test curves of the 10 recalled models on MNLI under
+/// the main (lr = 3e-5) regime; the top models peak early and decline.
+pub fn fig3() -> Report {
+    let (body, rows) = mnli_top10_curves(TrainHyper::HighLr);
+    Report::new(
+        "fig3",
+        "Top-10 models' validation and test results on MNLI (high-LR regime)",
+        body,
+        &rows,
+    )
+}
+
+/// Fig. 8 (App. A): the same plot under lr = 1e-5 — slower convergence, no
+/// over-fitting decline; selection outcome is unchanged (robustness).
+pub fn fig8() -> Report {
+    let (body, rows) = mnli_top10_curves(TrainHyper::LowLr);
+    Report::new(
+        "fig8",
+        "Top-10 models' validation and test results on MNLI (low-LR regime)",
+        body,
+        &rows,
+    )
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct Fig4Record {
+    model: String,
+    trend_groups: Vec<Fig4Group>,
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct Fig4Group {
+    mean_val: f64,
+    mean_test: f64,
+    datasets: Vec<String>,
+}
+
+/// Fig. 4: one model's validation/test performance across all benchmark
+/// datasets splits into ~4 convergence-trend groups.
+pub fn fig4() -> Report {
+    let bundle = WorldBundle::nlp(SEED);
+    let model_name = "DoyyingFace/bert-asian-hate-tweets-asian-unclean-freeze-4";
+    let model = bundle
+        .matrix()
+        .model_by_name(model_name)
+        .expect("preset model exists");
+    let curves = bundle.curves.model_curves(model);
+    let trends = mine_trends(
+        curves,
+        bundle.world.stages,
+        &TrendConfig {
+            n_trends: 4,
+            max_iter: 64,
+        },
+    )
+    .expect("trend mining on preset curves");
+
+    // Report the final-stage grouping (the paper plots full curves; the
+    // grouping at the last stage is the visible 4-band structure).
+    let last = bundle.world.stages - 1;
+    let mut groups = Vec::new();
+    let mut table = Table::new(vec!["group", "mean val", "mean test", "datasets"]).aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+    ]);
+    for (gi, t) in trends.at_stage(last).iter().enumerate() {
+        let names: Vec<String> = t
+            .members
+            .iter()
+            .map(|&d| bundle.matrix().dataset_name(d).to_string())
+            .collect();
+        table.row(vec![
+            format!("G{}", gi + 1),
+            acc(t.mean_val),
+            acc(t.mean_test),
+            names.join(", "),
+        ]);
+        groups.push(Fig4Group {
+            mean_val: t.mean_val,
+            mean_test: t.mean_test,
+            datasets: names,
+        });
+    }
+    let mut body = format!("model: {model_name}\n\n");
+    body.push_str(&table.render());
+    // Also include the per-dataset detail.
+    let mut detail = Table::new(vec!["dataset", "final val", "test"]).label_first();
+    for d in 0..bundle.curves.n_datasets() {
+        let c = bundle.curves.curve(model, DatasetId::from(d));
+        detail.row(vec![
+            bundle.matrix().dataset_name(DatasetId::from(d)).to_string(),
+            acc(c.val_at(last)),
+            acc(c.test()),
+        ]);
+    }
+    body.push('\n');
+    body.push_str(&detail.render());
+    Report::new(
+        "fig4",
+        "Validation/test performance of one model across benchmarks, grouped",
+        body,
+        &Fig4Record {
+            model: model_name.into(),
+            trend_groups: groups,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shows_skewed_quality() {
+        let r = fig1();
+        let series: Vec<Fig1Series> = serde_json::from_value(r.json).unwrap();
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            // Sorted descending.
+            assert!(s
+                .sorted_accuracies
+                .windows(2)
+                .all(|w| w[0] >= w[1]));
+            // Meaningful spread between best and worst (the Fig. 1 shape).
+            let spread = s.sorted_accuracies[0] - s.sorted_accuracies.last().unwrap();
+            assert!(spread > 0.1, "{} spread {spread}", s.dataset);
+        }
+    }
+
+    #[test]
+    fn fig3_high_lr_declines_fig8_does_not() {
+        let f3: Vec<CurveRow> = serde_json::from_value(fig3().json).unwrap();
+        let f8: Vec<CurveRow> = serde_json::from_value(fig8().json).unwrap();
+        assert_eq!(f3.len(), 10);
+        assert_eq!(f8.len(), 10);
+        // Best model under high LR peaks before the final stage.
+        let best3 = &f3[0];
+        let peak = best3
+            .vals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(peak < best3.vals.len() - 1, "high-LR peak at {peak}");
+        // Low-LR curves end at (or near) their maximum.
+        let best8 = &f8[0];
+        let max8 = best8.vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(best8.vals.last().unwrap() >= &(max8 - 0.02));
+    }
+
+    #[test]
+    fn fig4_groups_are_separated() {
+        let r: Fig4Record = serde_json::from_value(fig4().json).unwrap();
+        assert!(r.trend_groups.len() >= 2);
+        // Groups are ordered by mean validation, strictly separated.
+        for w in r.trend_groups.windows(2) {
+            assert!(w[0].mean_val > w[1].mean_val);
+        }
+        // All 24 benchmarks accounted for.
+        let total: usize = r.trend_groups.iter().map(|g| g.datasets.len()).sum();
+        assert_eq!(total, 24);
+    }
+}

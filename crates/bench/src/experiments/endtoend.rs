@@ -1,0 +1,201 @@
+//! End-to-end experiments: Table VI (2PH vs BF vs SH) and Table VII (case
+//! study of the selected models).
+
+use super::selection::{all_targets, run_selector, Selector};
+use crate::table::{acc, epochs, speedup, Table};
+use crate::Report;
+use serde::Serialize;
+use tps_core::ids::ModelId;
+use tps_core::pipeline::{two_phase_select, PipelineConfig};
+use tps_zoo::{ZooOracle, ZooTrainer};
+
+#[derive(Serialize, serde::Deserialize)]
+struct Tab6Row {
+    target: String,
+    runtime_2ph: f64,
+    speedup_vs_bf: f64,
+    speedup_vs_sh: f64,
+    acc_bf: f64,
+    acc_sh: f64,
+    acc_2ph: f64,
+}
+
+/// Table VI: the full two-phase pipeline against brute force and successive
+/// halving over the whole repository.
+pub fn tab6() -> Report {
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "target", "2PH", "vs BF", "vs SH", "acc BF", "acc SH", "acc 2PH",
+    ])
+    .label_first();
+    for (bundle, target, name) in all_targets() {
+        let everyone: Vec<ModelId> = bundle.matrix().model_ids().collect();
+        let bf = run_selector(&bundle, target, &everyone, Selector::BruteForce);
+        let sh = run_selector(&bundle, target, &everyone, Selector::Halving);
+
+        let oracle = ZooOracle::new(&bundle.world, target).expect("preset target");
+        let mut trainer = ZooTrainer::new(&bundle.world, target).expect("preset target");
+        let out = two_phase_select(
+            &bundle.artifacts,
+            &oracle,
+            &mut trainer,
+            &PipelineConfig {
+                total_stages: bundle.world.stages,
+                ..Default::default()
+            },
+        )
+        .expect("pipeline runs on preset world");
+
+        let t2 = out.ledger.total();
+        table.row(vec![
+            name.clone(),
+            epochs(t2),
+            speedup(bf.ledger.total() / t2),
+            speedup(sh.ledger.total() / t2),
+            acc(bf.winner_test),
+            acc(sh.winner_test),
+            acc(out.selection.winner_test),
+        ]);
+        rows.push(Tab6Row {
+            target: name,
+            runtime_2ph: t2,
+            speedup_vs_bf: bf.ledger.total() / t2,
+            speedup_vs_sh: sh.ledger.total() / t2,
+            acc_bf: bf.winner_test,
+            acc_sh: sh.winner_test,
+            acc_2ph: out.selection.winner_test,
+        });
+    }
+    Report::new(
+        "tab6",
+        "End-to-end runtime and accuracy: 2PH vs BF vs SH (full repository)",
+        table.render(),
+        &rows,
+    )
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct Tab7Row {
+    target: String,
+    best_model: String,
+    accuracy: f64,
+    rank_at_cr: usize,
+    avg_acc_recalled: f64,
+}
+
+/// Table VII: for four targets, the finally selected model, its accuracy,
+/// its rank in the coarse-recall ordering, and the recalled models' average
+/// ground-truth accuracy.
+pub fn tab7() -> Report {
+    let wanted = ["multirc", "boolq", "medmnist", "oxford_flowers"];
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "dataset", "best model", "acc", "R@CR", "avg acc",
+    ])
+    .label_first();
+    for (bundle, target, name) in all_targets() {
+        if !wanted.contains(&name.as_str()) {
+            continue;
+        }
+        let oracle = ZooOracle::new(&bundle.world, target).expect("preset target");
+        let mut trainer = ZooTrainer::new(&bundle.world, target).expect("preset target");
+        let out = two_phase_select(
+            &bundle.artifacts,
+            &oracle,
+            &mut trainer,
+            &PipelineConfig {
+                total_stages: bundle.world.stages,
+                ..Default::default()
+            },
+        )
+        .expect("pipeline runs on preset world");
+
+        let winner = out.selection.winner;
+        let rank = out
+            .recall
+            .recalled
+            .iter()
+            .position(|&m| m == winner)
+            .expect("winner came from the recalled pool");
+        let avg_acc = out
+            .recall
+            .recalled
+            .iter()
+            .map(|&m| bundle.world.target_accuracy(m, target))
+            .sum::<f64>()
+            / out.recall.recalled.len() as f64;
+
+        table.row(vec![
+            name.clone(),
+            bundle.matrix().model_name(winner).to_string(),
+            acc(out.selection.winner_test),
+            rank.to_string(),
+            acc(avg_acc),
+        ]);
+        rows.push(Tab7Row {
+            target: name,
+            best_model: bundle.matrix().model_name(winner).to_string(),
+            accuracy: out.selection.winner_test,
+            rank_at_cr: rank,
+            avg_acc_recalled: avg_acc,
+        });
+    }
+    Report::new(
+        "tab7",
+        "Case study: final selected model per target after CR + FS",
+        table.render(),
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab6_speedup_bands_match_paper() {
+        let rows: Vec<Tab6Row> = serde_json::from_value(tab6().json).unwrap();
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            // Paper: 5.5x-10.5x vs BF, 2.5x-4.1x vs SH.
+            assert!(
+                r.speedup_vs_bf >= 4.0 && r.speedup_vs_bf <= 12.0,
+                "{}: vs BF {}",
+                r.target,
+                r.speedup_vs_bf
+            );
+            assert!(
+                r.speedup_vs_sh >= 1.5 && r.speedup_vs_sh <= 5.0,
+                "{}: vs SH {}",
+                r.target,
+                r.speedup_vs_sh
+            );
+            // Near-BF accuracy (paper: within ~0.01 of BF).
+            assert!(
+                r.acc_2ph >= r.acc_bf - 0.035,
+                "{}: 2PH {} vs BF {}",
+                r.target,
+                r.acc_2ph,
+                r.acc_bf
+            );
+        }
+    }
+
+    #[test]
+    fn tab7_selected_models_are_strong() {
+        let rows: Vec<Tab7Row> = serde_json::from_value(tab7().json).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            // The selected model beats the average of the recalled pool
+            // (Table VII's observation).
+            assert!(
+                r.accuracy > r.avg_acc_recalled,
+                "{}: winner {} vs pool avg {}",
+                r.target,
+                r.accuracy,
+                r.avg_acc_recalled
+            );
+            assert!(r.rank_at_cr < 10);
+        }
+    }
+}

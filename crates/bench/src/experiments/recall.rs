@@ -1,0 +1,154 @@
+//! Fig. 5: coarse-recall vs random-recall — average ground-truth accuracy
+//! of the top-K recalled models on each of the 8 target datasets.
+
+use crate::table::{acc, Table};
+use crate::{Report, WorldBundle, SEED};
+use serde::Serialize;
+use tps_core::ids::ModelId;
+use tps_core::proxy::leep::leep;
+use tps_core::recall::{coarse_recall, random_recall, RecallConfig};
+use tps_core::traits::ProxyOracle;
+use tps_zoo::ZooOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// K values swept (the paper plots K up to ~20 and settles on 10).
+const KS: [usize; 4] = [5, 10, 15, 20];
+/// Random-recall trials averaged per (target, K).
+const RANDOM_TRIALS: usize = 50;
+
+#[derive(Serialize, serde::Deserialize)]
+struct Fig5Row {
+    target: String,
+    k: usize,
+    coarse_recall_avg_acc: f64,
+    random_recall_avg_acc: f64,
+    best_model_rank: usize,
+}
+
+/// Run the full Fig. 5 sweep.
+pub fn fig5() -> Report {
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec!["target", "K", "coarse", "random", "rank(best)"]).label_first();
+
+    for bundle in [WorldBundle::nlp(SEED), WorldBundle::cv(SEED)] {
+        for t in 0..bundle.world.n_targets() {
+            let oracle = ZooOracle::new(&bundle.world, t).expect("preset target");
+            let truth: Vec<f64> = (0..bundle.world.n_models())
+                .map(|m| bundle.world.target_accuracy(ModelId::from(m), t))
+                .collect();
+            let best = truth
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| ModelId::from(i))
+                .expect("non-empty repository");
+
+            let recall = coarse_recall(
+                bundle.matrix(),
+                &bundle.artifacts.clustering,
+                &bundle.artifacts.similarity,
+                &RecallConfig {
+                    top_k: bundle.world.n_models(),
+                    ..Default::default()
+                },
+                |rep| {
+                    let p = oracle.predictions(rep)?;
+                    leep(&p, oracle.target_labels(), oracle.n_target_labels())
+                },
+            )
+            .expect("recall runs on preset world");
+            let best_rank = recall.rank_of(best).expect("best model is in the ranking") + 1;
+
+            let mut rng = StdRng::seed_from_u64(SEED ^ t as u64);
+            for k in KS {
+                let coarse_avg = recall.ranked[..k]
+                    .iter()
+                    .map(|&(m, _)| truth[m.index()])
+                    .sum::<f64>()
+                    / k as f64;
+                let mut random_avg = 0.0;
+                for _ in 0..RANDOM_TRIALS {
+                    let picked = random_recall(bundle.world.n_models(), k, &mut rng);
+                    random_avg += picked.iter().map(|m| truth[m.index()]).sum::<f64>()
+                        / picked.len() as f64;
+                }
+                random_avg /= RANDOM_TRIALS as f64;
+
+                table.row(vec![
+                    bundle.world.targets[t].name.clone(),
+                    k.to_string(),
+                    acc(coarse_avg),
+                    acc(random_avg),
+                    best_rank.to_string(),
+                ]);
+                rows.push(Fig5Row {
+                    target: bundle.world.targets[t].name.clone(),
+                    k,
+                    coarse_recall_avg_acc: coarse_avg,
+                    random_recall_avg_acc: random_avg,
+                    best_model_rank: best_rank,
+                });
+            }
+        }
+    }
+    Report::new(
+        "fig5",
+        "Average accuracy of recalled models: coarse-recall vs random",
+        table.render(),
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_recall_beats_random_everywhere() {
+        let r = fig5();
+        let rows: Vec<Fig5Row> = serde_json::from_value(r.json).unwrap();
+        assert_eq!(rows.len(), 8 * KS.len());
+        for row in &rows {
+            assert!(
+                row.coarse_recall_avg_acc > row.random_recall_avg_acc,
+                "{} K={}: coarse {} vs random {}",
+                row.target,
+                row.k,
+                row.coarse_recall_avg_acc,
+                row.random_recall_avg_acc
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_k_has_higher_average() {
+        let r = fig5();
+        let rows: Vec<Fig5Row> = serde_json::from_value(r.json).unwrap();
+        // Aggregated over targets: avg acc at K=5 >= avg acc at K=20 (the
+        // top of the ranking is denser in good models).
+        let avg_at = |k: usize| {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|x| x.k == k)
+                .map(|x| x.coarse_recall_avg_acc)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg_at(5) > avg_at(20));
+    }
+
+    #[test]
+    fn best_model_recalled_within_fifteen() {
+        let r = fig5();
+        let rows: Vec<Fig5Row> = serde_json::from_value(r.json).unwrap();
+        for row in &rows {
+            assert!(
+                row.best_model_rank <= 15,
+                "{}: best model at rank {}",
+                row.target,
+                row.best_model_rank
+            );
+        }
+    }
+}

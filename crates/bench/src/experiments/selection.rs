@@ -1,0 +1,363 @@
+//! Fine-selection experiments: Table IV (threshold sweep), Fig. 7 (SH vs
+//! FS selected-model accuracy) and Table V (runtime/speedup comparison).
+
+use crate::table::{acc, epochs, speedup, Table};
+use crate::{Report, WorldBundle, SEED};
+use serde::Serialize;
+use tps_core::ids::ModelId;
+use tps_core::proxy::leep::leep;
+use tps_core::recall::{coarse_recall, RecallConfig, RecallOutcome};
+use tps_core::select::brute::brute_force;
+use tps_core::select::fine::{fine_selection, FineSelectionConfig};
+use tps_core::select::halving::successive_halving;
+use tps_core::select::SelectionOutcome;
+use tps_core::traits::ProxyOracle;
+use tps_zoo::{ZooOracle, ZooTrainer};
+
+/// Run coarse-recall for one target, returning the full ranking.
+pub(crate) fn recall_for(bundle: &WorldBundle, target: usize, top_k: usize) -> RecallOutcome {
+    let oracle = ZooOracle::new(&bundle.world, target).expect("preset target");
+    coarse_recall(
+        bundle.matrix(),
+        &bundle.artifacts.clustering,
+        &bundle.artifacts.similarity,
+        &RecallConfig {
+            top_k,
+            ..Default::default()
+        },
+        |rep| {
+            let p = oracle.predictions(rep)?;
+            leep(&p, oracle.target_labels(), oracle.n_target_labels())
+        },
+    )
+    .expect("recall runs on preset world")
+}
+
+/// Run one selector over `pool` with a fresh trainer.
+pub(crate) fn run_selector(
+    bundle: &WorldBundle,
+    target: usize,
+    pool: &[ModelId],
+    which: Selector,
+) -> SelectionOutcome {
+    let mut trainer = ZooTrainer::new(&bundle.world, target).expect("preset target");
+    let stages = bundle.world.stages;
+    match which {
+        Selector::BruteForce => brute_force(&mut trainer, pool, stages),
+        Selector::Halving => successive_halving(&mut trainer, pool, stages),
+        Selector::Fine(threshold) => fine_selection(
+            &mut trainer,
+            pool,
+            stages,
+            &bundle.artifacts.trends,
+            &FineSelectionConfig { threshold },
+        ),
+    }
+    .expect("selectors run on preset pools")
+}
+
+/// Which selection algorithm to run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Selector {
+    /// Brute force (BF).
+    BruteForce,
+    /// Successive halving (SH).
+    Halving,
+    /// Fine selection (FS) with a prediction-gap threshold.
+    Fine(f64),
+}
+
+/// All eight `(bundle, target)` pairs of the evaluation, NLP first.
+pub(crate) fn all_targets() -> Vec<(WorldBundle, usize, String)> {
+    let mut out = Vec::new();
+    for bundle_fn in [WorldBundle::nlp, WorldBundle::cv] {
+        let bundle = bundle_fn(SEED);
+        for t in 0..bundle.world.n_targets() {
+            let name = bundle.world.targets[t].name.clone();
+            out.push((bundle_fn(SEED), t, name));
+        }
+        drop(bundle);
+    }
+    out
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct Tab4Row {
+    target: String,
+    threshold_pct: f64,
+    accuracy: f64,
+    runtime_epochs: f64,
+}
+
+/// Table IV: accuracy and runtime of fine-selection as the filtering
+/// threshold grows (0%, 1%, 5%, 10%).
+pub fn tab4() -> Report {
+    const THRESHOLDS: [f64; 4] = [0.0, 0.01, 0.05, 0.10];
+    let cases = [
+        ("mnli", WorldBundle::nlp(SEED)),
+        ("multirc", WorldBundle::nlp(SEED)),
+        ("oxford_flowers", WorldBundle::cv(SEED)),
+        ("chest_xray", WorldBundle::cv(SEED)),
+    ];
+    let mut rows = Vec::new();
+    let mut table =
+        Table::new(vec!["target", "metric", "0%", "1%", "5%", "10%"]).label_first();
+    for (name, bundle) in cases {
+        let target = bundle.world.target_by_name(name).expect("preset target");
+        let pool = recall_for(&bundle, target, 10).recalled;
+        let mut accs = Vec::new();
+        let mut times = Vec::new();
+        for &th in &THRESHOLDS {
+            let out = run_selector(&bundle, target, &pool, Selector::Fine(th));
+            accs.push(out.winner_test);
+            times.push(out.ledger.total());
+            rows.push(Tab4Row {
+                target: name.into(),
+                threshold_pct: th * 100.0,
+                accuracy: out.winner_test,
+                runtime_epochs: out.ledger.total(),
+            });
+        }
+        table.row(vec![
+            name.to_string(),
+            "accuracy".into(),
+            acc(accs[0]),
+            acc(accs[1]),
+            acc(accs[2]),
+            acc(accs[3]),
+        ]);
+        table.row(vec![
+            name.to_string(),
+            "runtime".into(),
+            epochs(times[0]),
+            epochs(times[1]),
+            epochs(times[2]),
+            epochs(times[3]),
+        ]);
+    }
+    Report::new(
+        "tab4",
+        "Fine-selection accuracy/runtime across filtering thresholds",
+        table.render(),
+        &rows,
+    )
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct Fig7Row {
+    target: String,
+    pool: String,
+    sh_accuracy: f64,
+    fs_accuracy: f64,
+    best_top10: f64,
+    worst_top10: f64,
+}
+
+/// Fig. 7: test accuracy of the model selected by SH vs FS, over the top-10
+/// recalled pool and over the whole repository, with the top-10 best/worst
+/// reference lines.
+pub fn fig7() -> Report {
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "target", "pool", "SH", "FS", "best@10", "worst@10",
+    ])
+    .label_first();
+    for (bundle, target, name) in all_targets() {
+        let recall = recall_for(&bundle, target, 10);
+        let top10 = recall.recalled.clone();
+        let truth: Vec<f64> = top10
+            .iter()
+            .map(|&m| bundle.world.target_accuracy(m, target))
+            .collect();
+        let best10 = truth.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let worst10 = truth.iter().cloned().fold(f64::INFINITY, f64::min);
+        let everyone: Vec<ModelId> = bundle.matrix().model_ids().collect();
+
+        for (pool_name, pool) in [("top-10", &top10), ("all", &everyone)] {
+            let sh = run_selector(&bundle, target, pool, Selector::Halving);
+            let fs = run_selector(&bundle, target, pool, Selector::Fine(0.0));
+            table.row(vec![
+                name.clone(),
+                pool_name.to_string(),
+                acc(sh.winner_test),
+                acc(fs.winner_test),
+                acc(best10),
+                acc(worst10),
+            ]);
+            rows.push(Fig7Row {
+                target: name.clone(),
+                pool: pool_name.into(),
+                sh_accuracy: sh.winner_test,
+                fs_accuracy: fs.winner_test,
+                best_top10: best10,
+                worst_top10: worst10,
+            });
+        }
+    }
+    Report::new(
+        "fig7",
+        "Selected-model accuracy: successive halving vs fine-selection",
+        table.render(),
+        &rows,
+    )
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct Tab5Row {
+    domain: String,
+    target: String,
+    method: String,
+    pool: usize,
+    runtime_epochs: f64,
+    speedup_vs_bf: f64,
+}
+
+/// Table V: training-epoch runtimes of BF / SH / FS on the top-10 pool and
+/// on the full repository, with speedups relative to BF.
+pub fn tab5() -> Report {
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "domain", "target", "method", "pool", "epochs", "vs BF",
+    ])
+    .label_first();
+    let push = |domain: &str, target: &str, method: &str, pool: usize, e: f64, bf: f64,
+                    rows: &mut Vec<Tab5Row>,
+                    table: &mut Table| {
+        let s = bf / e;
+        table.row(vec![
+            domain.to_string(),
+            target.to_string(),
+            method.to_string(),
+            pool.to_string(),
+            epochs(e),
+            if method == "BF" { "-".into() } else { speedup(s) },
+        ]);
+        rows.push(Tab5Row {
+            domain: domain.into(),
+            target: target.into(),
+            method: method.into(),
+            pool,
+            runtime_epochs: e,
+            speedup_vs_bf: s,
+        });
+    };
+
+    for (bundle, target, name) in all_targets() {
+        let domain = if bundle.world.n_models() == 40 { "NLP" } else { "CV" };
+        let top10 = recall_for(&bundle, target, 10).recalled;
+        let everyone: Vec<ModelId> = bundle.matrix().model_ids().collect();
+        for (pool_size, pool) in [(10usize, &top10), (everyone.len(), &everyone)] {
+            let bf = run_selector(&bundle, target, pool, Selector::BruteForce);
+            let sh = run_selector(&bundle, target, pool, Selector::Halving);
+            let fs = run_selector(&bundle, target, pool, Selector::Fine(0.0));
+            let bft = bf.ledger.total();
+            push(domain, &name, "BF", pool_size, bft, bft, &mut rows, &mut table);
+            push(domain, &name, "SH", pool_size, sh.ledger.total(), bft, &mut rows, &mut table);
+            push(domain, &name, "FS", pool_size, fs.ledger.total(), bft, &mut rows, &mut table);
+        }
+    }
+    Report::new(
+        "tab5",
+        "Runtime (total fine-tuning epochs) and speedups vs brute force",
+        table.render(),
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab5_reproduces_budget_arithmetic() {
+        let rows: Vec<Tab5Row> = serde_json::from_value(tab5().json).unwrap();
+        // BF on the top-10 pools: 50 epochs NLP, 40 CV (Table V).
+        for r in rows.iter().filter(|r| r.method == "BF" && r.pool == 10) {
+            let expected = if r.domain == "NLP" { 50.0 } else { 40.0 };
+            assert_eq!(r.runtime_epochs, expected, "{} {}", r.domain, r.target);
+        }
+        // SH: 19 (NLP top-10), 18 (CV top-10), 77 (NLP all), 55 (CV all).
+        for r in rows.iter().filter(|r| r.method == "SH") {
+            let expected = match (r.domain.as_str(), r.pool) {
+                ("NLP", 10) => 19.0,
+                ("NLP", 40) => 77.0,
+                ("CV", 10) => 18.0,
+                ("CV", 30) => 55.0,
+                other => panic!("unexpected pool {other:?}"),
+            };
+            assert_eq!(r.runtime_epochs, expected, "{} {}", r.domain, r.target);
+        }
+    }
+
+    #[test]
+    fn fs_is_never_slower_than_sh() {
+        let rows: Vec<Tab5Row> = serde_json::from_value(tab5().json).unwrap();
+        for sh in rows.iter().filter(|r| r.method == "SH") {
+            let fs = rows
+                .iter()
+                .find(|r| {
+                    r.method == "FS" && r.target == sh.target && r.pool == sh.pool
+                })
+                .unwrap();
+            assert!(
+                fs.runtime_epochs <= sh.runtime_epochs,
+                "{} pool {}: FS {} vs SH {}",
+                sh.target,
+                sh.pool,
+                fs.runtime_epochs,
+                sh.runtime_epochs
+            );
+        }
+    }
+
+    #[test]
+    fn fs_speedup_in_paper_band() {
+        let rows: Vec<Tab5Row> = serde_json::from_value(tab5().json).unwrap();
+        // Paper: FS speedups 2.3x-4.6x vs BF. Allow a moderately wider band.
+        for r in rows.iter().filter(|r| r.method == "FS") {
+            assert!(
+                r.speedup_vs_bf >= 2.0 && r.speedup_vs_bf <= 6.0,
+                "{} pool {}: speedup {}",
+                r.target,
+                r.pool,
+                r.speedup_vs_bf
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_fs_matches_or_beats_sh_mostly() {
+        let rows: Vec<Fig7Row> = serde_json::from_value(fig7().json).unwrap();
+        assert_eq!(rows.len(), 16);
+        let fs_wins_or_ties = rows
+            .iter()
+            .filter(|r| r.fs_accuracy >= r.sh_accuracy - 0.015)
+            .count();
+        assert!(fs_wins_or_ties >= 13, "FS competitive in only {fs_wins_or_ties}/16");
+        // Both selectors stay inside the [worst, best] envelope of the pool
+        // they search (top-10 rows).
+        for r in rows.iter().filter(|r| r.pool == "top-10") {
+            assert!(r.fs_accuracy <= r.best_top10 + 0.02);
+            assert!(r.fs_accuracy >= r.worst_top10 - 0.02);
+        }
+    }
+
+    #[test]
+    fn tab4_threshold_monotonicity() {
+        let rows: Vec<Tab4Row> = serde_json::from_value(tab4().json).unwrap();
+        for target in ["mnli", "multirc", "oxford_flowers", "chest_xray"] {
+            let mut of_target: Vec<&Tab4Row> =
+                rows.iter().filter(|r| r.target == target).collect();
+            of_target.sort_by(|a, b| a.threshold_pct.total_cmp(&b.threshold_pct));
+            // Larger thresholds never reduce accuracy or runtime below the
+            // stricter setting's.
+            for w in of_target.windows(2) {
+                assert!(w[1].accuracy >= w[0].accuracy - 0.01, "{target} accuracy");
+                assert!(
+                    w[1].runtime_epochs >= w[0].runtime_epochs - 1e-9,
+                    "{target} runtime"
+                );
+            }
+        }
+    }
+}

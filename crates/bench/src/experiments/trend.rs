@@ -1,0 +1,203 @@
+//! Fig. 6: quality of convergence-trend clustering on first-validation
+//! results, and the accuracy of trend-based final-performance prediction
+//! versus a global-mean baseline.
+
+use crate::table::{acc, Table};
+use crate::{Report, WorldBundle, SEED};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+use tps_core::cluster::silhouette::silhouette;
+use tps_core::cluster::Clustering;
+use tps_core::trend::cluster_values_1d;
+
+/// Trend clusters per model (the paper's `c`).
+const N_TRENDS: usize = 4;
+/// Random-clustering trials for the baseline silhouette.
+const RANDOM_TRIALS: usize = 50;
+
+#[derive(Serialize, serde::Deserialize)]
+struct Fig6Row {
+    model: String,
+    silhouette_validation: f64,
+    silhouette_random: f64,
+    rel_error_trend: f64,
+    rel_error_global_mean: f64,
+}
+
+/// Run Fig. 6 over every NLP model.
+pub fn fig6() -> Report {
+    let bundle = WorldBundle::nlp(SEED);
+    let n_bench = bundle.curves.n_datasets();
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "model",
+        "sil(val)",
+        "sil(random)",
+        "err(trend)",
+        "err(mean)",
+    ])
+    .label_first();
+
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xf16);
+    for m in bundle.matrix().model_ids() {
+        let curves = bundle.curves.model_curves(m);
+        let first_vals: Vec<f64> = curves.iter().map(|c| c.val_at(0)).collect();
+        let tests: Vec<f64> = curves.iter().map(|c| c.test()).collect();
+
+        // 1-D distances between benchmarks under this model's first vals.
+        let mut dist = vec![0.0; n_bench * n_bench];
+        for i in 0..n_bench {
+            for j in 0..n_bench {
+                dist[i * n_bench + j] = (first_vals[i] - first_vals[j]).abs();
+            }
+        }
+        let assign = cluster_values_1d(&first_vals, N_TRENDS, 64);
+        let clustering = Clustering::new(assign.clone()).expect("non-empty assignment");
+        let sil_val = if clustering.n_clusters() >= 2 {
+            silhouette(&dist, n_bench, &clustering).unwrap_or(0.0)
+        } else {
+            0.0
+        };
+
+        // Random baseline: shuffle the same label multiset.
+        let mut sil_rand = 0.0;
+        let mut shuffled = assign.clone();
+        for _ in 0..RANDOM_TRIALS {
+            shuffled.shuffle(&mut rng);
+            let c = Clustering::new(shuffled.clone()).expect("non-empty");
+            if c.n_clusters() >= 2 {
+                sil_rand += silhouette(&dist, n_bench, &c).unwrap_or(0.0);
+            }
+        }
+        sil_rand /= RANDOM_TRIALS as f64;
+
+        // Leave-one-dataset-out prediction of the final test accuracy.
+        let (err_trend, err_mean) = loo_prediction_errors(&first_vals, &tests);
+
+        let name = bundle.matrix().model_name(m).to_string();
+        table.row(vec![
+            name.clone(),
+            acc(sil_val),
+            acc(sil_rand),
+            acc(err_trend),
+            acc(err_mean),
+        ]);
+        rows.push(Fig6Row {
+            model: name,
+            silhouette_validation: sil_val,
+            silhouette_random: sil_rand,
+            rel_error_trend: err_trend,
+            rel_error_global_mean: err_mean,
+        });
+    }
+
+    let mean =
+        |f: fn(&Fig6Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+    let mut body = table.render();
+    body.push_str(&format!(
+        "\nmeans: sil(val) {:.3} vs sil(random) {:.3}; err(trend) {:.3} vs err(mean) {:.3}\n",
+        mean(|r| r.silhouette_validation),
+        mean(|r| r.silhouette_random),
+        mean(|r| r.rel_error_trend),
+        mean(|r| r.rel_error_global_mean),
+    ));
+    Report::new(
+        "fig6",
+        "Trend clustering on first validations: quality and prediction error",
+        body,
+        &rows,
+    )
+}
+
+/// For each benchmark dataset, mine trends on the remaining datasets, match
+/// by first validation (Eq. 5), predict the test accuracy (Eq. 6), and
+/// compare to predicting the left-out set's mean test accuracy. Returns the
+/// mean relative errors `(trend, global-mean)`.
+fn loo_prediction_errors(first_vals: &[f64], tests: &[f64]) -> (f64, f64) {
+    let n = first_vals.len();
+    debug_assert_eq!(tests.len(), n);
+    let mut err_trend = 0.0;
+    let mut err_mean = 0.0;
+    for d in 0..n {
+        let rest_vals: Vec<f64> = (0..n).filter(|&i| i != d).map(|i| first_vals[i]).collect();
+        let rest_tests: Vec<f64> = (0..n).filter(|&i| i != d).map(|i| tests[i]).collect();
+        let assign = cluster_values_1d(&rest_vals, N_TRENDS, 64);
+        let n_clusters = assign.iter().copied().max().unwrap_or(0) + 1;
+        // Per-cluster mean val/test.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); n_clusters];
+        for (i, &a) in assign.iter().enumerate() {
+            sums[a].0 += rest_vals[i];
+            sums[a].1 += rest_tests[i];
+            sums[a].2 += 1;
+        }
+        let matched = (0..n_clusters)
+            .min_by(|&a, &b| {
+                let va = sums[a].0 / sums[a].2 as f64;
+                let vb = sums[b].0 / sums[b].2 as f64;
+                (va - first_vals[d])
+                    .abs()
+                    .total_cmp(&(vb - first_vals[d]).abs())
+            })
+            .expect("at least one trend cluster");
+        let pred_trend = sums[matched].1 / sums[matched].2 as f64;
+        let pred_mean = rest_tests.iter().sum::<f64>() / rest_tests.len() as f64;
+        let actual = tests[d].max(1e-9);
+        err_trend += (pred_trend - actual).abs() / actual;
+        err_mean += (pred_mean - actual).abs() / actual;
+    }
+    (err_trend / n as f64, err_mean / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_clustering_beats_random() {
+        let rows: Vec<Fig6Row> = serde_json::from_value(fig6().json).unwrap();
+        assert_eq!(rows.len(), 40);
+        let better = rows
+            .iter()
+            .filter(|r| r.silhouette_validation > r.silhouette_random)
+            .count();
+        assert!(better >= 38, "only {better}/40 models beat random clustering");
+    }
+
+    #[test]
+    fn trend_prediction_beats_global_mean() {
+        let rows: Vec<Fig6Row> = serde_json::from_value(fig6().json).unwrap();
+        let better = rows
+            .iter()
+            .filter(|r| r.rel_error_trend < r.rel_error_global_mean)
+            .count();
+        assert!(better >= 36, "only {better}/40 models beat the mean baseline");
+        // And by a clear margin on average.
+        let mean_trend: f64 =
+            rows.iter().map(|r| r.rel_error_trend).sum::<f64>() / rows.len() as f64;
+        let mean_global: f64 =
+            rows.iter().map(|r| r.rel_error_global_mean).sum::<f64>() / rows.len() as f64;
+        assert!(mean_trend < 0.5 * mean_global, "{mean_trend} vs {mean_global}");
+    }
+
+    #[test]
+    fn loo_errors_on_two_obvious_groups() {
+        // Half the datasets at (val .3, test .3), half at (.9, .9): the
+        // trend predictor should be near-exact, the mean baseline ~50% off.
+        let vals: Vec<f64> = (0..10).map(|i| if i < 5 { 0.3 } else { 0.9 }).collect();
+        let tests = vals.clone();
+        let (t, m) = loo_prediction_errors(&vals, &tests);
+        assert!(t < 0.05, "trend error {t}");
+        assert!(m > 0.3, "mean error {m}");
+    }
+
+    /// The Fig. 6 experiment needs model ids only for naming; verify the id
+    /// space is aligned with the matrix.
+    #[test]
+    fn model_ids_cover_the_repository() {
+        let bundle = WorldBundle::nlp(SEED);
+        let ids: Vec<tps_core::ids::ModelId> = bundle.matrix().model_ids().collect();
+        assert_eq!(ids.len(), 40);
+    }
+}

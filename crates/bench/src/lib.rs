@@ -1,0 +1,157 @@
+//! # tps-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§V +
+//! appendices) on the `tps-zoo` world model, via the `repro` binary:
+//!
+//! ```text
+//! cargo run -p tps-bench --release --bin repro -- all
+//! cargo run -p tps-bench --release --bin repro -- tab5
+//! ```
+//!
+//! Each experiment prints an aligned text table (quoted in
+//! `EXPERIMENTS.md`) and writes a JSON record under `results/`. Criterion
+//! micro-benchmarks for the framework itself live in `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use tps_core::curve::CurveSet;
+use tps_core::matrix::PerformanceMatrix;
+use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+use tps_zoo::World;
+
+/// The master seed every experiment uses unless it sweeps seeds itself.
+pub const SEED: u64 = 42;
+
+/// A world plus all its offline artifacts — what most experiments start
+/// from.
+pub struct WorldBundle {
+    /// The generating world.
+    pub world: World,
+    /// Raw offline curve set.
+    pub curves: CurveSet,
+    /// Offline artifacts (matrix, similarity, clustering, trends).
+    pub artifacts: OfflineArtifacts,
+}
+
+impl WorldBundle {
+    /// Build a bundle from a world with the default offline configuration.
+    pub fn from_world(world: World) -> Self {
+        let (matrix, curves) = world
+            .build_offline()
+            .expect("preset worlds build valid offline artifacts");
+        let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default())
+            .expect("offline artifacts build from a consistent matrix/curve pair");
+        Self {
+            world,
+            curves,
+            artifacts,
+        }
+    }
+
+    /// The paper's NLP setup (40 models / 24 benchmarks / 4 targets).
+    pub fn nlp(seed: u64) -> Self {
+        Self::from_world(World::nlp(seed))
+    }
+
+    /// The paper's CV setup (30 models / 10 benchmarks / 4 targets).
+    pub fn cv(seed: u64) -> Self {
+        Self::from_world(World::cv(seed))
+    }
+
+    /// Shorthand: the performance matrix.
+    pub fn matrix(&self) -> &PerformanceMatrix {
+        &self.artifacts.matrix
+    }
+}
+
+/// A finished experiment: rendered text plus a JSON record.
+pub struct Report {
+    /// Experiment id (`fig1`, `tab5`, …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Rendered tables/notes, ready to print.
+    pub body: String,
+    /// Structured record persisted to `results/<id>.json`.
+    pub json: serde_json::Value,
+}
+
+impl Report {
+    /// Assemble a report, serialising `record` to JSON.
+    pub fn new<T: Serialize>(
+        id: &'static str,
+        title: &'static str,
+        body: String,
+        record: &T,
+    ) -> Self {
+        Self {
+            id,
+            title,
+            body,
+            json: serde_json::to_value(record).expect("experiment records serialize"),
+        }
+    }
+
+    /// Print the report and persist its JSON record under `dir`.
+    pub fn emit(&self, dir: &Path) -> std::io::Result<()> {
+        print_ignoring_pipe(&format!("== {} — {}\n\n{}\n", self.id, self.title, self.body));
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, serde_json::to_string_pretty(&self.json)?)?;
+        Ok(())
+    }
+}
+
+/// Write to stdout, swallowing `EPIPE` so `repro --list | head` exits
+/// cleanly instead of panicking when the reader closes the pipe.
+pub fn print_ignoring_pipe(s: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(s.as_bytes());
+}
+
+/// Default results directory (`./results` under the workspace root).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundles_build() {
+        let nlp = WorldBundle::nlp(1);
+        assert_eq!(nlp.matrix().n_models(), 40);
+        let cv = WorldBundle::cv(1);
+        assert_eq!(cv.matrix().n_models(), 30);
+        assert_eq!(cv.curves.n_datasets(), 10);
+    }
+
+    #[test]
+    fn results_dir_points_at_workspace() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn report_round_trip() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: u32,
+        }
+        let r = Report::new("t", "test", "body".into(), &R { x: 3 });
+        assert_eq!(r.json["x"], 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal dependency-free argument parsing for the `tps` binary.
+//!
+//! Grammar: `tps <command> [--flag value]...`. Flags are always
+//! `--name value` pairs; unknown flags are errors (typos should not be
+//! silently ignored on a tool that kicks off hours of fine-tuning).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus its `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+    /// The same flag appeared twice.
+    DuplicateFlag(String),
+    /// A flag not in the allow-list was passed.
+    UnknownFlag(String),
+    /// A required flag was absent.
+    MissingFlag(&'static str),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// Expected kind, e.g. "integer".
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given; try `tps help`"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument `{arg}` (flags are --name value)")
+            }
+            ArgError::DuplicateFlag(flag) => write!(f, "flag --{flag} given twice"),
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::MissingFlag(flag) => write!(f, "required flag --{flag} missing"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} expects {expected}, got `{value}`"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parse raw arguments (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = args.into_iter().map(Into::into);
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            };
+            let value = iter.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(ArgError::DuplicateFlag(name.to_string()));
+            }
+        }
+        Ok(Self { command, flags })
+    }
+
+    /// Reject any flag outside `allowed`.
+    pub fn restrict(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for flag in self.flags.keys() {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(ArgError::UnknownFlag(flag.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.get(flag).ok_or(ArgError::MissingFlag(flag))
+    }
+
+    /// Optional typed flag with a default.
+    pub fn get_parse<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = ParsedArgs::parse(["select", "--target", "mnli", "--top-k", "10"]).unwrap();
+        assert_eq!(a.command, "select");
+        assert_eq!(a.get("target"), Some("mnli"));
+        assert_eq!(a.get_parse("top-k", 0usize, "integer").unwrap(), 10);
+        assert_eq!(a.get("absent"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(
+            ParsedArgs::parse(Vec::<String>::new()).unwrap_err(),
+            ArgError::MissingCommand
+        );
+        assert_eq!(
+            ParsedArgs::parse(["--seed", "1"]).unwrap_err(),
+            ArgError::MissingCommand
+        );
+        assert_eq!(
+            ParsedArgs::parse(["world", "--seed"]).unwrap_err(),
+            ArgError::MissingValue("seed".into())
+        );
+        assert_eq!(
+            ParsedArgs::parse(["world", "stray"]).unwrap_err(),
+            ArgError::UnexpectedPositional("stray".into())
+        );
+        assert_eq!(
+            ParsedArgs::parse(["world", "--seed", "1", "--seed", "2"]).unwrap_err(),
+            ArgError::DuplicateFlag("seed".into())
+        );
+    }
+
+    #[test]
+    fn restrict_catches_typos() {
+        let a = ParsedArgs::parse(["world", "--sede", "1"]).unwrap();
+        assert_eq!(
+            a.restrict(&["seed"]).unwrap_err(),
+            ArgError::UnknownFlag("sede".into())
+        );
+        let ok = ParsedArgs::parse(["world", "--seed", "1"]).unwrap();
+        assert!(ok.restrict(&["seed"]).is_ok());
+    }
+
+    #[test]
+    fn typed_parsing() {
+        let a = ParsedArgs::parse(["x", "--k", "ten"]).unwrap();
+        assert!(matches!(
+            a.get_parse("k", 0usize, "integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert_eq!(a.get_parse("missing", 7usize, "integer").unwrap(), 7);
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = ParsedArgs::parse(["x"]).unwrap();
+        assert_eq!(a.require("target").unwrap_err(), ArgError::MissingFlag("target"));
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let s = ArgError::BadValue {
+            flag: "seed".into(),
+            value: "abc".into(),
+            expected: "integer",
+        }
+        .to_string();
+        assert!(s.contains("seed") && s.contains("abc") && s.contains("integer"));
+    }
+}

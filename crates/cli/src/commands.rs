@@ -1,0 +1,687 @@
+//! Implementation of the `tps` subcommands. Each command is a function from
+//! parsed flags to a rendered report string, so the whole surface is unit
+//! testable without spawning processes.
+
+use crate::args::{ArgError, ParsedArgs};
+use std::fmt::Write as _;
+use std::path::Path;
+use tps_core::ids::ModelId;
+use tps_core::pipeline::{
+    two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig,
+};
+use tps_core::recall::RecallConfig;
+use tps_core::select::brute::brute_force;
+use tps_core::select::fine::FineSelectionConfig;
+use tps_core::select::halving::successive_halving;
+use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
+
+/// Top-level CLI error: argument problems, IO, or framework errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// File IO / JSON problems.
+    Io(String),
+    /// Selection-framework error.
+    Selection(tps_core::error::SelectionError),
+    /// Anything else (unknown command, unknown target…).
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Selection(e) => write!(f, "{e}"),
+            CliError::Usage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<tps_core::error::SelectionError> for CliError {
+    fn from(e: tps_core::error::SelectionError) -> Self {
+        CliError::Selection(e)
+    }
+}
+
+/// Run one parsed command, returning the text to print.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "world" => cmd_world(args),
+        "offline" => cmd_offline(args),
+        "inspect" => cmd_inspect(args),
+        "select" => cmd_select(args),
+        "compare" => cmd_compare(args),
+        "grow" => cmd_grow(args),
+        "archive" => cmd_archive(args),
+        "catalog" => cmd_catalog(args),
+        "fsck" => cmd_fsck(args),
+        "help" => Ok(usage()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; try `tps help`"
+        ))),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "\
+tps — two-phase model selection (coarse-recall + fine-selection)
+
+commands:
+  world    generate a synthetic world        --domain nlp|cv|synthetic [--seed N]
+                                             [--models N --benchmarks N] --out FILE
+  offline  build offline artifacts           --world FILE --out FILE [--top-k-sim N]
+                                             [--threshold F]
+  inspect  summarise offline artifacts       --artifacts FILE
+  select   two-phase selection for a target  --world FILE --artifacts FILE
+                                             --target NAME [--top-k N] [--threshold F]
+  compare  BF vs SH vs 2PH on one target     --world FILE --artifacts FILE --target NAME
+  grow     add a model incrementally         --world FILE --artifacts FILE --name NAME
+                                             [--like MODEL] [--capability F] [--seed N]
+  archive  persist world+artifacts durably   --store DIR --name TAG --world FILE
+                                             --artifacts FILE [--force true]
+  catalog  list a store's contents           --store DIR
+  fsck     verify every stored record        --store DIR
+  help     this message
+"
+    .to_string()
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
+    let data = std::fs::read_to_string(Path::new(path))
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    serde_json::from_str(&data).map_err(|e| CliError::Io(format!("cannot parse {path}: {e}")))
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+    let data = serde_json::to_string(value)
+        .map_err(|e| CliError::Io(format!("cannot serialize: {e}")))?;
+    std::fs::write(Path::new(path), data)
+        .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))
+}
+
+fn cmd_world(args: &ParsedArgs) -> Result<String, CliError> {
+    args.restrict(&["domain", "seed", "models", "benchmarks", "targets", "stages", "out"])?;
+    let seed = args.get_parse("seed", 42u64, "integer")?;
+    let out = args.require("out")?;
+    let world = match args.get("domain").unwrap_or("nlp") {
+        "nlp" => World::nlp(seed),
+        "cv" => World::cv(seed),
+        "synthetic" => {
+            let models = args.get_parse("models", 40usize, "integer")?;
+            // Models split ~2/3 into families of ~4, 1/3 singletons.
+            let n_singletons = models / 3;
+            let n_families = ((models - n_singletons) / 4).max(1);
+            World::synthetic(&SyntheticConfig {
+                seed,
+                n_families,
+                family_size: (3, 5),
+                n_singletons,
+                n_benchmarks: args.get_parse("benchmarks", 20usize, "integer")?,
+                n_targets: args.get_parse("targets", 4usize, "integer")?,
+                stages: args.get_parse("stages", 5usize, "integer")?,
+            })
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "--domain must be nlp, cv or synthetic (got {other})"
+            )))
+        }
+    };
+    write_json(out, &world)?;
+    Ok(format!(
+        "wrote world to {out}: {} models, {} benchmark datasets, {} targets ({} stages)\n",
+        world.n_models(),
+        world.n_benchmarks(),
+        world.n_targets(),
+        world.stages,
+    ))
+}
+
+fn offline_config(args: &ParsedArgs) -> Result<OfflineConfig, CliError> {
+    let mut config = OfflineConfig::default();
+    config.similarity_top_k = args.get_parse("top-k-sim", config.similarity_top_k, "integer")?;
+    if let Some(t) = args.get("threshold") {
+        let t: f64 = t.parse().map_err(|_| CliError::Usage(
+            "--threshold expects a number".into(),
+        ))?;
+        config.cluster = tps_core::pipeline::ClusterMethod::HierarchicalThreshold(t);
+    }
+    Ok(config)
+}
+
+fn cmd_offline(args: &ParsedArgs) -> Result<String, CliError> {
+    args.restrict(&["world", "out", "top-k-sim", "threshold"])?;
+    let world: World = read_json(args.require("world")?)?;
+    let out = args.require("out")?;
+    let config = offline_config(args)?;
+    let (matrix, curves) = world.build_offline()?;
+    let artifacts = OfflineArtifacts::build(matrix, &curves, &config)?;
+    write_json(out, &artifacts)?;
+    Ok(format!(
+        "wrote offline artifacts to {out}: {} x {} performance matrix, {} clusters \
+         ({} non-singleton)\n",
+        artifacts.matrix.n_models(),
+        artifacts.matrix.n_datasets(),
+        artifacts.clustering.n_clusters(),
+        artifacts.clustering.non_singleton_clusters().len(),
+    ))
+}
+
+fn cmd_inspect(args: &ParsedArgs) -> Result<String, CliError> {
+    args.restrict(&["artifacts"])?;
+    let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "performance matrix: {} models x {} benchmark datasets",
+        artifacts.matrix.n_models(),
+        artifacts.matrix.n_datasets()
+    );
+    let _ = writeln!(
+        out,
+        "clusters: {} total, {} non-singleton",
+        artifacts.clustering.n_clusters(),
+        artifacts.clustering.non_singleton_clusters().len()
+    );
+    for c in artifacts.clustering.non_singleton_clusters() {
+        let members: Vec<&str> = artifacts
+            .clustering
+            .members(c)
+            .iter()
+            .map(|&m| artifacts.matrix.model_name(m))
+            .collect();
+        let _ = writeln!(out, "  [{:2}] {}", members.len(), members.join(", "));
+    }
+    let mut ranked: Vec<(String, f64)> = artifacts
+        .matrix
+        .model_ids()
+        .map(|m| {
+            (
+                artifacts.matrix.model_name(m).to_string(),
+                artifacts.matrix.avg_accuracy(m),
+            )
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let _ = writeln!(out, "top models by average benchmark accuracy:");
+    for (name, avg) in ranked.iter().take(5) {
+        let _ = writeln!(out, "  {avg:.3}  {name}");
+    }
+    Ok(out)
+}
+
+fn target_index(world: &World, name: &str) -> Result<usize, CliError> {
+    world.target_by_name(name).ok_or_else(|| {
+        let known: Vec<&str> = world.targets.iter().map(|t| t.name.as_str()).collect();
+        CliError::Usage(format!(
+            "unknown target `{name}`; this world has: {}",
+            known.join(", ")
+        ))
+    })
+}
+
+fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
+    args.restrict(&["world", "artifacts", "target", "top-k", "threshold", "stages"])?;
+    let world: World = read_json(args.require("world")?)?;
+    let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
+    let target = target_index(&world, args.require("target")?)?;
+    let config = PipelineConfig {
+        recall: RecallConfig {
+            top_k: args.get_parse("top-k", 10usize, "integer")?,
+            ..Default::default()
+        },
+        fine: FineSelectionConfig {
+            threshold: args.get_parse("threshold", 0.0f64, "number")?,
+        },
+        total_stages: args.get_parse("stages", world.stages, "integer")?,
+    };
+    let oracle = ZooOracle::new(&world, target)?;
+    let mut trainer = ZooTrainer::new(&world, target)?;
+    let outcome = two_phase_select(&artifacts, &oracle, &mut trainer, &config)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "selected `{}` for target `{}`",
+        artifacts.matrix.model_name(outcome.selection.winner),
+        world.targets[target].name
+    );
+    let _ = writeln!(out, "  test accuracy {:.3}", outcome.selection.winner_test);
+    let _ = writeln!(out, "  cost          {}", outcome.ledger);
+    let _ = writeln!(
+        out,
+        "  recalled pool {}",
+        outcome
+            .recall
+            .recalled
+            .iter()
+            .map(|&m| artifacts.matrix.model_name(m))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(out)
+}
+
+fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
+    args.restrict(&["world", "artifacts", "target"])?;
+    let world: World = read_json(args.require("world")?)?;
+    let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
+    let target = target_index(&world, args.require("target")?)?;
+    let everyone: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+
+    let mut t1 = ZooTrainer::new(&world, target)?;
+    let bf = brute_force(&mut t1, &everyone, world.stages)?;
+    let mut t2 = ZooTrainer::new(&world, target)?;
+    let sh = successive_halving(&mut t2, &everyone, world.stages)?;
+    let oracle = ZooOracle::new(&world, target)?;
+    let mut t3 = ZooTrainer::new(&world, target)?;
+    let two_phase = two_phase_select(
+        &artifacts,
+        &oracle,
+        &mut t3,
+        &PipelineConfig {
+            total_stages: world.stages,
+            ..Default::default()
+        },
+    )?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "target `{}`:", world.targets[target].name);
+    let mut row = |name: &str, acc: f64, epochs: f64, model: ModelId| {
+        let _ = writeln!(
+            out,
+            "  {name:<18} acc {acc:.3}  {epochs:>7.1} epochs  -> {}",
+            artifacts.matrix.model_name(model)
+        );
+    };
+    row("brute force", bf.winner_test, bf.ledger.total(), bf.winner);
+    row("successive halving", sh.winner_test, sh.ledger.total(), sh.winner);
+    row(
+        "two-phase",
+        two_phase.selection.winner_test,
+        two_phase.ledger.total(),
+        two_phase.selection.winner,
+    );
+    let _ = writeln!(
+        out,
+        "  two-phase speedup: {:.2}x vs BF, {:.2}x vs SH",
+        bf.ledger.total() / two_phase.ledger.total(),
+        sh.ledger.total() / two_phase.ledger.total()
+    );
+    Ok(out)
+}
+
+fn open_store(args: &ParsedArgs) -> Result<tps_store::Store, CliError> {
+    tps_store::Store::open(args.require("store")?)
+        .map_err(|e| CliError::Io(e.to_string()))
+}
+
+/// Persist a world + artifacts pair into a durable, checksummed store.
+fn cmd_archive(args: &ParsedArgs) -> Result<String, CliError> {
+    use tps_store::ArtifactKind;
+    args.restrict(&["store", "name", "world", "artifacts", "force"])?;
+    let name = args.require("name")?;
+    let world: World = read_json(args.require("world")?)?;
+    let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
+    let mut store = open_store(args)?;
+    let force = args.get("force") == Some("true");
+    let (w_name, a_name) = (format!("{name}.world"), format!("{name}.artifacts"));
+    let result = if force {
+        store
+            .put_overwrite(&w_name, ArtifactKind::World, &world)
+            .and_then(|_| store.put_overwrite(&a_name, ArtifactKind::OfflineArtifacts, &artifacts))
+    } else {
+        store
+            .put(&w_name, ArtifactKind::World, &world)
+            .and_then(|_| store.put(&a_name, ArtifactKind::OfflineArtifacts, &artifacts))
+    };
+    result.map_err(|e| CliError::Io(e.to_string()))?;
+    Ok(format!(
+        "archived `{name}` ({} models, {} benchmark datasets) as {w_name} + {a_name}
+",
+        world.n_models(),
+        world.n_benchmarks()
+    ))
+}
+
+/// List everything in a store.
+fn cmd_catalog(args: &ParsedArgs) -> Result<String, CliError> {
+    args.restrict(&["store"])?;
+    let store = open_store(args)?;
+    let entries = store.list();
+    if entries.is_empty() {
+        return Ok("store is empty
+".into());
+    }
+    let mut out = String::new();
+    for (name, entry) in entries {
+        let _ = writeln!(
+            out,
+            "{name:<32} {:>18?} {:>9} bytes  crc {:08x}",
+            entry.kind, entry.size, entry.checksum
+        );
+    }
+    Ok(out)
+}
+
+/// Verify every record's integrity.
+fn cmd_fsck(args: &ParsedArgs) -> Result<String, CliError> {
+    args.restrict(&["store"])?;
+    let store = open_store(args)?;
+    let bad = store.fsck();
+    if bad.is_empty() {
+        Ok(format!("{} records verified, all healthy
+", store.list().len()))
+    } else {
+        Err(CliError::Usage(format!(
+            "corrupt records: {}",
+            bad.join(", ")
+        )))
+    }
+}
+
+/// Incrementally grow the repository: synthesize a new model (optionally
+/// near an existing one), simulate its benchmark fine-tuning runs, and
+/// update both the world file and the offline artifacts in place — no
+/// global rebuild.
+fn cmd_grow(args: &ParsedArgs) -> Result<String, CliError> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tps_core::incremental::{ModelAddition, Placement};
+    use tps_zoo::ModelSpec;
+
+    args.restrict(&["world", "artifacts", "name", "like", "capability", "seed"])?;
+    let world_path = args.require("world")?;
+    let arts_path = args.require("artifacts")?;
+    let name = args.require("name")?;
+    let mut world: World = read_json(world_path)?;
+    let mut artifacts: OfflineArtifacts = read_json(arts_path)?;
+    if artifacts.matrix.n_models() != world.n_models() {
+        return Err(CliError::Usage(
+            "world and artifacts disagree on the model count; rebuild offline artifacts".into(),
+        ));
+    }
+    if world.models.iter().any(|m| m.name == name) {
+        return Err(CliError::Usage(format!("model `{name}` already exists")));
+    }
+
+    let mut rng = StdRng::seed_from_u64(args.get_parse("seed", 1u64, "integer")?);
+    let spec = match args.get("like") {
+        Some(like) => {
+            let base = world
+                .models
+                .iter()
+                .find(|m| m.name == like)
+                .ok_or_else(|| CliError::Usage(format!("no model named `{like}`")))?;
+            let capability = args.get_parse("capability", base.capability, "number")?;
+            ModelSpec::new(
+                name,
+                base.family,
+                base.domain.jitter(0.05, &mut rng),
+                capability,
+                base.upstream.clone(),
+                base.n_source_labels,
+            )
+            .with_speed(rng.gen_range(0.7..=1.3))
+        }
+        None => {
+            let capability = args.get_parse("capability", 0.6f64, "number")?;
+            ModelSpec::new(
+                name,
+                tps_zoo::Family::TextEncoder,
+                tps_zoo::DomainVec::sample(&mut rng),
+                capability,
+                "custom",
+                2,
+            )
+            .with_speed(rng.gen_range(0.7..=1.3))
+        }
+    };
+
+    // Simulate the new model's offline fine-tuning on every benchmark.
+    let curves: Vec<tps_core::curve::LearningCurve> = world
+        .benchmarks
+        .iter()
+        .map(|bench| {
+            world
+                .law
+                .run(&spec, bench, world.stages, world.hyper, world.seed)
+                .to_curve()
+        })
+        .collect();
+    let report = artifacts.add_model(
+        &ModelAddition {
+            name: name.to_string(),
+            benchmark_curves: curves,
+        },
+        &OfflineConfig::default(),
+    )?;
+    world.models.push(spec);
+    write_json(world_path, &world)?;
+    write_json(arts_path, &artifacts)?;
+
+    let placement = match report.placement {
+        Placement::Joined { cluster, similarity } => {
+            let members: Vec<&str> = artifacts
+                .clustering
+                .members(cluster)
+                .iter()
+                .filter(|&&m| m != report.model)
+                .map(|&m| artifacts.matrix.model_name(m))
+                .collect();
+            format!(
+                "joined cluster {cluster} (similarity {similarity:.3}) with {}",
+                members.join(", ")
+            )
+        }
+        Placement::NewSingleton { cluster } => format!("new singleton cluster {cluster}"),
+    };
+    Ok(format!(
+        "added `{name}` as model {} ({} benchmark runs simulated): {placement}
+",
+        report.model,
+        artifacts.matrix.n_datasets(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tps-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_line(line: &[&str]) -> Result<String, CliError> {
+        run(&ParsedArgs::parse(line.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let dir = tmpdir();
+        let world = dir.join("w.json");
+        let arts = dir.join("a.json");
+        let world_s = world.to_str().unwrap();
+        let arts_s = arts.to_str().unwrap();
+
+        let out = run_line(&["world", "--domain", "cv", "--seed", "7", "--out", world_s]).unwrap();
+        assert!(out.contains("30 models"));
+
+        let out = run_line(&["offline", "--world", world_s, "--out", arts_s]).unwrap();
+        assert!(out.contains("30 x 10"));
+
+        let out = run_line(&["inspect", "--artifacts", arts_s]).unwrap();
+        assert!(out.contains("non-singleton"));
+        assert!(out.contains("top models"));
+
+        let out = run_line(&[
+            "select", "--world", world_s, "--artifacts", arts_s, "--target", "beans",
+        ])
+        .unwrap();
+        assert!(out.contains("selected `"));
+        assert!(out.contains("test accuracy"));
+
+        let out = run_line(&[
+            "compare", "--world", world_s, "--artifacts", arts_s, "--target", "beans",
+        ])
+        .unwrap();
+        assert!(out.contains("two-phase speedup"));
+    }
+
+    #[test]
+    fn synthetic_world_generation() {
+        let dir = tmpdir();
+        let world = dir.join("syn.json");
+        let out = run_line(&[
+            "world",
+            "--domain",
+            "synthetic",
+            "--models",
+            "30",
+            "--benchmarks",
+            "12",
+            "--out",
+            world.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("12 benchmark datasets"));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(matches!(
+            run_line(&["frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_line(&["world", "--domain", "quantum", "--out", "/tmp/x.json"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_line(&["inspect", "--artifacts", "/nonexistent/a.json"]),
+            Err(CliError::Io(_))
+        ));
+        assert!(matches!(
+            run_line(&["select", "--world", "/nonexistent/w.json"]),
+            Err(CliError::Args(_)) | Err(CliError::Io(_))
+        ));
+        // Unknown target names list the available ones.
+        let dir = tmpdir();
+        let world = dir.join("w2.json");
+        let arts = dir.join("a2.json");
+        run_line(&["world", "--domain", "cv", "--out", world.to_str().unwrap()]).unwrap();
+        run_line(&[
+            "offline", "--world", world.to_str().unwrap(), "--out", arts.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = run_line(&[
+            "select",
+            "--world",
+            world.to_str().unwrap(),
+            "--artifacts",
+            arts.to_str().unwrap(),
+            "--target",
+            "nope",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("beans"));
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = run_line(&["help"]).unwrap();
+        for cmd in ["world", "offline", "inspect", "select", "compare", "grow"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn archive_catalog_fsck_workflow() {
+        let dir = tmpdir();
+        let world = dir.join("sw.json");
+        let arts = dir.join("sa.json");
+        let store = dir.join("store");
+        let (world_s, arts_s, store_s) = (
+            world.to_str().unwrap(),
+            arts.to_str().unwrap(),
+            store.to_str().unwrap(),
+        );
+        run_line(&["world", "--domain", "cv", "--out", world_s]).unwrap();
+        run_line(&["offline", "--world", world_s, "--out", arts_s]).unwrap();
+
+        let out = run_line(&[
+            "archive", "--store", store_s, "--name", "cv-v1",
+            "--world", world_s, "--artifacts", arts_s,
+        ])
+        .unwrap();
+        assert!(out.contains("archived `cv-v1`"), "{out}");
+
+        // Double-archive without --force is refused.
+        assert!(run_line(&[
+            "archive", "--store", store_s, "--name", "cv-v1",
+            "--world", world_s, "--artifacts", arts_s,
+        ])
+        .is_err());
+        // With --force it succeeds.
+        run_line(&[
+            "archive", "--store", store_s, "--name", "cv-v1",
+            "--world", world_s, "--artifacts", arts_s, "--force", "true",
+        ])
+        .unwrap();
+
+        let out = run_line(&["catalog", "--store", store_s]).unwrap();
+        assert!(out.contains("cv-v1.world"), "{out}");
+        assert!(out.contains("cv-v1.artifacts"), "{out}");
+
+        let out = run_line(&["fsck", "--store", store_s]).unwrap();
+        assert!(out.contains("all healthy"), "{out}");
+    }
+
+    #[test]
+    fn grow_adds_a_model_incrementally() {
+        let dir = tmpdir();
+        let world = dir.join("gw.json");
+        let arts = dir.join("ga.json");
+        let world_s = world.to_str().unwrap();
+        let arts_s = arts.to_str().unwrap();
+        run_line(&["world", "--domain", "cv", "--out", world_s]).unwrap();
+        run_line(&["offline", "--world", world_s, "--out", arts_s]).unwrap();
+
+        // A sibling of an existing family member joins its cluster.
+        let out = run_line(&[
+            "grow", "--world", world_s, "--artifacts", arts_s,
+            "--name", "lab/vit-clone", "--like", "google/vit-base-patch16-224",
+        ])
+        .unwrap();
+        assert!(out.contains("joined cluster"), "{out}");
+
+        // The grown repository is still fully usable.
+        let out = run_line(&["inspect", "--artifacts", arts_s]).unwrap();
+        assert!(out.contains("31 models"));
+        let out = run_line(&[
+            "select", "--world", world_s, "--artifacts", arts_s, "--target", "beans",
+        ])
+        .unwrap();
+        assert!(out.contains("selected `"));
+
+        // Duplicate names are rejected.
+        assert!(run_line(&[
+            "grow", "--world", world_s, "--artifacts", arts_s,
+            "--name", "lab/vit-clone",
+        ])
+        .is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Data-driven benchmark-dataset compaction (paper §VII future work:
+//! "make benchmark datasets more compact to maintain performance matrix
+//! more cheaply").
+//!
+//! The offline cost of the framework is dominated by filling the
+//! `|D| × |M|` performance matrix. Many benchmark datasets are redundant —
+//! they rank models the same way. This module greedily selects a subset of
+//! datasets whose induced model-similarity structure best preserves the
+//! full matrix's, measured by the Pearson correlation between the
+//! upper-triangular entries of the two similarity matrices.
+
+use crate::error::{Result, SelectionError};
+use crate::ids::DatasetId;
+use crate::matrix::PerformanceMatrix;
+use crate::similarity::SimilarityMatrix;
+
+/// Pearson correlation between the upper triangles of two equally-sized
+/// similarity matrices — 1.0 means the compact benchmark orders model pairs
+/// identically to the full one.
+pub fn similarity_preservation(full: &SimilarityMatrix, compact: &SimilarityMatrix) -> Result<f64> {
+    if full.len() != compact.len() {
+        return Err(SelectionError::DimensionMismatch {
+            what: "similarity matrices",
+            expected: full.len(),
+            got: compact.len(),
+        });
+    }
+    let n = full.len();
+    if n < 2 {
+        return Err(SelectionError::InvalidConfig(
+            "need >= 2 models to compare similarity structure".into(),
+        ));
+    }
+    let mut xs = Vec::with_capacity(n * (n - 1) / 2);
+    let mut ys = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            xs.push(full.similarity(i.into(), j.into()));
+            ys.push(compact.similarity(i.into(), j.into()));
+        }
+    }
+    Ok(pearson(&xs, &ys))
+}
+
+/// Pearson correlation; 0 when either side has zero variance.
+/// (Re-exported from [`crate::stats`]; kept here because compaction is the
+/// module's main consumer.)
+pub use crate::stats::pearson;
+
+/// Result of benchmark compaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionResult {
+    /// Selected datasets, in selection order.
+    pub selected: Vec<DatasetId>,
+    /// Preservation score after each greedy addition (same length as
+    /// `selected`); the last entry is the final score.
+    pub preservation_curve: Vec<f64>,
+}
+
+/// Greedily pick `target_size` benchmark datasets maximising similarity
+/// preservation at every step.
+///
+/// Runs in `O(target_size · |D| · |M|²)` — fine offline. Seeds with the
+/// single dataset that alone preserves structure best.
+pub fn compact_benchmarks(
+    matrix: &PerformanceMatrix,
+    similarity_top_k: usize,
+    target_size: usize,
+) -> Result<CompactionResult> {
+    if target_size == 0 || target_size > matrix.n_datasets() {
+        return Err(SelectionError::InvalidConfig(format!(
+            "target_size must be in 1..={} (got {target_size})",
+            matrix.n_datasets()
+        )));
+    }
+    let full_sim = SimilarityMatrix::from_performance(matrix, similarity_top_k)?;
+    let mut selected: Vec<DatasetId> = Vec::with_capacity(target_size);
+    let mut remaining: Vec<DatasetId> = matrix.dataset_ids().collect();
+    let mut preservation_curve = Vec::with_capacity(target_size);
+
+    while selected.len() < target_size {
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, &candidate) in remaining.iter().enumerate() {
+            let mut trial = selected.clone();
+            trial.push(candidate);
+            let sub = matrix.select_datasets(&trial)?;
+            // Top-k clamps to the (possibly tiny) subset size.
+            let sub_sim = SimilarityMatrix::from_performance(&sub, similarity_top_k)?;
+            let score = similarity_preservation(&full_sim, &sub_sim)?;
+            if best.is_none_or(|(_, b)| score > b) {
+                best = Some((pos, score));
+            }
+        }
+        let (pos, score) = best.expect("remaining is non-empty while selected < target");
+        selected.push(remaining.swap_remove(pos));
+        preservation_curve.push(score);
+    }
+    Ok(CompactionResult {
+        selected,
+        preservation_curve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 models, 6 datasets where datasets 0-2 are three copies of one
+    /// "informative" pattern and 3-5 are uninformative constants.
+    fn redundant_matrix() -> PerformanceMatrix {
+        let informative = vec![0.9, 0.7, 0.4, 0.2];
+        let constant = vec![0.5, 0.5, 0.5, 0.5];
+        PerformanceMatrix::new(
+            (0..4).map(|i| format!("m{i}")).collect(),
+            (0..6).map(|i| format!("d{i}")).collect(),
+            vec![
+                informative.clone(),
+                informative.clone(),
+                informative,
+                constant.clone(),
+                constant.clone(),
+                constant,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn compaction_prefers_informative_datasets() {
+        let m = redundant_matrix();
+        let result = compact_benchmarks(&m, 3, 1).unwrap();
+        assert!(result.selected[0].index() <= 2, "picked {:?}", result.selected);
+        assert!(result.preservation_curve[0] > 0.9);
+    }
+
+    #[test]
+    fn preservation_curve_reaches_one_on_full_set() {
+        let m = redundant_matrix();
+        let result = compact_benchmarks(&m, 3, 6).unwrap();
+        assert_eq!(result.selected.len(), 6);
+        let last = *result.preservation_curve.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-9, "got {last}");
+    }
+
+    #[test]
+    fn validates_target_size() {
+        let m = redundant_matrix();
+        assert!(compact_benchmarks(&m, 3, 0).is_err());
+        assert!(compact_benchmarks(&m, 3, 7).is_err());
+    }
+
+    #[test]
+    fn preservation_validates_dimensions() {
+        let m = redundant_matrix();
+        let s4 = SimilarityMatrix::from_performance(&m, 3).unwrap();
+        let m2 = PerformanceMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec!["d".into()],
+            vec![vec![0.5, 0.6]],
+        )
+        .unwrap();
+        let s2 = SimilarityMatrix::from_performance(&m2, 1).unwrap();
+        assert!(similarity_preservation(&s4, &s2).is_err());
+    }
+}

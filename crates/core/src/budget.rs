@@ -1,0 +1,136 @@
+//! Epoch-equivalent accounting (paper §V-C/D).
+//!
+//! The paper reports "runtime" as the **total number of fine-tuning epochs**
+//! across all models, since per-epoch wall time is constant given fixed
+//! training settings and hardware; proxy-score inference is charged at half
+//! an epoch per scored model (no backward pass). [`EpochLedger`] mirrors
+//! that accounting so Table V/VI speedups are computed identically.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Running tally of epoch-equivalents spent by a selection run.
+///
+/// ```
+/// use tps_core::budget::EpochLedger;
+/// let mut ledger = EpochLedger::new();
+/// ledger.charge_training(14.0); // fine-selection epochs
+/// ledger.charge_proxy(5.0);     // 10 cluster representatives at 0.5 each
+/// assert_eq!(ledger.total(), 19.0);
+///
+/// let mut brute_force = EpochLedger::new();
+/// brute_force.charge_training(200.0);
+/// assert!((ledger.speedup_vs(&brute_force) - 10.526).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpochLedger {
+    train_epochs: f64,
+    proxy_epochs: f64,
+}
+
+impl EpochLedger {
+    /// A fresh, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge fine-tuning epochs.
+    pub fn charge_training(&mut self, epochs: f64) {
+        debug_assert!(epochs >= 0.0);
+        self.train_epochs += epochs;
+    }
+
+    /// Charge proxy-score inference epochs (0.5 per scored model in the
+    /// paper's accounting).
+    pub fn charge_proxy(&mut self, epochs: f64) {
+        debug_assert!(epochs >= 0.0);
+        self.proxy_epochs += epochs;
+    }
+
+    /// Epochs spent on fine-tuning.
+    pub fn train_epochs(&self) -> f64 {
+        self.train_epochs
+    }
+
+    /// Epochs spent on proxy inference.
+    pub fn proxy_epochs(&self) -> f64 {
+        self.proxy_epochs
+    }
+
+    /// Total epoch-equivalents.
+    pub fn total(&self) -> f64 {
+        self.train_epochs + self.proxy_epochs
+    }
+
+    /// Fold another ledger into this one.
+    pub fn merge(&mut self, other: &EpochLedger) {
+        self.train_epochs += other.train_epochs;
+        self.proxy_epochs += other.proxy_epochs;
+    }
+
+    /// Speedup of this ledger relative to a baseline ledger
+    /// (`baseline.total() / self.total()`), e.g. "vs. BF" in Table V.
+    pub fn speedup_vs(&self, baseline: &EpochLedger) -> f64 {
+        if self.total() == 0.0 {
+            f64::INFINITY
+        } else {
+            baseline.total() / self.total()
+        }
+    }
+}
+
+impl fmt::Display for EpochLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} epochs ({:.1} train + {:.1} proxy)",
+            self.total(),
+            self.train_epochs,
+            self.proxy_epochs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut l = EpochLedger::new();
+        l.charge_training(10.0);
+        l.charge_training(5.0);
+        l.charge_proxy(0.5);
+        assert_eq!(l.train_epochs(), 15.0);
+        assert_eq!(l.proxy_epochs(), 0.5);
+        assert_eq!(l.total(), 15.5);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = EpochLedger::new();
+        a.charge_training(2.0);
+        let mut b = EpochLedger::new();
+        b.charge_proxy(1.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 3.0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let mut fast = EpochLedger::new();
+        fast.charge_training(10.0);
+        let mut slow = EpochLedger::new();
+        slow.charge_training(50.0);
+        assert_eq!(fast.speedup_vs(&slow), 5.0);
+        assert_eq!(EpochLedger::new().speedup_vs(&slow), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut l = EpochLedger::new();
+        l.charge_training(19.0);
+        l.charge_proxy(2.5);
+        assert_eq!(l.to_string(), "21.5 epochs (19.0 train + 2.5 proxy)");
+    }
+}

@@ -1,0 +1,213 @@
+//! DBSCAN over a precomputed distance matrix.
+//!
+//! The paper notes model clustering "could be conducted by any clustering
+//! algorithm" (§III-A). DBSCAN fits the repository's actual structure
+//! unusually well: dense *families* of models fine-tuned from the same
+//! upstream data become clusters, and the isolated oddballs the paper calls
+//! singleton clusters are exactly DBSCAN's *noise* points — no cluster
+//! count or cut threshold has to be guessed, only a density radius.
+
+use super::Clustering;
+use crate::error::{Result, SelectionError};
+
+/// Configuration for [`dbscan`].
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanConfig {
+    /// Neighbourhood radius `ε` in distance units (for Eq. 1 distances,
+    /// commensurate with the hierarchical cut threshold).
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a point
+    /// to be a core point. `2` makes every mutually-close pair a cluster,
+    /// matching the paper's `|C| > 1` notion of non-singleton.
+    pub min_points: usize,
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        Self {
+            eps: 0.05,
+            min_points: 2,
+        }
+    }
+}
+
+/// Run DBSCAN on a row-major `n × n` distance matrix. Noise points each
+/// become their own singleton cluster in the returned [`Clustering`] (the
+/// framework treats singletons specially anyway — Eq. 4).
+pub fn dbscan(distances: &[f64], n: usize, config: &DbscanConfig) -> Result<Clustering> {
+    if n == 0 {
+        return Err(SelectionError::Empty("points"));
+    }
+    if distances.len() != n * n {
+        return Err(SelectionError::DimensionMismatch {
+            what: "distance matrix",
+            expected: n * n,
+            got: distances.len(),
+        });
+    }
+    if config.eps <= 0.0 || !config.eps.is_finite() {
+        return Err(SelectionError::InvalidValue {
+            what: "dbscan eps",
+            value: config.eps,
+        });
+    }
+    if config.min_points == 0 {
+        return Err(SelectionError::InvalidConfig(
+            "min_points must be >= 1".into(),
+        ));
+    }
+
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut labels = vec![UNVISITED; n];
+    let neighbours = |p: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&q| distances[p * n + q] <= config.eps)
+            .collect()
+    };
+
+    let mut next_cluster = 0usize;
+    for p in 0..n {
+        if labels[p] != UNVISITED {
+            continue;
+        }
+        let nbrs = neighbours(p);
+        if nbrs.len() < config.min_points {
+            labels[p] = NOISE;
+            continue;
+        }
+        // Expand a new cluster from this core point.
+        let cluster = next_cluster;
+        next_cluster += 1;
+        labels[p] = cluster;
+        let mut frontier = nbrs;
+        while let Some(q) = frontier.pop() {
+            if labels[q] == NOISE {
+                labels[q] = cluster; // border point
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cluster;
+            let qn = neighbours(q);
+            if qn.len() >= config.min_points {
+                frontier.extend(qn);
+            }
+        }
+    }
+    // Noise points become singleton clusters with fresh labels.
+    for label in &mut labels {
+        if *label == NOISE {
+            *label = next_cluster;
+            next_cluster += 1;
+        }
+    }
+    Clustering::new(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ModelId;
+
+    fn dist_from_points(xs: &[f64]) -> Vec<f64> {
+        let n = xs.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn finds_families_and_noise() {
+        // Two dense families and one isolated point.
+        let xs: [f64; 7] = [0.0, 0.01, 0.02, 1.0, 1.01, 1.02, 5.0];
+        let d = dist_from_points(&xs);
+        let c = dbscan(&d, 7, &DbscanConfig { eps: 0.05, min_points: 2 }).unwrap();
+        assert_eq!(c.n_clusters(), 3);
+        assert_eq!(c.cluster_of(ModelId(0)), c.cluster_of(ModelId(2)));
+        assert_eq!(c.cluster_of(ModelId(3)), c.cluster_of(ModelId(5)));
+        assert_ne!(c.cluster_of(ModelId(0)), c.cluster_of(ModelId(3)));
+        // The oddball is a singleton.
+        assert_eq!(c.cluster_size(c.cluster_of(ModelId(6))), 1);
+        assert_eq!(c.non_singleton_clusters().len(), 2);
+    }
+
+    #[test]
+    fn chains_grow_through_core_points() {
+        // A chain of points each within eps of the next: one cluster.
+        let xs: [f64; 5] = [0.0, 0.04, 0.08, 0.12, 0.16];
+        let d = dist_from_points(&xs);
+        let c = dbscan(&d, 5, &DbscanConfig { eps: 0.05, min_points: 2 }).unwrap();
+        assert_eq!(c.n_clusters(), 1);
+    }
+
+    #[test]
+    fn min_points_controls_density() {
+        // A pair is a cluster at min_points 2 but noise at min_points 3.
+        let xs: [f64; 3] = [0.0, 0.02, 9.0];
+        let d = dist_from_points(&xs);
+        let pair = dbscan(&d, 3, &DbscanConfig { eps: 0.05, min_points: 2 }).unwrap();
+        assert_eq!(pair.non_singleton_clusters().len(), 1);
+        let strict = dbscan(&d, 3, &DbscanConfig { eps: 0.05, min_points: 3 }).unwrap();
+        assert_eq!(strict.non_singleton_clusters().len(), 0);
+        assert_eq!(strict.n_clusters(), 3);
+    }
+
+    #[test]
+    fn all_noise_when_eps_tiny() {
+        let xs: [f64; 4] = [0.0, 1.0, 2.0, 3.0];
+        let d = dist_from_points(&xs);
+        let c = dbscan(&d, 4, &DbscanConfig { eps: 1e-6, min_points: 2 }).unwrap();
+        assert_eq!(c.n_clusters(), 4);
+    }
+
+    #[test]
+    fn single_cluster_when_eps_huge() {
+        let xs: [f64; 4] = [0.0, 1.0, 2.0, 3.0];
+        let d = dist_from_points(&xs);
+        let c = dbscan(&d, 4, &DbscanConfig { eps: 10.0, min_points: 2 }).unwrap();
+        assert_eq!(c.n_clusters(), 1);
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(dbscan(&[], 0, &DbscanConfig::default()).is_err());
+        assert!(dbscan(&[0.0, 1.0], 2, &DbscanConfig::default()).is_err());
+        assert!(dbscan(&[0.0], 1, &DbscanConfig { eps: 0.0, min_points: 2 }).is_err());
+        assert!(dbscan(&[0.0], 1, &DbscanConfig { eps: f64::NAN, min_points: 2 }).is_err());
+        assert!(dbscan(&[0.0], 1, &DbscanConfig { eps: 0.1, min_points: 0 }).is_err());
+    }
+
+    #[test]
+    fn recovers_family_structure_from_a_performance_matrix() {
+        // Two families with tight performance vectors plus an oddball,
+        // through the Eq. 1 similarity -> distance path.
+        use crate::matrix::PerformanceMatrix;
+        use crate::similarity::SimilarityMatrix;
+        let matrix = PerformanceMatrix::new(
+            (0..5).map(|i| format!("m{i}")).collect(),
+            (0..3).map(|i| format!("d{i}")).collect(),
+            vec![
+                vec![0.90, 0.89, 0.40, 0.41, 0.65],
+                vec![0.80, 0.81, 0.30, 0.31, 0.20],
+                vec![0.70, 0.71, 0.50, 0.49, 0.95],
+            ],
+        )
+        .unwrap();
+        let sim = SimilarityMatrix::from_performance(&matrix, 2).unwrap();
+        let c = dbscan(
+            &sim.distance_matrix(),
+            matrix.n_models(),
+            &DbscanConfig { eps: 0.05, min_points: 2 },
+        )
+        .unwrap();
+        assert_eq!(c.non_singleton_clusters().len(), 2);
+        assert_eq!(c.cluster_of(ModelId(0)), c.cluster_of(ModelId(1)));
+        assert_eq!(c.cluster_of(ModelId(2)), c.cluster_of(ModelId(3)));
+        assert_eq!(c.cluster_size(c.cluster_of(ModelId(4))), 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Agglomerative hierarchical clustering — the paper's preferred algorithm
+//! (Table I shows it beats k-means on performance-based similarity).
+//!
+//! The implementation is classic bottom-up agglomeration over a precomputed
+//! distance matrix with a pluggable linkage. Clusters can be extracted
+//! either by target count (`cut_k`) or by a distance threshold
+//! (`cut_distance`); the latter is what naturally yields the paper's mixture
+//! of non-singleton and singleton clusters.
+
+use super::Clustering;
+use crate::error::{Result, SelectionError};
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion: how the distance between two merged clusters is
+/// defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Unweighted average of pairwise distances (UPGMA) — the default and
+    /// the variant used in the experiments.
+    Average,
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+}
+
+/// One merge step of the dendrogram: clusters `a` and `b` (node indices)
+/// merged at `distance` into node `n_leaves + step`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged node (leaf `< n_leaves`, internal otherwise).
+    pub a: usize,
+    /// Second merged node.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+}
+
+/// The full merge tree produced by agglomeration over `n` leaves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of original points.
+    #[inline]
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Merge steps in execution order (non-decreasing distance for average
+    /// linkage on a metric input; not guaranteed for arbitrary inputs).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cut the dendrogram into exactly `k` clusters by undoing the last
+    /// `k − 1` merges.
+    pub fn cut_k(&self, k: usize) -> Result<Clustering> {
+        if k == 0 || k > self.n_leaves {
+            return Err(SelectionError::TooManyClusters {
+                points: self.n_leaves,
+                clusters: k,
+            });
+        }
+        self.cut_after(self.n_leaves - k)
+    }
+
+    /// Cut at a distance threshold: apply every merge whose distance is
+    /// `<= threshold`.
+    pub fn cut_distance(&self, threshold: f64) -> Result<Clustering> {
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= threshold)
+            .count();
+        self.cut_after(applied)
+    }
+
+    fn cut_after(&self, n_merges: usize) -> Result<Clustering> {
+        let mut parent: Vec<usize> = (0..self.n_leaves + n_merges).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, m) in self.merges.iter().take(n_merges).enumerate() {
+            let node = self.n_leaves + step;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = node;
+            parent[rb] = node;
+        }
+        let mut assignments = Vec::with_capacity(self.n_leaves);
+        for leaf in 0..self.n_leaves {
+            assignments.push(find(&mut parent, leaf));
+        }
+        // Clustering::new compacts the arbitrary root labels.
+        Clustering::new(assignments)
+    }
+}
+
+/// Run agglomerative clustering over a row-major `n × n` distance matrix.
+///
+/// Complexity is `O(n³)` worst-case, which is immaterial at model-repository
+/// scale (tens to low thousands of models; see the `clustering` bench).
+pub fn agglomerate(distances: &[f64], n: usize, linkage: Linkage) -> Result<Dendrogram> {
+    if n == 0 {
+        return Err(SelectionError::Empty("points"));
+    }
+    if distances.len() != n * n {
+        return Err(SelectionError::DimensionMismatch {
+            what: "distance matrix",
+            expected: n * n,
+            got: distances.len(),
+        });
+    }
+    for (i, &d) in distances.iter().enumerate() {
+        if !d.is_finite() || d < 0.0 {
+            return Err(SelectionError::InvalidValue {
+                what: "distance",
+                value: distances[i],
+            });
+        }
+    }
+
+    // active[i] = Some(node index, member count); cluster distances kept in a
+    // working matrix updated with the Lance-Williams formula for each linkage.
+    let mut work: Vec<f64> = distances.to_vec();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut node_of: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<usize> = vec![1; n];
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+    for step in 0..n.saturating_sub(1) {
+        // Find the closest active pair.
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                let d = work[i * n + j];
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, dist) = best;
+        debug_assert!(i != usize::MAX, "there are always >= 2 active clusters");
+
+        merges.push(Merge {
+            a: node_of[i],
+            b: node_of[j],
+            distance: dist,
+        });
+
+        // Merge j into i; i now represents the new node.
+        let (si, sj) = (sizes[i] as f64, sizes[j] as f64);
+        for m in 0..n {
+            if !active[m] || m == i || m == j {
+                continue;
+            }
+            let dim = work[i * n + m];
+            let djm = work[j * n + m];
+            let new_d = match linkage {
+                Linkage::Average => (si * dim + sj * djm) / (si + sj),
+                Linkage::Single => dim.min(djm),
+                Linkage::Complete => dim.max(djm),
+            };
+            work[i * n + m] = new_d;
+            work[m * n + i] = new_d;
+        }
+        active[j] = false;
+        sizes[i] += sizes[j];
+        node_of[i] = n + step;
+    }
+
+    Ok(Dendrogram {
+        n_leaves: n,
+        merges,
+    })
+}
+
+/// Convenience: agglomerate and cut to `k` clusters in one call.
+///
+/// ```
+/// use tps_core::cluster::hierarchical::{hierarchical_k, Linkage};
+/// use tps_core::ids::ModelId;
+///
+/// // Distances for two tight pairs far from each other.
+/// let d = vec![
+///     0.0, 0.1, 1.0, 1.1,
+///     0.1, 0.0, 0.9, 1.0,
+///     1.0, 0.9, 0.0, 0.1,
+///     1.1, 1.0, 0.1, 0.0,
+/// ];
+/// let clustering = hierarchical_k(&d, 4, 2, Linkage::Average)?;
+/// assert_eq!(clustering.cluster_of(ModelId(0)), clustering.cluster_of(ModelId(1)));
+/// assert_ne!(clustering.cluster_of(ModelId(0)), clustering.cluster_of(ModelId(2)));
+/// # Ok::<(), tps_core::error::SelectionError>(())
+/// ```
+pub fn hierarchical_k(
+    distances: &[f64],
+    n: usize,
+    k: usize,
+    linkage: Linkage,
+) -> Result<Clustering> {
+    agglomerate(distances, n, linkage)?.cut_k(k)
+}
+
+/// Convenience: agglomerate and cut at a distance threshold.
+pub fn hierarchical_threshold(
+    distances: &[f64],
+    n: usize,
+    threshold: f64,
+    linkage: Linkage,
+) -> Result<Clustering> {
+    agglomerate(distances, n, linkage)?.cut_distance(threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance matrix for points on a line at 0, 1, 10, 11.
+    fn line_points() -> (Vec<f64>, usize) {
+        let xs: [f64; 4] = [0.0, 1.0, 10.0, 11.0];
+        let n = xs.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        (d, n)
+    }
+
+    #[test]
+    fn merges_nearest_first() {
+        let (d, n) = line_points();
+        let dend = agglomerate(&d, n, Linkage::Average).unwrap();
+        assert_eq!(dend.merges().len(), 3);
+        // First two merges are the two tight pairs at distance 1.
+        assert_eq!(dend.merges()[0].distance, 1.0);
+        assert_eq!(dend.merges()[1].distance, 1.0);
+        assert!(dend.merges()[2].distance > 5.0);
+    }
+
+    #[test]
+    fn cut_k_two_clusters() {
+        let (d, n) = line_points();
+        let c = hierarchical_k(&d, n, 2, Linkage::Average).unwrap();
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.cluster_of(crate::ids::ModelId(0)), c.cluster_of(crate::ids::ModelId(1)));
+        assert_eq!(c.cluster_of(crate::ids::ModelId(2)), c.cluster_of(crate::ids::ModelId(3)));
+        assert_ne!(c.cluster_of(crate::ids::ModelId(0)), c.cluster_of(crate::ids::ModelId(2)));
+    }
+
+    #[test]
+    fn cut_k_extremes() {
+        let (d, n) = line_points();
+        let dend = agglomerate(&d, n, Linkage::Average).unwrap();
+        let all = dend.cut_k(1).unwrap();
+        assert_eq!(all.n_clusters(), 1);
+        let singletons = dend.cut_k(n).unwrap();
+        assert_eq!(singletons.n_clusters(), n);
+        assert!(dend.cut_k(0).is_err());
+        assert!(dend.cut_k(n + 1).is_err());
+    }
+
+    #[test]
+    fn cut_distance_threshold() {
+        let (d, n) = line_points();
+        let dend = agglomerate(&d, n, Linkage::Average).unwrap();
+        let c = dend.cut_distance(2.0).unwrap();
+        assert_eq!(c.n_clusters(), 2);
+        let c = dend.cut_distance(0.5).unwrap();
+        assert_eq!(c.n_clusters(), 4);
+        let c = dend.cut_distance(100.0).unwrap();
+        assert_eq!(c.n_clusters(), 1);
+    }
+
+    #[test]
+    fn single_point() {
+        let dend = agglomerate(&[0.0], 1, Linkage::Average).unwrap();
+        assert_eq!(dend.merges().len(), 0);
+        assert_eq!(dend.cut_k(1).unwrap().n_clusters(), 1);
+    }
+
+    #[test]
+    fn linkage_variants_agree_on_well_separated_blobs() {
+        let (d, n) = line_points();
+        for linkage in [Linkage::Average, Linkage::Single, Linkage::Complete] {
+            let c = hierarchical_k(&d, n, 2, linkage).unwrap();
+            assert_eq!(c.n_clusters(), 2, "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_matrix() {
+        assert!(agglomerate(&[0.0, 1.0], 2, Linkage::Average).is_err());
+        assert!(agglomerate(&[], 0, Linkage::Average).is_err());
+        assert!(agglomerate(&[0.0, -1.0, -1.0, 0.0], 2, Linkage::Average).is_err());
+        assert!(agglomerate(&[0.0, f64::NAN, f64::NAN, 0.0], 2, Linkage::Average).is_err());
+    }
+
+    #[test]
+    fn average_linkage_uses_weighted_mean() {
+        // Three points: 0, 1, 5. After merging {0,1}, distance to {5} under
+        // UPGMA is (5 + 4) / 2 = 4.5.
+        let xs: [f64; 3] = [0.0, 1.0, 5.0];
+        let n = 3;
+        let mut d = vec![0.0; 9];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        let dend = agglomerate(&d, n, Linkage::Average).unwrap();
+        assert!((dend.merges()[1].distance - 4.5).abs() < 1e-12);
+    }
+}

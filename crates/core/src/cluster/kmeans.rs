@@ -1,0 +1,290 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Operates on the model performance vectors (rows of the transposed
+//! performance matrix) or on any other embedding (e.g. the text embeddings
+//! used by Table I's text-based similarity).
+
+use super::Clustering;
+use crate::error::{Result, SelectionError};
+use rand::Rng;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations before declaring convergence.
+    pub max_iter: usize,
+    /// Number of independent restarts; the run with the lowest inertia wins.
+    pub n_restarts: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            max_iter: 100,
+            n_restarts: 8,
+        }
+    }
+}
+
+/// Run k-means over `points` (each an equal-length vector), returning the
+/// best-of-restarts [`Clustering`].
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    config: &KMeansConfig,
+    rng: &mut R,
+) -> Result<Clustering> {
+    validate(points, config.k)?;
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for _ in 0..config.n_restarts.max(1) {
+        let (inertia, assign) = kmeans_once(points, config, rng);
+        if best.as_ref().is_none_or(|(bi, _)| inertia < *bi) {
+            best = Some((inertia, assign));
+        }
+    }
+    Clustering::new(best.expect("at least one restart ran").1)
+}
+
+fn validate(points: &[Vec<f64>], k: usize) -> Result<()> {
+    if points.is_empty() {
+        return Err(SelectionError::Empty("points"));
+    }
+    if k == 0 || k > points.len() {
+        return Err(SelectionError::TooManyClusters {
+            points: points.len(),
+            clusters: k,
+        });
+    }
+    let dim = points[0].len();
+    if dim == 0 {
+        return Err(SelectionError::Empty("point dimensions"));
+    }
+    for p in points {
+        if p.len() != dim {
+            return Err(SelectionError::DimensionMismatch {
+                what: "point",
+                expected: dim,
+                got: p.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn kmeans_once<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    config: &KMeansConfig,
+    rng: &mut R,
+) -> (f64, Vec<usize>) {
+    let k = config.k;
+    let mut centroids = plus_plus_init(points, k, rng);
+    let mut assign = vec![0usize; points.len()];
+    for _ in 0..config.max_iter {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let nearest = nearest_centroid(p, &centroids);
+            if assign[i] != nearest {
+                assign[i] = nearest;
+                changed = true;
+            }
+        }
+        recompute_centroids(points, &assign, &mut centroids, rng);
+        if !changed {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sq_dist(p, &centroids[assign[i]]))
+        .sum();
+    (inertia, assign)
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent centroids sampled
+/// proportionally to squared distance from the nearest chosen centroid.
+fn plus_plus_init<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with chosen centroids; fall back to uniform.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().expect("just pushed"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(p, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+fn recompute_centroids<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    assign: &[usize],
+    centroids: &mut [Vec<f64>],
+    rng: &mut R,
+) {
+    let dim = points[0].len();
+    let k = centroids.len();
+    let mut counts = vec![0usize; k];
+    for c in centroids.iter_mut() {
+        c.iter_mut().for_each(|x| *x = 0.0);
+    }
+    for (i, p) in points.iter().enumerate() {
+        counts[assign[i]] += 1;
+        for (acc, &x) in centroids[assign[i]].iter_mut().zip(p) {
+            *acc += x;
+        }
+    }
+    for (c, centroid) in centroids.iter_mut().enumerate() {
+        if counts[c] == 0 {
+            // Re-seed an empty cluster at a random point to keep k clusters.
+            let p = &points[rng.gen_range(0..points.len())];
+            centroid.copy_from_slice(p);
+        } else {
+            for x in centroid.iter_mut().take(dim) {
+                *x /= counts[c] as f64;
+            }
+        }
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+        }
+        for i in 0..10 {
+            pts.push(vec![5.0 + 0.01 * i as f64, 5.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(c.n_clusters(), 2);
+        let first = c.assignments()[0];
+        assert!(c.assignments()[..10].iter().all(|&a| a == first));
+        assert!(c.assignments()[10..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let pts: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64 * 10.0]).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 4,
+                n_restarts: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(c.n_clusters(), 4);
+        assert!((0..4).all(|cl| c.cluster_size(cl) == 1));
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(kmeans(&pts, &KMeansConfig { k: 0, ..Default::default() }, &mut rng).is_err());
+        assert!(kmeans(&pts, &KMeansConfig { k: 3, ..Default::default() }, &mut rng).is_err());
+        assert!(kmeans(&[], &KMeansConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_points() {
+        let pts = vec![vec![1.0, 2.0], vec![1.0]];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(kmeans(&pts, &KMeansConfig { k: 1, ..Default::default() }, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let a = kmeans(&pts, &cfg, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = kmeans(&pts, &cfg, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_points_still_produce_k_clusters() {
+        let pts = vec![vec![1.0, 1.0]; 5];
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                n_restarts: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(c.n_models(), 5);
+    }
+}

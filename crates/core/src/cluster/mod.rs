@@ -1,0 +1,192 @@
+//! Model clustering (paper §III-A).
+//!
+//! Models with similar performance vectors on the benchmark datasets are
+//! grouped so that the coarse-recall phase computes a proxy score only once
+//! per cluster (for its *representative* model) instead of once per model,
+//! cutting online cost from `O(|M|)` to `O(|MC|)`.
+//!
+//! Two algorithms are provided, matching the paper's Table I comparison:
+//! average-linkage [`hierarchical`] agglomerative clustering (the paper's
+//! choice) and [`kmeans`]. Cluster quality is measured with the
+//! [`silhouette`] coefficient.
+
+pub mod dbscan;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod silhouette;
+
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::matrix::PerformanceMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A partition of the model repository into clusters.
+///
+/// `assignments[m] = c` maps every model index to a cluster index in
+/// `0..n_clusters`. Cluster indices are always compact (every index in the
+/// range is inhabited).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    assignments: Vec<usize>,
+    n_clusters: usize,
+}
+
+impl Clustering {
+    /// Build from raw assignments; re-labels clusters to a compact range.
+    pub fn new(assignments: Vec<usize>) -> Result<Self> {
+        if assignments.is_empty() {
+            return Err(SelectionError::Empty("cluster assignments"));
+        }
+        let mut remap: Vec<Option<usize>> = Vec::new();
+        let mut compact = Vec::with_capacity(assignments.len());
+        for &a in &assignments {
+            if a >= remap.len() {
+                remap.resize(a + 1, None);
+            }
+            let next = remap.iter().flatten().count();
+            let label = *remap[a].get_or_insert(next);
+            compact.push(label);
+        }
+        let n_clusters = remap.iter().flatten().count();
+        Ok(Self {
+            assignments: compact,
+            n_clusters,
+        })
+    }
+
+    /// Number of models in the partition.
+    #[inline]
+    pub fn n_models(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of clusters.
+    #[inline]
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Cluster index of a model — `c(m_j)` in the paper.
+    #[inline]
+    pub fn cluster_of(&self, m: ModelId) -> usize {
+        self.assignments[m.index()]
+    }
+
+    /// Raw assignment slice.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Models belonging to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<ModelId> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| ModelId::from(i))
+            .collect()
+    }
+
+    /// Size of cluster `c` — `|C_c|`.
+    pub fn cluster_size(&self, c: usize) -> usize {
+        self.assignments.iter().filter(|&&a| a == c).count()
+    }
+
+    /// Indices of non-singleton clusters (`|C_i| > 1`) — the only clusters
+    /// whose representatives get an online proxy-score computation (Eq. 3).
+    pub fn non_singleton_clusters(&self) -> Vec<usize> {
+        (0..self.n_clusters)
+            .filter(|&c| self.cluster_size(c) > 1)
+            .collect()
+    }
+
+    /// Indices of singleton clusters (`|C_i| = 1`), whose members receive a
+    /// propagated proxy score (Eq. 4).
+    pub fn singleton_clusters(&self) -> Vec<usize> {
+        (0..self.n_clusters)
+            .filter(|&c| self.cluster_size(c) == 1)
+            .collect()
+    }
+
+    /// Whether a model sits in a non-singleton cluster.
+    pub fn in_non_singleton(&self, m: ModelId) -> bool {
+        self.cluster_size(self.cluster_of(m)) > 1
+    }
+
+    /// The representative model `m(C_c)` of each cluster: the member with
+    /// the **maximum average accuracy on the benchmark datasets** (§III-A).
+    /// Returned indexed by cluster.
+    pub fn representatives(&self, matrix: &PerformanceMatrix) -> Result<Vec<ModelId>> {
+        if matrix.n_models() != self.n_models() {
+            return Err(SelectionError::DimensionMismatch {
+                what: "clustering vs matrix models",
+                expected: matrix.n_models(),
+                got: self.n_models(),
+            });
+        }
+        let mut reps = Vec::with_capacity(self.n_clusters);
+        for c in 0..self.n_clusters {
+            let rep = self
+                .members(c)
+                .into_iter()
+                .max_by(|&a, &b| matrix.avg_accuracy(a).total_cmp(&matrix.avg_accuracy(b)))
+                .expect("compact clustering has no empty clusters");
+            reps.push(rep);
+        }
+        Ok(reps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compacts_labels() {
+        let c = Clustering::new(vec![5, 5, 9, 2]).unwrap();
+        assert_eq!(c.n_clusters(), 3);
+        assert_eq!(c.assignments(), &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let c = Clustering::new(vec![0, 0, 1, 2, 1]).unwrap();
+        assert_eq!(c.members(1), vec![ModelId(2), ModelId(4)]);
+        assert_eq!(c.cluster_size(0), 2);
+        assert_eq!(c.non_singleton_clusters(), vec![0, 1]);
+        assert_eq!(c.singleton_clusters(), vec![2]);
+        assert!(c.in_non_singleton(ModelId(0)));
+        assert!(!c.in_non_singleton(ModelId(3)));
+        assert_eq!(c.cluster_of(ModelId(4)), 1);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Clustering::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn representative_is_highest_avg_accuracy_member() {
+        let m = PerformanceMatrix::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["d0".into(), "d1".into()],
+            vec![vec![0.9, 0.5, 0.6], vec![0.8, 0.6, 0.7]],
+        )
+        .unwrap();
+        let c = Clustering::new(vec![0, 0, 1]).unwrap();
+        let reps = c.representatives(&m).unwrap();
+        assert_eq!(reps, vec![ModelId(0), ModelId(2)]);
+    }
+
+    #[test]
+    fn representative_dimension_check() {
+        let m = PerformanceMatrix::new(
+            vec!["a".into()],
+            vec!["d0".into()],
+            vec![vec![0.9]],
+        )
+        .unwrap();
+        let c = Clustering::new(vec![0, 1]).unwrap();
+        assert!(c.representatives(&m).is_err());
+    }
+}

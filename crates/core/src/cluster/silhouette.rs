@@ -1,0 +1,140 @@
+//! Silhouette coefficient (Rousseeuw 1987) — the clustering quality metric
+//! used throughout the paper's evaluation (Tables I, X; Fig. 6).
+//!
+//! For each point `i` in a cluster of size > 1:
+//! `a(i)` = mean distance to other members of its cluster,
+//! `b(i)` = minimum over other clusters of the mean distance to that
+//! cluster's members, and `s(i) = (b − a) / max(a, b)`. Points in singleton
+//! clusters score 0 by convention (scikit-learn's convention as well), and
+//! the coefficient is the mean of `s(i)` over all points.
+
+use super::Clustering;
+use crate::error::{Result, SelectionError};
+
+/// Mean silhouette over all points, from a row-major `n × n` distance
+/// matrix. Requires at least 2 clusters and 2 points.
+pub fn silhouette(distances: &[f64], n: usize, clustering: &Clustering) -> Result<f64> {
+    if clustering.n_models() != n {
+        return Err(SelectionError::DimensionMismatch {
+            what: "clustering vs distance points",
+            expected: n,
+            got: clustering.n_models(),
+        });
+    }
+    if distances.len() != n * n {
+        return Err(SelectionError::DimensionMismatch {
+            what: "distance matrix",
+            expected: n * n,
+            got: distances.len(),
+        });
+    }
+    if n < 2 || clustering.n_clusters() < 2 {
+        return Err(SelectionError::InvalidConfig(
+            "silhouette needs >= 2 points and >= 2 clusters".into(),
+        ));
+    }
+
+    let k = clustering.n_clusters();
+    let assign = clustering.assignments();
+    let mut cluster_sizes = vec![0usize; k];
+    for &a in assign {
+        cluster_sizes[a] += 1;
+    }
+
+    let mut total = 0.0;
+    // Reused per-point scratch: summed distance to every cluster.
+    let mut sums = vec![0.0f64; k];
+    for i in 0..n {
+        let ci = assign[i];
+        if cluster_sizes[ci] == 1 {
+            // Singleton: s(i) = 0.
+            continue;
+        }
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        for j in 0..n {
+            if j != i {
+                sums[assign[j]] += distances[i * n + j];
+            }
+        }
+        let a = sums[ci] / (cluster_sizes[ci] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != ci && cluster_sizes[c] > 0)
+            .map(|c| sums[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Ok(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist_from_points(xs: &[f64]) -> Vec<f64> {
+        let n = xs.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn perfect_separation_scores_high() {
+        let xs = [0.0, 0.1, 10.0, 10.1];
+        let d = dist_from_points(&xs);
+        let c = Clustering::new(vec![0, 0, 1, 1]).unwrap();
+        let s = silhouette(&d, 4, &c).unwrap();
+        assert!(s > 0.95, "got {s}");
+    }
+
+    #[test]
+    fn bad_partition_scores_low() {
+        let xs = [0.0, 0.1, 10.0, 10.1];
+        let d = dist_from_points(&xs);
+        // Pair each near point with a far point: worst possible split.
+        let c = Clustering::new(vec![0, 1, 0, 1]).unwrap();
+        let s = silhouette(&d, 4, &c).unwrap();
+        assert!(s < 0.0, "got {s}");
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let d = dist_from_points(&xs);
+        let c = Clustering::new(vec![0, 0, 1, 1, 2, 2]).unwrap();
+        let s = silhouette(&d, 6, &c).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        let xs = [0.0, 0.1, 50.0];
+        let d = dist_from_points(&xs);
+        let c = Clustering::new(vec![0, 0, 1]).unwrap();
+        let s = silhouette(&d, 3, &c).unwrap();
+        // The two clustered points score near 1; singleton adds 0; mean ≈ 2/3.
+        assert!(s > 0.6 && s < 0.7, "got {s}");
+    }
+
+    #[test]
+    fn rejects_single_cluster() {
+        let d = dist_from_points(&[0.0, 1.0]);
+        let c = Clustering::new(vec![0, 0]).unwrap();
+        assert!(silhouette(&d, 2, &c).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let d = dist_from_points(&[0.0, 1.0]);
+        let c = Clustering::new(vec![0, 1, 0]).unwrap();
+        assert!(silhouette(&d, 2, &c).is_err());
+        let c2 = Clustering::new(vec![0, 1]).unwrap();
+        assert!(silhouette(&d[..2], 2, &c2).is_err());
+    }
+}

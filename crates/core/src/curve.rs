@@ -1,0 +1,205 @@
+//! Learning curves: per-stage validation accuracy plus the final test
+//! accuracy of one fine-tuning run.
+//!
+//! The offline phase records one [`LearningCurve`] per `(model, benchmark
+//! dataset)` pair; convergence-trend mining (paper §IV-C) clusters these
+//! curves per model. The online fine-selection phase produces new curves
+//! incrementally as it trains the recalled models on the target dataset.
+
+use crate::error::{Result, SelectionError};
+use crate::ids::{DatasetId, ModelId};
+use serde::{Deserialize, Serialize};
+
+/// Validation trace of a single fine-tuning run plus its final test score.
+///
+/// `val[t]` is the validation accuracy after stage `t + 1` (a *stage* is one
+/// validation interval — `s` training steps in the paper; one epoch in our
+/// substrates). `test` is the test accuracy after training all stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearningCurve {
+    val: Vec<f64>,
+    test: f64,
+}
+
+impl LearningCurve {
+    /// Create a curve, validating that every accuracy is finite and in
+    /// `[0, 1]` and that at least one stage was recorded.
+    pub fn new(val: Vec<f64>, test: f64) -> Result<Self> {
+        if val.is_empty() {
+            return Err(SelectionError::Empty("validation trace"));
+        }
+        for &v in &val {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(SelectionError::InvalidValue {
+                    what: "validation accuracy",
+                    value: v,
+                });
+            }
+        }
+        if !test.is_finite() || !(0.0..=1.0).contains(&test) {
+            return Err(SelectionError::InvalidValue {
+                what: "test accuracy",
+                value: test,
+            });
+        }
+        Ok(Self { val, test })
+    }
+
+    /// Number of recorded stages.
+    #[inline]
+    pub fn n_stages(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Validation accuracy after stage `t` (0-based).
+    #[inline]
+    pub fn val_at(&self, t: usize) -> f64 {
+        self.val[t]
+    }
+
+    /// Validation accuracy at stage `t`, or the last recorded stage if the
+    /// curve is shorter. Trend matching uses this so that benchmark runs
+    /// with fewer stages than the target run still contribute.
+    pub fn val_at_clamped(&self, t: usize) -> f64 {
+        self.val[t.min(self.val.len() - 1)]
+    }
+
+    /// The full validation trace.
+    pub fn val(&self) -> &[f64] {
+        &self.val
+    }
+
+    /// Final test accuracy.
+    #[inline]
+    pub fn test(&self) -> f64 {
+        self.test
+    }
+
+    /// Best validation accuracy over all stages.
+    pub fn best_val(&self) -> f64 {
+        self.val.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Stage index achieving the best validation accuracy.
+    pub fn best_stage(&self) -> usize {
+        self.val
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// All offline learning curves: `curves[(m, d)]` for every model `m` × every
+/// benchmark dataset `d`, stored densely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveSet {
+    n_models: usize,
+    n_datasets: usize,
+    /// `curves[m * n_datasets + d]`
+    curves: Vec<LearningCurve>,
+}
+
+impl CurveSet {
+    /// Build the curve set from a dense row-major-by-model vector.
+    pub fn new(n_models: usize, n_datasets: usize, curves: Vec<LearningCurve>) -> Result<Self> {
+        if curves.len() != n_models * n_datasets {
+            return Err(SelectionError::DimensionMismatch {
+                what: "curve set",
+                expected: n_models * n_datasets,
+                got: curves.len(),
+            });
+        }
+        if curves.is_empty() {
+            return Err(SelectionError::Empty("curve set"));
+        }
+        Ok(Self {
+            n_models,
+            n_datasets,
+            curves,
+        })
+    }
+
+    /// Assemble a curve set by calling `f(model, dataset)` for every cell.
+    pub fn from_fn(
+        n_models: usize,
+        n_datasets: usize,
+        mut f: impl FnMut(ModelId, DatasetId) -> LearningCurve,
+    ) -> Result<Self> {
+        let mut curves = Vec::with_capacity(n_models * n_datasets);
+        for m in 0..n_models {
+            for d in 0..n_datasets {
+                curves.push(f(ModelId::from(m), DatasetId::from(d)));
+            }
+        }
+        Self::new(n_models, n_datasets, curves)
+    }
+
+    /// Number of models covered.
+    #[inline]
+    pub fn n_models(&self) -> usize {
+        self.n_models
+    }
+
+    /// Number of benchmark datasets covered.
+    #[inline]
+    pub fn n_datasets(&self) -> usize {
+        self.n_datasets
+    }
+
+    /// The curve of model `m` on dataset `d`.
+    pub fn curve(&self, m: ModelId, d: DatasetId) -> &LearningCurve {
+        &self.curves[m.index() * self.n_datasets + d.index()]
+    }
+
+    /// All curves of one model across the benchmark datasets, in dataset
+    /// order — the input to convergence-trend mining.
+    pub fn model_curves(&self, m: ModelId) -> &[LearningCurve] {
+        &self.curves[m.index() * self.n_datasets..(m.index() + 1) * self.n_datasets]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_basics() {
+        let c = LearningCurve::new(vec![0.3, 0.5, 0.45], 0.52).unwrap();
+        assert_eq!(c.n_stages(), 3);
+        assert_eq!(c.val_at(1), 0.5);
+        assert_eq!(c.val_at_clamped(99), 0.45);
+        assert_eq!(c.best_val(), 0.5);
+        assert_eq!(c.best_stage(), 1);
+        assert_eq!(c.test(), 0.52);
+    }
+
+    #[test]
+    fn curve_rejects_bad_values() {
+        assert!(LearningCurve::new(vec![], 0.5).is_err());
+        assert!(LearningCurve::new(vec![1.2], 0.5).is_err());
+        assert!(LearningCurve::new(vec![0.5], f64::NAN).is_err());
+        assert!(LearningCurve::new(vec![f64::INFINITY], 0.5).is_err());
+    }
+
+    #[test]
+    fn curveset_layout() {
+        let cs = CurveSet::from_fn(2, 3, |m, d| {
+            LearningCurve::new(vec![0.1 * (m.index() + 1) as f64], 0.01 * (d.index() + 1) as f64)
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(cs.n_models(), 2);
+        assert_eq!(cs.n_datasets(), 3);
+        assert_eq!(cs.curve(ModelId(1), DatasetId(2)).val_at(0), 0.2);
+        assert_eq!(cs.curve(ModelId(1), DatasetId(2)).test(), 0.03);
+        assert_eq!(cs.model_curves(ModelId(0)).len(), 3);
+    }
+
+    #[test]
+    fn curveset_rejects_wrong_len() {
+        let c = LearningCurve::new(vec![0.5], 0.5).unwrap();
+        assert!(CurveSet::new(2, 2, vec![c]).is_err());
+    }
+}

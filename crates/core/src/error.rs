@@ -1,0 +1,101 @@
+//! Error types for the selection framework.
+//!
+//! The crate uses a single flat error enum: selection is a pipeline of small
+//! numeric stages and callers almost always want to know *which* stage
+//! rejected its input and why, not to programmatically recover per-variant.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the two-phase selection framework.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field names are self-describing; variant docs carry semantics
+pub enum SelectionError {
+    /// A performance matrix was built with inconsistent dimensions, or an
+    /// accessor was given an out-of-range model/dataset index.
+    DimensionMismatch {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// An operation that requires a non-empty collection received an empty
+    /// one (e.g. clustering zero models, recalling from an empty repository).
+    Empty(&'static str),
+    /// A clustering was requested with more clusters than points.
+    TooManyClusters { points: usize, clusters: usize },
+    /// A probability/accuracy value fell outside `[0, 1]` or was not finite.
+    InvalidValue { what: &'static str, value: f64 },
+    /// A prediction matrix row did not form a probability distribution.
+    NotADistribution { row: usize, sum: f64 },
+    /// A model or dataset id referenced an entity the structure does not
+    /// contain.
+    UnknownId { what: &'static str, id: usize },
+    /// The selection algorithm was configured inconsistently (e.g. zero
+    /// stages, zero recall size).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectionError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "dimension mismatch for {what}: expected {expected}, got {got}"),
+            SelectionError::Empty(what) => write!(f, "{what} must not be empty"),
+            SelectionError::TooManyClusters { points, clusters } => {
+                write!(f, "cannot form {clusters} clusters from {points} points")
+            }
+            SelectionError::InvalidValue { what, value } => {
+                write!(f, "invalid value for {what}: {value}")
+            }
+            SelectionError::NotADistribution { row, sum } => {
+                write!(f, "prediction row {row} is not a distribution (sums to {sum})")
+            }
+            SelectionError::UnknownId { what, id } => write!(f, "unknown {what} id {id}"),
+            SelectionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl StdError for SelectionError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SelectionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SelectionError::DimensionMismatch {
+            what: "performance row",
+            expected: 4,
+            got: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("performance row"));
+        assert!(s.contains('4'));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn StdError) {}
+        takes_err(&SelectionError::Empty("models"));
+    }
+
+    #[test]
+    fn variants_compare_by_value() {
+        assert_eq!(
+            SelectionError::Empty("models"),
+            SelectionError::Empty("models")
+        );
+        assert_ne!(
+            SelectionError::Empty("models"),
+            SelectionError::Empty("datasets")
+        );
+    }
+}

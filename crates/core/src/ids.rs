@@ -1,0 +1,84 @@
+//! Strongly-typed identifiers for models and datasets.
+//!
+//! The framework is index-based internally (models and datasets are rows and
+//! columns of the performance matrix); the newtypes prevent the classic
+//! "swapped the model index and the dataset index" bug at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a pre-trained model within a [`crate::matrix::PerformanceMatrix`]
+/// (and within every structure derived from it: clusterings, recall lists,
+/// selection pools).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ModelId(pub u32);
+
+/// Index of a benchmark dataset within a
+/// [`crate::matrix::PerformanceMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DatasetId(pub u32);
+
+impl ModelId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DatasetId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for ModelId {
+    fn from(i: usize) -> Self {
+        ModelId(i as u32)
+    }
+}
+
+impl From<usize> for DatasetId {
+    fn from(i: usize) -> Self {
+        DatasetId(i as u32)
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        assert_eq!(ModelId::from(7usize).index(), 7);
+        assert_eq!(DatasetId::from(3usize).index(), 3);
+    }
+
+    #[test]
+    fn ordering_matches_indices() {
+        assert!(ModelId(1) < ModelId(2));
+        assert!(DatasetId(0) < DatasetId(9));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ModelId(4).to_string(), "m4");
+        assert_eq!(DatasetId(11).to_string(), "d11");
+    }
+}

@@ -1,0 +1,403 @@
+//! Incremental repository maintenance.
+//!
+//! Public model hubs grow continuously (the paper's core motivation), and
+//! rebuilding all offline artifacts on every upload would defeat the
+//! purpose of precomputing them. This module adds a model to existing
+//! [`OfflineArtifacts`] with only the *new* model's benchmark fine-tuning
+//! runs as input:
+//!
+//! 1. the performance matrix gains a column;
+//! 2. the similarity matrix is recomputed (cheap: `O(|M|² · |D|)`);
+//! 3. the new model joins the cluster whose **representative** it is most
+//!    similar to — if that similarity clears the clustering threshold —
+//!    and otherwise becomes a new singleton (no global re-clustering);
+//! 4. its convergence trends are mined from its own curves.
+//!
+//! Placement is a greedy approximation of re-clustering; callers that want
+//! exactness can rebuild with [`OfflineArtifacts::build`] at any cadence.
+
+use crate::cluster::Clustering;
+use crate::curve::LearningCurve;
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::pipeline::{ClusterMethod, OfflineArtifacts, OfflineConfig};
+use crate::similarity::SimilarityMatrix;
+use crate::trend::mine_trends;
+use serde::{Deserialize, Serialize};
+
+/// A new model's offline measurements: one fine-tuning run per benchmark
+/// dataset, in the matrix's dataset order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelAddition {
+    /// Repository name of the model.
+    pub name: String,
+    /// `curves[d]` = the model's learning curve on benchmark dataset `d`.
+    pub benchmark_curves: Vec<LearningCurve>,
+}
+
+/// Where the new model landed in the clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Joined an existing cluster (similarity to its representative shown).
+    Joined {
+        /// Index of the joined cluster.
+        cluster: usize,
+        /// Eq. 1 similarity to that cluster's representative.
+        similarity: f64,
+    },
+    /// Became a new singleton cluster.
+    NewSingleton {
+        /// Index of the new cluster.
+        cluster: usize,
+    },
+}
+
+/// Result of one incremental addition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdditionReport {
+    /// Id assigned to the new model.
+    pub model: ModelId,
+    /// Cluster placement decision.
+    pub placement: Placement,
+}
+
+impl OfflineArtifacts {
+    /// Add one model to the artifacts in place. `config` must be the
+    /// configuration the artifacts were built with (its `similarity_top_k`,
+    /// threshold and trend settings drive the incremental update).
+    pub fn add_model(
+        &mut self,
+        addition: &ModelAddition,
+        config: &OfflineConfig,
+    ) -> Result<AdditionReport> {
+        let n_datasets = self.matrix.n_datasets();
+        if addition.benchmark_curves.len() != n_datasets {
+            return Err(SelectionError::DimensionMismatch {
+                what: "benchmark curves",
+                expected: n_datasets,
+                got: addition.benchmark_curves.len(),
+            });
+        }
+        if self.matrix.model_by_name(&addition.name).is_some() {
+            return Err(SelectionError::InvalidConfig(format!(
+                "model `{}` already in the repository",
+                addition.name
+            )));
+        }
+
+        // 1. Extend the performance matrix with the final test accuracies.
+        let accuracies: Vec<f64> = addition
+            .benchmark_curves
+            .iter()
+            .map(LearningCurve::test)
+            .collect();
+        self.matrix = self.matrix.with_model(&addition.name, &accuracies)?;
+        let new_id = ModelId::from(self.matrix.n_models() - 1);
+
+        // 2. Refresh the similarity matrix.
+        self.similarity =
+            SimilarityMatrix::from_performance(&self.matrix, config.similarity_top_k)?;
+
+        // 3. Greedy cluster placement against existing representatives.
+        // (Representatives are derived from the matrix *before* growth —
+        // identical, since representative choice ignores the new model.)
+        let reps = self.clustering.representatives_excluding_last(&self.matrix)?;
+        let join_threshold = match config.cluster {
+            ClusterMethod::HierarchicalThreshold(t) => 1.0 - t,
+            // DBSCAN's radius is already a distance bound.
+            ClusterMethod::Dbscan { eps, .. } => 1.0 - eps,
+            // For k-targeted methods there is no natural join radius; use a
+            // conservative high-similarity bar.
+            ClusterMethod::HierarchicalK(_) | ClusterMethod::KMeans { .. } => 0.95,
+        };
+        let best = reps
+            .iter()
+            .enumerate()
+            .map(|(c, &rep)| (c, self.similarity.similarity(new_id, rep)))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        let placement = match best {
+            Some((cluster, similarity)) if similarity >= join_threshold => {
+                self.clustering = self.clustering.with_model(Some(cluster))?;
+                Placement::Joined {
+                    cluster,
+                    similarity,
+                }
+            }
+            _ => {
+                self.clustering = self.clustering.with_model(None)?;
+                Placement::NewSingleton {
+                    cluster: self.clustering.n_clusters() - 1,
+                }
+            }
+        };
+
+        // 4. Mine the new model's convergence trends from its own curves.
+        let trends = mine_trends(
+            &addition.benchmark_curves,
+            config.trend_stages,
+            &config.trend,
+        )?;
+        self.trends.push(trends);
+
+        Ok(AdditionReport {
+            model: new_id,
+            placement,
+        })
+    }
+}
+
+impl crate::matrix::PerformanceMatrix {
+    /// A copy of the matrix with one extra model column.
+    pub fn with_model(&self, name: &str, accuracies: &[f64]) -> Result<Self> {
+        if accuracies.len() != self.n_datasets() {
+            return Err(SelectionError::DimensionMismatch {
+                what: "model accuracies",
+                expected: self.n_datasets(),
+                got: accuracies.len(),
+            });
+        }
+        let mut names: Vec<String> = (0..self.n_models())
+            .map(|m| self.model_name(ModelId::from(m)).to_string())
+            .collect();
+        names.push(name.to_string());
+        let dataset_names: Vec<String> = (0..self.n_datasets())
+            .map(|d| self.dataset_name(crate::ids::DatasetId::from(d)).to_string())
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..self.n_datasets())
+            .map(|d| {
+                let mut row = self.dataset_row(crate::ids::DatasetId::from(d)).to_vec();
+                row.push(accuracies[d]);
+                row
+            })
+            .collect();
+        Self::new(names, dataset_names, rows)
+    }
+}
+
+impl Clustering {
+    /// A copy with one extra model appended: into cluster `Some(c)` or as a
+    /// fresh singleton (`None`).
+    pub fn with_model(&self, cluster: Option<usize>) -> Result<Self> {
+        let mut assignments = self.assignments().to_vec();
+        match cluster {
+            Some(c) => {
+                if c >= self.n_clusters() {
+                    return Err(SelectionError::UnknownId {
+                        what: "cluster",
+                        id: c,
+                    });
+                }
+                assignments.push(c);
+            }
+            None => assignments.push(self.n_clusters()),
+        }
+        Clustering::new(assignments)
+    }
+
+    /// Representatives computed against a matrix that may already contain
+    /// one *extra* trailing model not covered by this clustering (used
+    /// mid-addition). Falls back to [`Clustering::representatives`] when
+    /// sizes match.
+    pub(crate) fn representatives_excluding_last(
+        &self,
+        matrix: &crate::matrix::PerformanceMatrix,
+    ) -> Result<Vec<ModelId>> {
+        if matrix.n_models() == self.n_models() {
+            return self.representatives(matrix);
+        }
+        if matrix.n_models() != self.n_models() + 1 {
+            return Err(SelectionError::DimensionMismatch {
+                what: "clustering vs matrix models",
+                expected: self.n_models() + 1,
+                got: matrix.n_models(),
+            });
+        }
+        let mut reps = Vec::with_capacity(self.n_clusters());
+        for c in 0..self.n_clusters() {
+            let rep = self
+                .members(c)
+                .into_iter()
+                .max_by(|&a, &b| matrix.avg_accuracy(a).total_cmp(&matrix.avg_accuracy(b)))
+                .expect("compact clustering has no empty clusters");
+            reps.push(rep);
+        }
+        Ok(reps)
+    }
+}
+
+impl crate::trend::TrendBook {
+    /// Append one model's trends (the model must be the repository's newest).
+    pub fn push(&mut self, trends: crate::trend::ConvergenceTrends) {
+        self.push_inner(trends);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::CurveSet;
+    use crate::matrix::PerformanceMatrix;
+    use crate::pipeline::OfflineConfig;
+    use crate::trend::TrendConfig;
+
+    /// Artifacts over 4 models / 3 datasets: models 0,1 a tight family,
+    /// 2,3 distinct singletons.
+    fn artifacts() -> (OfflineArtifacts, OfflineConfig) {
+        let matrix = PerformanceMatrix::new(
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            vec!["d0".into(), "d1".into(), "d2".into()],
+            vec![
+                vec![0.90, 0.89, 0.50, 0.20],
+                vec![0.80, 0.81, 0.20, 0.60],
+                vec![0.70, 0.69, 0.40, 0.40],
+            ],
+        )
+        .unwrap();
+        let curves = CurveSet::from_fn(4, 3, |m, d| {
+            let f = matrix.accuracy(d, m);
+            LearningCurve::new(vec![f * 0.7, f * 0.9, f], f).unwrap()
+        })
+        .unwrap();
+        let config = OfflineConfig {
+            similarity_top_k: 2,
+            cluster: ClusterMethod::HierarchicalThreshold(0.05),
+            trend: TrendConfig {
+                n_trends: 2,
+                max_iter: 32,
+            },
+            trend_stages: 3,
+        };
+        (
+            OfflineArtifacts::build(matrix, &curves, &config).unwrap(),
+            config,
+        )
+    }
+
+    fn addition(name: &str, finals: [f64; 3]) -> ModelAddition {
+        ModelAddition {
+            name: name.into(),
+            benchmark_curves: finals
+                .iter()
+                .map(|&f| LearningCurve::new(vec![f * 0.7, f * 0.9, f], f).unwrap())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn sibling_joins_the_family_cluster() {
+        let (mut arts, config) = artifacts();
+        let family_cluster = arts.clustering.cluster_of(ModelId(0));
+        let report = arts
+            .add_model(&addition("a-sibling", [0.895, 0.805, 0.695]), &config)
+            .unwrap();
+        assert_eq!(report.model, ModelId(4));
+        match report.placement {
+            Placement::Joined { cluster, similarity } => {
+                assert_eq!(cluster, family_cluster);
+                assert!(similarity > 0.95);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        assert_eq!(arts.matrix.n_models(), 5);
+        assert_eq!(arts.similarity.len(), 5);
+        assert_eq!(arts.clustering.n_models(), 5);
+        assert_eq!(arts.trends.n_models(), 5);
+        assert_eq!(arts.clustering.cluster_of(ModelId(4)), family_cluster);
+    }
+
+    #[test]
+    fn outlier_becomes_a_new_singleton() {
+        let (mut arts, config) = artifacts();
+        let before = arts.clustering.n_clusters();
+        let report = arts
+            .add_model(&addition("weird", [0.15, 0.95, 0.10]), &config)
+            .unwrap();
+        match report.placement {
+            Placement::NewSingleton { cluster } => assert_eq!(cluster, before),
+            other => panic!("expected singleton, got {other:?}"),
+        }
+        assert_eq!(arts.clustering.n_clusters(), before + 1);
+        assert_eq!(arts.clustering.cluster_size(before), 1);
+    }
+
+    #[test]
+    fn added_model_participates_in_recall() {
+        use crate::recall::{coarse_recall, RecallConfig};
+        let (mut arts, config) = artifacts();
+        arts.add_model(&addition("a-sibling", [0.91, 0.82, 0.71]), &config)
+            .unwrap();
+        let out = coarse_recall(
+            &arts.matrix,
+            &arts.clustering,
+            &arts.similarity,
+            &RecallConfig {
+                top_k: 3,
+                ..Default::default()
+            },
+            |_| Ok(-0.4),
+        )
+        .unwrap();
+        // The newcomer has the highest average accuracy in the family
+        // cluster, so it should lead the recall ranking.
+        assert!(out.recalled.contains(&ModelId(4)), "recalled {:?}", out.recalled);
+    }
+
+    #[test]
+    fn validates_input() {
+        let (mut arts, config) = artifacts();
+        // Wrong curve count.
+        let bad = ModelAddition {
+            name: "x".into(),
+            benchmark_curves: vec![LearningCurve::new(vec![0.5], 0.5).unwrap()],
+        };
+        assert!(arts.add_model(&bad, &config).is_err());
+        // Duplicate name.
+        assert!(arts
+            .add_model(&addition("a", [0.5, 0.5, 0.5]), &config)
+            .is_err());
+        // Artifacts untouched after failed additions.
+        assert_eq!(arts.matrix.n_models(), 4);
+    }
+
+    #[test]
+    fn incremental_matches_rebuild_for_clear_cases() {
+        // Adding an exact family sibling: the incremental placement must
+        // agree with a from-scratch rebuild's co-clustering.
+        let (mut arts, config) = artifacts();
+        arts.add_model(&addition("a-sibling", [0.90, 0.80, 0.70]), &config)
+            .unwrap();
+
+        // Rebuild from the extended matrix.
+        let curves = CurveSet::from_fn(5, 3, |m, d| {
+            let f = arts.matrix.accuracy(d, m);
+            LearningCurve::new(vec![f * 0.7, f * 0.9, f], f).unwrap()
+        })
+        .unwrap();
+        let rebuilt = OfflineArtifacts::build(arts.matrix.clone(), &curves, &config).unwrap();
+        let same_incr = arts.clustering.cluster_of(ModelId(4)) == arts.clustering.cluster_of(ModelId(0));
+        let same_rebuild =
+            rebuilt.clustering.cluster_of(ModelId(4)) == rebuilt.clustering.cluster_of(ModelId(0));
+        assert_eq!(same_incr, same_rebuild);
+        assert!(same_incr, "sibling should co-cluster with model a");
+    }
+
+    #[test]
+    fn matrix_with_model_validates() {
+        let (arts, _) = artifacts();
+        assert!(arts.matrix.with_model("x", &[0.5]).is_err());
+        let grown = arts.matrix.with_model("x", &[0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(grown.n_models(), 5);
+        assert_eq!(grown.model_name(ModelId(4)), "x");
+        assert_eq!(grown.accuracy(crate::ids::DatasetId(1), ModelId(4)), 0.5);
+    }
+
+    #[test]
+    fn clustering_with_model_validates() {
+        let c = Clustering::new(vec![0, 0, 1]).unwrap();
+        assert!(c.with_model(Some(5)).is_err());
+        let joined = c.with_model(Some(1)).unwrap();
+        assert_eq!(joined.cluster_size(1), 2);
+        let single = c.with_model(None).unwrap();
+        assert_eq!(single.n_clusters(), 3);
+    }
+}

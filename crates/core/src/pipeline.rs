@@ -1,0 +1,406 @@
+//! End-to-end two-phase selection (paper §II-B, Fig. 2).
+//!
+//! **Offline** (once per repository): build the performance matrix and curve
+//! set by fine-tuning every model on the benchmark datasets, derive the
+//! similarity matrix, the model clustering, and the per-model convergence
+//! trend book — [`OfflineArtifacts`].
+//!
+//! **Online** (per target task): [`two_phase_select`] runs coarse-recall
+//! (proxy scores for cluster representatives only) and hands the recalled
+//! top-K to fine-selection, returning the chosen model with full epoch
+//! accounting (`CR` proxy epochs + `FS` training epochs, the Table VI
+//! "2PH" runtime).
+
+use crate::cluster::dbscan::{dbscan, DbscanConfig};
+use crate::cluster::hierarchical::{hierarchical_k, hierarchical_threshold, Linkage};
+use crate::cluster::kmeans::{kmeans, KMeansConfig};
+use crate::cluster::Clustering;
+use crate::curve::CurveSet;
+use crate::error::{Result, SelectionError};
+use crate::matrix::PerformanceMatrix;
+use crate::proxy::leep::leep;
+use crate::recall::{coarse_recall, RecallConfig, RecallOutcome};
+use crate::select::fine::{fine_selection, FineSelectionConfig};
+use crate::select::SelectionOutcome;
+use crate::similarity::SimilarityMatrix;
+use crate::traits::{ProxyOracle, TargetTrainer};
+use crate::trend::{TrendBook, TrendConfig};
+use crate::budget::EpochLedger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How to cluster the model repository offline.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum ClusterMethod {
+    /// Average-linkage agglomerative clustering cut at a distance threshold
+    /// — the paper's configuration; naturally yields singleton clusters.
+    HierarchicalThreshold(f64),
+    /// Average-linkage agglomerative clustering cut to `k` clusters.
+    HierarchicalK(usize),
+    /// K-means with `k` clusters and a fixed seed (Table I / XI baseline).
+    KMeans {
+        /// Number of clusters.
+        k: usize,
+        /// RNG seed for k-means++ restarts.
+        seed: u64,
+    },
+    /// DBSCAN at radius `eps` with `min_points` density — families become
+    /// clusters, oddballs become singletons, no cluster count needed.
+    Dbscan {
+        /// Neighbourhood radius in Eq. 1 distance units.
+        eps: f64,
+        /// Core-point density (2 mirrors the paper's non-singleton notion).
+        min_points: usize,
+    },
+}
+
+/// Offline-phase configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OfflineConfig {
+    /// `k` of the top-k similarity (Eq. 1); the paper picks 5 (Table X).
+    pub similarity_top_k: usize,
+    /// Clustering algorithm and granularity.
+    pub cluster: ClusterMethod,
+    /// Convergence-trend mining parameters.
+    pub trend: TrendConfig,
+    /// Stages to mine trends for (clamped to the recorded curves).
+    pub trend_stages: usize,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        Self {
+            similarity_top_k: 5,
+            cluster: ClusterMethod::HierarchicalThreshold(0.05),
+            trend: TrendConfig::default(),
+            trend_stages: 8,
+        }
+    }
+}
+
+/// Everything the online phases need, computed once per repository.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfflineArtifacts {
+    /// The performance matrix `Matrix(D, M)`.
+    pub matrix: PerformanceMatrix,
+    /// Eq. 1 model-similarity matrix.
+    pub similarity: SimilarityMatrix,
+    /// Model clustering `MC`.
+    pub clustering: Clustering,
+    /// Per-model convergence trends `CT`.
+    pub trends: TrendBook,
+}
+
+impl OfflineArtifacts {
+    /// Build all offline artifacts from recorded fine-tuning results.
+    pub fn build(
+        matrix: PerformanceMatrix,
+        curves: &CurveSet,
+        config: &OfflineConfig,
+    ) -> Result<Self> {
+        if curves.n_models() != matrix.n_models() || curves.n_datasets() != matrix.n_datasets() {
+            return Err(SelectionError::DimensionMismatch {
+                what: "curve set vs matrix",
+                expected: matrix.n_models() * matrix.n_datasets(),
+                got: curves.n_models() * curves.n_datasets(),
+            });
+        }
+        let similarity = SimilarityMatrix::from_performance(&matrix, config.similarity_top_k)?;
+        let clustering = cluster_models(&matrix, &similarity, config.cluster)?;
+        let trends = TrendBook::mine(curves, config.trend_stages, &config.trend)?;
+        Ok(Self {
+            matrix,
+            similarity,
+            clustering,
+            trends,
+        })
+    }
+}
+
+/// Cluster the repository per the configured method.
+pub fn cluster_models(
+    matrix: &PerformanceMatrix,
+    similarity: &SimilarityMatrix,
+    method: ClusterMethod,
+) -> Result<Clustering> {
+    let n = matrix.n_models();
+    match method {
+        ClusterMethod::HierarchicalThreshold(t) => {
+            hierarchical_threshold(&similarity.distance_matrix(), n, t, Linkage::Average)
+        }
+        ClusterMethod::HierarchicalK(k) => {
+            hierarchical_k(&similarity.distance_matrix(), n, k, Linkage::Average)
+        }
+        ClusterMethod::KMeans { k, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            kmeans(
+                &matrix.model_vectors(),
+                &KMeansConfig {
+                    k,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        }
+        ClusterMethod::Dbscan { eps, min_points } => dbscan(
+            &similarity.distance_matrix(),
+            n,
+            &DbscanConfig { eps, min_points },
+        ),
+    }
+}
+
+/// Online-phase configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Coarse-recall settings (`K = 10` in the paper).
+    pub recall: RecallConfig,
+    /// Fine-selection settings (0% threshold in the paper).
+    pub fine: FineSelectionConfig,
+    /// Total fine-tuning stages `T` (5 for NLP, 4 for CV in the paper).
+    pub total_stages: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            recall: RecallConfig::default(),
+            fine: FineSelectionConfig::default(),
+            total_stages: 5,
+        }
+    }
+}
+
+/// Outcome of one end-to-end two-phase selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineOutcome {
+    /// Coarse-recall phase result.
+    pub recall: RecallOutcome,
+    /// Fine-selection phase result.
+    pub selection: SelectionOutcome,
+    /// Combined epoch-equivalents (proxy inference + fine-tuning) — the
+    /// Table VI "2PH Runtime".
+    pub ledger: EpochLedger,
+}
+
+/// Run the full online pipeline for one target task.
+///
+/// `oracle` supplies prediction matrices for LEEP; `trainer` fine-tunes on
+/// the target dataset.
+pub fn two_phase_select(
+    artifacts: &OfflineArtifacts,
+    oracle: &dyn ProxyOracle,
+    trainer: &mut dyn TargetTrainer,
+    config: &PipelineConfig,
+) -> Result<PipelineOutcome> {
+    let recall = coarse_recall(
+        &artifacts.matrix,
+        &artifacts.clustering,
+        &artifacts.similarity,
+        &config.recall,
+        |rep| {
+            let predictions = oracle.predictions(rep)?;
+            leep(
+                &predictions,
+                oracle.target_labels(),
+                oracle.n_target_labels(),
+            )
+        },
+    )?;
+    let selection = fine_selection(
+        trainer,
+        &recall.recalled,
+        config.total_stages,
+        &artifacts.trends,
+        &config.fine,
+    )?;
+    let mut ledger = EpochLedger::new();
+    ledger.charge_proxy(recall.proxy_epochs);
+    ledger.merge(&selection.ledger);
+    Ok(PipelineOutcome {
+        recall,
+        selection,
+        ledger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::LearningCurve;
+    use crate::ids::ModelId;
+    use crate::proxy::PredictionMatrix;
+    use crate::traits::test_support::ScriptedTrainer;
+
+    /// 6 models: ids 0-2 a strong family, 3-4 a weak family, 5 a singleton.
+    fn fixture() -> (OfflineArtifacts, usize) {
+        let stages = 4;
+        let strong = |seed: f64| {
+            vec![
+                0.80 + seed,
+                0.82 + seed,
+                0.20 + seed,
+                0.22 + seed,
+                0.81 + seed,
+            ]
+        };
+        let weak = |seed: f64| {
+            vec![
+                0.40 + seed,
+                0.42 + seed,
+                0.35 + seed,
+                0.36 + seed,
+                0.41 + seed,
+            ]
+        };
+        // Rows are datasets: build model columns then transpose.
+        let cols = [strong(0.00),
+            strong(0.01),
+            strong(0.02),
+            weak(0.00),
+            weak(0.01),
+            vec![0.60, 0.10, 0.55, 0.12, 0.58]];
+        let n_datasets = 5;
+        let rows: Vec<Vec<f64>> = (0..n_datasets)
+            .map(|d| cols.iter().map(|c| c[d]).collect())
+            .collect();
+        let matrix = PerformanceMatrix::new(
+            (0..6).map(|i| format!("model-{i}")).collect(),
+            (0..n_datasets).map(|i| format!("bench-{i}")).collect(),
+            rows,
+        )
+        .unwrap();
+        let curves = CurveSet::from_fn(6, n_datasets, |m, d| {
+            let final_acc = matrix.accuracy(d, m);
+            let vals = (0..stages)
+                .map(|t| final_acc * (0.6 + 0.4 * (t + 1) as f64 / stages as f64))
+                .collect();
+            LearningCurve::new(vals, final_acc).unwrap()
+        })
+        .unwrap();
+        let artifacts = OfflineArtifacts::build(
+            matrix,
+            &curves,
+            &OfflineConfig {
+                cluster: ClusterMethod::HierarchicalThreshold(0.08),
+                trend: TrendConfig {
+                    n_trends: 2,
+                    max_iter: 32,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (artifacts, stages)
+    }
+
+    struct FixtureOracle {
+        labels: Vec<usize>,
+    }
+
+    impl ProxyOracle for FixtureOracle {
+        fn predictions(&self, model: ModelId) -> Result<PredictionMatrix> {
+            // Strong family (0-2) aligns with target labels; others are
+            // uninformative.
+            let informative = model.index() <= 2;
+            let mut rows = Vec::new();
+            for &y in &self.labels {
+                if informative {
+                    rows.extend_from_slice(if y == 0 { &[0.9, 0.1] } else { &[0.1, 0.9] });
+                } else {
+                    rows.extend_from_slice(&[0.5, 0.5]);
+                }
+            }
+            PredictionMatrix::new(2, rows)
+        }
+
+        fn target_labels(&self) -> &[usize] {
+            &self.labels
+        }
+
+        fn n_target_labels(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn offline_artifacts_cluster_families() {
+        let (artifacts, _) = fixture();
+        let c = &artifacts.clustering;
+        assert_eq!(c.cluster_of(ModelId(0)), c.cluster_of(ModelId(1)));
+        assert_eq!(c.cluster_of(ModelId(0)), c.cluster_of(ModelId(2)));
+        assert_eq!(c.cluster_of(ModelId(3)), c.cluster_of(ModelId(4)));
+        assert_ne!(c.cluster_of(ModelId(0)), c.cluster_of(ModelId(3)));
+        assert_ne!(c.cluster_of(ModelId(5)), c.cluster_of(ModelId(0)));
+        assert!(!c.in_non_singleton(ModelId(5)));
+    }
+
+    #[test]
+    fn end_to_end_selects_a_strong_model() {
+        let (artifacts, stages) = fixture();
+        let oracle = FixtureOracle {
+            labels: vec![0, 1, 0, 1, 0, 1],
+        };
+        // Target curves: strong family performs well on the target, others
+        // do not.
+        let curves: Vec<Vec<f64>> = (0..6)
+            .map(|m| {
+                let ceiling = if m <= 2 { 0.85 + 0.01 * m as f64 } else { 0.4 };
+                (0..stages)
+                    .map(|t| ceiling * (0.7 + 0.3 * (t + 1) as f64 / stages as f64))
+                    .collect()
+            })
+            .collect();
+        let mut trainer = ScriptedTrainer::from_val_curves(curves);
+        let out = two_phase_select(
+            &artifacts,
+            &oracle,
+            &mut trainer,
+            &PipelineConfig {
+                recall: RecallConfig {
+                    top_k: 3,
+                    ..Default::default()
+                },
+                total_stages: stages,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.selection.winner.index() <= 2, "winner {:?}", out.selection.winner);
+        // Proxy epochs: 2 non-singleton clusters scored at 0.5 each.
+        assert_eq!(out.ledger.proxy_epochs(), 1.0);
+        assert!(out.ledger.total() < 6.0 * stages as f64, "cheaper than BF");
+        // The recall phase must rank the strong family first.
+        assert!(out.recall.recalled.iter().all(|m| m.index() <= 2));
+    }
+
+    #[test]
+    fn artifacts_build_rejects_mismatched_curves() {
+        let (artifacts, _) = fixture();
+        let bad_curves = CurveSet::from_fn(2, 2, |_, _| {
+            LearningCurve::new(vec![0.5], 0.5).unwrap()
+        })
+        .unwrap();
+        assert!(OfflineArtifacts::build(
+            artifacts.matrix.clone(),
+            &bad_curves,
+            &OfflineConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cluster_method_variants_run() {
+        let (artifacts, _) = fixture();
+        for method in [
+            ClusterMethod::HierarchicalThreshold(0.1),
+            ClusterMethod::HierarchicalK(3),
+            ClusterMethod::KMeans { k: 3, seed: 7 },
+            ClusterMethod::Dbscan { eps: 0.08, min_points: 2 },
+        ] {
+            let c = cluster_models(&artifacts.matrix, &artifacts.similarity, method).unwrap();
+            assert_eq!(c.n_models(), 6);
+        }
+    }
+}

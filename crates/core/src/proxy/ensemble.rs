@@ -1,0 +1,152 @@
+//! Proxy-score ensembles (paper §VII future work: "combine different
+//! light-weight tasks to return a high quality subset of models more
+//! robustly").
+//!
+//! Different proxies live on different scales (LEEP/NCE are log scores ≤ 0,
+//! LogME is an unbounded log evidence, kNN is an accuracy), so ensembles
+//! combine **ranks**, not raw values: each proxy contributes the normalised
+//! rank of each model, and the ensemble score is the (optionally weighted)
+//! mean of those ranks.
+
+use crate::error::{Result, SelectionError};
+
+/// Normalised ranks of `scores`: best score → 1.0, worst → 0.0, ties share
+/// the average rank. A single model gets rank 1.0.
+pub fn normalized_ranks(scores: &[f64]) -> Vec<f64> {
+    let n = scores.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        // Tie group [i, j).
+        let mut j = i + 1;
+        while j < n && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j - 1) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg_rank / (n - 1) as f64;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Rank-average ensemble of several proxy score lists (each over the same
+/// models). `weights`, if given, must match the number of proxies and be
+/// non-negative with a positive sum.
+pub fn rank_ensemble(proxy_scores: &[Vec<f64>], weights: Option<&[f64]>) -> Result<Vec<f64>> {
+    if proxy_scores.is_empty() {
+        return Err(SelectionError::Empty("proxy score lists"));
+    }
+    let n = proxy_scores[0].len();
+    if n == 0 {
+        return Err(SelectionError::Empty("proxy scores"));
+    }
+    for s in proxy_scores {
+        if s.len() != n {
+            return Err(SelectionError::DimensionMismatch {
+                what: "proxy score list",
+                expected: n,
+                got: s.len(),
+            });
+        }
+    }
+    let uniform = vec![1.0; proxy_scores.len()];
+    let w = match weights {
+        Some(w) => {
+            if w.len() != proxy_scores.len() {
+                return Err(SelectionError::DimensionMismatch {
+                    what: "ensemble weights",
+                    expected: proxy_scores.len(),
+                    got: w.len(),
+                });
+            }
+            if w.iter().any(|&x| x < 0.0 || !x.is_finite()) || w.iter().sum::<f64>() <= 0.0 {
+                return Err(SelectionError::InvalidConfig(
+                    "ensemble weights must be non-negative with positive sum".into(),
+                ));
+            }
+            w
+        }
+        None => &uniform,
+    };
+    let wsum: f64 = w.iter().sum();
+    let mut combined = vec![0.0f64; n];
+    for (scores, &weight) in proxy_scores.iter().zip(w) {
+        let ranks = normalized_ranks(scores);
+        for (c, r) in combined.iter_mut().zip(&ranks) {
+            *c += weight * r;
+        }
+    }
+    combined.iter_mut().for_each(|c| *c /= wsum);
+    Ok(combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_normalised() {
+        let r = normalized_ranks(&[-3.0, -1.0, -2.0]);
+        assert_eq!(r, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = normalized_ranks(&[1.0, 1.0, 2.0]);
+        // Tied pair shares rank (0+1)/2 = 0.5 -> 0.25 normalised.
+        assert_eq!(r, vec![0.25, 0.25, 1.0]);
+    }
+
+    #[test]
+    fn ranks_edge_cases() {
+        assert!(normalized_ranks(&[]).is_empty());
+        assert_eq!(normalized_ranks(&[7.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn ensemble_agreement_preserved() {
+        // Both proxies agree model 2 is best, model 0 worst.
+        let a = vec![-3.0, -2.0, -1.0];
+        let b = vec![0.1, 0.5, 0.9];
+        let e = rank_ensemble(&[a, b], None).unwrap();
+        assert!(e[2] > e[1] && e[1] > e[0]);
+        assert_eq!(e[2], 1.0);
+        assert_eq!(e[0], 0.0);
+    }
+
+    #[test]
+    fn ensemble_disagreement_averages() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        let e = rank_ensemble(&[a, b], None).unwrap();
+        assert_eq!(e, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn weighted_ensemble_tilts() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        let e = rank_ensemble(&[a, b], Some(&[3.0, 1.0])).unwrap();
+        assert!(e[0] > e[1]);
+    }
+
+    #[test]
+    fn ensemble_validates() {
+        assert!(rank_ensemble(&[], None).is_err());
+        assert!(rank_ensemble(&[vec![]], None).is_err());
+        assert!(rank_ensemble(&[vec![1.0], vec![1.0, 2.0]], None).is_err());
+        assert!(rank_ensemble(&[vec![1.0]], Some(&[1.0, 2.0])).is_err());
+        assert!(rank_ensemble(&[vec![1.0]], Some(&[-1.0])).is_err());
+        assert!(rank_ensemble(&[vec![1.0]], Some(&[0.0])).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! k-NN proxy (Renggli et al., CVPR 2022): leave-one-out k-nearest-neighbour
+//! classification accuracy in the source model's feature space.
+//!
+//! A good source model maps target samples of the same class close together,
+//! so LOO-kNN accuracy on its embeddings approximates post-fine-tuning
+//! accuracy. The paper cites this as the alternative to LEEP that needs
+//! "extra training"; we keep it for the proxy-ensemble extension.
+
+use crate::error::{Result, SelectionError};
+
+/// Leave-one-out k-NN accuracy over a row-major `n × d` feature matrix.
+///
+/// Ties in the vote are broken toward the nearest neighbour's class.
+pub fn knn_proxy(
+    features: &[f64],
+    n: usize,
+    d: usize,
+    target_labels: &[usize],
+    k: usize,
+) -> Result<f64> {
+    if n == 0 || d == 0 {
+        return Err(SelectionError::Empty("feature matrix"));
+    }
+    if features.len() != n * d {
+        return Err(SelectionError::DimensionMismatch {
+            what: "feature matrix",
+            expected: n * d,
+            got: features.len(),
+        });
+    }
+    if target_labels.len() != n {
+        return Err(SelectionError::DimensionMismatch {
+            what: "target labels",
+            expected: n,
+            got: target_labels.len(),
+        });
+    }
+    if k == 0 || k >= n {
+        return Err(SelectionError::InvalidConfig(format!(
+            "k must be in 1..n (k={k}, n={n})"
+        )));
+    }
+
+    let n_classes = target_labels.iter().max().map_or(0, |&m| m + 1);
+    let mut correct = 0usize;
+    let mut dists: Vec<(f64, usize)> = Vec::with_capacity(n - 1);
+    let mut votes = vec![0usize; n_classes];
+
+    for i in 0..n {
+        dists.clear();
+        let fi = &features[i * d..(i + 1) * d];
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let fj = &features[j * d..(j + 1) * d];
+            let dist: f64 = fi.iter().zip(fj).map(|(a, b)| (a - b) * (a - b)).sum();
+            dists.push((dist, target_labels[j]));
+        }
+        dists.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        votes.iter_mut().for_each(|v| *v = 0);
+        for &(_, label) in &dists[..k] {
+            votes[label] += 1;
+        }
+        let max_votes = votes.iter().copied().max().unwrap_or(0);
+        // Tie-break toward the closest neighbour among the tied classes.
+        let predicted = dists[..k]
+            .iter()
+            .find(|(_, label)| votes[*label] == max_votes)
+            .map(|&(_, label)| label)
+            .unwrap_or(dists[0].1);
+        if predicted == target_labels[i] {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight clusters, one per class.
+    fn clustered() -> (Vec<f64>, Vec<usize>) {
+        let mut f = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..6 {
+            f.extend_from_slice(&[0.0 + i as f64 * 0.01, 0.0]);
+            y.push(0);
+        }
+        for i in 0..6 {
+            f.extend_from_slice(&[5.0 + i as f64 * 0.01, 5.0]);
+            y.push(1);
+        }
+        (f, y)
+    }
+
+    #[test]
+    fn separable_features_score_one() {
+        let (f, y) = clustered();
+        let acc = knn_proxy(&f, 12, 2, &y, 3).unwrap();
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn shuffled_labels_score_low() {
+        let (f, mut y) = clustered();
+        // Alternate labels across both blobs: every point's neighbours are
+        // half right, half wrong.
+        for (i, label) in y.iter_mut().enumerate() {
+            *label = i % 2;
+        }
+        let acc = knn_proxy(&f, 12, 2, &y, 3).unwrap();
+        assert!(acc < 0.8, "got {acc}");
+    }
+
+    #[test]
+    fn k1_uses_nearest() {
+        let f = vec![0.0, 1.0, 1.1, 5.0];
+        let y = vec![0, 0, 1, 1];
+        // Point 1 (x=1.0): nearest is point 2 (x=1.1, class 1) -> wrong.
+        let acc = knn_proxy(&f, 4, 1, &y, 1).unwrap();
+        assert!(acc < 1.0);
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(knn_proxy(&[], 0, 0, &[], 1).is_err());
+        assert!(knn_proxy(&[1.0, 2.0], 2, 1, &[0, 1], 0).is_err());
+        assert!(knn_proxy(&[1.0, 2.0], 2, 1, &[0, 1], 2).is_err());
+        assert!(knn_proxy(&[1.0, 2.0], 2, 1, &[0], 1).is_err());
+        assert!(knn_proxy(&[1.0], 2, 1, &[0, 1], 1).is_err());
+    }
+
+    #[test]
+    fn accuracy_bounded() {
+        let (f, y) = clustered();
+        for k in [1, 3, 5] {
+            let acc = knn_proxy(&f, 12, 2, &y, k).unwrap();
+            assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! LEEP — Log Expected Empirical Prediction (Nguyen et al., ICML 2020),
+//! the proxy score used by the paper's coarse-recall phase.
+//!
+//! Given a source model's soft predictions `θ(x_i)` over its own label space
+//! `Z` and the target labels `y_i ∈ Y`:
+//!
+//! 1. Empirical joint: `P̂(y, z) = (1/n) Σ_i θ(x_i)_z · 1[y_i = y]`
+//! 2. Conditional:      `P̂(y | z) = P̂(y, z) / P̂(z)`
+//! 3. LEEP:             `(1/n) Σ_i log( Σ_z P̂(y_i | z) · θ(x_i)_z )`
+//!
+//! The score is the average log-likelihood of the *expected empirical
+//! predictor* — always `≤ 0`, and higher means better expected transfer.
+//! It needs one inference pass and no training, and works across
+//! heterogeneous label spaces, the two properties §II-A calls out.
+
+use super::{validate_labels, PredictionMatrix};
+use crate::error::Result;
+
+/// Floor applied inside `log` to keep the score finite when a sample's
+/// expected empirical probability underflows (can only happen when some
+/// `θ` entries are exactly 0).
+const LOG_FLOOR: f64 = 1e-12;
+
+/// Compute the LEEP score. `target_labels[i] ∈ 0..n_target_labels` is the
+/// ground-truth target label of sample `i`.
+///
+/// ```
+/// use tps_core::proxy::{leep::leep, PredictionMatrix};
+///
+/// // Source predictions perfectly aligned with the target labels.
+/// let aligned = PredictionMatrix::new(2, vec![
+///     0.9, 0.1,   // sample 0, label 0
+///     0.1, 0.9,   // sample 1, label 1
+///     0.9, 0.1,   // sample 2, label 0
+///     0.1, 0.9,   // sample 3, label 1
+/// ])?;
+/// let uniform = PredictionMatrix::new(2, vec![0.5; 8])?;
+/// let labels = [0, 1, 0, 1];
+/// assert!(leep(&aligned, &labels, 2)? > leep(&uniform, &labels, 2)?);
+/// # Ok::<(), tps_core::error::SelectionError>(())
+/// ```
+pub fn leep(
+    predictions: &PredictionMatrix,
+    target_labels: &[usize],
+    n_target_labels: usize,
+) -> Result<f64> {
+    validate_labels(predictions, target_labels, n_target_labels)?;
+    let n = predictions.n_samples();
+    let nz = predictions.n_source_labels();
+
+    // Empirical joint P̂(y, z), row-major over y.
+    let mut joint = vec![0.0f64; n_target_labels * nz];
+    for (i, &y) in target_labels.iter().enumerate() {
+        let theta = predictions.row(i);
+        let row = &mut joint[y * nz..(y + 1) * nz];
+        for (acc, &t) in row.iter_mut().zip(theta) {
+            *acc += t;
+        }
+    }
+    let inv_n = 1.0 / n as f64;
+    joint.iter_mut().for_each(|v| *v *= inv_n);
+
+    // Marginal P̂(z) and conditional P̂(y|z) (stored back into `joint`).
+    let mut marginal = vec![0.0f64; nz];
+    for y in 0..n_target_labels {
+        for z in 0..nz {
+            marginal[z] += joint[y * nz + z];
+        }
+    }
+    for y in 0..n_target_labels {
+        for z in 0..nz {
+            if marginal[z] > 0.0 {
+                joint[y * nz + z] /= marginal[z];
+            }
+        }
+    }
+    let conditional = joint; // now P̂(y|z)
+
+    // Average log-likelihood of the expected empirical predictor.
+    let mut total = 0.0;
+    for (i, &y) in target_labels.iter().enumerate() {
+        let theta = predictions.row(i);
+        let p: f64 = conditional[y * nz..(y + 1) * nz]
+            .iter()
+            .zip(theta)
+            .map(|(c, t)| c * t)
+            .sum();
+        total += p.max(LOG_FLOOR).ln();
+    }
+    Ok(total * inv_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Predictions perfectly aligned with target labels: source label z == y.
+    fn aligned(n_per_class: usize) -> (PredictionMatrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for y in 0..2 {
+            for _ in 0..n_per_class {
+                rows.extend_from_slice(if y == 0 { &[1.0, 0.0] } else { &[0.0, 1.0] });
+                labels.push(y);
+            }
+        }
+        (PredictionMatrix::new(2, rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn perfect_alignment_gives_zero() {
+        let (p, y) = aligned(4);
+        let s = leep(&p, &y, 2).unwrap();
+        assert!(s.abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn leep_is_nonpositive() {
+        let p = PredictionMatrix::new(3, vec![0.2, 0.5, 0.3, 0.6, 0.2, 0.2, 0.1, 0.1, 0.8])
+            .unwrap();
+        let s = leep(&p, &[0, 1, 0], 2).unwrap();
+        assert!(s <= 0.0);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn uninformative_predictions_score_entropy_of_labels() {
+        // Uniform θ regardless of label: expected empirical predictor is the
+        // label marginal; with balanced binary labels LEEP = ln(1/2).
+        let rows = vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5];
+        let p = PredictionMatrix::new(2, rows).unwrap();
+        let s = leep(&p, &[0, 1, 0, 1], 2).unwrap();
+        assert!((s - 0.5f64.ln()).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn aligned_beats_misaligned() {
+        let (p_good, y) = aligned(4);
+        // Anti-aligned predictions.
+        let mut rows = Vec::new();
+        for &label in &y {
+            rows.extend_from_slice(if label == 0 { &[0.1, 0.9] } else { &[0.9, 0.1] });
+        }
+        // Note: anti-alignment is still informative to the empirical
+        // predictor; compare against *noisy* predictions instead.
+        let mut noisy = Vec::new();
+        for (i, _) in y.iter().enumerate() {
+            noisy.extend_from_slice(if i % 2 == 0 { &[0.6, 0.4] } else { &[0.4, 0.6] });
+        }
+        let s_good = leep(&p_good, &y, 2).unwrap();
+        let s_noisy = leep(&PredictionMatrix::new(2, noisy).unwrap(), &y, 2).unwrap();
+        assert!(s_good > s_noisy, "good {s_good} vs noisy {s_noisy}");
+    }
+
+    #[test]
+    fn heterogeneous_label_spaces() {
+        // 3 source labels, 2 target labels — the LEEP selling point.
+        let rows = vec![
+            0.7, 0.2, 0.1, //
+            0.6, 0.3, 0.1, //
+            0.1, 0.2, 0.7, //
+            0.2, 0.1, 0.7,
+        ];
+        let p = PredictionMatrix::new(3, rows).unwrap();
+        let s = leep(&p, &[0, 0, 1, 1], 2).unwrap();
+        assert!(s <= 0.0 && s > -0.7, "got {s}");
+    }
+
+    #[test]
+    fn more_transferable_scores_higher() {
+        // Same structure, decreasing alignment sharpness.
+        let y = vec![0, 0, 1, 1];
+        let sharp = PredictionMatrix::new(
+            2,
+            vec![0.95, 0.05, 0.9, 0.1, 0.1, 0.9, 0.05, 0.95],
+        )
+        .unwrap();
+        let soft = PredictionMatrix::new(
+            2,
+            vec![0.6, 0.4, 0.55, 0.45, 0.45, 0.55, 0.4, 0.6],
+        )
+        .unwrap();
+        assert!(leep(&sharp, &y, 2).unwrap() > leep(&soft, &y, 2).unwrap());
+    }
+
+    #[test]
+    fn rejects_label_mismatch() {
+        let (p, mut y) = aligned(2);
+        y.pop();
+        assert!(leep(&p, &y, 2).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! LogME — Log of Maximum Evidence (You et al., ICML 2021).
+//!
+//! A feature-based transferability proxy: fit a Bayesian linear regression
+//! from the source model's target-set *features* (penultimate-layer
+//! embeddings) to each one-hot target label, maximising the marginal
+//! evidence over the prior precision `α` and noise precision `β` with the
+//! standard fixed-point iteration, and report the per-sample log evidence
+//! averaged over classes. Higher is better; unlike LEEP the score is not
+//! bounded above by 0.
+//!
+//! Included as part of the paper's future-work proxy ensemble (§VII).
+
+use crate::error::{Result, SelectionError};
+
+/// Maximum fixed-point iterations for `(α, β)`.
+const MAX_ITER: usize = 100;
+/// Convergence tolerance on the evidence.
+const TOL: f64 = 1e-6;
+
+/// Compute LogME from a row-major `n × d` feature matrix and target labels.
+pub fn logme(
+    features: &[f64],
+    n: usize,
+    d: usize,
+    target_labels: &[usize],
+    n_target_labels: usize,
+) -> Result<f64> {
+    if n == 0 || d == 0 {
+        return Err(SelectionError::Empty("feature matrix"));
+    }
+    if features.len() != n * d {
+        return Err(SelectionError::DimensionMismatch {
+            what: "feature matrix",
+            expected: n * d,
+            got: features.len(),
+        });
+    }
+    if target_labels.len() != n {
+        return Err(SelectionError::DimensionMismatch {
+            what: "target labels",
+            expected: n,
+            got: target_labels.len(),
+        });
+    }
+    if n_target_labels == 0 {
+        return Err(SelectionError::Empty("target label space"));
+    }
+    if let Some(&bad) = target_labels.iter().find(|&&y| y >= n_target_labels) {
+        return Err(SelectionError::UnknownId {
+            what: "target label",
+            id: bad,
+        });
+    }
+
+    // Gram matrix FᵀF (d × d, symmetric PSD) and its eigendecomposition,
+    // shared across all classes.
+    let mut gram = vec![0.0f64; d * d];
+    for row in features.chunks(d) {
+        for i in 0..d {
+            let fi = row[i];
+            for j in i..d {
+                gram[i * d + j] += fi * row[j];
+            }
+        }
+    }
+    for i in 0..d {
+        for j in 0..i {
+            gram[i * d + j] = gram[j * d + i];
+        }
+    }
+    let (eigvals, eigvecs) = symmetric_eigen(&gram, d);
+
+    // Per class: p = Vᵀ Fᵀ y, evidence maximisation.
+    let mut total = 0.0;
+    for class in 0..n_target_labels {
+        // Fᵀ y
+        let mut fty = vec![0.0f64; d];
+        let mut y_norm2 = 0.0f64;
+        for (i, row) in features.chunks(d).enumerate() {
+            let y = if target_labels[i] == class { 1.0 } else { 0.0 };
+            if y != 0.0 {
+                y_norm2 += 1.0;
+                for (acc, &f) in fty.iter_mut().zip(row) {
+                    *acc += f;
+                }
+            }
+        }
+        // p = Vᵀ (Fᵀ y)
+        let mut p = vec![0.0f64; d];
+        for (i, pi) in p.iter_mut().enumerate() {
+            *pi = (0..d).map(|r| eigvecs[r * d + i] * fty[r]).sum();
+        }
+        total += evidence(&eigvals, &p, y_norm2, n, d);
+    }
+    Ok(total / n_target_labels as f64)
+}
+
+/// Evidence maximisation for one regression target. `s` = eigenvalues of
+/// FᵀF, `p` = projections of Fᵀy onto the eigenbasis, `y2` = ‖y‖².
+fn evidence(s: &[f64], p: &[f64], y2: f64, n: usize, d: usize) -> f64 {
+    let (mut alpha, mut beta) = (1.0f64, 1.0f64);
+    let mut last = f64::NEG_INFINITY;
+    let mut log_evidence = f64::NEG_INFINITY;
+    for _ in 0..MAX_ITER {
+        let mut gamma = 0.0;
+        let mut m2 = 0.0;
+        let mut res2 = y2;
+        let mut logdet = 0.0;
+        for (&si, &pi) in s.iter().zip(p) {
+            let denom = alpha + beta * si;
+            gamma += beta * si / denom;
+            let mi = beta * pi / denom;
+            m2 += mi * mi;
+            res2 += si * mi * mi - 2.0 * mi * pi;
+            logdet += denom.ln();
+        }
+        res2 = res2.max(1e-12);
+        let m2c = m2.max(1e-12);
+
+        log_evidence = 0.5
+            * (d as f64 * alpha.ln() + n as f64 * beta.ln()
+                - beta * res2
+                - alpha * m2
+                - logdet
+                - n as f64 * (2.0 * std::f64::consts::PI).ln());
+
+        alpha = (gamma / m2c).clamp(1e-9, 1e12);
+        beta = (((n as f64 - gamma).max(1e-9)) / res2).clamp(1e-9, 1e12);
+
+        if (log_evidence - last).abs() < TOL {
+            break;
+        }
+        last = log_evidence;
+    }
+    log_evidence / n as f64
+}
+
+/// Cyclic Jacobi eigensolver for a symmetric `d × d` matrix. Returns
+/// `(eigenvalues, eigenvectors)` with eigenvectors as columns of the
+/// returned row-major matrix. Adequate for the small feature dimensions
+/// used by proxy scoring (d ≤ a few hundred).
+pub fn symmetric_eigen(matrix: &[f64], d: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut a = matrix.to_vec();
+    let mut v = vec![0.0f64; d * d];
+    for i in 0..d {
+        v[i * d + i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        // Off-diagonal Frobenius norm.
+        let off: f64 = (0..d)
+            .flat_map(|i| ((i + 1)..d).map(move |j| (i, j)))
+            .map(|(i, j)| a[i * d + j] * a[i * d + j])
+            .sum();
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let apq = a[p * d + q];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = a[p * d + p];
+                let aqq = a[q * d + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of a.
+                for k in 0..d {
+                    let akp = a[k * d + p];
+                    let akq = a[k * d + q];
+                    a[k * d + p] = c * akp - s * akq;
+                    a[k * d + q] = s * akp + c * akq;
+                }
+                for k in 0..d {
+                    let apk = a[p * d + k];
+                    let aqk = a[q * d + k];
+                    a[p * d + k] = c * apk - s * aqk;
+                    a[q * d + k] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..d {
+                    let vkp = v[k * d + p];
+                    let vkq = v[k * d + q];
+                    v[k * d + p] = c * vkp - s * vkq;
+                    v[k * d + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eigvals: Vec<f64> = (0..d).map(|i| a[i * d + i]).collect();
+    (eigvals, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let m = vec![3.0, 0.0, 0.0, 1.0];
+        let (vals, vecs) = symmetric_eigen(&m, 2);
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!((sorted[0] - 1.0).abs() < 1e-9);
+        assert!((sorted[1] - 3.0).abs() < 1e-9);
+        // Eigenvectors are orthonormal.
+        let dot = vecs[0] * vecs[1] + vecs[2] * vecs[3];
+        assert!(dot.abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let m = vec![2.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 1.5];
+        let d = 3;
+        let (vals, vecs) = symmetric_eigen(&m, d);
+        // Reconstruct A = V diag(vals) Vᵀ.
+        for i in 0..d {
+            for j in 0..d {
+                let mut acc = 0.0;
+                for k in 0..d {
+                    acc += vecs[i * d + k] * vals[k] * vecs[j * d + k];
+                }
+                assert!((acc - m[i * d + j]).abs() < 1e-8, "cell ({i},{j})");
+            }
+        }
+    }
+
+    /// Linearly separable features should out-score noise features.
+    #[test]
+    fn separable_beats_noise() {
+        let n = 40;
+        let d = 4;
+        let mut sep = Vec::with_capacity(n * d);
+        let mut noise = Vec::with_capacity(n * d);
+        let mut labels = Vec::with_capacity(n);
+        // Deterministic pseudo-noise; avoids RNG in a unit test.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for i in 0..n {
+            let y = i % 2;
+            labels.push(y);
+            for k in 0..d {
+                let signal = if k == 0 { y as f64 * 2.0 - 1.0 } else { 0.0 };
+                sep.push(signal + 0.05 * next());
+                noise.push(next());
+            }
+        }
+        let s_sep = logme(&sep, n, d, &labels, 2).unwrap();
+        let s_noise = logme(&noise, n, d, &labels, 2).unwrap();
+        assert!(s_sep > s_noise, "separable {s_sep} vs noise {s_noise}");
+    }
+
+    #[test]
+    fn validates_shapes() {
+        assert!(logme(&[1.0], 1, 1, &[0], 1).is_ok());
+        assert!(logme(&[], 0, 0, &[], 1).is_err());
+        assert!(logme(&[1.0, 2.0], 1, 1, &[0], 1).is_err());
+        assert!(logme(&[1.0], 1, 1, &[0, 1], 2).is_err());
+        assert!(logme(&[1.0], 1, 1, &[3], 2).is_err());
+        assert!(logme(&[1.0], 1, 1, &[0], 0).is_err());
+    }
+
+    #[test]
+    fn finite_on_degenerate_features() {
+        // All-zero features must not blow up.
+        let f = vec![0.0; 8];
+        let s = logme(&f, 4, 2, &[0, 1, 0, 1], 2).unwrap();
+        assert!(s.is_finite());
+    }
+}

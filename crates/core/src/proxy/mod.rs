@@ -1,0 +1,192 @@
+//! Light-weight transferability proxy scores (paper §II-A, §III-B).
+//!
+//! A proxy score predicts `p(d | m)` — the post-fine-tuning accuracy of
+//! model `m` on dataset `d` — **without fine-tuning**. The paper uses
+//! [`leep`] (average log-likelihood of the expected empirical predictor);
+//! this module also ships [`nce`], [`logme`] and [`knn`] as the
+//! "combine different light-weight tasks" extension from the future-work
+//! section, plus rank-average [`ensemble`]s over them.
+//!
+//! All scores operate on data a pre-trained model can produce cheaply with
+//! a single inference pass over the target dataset: a [`PredictionMatrix`]
+//! (soft-max outputs over the *source* label space) and/or a feature matrix
+//! (penultimate-layer embeddings).
+
+pub mod ensemble;
+pub mod knn;
+pub mod leep;
+pub mod logme;
+pub mod nce;
+
+use crate::error::{Result, SelectionError};
+use serde::{Deserialize, Serialize};
+
+/// Row-stochastic `n_samples × n_source_labels` matrix of a source model's
+/// predicted label distributions on the target dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionMatrix {
+    n_source_labels: usize,
+    /// Row-major probabilities.
+    rows: Vec<f64>,
+}
+
+impl PredictionMatrix {
+    /// Probability mass a row may deviate from 1 before being rejected.
+    const ROW_SUM_TOLERANCE: f64 = 1e-6;
+
+    /// Build from row-major probabilities, validating each row is a
+    /// distribution.
+    pub fn new(n_source_labels: usize, rows: Vec<f64>) -> Result<Self> {
+        if n_source_labels == 0 {
+            return Err(SelectionError::Empty("source label space"));
+        }
+        if rows.is_empty() || !rows.len().is_multiple_of(n_source_labels) {
+            return Err(SelectionError::DimensionMismatch {
+                what: "prediction rows",
+                expected: n_source_labels,
+                got: rows.len(),
+            });
+        }
+        for (r, chunk) in rows.chunks(n_source_labels).enumerate() {
+            let mut sum = 0.0;
+            for &p in chunk {
+                if !p.is_finite() || p < 0.0 {
+                    return Err(SelectionError::InvalidValue {
+                        what: "prediction probability",
+                        value: p,
+                    });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > Self::ROW_SUM_TOLERANCE {
+                return Err(SelectionError::NotADistribution { row: r, sum });
+            }
+        }
+        Ok(Self {
+            n_source_labels,
+            rows,
+        })
+    }
+
+    /// Number of target samples covered.
+    #[inline]
+    pub fn n_samples(&self) -> usize {
+        self.rows.len() / self.n_source_labels
+    }
+
+    /// Size of the source label space `|Z|`.
+    #[inline]
+    pub fn n_source_labels(&self) -> usize {
+        self.n_source_labels
+    }
+
+    /// The predicted distribution `θ(x_i)` for sample `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i * self.n_source_labels..(i + 1) * self.n_source_labels]
+    }
+
+    /// Hard source label `argmax_z θ(x_i)_z` for sample `i`.
+    pub fn hard_label(&self, i: usize) -> usize {
+        self.row(i)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(z, _)| z)
+            .unwrap_or(0)
+    }
+}
+
+/// Validate a `(predictions, labels, n_target_labels)` triple shared by the
+/// prediction-based proxies.
+pub(crate) fn validate_labels(
+    predictions: &PredictionMatrix,
+    target_labels: &[usize],
+    n_target_labels: usize,
+) -> Result<()> {
+    if target_labels.len() != predictions.n_samples() {
+        return Err(SelectionError::DimensionMismatch {
+            what: "target labels",
+            expected: predictions.n_samples(),
+            got: target_labels.len(),
+        });
+    }
+    if n_target_labels == 0 {
+        return Err(SelectionError::Empty("target label space"));
+    }
+    if let Some(&bad) = target_labels.iter().find(|&&y| y >= n_target_labels) {
+        return Err(SelectionError::UnknownId {
+            what: "target label",
+            id: bad,
+        });
+    }
+    Ok(())
+}
+
+/// Min-max normalise scores to `[0, 1]` (paper §III-B: "normalize score
+/// between \[0,1\]"). Constant inputs map to all-0.5 so that downstream
+/// products neither zero-out nor dominate.
+pub fn normalize_scores(scores: &[f64]) -> Vec<f64> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &s in scores {
+        lo = lo.min(s);
+        hi = hi.max(s);
+    }
+    if !lo.is_finite() || !hi.is_finite() || (hi - lo) < 1e-12 {
+        return vec![0.5; scores.len()];
+    }
+    scores.iter().map(|&s| (s - lo) / (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_matrix_accessors() {
+        let p = PredictionMatrix::new(2, vec![0.9, 0.1, 0.3, 0.7]).unwrap();
+        assert_eq!(p.n_samples(), 2);
+        assert_eq!(p.n_source_labels(), 2);
+        assert_eq!(p.row(1), &[0.3, 0.7]);
+        assert_eq!(p.hard_label(0), 0);
+        assert_eq!(p.hard_label(1), 1);
+    }
+
+    #[test]
+    fn rejects_non_distribution() {
+        assert!(matches!(
+            PredictionMatrix::new(2, vec![0.9, 0.3]),
+            Err(SelectionError::NotADistribution { row: 0, .. })
+        ));
+        assert!(PredictionMatrix::new(2, vec![-0.1, 1.1]).is_err());
+        assert!(PredictionMatrix::new(2, vec![f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_errors() {
+        assert!(PredictionMatrix::new(0, vec![]).is_err());
+        assert!(PredictionMatrix::new(2, vec![1.0]).is_err());
+        assert!(PredictionMatrix::new(2, vec![]).is_err());
+    }
+
+    #[test]
+    fn label_validation() {
+        let p = PredictionMatrix::new(2, vec![0.5, 0.5]).unwrap();
+        assert!(validate_labels(&p, &[0], 1).is_ok());
+        assert!(validate_labels(&p, &[1], 1).is_err());
+        assert!(validate_labels(&p, &[0, 0], 1).is_err());
+        assert!(validate_labels(&p, &[0], 0).is_err());
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_interval() {
+        let n = normalize_scores(&[-3.0, -1.0, -2.0]);
+        assert_eq!(n, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn normalize_constant_input() {
+        assert_eq!(normalize_scores(&[2.0, 2.0]), vec![0.5, 0.5]);
+        assert!(normalize_scores(&[]).is_empty());
+    }
+}

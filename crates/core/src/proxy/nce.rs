@@ -1,0 +1,104 @@
+//! NCE — Negative Conditional Entropy (Tran et al., ICCV 2019).
+//!
+//! A harder-edged cousin of LEEP: discretise the source predictions to hard
+//! labels `z_i = argmax θ(x_i)` and score the transferability as the
+//! negative conditional entropy of the target label given the source label,
+//! `−H(Y | Z) = Σ_z P̂(z) Σ_y P̂(y|z) log P̂(y|z)`.
+//!
+//! Like LEEP it is `≤ 0` with higher = more transferable; unlike LEEP it
+//! ignores prediction confidence, which makes it cheaper but coarser —
+//! exactly the trade-off the ensemble proxy (future-work §VII) exploits.
+
+use super::{validate_labels, PredictionMatrix};
+use crate::error::Result;
+
+/// Compute the NCE score from hard-labelled predictions.
+pub fn nce(
+    predictions: &PredictionMatrix,
+    target_labels: &[usize],
+    n_target_labels: usize,
+) -> Result<f64> {
+    validate_labels(predictions, target_labels, n_target_labels)?;
+    let n = predictions.n_samples();
+    let nz = predictions.n_source_labels();
+
+    // Joint counts over (y, z).
+    let mut joint = vec![0.0f64; n_target_labels * nz];
+    for (i, &y) in target_labels.iter().enumerate() {
+        let z = predictions.hard_label(i);
+        joint[y * nz + z] += 1.0;
+    }
+    let inv_n = 1.0 / n as f64;
+
+    // −H(Y|Z) = Σ_{y,z} P(y,z) log( P(y,z) / P(z) )
+    let mut marginal_z = vec![0.0f64; nz];
+    for y in 0..n_target_labels {
+        for z in 0..nz {
+            marginal_z[z] += joint[y * nz + z] * inv_n;
+        }
+    }
+    let mut score = 0.0;
+    for y in 0..n_target_labels {
+        for z in 0..nz {
+            let pyz = joint[y * nz + z] * inv_n;
+            if pyz > 0.0 {
+                score += pyz * (pyz / marginal_z[z]).ln();
+            }
+        }
+    }
+    Ok(score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_mapping_scores_zero() {
+        // z fully determines y -> H(Y|Z) = 0.
+        let rows = vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0];
+        let p = PredictionMatrix::new(2, rows).unwrap();
+        let s = nce(&p, &[0, 0, 1, 1], 2).unwrap();
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn uninformative_mapping_scores_label_entropy() {
+        // All samples get source label 0; H(Y|Z) = H(Y) = ln 2 for balanced
+        // binary labels.
+        let rows = vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let p = PredictionMatrix::new(2, rows).unwrap();
+        let s = nce(&p, &[0, 1, 0, 1], 2).unwrap();
+        assert!((s + 2f64.ln()).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn nce_nonpositive_and_ordered() {
+        let y = vec![0, 0, 1, 1, 0, 1];
+        let informative = PredictionMatrix::new(
+            2,
+            vec![
+                0.9, 0.1, 0.8, 0.2, 0.2, 0.8, 0.1, 0.9, 0.7, 0.3, 0.3, 0.7,
+            ],
+        )
+        .unwrap();
+        let confused = PredictionMatrix::new(
+            2,
+            vec![
+                0.9, 0.1, 0.2, 0.8, 0.9, 0.1, 0.2, 0.8, 0.6, 0.4, 0.6, 0.4,
+            ],
+        )
+        .unwrap();
+        let si = nce(&informative, &y, 2).unwrap();
+        let sc = nce(&confused, &y, 2).unwrap();
+        assert!(si <= 0.0 && sc <= 0.0);
+        assert!(si > sc, "informative {si} vs confused {sc}");
+    }
+
+    #[test]
+    fn validates_input() {
+        let p = PredictionMatrix::new(2, vec![0.5, 0.5]).unwrap();
+        assert!(nce(&p, &[0, 1], 2).is_err());
+        assert!(nce(&p, &[5], 2).is_err());
+    }
+}

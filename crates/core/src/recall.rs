@@ -1,0 +1,339 @@
+//! The coarse-recall phase (paper §III): cheaply shrink the repository to a
+//! handful of promising candidates for fine-tuning.
+//!
+//! For every **non-singleton** cluster the proxy score (LEEP) is computed
+//! once, for the cluster's representative model, on the target dataset.
+//! Then (after min-max normalisation to `[0, 1]`):
+//!
+//! * Eq. 3 — a model in a non-singleton cluster scores
+//!   `acc(m) · proxy(T | m(c(m)))`;
+//! * Eq. 4 — a model in a singleton cluster receives the representatives'
+//!   proxy scores *propagated* and decayed by model similarity:
+//!   `acc(m) · (1/|C_non|) Σ_k sim(m, m(C_k)) · proxy(T | m(C_k))`.
+//!
+//! The top-K models by recall score advance to fine-selection.
+
+use crate::cluster::Clustering;
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::matrix::PerformanceMatrix;
+use crate::proxy::normalize_scores;
+use crate::similarity::SimilarityMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`coarse_recall`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RecallConfig {
+    /// How many models to recall (the paper settles on `K = 10`).
+    pub top_k: usize,
+    /// Epoch-equivalents charged per proxy-score computation. The paper
+    /// counts inference as half a training epoch (§V-D: `0.5 · |MC|`).
+    pub proxy_epoch_cost: f64,
+}
+
+impl Default for RecallConfig {
+    fn default() -> Self {
+        Self {
+            top_k: 10,
+            proxy_epoch_cost: 0.5,
+        }
+    }
+}
+
+/// Result of the coarse-recall phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecallOutcome {
+    /// Every model with its recall score, sorted descending (ties broken by
+    /// model id for determinism).
+    pub ranked: Vec<(ModelId, f64)>,
+    /// The top-K models — input to fine-selection, in rank order.
+    pub recalled: Vec<ModelId>,
+    /// Normalised proxy score per cluster (`None` for singleton clusters,
+    /// whose representatives are never scored directly).
+    pub cluster_proxy: Vec<Option<f64>>,
+    /// Representative model per cluster.
+    pub representatives: Vec<ModelId>,
+    /// Epoch-equivalents spent computing proxy scores.
+    pub proxy_epochs: f64,
+}
+
+impl RecallOutcome {
+    /// Rank (0-based) of a model in the recall ordering, or `None` if the
+    /// model was not part of the repository. Used for Table VII's `R@CR`.
+    pub fn rank_of(&self, m: ModelId) -> Option<usize> {
+        self.ranked.iter().position(|&(id, _)| id == m)
+    }
+}
+
+/// Run the coarse-recall phase.
+///
+/// `proxy_for` computes the **raw** proxy score (e.g. LEEP) of one
+/// representative model on the target dataset; it is called exactly once per
+/// non-singleton cluster. Raw scores are min-max normalised across the
+/// scored representatives before entering Eq. 3/4.
+pub fn coarse_recall(
+    matrix: &PerformanceMatrix,
+    clustering: &Clustering,
+    similarity: &SimilarityMatrix,
+    config: &RecallConfig,
+    mut proxy_for: impl FnMut(ModelId) -> Result<f64>,
+) -> Result<RecallOutcome> {
+    let n = matrix.n_models();
+    if clustering.n_models() != n {
+        return Err(SelectionError::DimensionMismatch {
+            what: "clustering vs matrix models",
+            expected: n,
+            got: clustering.n_models(),
+        });
+    }
+    if similarity.len() != n {
+        return Err(SelectionError::DimensionMismatch {
+            what: "similarity vs matrix models",
+            expected: n,
+            got: similarity.len(),
+        });
+    }
+    if config.top_k == 0 {
+        return Err(SelectionError::InvalidConfig("top_k must be >= 1".into()));
+    }
+
+    let representatives = clustering.representatives(matrix)?;
+    let non_singleton = clustering.non_singleton_clusters();
+
+    // Proxy scores for the representatives of non-singleton clusters. When
+    // every cluster is a singleton (degenerate clustering) we fall back to
+    // scoring every representative — otherwise no model could be ranked.
+    let scored_clusters: Vec<usize> = if non_singleton.is_empty() {
+        (0..clustering.n_clusters()).collect()
+    } else {
+        non_singleton
+    };
+    let mut raw = Vec::with_capacity(scored_clusters.len());
+    for &c in &scored_clusters {
+        raw.push(proxy_for(representatives[c])?);
+    }
+    let norm = normalize_scores(&raw);
+    let mut cluster_proxy: Vec<Option<f64>> = vec![None; clustering.n_clusters()];
+    for (&c, &p) in scored_clusters.iter().zip(&norm) {
+        cluster_proxy[c] = Some(p);
+    }
+
+    // Recall scores per model.
+    let mut ranked: Vec<(ModelId, f64)> = Vec::with_capacity(n);
+    for m in matrix.model_ids() {
+        let acc = matrix.avg_accuracy(m);
+        let c = clustering.cluster_of(m);
+        let score = match cluster_proxy[c] {
+            // Eq. 3: member of a scored cluster.
+            Some(p) => acc * p,
+            // Eq. 4: propagate from scored representatives, decayed by
+            // similarity.
+            None => {
+                let mut sum = 0.0;
+                for (&k, &p) in scored_clusters.iter().zip(&norm) {
+                    sum += similarity.similarity(m, representatives[k]) * p;
+                }
+                acc * sum / scored_clusters.len() as f64
+            }
+        };
+        ranked.push((m, score));
+    }
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let recalled = ranked
+        .iter()
+        .take(config.top_k.min(n))
+        .map(|&(m, _)| m)
+        .collect();
+
+    Ok(RecallOutcome {
+        ranked,
+        recalled,
+        cluster_proxy,
+        representatives,
+        proxy_epochs: config.proxy_epoch_cost * scored_clusters.len() as f64,
+    })
+}
+
+/// Baseline for Fig. 5: recall `top_k` models uniformly at random.
+pub fn random_recall<R: rand::Rng + ?Sized>(
+    n_models: usize,
+    top_k: usize,
+    rng: &mut R,
+) -> Vec<ModelId> {
+    use rand::seq::SliceRandom;
+    let mut ids: Vec<ModelId> = (0..n_models).map(ModelId::from).collect();
+    ids.shuffle(rng);
+    ids.truncate(top_k.min(n_models));
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 models, 2 datasets. Models 0,1 form a cluster; 2,3 are singletons.
+    fn fixture() -> (PerformanceMatrix, Clustering, SimilarityMatrix) {
+        let matrix = PerformanceMatrix::new(
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            vec!["d0".into(), "d1".into()],
+            vec![vec![0.9, 0.8, 0.5, 0.3], vec![0.9, 0.8, 0.5, 0.3]],
+        )
+        .unwrap();
+        let clustering = Clustering::new(vec![0, 0, 1, 2]).unwrap();
+        let similarity = SimilarityMatrix::from_performance(&matrix, 2).unwrap();
+        (matrix, clustering, similarity)
+    }
+
+    #[test]
+    fn scores_representative_once_per_non_singleton_cluster() {
+        let (m, c, s) = fixture();
+        let mut calls = Vec::new();
+        let out = coarse_recall(&m, &c, &s, &RecallConfig::default(), |rep| {
+            calls.push(rep);
+            Ok(-0.5)
+        })
+        .unwrap();
+        // Only cluster 0 is non-singleton; its representative is model 0
+        // (highest avg accuracy).
+        assert_eq!(calls, vec![ModelId(0)]);
+        assert_eq!(out.representatives[0], ModelId(0));
+        assert_eq!(out.proxy_epochs, 0.5);
+        assert!(out.cluster_proxy[0].is_some());
+        assert!(out.cluster_proxy[1].is_none());
+    }
+
+    #[test]
+    fn eq3_and_eq4_combine_into_ranking() {
+        let (m, c, s) = fixture();
+        let out = coarse_recall(
+            &m,
+            &c,
+            &s,
+            &RecallConfig {
+                top_k: 2,
+                ..Default::default()
+            },
+            |_| Ok(-0.2),
+        )
+        .unwrap();
+        // Single scored cluster -> its normalised proxy is 0.5 (constant
+        // input convention). Cluster members score acc * 0.5; singletons
+        // score acc * sim * 0.5, strictly less because sim < 1.
+        assert_eq!(out.ranked[0].0, ModelId(0));
+        assert_eq!(out.ranked[1].0, ModelId(1));
+        assert_eq!(out.recalled, vec![ModelId(0), ModelId(1)]);
+        // Singleton scores are positive but lower.
+        let score_c = out.ranked.iter().find(|&&(id, _)| id == ModelId(2)).unwrap().1;
+        assert!(score_c > 0.0 && score_c < out.ranked[1].1);
+    }
+
+    #[test]
+    fn higher_proxy_cluster_wins() {
+        // Two non-singleton clusters with equal accuracy; the one whose
+        // representative scores better must rank first.
+        let matrix = PerformanceMatrix::new(
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            vec!["d0".into()],
+            vec![vec![0.7, 0.7, 0.7, 0.7]],
+        )
+        .unwrap();
+        let clustering = Clustering::new(vec![0, 0, 1, 1]).unwrap();
+        let sim = SimilarityMatrix::from_performance(&matrix, 1).unwrap();
+        let out = coarse_recall(&matrix, &clustering, &sim, &RecallConfig::default(), |rep| {
+            Ok(if clustering.cluster_of(rep) == 1 { -0.1 } else { -0.9 })
+        })
+        .unwrap();
+        assert!(out.ranked[0].0.index() >= 2, "cluster 1 models should lead");
+        assert_eq!(out.cluster_proxy[1], Some(1.0));
+        assert_eq!(out.cluster_proxy[0], Some(0.0));
+    }
+
+    #[test]
+    fn all_singletons_falls_back_to_scoring_everything() {
+        let matrix = PerformanceMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec!["d0".into()],
+            vec![vec![0.9, 0.3]],
+        )
+        .unwrap();
+        let clustering = Clustering::new(vec![0, 1]).unwrap();
+        let sim = SimilarityMatrix::from_performance(&matrix, 1).unwrap();
+        let mut calls = 0;
+        let out = coarse_recall(&matrix, &clustering, &sim, &RecallConfig::default(), |_| {
+            calls += 1;
+            Ok(-0.3)
+        })
+        .unwrap();
+        assert_eq!(calls, 2);
+        assert_eq!(out.proxy_epochs, 1.0);
+        assert_eq!(out.ranked[0].0, ModelId(0));
+    }
+
+    #[test]
+    fn rank_of_reports_position() {
+        let (m, c, s) = fixture();
+        let out = coarse_recall(&m, &c, &s, &RecallConfig::default(), |_| Ok(-0.2)).unwrap();
+        assert_eq!(out.rank_of(ModelId(0)), Some(0));
+        assert_eq!(out.rank_of(ModelId(99)), None);
+    }
+
+    #[test]
+    fn top_k_clamped_to_repository() {
+        let (m, c, s) = fixture();
+        let out = coarse_recall(
+            &m,
+            &c,
+            &s,
+            &RecallConfig {
+                top_k: 100,
+                ..Default::default()
+            },
+            |_| Ok(-0.2),
+        )
+        .unwrap();
+        assert_eq!(out.recalled.len(), 4);
+    }
+
+    #[test]
+    fn config_and_dimension_validation() {
+        let (m, c, s) = fixture();
+        assert!(coarse_recall(
+            &m,
+            &c,
+            &s,
+            &RecallConfig {
+                top_k: 0,
+                ..Default::default()
+            },
+            |_| Ok(0.0)
+        )
+        .is_err());
+        let wrong = Clustering::new(vec![0, 0]).unwrap();
+        assert!(coarse_recall(&m, &wrong, &s, &RecallConfig::default(), |_| Ok(0.0)).is_err());
+    }
+
+    #[test]
+    fn proxy_errors_propagate() {
+        let (m, c, s) = fixture();
+        let err = coarse_recall(&m, &c, &s, &RecallConfig::default(), |_| {
+            Err(SelectionError::Empty("proxy"))
+        })
+        .unwrap_err();
+        assert_eq!(err, SelectionError::Empty("proxy"));
+    }
+
+    #[test]
+    fn random_recall_returns_distinct_models() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = random_recall(10, 4, &mut rng);
+        assert_eq!(picked.len(), 4);
+        let mut sorted = picked.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+        assert_eq!(random_recall(3, 10, &mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! Brute-force search (BF): fine-tune every candidate for the full stage
+//! budget and keep the best validation performer. The reference point for
+//! every speedup the paper reports (`|M| · T` epochs).
+
+use super::{advance_pool, finish, validate_pool, SelectionOutcome};
+use crate::budget::EpochLedger;
+use crate::error::Result;
+use crate::ids::ModelId;
+use crate::traits::TargetTrainer;
+
+/// Run brute-force selection over `models` for `total_stages` stages.
+pub fn brute_force(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+) -> Result<SelectionOutcome> {
+    validate_pool(models, total_stages)?;
+    let mut ledger = EpochLedger::new();
+    let mut pool_history = Vec::with_capacity(total_stages);
+    let mut val_history = Vec::with_capacity(total_stages);
+    let mut last_vals = Vec::new();
+    for _ in 0..total_stages {
+        pool_history.push(models.to_vec());
+        last_vals = advance_pool(trainer, models, &mut ledger)?;
+        val_history.push(last_vals.clone());
+    }
+    finish(trainer, &last_vals, ledger, pool_history, val_history, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::ScriptedTrainer;
+
+    #[test]
+    fn trains_everything_fully() {
+        let mut trainer = ScriptedTrainer::from_val_curves(vec![
+            vec![0.2, 0.4, 0.6],
+            vec![0.5, 0.7, 0.9],
+            vec![0.3, 0.3, 0.3],
+        ]);
+        let models: Vec<ModelId> = (0..3).map(ModelId::from).collect();
+        let out = brute_force(&mut trainer, &models, 3).unwrap();
+        assert_eq!(out.winner, ModelId(1));
+        assert_eq!(out.winner_val, 0.9);
+        assert_eq!(out.winner_test, 0.9);
+        assert_eq!(out.ledger.total(), 9.0);
+        assert!(trainer.trained.iter().all(|&t| t == 3));
+        assert_eq!(out.pool_history.len(), 3);
+        assert_eq!(out.val_history[0].len(), 3);
+    }
+
+    #[test]
+    fn epoch_count_is_m_times_t() {
+        let curves: Vec<Vec<f64>> = (0..10).map(|i| vec![0.1 * i as f64 / 2.0; 5]).collect();
+        let mut trainer = ScriptedTrainer::from_val_curves(curves);
+        let models: Vec<ModelId> = (0..10).map(ModelId::from).collect();
+        let out = brute_force(&mut trainer, &models, 5).unwrap();
+        assert_eq!(out.ledger.total(), 50.0); // Table V: BF NLP top-10 = 50
+    }
+
+    #[test]
+    fn single_model_pool() {
+        let mut trainer = ScriptedTrainer::from_val_curves(vec![vec![0.5, 0.6]]);
+        let out = brute_force(&mut trainer, &[ModelId(0)], 2).unwrap();
+        assert_eq!(out.winner, ModelId(0));
+        assert_eq!(out.ledger.total(), 2.0);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let mut trainer = ScriptedTrainer::from_val_curves(vec![vec![0.5]]);
+        assert!(brute_force(&mut trainer, &[], 1).is_err());
+        assert!(brute_force(&mut trainer, &[ModelId(0)], 0).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Ensemble fine-selection (paper §VI: "we can also combine multi-model
+//! selection methods in the fine-selection phase to achieve high ensemble
+//! performance").
+//!
+//! Identical to Algorithm 1 except the pool never shrinks below `E` models:
+//! all `E` survivors train to the full stage budget and are returned ranked
+//! by final validation, ready to be ensembled downstream.
+
+use super::fine::{fine_filter, FineSelectionConfig};
+use super::{advance_pool, top_by_val, validate_pool};
+use crate::budget::EpochLedger;
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::traits::TargetTrainer;
+use crate::trend::TrendBook;
+use serde::{Deserialize, Serialize};
+
+/// One fully-trained ensemble member.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleMember {
+    /// The model.
+    pub model: ModelId,
+    /// Final validation accuracy.
+    pub val: f64,
+    /// Final test accuracy.
+    pub test: f64,
+}
+
+/// Outcome of an ensemble fine-selection run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleOutcome {
+    /// The surviving models, best validation first, all trained to the full
+    /// stage budget.
+    pub members: Vec<EnsembleMember>,
+    /// Epoch-equivalents spent.
+    pub ledger: EpochLedger,
+    /// Candidate pool at the start of each stage.
+    pub pool_history: Vec<Vec<ModelId>>,
+}
+
+/// Run fine-selection that keeps (at least) the top `ensemble_size` models
+/// alive to full training.
+pub fn fine_selection_ensemble(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+    trends: &TrendBook,
+    config: &FineSelectionConfig,
+    ensemble_size: usize,
+) -> Result<EnsembleOutcome> {
+    validate_pool(models, total_stages)?;
+    if ensemble_size == 0 || ensemble_size > models.len() {
+        return Err(SelectionError::InvalidConfig(format!(
+            "ensemble_size must be in 1..={} (got {ensemble_size})",
+            models.len()
+        )));
+    }
+
+    let mut ledger = EpochLedger::new();
+    let mut pool: Vec<ModelId> = models.to_vec();
+    let mut pool_history = Vec::with_capacity(total_stages);
+    let mut last_vals = Vec::new();
+
+    for t in 0..total_stages {
+        pool_history.push(pool.clone());
+        last_vals = advance_pool(trainer, &pool, &mut ledger)?;
+        if pool.len() > ensemble_size {
+            let survivors = fine_filter(&last_vals, t, trends, config.threshold);
+            // Halving cap, floored at the ensemble size.
+            let cap = (pool.len() / 2).max(ensemble_size);
+            pool = if survivors.len() > cap {
+                let surviving_vals: Vec<(ModelId, f64)> = last_vals
+                    .iter()
+                    .filter(|(m, _)| survivors.contains(m))
+                    .copied()
+                    .collect();
+                top_by_val(&surviving_vals, cap)
+            } else if survivors.len() < ensemble_size {
+                // The filter over-pruned below the requested size: refill
+                // with the next-best validation performers.
+                top_by_val(&last_vals, ensemble_size)
+            } else {
+                survivors
+            };
+        }
+    }
+
+    let mut members: Vec<EnsembleMember> = Vec::with_capacity(pool.len());
+    for &(m, val) in last_vals.iter().filter(|(m, _)| pool.contains(m)) {
+        members.push(EnsembleMember {
+            model: m,
+            val,
+            test: trainer.test(m)?,
+        });
+    }
+    members.sort_by(|a, b| b.val.total_cmp(&a.val).then(a.model.cmp(&b.model)));
+    Ok(EnsembleOutcome {
+        members,
+        ledger,
+        pool_history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{CurveSet, LearningCurve};
+    use crate::traits::test_support::ScriptedTrainer;
+    use crate::trend::{TrendConfig, TrendBook};
+
+    fn trend_book(n_models: usize) -> TrendBook {
+        let curves = CurveSet::from_fn(n_models, 4, |_, d| {
+            let f = if d.index() < 2 { 0.9 } else { 0.3 };
+            LearningCurve::new(vec![f * 0.8, f * 0.9, f], f).unwrap()
+        })
+        .unwrap();
+        TrendBook::mine(&curves, 3, &TrendConfig { n_trends: 2, max_iter: 32 }).unwrap()
+    }
+
+    fn staircase(n: usize, stages: usize) -> ScriptedTrainer {
+        ScriptedTrainer::from_val_curves(
+            (0..n)
+                .map(|i| {
+                    let ceiling = 0.3 + 0.6 * (i + 1) as f64 / n as f64;
+                    (0..stages).map(|t| ceiling * (t + 1) as f64 / stages as f64).collect()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn returns_requested_ensemble_fully_trained() {
+        let mut trainer = staircase(8, 4);
+        let models: Vec<ModelId> = (0..8).map(ModelId::from).collect();
+        let book = trend_book(8);
+        let out = fine_selection_ensemble(
+            &mut trainer,
+            &models,
+            4,
+            &book,
+            &FineSelectionConfig::default(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(out.members.len(), 3);
+        // Best three models by ceiling are 7, 6, 5.
+        let ids: Vec<usize> = out.members.iter().map(|m| m.model.index()).collect();
+        assert_eq!(ids, vec![7, 6, 5]);
+        for m in &out.members {
+            assert_eq!(trainer.trained[m.model.index()], 4);
+            assert!(m.val > 0.0 && m.test > 0.0);
+        }
+        // Members sorted by validation descending.
+        assert!(out.members.windows(2).all(|w| w[0].val >= w[1].val));
+    }
+
+    #[test]
+    fn ensemble_of_one_matches_single_selection() {
+        let mut trainer = staircase(6, 3);
+        let models: Vec<ModelId> = (0..6).map(ModelId::from).collect();
+        let book = trend_book(6);
+        let out = fine_selection_ensemble(
+            &mut trainer,
+            &models,
+            3,
+            &book,
+            &FineSelectionConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.members.len(), 1);
+        assert_eq!(out.members[0].model, ModelId(5));
+    }
+
+    #[test]
+    fn costs_at_most_halving_with_floor() {
+        let mut trainer = staircase(10, 5);
+        let models: Vec<ModelId> = (0..10).map(ModelId::from).collect();
+        let book = trend_book(10);
+        let out = fine_selection_ensemble(
+            &mut trainer,
+            &models,
+            5,
+            &book,
+            &FineSelectionConfig::default(),
+            3,
+        )
+        .unwrap();
+        // Upper bound: halving with floor 3 -> 10 + 5 + 3 + 3 + 3 = 24.
+        assert!(out.ledger.total() <= 24.0, "epochs {}", out.ledger.total());
+        assert!(out.members.len() == 3);
+    }
+
+    #[test]
+    fn validates_ensemble_size() {
+        let mut trainer = staircase(4, 2);
+        let models: Vec<ModelId> = (0..4).map(ModelId::from).collect();
+        let book = trend_book(4);
+        for bad in [0usize, 5] {
+            assert!(fine_selection_ensemble(
+                &mut trainer,
+                &models,
+                2,
+                &book,
+                &FineSelectionConfig::default(),
+                bad,
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn pool_never_below_ensemble_size() {
+        let mut trainer = staircase(12, 5);
+        let models: Vec<ModelId> = (0..12).map(ModelId::from).collect();
+        let book = trend_book(12);
+        let out = fine_selection_ensemble(
+            &mut trainer,
+            &models,
+            5,
+            &book,
+            &FineSelectionConfig::default(),
+            4,
+        )
+        .unwrap();
+        assert!(out.pool_history.iter().all(|p| p.len() >= 4));
+    }
+}

@@ -1,0 +1,413 @@
+//! Fine-selection (FS) — Algorithm 1, the paper's contribution.
+//!
+//! Successive halving guarantees only a factor-2 cut per stage. FS adds a
+//! **fine-filter** step before the halving cap: each trained model's current
+//! validation accuracy is matched to one of its mined convergence trends
+//! (Eq. 5), yielding a predicted final test accuracy (Eq. 6). A model is
+//! then removed as soon as some *other* surviving model both validates
+//! better **and** is predicted to finish better by more than a configurable
+//! threshold — which routinely collapses a 10-model pool to 1–2 models
+//! after the very first validation (Table V: 14 epochs vs SH's 19).
+
+use super::{
+    advance_pool, finish, record_cuts, top_by_val, validate_pool, FilterEvent, FilterReason,
+    SelectionOutcome,
+};
+use crate::budget::EpochLedger;
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::traits::TargetTrainer;
+use crate::trend::TrendBook;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`fine_selection`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FineSelectionConfig {
+    /// Prediction-gap threshold (Table IV): model `j` is filtered only when
+    /// a better-validating model `i` satisfies
+    /// `pred_i − pred_j > threshold · pred_j`. `0.0` is the paper's default
+    /// ("we uniformly use a 0% threshold"); larger values filter later but
+    /// safer.
+    pub threshold: f64,
+}
+
+impl Default for FineSelectionConfig {
+    fn default() -> Self {
+        Self { threshold: 0.0 }
+    }
+}
+
+/// Run fine-selection (Algorithm 1) over `models` for `total_stages`
+/// stages, consulting the offline [`TrendBook`] for final-performance
+/// predictions.
+pub fn fine_selection(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+    trends: &TrendBook,
+    config: &FineSelectionConfig,
+) -> Result<SelectionOutcome> {
+    validate_pool(models, total_stages)?;
+    if !(0.0..=1.0).contains(&config.threshold) || !config.threshold.is_finite() {
+        return Err(SelectionError::InvalidValue {
+            what: "fine-selection threshold",
+            value: config.threshold,
+        });
+    }
+    if let Some(bad) = models.iter().find(|m| m.index() >= trends.n_models()) {
+        return Err(SelectionError::UnknownId {
+            what: "model (trend book)",
+            id: bad.index(),
+        });
+    }
+
+    let mut ledger = EpochLedger::new();
+    let mut pool: Vec<ModelId> = models.to_vec();
+    let mut pool_history = Vec::with_capacity(total_stages);
+    let mut val_history = Vec::with_capacity(total_stages);
+    let mut last_vals = Vec::new();
+    let mut events = Vec::new();
+
+    for t in 0..total_stages {
+        pool_history.push(pool.clone());
+        last_vals = advance_pool(trainer, &pool, &mut ledger)?;
+        val_history.push(last_vals.clone());
+        if pool.len() > 1 {
+            // Fine-filter: drop models dominated in (validation, prediction).
+            let (survivors, dominated) =
+                fine_filter_traced(&last_vals, t, trends, config.threshold);
+            for (model, by) in dominated {
+                events.push(FilterEvent {
+                    stage: t,
+                    model,
+                    reason: FilterReason::DominatedBy(by),
+                });
+            }
+            // Halving cap: never keep more than half of this stage's pool.
+            let cap = (pool.len() / 2).max(1);
+            let kept = if survivors.len() > cap {
+                let surviving_vals: Vec<(ModelId, f64)> = last_vals
+                    .iter()
+                    .filter(|(m, _)| survivors.contains(m))
+                    .copied()
+                    .collect();
+                top_by_val(&surviving_vals, cap)
+            } else {
+                survivors
+            };
+            record_cuts(&mut events, t, &pool, &kept);
+            pool = kept;
+        }
+    }
+    let final_vals: Vec<(ModelId, f64)> = last_vals
+        .iter()
+        .filter(|(m, _)| pool.contains(m))
+        .copied()
+        .collect();
+    finish(trainer, &final_vals, ledger, pool_history, val_history, events)
+}
+
+/// The fine-filter of Algorithm 1: walking from the worst validation
+/// performer upward, remove a model when some surviving model has strictly
+/// better validation **and** a predicted final performance better by more
+/// than `threshold · pred_removed`. Always keeps at least one model.
+///
+/// Returns the surviving models (deterministic order: by validation
+/// descending).
+pub fn fine_filter(
+    vals: &[(ModelId, f64)],
+    stage: usize,
+    trends: &TrendBook,
+    threshold: f64,
+) -> Vec<ModelId> {
+    fine_filter_traced(vals, stage, trends, threshold).0
+}
+
+/// [`fine_filter`] plus the audit trail: each removed model paired with the
+/// surviving model that dominated it.
+pub fn fine_filter_traced(
+    vals: &[(ModelId, f64)],
+    stage: usize,
+    trends: &TrendBook,
+    threshold: f64,
+) -> (Vec<ModelId>, Vec<(ModelId, ModelId)>) {
+    // Sort ascending by validation (worst first), ties toward higher id so
+    // the final ordering prefers lower ids.
+    let mut asc: Vec<(ModelId, f64, f64)> = vals
+        .iter()
+        .map(|&(m, v)| (m, v, trends.for_model(m).predict(stage, v)))
+        .collect();
+    asc.sort_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+
+    let mut removed = vec![false; asc.len()];
+    let mut dominated_by = Vec::new();
+    for j in 0..asc.len() {
+        let (model_j, val_j, pred_j) = asc[j];
+        // A model with better validation: anything later in `asc` with a
+        // strictly larger val. Survivors only — a removed model cannot
+        // justify removing another.
+        let dominator = asc
+            .iter()
+            .enumerate()
+            .skip(j + 1)
+            .find(|(i, &(_, val_i, pred_i))| {
+                !removed[*i] && val_i > val_j && pred_i - pred_j > threshold * pred_j
+            })
+            .map(|(_, &(m, _, _))| m);
+        if let Some(by) = dominator {
+            removed[j] = true;
+            dominated_by.push((model_j, by));
+        }
+    }
+    let mut survivors: Vec<ModelId> = asc
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !removed[*i])
+        .map(|(_, &(m, _, _))| m)
+        .collect();
+    survivors.reverse(); // best validation first
+    if survivors.is_empty() {
+        // Unreachable (the best-validating model is never dominated), but
+        // keep the invariant explicit.
+        survivors.push(asc.last().expect("non-empty vals").0);
+    }
+    (survivors, dominated_by)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{CurveSet, LearningCurve};
+    use crate::traits::test_support::ScriptedTrainer;
+    use crate::trend::{TrendConfig, TrendBook};
+
+    /// Offline curves that make trend prediction informative: each model has
+    /// two trend groups — datasets where it reaches ~0.9 and datasets where
+    /// it stalls at ~0.3. A validation near 0.9 therefore predicts ~0.9.
+    fn trend_book(n_models: usize, stages: usize) -> TrendBook {
+        let curves = CurveSet::from_fn(n_models, 6, |_, d| {
+            if d.index() < 3 {
+                LearningCurve::new(
+                    (0..stages).map(|t| 0.7 + 0.2 * (t + 1) as f64 / stages as f64).collect(),
+                    0.9,
+                )
+                .unwrap()
+            } else {
+                LearningCurve::new(
+                    (0..stages).map(|t| 0.25 + 0.05 * (t + 1) as f64 / stages as f64).collect(),
+                    0.3,
+                )
+                .unwrap()
+            }
+        })
+        .unwrap();
+        TrendBook::mine(&curves, stages, &TrendConfig { n_trends: 2, max_iter: 32 }).unwrap()
+    }
+
+    #[test]
+    fn filters_more_aggressively_than_halving() {
+        // One clear winner (tracks the high trend), nine duds (low trend):
+        // FS should collapse to 1 model after stage 1 -> 10 + 4 = 14 epochs
+        // for 5 stages, the Table V figure.
+        let mut curves = vec![vec![0.74, 0.78, 0.82, 0.86, 0.9]];
+        for _ in 0..9 {
+            curves.push(vec![0.26, 0.27, 0.28, 0.29, 0.3]);
+        }
+        let mut trainer = ScriptedTrainer::from_val_curves(curves);
+        let models: Vec<ModelId> = (0..10).map(ModelId::from).collect();
+        let book = trend_book(10, 5);
+        let out = fine_selection(
+            &mut trainer,
+            &models,
+            5,
+            &book,
+            &FineSelectionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.winner, ModelId(0));
+        assert_eq!(out.ledger.total(), 14.0);
+        assert_eq!(out.pool_history[1], vec![ModelId(0)]);
+    }
+
+    #[test]
+    fn never_filters_below_one() {
+        let mut trainer =
+            ScriptedTrainer::from_val_curves(vec![vec![0.3, 0.3], vec![0.31, 0.31]]);
+        let book = trend_book(2, 2);
+        let out = fine_selection(
+            &mut trainer,
+            &[ModelId(0), ModelId(1)],
+            2,
+            &book,
+            &FineSelectionConfig::default(),
+        )
+        .unwrap();
+        assert!(out.pool_history.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn equal_predictions_fall_back_to_halving() {
+        // All models in the same trend -> no prediction gap -> the halving
+        // cap alone applies, so epochs equal SH's.
+        let curves: Vec<Vec<f64>> = (0..8)
+            .map(|i| {
+                let base = 0.70 + i as f64 * 0.01;
+                vec![base, base + 0.02, base + 0.04, base + 0.06]
+            })
+            .collect();
+        let mut trainer = ScriptedTrainer::from_val_curves(curves);
+        let models: Vec<ModelId> = (0..8).map(ModelId::from).collect();
+        let book = trend_book(8, 4);
+        let out = fine_selection(
+            &mut trainer,
+            &models,
+            4,
+            &book,
+            &FineSelectionConfig::default(),
+        )
+        .unwrap();
+        // SH schedule for 8 models / 4 stages: 8 + 4 + 2 + 1 = 15.
+        assert_eq!(out.ledger.total(), 15.0);
+        assert_eq!(out.winner, ModelId(7));
+    }
+
+    #[test]
+    fn threshold_delays_filtering() {
+        // Trends predicting 0.80 vs 0.90: a relative gap of 12.5%, filtered
+        // at 0% threshold but kept at a 20% threshold.
+        let mk = |val: f64, test: f64| {
+            LearningCurve::new(vec![val], test).unwrap()
+        };
+        let curves = CurveSet::new(
+            2,
+            4,
+            vec![
+                mk(0.70, 0.90),
+                mk(0.72, 0.90),
+                mk(0.40, 0.80),
+                mk(0.42, 0.80),
+                // Second model: identical trend structure.
+                mk(0.70, 0.90),
+                mk(0.72, 0.90),
+                mk(0.40, 0.80),
+                mk(0.42, 0.80),
+            ],
+        )
+        .unwrap();
+        let book =
+            TrendBook::mine(&curves, 1, &TrendConfig { n_trends: 2, max_iter: 32 }).unwrap();
+        // Model 0 tracks the high trend (pred 0.90), model 1 the low
+        // (pred 0.80); model 0 also validates better.
+        let vals = vec![(ModelId(0), 0.71), (ModelId(1), 0.41)];
+        let strict = fine_filter(&vals, 0, &book, 0.0);
+        assert_eq!(strict, vec![ModelId(0)]);
+        let lenient = fine_filter(&vals, 0, &book, 0.2);
+        assert_eq!(lenient.len(), 2);
+    }
+
+    #[test]
+    fn fine_filter_keeps_undominated_models() {
+        // Model 1 validates worse but predicts better -> not dominated.
+        let book = trend_book(2, 5);
+        // val 0.88 matches the high trend (~0.9 pred); val 0.86 also high
+        // trend -> equal predictions, no strict dominance.
+        let vals = vec![(ModelId(0), 0.88), (ModelId(1), 0.86)];
+        let survivors = fine_filter(&vals, 0, &book, 0.0);
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(survivors[0], ModelId(0));
+    }
+
+    #[test]
+    fn removed_model_cannot_dominate_others() {
+        // Three models: best dominates middle; middle would dominate worst,
+        // but once the middle is removed only the best's prediction counts.
+        // Either way the worst is dominated by the best here; the assertion
+        // is that the walk is over survivors and keeps exactly the best.
+        // (0.45 sits strictly closer to the low trend's mean validation —
+        // an exact midpoint would tie and match the high trend.)
+        let vals = vec![
+            (ModelId(0), 0.9),
+            (ModelId(1), 0.45),
+            (ModelId(2), 0.28),
+        ];
+        let book = trend_book(3, 5);
+        let survivors = fine_filter(&vals, 0, &book, 0.0);
+        assert_eq!(survivors, vec![ModelId(0)]);
+    }
+
+    #[test]
+    fn validates_configuration() {
+        let mut trainer = ScriptedTrainer::from_val_curves(vec![vec![0.5]]);
+        let book = trend_book(1, 1);
+        assert!(fine_selection(
+            &mut trainer,
+            &[ModelId(0)],
+            1,
+            &book,
+            &FineSelectionConfig { threshold: -0.1 },
+        )
+        .is_err());
+        assert!(fine_selection(
+            &mut trainer,
+            &[ModelId(5)],
+            1,
+            &book,
+            &FineSelectionConfig::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn events_explain_every_removal() {
+        let mut curves = vec![vec![0.74, 0.78, 0.82, 0.86, 0.9]];
+        for _ in 0..9 {
+            curves.push(vec![0.26, 0.27, 0.28, 0.29, 0.3]);
+        }
+        let mut trainer = ScriptedTrainer::from_val_curves(curves);
+        let models: Vec<ModelId> = (0..10).map(ModelId::from).collect();
+        let book = trend_book(10, 5);
+        let out = fine_selection(
+            &mut trainer,
+            &models,
+            5,
+            &book,
+            &FineSelectionConfig::default(),
+        )
+        .unwrap();
+        // Nine removals, all at stage 0, all dominated by the winner.
+        assert_eq!(out.events.len(), 9);
+        for e in &out.events {
+            assert_eq!(e.stage, 0);
+            assert_eq!(
+                e.reason,
+                crate::select::FilterReason::DominatedBy(ModelId(0)),
+                "event {e:?}"
+            );
+        }
+        // Every model that disappeared from the pool has an event.
+        for &m in &models {
+            let in_final = out.pool_history.last().unwrap().contains(&m);
+            let has_event = out.events.iter().any(|e| e.model == m);
+            assert!(in_final ^ has_event, "model {m}");
+        }
+    }
+
+    #[test]
+    fn winner_fully_trained_after_early_collapse() {
+        let mut curves = vec![vec![0.8, 0.84, 0.88]];
+        curves.push(vec![0.27, 0.28, 0.29]);
+        let mut trainer = ScriptedTrainer::from_val_curves(curves);
+        let book = trend_book(2, 3);
+        let out = fine_selection(
+            &mut trainer,
+            &[ModelId(0), ModelId(1)],
+            3,
+            &book,
+            &FineSelectionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.winner, ModelId(0));
+        assert_eq!(trainer.trained[0], 3);
+        assert_eq!(trainer.trained[1], 1);
+    }
+}

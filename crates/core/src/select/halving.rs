@@ -1,0 +1,221 @@
+//! Successive halving (SH) — the state-of-the-art baseline (paper §IV-B,
+//! citing Jamieson & Talwalkar 2016 and its Palette/SHiFT adoptions).
+//!
+//! Each stage trains every surviving model for one validation interval,
+//! then discards the bottom half (`keep = ⌊n/2⌋`, never below 1). The run
+//! lasts exactly `total_stages` stages, so the eventual winner ends fully
+//! trained. With `|M|` initial models this costs
+//! `Σ_t ⌊|M| / 2^t⌋` epochs — e.g. 10 models × 5 stages →
+//! `10 + 5 + 2 + 1 + 1 = 19` epochs, matching Table V.
+
+use super::{advance_pool, finish, record_cuts, top_by_val, validate_pool, SelectionOutcome};
+
+use crate::budget::EpochLedger;
+use crate::error::Result;
+use crate::ids::ModelId;
+use crate::traits::TargetTrainer;
+
+/// Run successive halving over `models` for `total_stages` stages.
+pub fn successive_halving(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+) -> Result<SelectionOutcome> {
+    validate_pool(models, total_stages)?;
+    let mut ledger = EpochLedger::new();
+    let mut pool: Vec<ModelId> = models.to_vec();
+    let mut pool_history = Vec::with_capacity(total_stages);
+    let mut val_history = Vec::with_capacity(total_stages);
+    let mut last_vals = Vec::new();
+    let mut events = Vec::new();
+
+    for t in 0..total_stages {
+        pool_history.push(pool.clone());
+        last_vals = advance_pool(trainer, &pool, &mut ledger)?;
+        val_history.push(last_vals.clone());
+        if pool.len() > 1 {
+            let kept = top_by_val(&last_vals, pool.len() / 2);
+            record_cuts(&mut events, t, &pool, &kept);
+            pool = kept;
+        }
+    }
+    // The winner is judged among the models trained in the final stage.
+    let final_vals: Vec<(ModelId, f64)> = last_vals
+        .iter()
+        .filter(|(m, _)| pool.contains(m))
+        .copied()
+        .collect();
+    finish(trainer, &final_vals, ledger, pool_history, val_history, events)
+}
+
+/// Generalised successive halving with reduction factor `eta`: each stage
+/// keeps `⌈n / eta⌉` models (`eta = 2.0` recovers classic halving up to
+/// rounding; the paper's variant uses `⌊n / 2⌋`, kept separately above for
+/// exact Table V parity). Larger `eta` is cheaper but riskier — the
+/// standard knob in Hyperband-style methods.
+pub fn successive_halving_eta(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+    eta: f64,
+) -> Result<SelectionOutcome> {
+    validate_pool(models, total_stages)?;
+    if eta <= 1.0 || eta.is_nan() || !eta.is_finite() {
+        return Err(crate::error::SelectionError::InvalidConfig(format!(
+            "eta must be a finite value > 1 (got {eta})"
+        )));
+    }
+    let mut ledger = EpochLedger::new();
+    let mut pool: Vec<ModelId> = models.to_vec();
+    let mut pool_history = Vec::with_capacity(total_stages);
+    let mut val_history = Vec::with_capacity(total_stages);
+    let mut last_vals = Vec::new();
+    let mut events = Vec::new();
+
+    for t in 0..total_stages {
+        pool_history.push(pool.clone());
+        last_vals = advance_pool(trainer, &pool, &mut ledger)?;
+        val_history.push(last_vals.clone());
+        if pool.len() > 1 {
+            let keep = ((pool.len() as f64 / eta).ceil() as usize).clamp(1, pool.len() - 1);
+            let kept = top_by_val(&last_vals, keep);
+            record_cuts(&mut events, t, &pool, &kept);
+            pool = kept;
+        }
+    }
+    let final_vals: Vec<(ModelId, f64)> = last_vals
+        .iter()
+        .filter(|(m, _)| pool.contains(m))
+        .copied()
+        .collect();
+    finish(trainer, &final_vals, ledger, pool_history, val_history, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::ScriptedTrainer;
+
+    /// Monotone curves where model i plateaus at (i+1)/n.
+    fn staircase(n: usize, stages: usize) -> ScriptedTrainer {
+        let curves = (0..n)
+            .map(|i| {
+                let ceiling = (i + 1) as f64 / n as f64;
+                (0..stages).map(|t| ceiling * (t + 1) as f64 / stages as f64).collect()
+            })
+            .collect();
+        ScriptedTrainer::from_val_curves(curves)
+    }
+
+    #[test]
+    fn reproduces_paper_epoch_counts() {
+        // Table V: SH with 10 models / 5 stages = 19 epochs; 40/5 = 77;
+        // 10/4 = 18; 30/4 = 55.
+        for (n, stages, expected) in [(10, 5, 19.0), (40, 5, 77.0), (10, 4, 18.0), (30, 4, 55.0)] {
+            let mut trainer = staircase(n, stages);
+            let models: Vec<ModelId> = (0..n).map(ModelId::from).collect();
+            let out = successive_halving(&mut trainer, &models, stages).unwrap();
+            assert_eq!(out.ledger.total(), expected, "n={n} stages={stages}");
+        }
+    }
+
+    #[test]
+    fn selects_the_dominant_model() {
+        let mut trainer = staircase(8, 4);
+        let models: Vec<ModelId> = (0..8).map(ModelId::from).collect();
+        let out = successive_halving(&mut trainer, &models, 4).unwrap();
+        assert_eq!(out.winner, ModelId(7));
+    }
+
+    #[test]
+    fn winner_is_fully_trained() {
+        let mut trainer = staircase(6, 5);
+        let models: Vec<ModelId> = (0..6).map(ModelId::from).collect();
+        let out = successive_halving(&mut trainer, &models, 5).unwrap();
+        assert_eq!(trainer.trained[out.winner.index()], 5);
+    }
+
+    #[test]
+    fn pool_shrinks_by_half_each_stage() {
+        let mut trainer = staircase(16, 5);
+        let models: Vec<ModelId> = (0..16).map(ModelId::from).collect();
+        let out = successive_halving(&mut trainer, &models, 5).unwrap();
+        let sizes: Vec<usize> = out.pool_history.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![16, 8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn can_drop_a_late_bloomer() {
+        // Model 1 starts weak but would end strongest — SH's known failure
+        // mode, which Fig. 7 contrasts with FS.
+        let mut trainer = ScriptedTrainer::from_val_curves(vec![
+            vec![0.6, 0.62, 0.63],
+            vec![0.2, 0.7, 0.95],
+        ]);
+        let out =
+            successive_halving(&mut trainer, &[ModelId(0), ModelId(1)], 3).unwrap();
+        assert_eq!(out.winner, ModelId(0));
+        assert!(out.winner_test < 0.95);
+    }
+
+    #[test]
+    fn single_model_trains_to_completion() {
+        let mut trainer = ScriptedTrainer::from_val_curves(vec![vec![0.4, 0.5, 0.6]]);
+        let out = successive_halving(&mut trainer, &[ModelId(0)], 3).unwrap();
+        assert_eq!(out.winner, ModelId(0));
+        assert_eq!(out.ledger.total(), 3.0);
+        assert_eq!(out.winner_val, 0.6);
+    }
+
+    #[test]
+    fn validates_input() {
+        let mut trainer = ScriptedTrainer::from_val_curves(vec![vec![0.5]]);
+        assert!(successive_halving(&mut trainer, &[], 3).is_err());
+        assert!(successive_halving(&mut trainer, &[ModelId(0)], 0).is_err());
+    }
+
+    #[test]
+    fn halving_events_are_all_cuts() {
+        let mut trainer = staircase(8, 3);
+        let models: Vec<ModelId> = (0..8).map(ModelId::from).collect();
+        let out = successive_halving(&mut trainer, &models, 3).unwrap();
+        // 8 -> 4 -> 2: removals 4 + 2 = 6 (the last stage does not halve a
+        // 2-model pool down further within 3 stages... it does: 2 -> 1).
+        assert_eq!(out.events.len(), 7);
+        assert!(out
+            .events
+            .iter()
+            .all(|e| e.reason == crate::select::FilterReason::HalvingCut));
+        // Stage 0 removed exactly the worst four.
+        let stage0: Vec<usize> = out
+            .events
+            .iter()
+            .filter(|e| e.stage == 0)
+            .map(|e| e.model.index())
+            .collect();
+        assert_eq!(stage0.len(), 4);
+        assert!(stage0.iter().all(|&m| m < 4));
+    }
+
+    #[test]
+    fn eta_variant_shrinks_faster_with_larger_eta() {
+        let models: Vec<ModelId> = (0..27).map(ModelId::from).collect();
+        let mut t2 = staircase(27, 4);
+        let e2 = successive_halving_eta(&mut t2, &models, 4, 2.0).unwrap();
+        let mut t3 = staircase(27, 4);
+        let e3 = successive_halving_eta(&mut t3, &models, 4, 3.0).unwrap();
+        assert!(e3.ledger.total() < e2.ledger.total());
+        // eta = 3 on 27 models: 27 + 9 + 3 + 1 = 40.
+        assert_eq!(e3.ledger.total(), 40.0);
+        assert_eq!(e3.winner, ModelId(26));
+    }
+
+    #[test]
+    fn eta_validates() {
+        let mut trainer = staircase(4, 2);
+        let models: Vec<ModelId> = (0..4).map(ModelId::from).collect();
+        assert!(successive_halving_eta(&mut trainer, &models, 2, 1.0).is_err());
+        assert!(successive_halving_eta(&mut trainer, &models, 2, f64::NAN).is_err());
+        assert!(successive_halving_eta(&mut trainer, &models, 2, f64::INFINITY).is_err());
+    }
+}

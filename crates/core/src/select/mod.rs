@@ -1,0 +1,195 @@
+//! The fine-selection phase and its baselines (paper §IV, §V-C).
+//!
+//! Three selectors share one interface: they drive a
+//! [`crate::traits::TargetTrainer`] over a pool of candidate
+//! models for a fixed number of stages and return the surviving model plus
+//! an epoch ledger:
+//!
+//! * [`brute::brute_force`] — fine-tune everything to completion (BF);
+//! * [`halving::successive_halving`] — keep the top half after every stage
+//!   (SH, the state-of-the-art baseline);
+//! * [`fine::fine_selection`] — SH plus convergence-trend prediction to
+//!   filter *more* than half per stage (FS, Algorithm 1 — the paper's
+//!   contribution);
+//! * [`ensemble::fine_selection_ensemble`] — FS that keeps the top-E
+//!   models alive for downstream ensembling (the §VI extension hook).
+
+pub mod brute;
+pub mod ensemble;
+pub mod fine;
+pub mod halving;
+
+use crate::budget::EpochLedger;
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::traits::TargetTrainer;
+use serde::{Deserialize, Serialize};
+
+/// Why a model was removed from the candidate pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterReason {
+    /// The fine filter removed it: another surviving model had strictly
+    /// better validation *and* a better trend-predicted final performance.
+    DominatedBy(ModelId),
+    /// The halving cap removed it: lowest validation among survivors.
+    HalvingCut,
+}
+
+/// One removal decision, for selection explainability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterEvent {
+    /// Stage (0-based) after whose validation the model was removed.
+    pub stage: usize,
+    /// The removed model.
+    pub model: ModelId,
+    /// Why.
+    pub reason: FilterReason,
+}
+
+/// Outcome of one selection run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionOutcome {
+    /// The selected model.
+    pub winner: ModelId,
+    /// Its validation accuracy at the end of the run.
+    pub winner_val: f64,
+    /// Its test accuracy at the end of the run — what Fig. 7 / Table VI
+    /// report.
+    pub winner_test: f64,
+    /// Epoch-equivalents spent.
+    pub ledger: EpochLedger,
+    /// Candidate pool at the **start** of each stage.
+    pub pool_history: Vec<Vec<ModelId>>,
+    /// `(model, validation accuracy)` pairs recorded at each stage, for
+    /// every model trained in that stage.
+    pub val_history: Vec<Vec<(ModelId, f64)>>,
+    /// Every removal decision, in order — the audit trail of the run.
+    pub events: Vec<FilterEvent>,
+}
+
+/// Shared input validation for the selectors.
+pub(crate) fn validate_pool(models: &[ModelId], total_stages: usize) -> Result<()> {
+    if models.is_empty() {
+        return Err(SelectionError::Empty("candidate models"));
+    }
+    if total_stages == 0 {
+        return Err(SelectionError::InvalidConfig(
+            "total_stages must be >= 1".into(),
+        ));
+    }
+    let mut sorted: Vec<usize> = models.iter().map(|m| m.index()).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != models.len() {
+        return Err(SelectionError::InvalidConfig(
+            "candidate models must be distinct".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Train every model in `pool` for one stage, recording validations and
+/// charging the ledger.
+pub(crate) fn advance_pool(
+    trainer: &mut dyn TargetTrainer,
+    pool: &[ModelId],
+    ledger: &mut EpochLedger,
+) -> Result<Vec<(ModelId, f64)>> {
+    let mut vals = Vec::with_capacity(pool.len());
+    for &m in pool {
+        let v = trainer.advance(m)?;
+        ledger.charge_training(trainer.epochs_per_stage());
+        vals.push((m, v));
+    }
+    Ok(vals)
+}
+
+/// Final bookkeeping shared by every selector: the winner is the pool's best
+/// validation performer; its test accuracy is read at its current state.
+pub(crate) fn finish(
+    trainer: &mut dyn TargetTrainer,
+    last_vals: &[(ModelId, f64)],
+    ledger: EpochLedger,
+    pool_history: Vec<Vec<ModelId>>,
+    val_history: Vec<Vec<(ModelId, f64)>>,
+    events: Vec<FilterEvent>,
+) -> Result<SelectionOutcome> {
+    let &(winner, winner_val) = last_vals
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+        .ok_or(SelectionError::Empty("final validation pool"))?;
+    let winner_test = trainer.test(winner)?;
+    Ok(SelectionOutcome {
+        winner,
+        winner_val,
+        winner_test,
+        ledger,
+        pool_history,
+        val_history,
+        events,
+    })
+}
+
+/// Record `HalvingCut` events for every model in `before` missing from
+/// `after`, except those already removed for another reason this stage.
+pub(crate) fn record_cuts(
+    events: &mut Vec<FilterEvent>,
+    stage: usize,
+    before: &[ModelId],
+    after: &[ModelId],
+) {
+    for &m in before {
+        if !after.contains(&m)
+            && !events
+                .iter()
+                .any(|e| e.stage == stage && e.model == m)
+        {
+            events.push(FilterEvent {
+                stage,
+                model: m,
+                reason: FilterReason::HalvingCut,
+            });
+        }
+    }
+}
+
+/// Keep the `keep` best-validation models from `vals` (stable on ties by
+/// preferring lower model ids), preserving no particular order guarantee
+/// beyond determinism.
+pub(crate) fn top_by_val(vals: &[(ModelId, f64)], keep: usize) -> Vec<ModelId> {
+    let mut sorted = vals.to_vec();
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    sorted.truncate(keep.max(1));
+    sorted.into_iter().map(|(m, _)| m).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_pool_rules() {
+        assert!(validate_pool(&[], 5).is_err());
+        assert!(validate_pool(&[ModelId(0)], 0).is_err());
+        assert!(validate_pool(&[ModelId(0), ModelId(0)], 5).is_err());
+        assert!(validate_pool(&[ModelId(0), ModelId(1)], 5).is_ok());
+    }
+
+    #[test]
+    fn top_by_val_orders_and_truncates() {
+        let vals = vec![
+            (ModelId(0), 0.5),
+            (ModelId(1), 0.9),
+            (ModelId(2), 0.7),
+        ];
+        assert_eq!(top_by_val(&vals, 2), vec![ModelId(1), ModelId(2)]);
+        // keep=0 still keeps one model.
+        assert_eq!(top_by_val(&vals, 0), vec![ModelId(1)]);
+    }
+
+    #[test]
+    fn top_by_val_tie_prefers_lower_id() {
+        let vals = vec![(ModelId(5), 0.5), (ModelId(1), 0.5)];
+        assert_eq!(top_by_val(&vals, 1), vec![ModelId(1)]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Model-similarity measures (paper §III-A, Eq. 1; Table I "text-based").
+//!
+//! Two models are similar when they would achieve similar fine-tuning
+//! performance on a new task. The paper measures this in a data-driven way:
+//! the average of the **top-k largest** absolute accuracy differences across
+//! the benchmark datasets, subtracted from 1 (Eq. 1). Focusing on the
+//! largest differences makes the measure sensitive to the datasets where the
+//! two models genuinely disagree while ignoring the many datasets where all
+//! reasonable models score alike.
+//!
+//! A text-based alternative (Table I) embeds each model card into a vector
+//! and compares by cosine; the paper uses SBERT, we substitute a hashed
+//! bag-of-words embedding (see `DESIGN.md` §2).
+
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::matrix::PerformanceMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Performance-based model similarity, Eq. 1:
+/// `sim(m1, m2) = 1 − avg(top_k |vec(m1) − vec(m2)|)`.
+///
+/// `k` is clamped to the vector length; the appendix-D experiment (Table X)
+/// sweeps `k` and the paper settles on `k = 5`.
+///
+/// ```
+/// use tps_core::similarity::performance_similarity;
+/// let bert_a = [0.82, 0.90, 0.75];
+/// let bert_b = [0.80, 0.91, 0.74];
+/// let oddball = [0.51, 0.49, 0.40];
+/// let close = performance_similarity(&bert_a, &bert_b, 2)?;
+/// let far = performance_similarity(&bert_a, &oddball, 2)?;
+/// assert!(close > far);
+/// # Ok::<(), tps_core::error::SelectionError>(())
+/// ```
+pub fn performance_similarity(v1: &[f64], v2: &[f64], k: usize) -> Result<f64> {
+    if v1.len() != v2.len() {
+        return Err(SelectionError::DimensionMismatch {
+            what: "performance vectors",
+            expected: v1.len(),
+            got: v2.len(),
+        });
+    }
+    if v1.is_empty() {
+        return Err(SelectionError::Empty("performance vectors"));
+    }
+    if k == 0 {
+        return Err(SelectionError::InvalidConfig("top-k must be >= 1".into()));
+    }
+    let mut diffs: Vec<f64> = v1
+        .iter()
+        .zip(v2)
+        .map(|(a, b)| (a - b).abs())
+        .collect();
+    let k = k.min(diffs.len());
+    // Partial sort: only the k largest differences matter.
+    diffs.sort_unstable_by(|a, b| b.total_cmp(a));
+    let avg = diffs[..k].iter().sum::<f64>() / k as f64;
+    Ok(1.0 - avg)
+}
+
+/// A symmetric `|M| × |M|` model-similarity matrix with unit diagonal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityMatrix {
+    n: usize,
+    /// Row-major dense storage (kept dense: |M| is small, and the clustering
+    /// algorithms index it randomly).
+    sim: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Compute the Eq. 1 similarity matrix from a performance matrix.
+    pub fn from_performance(matrix: &PerformanceMatrix, top_k: usize) -> Result<Self> {
+        let vecs = matrix.model_vectors();
+        Self::from_vectors_with(&vecs, |a, b| performance_similarity(a, b, top_k))
+    }
+
+    /// Compute a similarity matrix from arbitrary model vectors via cosine —
+    /// used for the text-based similarity of Table I.
+    pub fn from_vectors_cosine(vecs: &[Vec<f64>]) -> Result<Self> {
+        Self::from_vectors_with(vecs, |a, b| Ok(cosine_similarity(a, b)))
+    }
+
+    fn from_vectors_with(
+        vecs: &[Vec<f64>],
+        mut f: impl FnMut(&[f64], &[f64]) -> Result<f64>,
+    ) -> Result<Self> {
+        if vecs.is_empty() {
+            return Err(SelectionError::Empty("model vectors"));
+        }
+        let n = vecs.len();
+        let mut sim = vec![0.0; n * n];
+        for i in 0..n {
+            sim[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let s = f(&vecs[i], &vecs[j])?;
+                sim[i * n + j] = s;
+                sim[j * n + i] = s;
+            }
+        }
+        Ok(Self { n, sim })
+    }
+
+    /// Number of models.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers no models (never constructible; kept for
+    /// API completeness alongside [`Self::len`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Similarity between two models.
+    #[inline]
+    pub fn similarity(&self, a: ModelId, b: ModelId) -> f64 {
+        self.sim[a.index() * self.n + b.index()]
+    }
+
+    /// Distance view: `1 − sim`, floored at zero (cosine similarity can
+    /// exceed-free range but Eq. 1 can go slightly negative when vectors
+    /// differ by more than 1 on average — impossible for accuracies, yet we
+    /// stay defensive).
+    #[inline]
+    pub fn distance(&self, a: ModelId, b: ModelId) -> f64 {
+        (1.0 - self.similarity(a, b)).max(0.0)
+    }
+
+    /// The full distance matrix, row-major — input to clustering/silhouette.
+    pub fn distance_matrix(&self) -> Vec<f64> {
+        self.sim.iter().map(|s| (1.0 - s).max(0.0)).collect()
+    }
+}
+
+/// Cosine similarity of two equal-length vectors; 0 for zero vectors.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Embed a model-card text into a fixed-size vector via hashed bag-of-words
+/// (the SBERT substitute for Table I's text-based similarity).
+///
+/// Tokens are lowercased alphanumeric runs; each token increments one of
+/// `dim` buckets chosen by an FNV-1a hash. The embedding is L2-normalised so
+/// downstream cosine similarity is a true angular measure.
+pub fn embed_text(card: &str, dim: usize) -> Vec<f64> {
+    assert!(dim > 0, "embedding dimension must be positive");
+    let mut v = vec![0.0f64; dim];
+    for token in card
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+    {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in token.bytes() {
+            let b = b.to_ascii_lowercase();
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        v[(h % dim as u64) as usize] += 1.0;
+    }
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_identical_vectors_similarity_one() {
+        let v = vec![0.5, 0.7, 0.9];
+        assert!((performance_similarity(&v, &v, 2).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_uses_topk_largest_differences() {
+        let a = vec![0.9, 0.5, 0.5, 0.5];
+        let b = vec![0.1, 0.5, 0.5, 0.5];
+        // top-1 difference is 0.8 -> sim 0.2
+        assert!((performance_similarity(&a, &b, 1).unwrap() - 0.2).abs() < 1e-12);
+        // top-2 averages 0.8 and 0.0 -> sim 0.6
+        assert!((performance_similarity(&a, &b, 2).unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_k_clamped_to_len() {
+        let a = vec![0.9, 0.1];
+        let b = vec![0.1, 0.9];
+        let s = performance_similarity(&a, &b, 100).unwrap();
+        assert!((s - (1.0 - 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_rejects_bad_input() {
+        assert!(performance_similarity(&[0.1], &[0.1, 0.2], 1).is_err());
+        assert!(performance_similarity(&[], &[], 1).is_err());
+        assert!(performance_similarity(&[0.1], &[0.2], 0).is_err());
+    }
+
+    #[test]
+    fn similarity_matrix_symmetric_unit_diag() {
+        let m = PerformanceMatrix::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["d0".into(), "d1".into()],
+            vec![vec![0.9, 0.8, 0.1], vec![0.85, 0.8, 0.2]],
+        )
+        .unwrap();
+        let s = SimilarityMatrix::from_performance(&m, 2).unwrap();
+        assert_eq!(s.len(), 3);
+        for i in 0..3 {
+            assert_eq!(s.similarity(ModelId(i as u32), ModelId(i as u32)), 1.0);
+            for j in 0..3 {
+                assert_eq!(
+                    s.similarity(ModelId(i as u32), ModelId(j as u32)),
+                    s.similarity(ModelId(j as u32), ModelId(i as u32))
+                );
+            }
+        }
+        // a and b are much more similar than a and c.
+        assert!(s.similarity(ModelId(0), ModelId(1)) > s.similarity(ModelId(0), ModelId(2)));
+    }
+
+    #[test]
+    fn distance_complements_similarity() {
+        let m = PerformanceMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec!["d0".into()],
+            vec![vec![0.9, 0.4]],
+        )
+        .unwrap();
+        let s = SimilarityMatrix::from_performance(&m, 1).unwrap();
+        let d = s.distance(ModelId(0), ModelId(1));
+        assert!((d - 0.5).abs() < 1e-12);
+        assert_eq!(s.distance_matrix()[1], d);
+    }
+
+    #[test]
+    fn cosine_behaviour() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn text_embedding_discriminates() {
+        let bert1 = embed_text("BERT base uncased fine-tuned on QQP", 64);
+        let bert2 = embed_text("BERT base fine-tuned on QQP dataset", 64);
+        let vit = embed_text("Vision transformer patch16 trained on imagenet-21k", 64);
+        assert!(cosine_similarity(&bert1, &bert2) > cosine_similarity(&bert1, &vit));
+    }
+
+    #[test]
+    fn text_embedding_is_normalised() {
+        let v = embed_text("hello world hello", 32);
+        let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((n - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_embedding_empty_is_zero() {
+        let v = embed_text("  --- ", 8);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

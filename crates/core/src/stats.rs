@@ -1,0 +1,159 @@
+//! Small statistics toolbox used across the evaluation: means, correlation
+//! coefficients (Pearson, Spearman, Kendall), and rank utilities.
+//!
+//! The experiments compare proxy scores against ground-truth fine-tuning
+//! accuracy; rank correlations are the canonical metric for
+//! transferability proxies (LEEP/LogME papers report Pearson and Kendall).
+
+use crate::proxy::ensemble::normalized_ranks;
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than 2 points.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation; 0 when either side has no variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation needs paired samples");
+    let n = xs.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Spearman rank correlation: Pearson over (tie-averaged) ranks.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation needs paired samples");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    pearson(&normalized_ranks(xs), &normalized_ranks(ys))
+}
+
+/// Kendall's τ-a: `(concordant − discordant) / (n·(n−1)/2)`. `O(n²)` —
+/// fine at repository scale.
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation needs paired samples");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = (xs[i] - xs[j]).signum() * (ys[i] - ys[j]).signum();
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (n * (n - 1) / 2) as f64
+}
+
+/// Top-k overlap: fraction of `truth`'s k largest entries present among
+/// `scores`' k largest (recall@k, the Fig. 5 quantity in set form).
+pub fn top_k_overlap(scores: &[f64], truth: &[f64], k: usize) -> f64 {
+    assert_eq!(scores.len(), truth.len());
+    let k = k.min(scores.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let top = |v: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[b].total_cmp(&v[a]));
+        idx.truncate(k);
+        idx
+    };
+    let ts = top(scores);
+    let tt = top(truth);
+    let hits = tt.iter().filter(|i| ts.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_extremes() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_ignores_monotone_warp() {
+        // y = exp(x) is a nonlinear but monotone map: Spearman = 1.
+        let xs: [f64; 5] = [0.1, 0.9, 0.4, 0.7, 0.2];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-9);
+        let rev: Vec<f64> = xs.iter().map(|x| (-x).exp()).collect();
+        assert!((spearman(&xs, &rev) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kendall_known_values() {
+        assert!((kendall_tau(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        // One swapped pair out of three: (2 - 1) / 3.
+        let t = kendall_tau(&[1.0, 2.0, 3.0], &[2.0, 1.0, 3.0]);
+        assert!((t - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn top_k_overlap_counts_hits() {
+        let truth = [0.9, 0.8, 0.1, 0.2];
+        let perfect = [0.7, 0.6, 0.0, 0.1];
+        assert_eq!(top_k_overlap(&perfect, &truth, 2), 1.0);
+        let inverted = [0.1, 0.2, 0.9, 0.8];
+        assert_eq!(top_k_overlap(&inverted, &truth, 2), 0.0);
+        let half = [0.9, 0.1, 0.8, 0.2];
+        assert_eq!(top_k_overlap(&half, &truth, 2), 0.5);
+        assert_eq!(top_k_overlap(&truth, &truth, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn correlation_requires_pairs() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Substrate abstraction: what the selection framework needs from the
+//! machinery that actually trains models.
+//!
+//! `tps-core` never trains anything itself — it drives a [`TargetTrainer`]
+//! supplied by a substrate crate. `tps-zoo` implements these traits with a
+//! parametric world model (fast, used by the experiment harness);
+//! `tps-nn` implements them with a real micro-neural-network trainer.
+
+use crate::error::Result;
+use crate::ids::ModelId;
+use crate::proxy::PredictionMatrix;
+
+/// Incremental fine-tuning of repository models on **one** target task.
+///
+/// A *stage* is one validation interval (`s` training steps in the paper,
+/// one epoch in both bundled substrates). Stages are cumulative: calling
+/// [`advance`](Self::advance) twice trains the model for two stages total.
+/// Implementations own all per-model training state.
+pub trait TargetTrainer {
+    /// Train `model` for one more stage on the target dataset and return the
+    /// validation accuracy after that stage.
+    fn advance(&mut self, model: ModelId) -> Result<f64>;
+
+    /// Test-set accuracy of `model` at its **current** training state.
+    fn test(&mut self, model: ModelId) -> Result<f64>;
+
+    /// Number of stages `model` has been trained for so far.
+    fn stages_trained(&self, model: ModelId) -> usize;
+
+    /// Epoch-equivalents consumed by one stage (1.0 in both substrates).
+    fn epochs_per_stage(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Supplies a source model's feature embeddings of the target samples —
+/// input to the feature-based proxies (LogME, kNN) and their ensembles.
+pub trait FeatureOracle {
+    /// Row-major `n × d` features plus the `(n, d)` shape, aligned with the
+    /// target labels of the corresponding [`ProxyOracle`].
+    fn features(&self, model: ModelId) -> Result<(Vec<f64>, usize, usize)>;
+}
+
+/// Produces the inputs to proxy scoring for a target task: a source model's
+/// prediction matrix over its own label space, plus the target labels.
+pub trait ProxyOracle {
+    /// One inference pass of `model` over the target dataset.
+    fn predictions(&self, model: ModelId) -> Result<PredictionMatrix>;
+
+    /// Ground-truth labels of the target dataset samples, aligned with the
+    /// rows of [`predictions`](Self::predictions).
+    fn target_labels(&self) -> &[usize];
+
+    /// Size of the target label space.
+    fn n_target_labels(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A scripted in-memory trainer used by the selection-algorithm tests:
+    //! each model follows a fixed validation trajectory with a fixed test
+    //! accuracy at every stage.
+
+    use super::*;
+    use crate::error::SelectionError;
+
+    pub struct ScriptedTrainer {
+        /// `curves[m][t]` = validation accuracy of model `m` after stage
+        /// `t + 1`; training past the end holds the last value.
+        pub curves: Vec<Vec<f64>>,
+        /// `tests[m][t]` = test accuracy of model `m` when trained `t + 1`
+        /// stages (same clamping).
+        pub tests: Vec<Vec<f64>>,
+        pub trained: Vec<usize>,
+        /// Log of every advance call, for asserting on training schedules.
+        pub advance_log: Vec<ModelId>,
+    }
+
+    impl ScriptedTrainer {
+        pub fn new(curves: Vec<Vec<f64>>, tests: Vec<Vec<f64>>) -> Self {
+            let n = curves.len();
+            assert_eq!(tests.len(), n);
+            Self {
+                curves,
+                tests,
+                trained: vec![0; n],
+                advance_log: Vec::new(),
+            }
+        }
+
+        /// Convenience: test accuracy equals final validation accuracy.
+        pub fn from_val_curves(curves: Vec<Vec<f64>>) -> Self {
+            let tests = curves
+                .iter()
+                .map(|c| vec![*c.last().expect("non-empty curve"); c.len()])
+                .collect();
+            Self::new(curves, tests)
+        }
+    }
+
+    impl TargetTrainer for ScriptedTrainer {
+        fn advance(&mut self, model: ModelId) -> Result<f64> {
+            let m = model.index();
+            if m >= self.curves.len() {
+                return Err(SelectionError::UnknownId { what: "model", id: m });
+            }
+            self.advance_log.push(model);
+            let t = self.trained[m];
+            self.trained[m] += 1;
+            let curve = &self.curves[m];
+            Ok(curve[t.min(curve.len() - 1)])
+        }
+
+        fn test(&mut self, model: ModelId) -> Result<f64> {
+            let m = model.index();
+            if m >= self.tests.len() {
+                return Err(SelectionError::UnknownId { what: "model", id: m });
+            }
+            let t = self.trained[m];
+            if t == 0 {
+                return Err(SelectionError::InvalidConfig(
+                    "test() before any training stage".into(),
+                ));
+            }
+            let tests = &self.tests[m];
+            Ok(tests[(t - 1).min(tests.len() - 1)])
+        }
+
+        fn stages_trained(&self, model: ModelId) -> usize {
+            self.trained[model.index()]
+        }
+    }
+}

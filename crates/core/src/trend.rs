@@ -1,0 +1,385 @@
+//! Convergence-trend mining (paper §IV-C, Fig. 4, Eq. 5/6).
+//!
+//! A model's fine-tuning trajectories on different datasets fall into a few
+//! recognisable groups ("convergence trends"): e.g. datasets it masters
+//! quickly and well, versus datasets it never lifts far above chance. For
+//! every model, we cluster the benchmark datasets by the model's validation
+//! accuracy at each stage `t`, and store the per-cluster mean validation and
+//! mean **final test** accuracy.
+//!
+//! Online, after `t` stages of fine-tuning on the target dataset, the
+//! model's current validation accuracy is matched to the nearest trend
+//! (Eq. 5), and the trend's mean final test accuracy becomes the prediction
+//! of where this run will end up (Eq. 6) — letting fine-selection discard
+//! models whose *predicted ceiling* is already beaten.
+
+use crate::curve::LearningCurve;
+use crate::error::{Result, SelectionError};
+use crate::ids::DatasetId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for trend mining.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrendConfig {
+    /// Number of trend clusters `c` per stage (Fig. 4 shows 4 groups).
+    pub n_trends: usize,
+    /// Lloyd iterations for the 1-D clustering.
+    pub max_iter: usize,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        Self {
+            n_trends: 4,
+            max_iter: 64,
+        }
+    }
+}
+
+/// One convergence trend at one stage: the cluster of benchmark datasets on
+/// which the model tracked similarly up to this point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trend {
+    /// Mean validation accuracy of member datasets at this stage (`v̄al_x`).
+    pub mean_val: f64,
+    /// Mean final test accuracy of member datasets (`t̄est_x`) — the
+    /// prediction emitted by Eq. 6.
+    pub mean_test: f64,
+    /// Member benchmark datasets.
+    pub members: Vec<DatasetId>,
+}
+
+/// All convergence trends of one model: `stages[t]` holds the trends mined
+/// from validation accuracies at stage `t`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceTrends {
+    stages: Vec<Vec<Trend>>,
+}
+
+impl ConvergenceTrends {
+    /// Number of mined stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Trends at stage `t` (clamped to the last mined stage, mirroring
+    /// [`LearningCurve::val_at_clamped`]).
+    pub fn at_stage(&self, t: usize) -> &[Trend] {
+        &self.stages[t.min(self.stages.len() - 1)]
+    }
+
+    /// Eq. 5: the trend whose mean validation accuracy at stage `t` is
+    /// closest to the observed `val`.
+    pub fn match_trend(&self, t: usize, val: f64) -> &Trend {
+        self.at_stage(t)
+            .iter()
+            .min_by(|a, b| {
+                (a.mean_val - val)
+                    .abs()
+                    .total_cmp(&(b.mean_val - val).abs())
+            })
+            .expect("mined trends are never empty")
+    }
+
+    /// Eq. 6: predicted final test accuracy for a run showing validation
+    /// accuracy `val` at stage `t`.
+    pub fn predict(&self, t: usize, val: f64) -> f64 {
+        self.match_trend(t, val).mean_test
+    }
+}
+
+/// Mine the convergence trends of one model from its benchmark learning
+/// curves (`curves[d]` = the model's curve on benchmark dataset `d`).
+///
+/// `n_stages` bounds how many stages to mine (clamped to the shortest
+/// curve). The number of trends is clamped to the number of datasets.
+///
+/// ```
+/// use tps_core::curve::LearningCurve;
+/// use tps_core::trend::{mine_trends, TrendConfig};
+///
+/// // Two benchmark datasets the model masters, two it never lifts.
+/// let curves = vec![
+///     LearningCurve::new(vec![0.7, 0.9], 0.92)?,
+///     LearningCurve::new(vec![0.72, 0.88], 0.90)?,
+///     LearningCurve::new(vec![0.30, 0.33], 0.34)?,
+///     LearningCurve::new(vec![0.28, 0.31], 0.32)?,
+/// ];
+/// let trends = mine_trends(&curves, 2, &TrendConfig { n_trends: 2, max_iter: 32 })?;
+/// // A validation of 0.7 after stage 1 predicts the high ceiling (Eq. 5/6).
+/// assert!(trends.predict(0, 0.7) > 0.85);
+/// assert!(trends.predict(0, 0.3) < 0.4);
+/// # Ok::<(), tps_core::error::SelectionError>(())
+/// ```
+pub fn mine_trends(
+    curves: &[LearningCurve],
+    n_stages: usize,
+    config: &TrendConfig,
+) -> Result<ConvergenceTrends> {
+    if curves.is_empty() {
+        return Err(SelectionError::Empty("benchmark curves"));
+    }
+    if config.n_trends == 0 {
+        return Err(SelectionError::InvalidConfig("n_trends must be >= 1".into()));
+    }
+    let min_stages = curves.iter().map(LearningCurve::n_stages).min().unwrap_or(0);
+    let stages_to_mine = n_stages.min(min_stages).max(1);
+    let c = config.n_trends.min(curves.len());
+
+    let mut stages = Vec::with_capacity(stages_to_mine);
+    for t in 0..stages_to_mine {
+        let vals: Vec<f64> = curves.iter().map(|cv| cv.val_at_clamped(t)).collect();
+        let assign = cluster_values_1d(&vals, c, config.max_iter);
+        let n_clusters = assign.iter().copied().max().unwrap_or(0) + 1;
+        let mut trends = Vec::with_capacity(n_clusters);
+        for cluster in 0..n_clusters {
+            let members: Vec<DatasetId> = assign
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a == cluster)
+                .map(|(d, _)| DatasetId::from(d))
+                .collect();
+            debug_assert!(!members.is_empty());
+            let mean_val = members
+                .iter()
+                .map(|&d| vals[d.index()])
+                .sum::<f64>()
+                / members.len() as f64;
+            let mean_test = members
+                .iter()
+                .map(|&d| curves[d.index()].test())
+                .sum::<f64>()
+                / members.len() as f64;
+            trends.push(Trend {
+                mean_val,
+                mean_test,
+                members,
+            });
+        }
+        // Sort trends by mean validation for stable, readable output.
+        trends.sort_by(|a, b| b.mean_val.total_cmp(&a.mean_val));
+        stages.push(trends);
+    }
+    Ok(ConvergenceTrends { stages })
+}
+
+/// Convergence trends for every model in the repository, indexed by
+/// [`crate::ids::ModelId`]. Built offline from the full
+/// [`crate::curve::CurveSet`] and
+/// consulted online by fine-selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendBook {
+    per_model: Vec<ConvergenceTrends>,
+}
+
+impl TrendBook {
+    /// Mine trends for every model from the offline curve set.
+    pub fn mine(curves: &crate::curve::CurveSet, n_stages: usize, config: &TrendConfig) -> Result<Self> {
+        let mut per_model = Vec::with_capacity(curves.n_models());
+        for m in 0..curves.n_models() {
+            per_model.push(mine_trends(
+                curves.model_curves(crate::ids::ModelId::from(m)),
+                n_stages,
+                config,
+            )?);
+        }
+        Ok(Self { per_model })
+    }
+
+    /// Assemble from pre-mined per-model trends.
+    pub fn from_parts(per_model: Vec<ConvergenceTrends>) -> Result<Self> {
+        if per_model.is_empty() {
+            return Err(SelectionError::Empty("trend book"));
+        }
+        Ok(Self { per_model })
+    }
+
+    /// Number of models covered.
+    pub fn n_models(&self) -> usize {
+        self.per_model.len()
+    }
+
+    /// Trends of one model.
+    pub fn for_model(&self, m: crate::ids::ModelId) -> &ConvergenceTrends {
+        &self.per_model[m.index()]
+    }
+
+    /// Append trends for a newly-added model (crate-internal; the public
+    /// entry point is `OfflineArtifacts::add_model`).
+    pub(crate) fn push_inner(&mut self, trends: ConvergenceTrends) {
+        self.per_model.push(trends);
+    }
+}
+
+/// Deterministic 1-D k-means: centroids initialised at evenly-spaced
+/// quantiles of the sorted values, Lloyd iterations to convergence, empty
+/// clusters dropped with labels compacted. Returns one label per value.
+///
+/// Exposed publicly because the Fig. 6 experiment clusters first-validation
+/// accuracies directly.
+pub fn cluster_values_1d(values: &[f64], k: usize, max_iter: usize) -> Vec<usize> {
+    assert!(!values.is_empty() && k >= 1);
+    let k = k.min(values.len());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| {
+            // Evenly spaced quantiles (midpoints of k equal-mass strata).
+            let pos = (i as f64 + 0.5) / k as f64 * (sorted.len() - 1) as f64;
+            sorted[pos.round() as usize]
+        })
+        .collect();
+    centroids.dedup();
+
+    let mut assign = vec![0usize; values.len()];
+    for _ in 0..max_iter {
+        let mut changed = false;
+        for (i, &v) in values.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| (a.1 - v).abs().total_cmp(&(b.1 - v).abs()))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            if assign[i] != nearest {
+                assign[i] = nearest;
+                changed = true;
+            }
+        }
+        let mut sums = vec![0.0f64; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, &v) in values.iter().enumerate() {
+            sums[assign[i]] += v;
+            counts[assign[i]] += 1;
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                *centroid = sums[c] / counts[c] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Compact labels of inhabited clusters, ordered by centroid value so the
+    // labelling is deterministic.
+    let mut inhabited: Vec<usize> = assign.iter().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+    inhabited.sort_by(|&a, &b| centroids[a].total_cmp(&centroids[b]));
+    let remap: std::collections::HashMap<usize, usize> = inhabited
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    assign.iter().map(|a| remap[a]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(vals: &[f64], test: f64) -> LearningCurve {
+        LearningCurve::new(vals.to_vec(), test).unwrap()
+    }
+
+    /// Two obvious trend groups: high performers (~0.9) and duds (~0.3).
+    fn two_group_curves() -> Vec<LearningCurve> {
+        vec![
+            curve(&[0.85, 0.9], 0.92),
+            curve(&[0.88, 0.91], 0.93),
+            curve(&[0.3, 0.32], 0.33),
+            curve(&[0.28, 0.31], 0.30),
+        ]
+    }
+
+    #[test]
+    fn mines_two_groups() {
+        let trends = mine_trends(&two_group_curves(), 2, &TrendConfig { n_trends: 2, max_iter: 64 }).unwrap();
+        assert_eq!(trends.n_stages(), 2);
+        let t0 = trends.at_stage(0);
+        assert_eq!(t0.len(), 2);
+        // Sorted by mean_val desc: first trend is the high group.
+        assert!(t0[0].mean_val > 0.8);
+        assert!(t0[1].mean_val < 0.4);
+        assert!((t0[0].mean_test - 0.925).abs() < 1e-9);
+        assert!((t0[1].mean_test - 0.315).abs() < 1e-9);
+        assert_eq!(t0[0].members.len(), 2);
+    }
+
+    #[test]
+    fn eq5_matches_nearest_trend() {
+        let trends = mine_trends(&two_group_curves(), 2, &TrendConfig { n_trends: 2, max_iter: 64 }).unwrap();
+        let high = trends.match_trend(0, 0.87);
+        assert!(high.mean_val > 0.8);
+        let low = trends.match_trend(0, 0.25);
+        assert!(low.mean_val < 0.4);
+    }
+
+    #[test]
+    fn eq6_predicts_matched_mean_test() {
+        let trends = mine_trends(&two_group_curves(), 2, &TrendConfig { n_trends: 2, max_iter: 64 }).unwrap();
+        assert!((trends.predict(0, 0.9) - 0.925).abs() < 1e-9);
+        assert!((trends.predict(1, 0.3) - 0.315).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_clamping() {
+        let trends = mine_trends(&two_group_curves(), 2, &TrendConfig::default()).unwrap();
+        // Requesting stage far past the mined range clamps to the last.
+        let last = trends.at_stage(99);
+        assert_eq!(last, trends.at_stage(1));
+    }
+
+    #[test]
+    fn trend_count_clamped_to_datasets() {
+        let curves = vec![curve(&[0.5], 0.5), curve(&[0.6], 0.6)];
+        let trends = mine_trends(&curves, 1, &TrendConfig { n_trends: 10, max_iter: 64 }).unwrap();
+        assert!(trends.at_stage(0).len() <= 2);
+    }
+
+    #[test]
+    fn every_dataset_in_exactly_one_trend() {
+        let curves = two_group_curves();
+        let trends = mine_trends(&curves, 1, &TrendConfig { n_trends: 3, max_iter: 64 }).unwrap();
+        let mut seen: Vec<usize> = trends
+            .at_stage(0)
+            .iter()
+            .flat_map(|t| t.members.iter().map(|d| d.index()))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(mine_trends(&[], 1, &TrendConfig::default()).is_err());
+        let curves = vec![curve(&[0.5], 0.5)];
+        assert!(mine_trends(&curves, 1, &TrendConfig { n_trends: 0, max_iter: 1 }).is_err());
+    }
+
+    #[test]
+    fn cluster_values_1d_separates() {
+        let vals = [0.1, 0.12, 0.9, 0.88, 0.11];
+        let assign = cluster_values_1d(&vals, 2, 32);
+        assert_eq!(assign[0], assign[1]);
+        assert_eq!(assign[0], assign[4]);
+        assert_eq!(assign[2], assign[3]);
+        assert_ne!(assign[0], assign[2]);
+        // Labels ordered by centroid: low group = 0.
+        assert_eq!(assign[0], 0);
+    }
+
+    #[test]
+    fn cluster_values_1d_identical_values() {
+        let vals = [0.5; 6];
+        let assign = cluster_values_1d(&vals, 3, 16);
+        // All identical -> a single inhabited cluster labelled 0.
+        assert!(assign.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn cluster_values_1d_k_ge_n() {
+        let vals = [0.1, 0.9];
+        let assign = cluster_values_1d(&vals, 5, 16);
+        assert_ne!(assign[0], assign[1]);
+    }
+}

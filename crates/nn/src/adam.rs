@@ -1,0 +1,270 @@
+//! Adam optimizer (Kingma & Ba, 2015) — the de-facto default for
+//! fine-tuning transformers, and therefore the more faithful optimiser for
+//! the substrate's fine-tuning runs. Kept alongside SGD-with-momentum so
+//! the two can be compared (see `optimizer_comparison` test).
+
+use crate::mlp::{Gradients, Mlp};
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate (head and body share it here; transformers typically
+    /// fine-tune whole-network with one small LR).
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    /// Decoupled weight decay (AdamW-style).
+    pub weight_decay: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 0.01,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 1e-4,
+        }
+    }
+}
+
+/// Per-parameter first/second moment state.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    step: u64,
+    mw1: Matrix,
+    vw1: Matrix,
+    mb1: Vec<f64>,
+    vb1: Vec<f64>,
+    mw2: Matrix,
+    vw2: Matrix,
+    mb2: Vec<f64>,
+    vb2: Vec<f64>,
+}
+
+impl AdamState {
+    /// Zeroed state matching a network's shapes.
+    pub fn for_mlp(mlp: &Mlp) -> Self {
+        Self {
+            step: 0,
+            mw1: Matrix::zeros(mlp.w1.rows(), mlp.w1.cols()),
+            vw1: Matrix::zeros(mlp.w1.rows(), mlp.w1.cols()),
+            mb1: vec![0.0; mlp.b1.len()],
+            vb1: vec![0.0; mlp.b1.len()],
+            mw2: Matrix::zeros(mlp.w2.rows(), mlp.w2.cols()),
+            vw2: Matrix::zeros(mlp.w2.rows(), mlp.w2.cols()),
+            mb2: vec![0.0; mlp.b2.len()],
+            vb2: vec![0.0; mlp.b2.len()],
+        }
+    }
+
+    /// Apply one Adam update from a gradient batch.
+    pub fn apply(&mut self, mlp: &mut Mlp, grads: &Gradients, cfg: &AdamConfig) {
+        self.step += 1;
+        let bc1 = 1.0 - cfg.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - cfg.beta2.powi(self.step as i32);
+        update_slice(
+            self.mw1.data_mut(),
+            self.vw1.data_mut(),
+            mlp.w1.data_mut(),
+            grads.w1.data(),
+            cfg,
+            bc1,
+            bc2,
+        );
+        update_slice(
+            &mut self.mb1,
+            &mut self.vb1,
+            &mut mlp.b1,
+            &grads.b1,
+            cfg,
+            bc1,
+            bc2,
+        );
+        update_slice(
+            self.mw2.data_mut(),
+            self.vw2.data_mut(),
+            mlp.w2.data_mut(),
+            grads.w2.data(),
+            cfg,
+            bc1,
+            bc2,
+        );
+        update_slice(
+            &mut self.mb2,
+            &mut self.vb2,
+            &mut mlp.b2,
+            &grads.b2,
+            cfg,
+            bc1,
+            bc2,
+        );
+    }
+}
+
+fn update_slice(
+    m: &mut [f64],
+    v: &mut [f64],
+    w: &mut [f64],
+    g: &[f64],
+    cfg: &AdamConfig,
+    bc1: f64,
+    bc2: f64,
+) {
+    for i in 0..w.len() {
+        m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * g[i];
+        v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * g[i] * g[i];
+        let m_hat = m[i] / bc1;
+        let v_hat = v[i] / bc2;
+        // AdamW: decay decoupled from the adaptive step.
+        w[i] -= cfg.lr * (m_hat / (v_hat.sqrt() + cfg.eps) + cfg.weight_decay * w[i]);
+    }
+}
+
+/// Train one epoch with Adam (mini-batched, shuffled). Returns mean loss.
+pub fn train_epoch_adam<R: rand::Rng + ?Sized>(
+    mlp: &mut Mlp,
+    state: &mut AdamState,
+    data: &crate::datagen::LabelledData,
+    cfg: &AdamConfig,
+    batch_size: usize,
+    rng: &mut R,
+) -> f64 {
+    use rand::seq::SliceRandom;
+    assert!(!data.is_empty(), "cannot train on an empty split");
+    let n = data.len();
+    let dim = data.x.cols();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut total = 0.0;
+    let mut batches = 0;
+    for chunk in order.chunks(batch_size.max(1)) {
+        let mut bx = Vec::with_capacity(chunk.len() * dim);
+        let mut by = Vec::with_capacity(chunk.len());
+        for &i in chunk {
+            bx.extend_from_slice(data.x.row(i));
+            by.push(data.y[i]);
+        }
+        let bx = Matrix::from_vec(chunk.len(), dim, bx);
+        let (loss, grads) = mlp.loss_and_grad(&bx, &by);
+        state.apply(mlp, &grads, cfg);
+        total += loss;
+        batches += 1;
+    }
+    total / batches.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{NnTask, TaskUniverse};
+    use crate::train::{evaluate, train_epoch, SgdState, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TaskUniverse, crate::datagen::LabelledData, crate::datagen::LabelledData) {
+        let universe = TaskUniverse::new(10, 12, 6);
+        let task = NnTask {
+            name: "adam-test".into(),
+            proto_ids: vec![0, 4, 8],
+            center_jitter: 0.05,
+            sample_noise: 0.4,
+            seed: 31,
+        };
+        let train = task.sample(&universe, 30, 1);
+        let val = task.sample(&universe, 15, 2);
+        (universe, train, val)
+    }
+
+    #[test]
+    fn adam_learns_the_task() {
+        let (universe, train, val) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(universe.dim(), 16, 3, &mut rng);
+        let mut state = AdamState::for_mlp(&mlp);
+        let cfg = AdamConfig::default();
+        for _ in 0..15 {
+            train_epoch_adam(&mut mlp, &mut state, &train, &cfg, 16, &mut rng);
+        }
+        let acc = evaluate(&mlp, &val);
+        assert!(acc > 0.85, "val accuracy {acc}");
+    }
+
+    #[test]
+    fn adam_loss_decreases() {
+        let (universe, train, _) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mlp = Mlp::new(universe.dim(), 16, 3, &mut rng);
+        let mut state = AdamState::for_mlp(&mlp);
+        let cfg = AdamConfig::default();
+        let first = train_epoch_adam(&mut mlp, &mut state, &train, &cfg, 16, &mut rng);
+        let mut last = first;
+        for _ in 0..8 {
+            last = train_epoch_adam(&mut mlp, &mut state, &train, &cfg, 16, &mut rng);
+        }
+        assert!(last < first * 0.7, "first {first} last {last}");
+    }
+
+    #[test]
+    fn optimizer_comparison_both_converge() {
+        // Adam and SGD reach comparable accuracy on the same budget; this
+        // is a regression guard on both optimisers, not a horse race.
+        let (universe, train, val) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut adam_net = Mlp::new(universe.dim(), 16, 3, &mut rng);
+        let mut sgd_net = adam_net.clone();
+        let mut adam_state = AdamState::for_mlp(&adam_net);
+        let mut sgd_state = SgdState::for_mlp(&sgd_net);
+        for _ in 0..12 {
+            train_epoch_adam(
+                &mut adam_net,
+                &mut adam_state,
+                &train,
+                &AdamConfig::default(),
+                16,
+                &mut rng,
+            );
+            train_epoch(&mut sgd_net, &mut sgd_state, &train, &TrainConfig::default(), &mut rng);
+        }
+        let adam_acc = evaluate(&adam_net, &val);
+        let sgd_acc = evaluate(&sgd_net, &val);
+        assert!(adam_acc > 0.8, "adam {adam_acc}");
+        assert!(sgd_acc > 0.8, "sgd {sgd_acc}");
+        assert!((adam_acc - sgd_acc).abs() < 0.2);
+    }
+
+    #[test]
+    fn bias_correction_matters_on_first_step() {
+        // After one step, the update magnitude should be ~lr (bias-corrected),
+        // not lr * (1 - beta1) as it would be without correction.
+        let (universe, train, _) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut mlp = Mlp::new(universe.dim(), 8, 3, &mut rng);
+        let before = mlp.w2.clone();
+        let mut state = AdamState::for_mlp(&mlp);
+        let cfg = AdamConfig {
+            weight_decay: 0.0,
+            ..Default::default()
+        };
+        // One full-batch step.
+        let (_, grads) = mlp.loss_and_grad(&train.x, &train.y);
+        state.apply(&mut mlp, &grads, &cfg);
+        let max_delta = mlp
+            .w2
+            .data()
+            .iter()
+            .zip(before.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        // Bias-corrected first step ≈ lr for any nonzero-gradient weight.
+        assert!(max_delta > cfg.lr * 0.5, "max delta {max_delta}");
+        assert!(max_delta < cfg.lr * 1.5, "max delta {max_delta}");
+    }
+}

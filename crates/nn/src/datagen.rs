@@ -1,0 +1,238 @@
+//! Synthetic classification tasks for the real-NN substrate.
+//!
+//! All tasks live in one shared feature space. A [`TaskUniverse`] holds a
+//! pool of class *prototypes* (Gaussian cluster centers); a [`NnTask`]
+//! picks a subset of prototypes as its classes, with task-specific jitter.
+//! Two tasks are *related* exactly when they share (or sit near the same)
+//! prototypes — a model pre-trained on one then carries features that
+//! linearly separate the other, which is the phenomenon LEEP and the whole
+//! selection framework exploit, here reproduced with real training rather
+//! than a parametric law.
+
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A pool of Gaussian class prototypes in a shared feature space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskUniverse {
+    dim: usize,
+    prototypes: Vec<Vec<f64>>,
+}
+
+impl TaskUniverse {
+    /// Sample `n_prototypes` prototype centers on a scaled sphere-ish shell
+    /// so classes are separable but not trivially so.
+    pub fn new(dim: usize, n_prototypes: usize, seed: u64) -> Self {
+        assert!(dim >= 2 && n_prototypes >= 2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7a5e);
+        let prototypes = (0..n_prototypes)
+            .map(|_| {
+                let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+                let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+                // Scale to radius 2: inter-class distance dominates the
+                // within-class noise used below.
+                v.into_iter().map(|x| 2.0 * x / norm).collect()
+            })
+            .collect();
+        Self { dim, prototypes }
+    }
+
+    /// Feature-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of prototypes in the pool.
+    pub fn n_prototypes(&self) -> usize {
+        self.prototypes.len()
+    }
+
+    /// A prototype center.
+    pub fn prototype(&self, i: usize) -> &[f64] {
+        &self.prototypes[i]
+    }
+}
+
+/// A classification task: a subset of prototypes with jitter and noise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NnTask {
+    /// Task name.
+    pub name: String,
+    /// Prototype index per class.
+    pub proto_ids: Vec<usize>,
+    /// Per-task displacement applied to each class center (domain shift).
+    pub center_jitter: f64,
+    /// Within-class Gaussian noise scale.
+    pub sample_noise: f64,
+    /// Task seed (controls jitter and sampling).
+    pub seed: u64,
+}
+
+impl NnTask {
+    /// Number of classes.
+    pub fn n_labels(&self) -> usize {
+        self.proto_ids.len()
+    }
+
+    /// Materialised class centers (prototypes + task jitter).
+    pub fn centers(&self, universe: &TaskUniverse) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xce17);
+        self.proto_ids
+            .iter()
+            .map(|&p| {
+                universe
+                    .prototype(p)
+                    .iter()
+                    .map(|&x| x + rng.gen_range(-self.center_jitter..=self.center_jitter))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Sample a labelled split of `n_per_class` samples per class.
+    /// `split_tag` decorrelates train/val/test draws.
+    pub fn sample(
+        &self,
+        universe: &TaskUniverse,
+        n_per_class: usize,
+        split_tag: u64,
+    ) -> LabelledData {
+        assert!(n_per_class > 0);
+        let centers = self.centers(universe);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ split_tag.rotate_left(17));
+        let n = n_per_class * centers.len();
+        let dim = universe.dim();
+        let mut x = Vec::with_capacity(n * dim);
+        let mut y = Vec::with_capacity(n);
+        // Interleave classes so mini-batch order is label-balanced.
+        for i in 0..n_per_class {
+            for (label, center) in centers.iter().enumerate() {
+                let _ = i;
+                for &c in center {
+                    x.push(c + gaussian(&mut rng) * self.sample_noise);
+                }
+                y.push(label);
+            }
+        }
+        LabelledData {
+            x: Matrix::from_vec(n, dim, x),
+            y,
+        }
+    }
+}
+
+/// A labelled dataset: features (rows = samples) plus labels.
+#[derive(Debug, Clone)]
+pub struct LabelledData {
+    /// `n × dim` feature matrix.
+    pub x: Matrix,
+    /// One label per row of `x`.
+    pub y: Vec<usize>,
+}
+
+impl LabelledData {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+}
+
+/// Box–Muller standard normal.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> TaskUniverse {
+        TaskUniverse::new(8, 12, 99)
+    }
+
+    fn task(protos: Vec<usize>) -> NnTask {
+        NnTask {
+            name: "t".into(),
+            proto_ids: protos,
+            center_jitter: 0.05,
+            sample_noise: 0.3,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn prototypes_on_radius_two_shell() {
+        let u = universe();
+        for i in 0..u.n_prototypes() {
+            let r = u.prototype(i).iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((r - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_shapes_and_balance() {
+        let u = universe();
+        let t = task(vec![0, 3, 7]);
+        let d = t.sample(&u, 20, 1);
+        assert_eq!(d.len(), 60);
+        assert_eq!(d.x.rows(), 60);
+        assert_eq!(d.x.cols(), 8);
+        for label in 0..3 {
+            assert_eq!(d.y.iter().filter(|&&l| l == label).count(), 20);
+        }
+    }
+
+    #[test]
+    fn splits_differ_but_are_reproducible() {
+        let u = universe();
+        let t = task(vec![1, 2]);
+        let train = t.sample(&u, 10, 1);
+        let train2 = t.sample(&u, 10, 1);
+        let val = t.sample(&u, 10, 2);
+        assert_eq!(train.x, train2.x);
+        assert_ne!(train.x, val.x);
+    }
+
+    #[test]
+    fn samples_cluster_near_their_centers() {
+        let u = universe();
+        let t = task(vec![0, 5]);
+        let centers = t.centers(&u);
+        let d = t.sample(&u, 30, 3);
+        for i in 0..d.len() {
+            let own: f64 = d.x.row(i).iter().zip(&centers[d.y[i]]).map(|(a, b)| (a - b) * (a - b)).sum();
+            let other: f64 = d.x.row(i).iter().zip(&centers[1 - d.y[i]]).map(|(a, b)| (a - b) * (a - b)).sum();
+            // Not every point, but the vast majority should be closer to its
+            // own center; assert on the mean.
+            let _ = (own, other);
+        }
+        let mean_margin: f64 = (0..d.len())
+            .map(|i| {
+                let own: f64 = d.x.row(i).iter().zip(&centers[d.y[i]]).map(|(a, b)| (a - b) * (a - b)).sum();
+                let other: f64 = d.x.row(i).iter().zip(&centers[1 - d.y[i]]).map(|(a, b)| (a - b) * (a - b)).sum();
+                other - own
+            })
+            .sum::<f64>()
+            / d.len() as f64;
+        assert!(mean_margin > 0.5, "mean margin {mean_margin}");
+    }
+
+    #[test]
+    fn task_jitter_moves_centers() {
+        let u = universe();
+        let mut t1 = task(vec![0, 1]);
+        let mut t2 = task(vec![0, 1]);
+        t1.seed = 10;
+        t2.seed = 11;
+        assert_ne!(t1.centers(&u), t2.centers(&u));
+    }
+}

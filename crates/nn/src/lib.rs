@@ -1,0 +1,31 @@
+//! # tps-nn — micro neural-network substrate
+//!
+//! A small but *real* deep-learning stack: dense matrices with hand-rolled
+//! backprop ([`tensor`], [`mlp`]), SGD with momentum ([`train`]), Gaussian
+//! prototype classification tasks in a shared feature space ([`datagen`]),
+//! and a zoo of genuinely pre-trained models ([`zoo`]) implementing the
+//! `tps-core` substrate traits.
+//!
+//! Its purpose in the reproduction: everything `tps-zoo` *simulates*
+//! (transfer curves, prediction matrices) this crate *computes* — the
+//! selection pipeline runs unchanged on real SGD fine-tuning, validating
+//! that the framework's assumptions (family similarity, LEEP ↔ transfer
+//! correlation, early-val ↔ final-test consistency) are properties of
+//! actual training and not artifacts of the simulator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adam;
+pub mod datagen;
+pub mod mlp;
+pub mod tensor;
+pub mod train;
+pub mod zoo;
+
+pub use adam::{train_epoch_adam, AdamConfig, AdamState};
+pub use datagen::{LabelledData, NnTask, TaskUniverse};
+pub use mlp::Mlp;
+pub use tensor::Matrix;
+pub use train::{evaluate, train_epoch, SgdState, TrainConfig};
+pub use zoo::{NnOracle, NnTrainer, PretrainedModel, RealZoo, RealZooConfig};

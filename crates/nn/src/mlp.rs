@@ -1,0 +1,306 @@
+//! A one-hidden-layer MLP classifier with hand-rolled backprop.
+//!
+//! `logits = relu(x·W1 + b1)·W2 + b2`, softmax cross-entropy loss. The
+//! hidden layer is the *body* (transferable features); the output layer is
+//! the *head* (task-specific). Fine-tuning on a new task replaces the head
+//! and continues training both — the standard transfer-learning recipe the
+//! paper's repository models all follow.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The MLP parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// `dim × hidden` body weights.
+    pub w1: Matrix,
+    /// Hidden bias.
+    pub b1: Vec<f64>,
+    /// `hidden × classes` head weights.
+    pub w2: Matrix,
+    /// Output bias.
+    pub b2: Vec<f64>,
+}
+
+/// Gradients matching [`Mlp`]'s parameters.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Body-weight gradient.
+    pub w1: Matrix,
+    /// Hidden-bias gradient.
+    pub b1: Vec<f64>,
+    /// Head-weight gradient.
+    pub w2: Matrix,
+    /// Output-bias gradient.
+    pub b2: Vec<f64>,
+}
+
+impl Mlp {
+    /// Fresh network with Kaiming-uniform weights and zero biases.
+    pub fn new<R: Rng + ?Sized>(dim: usize, hidden: usize, classes: usize, rng: &mut R) -> Self {
+        assert!(dim > 0 && hidden > 0 && classes >= 2);
+        Self {
+            w1: Matrix::kaiming(dim, hidden, dim, rng),
+            b1: vec![0.0; hidden],
+            w2: Matrix::kaiming(hidden, classes, hidden, rng),
+            b2: vec![0.0; classes],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.w1.rows()
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.w1.cols()
+    }
+
+    /// Output classes.
+    pub fn n_classes(&self) -> usize {
+        self.w2.cols()
+    }
+
+    /// Replace the head with a freshly-initialised one for `classes`
+    /// outputs, keeping the body — the start of fine-tuning on a new task.
+    pub fn replace_head<R: Rng + ?Sized>(&mut self, classes: usize, rng: &mut R) {
+        assert!(classes >= 2);
+        self.w2 = Matrix::kaiming(self.hidden(), classes, self.hidden(), rng);
+        self.b2 = vec![0.0; classes];
+    }
+
+    /// Hidden-layer activations (the *features* LogME/kNN proxies consume).
+    pub fn features(&self, x: &Matrix) -> Matrix {
+        let mut h = x.matmul(&self.w1);
+        for r in 0..h.rows() {
+            for c in 0..h.cols() {
+                let v = h.get(r, c) + self.b1[c];
+                h.set(r, c, v.max(0.0));
+            }
+        }
+        h
+    }
+
+    /// Softmax class probabilities, one row per sample — the prediction
+    /// matrix LEEP consumes.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let h = self.features(x);
+        let mut logits = h.matmul(&self.w2);
+        for r in 0..logits.rows() {
+            softmax_row(&mut logits, r, &self.b2);
+        }
+        logits
+    }
+
+    /// Forward + backward over a batch; returns `(mean CE loss, gradients)`.
+    pub fn loss_and_grad(&self, x: &Matrix, y: &[usize]) -> (f64, Gradients) {
+        let n = x.rows();
+        assert_eq!(y.len(), n, "labels must match batch rows");
+        let h = self.features(x);
+        let mut probs = h.matmul(&self.w2);
+        let mut loss = 0.0;
+        for (r, &label) in y.iter().enumerate() {
+            softmax_row(&mut probs, r, &self.b2);
+            loss -= probs.get(r, label).max(1e-12).ln();
+        }
+        loss /= n as f64;
+
+        // dL/dlogits = (probs − onehot) / n
+        let mut dlogits = probs;
+        for (r, &label) in y.iter().enumerate() {
+            let base = dlogits.get(r, label);
+            dlogits.set(r, label, base - 1.0);
+        }
+        dlogits.scale(1.0 / n as f64);
+
+        // Head grads.
+        let gw2 = h.t_matmul(&dlogits);
+        let mut gb2 = vec![0.0; self.n_classes()];
+        for r in 0..n {
+            for (g, &d) in gb2.iter_mut().zip(dlogits.row(r)) {
+                *g += d;
+            }
+        }
+
+        // Back through the head and ReLU.
+        let mut dh = dlogits.matmul_t(&self.w2);
+        for r in 0..n {
+            for c in 0..dh.cols() {
+                if h.get(r, c) <= 0.0 {
+                    dh.set(r, c, 0.0);
+                }
+            }
+        }
+        let gw1 = x.t_matmul(&dh);
+        let mut gb1 = vec![0.0; self.hidden()];
+        for r in 0..n {
+            for (g, &d) in gb1.iter_mut().zip(dh.row(r)) {
+                *g += d;
+            }
+        }
+
+        (
+            loss,
+            Gradients {
+                w1: gw1,
+                b1: gb1,
+                w2: gw2,
+                b2: gb2,
+            },
+        )
+    }
+
+    /// Classification accuracy on a labelled set.
+    pub fn accuracy(&self, x: &Matrix, y: &[usize]) -> f64 {
+        let probs = self.predict_proba(x);
+        let mut correct = 0usize;
+        for (r, &label) in y.iter().enumerate() {
+            let pred = probs
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if pred == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / y.len().max(1) as f64
+    }
+}
+
+/// In-place stable softmax of row `r` after adding the bias.
+fn softmax_row(m: &mut Matrix, r: usize, bias: &[f64]) {
+    let cols = m.cols();
+    let mut max = f64::NEG_INFINITY;
+    for (c, &b) in bias.iter().enumerate() {
+        let v = m.get(r, c) + b;
+        m.set(r, c, v);
+        max = max.max(v);
+    }
+    debug_assert_eq!(bias.len(), cols);
+    let mut sum = 0.0;
+    for c in 0..cols {
+        let e = (m.get(r, c) - max).exp();
+        m.set(r, c, e);
+        sum += e;
+    }
+    for c in 0..cols {
+        let v = m.get(r, c) / sum;
+        m.set(r, c, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> (Mlp, Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(3, 5, 2, &mut rng);
+        let x = Matrix::from_vec(4, 3, vec![
+            1.0, 0.2, -0.3, //
+            -0.9, 0.1, 0.4, //
+            0.8, -0.2, 0.1, //
+            -1.1, 0.3, -0.2,
+        ]);
+        let y = vec![0, 1, 0, 1];
+        (mlp, x, y)
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (mlp, x, _) = tiny();
+        let p = mlp.predict_proba(&x);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    /// Finite-difference check of every parameter gradient.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (mlp, x, y) = tiny();
+        let (_, grads) = mlp.loss_and_grad(&x, &y);
+        let eps = 1e-6;
+        let loss_of = |m: &Mlp| m.loss_and_grad(&x, &y).0;
+
+        for (r, c) in [(0, 0), (1, 3), (2, 4)] {
+            let mut plus = mlp.clone();
+            plus.w1.set(r, c, plus.w1.get(r, c) + eps);
+            let mut minus = mlp.clone();
+            minus.w1.set(r, c, minus.w1.get(r, c) - eps);
+            let fd = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+            assert!(
+                (fd - grads.w1.get(r, c)).abs() < 1e-5,
+                "w1[{r},{c}] fd {fd} vs {}",
+                grads.w1.get(r, c)
+            );
+        }
+        for (r, c) in [(0, 0), (4, 1)] {
+            let mut plus = mlp.clone();
+            plus.w2.set(r, c, plus.w2.get(r, c) + eps);
+            let mut minus = mlp.clone();
+            minus.w2.set(r, c, minus.w2.get(r, c) - eps);
+            let fd = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+            assert!((fd - grads.w2.get(r, c)).abs() < 1e-5);
+        }
+        for i in 0..2 {
+            let mut plus = mlp.clone();
+            plus.b2[i] += eps;
+            let mut minus = mlp.clone();
+            minus.b2[i] -= eps;
+            let fd = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+            assert!((fd - grads.b2[i]).abs() < 1e-5);
+        }
+        for i in [0, 2, 4] {
+            let mut plus = mlp.clone();
+            plus.b1[i] += eps;
+            let mut minus = mlp.clone();
+            minus.b1[i] -= eps;
+            let fd = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+            assert!((fd - grads.b1[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn replace_head_keeps_body() {
+        let (mut mlp, _, _) = tiny();
+        let body = mlp.w1.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        mlp.replace_head(4, &mut rng);
+        assert_eq!(mlp.n_classes(), 4);
+        assert_eq!(mlp.w1, body);
+        assert_eq!(mlp.b2, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn accuracy_bounds() {
+        let (mlp, x, y) = tiny();
+        let acc = mlp.accuracy(&x, &y);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn one_gradient_step_reduces_loss() {
+        let (mut mlp, x, y) = tiny();
+        let (loss0, grads) = mlp.loss_and_grad(&x, &y);
+        mlp.w1.add_scaled(&grads.w1, -0.5);
+        mlp.w2.add_scaled(&grads.w2, -0.5);
+        for (b, g) in mlp.b1.iter_mut().zip(&grads.b1) {
+            *b -= 0.5 * g;
+        }
+        for (b, g) in mlp.b2.iter_mut().zip(&grads.b2) {
+            *b -= 0.5 * g;
+        }
+        let (loss1, _) = mlp.loss_and_grad(&x, &y);
+        assert!(loss1 < loss0, "{loss1} !< {loss0}");
+    }
+}

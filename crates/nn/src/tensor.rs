@@ -1,0 +1,265 @@
+//! Minimal dense-matrix type for the micro neural-network substrate.
+//!
+//! Row-major `f64` storage with exactly the operations the MLP needs:
+//! matmul, transposed matmuls for backprop, and element-wise helpers.
+//! Deliberately not a general tensor library — shapes are validated with
+//! assertions because shape errors here are programmer bugs, not runtime
+//! conditions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from existing row-major data.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Kaiming-style uniform init: `U(±sqrt(6 / fan_in))`.
+    pub fn kaiming<R: Rng + ?Sized>(rows: usize, cols: usize, fan_in: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / fan_in.max(1) as f64).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..=bound))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the raw data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` (`m×k · k×n → m×n`).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // ikj loop order: streams through `other` rows, cache-friendly.
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * n..(p + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` (`m×k ᵀ · m×n → k×n`) — used for weight gradients.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(k, n);
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let brow = &other.data[i * n..(i + 1) * n];
+            for (p, &a) in arow.iter_enumerate_nonzero() {
+                let orow = &mut out.data[p * n..(p + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (`m×k · n×k ᵀ → m×n`) — used for input gradients.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &other.data[j * k..(j + 1) * k];
+                out.data[i * n + j] = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+            }
+        }
+        out
+    }
+
+    /// `self += alpha * other` (same shape).
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f64) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scale all elements in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+}
+
+/// Tiny helper trait so `t_matmul` can skip zero activations (common after
+/// ReLU) without allocating.
+trait IterEnumNonzero {
+    fn iter_enumerate_nonzero(&self) -> NonzeroIter<'_>;
+}
+
+impl IterEnumNonzero for [f64] {
+    fn iter_enumerate_nonzero(&self) -> NonzeroIter<'_> {
+        NonzeroIter {
+            slice: self,
+            idx: 0,
+        }
+    }
+}
+
+struct NonzeroIter<'a> {
+    slice: &'a [f64],
+    idx: usize,
+}
+
+impl<'a> Iterator for NonzeroIter<'a> {
+    type Item = (usize, &'a f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.idx < self.slice.len() {
+            let i = self.idx;
+            self.idx += 1;
+            if self.slice[i] != 0.0 {
+                return Some((i, &self.slice[i]));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_naive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::kaiming(4, 3, 3, &mut rng);
+        let b = Matrix::kaiming(4, 5, 5, &mut rng);
+        let t = a.t_matmul(&b); // aᵀ b: 3×5
+        for i in 0..3 {
+            for j in 0..5 {
+                let naive: f64 = (0..4).map(|r| a.get(r, i) * b.get(r, j)).sum();
+                assert!((t.get(i, j) - naive).abs() < 1e-12);
+            }
+        }
+        let c = Matrix::kaiming(5, 3, 3, &mut rng);
+        let mt = a.matmul_t(&c); // a cᵀ: 4×5
+        for i in 0..4 {
+            for j in 0..5 {
+                let naive: f64 = (0..3).map(|k| a.get(i, k) * c.get(j, k)).sum();
+                assert!((mt.get(i, j) - naive).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_and_scale() {
+        let mut a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![10.0, 20.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::kaiming(10, 10, 25, &mut rng);
+        let bound = (6.0f64 / 25.0).sqrt();
+        assert!(m.data().iter().all(|&x| x.abs() <= bound));
+        assert!(m.data().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn row_access() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.get(0, 1), 2.0);
+    }
+}

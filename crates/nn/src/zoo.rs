@@ -1,0 +1,633 @@
+//! A zoo of **really trained** models, and `tps-core` trait implementations
+//! backed by real SGD fine-tuning.
+//!
+//! Where `tps-zoo` samples curves from a parametric law, this module
+//! actually pre-trains one MLP per repository model on an upstream task,
+//! really fine-tunes each on benchmark/target tasks, and feeds genuine
+//! soft-max outputs to LEEP — the honest end-to-end validation of the
+//! framework (integration tests and the `real_nn_pipeline` example run on
+//! it). Scales are kept small (tens of models, thousands of parameters)
+//! so a full offline build takes well under a second.
+
+use crate::datagen::{LabelledData, NnTask, TaskUniverse};
+use crate::mlp::Mlp;
+use crate::train::{evaluate, train_epoch, SgdState, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tps_core::curve::{CurveSet, LearningCurve};
+use tps_core::error::{Result, SelectionError};
+use tps_core::ids::{DatasetId, ModelId};
+use tps_core::matrix::PerformanceMatrix;
+use tps_core::proxy::PredictionMatrix;
+use tps_core::traits::{FeatureOracle, ProxyOracle, TargetTrainer};
+
+/// Split tags for decorrelated data draws.
+const TRAIN_SPLIT: u64 = 0x11;
+const VAL_SPLIT: u64 = 0x22;
+const TEST_SPLIT: u64 = 0x33;
+
+/// Configuration of a real-NN zoo.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RealZooConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Shared feature-space dimensionality.
+    pub dim: usize,
+    /// Hidden width of every model.
+    pub hidden: usize,
+    /// Prototype pool size.
+    pub n_prototypes: usize,
+    /// Number of model families (members share an upstream task).
+    pub n_families: usize,
+    /// Members per family.
+    pub family_size: usize,
+    /// Singleton models with unique upstream tasks.
+    pub n_singletons: usize,
+    /// Benchmark tasks.
+    pub n_benchmarks: usize,
+    /// Target tasks.
+    pub n_targets: usize,
+    /// Fine-tuning stage budget (epochs) per run.
+    pub stages: usize,
+    /// Pre-training epochs per model.
+    pub pretrain_epochs: usize,
+    /// Classes per task.
+    pub labels_per_task: usize,
+    /// Training samples per class.
+    pub n_train_per_class: usize,
+    /// Validation/test samples per class.
+    pub n_eval_per_class: usize,
+    /// Within-class sample noise of every task (larger = harder tasks,
+    /// more spread in fine-tuning outcomes).
+    pub task_noise: f64,
+    /// Per-task jitter applied to prototype centers.
+    pub center_jitter: f64,
+}
+
+impl Default for RealZooConfig {
+    fn default() -> Self {
+        Self {
+            seed: 17,
+            dim: 12,
+            hidden: 24,
+            n_prototypes: 18,
+            n_families: 4,
+            family_size: 3,
+            n_singletons: 3,
+            n_benchmarks: 6,
+            n_targets: 2,
+            stages: 3,
+            pretrain_epochs: 15,
+            labels_per_task: 3,
+            n_train_per_class: 30,
+            n_eval_per_class: 20,
+            task_noise: 0.45,
+            center_jitter: 0.12,
+        }
+    }
+}
+
+/// One pre-trained repository model.
+#[derive(Debug, Clone)]
+pub struct PretrainedModel {
+    /// Repository-style name.
+    pub name: String,
+    /// The trained network (body + upstream head).
+    pub mlp: Mlp,
+    /// The upstream task it was pre-trained on.
+    pub upstream: NnTask,
+}
+
+/// A fully materialised real-NN zoo.
+#[derive(Debug, Clone)]
+pub struct RealZoo {
+    /// Generation configuration.
+    pub config: RealZooConfig,
+    /// Shared prototype universe.
+    pub universe: TaskUniverse,
+    /// The pre-trained repository.
+    pub models: Vec<PretrainedModel>,
+    /// Benchmark tasks (offline).
+    pub benchmarks: Vec<NnTask>,
+    /// Target tasks (online).
+    pub targets: Vec<NnTask>,
+}
+
+impl RealZoo {
+    /// Generate tasks and **pre-train every model with real SGD**.
+    pub fn generate(config: &RealZooConfig) -> RealZoo {
+        assert!(config.labels_per_task >= 2);
+        assert!(config.labels_per_task <= config.n_prototypes);
+        let universe = TaskUniverse::new(config.dim, config.n_prototypes, config.seed);
+        let mk_task = |name: String, first_proto: usize, seed: u64| NnTask {
+            name,
+            proto_ids: (0..config.labels_per_task)
+                .map(|i| (first_proto + i) % config.n_prototypes)
+                .collect(),
+            center_jitter: config.center_jitter,
+            sample_noise: config.task_noise,
+            seed,
+        };
+
+        // Upstream tasks: families stride through the prototype pool so
+        // different families have different class structure; benchmarks
+        // interleave so every family is close to *some* benchmarks.
+        let mut models = Vec::new();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e11);
+        for f in 0..config.n_families {
+            let upstream = mk_task(
+                format!("upstream-f{f}"),
+                f * 3,
+                config.seed.wrapping_add(100 + f as u64),
+            );
+            for m in 0..config.family_size {
+                let name = format!("family{f}/member-{m}");
+                let mlp = pretrain(&universe, &upstream, config, &mut rng);
+                models.push(PretrainedModel {
+                    name,
+                    mlp,
+                    upstream: upstream.clone(),
+                });
+            }
+        }
+        for s in 0..config.n_singletons {
+            let upstream = mk_task(
+                format!("upstream-s{s}"),
+                config.n_families * 3 + s * 2 + 1,
+                config.seed.wrapping_add(900 + s as u64),
+            );
+            let mlp = pretrain(&universe, &upstream, config, &mut rng);
+            models.push(PretrainedModel {
+                name: format!("singleton/model-{s}"),
+                mlp,
+                upstream,
+            });
+        }
+
+        let benchmarks = (0..config.n_benchmarks)
+            .map(|b| {
+                mk_task(
+                    format!("bench-{b}"),
+                    (b * 3 + 1) % config.n_prototypes,
+                    config.seed.wrapping_add(500 + b as u64),
+                )
+            })
+            .collect();
+        // Targets reuse a family's prototype neighbourhood with fresh
+        // jitter: related to the repository, disjoint from the benchmarks.
+        let targets = (0..config.n_targets)
+            .map(|t| {
+                mk_task(
+                    format!("target-{t}"),
+                    (t * 3) % config.n_prototypes,
+                    config.seed.wrapping_add(700 + t as u64),
+                )
+            })
+            .collect();
+
+        RealZoo {
+            config: *config,
+            universe,
+            models,
+            benchmarks,
+            targets,
+        }
+    }
+
+    /// Number of models.
+    pub fn n_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Really fine-tune every model on every benchmark and collect the
+    /// performance matrix + learning curves (the offline phase).
+    pub fn build_offline(&self) -> Result<(PerformanceMatrix, CurveSet)> {
+        let mut builder = PerformanceMatrix::builder(
+            self.models.iter().map(|m| m.name.clone()).collect(),
+            self.benchmarks.iter().map(|b| b.name.clone()).collect(),
+        );
+        let mut curves = Vec::with_capacity(self.n_models() * self.benchmarks.len());
+        for (mi, model) in self.models.iter().enumerate() {
+            for (bi, bench) in self.benchmarks.iter().enumerate() {
+                let run = self.fine_tune_run(model, bench, self.config.stages);
+                builder.record(
+                    DatasetId::from(bi),
+                    ModelId::from(mi),
+                    *run.tests.last().expect("stages >= 1"),
+                )?;
+                curves.push(LearningCurve::new(
+                    run.vals.clone(),
+                    *run.tests.last().expect("stages >= 1"),
+                )?);
+            }
+        }
+        Ok((
+            builder.build()?,
+            CurveSet::new(self.n_models(), self.benchmarks.len(), curves)?,
+        ))
+    }
+
+    /// Fine-tune one model on one task for `stages` epochs, returning the
+    /// validation trace and per-stage test accuracies.
+    fn fine_tune_run(&self, model: &PretrainedModel, task: &NnTask, stages: usize) -> FtRun {
+        let mut session = FtSession::start(self, model, task);
+        let mut vals = Vec::with_capacity(stages);
+        let mut tests = Vec::with_capacity(stages);
+        for _ in 0..stages {
+            let (v, t) = session.advance_epoch();
+            vals.push(v);
+            tests.push(t);
+        }
+        FtRun { vals, tests }
+    }
+
+    /// A [`TargetTrainer`] that really fine-tunes on `targets[target]`.
+    pub fn trainer(&self, target: usize) -> Result<NnTrainer<'_>> {
+        if target >= self.targets.len() {
+            return Err(SelectionError::UnknownId {
+                what: "target task",
+                id: target,
+            });
+        }
+        Ok(NnTrainer {
+            zoo: self,
+            target,
+            sessions: (0..self.n_models()).map(|_| None).collect(),
+        })
+    }
+
+    /// A [`ProxyOracle`] exposing real model predictions on
+    /// `targets[target]`.
+    pub fn oracle(&self, target: usize) -> Result<NnOracle<'_>> {
+        if target >= self.targets.len() {
+            return Err(SelectionError::UnknownId {
+                what: "target task",
+                id: target,
+            });
+        }
+        let data = self.targets[target].sample(
+            &self.universe,
+            self.config.n_train_per_class,
+            TRAIN_SPLIT,
+        );
+        Ok(NnOracle {
+            zoo: self,
+            target,
+            data,
+        })
+    }
+
+    /// Ground-truth accuracy of a model fully fine-tuned on a target — for
+    /// evaluation only.
+    pub fn target_accuracy(&self, model: ModelId, target: usize) -> f64 {
+        let run = self.fine_tune_run(
+            &self.models[model.index()],
+            &self.targets[target],
+            self.config.stages,
+        );
+        *run.tests.last().expect("stages >= 1")
+    }
+}
+
+/// Validation/test traces of one real fine-tuning run.
+struct FtRun {
+    vals: Vec<f64>,
+    tests: Vec<f64>,
+}
+
+/// Live fine-tuning state of one model on one task.
+struct FtSession {
+    mlp: Mlp,
+    state: SgdState,
+    rng: StdRng,
+    train: LabelledData,
+    val: LabelledData,
+    test: LabelledData,
+    cfg: TrainConfig,
+}
+
+impl FtSession {
+    fn start(zoo: &RealZoo, model: &PretrainedModel, task: &NnTask) -> FtSession {
+        let seed = session_seed(zoo.config.seed, &model.name, &task.name);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = model.mlp.clone();
+        mlp.replace_head(task.n_labels(), &mut rng);
+        let state = SgdState::for_mlp(&mlp);
+        FtSession {
+            state,
+            rng,
+            train: task.sample(&zoo.universe, zoo.config.n_train_per_class, TRAIN_SPLIT),
+            val: task.sample(&zoo.universe, zoo.config.n_eval_per_class, VAL_SPLIT),
+            test: task.sample(&zoo.universe, zoo.config.n_eval_per_class, TEST_SPLIT),
+            mlp,
+            cfg: TrainConfig::fine_tune(),
+        }
+    }
+
+    /// One epoch; returns `(val accuracy, test accuracy)`.
+    fn advance_epoch(&mut self) -> (f64, f64) {
+        train_epoch(
+            &mut self.mlp,
+            &mut self.state,
+            &self.train,
+            &self.cfg,
+            &mut self.rng,
+        );
+        (evaluate(&self.mlp, &self.val), evaluate(&self.mlp, &self.test))
+    }
+}
+
+/// Deterministic session seed from the zoo seed and run identity.
+fn session_seed(seed: u64, model: &str, task: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in model.bytes().chain([0xfe]).chain(task.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Pre-train a fresh model on its upstream task.
+fn pretrain(
+    universe: &TaskUniverse,
+    upstream: &NnTask,
+    config: &RealZooConfig,
+    rng: &mut StdRng,
+) -> Mlp {
+    let mut mlp = Mlp::new(universe.dim(), config.hidden, upstream.n_labels(), rng);
+    let mut state = SgdState::for_mlp(&mlp);
+    let train = upstream.sample(universe, config.n_train_per_class, TRAIN_SPLIT);
+    let cfg = TrainConfig::default();
+    for _ in 0..config.pretrain_epochs {
+        train_epoch(&mut mlp, &mut state, &train, &cfg, rng);
+    }
+    mlp
+}
+
+/// Real-SGD [`TargetTrainer`]: each `advance` trains one more epoch.
+pub struct NnTrainer<'z> {
+    zoo: &'z RealZoo,
+    target: usize,
+    sessions: Vec<Option<FtSessionState>>,
+}
+
+/// Per-model training state inside [`NnTrainer`].
+struct FtSessionState {
+    session: FtSession,
+    stages: usize,
+    last_val: f64,
+    last_test: f64,
+}
+
+impl NnTrainer<'_> {
+    fn session_mut(&mut self, model: ModelId) -> Result<&mut FtSessionState> {
+        let idx = model.index();
+        if idx >= self.zoo.n_models() {
+            return Err(SelectionError::UnknownId {
+                what: "model",
+                id: idx,
+            });
+        }
+        if self.sessions[idx].is_none() {
+            let session = FtSession::start(
+                self.zoo,
+                &self.zoo.models[idx],
+                &self.zoo.targets[self.target],
+            );
+            self.sessions[idx] = Some(FtSessionState {
+                session,
+                stages: 0,
+                last_val: 0.0,
+                last_test: 0.0,
+            });
+        }
+        Ok(self.sessions[idx].as_mut().expect("just filled"))
+    }
+}
+
+impl TargetTrainer for NnTrainer<'_> {
+    fn advance(&mut self, model: ModelId) -> Result<f64> {
+        let state = self.session_mut(model)?;
+        let (val, test) = state.session.advance_epoch();
+        state.stages += 1;
+        state.last_val = val;
+        state.last_test = test;
+        Ok(val)
+    }
+
+    fn test(&mut self, model: ModelId) -> Result<f64> {
+        let state = self.session_mut(model)?;
+        if state.stages == 0 {
+            return Err(SelectionError::InvalidConfig(
+                "test() before any training stage".into(),
+            ));
+        }
+        Ok(state.last_test)
+    }
+
+    fn stages_trained(&self, model: ModelId) -> usize {
+        self.sessions[model.index()]
+            .as_ref()
+            .map_or(0, |s| s.stages)
+    }
+}
+
+/// Real-prediction [`ProxyOracle`]: LEEP consumes the pre-trained model's
+/// actual soft-max outputs over its upstream label space.
+pub struct NnOracle<'z> {
+    zoo: &'z RealZoo,
+    target: usize,
+    data: LabelledData,
+}
+
+impl NnOracle<'_> {
+    /// The target task this oracle serves.
+    pub fn target_task(&self) -> &NnTask {
+        &self.zoo.targets[self.target]
+    }
+}
+
+impl FeatureOracle for NnOracle<'_> {
+    /// Hidden-layer activations of the pre-trained model on the target
+    /// samples — real features for the LogME / kNN proxies.
+    fn features(&self, model: ModelId) -> Result<(Vec<f64>, usize, usize)> {
+        if model.index() >= self.zoo.n_models() {
+            return Err(SelectionError::UnknownId {
+                what: "model",
+                id: model.index(),
+            });
+        }
+        let f = self.zoo.models[model.index()].mlp.features(&self.data.x);
+        let (n, d) = (f.rows(), f.cols());
+        Ok((f.data().to_vec(), n, d))
+    }
+}
+
+impl ProxyOracle for NnOracle<'_> {
+    fn predictions(&self, model: ModelId) -> Result<PredictionMatrix> {
+        if model.index() >= self.zoo.n_models() {
+            return Err(SelectionError::UnknownId {
+                what: "model",
+                id: model.index(),
+            });
+        }
+        let probs = self.zoo.models[model.index()].mlp.predict_proba(&self.data.x);
+        PredictionMatrix::new(probs.cols(), probs.data().to_vec())
+    }
+
+    fn target_labels(&self) -> &[usize] {
+        &self.data.y
+    }
+
+    fn n_target_labels(&self) -> usize {
+        self.zoo.targets[self.target].n_labels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_core::proxy::leep::leep;
+    use tps_core::similarity::performance_similarity;
+
+    fn small_zoo() -> RealZoo {
+        RealZoo::generate(&RealZooConfig {
+            n_families: 3,
+            family_size: 2,
+            n_singletons: 2,
+            n_benchmarks: 4,
+            n_targets: 2,
+            pretrain_epochs: 10,
+            n_train_per_class: 20,
+            n_eval_per_class: 15,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn zoo_generation_counts() {
+        let zoo = small_zoo();
+        assert_eq!(zoo.n_models(), 8);
+        assert_eq!(zoo.benchmarks.len(), 4);
+        assert_eq!(zoo.targets.len(), 2);
+    }
+
+    #[test]
+    fn pretrained_models_master_their_upstream() {
+        let zoo = small_zoo();
+        for model in &zoo.models {
+            let eval = model
+                .upstream
+                .sample(&zoo.universe, 15, VAL_SPLIT);
+            let acc = evaluate(&model.mlp, &eval);
+            assert!(acc > 0.8, "{} upstream acc {acc}", model.name);
+        }
+    }
+
+    #[test]
+    fn offline_build_produces_valid_matrix() {
+        let zoo = small_zoo();
+        let (matrix, curves) = zoo.build_offline().unwrap();
+        assert_eq!(matrix.n_models(), 8);
+        assert_eq!(matrix.n_datasets(), 4);
+        assert_eq!(curves.n_models(), 8);
+        // Real accuracies are meaningful: above chance on average.
+        let mean: f64 = (0..8)
+            .map(|m| matrix.avg_accuracy(ModelId::from(m)))
+            .sum::<f64>()
+            / 8.0;
+        assert!(mean > 0.4, "mean benchmark accuracy {mean}");
+    }
+
+    #[test]
+    fn family_members_more_similar_than_strangers() {
+        let zoo = small_zoo();
+        let (matrix, _) = zoo.build_offline().unwrap();
+        // Models 0,1 share an upstream; model 6 is a singleton.
+        let sib = performance_similarity(
+            &matrix.model_vector(ModelId(0)),
+            &matrix.model_vector(ModelId(1)),
+            3,
+        )
+        .unwrap();
+        let cross = performance_similarity(
+            &matrix.model_vector(ModelId(0)),
+            &matrix.model_vector(ModelId(6)),
+            3,
+        )
+        .unwrap();
+        assert!(
+            sib > cross - 0.02,
+            "siblings {sib} should be at least as similar as strangers {cross}"
+        );
+    }
+
+    #[test]
+    fn trainer_really_trains() {
+        let zoo = small_zoo();
+        let mut trainer = zoo.trainer(0).unwrap();
+        let m = ModelId(0);
+        let v1 = trainer.advance(m).unwrap();
+        for _ in 0..4 {
+            trainer.advance(m).unwrap();
+        }
+        let v5 = trainer.advance(m).unwrap();
+        assert_eq!(trainer.stages_trained(m), 6);
+        // Real training should improve (or at least not collapse).
+        assert!(v5 >= v1 - 0.1, "v1 {v1} v5 {v5}");
+        let t = trainer.test(m).unwrap();
+        assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn leep_on_real_predictions_tracks_relatedness() {
+        let zoo = small_zoo();
+        // target-0 reuses family 0's prototypes: family-0 models should
+        // out-LEEP at least most of the zoo.
+        let oracle = zoo.oracle(0).unwrap();
+        let labels = oracle.target_labels().to_vec();
+        let n_labels = oracle.n_target_labels();
+        let related = leep(&oracle.predictions(ModelId(0)).unwrap(), &labels, n_labels).unwrap();
+        let unrelated_scores: Vec<f64> = (4..8)
+            .map(|m| {
+                leep(&oracle.predictions(ModelId(m)).unwrap(), &labels, n_labels).unwrap()
+            })
+            .collect();
+        let beaten = unrelated_scores.iter().filter(|&&s| related > s).count();
+        assert!(
+            beaten >= 2,
+            "related LEEP {related} should beat most unrelated {unrelated_scores:?}"
+        );
+    }
+
+    #[test]
+    fn oracle_features_shape() {
+        let zoo = small_zoo();
+        let oracle = zoo.oracle(0).unwrap();
+        let (f, n, d) = oracle.features(ModelId(0)).unwrap();
+        assert_eq!(n, oracle.target_labels().len());
+        assert_eq!(d, zoo.config.hidden);
+        assert_eq!(f.len(), n * d);
+    }
+
+    #[test]
+    fn invalid_indices_rejected() {
+        let zoo = small_zoo();
+        assert!(zoo.trainer(99).is_err());
+        assert!(zoo.oracle(99).is_err());
+        let mut t = zoo.trainer(0).unwrap();
+        assert!(t.advance(ModelId(999)).is_err());
+        let o = zoo.oracle(0).unwrap();
+        assert!(o.predictions(ModelId(999)).is_err());
+        assert!(o.features(ModelId(999)).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_zoo();
+        let b = small_zoo();
+        assert_eq!(a.models[0].mlp, b.models[0].mlp);
+        assert_eq!(a.models[5].mlp, b.models[5].mlp);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based verification of the hand-rolled backprop: for random
+//! network shapes, random parameters, and random batches, every analytic
+//! gradient must match central finite differences. This is the single most
+//! load-bearing test in `tps-nn` — everything else trusts these gradients.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tps_nn::{Matrix, Mlp};
+
+/// Build a random network and batch from a seed.
+fn setup(dim: usize, hidden: usize, classes: usize, n: usize, seed: u64) -> (Mlp, Matrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mlp = Mlp::new(dim, hidden, classes, &mut rng);
+    let x = Matrix::kaiming(n, dim, 1, &mut rng); // reuse kaiming as a bounded sampler
+    let y: Vec<usize> = (0..n).map(|i| i % classes).collect();
+    (mlp, x, y)
+}
+
+fn finite_diff(mlp: &Mlp, x: &Matrix, y: &[usize], mutate: impl Fn(&mut Mlp, f64)) -> f64 {
+    let eps = 1e-6;
+    let mut plus = mlp.clone();
+    mutate(&mut plus, eps);
+    let mut minus = mlp.clone();
+    mutate(&mut minus, -eps);
+    (plus.loss_and_grad(x, y).0 - minus.loss_and_grad(x, y).0) / (2.0 * eps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analytic_gradients_match_finite_differences(
+        dim in 2usize..6,
+        hidden in 2usize..8,
+        classes in 2usize..5,
+        n in 1usize..6,
+        seed in 0u64..10_000,
+        // Random parameter coordinates to probe (fractions of each shape).
+        fw1 in 0.0f64..1.0,
+        fw2 in 0.0f64..1.0,
+        fb in 0.0f64..1.0,
+    ) {
+        let (mlp, x, y) = setup(dim, hidden, classes, n, seed);
+        let (_, grads) = mlp.loss_and_grad(&x, &y);
+
+        // One probed coordinate per parameter tensor.
+        let w1_idx = ((dim * hidden) as f64 * fw1) as usize % (dim * hidden);
+        let (r1, c1) = (w1_idx / hidden, w1_idx % hidden);
+        let fd = finite_diff(&mlp, &x, &y, |m, e| {
+            m.w1.set(r1, c1, m.w1.get(r1, c1) + e);
+        });
+        prop_assert!(
+            (fd - grads.w1.get(r1, c1)).abs() < 1e-4,
+            "w1[{r1},{c1}]: fd {fd} vs analytic {}",
+            grads.w1.get(r1, c1)
+        );
+
+        let w2_idx = ((hidden * classes) as f64 * fw2) as usize % (hidden * classes);
+        let (r2, c2) = (w2_idx / classes, w2_idx % classes);
+        let fd = finite_diff(&mlp, &x, &y, |m, e| {
+            m.w2.set(r2, c2, m.w2.get(r2, c2) + e);
+        });
+        prop_assert!(
+            (fd - grads.w2.get(r2, c2)).abs() < 1e-4,
+            "w2[{r2},{c2}]: fd {fd} vs analytic {}",
+            grads.w2.get(r2, c2)
+        );
+
+        let b1_idx = (hidden as f64 * fb) as usize % hidden;
+        let fd = finite_diff(&mlp, &x, &y, |m, e| m.b1[b1_idx] += e);
+        prop_assert!((fd - grads.b1[b1_idx]).abs() < 1e-4, "b1[{b1_idx}]");
+
+        let b2_idx = (classes as f64 * fb) as usize % classes;
+        let fd = finite_diff(&mlp, &x, &y, |m, e| m.b2[b2_idx] += e);
+        prop_assert!((fd - grads.b2[b2_idx]).abs() < 1e-4, "b2[{b2_idx}]");
+    }
+
+    #[test]
+    fn loss_is_nonnegative_and_probs_normalised(
+        dim in 2usize..6,
+        hidden in 2usize..8,
+        classes in 2usize..5,
+        n in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let (mlp, x, y) = setup(dim, hidden, classes, n, seed);
+        let (loss, _) = mlp.loss_and_grad(&x, &y);
+        prop_assert!(loss >= 0.0 && loss.is_finite(), "loss {loss}");
+        let p = mlp.predict_proba(&x);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn gradient_step_never_increases_loss_much(
+        dim in 2usize..6,
+        hidden in 2usize..8,
+        classes in 2usize..4,
+        n in 2usize..8,
+        seed in 0u64..10_000,
+    ) {
+        // A tiny step along the negative gradient must reduce the loss
+        // (first-order Taylor); tolerance covers curvature.
+        let (mut mlp, x, y) = setup(dim, hidden, classes, n, seed);
+        let (loss0, grads) = mlp.loss_and_grad(&x, &y);
+        let step = 1e-3;
+        mlp.w1.add_scaled(&grads.w1, -step);
+        mlp.w2.add_scaled(&grads.w2, -step);
+        for (b, g) in mlp.b1.iter_mut().zip(&grads.b1) {
+            *b -= step * g;
+        }
+        for (b, g) in mlp.b2.iter_mut().zip(&grads.b2) {
+            *b -= step * g;
+        }
+        let (loss1, _) = mlp.loss_and_grad(&x, &y);
+        prop_assert!(loss1 <= loss0 + 1e-9, "loss rose: {loss0} -> {loss1}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # tps-store — durable artifact store
+//!
+//! The paper's future work (§VII) calls for "a data management system which
+//! stores and maintains the pre-trained models and datasets" so selection
+//! can run as a service. This crate is that storage layer for the
+//! reproduction's artifacts: worlds, offline artifacts (performance matrix
+//! + clustering + trends), and arbitrary experiment records.
+//!
+//! Properties a database person would expect:
+//!
+//! * **atomic writes** — records are written to a temp file, fsynced, then
+//!   renamed; a crash mid-write never damages an existing record;
+//! * **integrity** — every record carries a CRC-32 over its payload plus a
+//!   magic/version header; reads validate before deserialising;
+//! * **recoverability** — the index is a cache rebuilt by scanning records
+//!   ([`Store::rebuild_index`]); [`Store::fsck`] reports corrupt records;
+//! * **schema versioning** — records from a future format are refused
+//!   rather than misread.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checksum;
+pub mod store;
+
+pub use checksum::{crc32, Crc32};
+pub use store::{ArtifactKind, IndexEntry, Store, StoreError, SCHEMA_VERSION};

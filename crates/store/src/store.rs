@@ -1,0 +1,513 @@
+//! The artifact store: a directory of checksummed, versioned records with
+//! atomic writes and a rebuildable index.
+//!
+//! Layout:
+//!
+//! ```text
+//! <root>/
+//!   index.json            # catalog: name -> entry metadata
+//!   objects/<name>.rec    # one record per artifact
+//! ```
+//!
+//! Each `.rec` file is a small header (magic, schema version, kind, payload
+//! length, CRC-32) followed by the JSON payload. Writes go to a temp file
+//! which is fsynced and atomically renamed over the destination, so a crash
+//! mid-write never corrupts an existing record. Reads verify the checksum
+//! and schema version before deserialising. The index is a cache: it can be
+//! rebuilt from the records at any time ([`Store::rebuild_index`]).
+
+use crate::checksum::crc32;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// File-format magic: "TPS1".
+const MAGIC: [u8; 4] = *b"TPS1";
+/// Current record schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// What kind of artifact a record holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArtifactKind {
+    /// A `tps_zoo::World`.
+    World,
+    /// A `tps_core::pipeline::OfflineArtifacts`.
+    OfflineArtifacts,
+    /// Anything else the caller serialises.
+    Custom,
+}
+
+impl ArtifactKind {
+    fn tag(self) -> u8 {
+        match self {
+            ArtifactKind::World => 1,
+            ArtifactKind::OfflineArtifacts => 2,
+            ArtifactKind::Custom => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(ArtifactKind::World),
+            2 => Some(ArtifactKind::OfflineArtifacts),
+            3 => Some(ArtifactKind::Custom),
+            _ => None,
+        }
+    }
+}
+
+/// Index entry for one stored artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Payload CRC-32.
+    pub checksum: u32,
+    /// Record schema version it was written with.
+    pub schema_version: u32,
+}
+
+/// Store errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// (De)serialisation failure.
+    Serde(String),
+    /// Record failed validation.
+    Corrupt {
+        /// Which record.
+        name: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Record does not exist.
+    NotFound(String),
+    /// A record with that name already exists (use `put_overwrite`).
+    AlreadyExists(String),
+    /// Invalid artifact name.
+    BadName(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Serde(e) => write!(f, "serialization error: {e}"),
+            StoreError::Corrupt { name, reason } => {
+                write!(f, "record `{name}` is corrupt: {reason}")
+            }
+            StoreError::NotFound(name) => write!(f, "no record named `{name}`"),
+            StoreError::AlreadyExists(name) => write!(f, "record `{name}` already exists"),
+            StoreError::BadName(name) => write!(
+                f,
+                "invalid artifact name `{name}` (use [a-zA-Z0-9._-], non-empty)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A directory-backed artifact store.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    index: BTreeMap<String, IndexEntry>,
+}
+
+impl Store {
+    /// Open (or create) a store rooted at `root`. An existing index is
+    /// loaded; a missing or unreadable index is rebuilt from the records.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        let mut store = Self {
+            root,
+            index: BTreeMap::new(),
+        };
+        let index_path = store.index_path();
+        match fs::read_to_string(&index_path) {
+            Ok(data) => match serde_json::from_str(&data) {
+                Ok(index) => store.index = index,
+                Err(_) => store.rebuild_index()?,
+            },
+            Err(_) => store.rebuild_index()?,
+        }
+        Ok(store)
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.root.join("index.json")
+    }
+
+    fn object_path(&self, name: &str) -> PathBuf {
+        self.root.join("objects").join(format!("{name}.rec"))
+    }
+
+    fn validate_name(name: &str) -> Result<(), StoreError> {
+        let ok = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+        if ok {
+            Ok(())
+        } else {
+            Err(StoreError::BadName(name.to_string()))
+        }
+    }
+
+    /// Names of stored artifacts (sorted).
+    pub fn list(&self) -> Vec<(&str, &IndexEntry)> {
+        self.index.iter().map(|(k, v)| (k.as_str(), v)).collect()
+    }
+
+    /// Whether a record exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Index metadata for one record.
+    pub fn entry(&self, name: &str) -> Option<&IndexEntry> {
+        self.index.get(name)
+    }
+
+    /// Store a new artifact; refuses to overwrite.
+    pub fn put<T: Serialize>(
+        &mut self,
+        name: &str,
+        kind: ArtifactKind,
+        value: &T,
+    ) -> Result<IndexEntry, StoreError> {
+        if self.contains(name) {
+            return Err(StoreError::AlreadyExists(name.to_string()));
+        }
+        self.put_overwrite(name, kind, value)
+    }
+
+    /// Store an artifact, replacing any existing record of that name.
+    /// The write is atomic: a crash leaves either the old or the new record.
+    pub fn put_overwrite<T: Serialize>(
+        &mut self,
+        name: &str,
+        kind: ArtifactKind,
+        value: &T,
+    ) -> Result<IndexEntry, StoreError> {
+        Self::validate_name(name)?;
+        let payload =
+            serde_json::to_vec(value).map_err(|e| StoreError::Serde(e.to_string()))?;
+        let checksum = crc32(&payload);
+
+        // Header: magic | schema version | kind tag | reserved | len | crc.
+        let mut record = Vec::with_capacity(payload.len() + 24);
+        record.extend_from_slice(&MAGIC);
+        record.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+        record.push(kind.tag());
+        record.extend_from_slice(&[0u8; 3]);
+        record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        record.extend_from_slice(&checksum.to_le_bytes());
+        record.extend_from_slice(&payload);
+
+        let final_path = self.object_path(name);
+        let tmp_path = self.root.join("objects").join(format!(".{name}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&record)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+
+        let entry = IndexEntry {
+            kind,
+            size: payload.len() as u64,
+            checksum,
+            schema_version: SCHEMA_VERSION,
+        };
+        self.index.insert(name.to_string(), entry.clone());
+        self.persist_index()?;
+        Ok(entry)
+    }
+
+    /// Load and validate an artifact.
+    pub fn get<T: DeserializeOwned>(
+        &self,
+        name: &str,
+        expected_kind: ArtifactKind,
+    ) -> Result<T, StoreError> {
+        if !self.contains(name) {
+            return Err(StoreError::NotFound(name.to_string()));
+        }
+        let (kind, payload) = self.read_record(name)?;
+        if kind != expected_kind {
+            return Err(StoreError::Corrupt {
+                name: name.to_string(),
+                reason: format!("kind mismatch: stored {kind:?}, requested {expected_kind:?}"),
+            });
+        }
+        serde_json::from_slice(&payload).map_err(|e| StoreError::Serde(e.to_string()))
+    }
+
+    /// Delete a record.
+    pub fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        if self.index.remove(name).is_none() {
+            return Err(StoreError::NotFound(name.to_string()));
+        }
+        fs::remove_file(self.object_path(name))?;
+        self.persist_index()
+    }
+
+    /// Verify every record's checksum; returns the names that failed.
+    pub fn fsck(&self) -> Vec<String> {
+        self.index
+            .keys()
+            .filter(|name| self.read_record(name).is_err())
+            .cloned()
+            .collect()
+    }
+
+    /// Rebuild the index by scanning and validating every record on disk.
+    /// Corrupt records are skipped (and reported by [`Store::fsck`]).
+    pub fn rebuild_index(&mut self) -> Result<(), StoreError> {
+        self.index.clear();
+        let objects = self.root.join("objects");
+        for entry in fs::read_dir(&objects)? {
+            let path = entry?.path();
+            let Some(stem) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(name) = stem.strip_suffix(".rec") else {
+                continue;
+            };
+            if let Ok((kind, payload)) = self.read_record(name) {
+                self.index.insert(
+                    name.to_string(),
+                    IndexEntry {
+                        kind,
+                        size: payload.len() as u64,
+                        checksum: crc32(&payload),
+                        schema_version: SCHEMA_VERSION,
+                    },
+                );
+            }
+        }
+        self.persist_index()
+    }
+
+    fn persist_index(&self) -> Result<(), StoreError> {
+        let data = serde_json::to_vec_pretty(&self.index)
+            .map_err(|e| StoreError::Serde(e.to_string()))?;
+        let tmp = self.root.join(".index.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&data)?;
+            f.sync_all()?;
+        }
+        fs::rename(tmp, self.index_path())?;
+        Ok(())
+    }
+
+    /// Read and fully validate a record, returning its kind and payload.
+    fn read_record(&self, name: &str) -> Result<(ArtifactKind, Vec<u8>), StoreError> {
+        let corrupt = |reason: &str| StoreError::Corrupt {
+            name: name.to_string(),
+            reason: reason.to_string(),
+        };
+        let bytes = fs::read(self.object_path(name))?;
+        if bytes.len() < 24 {
+            return Err(corrupt("truncated header"));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != SCHEMA_VERSION {
+            return Err(corrupt(&format!(
+                "schema version {version} (supported: {SCHEMA_VERSION})"
+            )));
+        }
+        let kind = ArtifactKind::from_tag(bytes[8]).ok_or_else(|| corrupt("unknown kind tag"))?;
+        let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+        let payload = &bytes[24..];
+        if payload.len() != len {
+            return Err(corrupt(&format!(
+                "length mismatch: header {len}, actual {}",
+                payload.len()
+            )));
+        }
+        if crc32(payload) != stored_crc {
+            return Err(corrupt("checksum mismatch"));
+        }
+        Ok((kind, payload.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_store() -> (Store, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "tps-store-test-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        (Store::open(&dir).unwrap(), dir)
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Payload {
+        label: String,
+        values: Vec<f64>,
+    }
+
+    fn sample() -> Payload {
+        Payload {
+            label: "hello".into(),
+            values: vec![0.1, 0.2, 0.3],
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (mut store, _dir) = temp_store();
+        let entry = store.put("exp-1", ArtifactKind::Custom, &sample()).unwrap();
+        assert!(entry.size > 0);
+        let back: Payload = store.get("exp-1", ArtifactKind::Custom).unwrap();
+        assert_eq!(back, sample());
+        assert!(store.contains("exp-1"));
+        assert_eq!(store.list().len(), 1);
+    }
+
+    #[test]
+    fn put_refuses_overwrite_but_put_overwrite_replaces() {
+        let (mut store, _dir) = temp_store();
+        store.put("x", ArtifactKind::Custom, &sample()).unwrap();
+        assert!(matches!(
+            store.put("x", ArtifactKind::Custom, &sample()),
+            Err(StoreError::AlreadyExists(_))
+        ));
+        let newer = Payload {
+            label: "v2".into(),
+            values: vec![9.0],
+        };
+        store.put_overwrite("x", ArtifactKind::Custom, &newer).unwrap();
+        let back: Payload = store.get("x", ArtifactKind::Custom).unwrap();
+        assert_eq!(back.label, "v2");
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let (mut store, _dir) = temp_store();
+        store.put("w", ArtifactKind::World, &sample()).unwrap();
+        assert!(matches!(
+            store.get::<Payload>("w", ArtifactKind::OfflineArtifacts),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (mut store, dir) = temp_store();
+        store.put("frail", ArtifactKind::Custom, &sample()).unwrap();
+        // Flip one payload byte on disk.
+        let path = dir.join("objects").join("frail.rec");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            store.get::<Payload>("frail", ArtifactKind::Custom),
+            Err(StoreError::Corrupt { .. }) | Err(StoreError::Serde(_))
+        ));
+        assert_eq!(store.fsck(), vec!["frail".to_string()]);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let (mut store, dir) = temp_store();
+        store.put("short", ArtifactKind::Custom, &sample()).unwrap();
+        let path = dir.join("objects").join("short.rec");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(store.get::<Payload>("short", ArtifactKind::Custom).is_err());
+    }
+
+    #[test]
+    fn index_rebuild_recovers_from_lost_index() {
+        let (mut store, dir) = temp_store();
+        store.put("a", ArtifactKind::Custom, &sample()).unwrap();
+        store.put("b", ArtifactKind::World, &sample()).unwrap();
+        fs::remove_file(dir.join("index.json")).unwrap();
+        // Reopen: the index is rebuilt by scanning records.
+        let reopened = Store::open(&dir).unwrap();
+        assert!(reopened.contains("a"));
+        assert!(reopened.contains("b"));
+        assert_eq!(reopened.entry("b").unwrap().kind, ArtifactKind::World);
+    }
+
+    #[test]
+    fn remove_deletes_record_and_index_entry() {
+        let (mut store, dir) = temp_store();
+        store.put("gone", ArtifactKind::Custom, &sample()).unwrap();
+        store.remove("gone").unwrap();
+        assert!(!store.contains("gone"));
+        assert!(!dir.join("objects").join("gone.rec").exists());
+        assert!(matches!(
+            store.remove("gone"),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let (mut store, _dir) = temp_store();
+        for bad in ["", "../evil", "a/b", "a b", ".hidden.tmp/"] {
+            assert!(
+                matches!(
+                    store.put(bad, ArtifactKind::Custom, &sample()),
+                    Err(StoreError::BadName(_))
+                ),
+                "accepted {bad:?}"
+            );
+        }
+        assert!(store.put("ok-name_1.0", ArtifactKind::Custom, &sample()).is_ok());
+    }
+
+    #[test]
+    fn real_artifacts_roundtrip() {
+        use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+        let (mut store, _dir) = temp_store();
+        let world = tps_zoo::World::cv(3);
+        let (matrix, curves) = world.build_offline().unwrap();
+        let artifacts =
+            OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+        store.put("cv-world", ArtifactKind::World, &world).unwrap();
+        store
+            .put("cv-artifacts", ArtifactKind::OfflineArtifacts, &artifacts)
+            .unwrap();
+        let w: tps_zoo::World = store.get("cv-world", ArtifactKind::World).unwrap();
+        let a: OfflineArtifacts = store
+            .get("cv-artifacts", ArtifactKind::OfflineArtifacts)
+            .unwrap();
+        assert_eq!(w.models, world.models);
+        assert_eq!(a.matrix, artifacts.matrix);
+        assert_eq!(a.clustering, artifacts.clustering);
+    }
+}

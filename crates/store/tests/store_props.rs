@@ -1,0 +1,101 @@
+//! Property-based durability tests for the artifact store: arbitrary
+//! payloads round-trip; arbitrary corruption is detected.
+
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tps_store::{crc32, ArtifactKind, Store};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tps-store-prop-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arbitrary_payloads_roundtrip(
+        labels in prop::collection::vec("[a-z]{1,12}", 1..8),
+        values in prop::collection::vec(-1e6f64..1e6, 0..64),
+    ) {
+        let dir = temp_dir();
+        let mut store = Store::open(&dir).unwrap();
+        let payload = (labels.clone(), values.clone());
+        store.put("payload", ArtifactKind::Custom, &payload).unwrap();
+        let back: (Vec<String>, Vec<f64>) =
+            store.get("payload", ArtifactKind::Custom).unwrap();
+        prop_assert_eq!(back.0, labels);
+        prop_assert_eq!(back.1, values);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected(
+        values in prop::collection::vec(0f64..1.0, 1..32),
+        corrupt_at in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let dir = temp_dir();
+        let mut store = Store::open(&dir).unwrap();
+        store.put("victim", ArtifactKind::Custom, &values).unwrap();
+        let path = dir.join("objects").join("victim.rec");
+        let mut bytes = fs::read(&path).unwrap();
+        let idx = ((bytes.len() as f64 * corrupt_at) as usize).min(bytes.len() - 1);
+        bytes[idx] ^= xor;
+        fs::write(&path, bytes).unwrap();
+        // The read must fail — never return silently-corrupted data equal
+        // in length but different in content.
+        let result: Result<Vec<f64>, _> = store.get("victim", ArtifactKind::Custom);
+        match result {
+            Err(_) => {}
+            // A corrupted byte inside the JSON payload could still parse if
+            // it maps to an equivalent encoding — but then the checksum
+            // would have caught it first, so reaching Ok means the bytes
+            // decoded identically, which is impossible under a xor != 0
+            // unless the flip hit a region that does not change the payload
+            // (header padding). Assert the payload is intact in that case.
+            Ok(back) => prop_assert_eq!(back, values),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_rebuild_is_lossless(names in prop::collection::btree_set("[a-z]{1,8}", 1..6)) {
+        let dir = temp_dir();
+        let mut store = Store::open(&dir).unwrap();
+        for (i, name) in names.iter().enumerate() {
+            store.put(name, ArtifactKind::Custom, &i).unwrap();
+        }
+        fs::remove_file(dir.join("index.json")).unwrap();
+        let reopened = Store::open(&dir).unwrap();
+        for name in &names {
+            prop_assert!(reopened.contains(name), "lost {name}");
+        }
+        prop_assert_eq!(reopened.list().len(), names.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc_differs_for_different_payloads(
+        a in prop::collection::vec(any::<u8>(), 0..256),
+        b in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(a != b);
+        // Not a cryptographic guarantee, but CRC-32 collisions on short
+        // random inputs are ~2^-32; hitting one here would itself be a
+        // find. Mostly this pins the implementation against accidental
+        // "return 0" regressions.
+        if a.len() == b.len() && a.len() < 64 {
+            prop_assert_ne!(crc32(&a), crc32(&b));
+        }
+    }
+}

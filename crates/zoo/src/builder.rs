@@ -1,0 +1,433 @@
+//! Fluent construction of custom worlds.
+//!
+//! The presets ([`World::nlp`], [`World::cv`]) mirror the paper;
+//! [`World::synthetic`] randomises. This builder covers the third need:
+//! *scripted* scenarios — "three BERT families around these benchmarks,
+//! one slow giant, a target near family B" — for experiments, regression
+//! tests and tutorials, with full control over every knob.
+//!
+//! ```
+//! use tps_zoo::builder::WorldBuilder;
+//!
+//! let world = WorldBuilder::new(7)
+//!     .stages(4)
+//!     .benchmark("glue-ish", 3, 0.33, 0.90)
+//!     .benchmark("reviews", 2, 0.50, 0.95)
+//!     .family("acme/bert-ft", 3, "glue-ish", 0.85)
+//!     .singleton("solo/oddball", 0.50)
+//!     .target_near("new-task", 3, 0.33, 0.88, "glue-ish", 0.3)
+//!     .build()?;
+//! assert_eq!(world.n_models(), 4);
+//! assert_eq!(world.n_benchmarks(), 2);
+//! # Ok::<(), tps_core::error::SelectionError>(())
+//! ```
+
+use crate::dataset::{DatasetRole, DatasetSpec};
+use crate::domain::DomainVec;
+use crate::hyper::TrainHyper;
+use crate::model::{Family, ModelSpec};
+use crate::transfer::TransferLaw;
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tps_core::error::{Result, SelectionError};
+
+/// Proxy samples for builder-made datasets (matches the presets).
+const PROXY_SAMPLES: usize = 200;
+
+enum PendingModels {
+    Family {
+        base_name: String,
+        size: usize,
+        anchor_benchmark: String,
+        capability: f64,
+        n_source_labels: usize,
+    },
+    Singleton {
+        name: String,
+        capability: f64,
+        n_source_labels: usize,
+    },
+}
+
+enum PendingTarget {
+    Near {
+        spec: (String, usize, f64, f64),
+        anchor_benchmark: String,
+        mix: f64,
+    },
+    Random {
+        spec: (String, usize, f64, f64),
+    },
+}
+
+/// Fluent builder for a custom [`World`].
+pub struct WorldBuilder {
+    seed: u64,
+    stages: usize,
+    law: TransferLaw,
+    hyper: TrainHyper,
+    benchmarks: Vec<DatasetSpec>,
+    models: Vec<PendingModels>,
+    targets: Vec<PendingTarget>,
+}
+
+impl WorldBuilder {
+    /// Start a builder; `seed` drives all generated geometry.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            stages: 5,
+            law: TransferLaw::default(),
+            hyper: TrainHyper::HighLr,
+            benchmarks: Vec::new(),
+            models: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Fine-tuning stage budget `T` (default 5).
+    pub fn stages(mut self, stages: usize) -> Self {
+        self.stages = stages;
+        self
+    }
+
+    /// Override the transfer law.
+    pub fn law(mut self, law: TransferLaw) -> Self {
+        self.law = law;
+        self
+    }
+
+    /// Override the hyper-parameter regime.
+    pub fn hyper(mut self, hyper: TrainHyper) -> Self {
+        self.hyper = hyper;
+        self
+    }
+
+    /// Add a benchmark dataset at a random domain point.
+    pub fn benchmark(
+        mut self,
+        name: &str,
+        n_labels: usize,
+        chance: f64,
+        ceiling: f64,
+    ) -> Self {
+        // Domain sampled at build() so ordering of calls cannot matter.
+        self.benchmarks.push(DatasetSpec::new(
+            name,
+            DatasetRole::Benchmark,
+            DomainVec::zero(), // placeholder, resampled in build()
+            n_labels,
+            chance,
+            ceiling,
+            PROXY_SAMPLES,
+        ));
+        self
+    }
+
+    /// Add a family of `size` sibling models anchored at a benchmark
+    /// (named `{base_name}-0 … -{size-1}`).
+    pub fn family(
+        mut self,
+        base_name: &str,
+        size: usize,
+        anchor_benchmark: &str,
+        capability: f64,
+    ) -> Self {
+        self.models.push(PendingModels::Family {
+            base_name: base_name.to_string(),
+            size,
+            anchor_benchmark: anchor_benchmark.to_string(),
+            capability,
+            n_source_labels: 3,
+        });
+        self
+    }
+
+    /// Add one isolated model at a random remote domain point.
+    pub fn singleton(mut self, name: &str, capability: f64) -> Self {
+        self.models.push(PendingModels::Singleton {
+            name: name.to_string(),
+            capability,
+            n_source_labels: 3,
+        });
+        self
+    }
+
+    /// Add a target dataset placed `mix` of the way from a benchmark's
+    /// domain toward a random point (0 = exactly on the benchmark).
+    pub fn target_near(
+        mut self,
+        name: &str,
+        n_labels: usize,
+        chance: f64,
+        ceiling: f64,
+        anchor_benchmark: &str,
+        mix: f64,
+    ) -> Self {
+        self.targets.push(PendingTarget::Near {
+            spec: (name.to_string(), n_labels, chance, ceiling),
+            anchor_benchmark: anchor_benchmark.to_string(),
+            mix,
+        });
+        self
+    }
+
+    /// Add a target dataset at a random domain point (fully out of
+    /// distribution).
+    pub fn target_random(mut self, name: &str, n_labels: usize, chance: f64, ceiling: f64) -> Self {
+        self.targets.push(PendingTarget::Random {
+            spec: (name.to_string(), n_labels, chance, ceiling),
+        });
+        self
+    }
+
+    /// Materialise the world. Fails when a family or target references an
+    /// unknown benchmark, or when any of the three sections is empty.
+    pub fn build(self) -> Result<World> {
+        if self.benchmarks.is_empty() {
+            return Err(SelectionError::Empty("benchmarks"));
+        }
+        if self.models.is_empty() {
+            return Err(SelectionError::Empty("models"));
+        }
+        if self.targets.is_empty() {
+            return Err(SelectionError::Empty("targets"));
+        }
+        if self.stages == 0 {
+            return Err(SelectionError::InvalidConfig("stages must be >= 1".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0b11_1de5);
+
+        // Place benchmarks.
+        let mut benchmarks = self.benchmarks;
+        for b in &mut benchmarks {
+            b.domain = DomainVec::sample(&mut rng);
+        }
+        let bench_domain = |name: &str| -> Result<DomainVec> {
+            benchmarks
+                .iter()
+                .find(|b| b.name == name)
+                .map(|b| b.domain)
+                .ok_or_else(|| {
+                    SelectionError::InvalidConfig(format!("unknown anchor benchmark `{name}`"))
+                })
+        };
+
+        // Place models.
+        let mut models = Vec::new();
+        for pending in &self.models {
+            match pending {
+                PendingModels::Family {
+                    base_name,
+                    size,
+                    anchor_benchmark,
+                    capability,
+                    n_source_labels,
+                } => {
+                    if *size == 0 {
+                        return Err(SelectionError::InvalidConfig(format!(
+                            "family `{base_name}` has size 0"
+                        )));
+                    }
+                    let anchor = bench_domain(anchor_benchmark)?;
+                    for i in 0..*size {
+                        models.push(
+                            ModelSpec::new(
+                                format!("{base_name}-{i}"),
+                                Family::TextEncoder,
+                                anchor.jitter(0.05, &mut rng),
+                                (capability + rng.gen_range(-0.03..=0.03)).clamp(0.05, 1.0),
+                                anchor_benchmark.clone(),
+                                *n_source_labels,
+                            )
+                            .with_speed(rng.gen_range(0.7..=1.3)),
+                        );
+                    }
+                }
+                PendingModels::Singleton {
+                    name,
+                    capability,
+                    n_source_labels,
+                } => {
+                    let near = benchmarks[rng.gen_range(0..benchmarks.len())].domain;
+                    models.push(
+                        ModelSpec::new(
+                            name.clone(),
+                            Family::TextEncoder,
+                            near.jitter(0.5, &mut rng),
+                            *capability,
+                            "bespoke",
+                            *n_source_labels,
+                        )
+                        .with_speed(rng.gen_range(0.7..=1.3)),
+                    );
+                }
+            }
+        }
+        // Duplicate names would silently alias trainer state downstream.
+        let mut names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        let len_before = names.len();
+        names.dedup();
+        if names.len() != len_before {
+            return Err(SelectionError::InvalidConfig(
+                "duplicate model names in builder".into(),
+            ));
+        }
+
+        // Place targets.
+        let mut targets = Vec::new();
+        for pending in &self.targets {
+            let (spec, domain) = match pending {
+                PendingTarget::Near {
+                    spec,
+                    anchor_benchmark,
+                    mix,
+                } => {
+                    let anchor = bench_domain(anchor_benchmark)?;
+                    let random = DomainVec::sample(&mut rng);
+                    (spec, anchor.lerp(&random, *mix))
+                }
+                PendingTarget::Random { spec } => (spec, DomainVec::sample(&mut rng)),
+            };
+            let (name, n_labels, chance, ceiling) = spec;
+            targets.push(DatasetSpec::new(
+                name.clone(),
+                DatasetRole::Target,
+                domain,
+                *n_labels,
+                *chance,
+                *ceiling,
+                PROXY_SAMPLES,
+            ));
+        }
+
+        Ok(World {
+            seed: self.seed,
+            law: self.law,
+            hyper: self.hyper,
+            stages: self.stages,
+            models,
+            benchmarks,
+            targets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_core::ids::ModelId;
+
+    fn two_family_world() -> World {
+        WorldBuilder::new(3)
+            .stages(4)
+            .benchmark("alpha", 3, 0.33, 0.9)
+            .benchmark("beta", 2, 0.5, 0.95)
+            .family("fam-a/model", 3, "alpha", 0.85)
+            .family("fam-b/model", 2, "beta", 0.75)
+            .singleton("solo/one", 0.5)
+            .target_near("task", 3, 0.33, 0.9, "alpha", 0.25)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_the_requested_structure() {
+        let w = two_family_world();
+        assert_eq!(w.n_models(), 6);
+        assert_eq!(w.n_benchmarks(), 2);
+        assert_eq!(w.n_targets(), 1);
+        assert_eq!(w.stages, 4);
+        assert_eq!(w.models[0].name, "fam-a/model-0");
+        assert_eq!(w.models[5].name, "solo/one");
+    }
+
+    #[test]
+    fn families_anchor_where_asked() {
+        let w = two_family_world();
+        // fam-a members sit near the alpha benchmark.
+        let alpha = w.benchmarks[0].domain;
+        for m in &w.models[..3] {
+            assert!(m.domain.distance(&alpha) < 0.3, "{}", m.name);
+        }
+        // The target near alpha favours fam-a: its best member beats fam-b's.
+        let best_a = (0..3)
+            .map(|m| w.target_accuracy(ModelId::from(m), 0))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_b = (3..5)
+            .map(|m| w.target_accuracy(ModelId::from(m), 0))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best_a > best_b, "a {best_a} vs b {best_b}");
+    }
+
+    #[test]
+    fn built_worlds_run_the_full_pipeline() {
+        use tps_core::pipeline::{two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig};
+        use tps_core::recall::RecallConfig;
+
+        let w = two_family_world();
+        let (matrix, curves) = w.build_offline().unwrap();
+        let artifacts =
+            OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+        let oracle = crate::ZooOracle::new(&w, 0).unwrap();
+        let mut trainer = crate::ZooTrainer::new(&w, 0).unwrap();
+        let out = two_phase_select(
+            &artifacts,
+            &oracle,
+            &mut trainer,
+            &PipelineConfig {
+                recall: RecallConfig {
+                    top_k: 3,
+                    ..Default::default()
+                },
+                total_stages: w.stages,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The winner comes from the in-domain family.
+        assert!(out.selection.winner.index() < 3, "{:?}", out.selection.winner);
+    }
+
+    #[test]
+    fn validates_structure() {
+        assert!(WorldBuilder::new(1).build().is_err());
+        assert!(WorldBuilder::new(1)
+            .benchmark("b", 2, 0.5, 0.9)
+            .family("f", 2, "nope", 0.8)
+            .target_random("t", 2, 0.5, 0.9)
+            .build()
+            .is_err());
+        assert!(WorldBuilder::new(1)
+            .benchmark("b", 2, 0.5, 0.9)
+            .family("f", 0, "b", 0.8)
+            .target_random("t", 2, 0.5, 0.9)
+            .build()
+            .is_err());
+        // Duplicate names rejected.
+        assert!(WorldBuilder::new(1)
+            .benchmark("b", 2, 0.5, 0.9)
+            .singleton("same", 0.5)
+            .singleton("same", 0.6)
+            .target_random("t", 2, 0.5, 0.9)
+            .build()
+            .is_err());
+        assert!(WorldBuilder::new(1)
+            .stages(0)
+            .benchmark("b", 2, 0.5, 0.9)
+            .singleton("s", 0.5)
+            .target_random("t", 2, 0.5, 0.9)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = two_family_world();
+        let b = two_family_world();
+        assert_eq!(a.models, b.models);
+        assert_eq!(a.benchmarks, b.benchmarks);
+    }
+}

@@ -1,0 +1,139 @@
+//! Synthetic dataset specifications.
+//!
+//! A dataset is a classification task characterised by its latent domain,
+//! its intrinsic difficulty (how far below 1.0 even a perfect model tops
+//! out), and its label space. Benchmark datasets build the offline
+//! performance matrix; target datasets evaluate the online phases and are
+//! deliberately disjoint from the benchmarks (paper §V-A).
+
+use crate::domain::DomainVec;
+use serde::{Deserialize, Serialize};
+
+/// Whether a dataset belongs to the offline benchmark suite or is an online
+/// evaluation target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetRole {
+    /// Used offline to build the performance matrix and mine trends.
+    Benchmark,
+    /// Used online to evaluate selection; never seen offline.
+    Target,
+}
+
+/// Specification of one synthetic classification dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Human-readable name (mirrors the paper's dataset names).
+    pub name: String,
+    /// Benchmark or target.
+    pub role: DatasetRole,
+    /// Position in the latent domain space.
+    pub domain: DomainVec,
+    /// Number of classes.
+    pub n_labels: usize,
+    /// Chance-level accuracy (`≈ 1 / n_labels` for balanced labels, higher
+    /// for skewed ones).
+    pub chance: f64,
+    /// Best achievable accuracy on this dataset (label noise, ambiguity).
+    pub ceiling: f64,
+    /// Number of evaluation samples the proxy oracle will expose.
+    pub n_proxy_samples: usize,
+}
+
+impl DatasetSpec {
+    /// Construct with validation of the accuracy envelope.
+    pub fn new(
+        name: impl Into<String>,
+        role: DatasetRole,
+        domain: DomainVec,
+        n_labels: usize,
+        chance: f64,
+        ceiling: f64,
+        n_proxy_samples: usize,
+    ) -> Self {
+        assert!(n_labels >= 2, "classification needs >= 2 labels");
+        assert!(
+            (0.0..1.0).contains(&chance) && chance < ceiling && ceiling <= 1.0,
+            "need 0 <= chance < ceiling <= 1 (chance={chance}, ceiling={ceiling})"
+        );
+        assert!(n_proxy_samples > 0);
+        Self {
+            name: name.into(),
+            role,
+            domain,
+            n_labels,
+            chance,
+            ceiling,
+            n_proxy_samples,
+        }
+    }
+
+    /// The usable accuracy range above chance.
+    pub fn headroom(&self) -> f64 {
+        self.ceiling - self.chance
+    }
+
+    /// Deterministic, roughly-balanced target labels for proxy scoring:
+    /// sample `i` gets label `i % n_labels`.
+    pub fn proxy_labels(&self) -> Vec<usize> {
+        (0..self.n_proxy_samples).map(|i| i % self.n_labels).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DatasetSpec {
+        DatasetSpec::new(
+            "mnli",
+            DatasetRole::Target,
+            DomainVec::zero(),
+            3,
+            0.33,
+            0.9,
+            60,
+        )
+    }
+
+    #[test]
+    fn headroom_and_labels() {
+        let d = spec();
+        assert!((d.headroom() - 0.57).abs() < 1e-12);
+        let labels = d.proxy_labels();
+        assert_eq!(labels.len(), 60);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[4], 1);
+        // Balanced: each label appears 20 times.
+        for l in 0..3 {
+            assert_eq!(labels.iter().filter(|&&x| x == l).count(), 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chance < ceiling")]
+    fn rejects_inverted_envelope() {
+        DatasetSpec::new(
+            "bad",
+            DatasetRole::Benchmark,
+            DomainVec::zero(),
+            2,
+            0.9,
+            0.5,
+            10,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 labels")]
+    fn rejects_single_label() {
+        DatasetSpec::new(
+            "bad",
+            DatasetRole::Benchmark,
+            DomainVec::zero(),
+            1,
+            0.5,
+            0.9,
+            10,
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Latent domain space.
+//!
+//! Every dataset and every pre-trained model lives at a point in a small
+//! latent space standing in for "domain of the training data" (topic,
+//! modality style, label semantics…). Transfer quality between a model and
+//! a dataset decays smoothly with their distance — the generative seed of
+//! every phenomenon the paper measures: models raised on the same upstream
+//! data sit close together (and therefore score alike on benchmarks and on
+//! new tasks), while out-of-domain transfers land near chance.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Dimensionality of the latent domain space.
+pub const DOMAIN_DIM: usize = 8;
+
+/// A point in the latent domain space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainVec(pub [f64; DOMAIN_DIM]);
+
+impl DomainVec {
+    /// The origin.
+    pub fn zero() -> Self {
+        DomainVec([0.0; DOMAIN_DIM])
+    }
+
+    /// Sample a domain uniformly from `[-1, 1]^dim`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut v = [0.0; DOMAIN_DIM];
+        for x in &mut v {
+            *x = rng.gen_range(-1.0..=1.0);
+        }
+        DomainVec(v)
+    }
+
+    /// A jittered copy: each coordinate perturbed by `±scale` uniformly.
+    /// Used to place sibling models (same upstream data, different training
+    /// run) near one another.
+    pub fn jitter<R: Rng + ?Sized>(&self, scale: f64, rng: &mut R) -> Self {
+        let mut v = self.0;
+        for x in &mut v {
+            *x += rng.gen_range(-scale..=scale);
+        }
+        DomainVec(v)
+    }
+
+    /// Euclidean distance to another domain point.
+    pub fn distance(&self, other: &DomainVec) -> f64 {
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Transfer affinity in `(0, 1]`: a Gaussian kernel over domain
+    /// distance. `bandwidth` controls how quickly transfer decays as the
+    /// model's training domain moves away from the task.
+    pub fn affinity(&self, other: &DomainVec, bandwidth: f64) -> f64 {
+        debug_assert!(bandwidth > 0.0);
+        let d = self.distance(other);
+        (-d * d / (2.0 * bandwidth * bandwidth)).exp()
+    }
+
+    /// Convex interpolation toward another point (`t = 0` → self,
+    /// `t = 1` → other). Used to place targets partway between benchmark
+    /// domains for the generalization study.
+    pub fn lerp(&self, other: &DomainVec, t: f64) -> Self {
+        let mut v = [0.0; DOMAIN_DIM];
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = self.0[i] * (1.0 - t) + other.0[i] * t;
+        }
+        DomainVec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_is_a_metric_on_samples() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = DomainVec::sample(&mut rng);
+        let b = DomainVec::sample(&mut rng);
+        let c = DomainVec::sample(&mut rng);
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-12);
+    }
+
+    #[test]
+    fn affinity_decays_with_distance() {
+        let zero = DomainVec::zero();
+        let mut near = DomainVec::zero();
+        near.0[0] = 0.1;
+        let mut far = DomainVec::zero();
+        far.0[0] = 2.0;
+        assert!(zero.affinity(&near, 0.8) > zero.affinity(&far, 0.8));
+        assert_eq!(zero.affinity(&zero, 0.8), 1.0);
+        assert!(zero.affinity(&far, 0.8) > 0.0);
+    }
+
+    #[test]
+    fn jitter_stays_close() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = DomainVec::sample(&mut rng);
+        let j = base.jitter(0.05, &mut rng);
+        assert!(base.distance(&j) < 0.05 * (DOMAIN_DIM as f64).sqrt() + 1e-9);
+        assert!(base.distance(&j) > 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = DomainVec::sample(&mut rng);
+        let b = DomainVec::sample(&mut rng);
+        assert!(a.lerp(&b, 0.0).distance(&a) < 1e-12);
+        assert!(a.lerp(&b, 1.0).distance(&b) < 1e-12);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.distance(&a) - mid.distance(&b)).abs() < 1e-9);
+    }
+}

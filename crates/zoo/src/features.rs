@@ -1,0 +1,139 @@
+//! Synthetic feature matrices for feature-based proxies (LogME, kNN).
+//!
+//! A source model's penultimate-layer embedding of a target sample is
+//! simulated as a class-direction vector scaled by the model's transfer
+//! quality plus isotropic noise: good transfers embed the target classes
+//! far apart (high separability — exactly what LogME/kNN reward), poor
+//! transfers embed everything in one blob. As with the prediction
+//! synthesis, the proxy *computation* downstream is the real one; only the
+//! feature provenance is generative.
+
+use crate::dataset::DatasetSpec;
+use crate::hyper::TrainHyper;
+use crate::model::ModelSpec;
+use crate::transfer::{run_seed, TransferLaw};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dimensionality of synthesized feature embeddings.
+pub const FEATURE_DIM: usize = 16;
+
+/// Class separation (in feature units) achieved by a perfect transfer.
+const MAX_SEPARATION: f64 = 2.5;
+
+/// Synthesize the `n_proxy_samples × FEATURE_DIM` feature matrix of `model`
+/// on `dataset`, row-major, aligned with [`DatasetSpec::proxy_labels`].
+pub fn synthesize_features(
+    law: &TransferLaw,
+    model: &ModelSpec,
+    dataset: &DatasetSpec,
+    world_seed: u64,
+) -> Vec<f64> {
+    let q = law.quality(model, dataset, world_seed);
+    // Distinct stream from curves (bit 63) and predictions (bit 62).
+    let mut rng = StdRng::seed_from_u64(
+        run_seed(world_seed, model, dataset, TrainHyper::HighLr) ^ (1u64 << 62),
+    );
+
+    // One unit direction per target class, fixed per (model, dataset).
+    let directions: Vec<[f64; FEATURE_DIM]> = (0..dataset.n_labels)
+        .map(|_| {
+            let mut v = [0.0; FEATURE_DIM];
+            let mut norm = 0.0f64;
+            for x in &mut v {
+                *x = rng.gen_range(-1.0..=1.0);
+                norm += *x * *x;
+            }
+            let norm = norm.sqrt().max(1e-9);
+            v.iter_mut().for_each(|x| *x /= norm);
+            v
+        })
+        .collect();
+
+    // Quadratic in quality: weak transfers collapse toward one blob while
+    // strong ones stay separable, preventing LOO-kNN from saturating.
+    let separation = MAX_SEPARATION * q * q;
+    let labels = dataset.proxy_labels();
+    let mut features = Vec::with_capacity(labels.len() * FEATURE_DIM);
+    for &y in &labels {
+        for &direction in &directions[y] {
+            features.push(separation * direction + rng.gen_range(-0.8..=0.8));
+        }
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetRole;
+    use crate::domain::DomainVec;
+    use crate::model::Family;
+    use tps_core::proxy::knn::knn_proxy;
+    use tps_core::proxy::logme::logme;
+
+    fn dataset() -> DatasetSpec {
+        DatasetSpec::new(
+            "t",
+            DatasetRole::Target,
+            DomainVec::zero(),
+            3,
+            0.33,
+            0.9,
+            90,
+        )
+    }
+
+    fn model_at(x: f64) -> ModelSpec {
+        let mut d = DomainVec::zero();
+        d.0[0] = x;
+        ModelSpec::new(format!("m@{x}"), Family::TextEncoder, d, 0.85, "up", 4)
+    }
+
+    #[test]
+    fn shapes_match_dataset() {
+        let law = TransferLaw::default();
+        let d = dataset();
+        let f = synthesize_features(&law, &model_at(0.0), &d, 7);
+        assert_eq!(f.len(), d.n_proxy_samples * FEATURE_DIM);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let law = TransferLaw::default();
+        let d = dataset();
+        let a = synthesize_features(&law, &model_at(0.1), &d, 7);
+        let b = synthesize_features(&law, &model_at(0.1), &d, 7);
+        assert_eq!(a, b);
+        let c = synthesize_features(&law, &model_at(0.1), &d, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn knn_tracks_transfer_quality() {
+        let law = TransferLaw::default();
+        let d = dataset();
+        let labels = d.proxy_labels();
+        let near = synthesize_features(&law, &model_at(0.0), &d, 7);
+        let far = synthesize_features(&law, &model_at(3.5), &d, 7);
+        let acc_near = knn_proxy(&near, labels.len(), FEATURE_DIM, &labels, 5).unwrap();
+        let acc_far = knn_proxy(&far, labels.len(), FEATURE_DIM, &labels, 5).unwrap();
+        assert!(
+            acc_near > acc_far + 0.1,
+            "near {acc_near} should beat far {acc_far}"
+        );
+    }
+
+    #[test]
+    fn logme_tracks_transfer_quality() {
+        let law = TransferLaw::default();
+        let d = dataset();
+        let labels = d.proxy_labels();
+        let near = synthesize_features(&law, &model_at(0.0), &d, 7);
+        let far = synthesize_features(&law, &model_at(3.5), &d, 7);
+        let s_near = logme(&near, labels.len(), FEATURE_DIM, &labels, d.n_labels).unwrap();
+        let s_far = logme(&far, labels.len(), FEATURE_DIM, &labels, d.n_labels).unwrap();
+        assert!(s_near > s_far, "near {s_near} should beat far {s_far}");
+    }
+}

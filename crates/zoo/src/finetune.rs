@@ -1,0 +1,223 @@
+//! Substrate implementations of the `tps-core` traits for a [`World`]:
+//! incremental fine-tuning on a target dataset ([`ZooTrainer`]) and
+//! prediction-matrix generation for proxy scoring ([`ZooOracle`]).
+
+use crate::features::{synthesize_features, FEATURE_DIM};
+use crate::predictions::synthesize_predictions;
+use crate::transfer::TransferRun;
+use crate::world::World;
+use tps_core::error::{Result, SelectionError};
+use tps_core::ids::ModelId;
+use tps_core::proxy::PredictionMatrix;
+use tps_core::traits::{FeatureOracle, ProxyOracle, TargetTrainer};
+
+/// Incremental fine-tuning of the world's models on one target dataset.
+///
+/// Each model's full trajectory is lazily materialised from the transfer
+/// law on first touch; `advance` walks it one stage at a time, `test` reads
+/// the test trace at the model's current stage — exactly the view a real
+/// training loop would provide (a model stopped early has an early-stopped
+/// test accuracy).
+#[derive(Debug)]
+pub struct ZooTrainer<'w> {
+    world: &'w World,
+    target: usize,
+    runs: Vec<Option<TransferRun>>,
+    stages_trained: Vec<usize>,
+}
+
+impl<'w> ZooTrainer<'w> {
+    /// Create a trainer for `world.targets[target]`.
+    pub fn new(world: &'w World, target: usize) -> Result<Self> {
+        if target >= world.n_targets() {
+            return Err(SelectionError::UnknownId {
+                what: "target dataset",
+                id: target,
+            });
+        }
+        Ok(Self {
+            world,
+            target,
+            runs: vec![None; world.n_models()],
+            stages_trained: vec![0; world.n_models()],
+        })
+    }
+
+    fn check_model(&self, model: ModelId) -> Result<()> {
+        if model.index() >= self.world.n_models() {
+            return Err(SelectionError::UnknownId {
+                what: "model",
+                id: model.index(),
+            });
+        }
+        Ok(())
+    }
+
+    fn run_for(&mut self, model: ModelId) -> Result<&TransferRun> {
+        self.check_model(model)?;
+        let idx = model.index();
+        if self.runs[idx].is_none() {
+            self.runs[idx] = Some(self.world.target_run(model, self.target));
+        }
+        Ok(self.runs[idx].as_ref().expect("just filled"))
+    }
+}
+
+impl TargetTrainer for ZooTrainer<'_> {
+    fn advance(&mut self, model: ModelId) -> Result<f64> {
+        self.check_model(model)?;
+        let t = self.stages_trained[model.index()];
+        let run = self.run_for(model)?;
+        let val = run.vals[t.min(run.vals.len() - 1)];
+        self.stages_trained[model.index()] += 1;
+        Ok(val)
+    }
+
+    fn test(&mut self, model: ModelId) -> Result<f64> {
+        self.check_model(model)?;
+        let t = self.stages_trained[model.index()];
+        if t == 0 {
+            return Err(SelectionError::InvalidConfig(
+                "test() before any training stage".into(),
+            ));
+        }
+        let run = self.run_for(model)?;
+        Ok(run.tests[(t - 1).min(run.tests.len() - 1)])
+    }
+
+    fn stages_trained(&self, model: ModelId) -> usize {
+        self.stages_trained[model.index()]
+    }
+}
+
+/// Prediction-matrix oracle for one target dataset.
+#[derive(Debug)]
+pub struct ZooOracle<'w> {
+    world: &'w World,
+    target: usize,
+    labels: Vec<usize>,
+}
+
+impl<'w> ZooOracle<'w> {
+    /// Create an oracle for `world.targets[target]`.
+    pub fn new(world: &'w World, target: usize) -> Result<Self> {
+        if target >= world.n_targets() {
+            return Err(SelectionError::UnknownId {
+                what: "target dataset",
+                id: target,
+            });
+        }
+        let labels = world.targets[target].proxy_labels();
+        Ok(Self {
+            world,
+            target,
+            labels,
+        })
+    }
+}
+
+impl FeatureOracle for ZooOracle<'_> {
+    fn features(&self, model: ModelId) -> Result<(Vec<f64>, usize, usize)> {
+        if model.index() >= self.world.n_models() {
+            return Err(SelectionError::UnknownId {
+                what: "model",
+                id: model.index(),
+            });
+        }
+        let f = synthesize_features(
+            &self.world.law,
+            &self.world.models[model.index()],
+            &self.world.targets[self.target],
+            self.world.seed,
+        );
+        let n = self.labels.len();
+        Ok((f, n, FEATURE_DIM))
+    }
+}
+
+impl ProxyOracle for ZooOracle<'_> {
+    fn predictions(&self, model: ModelId) -> Result<PredictionMatrix> {
+        if model.index() >= self.world.n_models() {
+            return Err(SelectionError::UnknownId {
+                what: "model",
+                id: model.index(),
+            });
+        }
+        synthesize_predictions(
+            &self.world.law,
+            &self.world.models[model.index()],
+            &self.world.targets[self.target],
+            self.world.seed,
+        )
+    }
+
+    fn target_labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    fn n_target_labels(&self) -> usize {
+        self.world.targets[self.target].n_labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn trainer_walks_the_curve() {
+        let w = World::cv(5);
+        let mut t = ZooTrainer::new(&w, 0).unwrap();
+        let m = ModelId(0);
+        assert_eq!(t.stages_trained(m), 0);
+        let v1 = t.advance(m).unwrap();
+        let v2 = t.advance(m).unwrap();
+        assert_eq!(t.stages_trained(m), 2);
+        let run = w.target_run(m, 0);
+        assert_eq!(v1, run.vals[0]);
+        assert_eq!(v2, run.vals[1]);
+        assert_eq!(t.test(m).unwrap(), run.tests[1]);
+    }
+
+    #[test]
+    fn test_before_training_is_an_error() {
+        let w = World::cv(5);
+        let mut t = ZooTrainer::new(&w, 0).unwrap();
+        assert!(t.test(ModelId(0)).is_err());
+    }
+
+    #[test]
+    fn training_past_budget_clamps() {
+        let w = World::cv(5); // 4 stages
+        let mut t = ZooTrainer::new(&w, 1).unwrap();
+        let m = ModelId(3);
+        for _ in 0..6 {
+            t.advance(m).unwrap();
+        }
+        let run = w.target_run(m, 1);
+        assert_eq!(t.test(m).unwrap(), *run.tests.last().unwrap());
+    }
+
+    #[test]
+    fn invalid_ids_rejected() {
+        let w = World::cv(5);
+        assert!(ZooTrainer::new(&w, 99).is_err());
+        assert!(ZooOracle::new(&w, 99).is_err());
+        let mut t = ZooTrainer::new(&w, 0).unwrap();
+        assert!(t.advance(ModelId(1000)).is_err());
+        let o = ZooOracle::new(&w, 0).unwrap();
+        assert!(o.predictions(ModelId(1000)).is_err());
+    }
+
+    #[test]
+    fn oracle_shapes_match_dataset() {
+        let w = World::nlp(5);
+        let target = w.target_by_name("mnli").unwrap();
+        let o = ZooOracle::new(&w, target).unwrap();
+        assert_eq!(o.n_target_labels(), 3);
+        let p = o.predictions(ModelId(0)).unwrap();
+        assert_eq!(p.n_samples(), o.target_labels().len());
+        assert_eq!(p.n_source_labels(), w.models[0].n_source_labels);
+    }
+}

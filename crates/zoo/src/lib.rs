@@ -1,0 +1,39 @@
+//! # tps-zoo — synthetic model-zoo world model
+//!
+//! The substrate the paper's evaluation ran on was a HuggingFace zoo of
+//! real transformers fine-tuned on GPUs. This crate replaces it with a
+//! **generative world model** (see `DESIGN.md` §2): models and datasets
+//! live in a latent [`domain`] space; a [`transfer`] law maps
+//! `(model, dataset)` to transfer quality, final accuracy, and full
+//! learning curves; [`predictions`] synthesises source-model prediction
+//! matrices whose LEEP score genuinely tracks transfer quality.
+//!
+//! [`world::World::nlp`] and [`world::World::cv`] reproduce the paper's
+//! exact experimental scale (40/30 models, 24/10 benchmarks, 4 targets
+//! each, 5/4 stages) including the family structure of Table II;
+//! [`world::World::synthetic`] generates arbitrary-size worlds for scaling
+//! studies. [`finetune::ZooTrainer`] / [`finetune::ZooOracle`] plug the
+//! world into the `tps-core` selection framework.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod dataset;
+pub mod domain;
+pub mod features;
+pub mod finetune;
+pub mod hyper;
+pub mod model;
+pub mod predictions;
+pub mod transfer;
+pub mod world;
+
+pub use builder::WorldBuilder;
+pub use dataset::{DatasetRole, DatasetSpec};
+pub use domain::DomainVec;
+pub use finetune::{ZooOracle, ZooTrainer};
+pub use hyper::TrainHyper;
+pub use model::{Family, ModelSpec};
+pub use transfer::{TransferLaw, TransferRun};
+pub use world::{SyntheticConfig, World};

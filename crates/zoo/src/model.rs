@@ -1,0 +1,167 @@
+//! Synthetic pre-trained model specifications and model cards.
+//!
+//! Each model has an architecture family, a latent domain (the centroid of
+//! whatever it was pre-trained/fine-tuned on), a scalar capability, and the
+//! number of labels of its upstream task — the source label space LEEP
+//! marginalises over. Model *cards* are short texts generated from the
+//! metadata; they feed the text-based similarity baseline of Table I.
+
+use crate::domain::DomainVec;
+use serde::{Deserialize, Serialize};
+
+/// Architecture family of a synthetic model (mirrors the paper's zoo:
+/// BERT-likes for NLP; ViT/BEiT/DeiT/… for CV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Transformer text encoder (BERT/RoBERTa/ALBERT stand-ins).
+    TextEncoder,
+    /// Distilled text encoder.
+    DistilledText,
+    /// Vision transformer (ViT/DeiT/BEiT stand-ins).
+    VisionTransformer,
+    /// Non-transformer vision backbone (PoolFormer/VAN stand-ins).
+    ConvBackbone,
+}
+
+impl Family {
+    /// Human-readable family name used in generated model cards.
+    pub fn card_name(self) -> &'static str {
+        match self {
+            Family::TextEncoder => "transformer text encoder",
+            Family::DistilledText => "distilled transformer text encoder",
+            Family::VisionTransformer => "vision transformer",
+            Family::ConvBackbone => "convolutional vision backbone",
+        }
+    }
+}
+
+/// Specification of one synthetic pre-trained model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Repository-style name, e.g. `jeevesh8/bert_ft_qqp-68`.
+    pub name: String,
+    /// Architecture family.
+    pub family: Family,
+    /// Latent training-domain centroid.
+    pub domain: DomainVec,
+    /// Scalar capability in `(0, 1]`: how much of a dataset's headroom the
+    /// model can realise on a perfectly in-domain task.
+    pub capability: f64,
+    /// Name of the upstream dataset the model was (last) trained on; used
+    /// for card generation and for grouping families in the presets.
+    pub upstream: String,
+    /// Size of the model's own label space (LEEP's source label space).
+    pub n_source_labels: usize,
+    /// Convergence-speed multiplier: how fast this model's fine-tuning
+    /// approaches its asymptote relative to a typical model (1.0). Slow,
+    /// capable models (`speed < 1`) are the "late bloomers" successive
+    /// halving wrongly discards and fine-selection rescues via trend
+    /// prediction (Fig. 7).
+    pub speed: f64,
+}
+
+impl ModelSpec {
+    /// Construct with validation.
+    pub fn new(
+        name: impl Into<String>,
+        family: Family,
+        domain: DomainVec,
+        capability: f64,
+        upstream: impl Into<String>,
+        n_source_labels: usize,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&capability) && capability > 0.0,
+            "capability must be in (0, 1], got {capability}"
+        );
+        assert!(n_source_labels >= 2);
+        Self {
+            name: name.into(),
+            family,
+            domain,
+            capability,
+            upstream: upstream.into(),
+            n_source_labels,
+            speed: 1.0,
+        }
+    }
+
+    /// Builder-style setter for the convergence-speed multiplier.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        assert!(
+            speed > 0.0 && speed.is_finite(),
+            "speed must be positive, got {speed}"
+        );
+        self.speed = speed;
+        self
+    }
+
+    /// Generate the model-card text (Fig. 9's stand-in) from the metadata.
+    /// Card wording is intentionally loose: names are descriptive but the
+    /// text does not encode the latent domain exactly, which is why
+    /// text-based similarity under-performs performance-based similarity
+    /// (Table I).
+    pub fn card(&self) -> String {
+        format!(
+            "# {name}\n\n\
+             This model is a {family} pre-trained and fine-tuned on the \
+             {upstream} dataset. It predicts {labels} classes. Intended for \
+             downstream transfer via fine-tuning. Trained with standard \
+             hyper-parameters on the {upstream} training split; see the \
+             repository for evaluation results.",
+            name = self.name,
+            family = self.family.card_name(),
+            upstream = self.upstream,
+            labels = self.n_source_labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_mentions_metadata() {
+        let m = ModelSpec::new(
+            "org/bert_ft_qqp-1",
+            Family::TextEncoder,
+            DomainVec::zero(),
+            0.8,
+            "qqp",
+            2,
+        );
+        let card = m.card();
+        assert!(card.contains("org/bert_ft_qqp-1"));
+        assert!(card.contains("qqp"));
+        assert!(card.contains("transformer text encoder"));
+        assert!(card.contains("2 classes"));
+    }
+
+    #[test]
+    fn same_upstream_cards_share_vocabulary() {
+        use tps_core::similarity::{cosine_similarity, embed_text};
+        let a = ModelSpec::new("a/bert_ft_qqp-1", Family::TextEncoder, DomainVec::zero(), 0.8, "qqp", 2);
+        let b = ModelSpec::new("b/bert_ft_qqp-2", Family::TextEncoder, DomainVec::zero(), 0.8, "qqp", 2);
+        let c = ModelSpec::new(
+            "c/vit-base",
+            Family::VisionTransformer,
+            DomainVec::zero(),
+            0.8,
+            "imagenet-21k",
+            1000,
+        );
+        let (ea, eb, ec) = (
+            embed_text(&a.card(), 128),
+            embed_text(&b.card(), 128),
+            embed_text(&c.card(), 128),
+        );
+        assert!(cosine_similarity(&ea, &eb) > cosine_similarity(&ea, &ec));
+    }
+
+    #[test]
+    #[should_panic(expected = "capability")]
+    fn rejects_zero_capability() {
+        ModelSpec::new("x", Family::TextEncoder, DomainVec::zero(), 0.0, "d", 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Synthetic prediction matrices for proxy scoring.
+//!
+//! LEEP consumes a source model's soft predictions over its *own* label
+//! space on the target dataset. The world model synthesises these from the
+//! latent transfer quality `q`: each target label is assigned a preferred
+//! source label, and prediction logits mix a one-hot bump on that source
+//! label (sharpness ∝ `q`) with per-sample noise. High-quality transfers
+//! therefore produce label-aligned, informative predictions — and earn a
+//! high LEEP — while poor transfers produce noise and score low. The LEEP
+//! *computation* is the real one from `tps-core`; only the provenance of
+//! the predictions is synthetic (see `DESIGN.md` §2).
+
+use crate::dataset::DatasetSpec;
+use crate::model::ModelSpec;
+use crate::transfer::{run_seed, TransferLaw};
+use crate::hyper::TrainHyper;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tps_core::error::Result;
+use tps_core::proxy::PredictionMatrix;
+
+/// How sharply a perfect transfer (`q = 1`) concentrates probability on the
+/// aligned source label.
+const MAX_SHARPNESS: f64 = 4.0;
+
+/// Generate the prediction matrix of `model` over `dataset.n_proxy_samples`
+/// target samples (labels per [`DatasetSpec::proxy_labels`]).
+pub fn synthesize_predictions(
+    law: &TransferLaw,
+    model: &ModelSpec,
+    dataset: &DatasetSpec,
+    world_seed: u64,
+) -> Result<PredictionMatrix> {
+    let q = law.quality(model, dataset, world_seed);
+    let s = model.n_source_labels;
+    // Distinct stream from the training curves: flip the seed's top bit.
+    let mut rng = StdRng::seed_from_u64(
+        run_seed(world_seed, model, dataset, TrainHyper::HighLr) ^ (1u64 << 63),
+    );
+
+    // Target-label -> preferred-source-label alignment. The offset varies
+    // per (model, dataset) so different models map labels differently.
+    let offset = rng.gen_range(0..s);
+    let align = |y: usize| (y + offset) % s;
+
+    let labels = dataset.proxy_labels();
+    let sharpness = MAX_SHARPNESS * q;
+    let mut rows = Vec::with_capacity(labels.len() * s);
+    let mut logits = vec![0.0f64; s];
+    for &y in &labels {
+        for l in logits.iter_mut() {
+            *l = rng.gen_range(-1.0..=1.0);
+        }
+        logits[align(y)] += sharpness;
+        softmax_into(&logits, &mut rows);
+    }
+    PredictionMatrix::new(s, rows)
+}
+
+/// Numerically-stable softmax, appended to `out`.
+fn softmax_into(logits: &[f64], out: &mut Vec<f64>) {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let start = out.len();
+    let mut sum = 0.0;
+    for &l in logits {
+        let e = (l - max).exp();
+        sum += e;
+        out.push(e);
+    }
+    for v in &mut out[start..] {
+        *v /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetRole;
+    use crate::domain::DomainVec;
+    use crate::model::Family;
+    use tps_core::proxy::leep::leep;
+
+    fn dataset() -> DatasetSpec {
+        DatasetSpec::new(
+            "target",
+            DatasetRole::Target,
+            DomainVec::zero(),
+            3,
+            0.33,
+            0.92,
+            120,
+        )
+    }
+
+    fn model_at(x: f64) -> ModelSpec {
+        let mut d = DomainVec::zero();
+        d.0[0] = x;
+        ModelSpec::new(format!("m@{x}"), Family::TextEncoder, d, 0.85, "up", 5)
+    }
+
+    #[test]
+    fn predictions_are_valid_distributions() {
+        let law = TransferLaw::default();
+        let p = synthesize_predictions(&law, &model_at(0.0), &dataset(), 3).unwrap();
+        assert_eq!(p.n_samples(), 120);
+        assert_eq!(p.n_source_labels(), 5);
+        for i in 0..p.n_samples() {
+            let sum: f64 = p.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leep_tracks_transfer_quality() {
+        let law = TransferLaw::default();
+        let d = dataset();
+        let labels = d.proxy_labels();
+        let in_domain = synthesize_predictions(&law, &model_at(0.0), &d, 3).unwrap();
+        let out_domain = synthesize_predictions(&law, &model_at(3.5), &d, 3).unwrap();
+        let s_in = leep(&in_domain, &labels, d.n_labels).unwrap();
+        let s_out = leep(&out_domain, &labels, d.n_labels).unwrap();
+        assert!(
+            s_in > s_out + 0.05,
+            "in-domain {s_in} should beat out-of-domain {s_out}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let law = TransferLaw::default();
+        let a = synthesize_predictions(&law, &model_at(0.2), &dataset(), 9).unwrap();
+        let b = synthesize_predictions(&law, &model_at(0.2), &dataset(), 9).unwrap();
+        assert_eq!(a, b);
+        let c = synthesize_predictions(&law, &model_at(0.2), &dataset(), 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heterogeneous_label_spaces_supported() {
+        // Source space smaller than target space.
+        let law = TransferLaw::default();
+        let d = dataset(); // 3 target labels
+        let mut m = model_at(0.0);
+        m.n_source_labels = 2;
+        let p = synthesize_predictions(&law, &m, &d, 3).unwrap();
+        assert_eq!(p.n_source_labels(), 2);
+        let s = leep(&p, &d.proxy_labels(), d.n_labels).unwrap();
+        assert!(s.is_finite() && s <= 0.0);
+    }
+}

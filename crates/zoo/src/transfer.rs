@@ -1,0 +1,327 @@
+//! The generative transfer law: from `(model, dataset, hyper-parameters)`
+//! to a transfer quality, a final accuracy, and full validation/test
+//! learning curves.
+//!
+//! Everything downstream — the performance matrix, the curves that trends
+//! are mined from, the online fine-tuning the selectors drive — is sampled
+//! from this one law, so the statistical couplings the paper exploits hold
+//! by construction *and* carry realistic noise:
+//!
+//! * models close in domain space achieve similar accuracies everywhere
+//!   (⇒ clustering works);
+//! * transfer quality drives both the final accuracy and the convergence
+//!   speed (⇒ early validation predicts final performance, the §IV-A
+//!   observation);
+//! * every number carries run-to-run noise derived deterministically from
+//!   `(world seed, model, dataset, hyper)` (⇒ reproducible experiments).
+
+use crate::dataset::DatasetSpec;
+use crate::hyper::TrainHyper;
+use crate::model::ModelSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tps_core::curve::LearningCurve;
+
+/// Parameters of the transfer law.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TransferLaw {
+    /// Gaussian-kernel bandwidth of domain affinity.
+    pub bandwidth: f64,
+    /// Quality floor every model gets regardless of domain match (generic
+    /// feature extraction).
+    pub base_term: f64,
+    /// Weight of the domain-affinity term.
+    pub affinity_term: f64,
+    /// Std-dev-scale of the per-(model, dataset) quality noise.
+    pub quality_noise: f64,
+    /// Amplitude of the per-stage validation noise.
+    pub stage_noise: f64,
+    /// Gap between validation and test accuracy noise.
+    pub test_noise: f64,
+    /// Concavity of the quality map (`q ← q^exponent`, exponent < 1):
+    /// models real-world saturation where decent pre-trained models reach
+    /// high absolute accuracy and differences concentrate in the tail.
+    pub quality_exponent: f64,
+}
+
+impl Default for TransferLaw {
+    fn default() -> Self {
+        Self {
+            bandwidth: 0.7,
+            base_term: 0.35,
+            affinity_term: 0.65,
+            quality_noise: 0.03,
+            stage_noise: 0.012,
+            test_noise: 0.01,
+            quality_exponent: 0.45,
+        }
+    }
+}
+
+/// A complete simulated fine-tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferRun {
+    /// Transfer quality `q ∈ [0, 1]` — the latent variable behind the run.
+    pub quality: f64,
+    /// Validation accuracy after each stage.
+    pub vals: Vec<f64>,
+    /// Test accuracy *if training stopped* after each stage.
+    pub tests: Vec<f64>,
+}
+
+impl TransferRun {
+    /// Final test accuracy (fully trained).
+    pub fn final_test(&self) -> f64 {
+        *self.tests.last().expect("runs have >= 1 stage")
+    }
+
+    /// View as a [`LearningCurve`] (validation trace + final test).
+    pub fn to_curve(&self) -> LearningCurve {
+        LearningCurve::new(self.vals.clone(), self.final_test())
+            .expect("simulated accuracies are clamped to [0, 1]")
+    }
+}
+
+/// Deterministic per-run RNG seed from the world seed and run identity.
+/// FNV-1a over the identifying strings keeps seeds stable across runs and
+/// platforms.
+pub fn run_seed(world_seed: u64, model: &ModelSpec, dataset: &DatasetSpec, hyper: TrainHyper) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ world_seed;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(model.name.as_bytes());
+    eat(&[0xff]);
+    eat(dataset.name.as_bytes());
+    eat(&hyper.seed_tag().to_le_bytes());
+    h
+}
+
+impl TransferLaw {
+    /// Latent transfer quality `q` of `model` on `dataset`: capability
+    /// scaled by a base + affinity mix, plus a small idiosyncratic noise.
+    pub fn quality(
+        &self,
+        model: &ModelSpec,
+        dataset: &DatasetSpec,
+        world_seed: u64,
+    ) -> f64 {
+        // Quality noise must be identical under both hyper regimes — it
+        // models "how well this model suits this data", not the optimiser.
+        let mut rng =
+            StdRng::seed_from_u64(run_seed(world_seed, model, dataset, TrainHyper::HighLr));
+        let affinity = model.domain.affinity(&dataset.domain, self.bandwidth);
+        let noise = rng.gen_range(-self.quality_noise..=self.quality_noise);
+        let raw = (model.capability * (self.base_term + self.affinity_term * affinity) + noise)
+            .clamp(0.0, 1.0);
+        raw.powf(self.quality_exponent)
+    }
+
+    /// Fully-converged accuracy of `model` on `dataset` (no optimiser
+    /// effects): `chance + headroom · q`.
+    pub fn asymptotic_accuracy(
+        &self,
+        model: &ModelSpec,
+        dataset: &DatasetSpec,
+        world_seed: u64,
+    ) -> f64 {
+        let q = self.quality(model, dataset, world_seed);
+        (dataset.chance + dataset.headroom() * q).clamp(0.0, 1.0)
+    }
+
+    /// Simulate a fine-tuning run of `stages` validation intervals.
+    ///
+    /// The validation trace rises toward the asymptote at a rate increasing
+    /// in `q` (good transfers converge fast — §IV-A), with per-stage noise;
+    /// under [`TrainHyper::HighLr`], high-quality runs decline slightly
+    /// after an early peak (Fig. 3's over-fitting).
+    pub fn run(
+        &self,
+        model: &ModelSpec,
+        dataset: &DatasetSpec,
+        stages: usize,
+        hyper: TrainHyper,
+        world_seed: u64,
+    ) -> TransferRun {
+        assert!(stages >= 1);
+        let q = self.quality(model, dataset, world_seed);
+        let asymptote = (dataset.chance + dataset.headroom() * q).clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(run_seed(world_seed, model, dataset, hyper));
+
+        // Convergence rate: quality 0 -> 0.55, quality 1 -> 3.0 (in units of
+        // 1/stage), scaled by the hyper regime.
+        let rate = (0.55 + 2.45 * q) * hyper.rate_factor() * model.speed;
+        // Over-fitting kicks in for strong transfers only, past ~40% of the
+        // stage budget. The decline ramps smoothly in `q` and scales with
+        // the dataset's headroom so it never inverts the final ranking of
+        // two models (its slope in `q` stays below the headroom's).
+        let overfit =
+            hyper.overfit_strength() * dataset.headroom() * ((q - 0.65) / 0.35).clamp(0.0, 1.0);
+        let peak_stage = (stages as f64 * 0.4).max(1.0);
+
+        let mut vals = Vec::with_capacity(stages);
+        let mut tests = Vec::with_capacity(stages);
+        for t in 0..stages {
+            let progress = 1.0 - (-rate * (t + 1) as f64 / stages as f64 * 3.0).exp();
+            let decline = overfit * ((t + 1) as f64 - peak_stage).max(0.0);
+            let clean = dataset.chance + (asymptote - dataset.chance) * progress - decline;
+            let val_noise = rng.gen_range(-self.stage_noise..=self.stage_noise);
+            let test_noise = rng.gen_range(-self.test_noise..=self.test_noise);
+            vals.push((clean + val_noise).clamp(0.0, 1.0));
+            tests.push((clean + test_noise).clamp(0.0, 1.0));
+        }
+        TransferRun {
+            quality: q,
+            vals,
+            tests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetRole;
+    use crate::domain::DomainVec;
+    use crate::model::Family;
+
+    fn dataset_at(x: f64) -> DatasetSpec {
+        let mut d = DomainVec::zero();
+        d.0[0] = x;
+        DatasetSpec::new("bench", DatasetRole::Benchmark, d, 4, 0.25, 0.95, 40)
+    }
+
+    fn model_at(x: f64, capability: f64) -> ModelSpec {
+        let mut d = DomainVec::zero();
+        d.0[0] = x;
+        ModelSpec::new("m", Family::TextEncoder, d, capability, "up", 3)
+    }
+
+    #[test]
+    fn in_domain_beats_out_of_domain() {
+        let law = TransferLaw::default();
+        let data = dataset_at(0.0);
+        let near = law.asymptotic_accuracy(&model_at(0.0, 0.8), &data, 1);
+        let far = law.asymptotic_accuracy(&model_at(3.0, 0.8), &data, 1);
+        assert!(near > far + 0.1, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn capability_lifts_accuracy() {
+        let law = TransferLaw::default();
+        let data = dataset_at(0.0);
+        let strong = law.asymptotic_accuracy(&model_at(0.1, 0.9), &data, 1);
+        let weak = law.asymptotic_accuracy(&model_at(0.1, 0.4), &data, 1);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn accuracy_respects_envelope() {
+        let law = TransferLaw::default();
+        let data = dataset_at(0.0);
+        for seed in 0..20 {
+            for cap in [0.1, 0.5, 1.0] {
+                let acc = law.asymptotic_accuracy(&model_at(0.0, cap), &data, seed);
+                assert!(acc >= data.chance - 1e-9 && acc <= data.ceiling + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let law = TransferLaw::default();
+        let data = dataset_at(0.2);
+        let model = model_at(0.1, 0.8);
+        let a = law.run(&model, &data, 5, TrainHyper::HighLr, 42);
+        let b = law.run(&model, &data, 5, TrainHyper::HighLr, 42);
+        assert_eq!(a, b);
+        let c = law.run(&model, &data, 5, TrainHyper::HighLr, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quality_shared_across_hyper_regimes() {
+        let law = TransferLaw::default();
+        let data = dataset_at(0.2);
+        let model = model_at(0.1, 0.8);
+        let a = law.run(&model, &data, 5, TrainHyper::HighLr, 42);
+        let b = law.run(&model, &data, 5, TrainHyper::LowLr, 42);
+        assert_eq!(a.quality, b.quality);
+        // But the curves differ.
+        assert_ne!(a.vals, b.vals);
+    }
+
+    #[test]
+    fn curves_rise_toward_asymptote() {
+        let law = TransferLaw {
+            stage_noise: 0.0,
+            test_noise: 0.0,
+            ..Default::default()
+        };
+        let data = dataset_at(0.0);
+        let model = model_at(0.0, 0.85);
+        let run = law.run(&model, &data, 6, TrainHyper::LowLr, 7);
+        // Monotone rise without noise and without overfitting.
+        for w in run.vals.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "vals {:?}", run.vals);
+        }
+        let asym = law.asymptotic_accuracy(&model, &data, 7);
+        assert!(run.final_test() <= asym + 1e-9);
+        assert!(run.final_test() > data.chance);
+    }
+
+    #[test]
+    fn high_lr_overfits_strong_transfers() {
+        let law = TransferLaw {
+            stage_noise: 0.0,
+            test_noise: 0.0,
+            ..Default::default()
+        };
+        let data = dataset_at(0.0);
+        let model = model_at(0.0, 0.95);
+        let run = law.run(&model, &data, 8, TrainHyper::HighLr, 7);
+        // Peak happens before the last stage.
+        let best = run
+            .vals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(best < run.vals.len() - 1, "vals {:?}", run.vals);
+        // The low-LR run does not decline.
+        let low = law.run(&model, &data, 8, TrainHyper::LowLr, 7);
+        assert!(low.vals.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    #[test]
+    fn faster_convergence_for_better_transfer() {
+        let law = TransferLaw {
+            stage_noise: 0.0,
+            test_noise: 0.0,
+            quality_noise: 0.0,
+            ..Default::default()
+        };
+        let data = dataset_at(0.0);
+        let good = law.run(&model_at(0.0, 0.9), &data, 5, TrainHyper::LowLr, 3);
+        let bad = law.run(&model_at(2.5, 0.9), &data, 5, TrainHyper::LowLr, 3);
+        // Normalised progress at stage 0: good transfer is further along.
+        let frac = |r: &TransferRun, d: &DatasetSpec| {
+            (r.vals[0] - d.chance) / (r.final_test() - d.chance)
+        };
+        assert!(frac(&good, &data) > frac(&bad, &data));
+    }
+
+    #[test]
+    fn to_curve_roundtrip() {
+        let law = TransferLaw::default();
+        let run = law.run(&model_at(0.0, 0.7), &dataset_at(0.1), 4, TrainHyper::HighLr, 11);
+        let curve = run.to_curve();
+        assert_eq!(curve.val(), &run.vals[..]);
+        assert_eq!(curve.test(), run.final_test());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the world model's structural guarantees, across
+//! random seeds and synthetic configurations.
+
+use proptest::prelude::*;
+use tps_core::ids::ModelId;
+use tps_zoo::{SyntheticConfig, TrainHyper, World, ZooTrainer};
+use tps_core::traits::TargetTrainer;
+
+fn small_config(seed: u64, stages: usize) -> SyntheticConfig {
+    SyntheticConfig {
+        seed,
+        n_families: 3,
+        family_size: (2, 4),
+        n_singletons: 3,
+        n_benchmarks: 8,
+        n_targets: 2,
+        stages,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn offline_build_is_always_valid(seed in 0u64..5_000, stages in 1usize..8) {
+        let world = World::synthetic(&small_config(seed, stages));
+        let (matrix, curves) = world.build_offline().unwrap();
+        prop_assert_eq!(matrix.n_models(), world.n_models());
+        prop_assert_eq!(matrix.n_datasets(), world.n_benchmarks());
+        prop_assert_eq!(curves.n_models(), world.n_models());
+        for m in 0..world.n_models() {
+            for d in 0..world.n_benchmarks() {
+                let curve = curves.curve(m.into(), d.into());
+                prop_assert_eq!(curve.n_stages(), stages);
+                // Matrix cell equals the curve's final test accuracy.
+                prop_assert_eq!(matrix.accuracy(d.into(), m.into()), curve.test());
+            }
+        }
+    }
+
+    #[test]
+    fn target_runs_respect_envelope(seed in 0u64..5_000) {
+        let world = World::synthetic(&small_config(seed, 5));
+        for t in 0..world.n_targets() {
+            let spec = &world.targets[t];
+            for m in 0..world.n_models() {
+                let run = world.target_run(ModelId::from(m), t);
+                prop_assert!(run.quality >= 0.0 && run.quality <= 1.0);
+                for &v in run.vals.iter().chain(&run.tests) {
+                    prop_assert!((0.0..=1.0).contains(&v));
+                    prop_assert!(v <= spec.ceiling + 0.05);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn family_members_are_mutually_closer_than_to_singletons(seed in 0u64..2_000) {
+        let world = World::synthetic(&small_config(seed, 4));
+        let (matrix, _) = world.build_offline().unwrap();
+        // Models 0,1 share family 0; the last model is a singleton.
+        let sim = |a: usize, b: usize| {
+            tps_core::similarity::performance_similarity(
+                &matrix.model_vector(ModelId::from(a)),
+                &matrix.model_vector(ModelId::from(b)),
+                3,
+            )
+            .unwrap()
+        };
+        let within = sim(0, 1);
+        let last = world.n_models() - 1;
+        let across = sim(0, last);
+        prop_assert!(
+            within >= across - 0.02,
+            "seed {seed}: within-family {within} vs cross {across}"
+        );
+    }
+
+    #[test]
+    fn trainer_is_reproducible_and_monotone_in_stages(
+        seed in 0u64..2_000,
+        model in 0usize..6,
+    ) {
+        let world = World::synthetic(&small_config(seed, 6));
+        let m = ModelId::from(model.min(world.n_models() - 1));
+        let mut t1 = ZooTrainer::new(&world, 0).unwrap();
+        let mut t2 = ZooTrainer::new(&world, 0).unwrap();
+        let a: Vec<f64> = (0..6).map(|_| t1.advance(m).unwrap()).collect();
+        let b: Vec<f64> = (0..6).map(|_| t2.advance(m).unwrap()).collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(t1.stages_trained(m), 6);
+    }
+
+    #[test]
+    fn low_lr_regime_never_declines(seed in 0u64..2_000) {
+        let mut world = World::synthetic(&small_config(seed, 6));
+        world.hyper = TrainHyper::LowLr;
+        world.law.stage_noise = 0.0;
+        for m in 0..world.n_models().min(4) {
+            let run = world.target_run(ModelId::from(m), 0);
+            for w in run.vals.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-9, "seed {seed} vals {:?}", run.vals);
+            }
+        }
+    }
+
+    #[test]
+    fn presets_are_stable_across_seeds(seed in 0u64..500) {
+        // Structural counts never vary with the seed — only the geometry.
+        let nlp = World::nlp(seed);
+        prop_assert_eq!(nlp.n_models(), 40);
+        prop_assert_eq!(nlp.n_benchmarks(), 24);
+        let cv = World::cv(seed);
+        prop_assert_eq!(cv.n_models(), 30);
+        prop_assert_eq!(cv.n_benchmarks(), 10);
+    }
+}

@@ -1,0 +1,81 @@
+//! Benchmark-dataset compaction (the paper's §VII future-work item "make
+//! benchmark datasets more compact to maintain the performance matrix more
+//! cheaply"): greedily pick a subset of benchmarks whose induced model
+//! similarity preserves the full suite's, and show that clustering and
+//! recall survive the compaction.
+//!
+//! ```text
+//! cargo run -p tps-bench --release --example benchmark_compaction
+//! ```
+
+use tps_core::benchsel::compact_benchmarks;
+use tps_core::cluster::hierarchical::{hierarchical_k, hierarchical_threshold, Linkage};
+use tps_core::similarity::SimilarityMatrix;
+use tps_zoo::World;
+
+fn main() -> tps_core::error::Result<()> {
+    let world = World::nlp(42);
+    let (matrix, _) = world.build_offline()?;
+    println!(
+        "full benchmark suite: {} datasets ({} offline fine-tuning runs)",
+        matrix.n_datasets(),
+        matrix.n_datasets() * matrix.n_models()
+    );
+
+    let result = compact_benchmarks(&matrix, 5, 8)?;
+    println!("\ngreedy compaction to 8 datasets:");
+    for (step, (d, score)) in result
+        .selected
+        .iter()
+        .zip(&result.preservation_curve)
+        .enumerate()
+    {
+        println!(
+            "  {}. + {:<22} similarity preservation {:.3}",
+            step + 1,
+            matrix.dataset_name(*d),
+            score
+        );
+    }
+
+    // How much structure survives: compare clusterings.
+    let full_sim = SimilarityMatrix::from_performance(&matrix, 5)?;
+    let compact = matrix.select_datasets(&result.selected)?;
+    let compact_sim = SimilarityMatrix::from_performance(&compact, 5)?;
+    let full_clusters =
+        hierarchical_threshold(&full_sim.distance_matrix(), matrix.n_models(), 0.05, Linkage::Average)?;
+    // Fewer datasets shrink every top-k distance, so compare structure at an
+    // equal cluster count rather than an equal distance threshold.
+    let compact_clusters = hierarchical_k(
+        &compact_sim.distance_matrix(),
+        matrix.n_models(),
+        full_clusters.n_clusters(),
+        Linkage::Average,
+    )?;
+    println!(
+        "\nclusters: full suite {} vs compact suite {}",
+        full_clusters.n_clusters(),
+        compact_clusters.n_clusters()
+    );
+    let agree = (0..matrix.n_models())
+        .flat_map(|i| ((i + 1)..matrix.n_models()).map(move |j| (i, j)))
+        .filter(|&(i, j)| {
+            let same_full = full_clusters.cluster_of(i.into()) == full_clusters.cluster_of(j.into());
+            let same_compact =
+                compact_clusters.cluster_of(i.into()) == compact_clusters.cluster_of(j.into());
+            same_full == same_compact
+        })
+        .count();
+    let total = matrix.n_models() * (matrix.n_models() - 1) / 2;
+    println!(
+        "pairwise co-clustering agreement: {agree}/{total} ({:.1}%)",
+        100.0 * agree as f64 / total as f64
+    );
+    println!(
+        "\noffline cost saved: {} -> {} fine-tuning runs ({:.0}%)",
+        matrix.n_datasets() * matrix.n_models(),
+        8 * matrix.n_models(),
+        100.0 * (1.0 - 8.0 / matrix.n_datasets() as f64)
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! CV sweep on the paper's 30-model vision repository: run the two-phase
+//! pipeline on all four target datasets and summarise against ground truth.
+//!
+//! ```text
+//! cargo run -p tps-bench --release --example cv_selection
+//! ```
+
+use tps_core::prelude::*;
+use tps_zoo::{World, ZooOracle, ZooTrainer};
+
+fn main() -> Result<()> {
+    let world = World::cv(42);
+    let (matrix, curves) = world.build_offline()?;
+    let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default())?;
+    let bf_epochs = (world.n_models() * world.stages) as f64;
+
+    println!(
+        "{:<16} {:<42} {:>6} {:>7} {:>7} {:>6}",
+        "target", "selected model", "acc", "best", "epochs", "vs BF"
+    );
+    for t in 0..world.n_targets() {
+        let oracle = ZooOracle::new(&world, t)?;
+        let mut trainer = ZooTrainer::new(&world, t)?;
+        let out = two_phase_select(
+            &artifacts,
+            &oracle,
+            &mut trainer,
+            &PipelineConfig {
+                total_stages: world.stages,
+                ..Default::default()
+            },
+        )?;
+        let (_, best_acc) = world.best_model_for_target(t);
+        println!(
+            "{:<16} {:<42} {:>6.3} {:>7.3} {:>7.1} {:>5.1}x",
+            world.targets[t].name,
+            artifacts.matrix.model_name(out.selection.winner),
+            out.selection.winner_test,
+            best_acc,
+            out.ledger.total(),
+            bf_epochs / out.ledger.total(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Incremental repository maintenance: new models arrive on the hub every
+//! day; keep the offline artifacts current without a global rebuild.
+//!
+//! ```text
+//! cargo run -p tps-bench --release --example incremental_update
+//! ```
+//!
+//! Adds two models to the paper's NLP repository — a sibling of the qqp
+//! family and an off-domain oddball — and shows the placement decisions,
+//! then verifies the grown artifacts still drive a full selection.
+
+use tps_core::incremental::{ModelAddition, Placement};
+use tps_core::pipeline::{two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig};
+use tps_zoo::{Family, ModelSpec, World, ZooOracle, ZooTrainer};
+
+fn main() -> tps_core::error::Result<()> {
+    let mut world = World::nlp(42);
+    let (matrix, curves) = world.build_offline()?;
+    let config = OfflineConfig::default();
+    let mut artifacts = OfflineArtifacts::build(matrix, &curves, &config)?;
+    println!(
+        "baseline: {} models, {} clusters",
+        artifacts.matrix.n_models(),
+        artifacts.clustering.n_clusters()
+    );
+
+    // Two arrivals: a qqp-family sibling and a totally off-domain model.
+    let qqp_anchor = world
+        .models
+        .iter()
+        .find(|m| m.name.contains("bert_ft_qqp-68"))
+        .expect("preset model")
+        .clone();
+    let arrivals = vec![
+        ModelSpec::new(
+            "newlab/bert_ft_qqp-2024",
+            qqp_anchor.family,
+            qqp_anchor.domain,
+            qqp_anchor.capability + 0.01,
+            "qqp",
+            2,
+        ),
+        // An oddball: strong, but trained on data resembling only the
+        // dbpedia neighbourhood, where no existing family lives — its
+        // performance vector (one strong region, weak elsewhere) matches
+        // nobody's.
+        ModelSpec::new(
+            "newlab/dbpedia-specialist",
+            Family::TextEncoder,
+            world
+                .benchmarks
+                .iter()
+                .find(|b| b.name == "dbpedia_14")
+                .expect("preset benchmark")
+                .domain,
+            0.85,
+            "dbpedia_14",
+            14,
+        ),
+    ];
+
+    for spec in arrivals {
+        // The only cost: fine-tune the ONE new model on the benchmarks.
+        let benchmark_curves = world
+            .benchmarks
+            .iter()
+            .map(|b| world.law.run(&spec, b, world.stages, world.hyper, world.seed).to_curve())
+            .collect();
+        let report = artifacts.add_model(
+            &ModelAddition {
+                name: spec.name.clone(),
+                benchmark_curves,
+            },
+            &config,
+        )?;
+        match report.placement {
+            Placement::Joined { cluster, similarity } => println!(
+                "+ {}  -> joined cluster {cluster} (sim {similarity:.3}), e.g. {}",
+                spec.name,
+                artifacts.matrix.model_name(
+                    artifacts.clustering.members(cluster)[0]
+                )
+            ),
+            Placement::NewSingleton { cluster } => {
+                println!("+ {}  -> new singleton cluster {cluster}", spec.name)
+            }
+        }
+        world.models.push(spec);
+    }
+
+    println!(
+        "grown: {} models, {} clusters — rebuilding would have cost {} fine-tuning runs; \
+         incremental cost {}",
+        artifacts.matrix.n_models(),
+        artifacts.clustering.n_clusters(),
+        artifacts.matrix.n_models() * artifacts.matrix.n_datasets(),
+        2 * artifacts.matrix.n_datasets(),
+    );
+
+    // The grown artifacts still drive selection end-to-end.
+    let target = world.target_by_name("mnli").expect("preset target");
+    let oracle = ZooOracle::new(&world, target)?;
+    let mut trainer = ZooTrainer::new(&world, target)?;
+    let outcome = two_phase_select(
+        &artifacts,
+        &oracle,
+        &mut trainer,
+        &PipelineConfig {
+            total_stages: world.stages,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "selection on the grown repository: `{}` at {:.3} in {}",
+        artifacts.matrix.model_name(outcome.selection.winner),
+        outcome.selection.winner_test,
+        outcome.ledger
+    );
+    Ok(())
+}

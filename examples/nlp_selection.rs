@@ -1,0 +1,86 @@
+//! NLP walkthrough on the paper's 40-model repository: inspect the offline
+//! artifacts, then compare brute force, successive halving, and the
+//! two-phase pipeline on the MNLI target.
+//!
+//! ```text
+//! cargo run -p tps-bench --release --example nlp_selection
+//! ```
+
+use tps_core::prelude::*;
+use tps_zoo::{World, ZooOracle, ZooTrainer};
+
+fn main() -> Result<()> {
+    let world = World::nlp(42);
+    let (matrix, curves) = world.build_offline()?;
+    let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default())?;
+
+    println!("== offline artifacts");
+    println!(
+        "performance matrix: {} models x {} benchmark datasets",
+        artifacts.matrix.n_models(),
+        artifacts.matrix.n_datasets()
+    );
+    for c in artifacts.clustering.non_singleton_clusters() {
+        let names: Vec<&str> = artifacts
+            .clustering
+            .members(c)
+            .iter()
+            .map(|&m| artifacts.matrix.model_name(m))
+            .collect();
+        println!("  cluster ({:2} models): {}", names.len(), names.join(", "));
+    }
+
+    let target = world.target_by_name("mnli").expect("preset target");
+    println!("\n== online selection for target `mnli`");
+
+    // Brute force: fine-tune all 40 models for 5 epochs each.
+    let everyone: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+    let mut trainer = ZooTrainer::new(&world, target)?;
+    let bf = brute_force(&mut trainer, &everyone, world.stages)?;
+    report("brute force", &artifacts, &bf);
+
+    // Successive halving over all models.
+    let mut trainer = ZooTrainer::new(&world, target)?;
+    let sh = successive_halving(&mut trainer, &everyone, world.stages)?;
+    report("successive halving", &artifacts, &sh);
+
+    // The two-phase pipeline: coarse-recall 10, fine-select.
+    let oracle = ZooOracle::new(&world, target)?;
+    let mut trainer = ZooTrainer::new(&world, target)?;
+    let two_phase = two_phase_select(
+        &artifacts,
+        &oracle,
+        &mut trainer,
+        &PipelineConfig {
+            total_stages: world.stages,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "two-phase           -> `{}` acc {:.3} in {} ({:.1}x faster than BF)",
+        artifacts.matrix.model_name(two_phase.selection.winner),
+        two_phase.selection.winner_test,
+        two_phase.ledger,
+        bf.ledger.total() / two_phase.ledger.total(),
+    );
+    println!(
+        "\nrecalled pool: {}",
+        two_phase
+            .recall
+            .recalled
+            .iter()
+            .map(|&m| artifacts.matrix.model_name(m))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
+}
+
+fn report(label: &str, artifacts: &OfflineArtifacts, out: &SelectionOutcome) {
+    println!(
+        "{label:<19} -> `{}` acc {:.3} in {}",
+        artifacts.matrix.model_name(out.winner),
+        out.winner_test,
+        out.ledger,
+    );
+}

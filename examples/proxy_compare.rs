@@ -1,0 +1,86 @@
+//! Compare transferability proxies — LEEP, NCE, LogME, kNN, and their rank
+//! ensemble (the paper's §VII future-work extension) — against the actual
+//! fine-tuning accuracy of every model on a real-NN target task.
+//!
+//! ```text
+//! cargo run -p tps-bench --release --example proxy_compare
+//! ```
+
+use tps_core::benchsel::pearson;
+use tps_core::ids::ModelId;
+use tps_core::traits::{FeatureOracle, ProxyOracle};
+use tps_core::proxy::ensemble::rank_ensemble;
+use tps_core::proxy::knn::knn_proxy;
+use tps_core::proxy::leep::leep;
+use tps_core::proxy::logme::logme;
+use tps_core::proxy::nce::nce;
+use tps_nn::{RealZoo, RealZooConfig};
+
+fn main() -> tps_core::error::Result<()> {
+    let zoo = RealZoo::generate(&RealZooConfig {
+        seed: 31,
+        n_families: 4,
+        family_size: 3,
+        n_singletons: 3,
+        n_benchmarks: 6,
+        n_targets: 2,
+        // Short fine-tuning on genuinely hard tasks: outcomes spread out,
+        // so a good proxy has something to predict.
+        stages: 2,
+        task_noise: 1.1,
+        center_jitter: 0.2,
+        ..Default::default()
+    });
+    let target = 0;
+    let oracle = zoo.oracle(target)?;
+    let labels = oracle.target_labels().to_vec();
+    let n_labels = oracle.n_target_labels();
+
+    // Ground truth: full fine-tune of every model (the expensive thing the
+    // proxies are supposed to predict).
+    let truth: Vec<f64> = (0..zoo.n_models())
+        .map(|m| zoo.target_accuracy(ModelId::from(m), target))
+        .collect();
+
+    // Each proxy from a single inference pass per model.
+    let mut leep_s = Vec::new();
+    let mut nce_s = Vec::new();
+    let mut logme_s = Vec::new();
+    let mut knn_s = Vec::new();
+    for m in 0..zoo.n_models() {
+        let id = ModelId::from(m);
+        let p = oracle.predictions(id)?;
+        leep_s.push(leep(&p, &labels, n_labels)?);
+        nce_s.push(nce(&p, &labels, n_labels)?);
+        let (f, n, d) = oracle.features(id)?;
+        logme_s.push(logme(&f, n, d, &labels, n_labels)?);
+        knn_s.push(knn_proxy(&f, n, d, &labels, 5)?);
+    }
+    let combined = rank_ensemble(
+        &[leep_s.clone(), nce_s.clone(), logme_s.clone(), knn_s.clone()],
+        None,
+    )?;
+
+    println!(
+        "{:<24} {:>7} {:>7} {:>7} {:>8} {:>6} {:>8}",
+        "model", "truth", "LEEP", "NCE", "LogME", "kNN", "ensemble"
+    );
+    for m in 0..zoo.n_models() {
+        println!(
+            "{:<24} {:>7.3} {:>7.3} {:>7.3} {:>8.3} {:>6.3} {:>8.3}",
+            zoo.models[m].name, truth[m], leep_s[m], nce_s[m], logme_s[m], knn_s[m], combined[m]
+        );
+    }
+
+    println!("\nPearson correlation with actual fine-tuning accuracy:");
+    for (name, scores) in [
+        ("LEEP", &leep_s),
+        ("NCE", &nce_s),
+        ("LogME", &logme_s),
+        ("kNN", &knn_s),
+        ("rank ensemble", &combined),
+    ] {
+        println!("  {:<14} {:+.3}", name, pearson(scores, &truth));
+    }
+    Ok(())
+}

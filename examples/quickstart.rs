@@ -1,0 +1,67 @@
+//! Quickstart: select a pre-trained model for a new task in ~40 lines.
+//!
+//! ```text
+//! cargo run -p tps-bench --release --example quickstart
+//! ```
+//!
+//! Builds a small synthetic model repository, runs the offline phase once,
+//! then answers one online query with the two-phase (coarse-recall +
+//! fine-selection) pipeline.
+
+use tps_core::prelude::*;
+use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
+
+fn main() -> Result<()> {
+    // A repository of ~30 models, 12 benchmark datasets, 2 target tasks.
+    let world = World::synthetic(&SyntheticConfig {
+        seed: 7,
+        n_families: 5,
+        family_size: (3, 5),
+        n_singletons: 8,
+        n_benchmarks: 12,
+        n_targets: 2,
+        stages: 5,
+    });
+    println!(
+        "repository: {} models, {} benchmark datasets",
+        world.n_models(),
+        world.n_benchmarks()
+    );
+
+    // Offline (once per repository): fine-tune everything on the benchmarks,
+    // cluster models, mine convergence trends.
+    let (matrix, curves) = world.build_offline()?;
+    let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default())?;
+    println!(
+        "offline: {} clusters ({} non-singleton)",
+        artifacts.clustering.n_clusters(),
+        artifacts.clustering.non_singleton_clusters().len()
+    );
+
+    // Online (per target task): recall top-10 by proxy score, fine-select.
+    let target = 0;
+    let oracle = ZooOracle::new(&world, target)?;
+    let mut trainer = ZooTrainer::new(&world, target)?;
+    let outcome = two_phase_select(
+        &artifacts,
+        &oracle,
+        &mut trainer,
+        &PipelineConfig::default(),
+    )?;
+
+    println!(
+        "\nselected `{}` for target `{}`",
+        artifacts.matrix.model_name(outcome.selection.winner),
+        world.targets[target].name
+    );
+    println!(
+        "  test accuracy  {:.3}",
+        outcome.selection.winner_test
+    );
+    println!("  cost           {}", outcome.ledger);
+    println!(
+        "  vs brute force {} epochs",
+        world.n_models() * world.stages
+    );
+    Ok(())
+}

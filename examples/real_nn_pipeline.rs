@@ -1,0 +1,104 @@
+//! The honest end-to-end run: the same selection pipeline, but every number
+//! comes from **real SGD training** of micro neural networks (`tps-nn`)
+//! instead of the parametric simulator.
+//!
+//! ```text
+//! cargo run -p tps-bench --release --example real_nn_pipeline
+//! ```
+//!
+//! Pre-trains a 14-model zoo, fine-tunes every model on every benchmark to
+//! build the performance matrix, computes LEEP from genuine soft-max
+//! outputs, and runs two-phase selection on a held-out target task.
+
+use tps_core::prelude::*;
+use tps_core::proxy::leep::leep;
+use tps_nn::{RealZoo, RealZooConfig};
+
+fn main() -> Result<()> {
+    let zoo = RealZoo::generate(&RealZooConfig {
+        seed: 23,
+        n_families: 4,
+        family_size: 3,
+        n_singletons: 2,
+        n_benchmarks: 8,
+        n_targets: 2,
+        stages: 4,
+        ..Default::default()
+    });
+    println!(
+        "pre-trained {} models (real SGD) on their upstream tasks",
+        zoo.n_models()
+    );
+
+    // Offline: really fine-tune every model on every benchmark.
+    let (matrix, curves) = zoo.build_offline()?;
+    println!(
+        "offline: {} fine-tuning runs, {} validation points",
+        matrix.n_models() * matrix.n_datasets(),
+        matrix.n_models() * matrix.n_datasets() * zoo.config.stages,
+    );
+    let artifacts = OfflineArtifacts::build(
+        matrix,
+        &curves,
+        &OfflineConfig {
+            similarity_top_k: 3,
+            trend: TrendConfig {
+                n_trends: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )?;
+
+    // Inspect LEEP computed from real logits on the target.
+    let target = 0;
+    let oracle = zoo.oracle(target)?;
+    println!("\nLEEP scores on `{}` (real predictions):", zoo.targets[target].name);
+    let mut scored: Vec<(String, f64)> = (0..zoo.n_models())
+        .map(|m| {
+            let id = ModelId::from(m);
+            let p = oracle.predictions(id).expect("model exists");
+            let s = leep(&p, oracle.target_labels(), oracle.n_target_labels())
+                .expect("valid predictions");
+            (zoo.models[m].name.clone(), s)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (name, s) in &scored {
+        println!("  {name:<24} {s:>7.3}");
+    }
+
+    // Full two-phase selection with a real trainer.
+    let mut trainer = zoo.trainer(target)?;
+    let out = two_phase_select(
+        &artifacts,
+        &oracle,
+        &mut trainer,
+        &PipelineConfig {
+            recall: RecallConfig {
+                top_k: 6,
+                ..Default::default()
+            },
+            total_stages: zoo.config.stages,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "\nselected `{}`: really fine-tuned to test accuracy {:.3} in {}",
+        artifacts.matrix.model_name(out.selection.winner),
+        out.selection.winner_test,
+        out.ledger,
+    );
+
+    // Sanity: compare with ground truth (full fine-tune of every model).
+    let (mut best_name, mut best_acc) = (String::new(), f64::NEG_INFINITY);
+    for m in 0..zoo.n_models() {
+        let acc = zoo.target_accuracy(ModelId::from(m), target);
+        if acc > best_acc {
+            best_acc = acc;
+            best_name = zoo.models[m].name.clone();
+        }
+    }
+    println!("ground-truth best: `{best_name}` at {best_acc:.3}");
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration: the full two-phase pipeline on the paper's
+//! preset worlds, checked for selection quality, epoch accounting, and
+//! determinism.
+
+use tps_core::prelude::*;
+use tps_zoo::{World, ZooOracle, ZooTrainer};
+
+fn run_pipeline(world: &World, target: usize) -> (OfflineArtifacts, PipelineOutcome) {
+    let (matrix, curves) = world.build_offline().expect("offline build");
+    let artifacts =
+        OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).expect("artifacts");
+    let oracle = ZooOracle::new(world, target).expect("target");
+    let mut trainer = ZooTrainer::new(world, target).expect("target");
+    let outcome = two_phase_select(
+        &artifacts,
+        &oracle,
+        &mut trainer,
+        &PipelineConfig {
+            total_stages: world.stages,
+            ..Default::default()
+        },
+    )
+    .expect("pipeline");
+    (artifacts, outcome)
+}
+
+#[test]
+fn nlp_pipeline_selects_near_optimal_models() {
+    let world = World::nlp(42);
+    for target in 0..world.n_targets() {
+        let (_, outcome) = run_pipeline(&world, target);
+        let (_, best_acc) = world.best_model_for_target(target);
+        assert!(
+            outcome.selection.winner_test >= best_acc - 0.05,
+            "target {}: selected {:.3} vs best {:.3}",
+            world.targets[target].name,
+            outcome.selection.winner_test,
+            best_acc
+        );
+    }
+}
+
+#[test]
+fn cv_pipeline_selects_near_optimal_models() {
+    let world = World::cv(42);
+    for target in 0..world.n_targets() {
+        let (_, outcome) = run_pipeline(&world, target);
+        let (_, best_acc) = world.best_model_for_target(target);
+        assert!(
+            outcome.selection.winner_test >= best_acc - 0.05,
+            "target {}: selected {:.3} vs best {:.3}",
+            world.targets[target].name,
+            outcome.selection.winner_test,
+            best_acc
+        );
+    }
+}
+
+#[test]
+fn pipeline_cost_beats_brute_force_and_halving() {
+    for world in [World::nlp(42), World::cv(42)] {
+        let bf_epochs = (world.n_models() * world.stages) as f64;
+        for target in 0..world.n_targets() {
+            let (artifacts, outcome) = run_pipeline(&world, target);
+            // Paper Table VI band: >= 5x vs brute force on the full zoo.
+            assert!(
+                outcome.ledger.total() * 5.0 <= bf_epochs,
+                "{}: {} epochs vs BF {}",
+                world.targets[target].name,
+                outcome.ledger.total(),
+                bf_epochs
+            );
+            // And cheaper than SH over the whole repository.
+            let everyone: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+            let mut trainer = ZooTrainer::new(&world, target).expect("target");
+            let sh = successive_halving(&mut trainer, &everyone, world.stages).expect("sh");
+            assert!(outcome.ledger.total() < sh.ledger.total());
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let world = World::nlp(7);
+    let (_, a) = run_pipeline(&world, 1);
+    let (_, b) = run_pipeline(&world, 1);
+    assert_eq!(a.selection.winner, b.selection.winner);
+    assert_eq!(a.ledger, b.ledger);
+    assert_eq!(a.recall.ranked, b.recall.ranked);
+}
+
+#[test]
+fn proxy_epochs_match_cluster_structure() {
+    let world = World::cv(42);
+    let (artifacts, outcome) = run_pipeline(&world, 0);
+    let scored = artifacts.clustering.non_singleton_clusters().len();
+    assert_eq!(outcome.ledger.proxy_epochs(), 0.5 * scored as f64);
+}
+
+#[test]
+fn winner_comes_from_recalled_pool() {
+    for seed in [1, 42, 99] {
+        let world = World::cv(seed);
+        let (_, outcome) = run_pipeline(&world, 2);
+        assert!(
+            outcome.recall.recalled.contains(&outcome.selection.winner),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn recalled_models_beat_repository_average() {
+    // The Fig. 5 property as an invariant across seeds.
+    for seed in [3, 42, 1234] {
+        let world = World::nlp(seed);
+        for target in 0..world.n_targets() {
+            let (_, outcome) = run_pipeline(&world, target);
+            let truth: Vec<f64> = (0..world.n_models())
+                .map(|m| world.target_accuracy(ModelId::from(m), target))
+                .collect();
+            let repo_avg = truth.iter().sum::<f64>() / truth.len() as f64;
+            let recalled_avg = outcome
+                .recall
+                .recalled
+                .iter()
+                .map(|m| truth[m.index()])
+                .sum::<f64>()
+                / outcome.recall.recalled.len() as f64;
+            assert!(
+                recalled_avg > repo_avg,
+                "seed {seed} target {}: recalled {recalled_avg:.3} vs repo {repo_avg:.3}",
+                world.targets[target].name
+            );
+        }
+    }
+}
+
+#[test]
+fn hyper_parameter_regime_does_not_change_selection_quality() {
+    // The Appendix-A robustness claim: selection still lands near-optimal
+    // under the low-LR regime.
+    let mut world = World::nlp(42);
+    world.hyper = tps_zoo::TrainHyper::LowLr;
+    let target = world.target_by_name("mnli").expect("preset");
+    let (_, outcome) = run_pipeline(&world, target);
+    let (_, best) = world.best_model_for_target(target);
+    assert!(outcome.selection.winner_test >= best - 0.05);
+}

@@ -1,0 +1,114 @@
+//! Ensemble fine-selection on the simulated worlds: the §VI extension hook
+//! exercised end to end.
+
+use tps_core::ids::ModelId;
+use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+use tps_core::select::ensemble::fine_selection_ensemble;
+use tps_core::select::fine::{fine_selection, FineSelectionConfig};
+use tps_zoo::{World, ZooTrainer};
+
+fn artifacts_for(world: &World) -> OfflineArtifacts {
+    let (matrix, curves) = world.build_offline().unwrap();
+    OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap()
+}
+
+#[test]
+fn ensemble_members_are_strong_and_fully_trained() {
+    let world = World::nlp(42);
+    let artifacts = artifacts_for(&world);
+    let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+    let target = world.target_by_name("mnli").unwrap();
+
+    let mut trainer = ZooTrainer::new(&world, target).unwrap();
+    let out = fine_selection_ensemble(
+        &mut trainer,
+        &pool,
+        world.stages,
+        &artifacts.trends,
+        &FineSelectionConfig::default(),
+        3,
+    )
+    .unwrap();
+
+    assert_eq!(out.members.len(), 3);
+    // Every member is an above-median model on the target.
+    let mut truth: Vec<f64> = pool
+        .iter()
+        .map(|&m| world.target_accuracy(m, target))
+        .collect();
+    truth.sort_by(f64::total_cmp);
+    let median = truth[truth.len() / 2];
+    for member in &out.members {
+        let acc = world.target_accuracy(member.model, target);
+        assert!(acc > median, "{:?} at {acc:.3} vs median {median:.3}", member.model);
+        // Fully trained (test read at the final stage).
+        assert!((0.0..=1.0).contains(&member.test));
+    }
+    // Members ranked by validation.
+    assert!(out.members.windows(2).all(|w| w[0].val >= w[1].val));
+}
+
+#[test]
+fn ensemble_costs_more_than_single_but_less_than_halving_floor() {
+    let world = World::cv(42);
+    let artifacts = artifacts_for(&world);
+    let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+
+    let mut t1 = ZooTrainer::new(&world, 0).unwrap();
+    let single = fine_selection(
+        &mut t1,
+        &pool,
+        world.stages,
+        &artifacts.trends,
+        &FineSelectionConfig::default(),
+    )
+    .unwrap();
+    let mut t2 = ZooTrainer::new(&world, 0).unwrap();
+    let ensemble = fine_selection_ensemble(
+        &mut t2,
+        &pool,
+        world.stages,
+        &artifacts.trends,
+        &FineSelectionConfig::default(),
+        4,
+    )
+    .unwrap();
+
+    // Keeping 4 models alive costs more than keeping 1…
+    assert!(ensemble.ledger.total() >= single.ledger.total());
+    // …but no more than halving with a floor of 4:
+    // 30 + 15 + 7 + 4 = 56 epochs for 4 stages.
+    assert!(ensemble.ledger.total() <= 56.0, "{}", ensemble.ledger.total());
+    // The single winner is among (or beaten by) the ensemble.
+    let best_member_test = ensemble
+        .members
+        .iter()
+        .map(|m| m.test)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(best_member_test >= single.winner_test - 0.02);
+}
+
+#[test]
+fn ensemble_majority_of_targets_contains_the_true_best() {
+    let world = World::cv(42);
+    let artifacts = artifacts_for(&world);
+    let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+    let mut hits = 0;
+    for target in 0..world.n_targets() {
+        let (best, _) = world.best_model_for_target(target);
+        let mut trainer = ZooTrainer::new(&world, target).unwrap();
+        let out = fine_selection_ensemble(
+            &mut trainer,
+            &pool,
+            world.stages,
+            &artifacts.trends,
+            &FineSelectionConfig::default(),
+            3,
+        )
+        .unwrap();
+        if out.members.iter().any(|m| m.model == best) {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 3, "true best inside the 3-ensemble on only {hits}/4 targets");
+}

@@ -1,0 +1,373 @@
+//! Property-based tests over the framework's core data structures and
+//! invariants, spanning crates.
+
+use proptest::prelude::*;
+use tps_core::cluster::hierarchical::{agglomerate, Linkage};
+use tps_core::cluster::kmeans::{kmeans, KMeansConfig};
+use tps_core::cluster::silhouette::silhouette;
+use tps_core::cluster::Clustering;
+use tps_core::ids::ModelId;
+use tps_core::proxy::ensemble::{normalized_ranks, rank_ensemble};
+use tps_core::proxy::leep::leep;
+use tps_core::proxy::nce::nce;
+use tps_core::proxy::{normalize_scores, PredictionMatrix};
+use tps_core::select::fine::fine_filter;
+use tps_core::similarity::{cosine_similarity, performance_similarity};
+use tps_core::trend::{cluster_values_1d, mine_trends, TrendConfig};
+use tps_core::curve::LearningCurve;
+
+/// Strategy: a probability vector of the given length.
+fn prob_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, len).prop_map(|mut v| {
+        let sum: f64 = v.iter().sum();
+        v.iter_mut().for_each(|x| *x /= sum);
+        v
+    })
+}
+
+/// Strategy: a prediction matrix with `n` samples over `z` source labels,
+/// plus consistent target labels over `y` classes.
+fn prediction_case() -> impl Strategy<Value = (PredictionMatrix, Vec<usize>, usize)> {
+    (2usize..6, 2usize..5, 4usize..24).prop_flat_map(|(z, y, n)| {
+        (
+            prop::collection::vec(prob_vector(z), n),
+            prop::collection::vec(0usize..y, n),
+            Just(y),
+        )
+            .prop_map(move |(rows, labels, y)| {
+                let flat: Vec<f64> = rows.into_iter().flatten().collect();
+                (
+                    PredictionMatrix::new(z, flat).expect("rows are distributions"),
+                    labels,
+                    y,
+                )
+            })
+    })
+}
+
+/// Strategy: two accuracy vectors of one shared length.
+fn acc_vector_pair(len: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    len.prop_flat_map(|n| {
+        (
+            prop::collection::vec(0.0f64..=1.0, n),
+            prop::collection::vec(0.0f64..=1.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn leep_is_nonpositive_and_finite((p, labels, y) in prediction_case()) {
+        let s = leep(&p, &labels, y).unwrap();
+        prop_assert!(s <= 1e-12, "LEEP {s} > 0");
+        prop_assert!(s.is_finite());
+    }
+
+    #[test]
+    fn nce_is_nonpositive_and_finite((p, labels, y) in prediction_case()) {
+        let s = nce(&p, &labels, y).unwrap();
+        prop_assert!(s <= 1e-12, "NCE {s} > 0");
+        prop_assert!(s.is_finite());
+    }
+
+    #[test]
+    fn leep_invariant_under_sample_permutation((p, labels, y) in prediction_case()) {
+        let s1 = leep(&p, &labels, y).unwrap();
+        // Reverse sample order.
+        let n = p.n_samples();
+        let z = p.n_source_labels();
+        let mut rev = Vec::with_capacity(n * z);
+        for i in (0..n).rev() {
+            rev.extend_from_slice(p.row(i));
+        }
+        let pr = PredictionMatrix::new(z, rev).unwrap();
+        let lr: Vec<usize> = labels.iter().rev().copied().collect();
+        let s2 = leep(&pr, &lr, y).unwrap();
+        prop_assert!((s1 - s2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn performance_similarity_is_symmetric_and_bounded(
+        (v1, v2) in acc_vector_pair(1..30),
+        k in 1usize..10,
+    ) {
+        let a = performance_similarity(&v1, &v2, k).unwrap();
+        let b = performance_similarity(&v2, &v1, k).unwrap();
+        prop_assert!((a - b).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&a), "sim {a}");
+        // Self-similarity is exactly 1.
+        let s = performance_similarity(&v1, &v1, k).unwrap();
+        prop_assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_decreases_with_k_shrinking(
+        (v1, v2) in acc_vector_pair(8..20),
+    ) {
+        // Averaging over fewer (larger) diffs cannot raise the similarity.
+        let s1 = performance_similarity(&v1, &v2, 1).unwrap();
+        let s3 = performance_similarity(&v1, &v2, 3).unwrap();
+        let s8 = performance_similarity(&v1, &v2, 8).unwrap();
+        prop_assert!(s1 <= s3 + 1e-12);
+        prop_assert!(s3 <= s8 + 1e-12);
+    }
+
+    #[test]
+    fn cosine_similarity_bounded((v1, v2) in acc_vector_pair(2..20)) {
+        let c = cosine_similarity(&v1, &v2);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+    }
+
+    #[test]
+    fn normalize_scores_lands_in_unit_interval(v in prop::collection::vec(-1e3f64..1e3, 1..40)) {
+        let n = normalize_scores(&v);
+        prop_assert_eq!(n.len(), v.len());
+        prop_assert!(n.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Order preserved.
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if v[i] < v[j] {
+                    prop_assert!(n[i] <= n[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_ranks_properties(v in prop::collection::vec(-1e3f64..1e3, 2..30)) {
+        let r = normalized_ranks(&v);
+        prop_assert!(r.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // The maximum score gets rank 1 (unless tied).
+        let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let n_max = v.iter().filter(|&&x| x == max).count();
+        if n_max == 1 {
+            let i = v.iter().position(|&x| x == max).unwrap();
+            prop_assert!((r[i] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_ensemble_bounded(
+        (a, b) in (3usize..15).prop_flat_map(|n| (
+            prop::collection::vec(-10f64..10.0, n),
+            prop::collection::vec(-10f64..10.0, n),
+        )),
+    ) {
+        let e = rank_ensemble(&[a, b], None).unwrap();
+        prop_assert!(e.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn kmeans_partitions_all_points(
+        pts in prop::collection::vec(prop::collection::vec(-5f64..5.0, 3), 4..30),
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= pts.len());
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let c = kmeans(&pts, &KMeansConfig { k, n_restarts: 2, ..Default::default() }, &mut rng).unwrap();
+        prop_assert_eq!(c.n_models(), pts.len());
+        prop_assert!(c.n_clusters() <= k);
+        prop_assert!(c.assignments().iter().all(|&a| a < c.n_clusters()));
+    }
+
+    #[test]
+    fn hierarchical_cut_counts_are_exact(
+        xs in prop::collection::vec(-100f64..100.0, 2..25),
+        k in 1usize..10,
+    ) {
+        prop_assume!(k <= xs.len());
+        let n = xs.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        let dend = agglomerate(&d, n, Linkage::Average).unwrap();
+        let c = dend.cut_k(k).unwrap();
+        prop_assert_eq!(c.n_clusters(), k);
+        prop_assert_eq!(c.n_models(), n);
+    }
+
+    #[test]
+    fn hierarchical_merge_distances_nondecreasing_average_linkage(
+        xs in prop::collection::vec(-100f64..100.0, 2..20),
+    ) {
+        let n = xs.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        let dend = agglomerate(&d, n, Linkage::Average).unwrap();
+        for w in dend.merges().windows(2) {
+            // Average linkage on a metric: merges come in non-decreasing
+            // distance order (reducibility).
+            prop_assert!(w[1].distance >= w[0].distance - 1e-9);
+        }
+    }
+
+    #[test]
+    fn silhouette_bounded(
+        xs in prop::collection::vec(-10f64..10.0, 4..25),
+        seed in 0u64..500,
+    ) {
+        let n = xs.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let assign: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let c = Clustering::new(assign).unwrap();
+        prop_assume!(c.n_clusters() >= 2);
+        let s = silhouette(&d, n, &c).unwrap();
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s), "silhouette {s}");
+    }
+
+    #[test]
+    fn cluster_values_1d_is_a_partition(
+        vals in prop::collection::vec(0f64..1.0, 2..40),
+        k in 1usize..6,
+    ) {
+        let assign = cluster_values_1d(&vals, k, 32);
+        prop_assert_eq!(assign.len(), vals.len());
+        let n_clusters = assign.iter().copied().max().unwrap() + 1;
+        prop_assert!(n_clusters <= k.min(vals.len()));
+        // Labels are compact.
+        for c in 0..n_clusters {
+            prop_assert!(assign.contains(&c));
+        }
+        // Clusters are contiguous in value: no point of cluster a sits
+        // strictly inside cluster b's range.
+        for a in 0..n_clusters {
+            let a_vals: Vec<f64> = vals.iter().zip(&assign).filter(|(_, &x)| x == a).map(|(v, _)| *v).collect();
+            let (lo, hi) = (
+                a_vals.iter().cloned().fold(f64::INFINITY, f64::min),
+                a_vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            );
+            for (v, &x) in vals.iter().zip(&assign) {
+                if x != a {
+                    prop_assert!(!(lo < *v && *v < hi), "value {v} of cluster {x} inside cluster {a}'s range [{lo},{hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trend_mining_covers_every_dataset(
+        finals in prop::collection::vec(0.05f64..0.95, 3..20),
+        n_trends in 1usize..6,
+    ) {
+        let curves: Vec<LearningCurve> = finals
+            .iter()
+            .map(|&f| LearningCurve::new(vec![f * 0.6, f * 0.8, f], f).unwrap())
+            .collect();
+        let trends = mine_trends(&curves, 3, &TrendConfig { n_trends, max_iter: 32 }).unwrap();
+        for t in 0..trends.n_stages() {
+            let mut members: Vec<usize> = trends
+                .at_stage(t)
+                .iter()
+                .flat_map(|tr| tr.members.iter().map(|d| d.index()))
+                .collect();
+            members.sort_unstable();
+            let expected: Vec<usize> = (0..finals.len()).collect();
+            prop_assert_eq!(&members, &expected);
+            // Every trend's means are within the accuracy range.
+            for tr in trends.at_stage(t) {
+                prop_assert!((0.0..=1.0).contains(&tr.mean_val));
+                prop_assert!((0.0..=1.0).contains(&tr.mean_test));
+            }
+        }
+    }
+
+    #[test]
+    fn fine_filter_keeps_nonempty_subset(
+        vals in prop::collection::vec(0.05f64..0.95, 2..12),
+        threshold in 0f64..0.5,
+    ) {
+        let curves: Vec<LearningCurve> = (0..6)
+            .map(|i| {
+                let f = 0.2 + 0.12 * i as f64;
+                LearningCurve::new(vec![f * 0.7, f], f).unwrap()
+            })
+            .collect();
+        let book = tps_core::trend::TrendBook::from_parts(
+            (0..vals.len())
+                .map(|_| mine_trends(&curves, 2, &TrendConfig { n_trends: 3, max_iter: 16 }).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let pairs: Vec<(ModelId, f64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (ModelId::from(i), v))
+            .collect();
+        let kept = fine_filter(&pairs, 0, &book, threshold);
+        prop_assert!(!kept.is_empty());
+        prop_assert!(kept.len() <= pairs.len());
+        // The best-validating model always survives.
+        let best = pairs
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0;
+        prop_assert!(kept.contains(&best));
+        // No duplicates.
+        let mut sorted: Vec<_> = kept.iter().map(|m| m.index()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), kept.len());
+    }
+
+    #[test]
+    fn zoo_accuracies_respect_dataset_envelope(seed in 0u64..200) {
+        let world = tps_zoo::World::synthetic(&tps_zoo::SyntheticConfig {
+            seed,
+            n_families: 2,
+            family_size: (2, 3),
+            n_singletons: 2,
+            n_benchmarks: 4,
+            n_targets: 1,
+            stages: 3,
+        });
+        let (matrix, curves) = world.build_offline().unwrap();
+        for d in 0..world.n_benchmarks() {
+            let spec = &world.benchmarks[d];
+            for m in 0..world.n_models() {
+                let a = matrix.accuracy(d.into(), m.into());
+                prop_assert!(a >= (spec.chance - 0.05).max(0.0), "{a} below chance {}", spec.chance);
+                prop_assert!(a <= (spec.ceiling + 0.05).min(1.0), "{a} above ceiling {}", spec.ceiling);
+                let curve = curves.curve(m.into(), d.into());
+                prop_assert!(curve.val().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_ledger_arithmetic(
+        train in prop::collection::vec(0f64..100.0, 0..20),
+        proxy in prop::collection::vec(0f64..10.0, 0..20),
+    ) {
+        let mut ledger = tps_core::budget::EpochLedger::new();
+        for &t in &train {
+            ledger.charge_training(t);
+        }
+        for &p in &proxy {
+            ledger.charge_proxy(p);
+        }
+        let ts: f64 = train.iter().sum();
+        let ps: f64 = proxy.iter().sum();
+        prop_assert!((ledger.train_epochs() - ts).abs() < 1e-6);
+        prop_assert!((ledger.proxy_epochs() - ps).abs() < 1e-6);
+        prop_assert!((ledger.total() - (ts + ps)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,201 @@
+//! Invariants relating the three selectors (BF, SH, FS) on simulated
+//! worlds across seeds and scales.
+
+use tps_core::ids::ModelId;
+use tps_core::traits::TargetTrainer;
+use tps_core::select::brute::brute_force;
+use tps_core::select::fine::{fine_selection, FineSelectionConfig};
+use tps_core::select::halving::successive_halving;
+use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+use tps_zoo::{SyntheticConfig, World, ZooTrainer};
+
+fn artifacts_for(world: &World) -> OfflineArtifacts {
+    let (matrix, curves) = world.build_offline().expect("offline");
+    OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).expect("artifacts")
+}
+
+/// Expected SH cost: `Σ_t max(1, ⌊n / 2^t⌋)` over `stages` stages.
+fn sh_epochs(n: usize, stages: usize) -> f64 {
+    let mut pool = n;
+    let mut total = 0usize;
+    for _ in 0..stages {
+        total += pool;
+        if pool > 1 {
+            pool = (pool / 2).max(1);
+        }
+    }
+    total as f64
+}
+
+#[test]
+fn selector_cost_ordering_holds_across_seeds() {
+    for seed in [1, 7, 42, 77, 2024] {
+        let world = World::synthetic(&SyntheticConfig {
+            seed,
+            ..Default::default()
+        });
+        let artifacts = artifacts_for(&world);
+        let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+        for target in 0..world.n_targets() {
+            let mut t1 = ZooTrainer::new(&world, target).unwrap();
+            let bf = brute_force(&mut t1, &pool, world.stages).unwrap();
+            let mut t2 = ZooTrainer::new(&world, target).unwrap();
+            let sh = successive_halving(&mut t2, &pool, world.stages).unwrap();
+            let mut t3 = ZooTrainer::new(&world, target).unwrap();
+            let fs = fine_selection(
+                &mut t3,
+                &pool,
+                world.stages,
+                &artifacts.trends,
+                &FineSelectionConfig::default(),
+            )
+            .unwrap();
+
+            assert_eq!(
+                bf.ledger.total(),
+                (pool.len() * world.stages) as f64,
+                "seed {seed}"
+            );
+            assert_eq!(sh.ledger.total(), sh_epochs(pool.len(), world.stages));
+            assert!(
+                fs.ledger.total() <= sh.ledger.total(),
+                "seed {seed} target {target}: FS {} > SH {}",
+                fs.ledger.total(),
+                sh.ledger.total()
+            );
+            // Every winner is fully trained.
+            for out in [&bf, &sh, &fs] {
+                assert_eq!(t1.stages_trained(bf.winner), world.stages);
+                assert!((0.0..=1.0).contains(&out.winner_test));
+            }
+        }
+    }
+}
+
+#[test]
+fn fs_accuracy_competitive_with_sh_across_seeds() {
+    let mut fs_total = 0.0;
+    let mut sh_total = 0.0;
+    let mut cases = 0;
+    for seed in [5, 21, 42, 63, 91] {
+        let world = World::synthetic(&SyntheticConfig {
+            seed,
+            ..Default::default()
+        });
+        let artifacts = artifacts_for(&world);
+        let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+        for target in 0..world.n_targets() {
+            let mut t2 = ZooTrainer::new(&world, target).unwrap();
+            let sh = successive_halving(&mut t2, &pool, world.stages).unwrap();
+            let mut t3 = ZooTrainer::new(&world, target).unwrap();
+            let fs = fine_selection(
+                &mut t3,
+                &pool,
+                world.stages,
+                &artifacts.trends,
+                &FineSelectionConfig::default(),
+            )
+            .unwrap();
+            fs_total += fs.winner_test;
+            sh_total += sh.winner_test;
+            cases += 1;
+        }
+    }
+    // Aggregate parity (Fig. 7): FS matches SH's selection quality while
+    // spending fewer epochs.
+    assert!(
+        fs_total >= sh_total - 0.02 * cases as f64,
+        "FS mean {:.3} vs SH mean {:.3}",
+        fs_total / cases as f64,
+        sh_total / cases as f64
+    );
+}
+
+#[test]
+fn fs_pool_shrinks_at_least_as_fast_as_halving() {
+    let world = World::nlp(42);
+    let artifacts = artifacts_for(&world);
+    let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+    let mut trainer = ZooTrainer::new(&world, 0).unwrap();
+    let fs = fine_selection(
+        &mut trainer,
+        &pool,
+        world.stages,
+        &artifacts.trends,
+        &FineSelectionConfig::default(),
+    )
+    .unwrap();
+    let mut cap = pool.len();
+    for stage_pool in &fs.pool_history {
+        assert!(stage_pool.len() <= cap, "pool {} > cap {cap}", stage_pool.len());
+        cap = (stage_pool.len() / 2).max(1);
+    }
+}
+
+#[test]
+fn late_bloomer_survives_the_fine_filter() {
+    // A slow-but-strong model validates poorly at stage 1 (SH would rank it
+    // near the bottom) yet its convergence trends predict a high ceiling —
+    // the fine filter must not remove it, because no faster model both
+    // validates better *and* predicts better.
+    let mut world = World::synthetic(&SyntheticConfig {
+        seed: 11,
+        n_families: 3,
+        family_size: (3, 3),
+        n_singletons: 2,
+        n_benchmarks: 12,
+        n_targets: 1,
+        stages: 6,
+    });
+    world.models[0].capability = 0.98;
+    world.models[0].speed = 0.45;
+    world.models[0].domain = world.targets[0].domain;
+    let artifacts = artifacts_for(&world);
+    let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+
+    // Advance every model one stage on the target and record validations.
+    let mut trainer = ZooTrainer::new(&world, 0).unwrap();
+    let vals: Vec<(ModelId, f64)> = pool
+        .iter()
+        .map(|&m| (m, trainer.advance(m).unwrap()))
+        .collect();
+
+    // Sanity: the late bloomer is NOT among the top half by validation (so
+    // plain halving would be at risk of dropping it)...
+    let mut by_val = vals.clone();
+    by_val.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let val_rank = by_val.iter().position(|&(m, _)| m == ModelId(0)).unwrap();
+    assert!(val_rank > 0, "late bloomer should not lead at stage 1");
+
+    // ...but the fine filter keeps it: its predicted ceiling dominates.
+    let survivors = tps_core::select::fine::fine_filter(&vals, 0, &artifacts.trends, 0.0);
+    assert!(
+        survivors.contains(&ModelId(0)),
+        "fine filter dropped the late bloomer (val rank {val_rank}, survivors {survivors:?})"
+    );
+}
+
+#[test]
+fn threshold_sweep_never_decreases_epochs() {
+    let world = World::cv(42);
+    let artifacts = artifacts_for(&world);
+    let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+    let mut last = 0.0;
+    for threshold in [0.0, 0.02, 0.05, 0.10, 0.5] {
+        let mut trainer = ZooTrainer::new(&world, 1).unwrap();
+        let fs = fine_selection(
+            &mut trainer,
+            &pool,
+            world.stages,
+            &artifacts.trends,
+            &FineSelectionConfig { threshold },
+        )
+        .unwrap();
+        assert!(
+            fs.ledger.total() >= last,
+            "threshold {threshold}: {} < previous {last}",
+            fs.ledger.total()
+        );
+        last = fs.ledger.total();
+    }
+}

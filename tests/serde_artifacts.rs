@@ -1,0 +1,90 @@
+//! Persistence: the offline artifacts are the framework's long-lived state
+//! (built once, reused for every new task), so they must round-trip through
+//! serde losslessly.
+
+use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+use tps_zoo::{SyntheticConfig, World};
+
+#[test]
+fn offline_artifacts_round_trip_json() {
+    let world = World::synthetic(&SyntheticConfig {
+        seed: 9,
+        n_families: 3,
+        family_size: (2, 3),
+        n_singletons: 3,
+        n_benchmarks: 8,
+        n_targets: 1,
+        stages: 4,
+    });
+    let (matrix, curves) = world.build_offline().unwrap();
+    let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+
+    let json = serde_json::to_string(&artifacts).unwrap();
+    let restored: OfflineArtifacts = serde_json::from_str(&json).unwrap();
+
+    assert_eq!(restored.matrix, artifacts.matrix);
+    assert_eq!(restored.clustering, artifacts.clustering);
+    assert_eq!(restored.similarity, artifacts.similarity);
+    assert_eq!(restored.trends, artifacts.trends);
+}
+
+#[test]
+fn world_round_trips_json() {
+    let world = World::nlp(5);
+    let json = serde_json::to_string(&world).unwrap();
+    let restored: World = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored.models, world.models);
+    assert_eq!(restored.benchmarks, world.benchmarks);
+    assert_eq!(restored.targets, world.targets);
+    assert_eq!(restored.stages, world.stages);
+    // A restored world regenerates identical offline data.
+    let (m1, c1) = world.build_offline().unwrap();
+    let (m2, c2) = restored.build_offline().unwrap();
+    assert_eq!(m1, m2);
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn curves_round_trip_json() {
+    let world = World::cv(5);
+    let (_, curves) = world.build_offline().unwrap();
+    let json = serde_json::to_string(&curves).unwrap();
+    let restored: tps_core::curve::CurveSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, curves);
+}
+
+#[test]
+fn selection_outcome_round_trips_json() {
+    use tps_core::prelude::*;
+    use tps_zoo::{ZooOracle, ZooTrainer};
+
+    let world = World::cv(5);
+    let (matrix, curves) = world.build_offline().unwrap();
+    let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+    let oracle = ZooOracle::new(&world, 0).unwrap();
+    let mut trainer = ZooTrainer::new(&world, 0).unwrap();
+    let outcome = two_phase_select(
+        &artifacts,
+        &oracle,
+        &mut trainer,
+        &PipelineConfig {
+            total_stages: world.stages,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let json = serde_json::to_string(&outcome).unwrap();
+    let restored: PipelineOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, outcome);
+}
+
+#[test]
+fn mlp_round_trips_json() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mlp = tps_nn::Mlp::new(6, 8, 3, &mut rng);
+    let json = serde_json::to_string(&mlp).unwrap();
+    let restored: tps_nn::Mlp = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, mlp);
+}

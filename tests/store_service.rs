@@ -1,0 +1,145 @@
+//! Service-style integration: offline artifacts are built once, persisted
+//! through `tps-store`, then reloaded in a "fresh process" to serve online
+//! selection queries — the §VII data-management-system workflow end to end.
+
+use std::fs;
+use std::path::PathBuf;
+use tps_core::pipeline::{two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig};
+use tps_store::{ArtifactKind, Store};
+use tps_zoo::{World, ZooOracle, ZooTrainer};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tps-service-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn offline_once_select_many_through_the_store() {
+    let dir = temp_dir("select");
+
+    // "Offline job": build and persist.
+    {
+        let world = World::cv(42);
+        let (matrix, curves) = world.build_offline().unwrap();
+        let artifacts =
+            OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+        let mut store = Store::open(&dir).unwrap();
+        store.put("cv.world", ArtifactKind::World, &world).unwrap();
+        store
+            .put("cv.artifacts", ArtifactKind::OfflineArtifacts, &artifacts)
+            .unwrap();
+    }
+
+    // "Online service": reload from the store and answer all four targets.
+    let store = Store::open(&dir).unwrap();
+    let world: World = store.get("cv.world", ArtifactKind::World).unwrap();
+    let artifacts: OfflineArtifacts = store
+        .get("cv.artifacts", ArtifactKind::OfflineArtifacts)
+        .unwrap();
+    let bf_epochs = (world.n_models() * world.stages) as f64;
+
+    for target in 0..world.n_targets() {
+        let oracle = ZooOracle::new(&world, target).unwrap();
+        let mut trainer = ZooTrainer::new(&world, target).unwrap();
+        let outcome = two_phase_select(
+            &artifacts,
+            &oracle,
+            &mut trainer,
+            &PipelineConfig {
+                total_stages: world.stages,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The stored-and-reloaded artifacts must behave exactly like fresh
+        // ones: near-optimal pick, far cheaper than brute force.
+        let (_, best) = world.best_model_for_target(target);
+        assert!(
+            outcome.selection.winner_test >= best - 0.05,
+            "target {target}: {:.3} vs best {best:.3}",
+            outcome.selection.winner_test
+        );
+        assert!(outcome.ledger.total() * 4.0 < bf_epochs);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stored_selection_is_bit_identical_to_fresh() {
+    let dir = temp_dir("identical");
+    let world = World::nlp(7);
+    let (matrix, curves) = world.build_offline().unwrap();
+    let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+
+    let mut store = Store::open(&dir).unwrap();
+    store
+        .put("nlp.artifacts", ArtifactKind::OfflineArtifacts, &artifacts)
+        .unwrap();
+    let reloaded: OfflineArtifacts = store
+        .get("nlp.artifacts", ArtifactKind::OfflineArtifacts)
+        .unwrap();
+
+    let run = |arts: &OfflineArtifacts| {
+        let oracle = ZooOracle::new(&world, 0).unwrap();
+        let mut trainer = ZooTrainer::new(&world, 0).unwrap();
+        two_phase_select(
+            arts,
+            &oracle,
+            &mut trainer,
+            &PipelineConfig {
+                total_stages: world.stages,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let fresh = run(&artifacts);
+    let stored = run(&reloaded);
+    assert_eq!(fresh, stored);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn incremental_growth_persists_across_store_roundtrips() {
+    use tps_core::incremental::ModelAddition;
+
+    let dir = temp_dir("grow");
+    let world = World::cv(11);
+    let (matrix, curves) = world.build_offline().unwrap();
+    let config = OfflineConfig::default();
+    let mut artifacts = OfflineArtifacts::build(matrix, &curves, &config).unwrap();
+
+    // Grow, persist, reload, grow again — the add must compose.
+    let sibling = world.models[8].clone();
+    let mk_addition = |name: &str, spec: &tps_zoo::ModelSpec| ModelAddition {
+        name: name.into(),
+        benchmark_curves: world
+            .benchmarks
+            .iter()
+            .map(|b| world.law.run(spec, b, world.stages, world.hyper, world.seed).to_curve())
+            .collect(),
+    };
+    artifacts
+        .add_model(&mk_addition("grown/one", &sibling), &config)
+        .unwrap();
+
+    let mut store = Store::open(&dir).unwrap();
+    store
+        .put("grown", ArtifactKind::OfflineArtifacts, &artifacts)
+        .unwrap();
+    let mut reloaded: OfflineArtifacts =
+        store.get("grown", ArtifactKind::OfflineArtifacts).unwrap();
+    assert_eq!(reloaded.matrix.n_models(), 31);
+
+    reloaded
+        .add_model(&mk_addition("grown/two", &sibling), &config)
+        .unwrap();
+    assert_eq!(reloaded.matrix.n_models(), 32);
+    assert_eq!(reloaded.trends.n_models(), 32);
+    store
+        .put_overwrite("grown", ArtifactKind::OfflineArtifacts, &reloaded)
+        .unwrap();
+    assert!(store.fsck().is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
