@@ -1,0 +1,156 @@
+//! Paired serial-vs-parallel benchmarks for the deterministic parallel
+//! execution layer: every hot path is measured once with `threads = 1`
+//! (the serial baseline) and once with a multi-worker configuration, on
+//! the same 100+ model world. Results are bit-identical by construction
+//! (see `tests/parallel_determinism.rs`); these benches measure only the
+//! wall-clock effect. On a single-core host the parallel variant pays a
+//! small scatter/gather overhead — the speedup target (≥2× at 4+ cores)
+//! needs real hardware parallelism, which the summary records via the
+//! `threads=N` label and the committed `BENCH_parallel.json` baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tps_core::ids::ModelId;
+use tps_core::parallel::ParallelConfig;
+use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+use tps_core::proxy::leep::leep;
+use tps_core::recall::{coarse_recall_par, RecallConfig};
+use tps_core::select::fine::{fine_selection_par, FineSelectionConfig};
+use tps_core::select::halving::successive_halving_par;
+use tps_core::similarity::SimilarityMatrix;
+use tps_core::traits::ProxyOracle;
+use tps_core::trend::{TrendBook, TrendConfig};
+use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
+
+/// The multi-worker thread count: at least 4 so the committed baseline
+/// always exercises the scatter/gather machinery, more if the host has it.
+fn par_threads() -> usize {
+    ParallelConfig::auto().resolve().max(4)
+}
+
+/// A ~175-model world (45 families of 2–6 plus 40 singletons), the scale
+/// at which the acceptance criteria ask for the speedup measurement.
+fn big_world() -> World {
+    World::synthetic(&SyntheticConfig {
+        seed: 13,
+        n_families: 45,
+        family_size: (2, 6),
+        n_singletons: 40,
+        n_benchmarks: 24,
+        n_targets: 1,
+        stages: 5,
+    })
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let world = big_world();
+    let (matrix, _) = world.build_offline().unwrap();
+    let mut group = c.benchmark_group(format!("parallel/similarity/{}models", world.n_models()));
+    group.sample_size(10);
+    for (label, threads) in [("threads=1".to_string(), 1), (format!("threads={}", par_threads()), par_threads())] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                SimilarityMatrix::from_performance_par(black_box(&matrix), 5, threads).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_build(c: &mut Criterion) {
+    let world = big_world();
+    let mut group = c.benchmark_group(format!("parallel/offline-build/{}models", world.n_models()));
+    group.sample_size(10);
+    for (label, threads) in [("threads=1".to_string(), 1), (format!("threads={}", par_threads()), par_threads())] {
+        group.bench_function(label, |b| {
+            b.iter(|| world.build_offline_par(black_box(threads)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_trend_mining(c: &mut Criterion) {
+    let world = big_world();
+    let (_, curves) = world.build_offline().unwrap();
+    let mut group = c.benchmark_group(format!("parallel/trend-mining/{}models", world.n_models()));
+    group.sample_size(10);
+    for (label, threads) in [("threads=1".to_string(), 1), (format!("threads={}", par_threads()), par_threads())] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                TrendBook::mine_par(black_box(&curves), 5, &TrendConfig::default(), threads)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recall(c: &mut Criterion) {
+    let world = big_world();
+    let (matrix, curves) = world.build_offline().unwrap();
+    let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+    let oracle = ZooOracle::new(&world, 0).unwrap();
+    let mut group = c.benchmark_group(format!("parallel/coarse-recall/{}models", world.n_models()));
+    group.sample_size(10);
+    for (label, threads) in [("threads=1".to_string(), 1), (format!("threads={}", par_threads()), par_threads())] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                coarse_recall_par(
+                    &artifacts.matrix,
+                    &artifacts.clustering,
+                    &artifacts.similarity,
+                    &RecallConfig::default(),
+                    black_box(threads),
+                    |rep| {
+                        let p = oracle.predictions(rep)?;
+                        leep(&p, oracle.target_labels(), oracle.n_target_labels())
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let world = big_world();
+    let (matrix, curves) = world.build_offline().unwrap();
+    let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+    let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
+    let mut group = c.benchmark_group(format!("parallel/selection/{}models", world.n_models()));
+    group.sample_size(10);
+    for (label, threads) in [("threads=1".to_string(), 1), (format!("threads={}", par_threads()), par_threads())] {
+        group.bench_function(format!("successive-halving/{label}"), |b| {
+            b.iter(|| {
+                let mut t = ZooTrainer::new(&world, 0).unwrap();
+                successive_halving_par(&mut t, black_box(&pool), world.stages, threads).unwrap()
+            })
+        });
+        group.bench_function(format!("fine-selection/{label}"), |b| {
+            b.iter(|| {
+                let mut t = ZooTrainer::new(&world, 0).unwrap();
+                fine_selection_par(
+                    &mut t,
+                    black_box(&pool),
+                    world.stages,
+                    &artifacts.trends,
+                    &FineSelectionConfig::default(),
+                    threads,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_similarity,
+    bench_offline_build,
+    bench_trend_mining,
+    bench_recall,
+    bench_selection
+);
+criterion_main!(benches);

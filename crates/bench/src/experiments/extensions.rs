@@ -10,7 +10,9 @@
 use crate::table::{acc, epochs, speedup, Table};
 use crate::{Report, WorldBundle, SEED};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use tps_core::ids::ModelId;
+use tps_core::parallel::ParallelConfig;
 use tps_core::pipeline::{two_phase_select, PipelineConfig};
 use tps_core::proxy::ensemble::rank_ensemble;
 use tps_core::proxy::knn::knn_proxy;
@@ -32,15 +34,28 @@ struct ScalingRow {
     speedup_vs_bf: f64,
     speedup_vs_sh: f64,
     accuracy_regret: f64,
+    /// Worker count the offline build and two-phase selection ran with
+    /// (`TPS_THREADS` / available parallelism). Scores are invariant to it.
+    threads: usize,
+    /// Wall-clock seconds for this world size (offline build + all three
+    /// selectors). Machine-dependent — recorded for scaling curves, never
+    /// asserted on.
+    elapsed_s: f64,
 }
 
 /// Scaling study: repository sizes ~50 → ~400, fixed benchmark suite.
+///
+/// The offline build and the two-phase pipeline run through the parallel
+/// layer (thread count from [`ParallelConfig::auto`]); per-size wall-clock
+/// lands in `results/scaling.json` alongside the epoch budgets.
 pub fn scaling() -> Report {
+    let threads = ParallelConfig::auto().resolve();
     let mut rows = Vec::new();
     let mut table = Table::new(vec![
-        "|M|", "BF", "SH", "2PH", "vs BF", "vs SH", "regret",
+        "|M|", "BF", "SH", "2PH", "vs BF", "vs SH", "regret", "thr", "secs",
     ]);
     for &(families, singletons) in &[(8usize, 10usize), (20, 20), (45, 40), (90, 80)] {
+        let started = Instant::now();
         let world = World::synthetic(&SyntheticConfig {
             seed: SEED,
             n_families: families,
@@ -50,7 +65,7 @@ pub fn scaling() -> Report {
             n_targets: 1,
             stages: 5,
         });
-        let bundle = WorldBundle::from_world(world);
+        let bundle = WorldBundle::from_world_par(world, ParallelConfig::auto());
         let everyone: Vec<ModelId> = bundle.matrix().model_ids().collect();
         let n = everyone.len();
 
@@ -67,10 +82,12 @@ pub fn scaling() -> Report {
             &mut t3,
             &PipelineConfig {
                 total_stages: bundle.world.stages,
+                parallel: ParallelConfig::auto(),
                 ..Default::default()
             },
         )
         .expect("pipeline");
+        let elapsed_s = started.elapsed().as_secs_f64();
 
         let regret = bf.winner_test - two_phase.selection.winner_test;
         table.row(vec![
@@ -81,6 +98,8 @@ pub fn scaling() -> Report {
             speedup(bf.ledger.total() / two_phase.ledger.total()),
             speedup(sh.ledger.total() / two_phase.ledger.total()),
             format!("{regret:+.3}"),
+            threads.to_string(),
+            format!("{elapsed_s:.2}"),
         ]);
         rows.push(ScalingRow {
             n_models: n,
@@ -90,6 +109,8 @@ pub fn scaling() -> Report {
             speedup_vs_bf: bf.ledger.total() / two_phase.ledger.total(),
             speedup_vs_sh: sh.ledger.total() / two_phase.ledger.total(),
             accuracy_regret: regret,
+            threads,
+            elapsed_s,
         });
     }
     Report::new(

@@ -26,7 +26,7 @@ use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
 use tps_zoo::World;
 
 /// The master seed every experiment uses unless it sweeps seeds itself.
-pub const SEED: u64 = 42;
+pub const SEED: u64 = 19;
 
 /// A world plus all its offline artifacts — what most experiments start
 /// from.
@@ -42,11 +42,25 @@ pub struct WorldBundle {
 impl WorldBundle {
     /// Build a bundle from a world with the default offline configuration.
     pub fn from_world(world: World) -> Self {
+        Self::from_world_par(world, tps_core::parallel::ParallelConfig::serial())
+    }
+
+    /// Like [`WorldBundle::from_world`], but running the world generation
+    /// and offline build through the parallel layer. Bit-identical to the
+    /// serial path for any thread count.
+    pub fn from_world_par(world: World, parallel: tps_core::parallel::ParallelConfig) -> Self {
         let (matrix, curves) = world
-            .build_offline()
+            .build_offline_par(parallel.resolve())
             .expect("preset worlds build valid offline artifacts");
-        let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default())
-            .expect("offline artifacts build from a consistent matrix/curve pair");
+        let artifacts = OfflineArtifacts::build(
+            matrix,
+            &curves,
+            &OfflineConfig {
+                parallel,
+                ..Default::default()
+            },
+        )
+        .expect("offline artifacts build from a consistent matrix/curve pair");
         Self {
             world,
             curves,

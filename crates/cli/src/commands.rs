@@ -6,13 +6,14 @@ use crate::args::{ArgError, ParsedArgs};
 use std::fmt::Write as _;
 use std::path::Path;
 use tps_core::ids::ModelId;
+use tps_core::parallel::ParallelConfig;
 use tps_core::pipeline::{
     two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig,
 };
 use tps_core::recall::RecallConfig;
-use tps_core::select::brute::brute_force;
+use tps_core::select::brute::brute_force_par;
 use tps_core::select::fine::FineSelectionConfig;
-use tps_core::select::halving::successive_halving;
+use tps_core::select::halving::successive_halving_par;
 use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
 
 /// Top-level CLI error: argument problems, IO, or framework errors.
@@ -81,11 +82,16 @@ commands:
   world    generate a synthetic world        --domain nlp|cv|synthetic [--seed N]
                                              [--models N --benchmarks N] --out FILE
   offline  build offline artifacts           --world FILE --out FILE [--top-k-sim N]
-                                             [--threshold F]
+                                             [--threshold F] [--threads N]
   inspect  summarise offline artifacts       --artifacts FILE
   select   two-phase selection for a target  --world FILE --artifacts FILE
                                              --target NAME [--top-k N] [--threshold F]
+                                             [--threads N]
   compare  BF vs SH vs 2PH on one target     --world FILE --artifacts FILE --target NAME
+                                             [--threads N]
+
+`--threads 0` resolves the worker count from $TPS_THREADS or the machine's
+available parallelism; results are identical for any thread count.
   grow     add a model incrementally         --world FILE --artifacts FILE --name NAME
                                              [--like MODEL] [--capability F] [--seed N]
   archive  persist world+artifacts durably   --store DIR --name TAG --world FILE
@@ -148,6 +154,16 @@ fn cmd_world(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
+/// Parse `--threads N` into a [`ParallelConfig`] (default: serial; `0`
+/// resolves from `TPS_THREADS` / available parallelism).
+fn parallel_config(args: &ParsedArgs) -> Result<ParallelConfig, CliError> {
+    Ok(ParallelConfig::with_threads(args.get_parse(
+        "threads",
+        1usize,
+        "integer",
+    )?))
+}
+
 fn offline_config(args: &ParsedArgs) -> Result<OfflineConfig, CliError> {
     let mut config = OfflineConfig::default();
     config.similarity_top_k = args.get_parse("top-k-sim", config.similarity_top_k, "integer")?;
@@ -157,11 +173,12 @@ fn offline_config(args: &ParsedArgs) -> Result<OfflineConfig, CliError> {
         ))?;
         config.cluster = tps_core::pipeline::ClusterMethod::HierarchicalThreshold(t);
     }
+    config.parallel = parallel_config(args)?;
     Ok(config)
 }
 
 fn cmd_offline(args: &ParsedArgs) -> Result<String, CliError> {
-    args.restrict(&["world", "out", "top-k-sim", "threshold"])?;
+    args.restrict(&["world", "out", "top-k-sim", "threshold", "threads"])?;
     let world: World = read_json(args.require("world")?)?;
     let out = args.require("out")?;
     let config = offline_config(args)?;
@@ -232,7 +249,9 @@ fn target_index(world: &World, name: &str) -> Result<usize, CliError> {
 }
 
 fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
-    args.restrict(&["world", "artifacts", "target", "top-k", "threshold", "stages"])?;
+    args.restrict(&[
+        "world", "artifacts", "target", "top-k", "threshold", "stages", "threads",
+    ])?;
     let world: World = read_json(args.require("world")?)?;
     let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
     let target = target_index(&world, args.require("target")?)?;
@@ -245,6 +264,7 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
             threshold: args.get_parse("threshold", 0.0f64, "number")?,
         },
         total_stages: args.get_parse("stages", world.stages, "integer")?,
+        parallel: parallel_config(args)?,
     };
     let oracle = ZooOracle::new(&world, target)?;
     let mut trainer = ZooTrainer::new(&world, target)?;
@@ -274,16 +294,18 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
-    args.restrict(&["world", "artifacts", "target"])?;
+    args.restrict(&["world", "artifacts", "target", "threads"])?;
     let world: World = read_json(args.require("world")?)?;
     let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
     let target = target_index(&world, args.require("target")?)?;
+    let parallel = parallel_config(args)?;
+    let threads = parallel.resolve();
     let everyone: Vec<ModelId> = artifacts.matrix.model_ids().collect();
 
     let mut t1 = ZooTrainer::new(&world, target)?;
-    let bf = brute_force(&mut t1, &everyone, world.stages)?;
+    let bf = brute_force_par(&mut t1, &everyone, world.stages, threads)?;
     let mut t2 = ZooTrainer::new(&world, target)?;
-    let sh = successive_halving(&mut t2, &everyone, world.stages)?;
+    let sh = successive_halving_par(&mut t2, &everyone, world.stages, threads)?;
     let oracle = ZooOracle::new(&world, target)?;
     let mut t3 = ZooTrainer::new(&world, target)?;
     let two_phase = two_phase_select(
@@ -292,6 +314,7 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
         &mut t3,
         &PipelineConfig {
             total_stages: world.stages,
+            parallel,
             ..Default::default()
         },
     )?;

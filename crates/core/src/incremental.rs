@@ -266,6 +266,7 @@ mod tests {
                 max_iter: 32,
             },
             trend_stages: 3,
+            parallel: Default::default(),
         };
         (
             OfflineArtifacts::build(matrix, &curves, &config).unwrap(),

@@ -55,6 +55,7 @@ pub mod error;
 pub mod ids;
 pub mod incremental;
 pub mod matrix;
+pub mod parallel;
 pub mod pipeline;
 pub mod proxy;
 pub mod recall;
@@ -73,16 +74,17 @@ pub mod prelude {
     pub use crate::error::{Result, SelectionError};
     pub use crate::ids::{DatasetId, ModelId};
     pub use crate::matrix::PerformanceMatrix;
+    pub use crate::parallel::ParallelConfig;
     pub use crate::pipeline::{
         two_phase_select, ClusterMethod, OfflineArtifacts, OfflineConfig, PipelineConfig,
         PipelineOutcome,
     };
     pub use crate::proxy::{leep::leep, PredictionMatrix};
-    pub use crate::recall::{coarse_recall, RecallConfig, RecallOutcome};
+    pub use crate::recall::{coarse_recall, coarse_recall_par, RecallConfig, RecallOutcome};
     pub use crate::select::{
-        brute::brute_force,
-        fine::{fine_selection, FineSelectionConfig},
-        halving::successive_halving,
+        brute::{brute_force, brute_force_par},
+        fine::{fine_selection, fine_selection_par, FineSelectionConfig},
+        halving::{successive_halving, successive_halving_par},
         SelectionOutcome,
     };
     pub use crate::similarity::SimilarityMatrix;

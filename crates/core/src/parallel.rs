@@ -1,0 +1,336 @@
+//! Deterministic scoped-thread execution helpers.
+//!
+//! Every hot loop in the framework that fans out over models — pairwise
+//! similarity, per-model trend mining, per-representative proxy scoring,
+//! per-survivor fine-tune stages — is shaped the same way: a pure or
+//! independently-seeded function applied to each index of a slice, with
+//! results gathered back **in index order**. This module packages that
+//! shape once so every call site inherits the same guarantees:
+//!
+//! * **Bit-identical to serial.** Work is split into contiguous index
+//!   chunks, each worker walks its chunk in order, and chunks are joined
+//!   in order. No atomics, no work stealing, no reduction reordering.
+//! * **Deterministic errors.** A fallible map returns the error the
+//!   serial loop would have returned: workers stop at their first error
+//!   and the gather keeps the error from the earliest chunk.
+//! * **Deterministic seeds.** [`split_seed`] derives independent child
+//!   seeds from a root seed and an index via a SplitMix64 mix, so
+//!   stochastic per-item work does not depend on thread interleaving.
+//!
+//! Thread count comes from [`ParallelConfig`]: an explicit count wins,
+//! else the `TPS_THREADS` environment variable, else
+//! [`std::thread::available_parallelism`]. A resolved count of 1 runs
+//! the plain serial loop on the calling thread — no threads are spawned.
+
+use std::panic::resume_unwind;
+
+/// How many worker threads the parallel paths may use.
+///
+/// The default is serial (`threads: 1`), so parallelism is strictly
+/// opt-in. `threads: 0` means "auto": defer to the `TPS_THREADS`
+/// environment variable if set, otherwise use the machine's available
+/// parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ParallelConfig {
+    /// Worker thread count; `0` resolves from the environment.
+    pub threads: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::serial()
+    }
+}
+
+impl ParallelConfig {
+    /// Run everything on the calling thread.
+    pub fn serial() -> Self {
+        ParallelConfig { threads: 1 }
+    }
+
+    /// Resolve the thread count from `TPS_THREADS` or the machine.
+    pub fn auto() -> Self {
+        ParallelConfig { threads: 0 }
+    }
+
+    /// Use exactly `n` worker threads (`0` behaves like [`Self::auto`]).
+    pub fn with_threads(n: usize) -> Self {
+        ParallelConfig { threads: n }
+    }
+
+    /// The concrete thread count to use: explicit > `TPS_THREADS` >
+    /// available parallelism. Always at least 1.
+    pub fn resolve(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(v) = std::env::var("TPS_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Derive a child seed from a root seed and an item index.
+///
+/// SplitMix64 finalizer over `seed ⊕ index·γ` (γ the golden-ratio
+/// increment). Any two distinct `(seed, index)` pairs land in different
+/// streams, and the result is independent of how items are assigned to
+/// threads — parallel and serial runs see identical child seeds.
+pub fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// All unordered index pairs `(i, j)` with `i < j < n`, in the
+/// lexicographic order a serial double loop visits them.
+pub fn pair_indices(n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+/// Apply `f(index, &item)` to every item, gathering results in index
+/// order. With `threads <= 1` (or fewer than two items) this is the
+/// plain serial loop; otherwise items are split into contiguous chunks
+/// across scoped worker threads.
+///
+/// On error, the returned error is exactly the one the serial loop
+/// would produce: each worker stops at its first failure and the
+/// earliest chunk's failure wins.
+pub fn try_map_indexed<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            out.push(f(i, item)?);
+        }
+        return Ok(out);
+    }
+
+    let chunk_size = items.len().div_ceil(threads);
+    let results = crossbeam::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let base = c * chunk_size;
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for (off, item) in chunk.iter().enumerate() {
+                        match f(base + off, item) {
+                            Ok(r) => out.push(r),
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect::<Vec<_>>()
+    })
+    .unwrap_or_else(|payload| resume_unwind(payload));
+
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in results {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+/// Infallible variant of [`try_map_indexed`].
+pub fn map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match try_map_indexed(items, threads, |i, t| Ok::<R, Never>(f(i, t))) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Apply `f(index, &mut item)` to every item in place. Chunking,
+/// ordering, and error semantics match [`try_map_indexed`].
+pub fn try_for_each_mut<T, E, F>(items: &mut [T], threads: usize, f: F) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, &mut T) -> Result<(), E> + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item)?;
+        }
+        return Ok(());
+    }
+
+    let chunk_size = items.len().div_ceil(threads);
+    let results = crossbeam::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let base = c * chunk_size;
+                s.spawn(move || {
+                    for (off, item) in chunk.iter_mut().enumerate() {
+                        f(base + off, item)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect::<Vec<Result<(), E>>>()
+    })
+    .unwrap_or_else(|payload| resume_unwind(payload));
+
+    for r in results {
+        r?;
+    }
+    Ok(())
+}
+
+/// Infallible variant of [`try_for_each_mut`].
+pub fn for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    match try_for_each_mut(items, threads, |i, t| {
+        f(i, t);
+        Ok::<(), Never>(())
+    }) {
+        Ok(()) => (),
+        Err(e) => match e {},
+    }
+}
+
+/// Local uninhabited error type for the infallible wrappers
+/// (`std::convert::Infallible` under a name that reads better here).
+enum Never {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial() {
+        assert_eq!(ParallelConfig::default(), ParallelConfig::serial());
+        assert_eq!(ParallelConfig::serial().resolve(), 1);
+    }
+
+    #[test]
+    fn explicit_threads_win() {
+        assert_eq!(ParallelConfig::with_threads(3).resolve(), 3);
+    }
+
+    #[test]
+    fn env_override_feeds_auto() {
+        std::env::set_var("TPS_THREADS", "5");
+        assert_eq!(ParallelConfig::auto().resolve(), 5);
+        std::env::set_var("TPS_THREADS", "not-a-number");
+        assert!(ParallelConfig::auto().resolve() >= 1);
+        std::env::remove_var("TPS_THREADS");
+        assert!(ParallelConfig::auto().resolve() >= 1);
+    }
+
+    #[test]
+    fn split_seed_is_deterministic_and_spread() {
+        let a = split_seed(42, 0);
+        let b = split_seed(42, 1);
+        let c = split_seed(43, 0);
+        assert_eq!(a, split_seed(42, 0));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pair_indices_match_double_loop() {
+        assert_eq!(pair_indices(0), vec![]);
+        assert_eq!(pair_indices(1), vec![]);
+        assert_eq!(
+            pair_indices(4),
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        );
+    }
+
+    #[test]
+    fn parallel_map_matches_serial() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = map_indexed(&items, 1, |i, x| split_seed(*x, i as u64));
+        for threads in [2, 3, 4, 8, 200] {
+            let par = map_indexed(&items, threads, |i, x| split_seed(*x, i as u64));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn first_error_matches_serial() {
+        let items: Vec<usize> = (0..50).collect();
+        let fail_at = |i: usize, x: &usize| -> Result<usize, String> {
+            if *x % 7 == 3 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(i + x)
+            }
+        };
+        let serial = try_map_indexed(&items, 1, fail_at);
+        for threads in [2, 4, 16] {
+            assert_eq!(try_map_indexed(&items, threads, fail_at), serial);
+        }
+        assert_eq!(serial.unwrap_err(), "bad 3");
+    }
+
+    #[test]
+    fn for_each_mut_matches_serial() {
+        let init: Vec<u64> = (0..33).collect();
+        let mut serial = init.clone();
+        for_each_mut(&mut serial, 1, |i, x| *x = split_seed(*x, i as u64));
+        for threads in [2, 4, 40] {
+            let mut par = init.clone();
+            for_each_mut(&mut par, threads, |i, x| *x = split_seed(*x, i as u64));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert_eq!(map_indexed(&empty, 8, |_, x| *x), Vec::<u8>::new());
+        assert_eq!(map_indexed(&[9u8], 8, |i, x| (i, *x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn config_round_trips_serde() {
+        let cfg = ParallelConfig::with_threads(4);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ParallelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -18,9 +18,10 @@ use crate::cluster::Clustering;
 use crate::curve::CurveSet;
 use crate::error::{Result, SelectionError};
 use crate::matrix::PerformanceMatrix;
+use crate::parallel::ParallelConfig;
 use crate::proxy::leep::leep;
-use crate::recall::{coarse_recall, RecallConfig, RecallOutcome};
-use crate::select::fine::{fine_selection, FineSelectionConfig};
+use crate::recall::{coarse_recall_par, RecallConfig, RecallOutcome};
+use crate::select::fine::{fine_selection_par, FineSelectionConfig};
 use crate::select::SelectionOutcome;
 use crate::similarity::SimilarityMatrix;
 use crate::traits::{ProxyOracle, TargetTrainer};
@@ -66,6 +67,9 @@ pub struct OfflineConfig {
     pub trend: TrendConfig,
     /// Stages to mine trends for (clamped to the recorded curves).
     pub trend_stages: usize,
+    /// Worker threads for the pairwise-similarity and trend-mining loops
+    /// (serial by default; results are identical for any thread count).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for OfflineConfig {
@@ -75,6 +79,7 @@ impl Default for OfflineConfig {
             cluster: ClusterMethod::HierarchicalThreshold(0.05),
             trend: TrendConfig::default(),
             trend_stages: 8,
+            parallel: ParallelConfig::serial(),
         }
     }
 }
@@ -106,9 +111,11 @@ impl OfflineArtifacts {
                 got: curves.n_models() * curves.n_datasets(),
             });
         }
-        let similarity = SimilarityMatrix::from_performance(&matrix, config.similarity_top_k)?;
+        let threads = config.parallel.resolve();
+        let similarity =
+            SimilarityMatrix::from_performance_par(&matrix, config.similarity_top_k, threads)?;
         let clustering = cluster_models(&matrix, &similarity, config.cluster)?;
-        let trends = TrendBook::mine(curves, config.trend_stages, &config.trend)?;
+        let trends = TrendBook::mine_par(curves, config.trend_stages, &config.trend, threads)?;
         Ok(Self {
             matrix,
             similarity,
@@ -160,6 +167,9 @@ pub struct PipelineConfig {
     pub fine: FineSelectionConfig,
     /// Total fine-tuning stages `T` (5 for NLP, 4 for CV in the paper).
     pub total_stages: usize,
+    /// Worker threads for proxy scoring and per-stage training fan-out
+    /// (serial by default; results are identical for any thread count).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for PipelineConfig {
@@ -168,6 +178,7 @@ impl Default for PipelineConfig {
             recall: RecallConfig::default(),
             fine: FineSelectionConfig::default(),
             total_stages: 5,
+            parallel: ParallelConfig::serial(),
         }
     }
 }
@@ -190,15 +201,17 @@ pub struct PipelineOutcome {
 /// the target dataset.
 pub fn two_phase_select(
     artifacts: &OfflineArtifacts,
-    oracle: &dyn ProxyOracle,
+    oracle: &(dyn ProxyOracle + Sync),
     trainer: &mut dyn TargetTrainer,
     config: &PipelineConfig,
 ) -> Result<PipelineOutcome> {
-    let recall = coarse_recall(
+    let threads = config.parallel.resolve();
+    let recall = coarse_recall_par(
         &artifacts.matrix,
         &artifacts.clustering,
         &artifacts.similarity,
         &config.recall,
+        threads,
         |rep| {
             let predictions = oracle.predictions(rep)?;
             leep(
@@ -208,12 +221,13 @@ pub fn two_phase_select(
             )
         },
     )?;
-    let selection = fine_selection(
+    let selection = fine_selection_par(
         trainer,
         &recall.recalled,
         config.total_stages,
         &artifacts.trends,
         &config.fine,
+        threads,
     )?;
     let mut ledger = EpochLedger::new();
     ledger.charge_proxy(recall.proxy_epochs);

@@ -78,6 +78,45 @@ pub fn coarse_recall(
     config: &RecallConfig,
     mut proxy_for: impl FnMut(ModelId) -> Result<f64>,
 ) -> Result<RecallOutcome> {
+    let (representatives, scored_clusters) = prepare_recall(matrix, clustering, similarity, config)?;
+    let mut raw = Vec::with_capacity(scored_clusters.len());
+    for &c in &scored_clusters {
+        raw.push(proxy_for(representatives[c])?);
+    }
+    finish_recall(matrix, clustering, similarity, config, representatives, scored_clusters, raw)
+}
+
+/// Parallel [`coarse_recall`]: the per-representative proxy scores are
+/// computed across `threads` workers. Everything downstream of the raw
+/// scores (normalisation, Eq. 3/4, ranking) is unchanged serial code, so
+/// the outcome is bit-identical to the serial call — including which error
+/// is reported when several representatives fail.
+///
+/// The proxy closure must be `Fn + Sync` here (the serial entry point keeps
+/// accepting stateful `FnMut` closures).
+pub fn coarse_recall_par(
+    matrix: &PerformanceMatrix,
+    clustering: &Clustering,
+    similarity: &SimilarityMatrix,
+    config: &RecallConfig,
+    threads: usize,
+    proxy_for: impl Fn(ModelId) -> Result<f64> + Sync,
+) -> Result<RecallOutcome> {
+    let (representatives, scored_clusters) = prepare_recall(matrix, clustering, similarity, config)?;
+    let raw = crate::parallel::try_map_indexed(&scored_clusters, threads, |_, &c| {
+        proxy_for(representatives[c])
+    })?;
+    finish_recall(matrix, clustering, similarity, config, representatives, scored_clusters, raw)
+}
+
+/// Shared validation + representative/cluster bookkeeping for both recall
+/// entry points.
+fn prepare_recall(
+    matrix: &PerformanceMatrix,
+    clustering: &Clustering,
+    similarity: &SimilarityMatrix,
+    config: &RecallConfig,
+) -> Result<(Vec<ModelId>, Vec<usize>)> {
     let n = matrix.n_models();
     if clustering.n_models() != n {
         return Err(SelectionError::DimensionMismatch {
@@ -108,10 +147,20 @@ pub fn coarse_recall(
     } else {
         non_singleton
     };
-    let mut raw = Vec::with_capacity(scored_clusters.len());
-    for &c in &scored_clusters {
-        raw.push(proxy_for(representatives[c])?);
-    }
+    Ok((representatives, scored_clusters))
+}
+
+/// Turn raw representative proxy scores into the final [`RecallOutcome`].
+fn finish_recall(
+    matrix: &PerformanceMatrix,
+    clustering: &Clustering,
+    similarity: &SimilarityMatrix,
+    config: &RecallConfig,
+    representatives: Vec<ModelId>,
+    scored_clusters: Vec<usize>,
+    raw: Vec<f64>,
+) -> Result<RecallOutcome> {
+    let n = matrix.n_models();
     let norm = normalize_scores(&raw);
     let mut cluster_proxy: Vec<Option<f64>> = vec![None; clustering.n_clusters()];
     for (&c, &p) in scored_clusters.iter().zip(&norm) {
@@ -321,6 +370,24 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, SelectionError::Empty("proxy"));
+    }
+
+    #[test]
+    fn parallel_recall_matches_serial() {
+        let (m, c, s) = fixture();
+        let proxy = |rep: ModelId| Ok(-0.1 * (rep.index() as f64 + 1.0));
+        let serial = coarse_recall(&m, &c, &s, &RecallConfig::default(), proxy).unwrap();
+        for threads in [1, 2, 4] {
+            let par =
+                coarse_recall_par(&m, &c, &s, &RecallConfig::default(), threads, proxy).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        // Errors are deterministic too.
+        let fail = |_| Err(SelectionError::Empty("proxy"));
+        assert_eq!(
+            coarse_recall_par(&m, &c, &s, &RecallConfig::default(), 4, fail).unwrap_err(),
+            coarse_recall(&m, &c, &s, &RecallConfig::default(), fail).unwrap_err(),
+        );
     }
 
     #[test]

@@ -14,6 +14,18 @@ pub fn brute_force(
     models: &[ModelId],
     total_stages: usize,
 ) -> Result<SelectionOutcome> {
+    brute_force_par(trainer, models, total_stages, 1)
+}
+
+/// [`brute_force`] with the per-stage training fan-out spread over
+/// `threads` workers (via [`TargetTrainer::advance_many`]). Deterministic:
+/// the outcome is identical to the serial run for any thread count.
+pub fn brute_force_par(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+    threads: usize,
+) -> Result<SelectionOutcome> {
     validate_pool(models, total_stages)?;
     let mut ledger = EpochLedger::new();
     let mut pool_history = Vec::with_capacity(total_stages);
@@ -21,7 +33,7 @@ pub fn brute_force(
     let mut last_vals = Vec::new();
     for _ in 0..total_stages {
         pool_history.push(models.to_vec());
-        last_vals = advance_pool(trainer, models, &mut ledger)?;
+        last_vals = advance_pool(trainer, models, &mut ledger, threads)?;
         val_history.push(last_vals.clone());
     }
     finish(trainer, &last_vals, ledger, pool_history, val_history, Vec::new())

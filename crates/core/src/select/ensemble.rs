@@ -63,7 +63,7 @@ pub fn fine_selection_ensemble(
 
     for t in 0..total_stages {
         pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger)?;
+        last_vals = advance_pool(trainer, &pool, &mut ledger, 1)?;
         if pool.len() > ensemble_size {
             let survivors = fine_filter(&last_vals, t, trends, config.threshold);
             // Halving cap, floored at the ensemble size.

@@ -47,6 +47,20 @@ pub fn fine_selection(
     trends: &TrendBook,
     config: &FineSelectionConfig,
 ) -> Result<SelectionOutcome> {
+    fine_selection_par(trainer, models, total_stages, trends, config, 1)
+}
+
+/// [`fine_selection`] with the per-stage training fan-out spread over
+/// `threads` workers (via [`TargetTrainer::advance_many`]). Deterministic:
+/// the outcome is identical to the serial run for any thread count.
+pub fn fine_selection_par(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+    trends: &TrendBook,
+    config: &FineSelectionConfig,
+    threads: usize,
+) -> Result<SelectionOutcome> {
     validate_pool(models, total_stages)?;
     if !(0.0..=1.0).contains(&config.threshold) || !config.threshold.is_finite() {
         return Err(SelectionError::InvalidValue {
@@ -70,7 +84,7 @@ pub fn fine_selection(
 
     for t in 0..total_stages {
         pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger)?;
+        last_vals = advance_pool(trainer, &pool, &mut ledger, threads)?;
         val_history.push(last_vals.clone());
         if pool.len() > 1 {
             // Fine-filter: drop models dominated in (validation, prediction).

@@ -21,6 +21,18 @@ pub fn successive_halving(
     models: &[ModelId],
     total_stages: usize,
 ) -> Result<SelectionOutcome> {
+    successive_halving_par(trainer, models, total_stages, 1)
+}
+
+/// [`successive_halving`] with the per-stage training fan-out spread over
+/// `threads` workers (via [`TargetTrainer::advance_many`]). Deterministic:
+/// the outcome is identical to the serial run for any thread count.
+pub fn successive_halving_par(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+    threads: usize,
+) -> Result<SelectionOutcome> {
     validate_pool(models, total_stages)?;
     let mut ledger = EpochLedger::new();
     let mut pool: Vec<ModelId> = models.to_vec();
@@ -31,7 +43,7 @@ pub fn successive_halving(
 
     for t in 0..total_stages {
         pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger)?;
+        last_vals = advance_pool(trainer, &pool, &mut ledger, threads)?;
         val_history.push(last_vals.clone());
         if pool.len() > 1 {
             let kept = top_by_val(&last_vals, pool.len() / 2);
@@ -74,7 +86,7 @@ pub fn successive_halving_eta(
 
     for t in 0..total_stages {
         pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger)?;
+        last_vals = advance_pool(trainer, &pool, &mut ledger, 1)?;
         val_history.push(last_vals.clone());
         if pool.len() > 1 {
             let keep = ((pool.len() as f64 / eta).ceil() as usize).clamp(1, pool.len() - 1);

@@ -89,19 +89,21 @@ pub(crate) fn validate_pool(models: &[ModelId], total_stages: usize) -> Result<(
 }
 
 /// Train every model in `pool` for one stage, recording validations and
-/// charging the ledger.
+/// charging the ledger. With `threads > 1` the per-model stage fan-out is
+/// delegated to [`TargetTrainer::advance_many`], which substrates override
+/// with a deterministic parallel implementation; the ledger is charged
+/// identically either way.
 pub(crate) fn advance_pool(
     trainer: &mut dyn TargetTrainer,
     pool: &[ModelId],
     ledger: &mut EpochLedger,
+    threads: usize,
 ) -> Result<Vec<(ModelId, f64)>> {
-    let mut vals = Vec::with_capacity(pool.len());
-    for &m in pool {
-        let v = trainer.advance(m)?;
+    let vals = trainer.advance_many(pool, threads)?;
+    for _ in pool {
         ledger.charge_training(trainer.epochs_per_stage());
-        vals.push((m, v));
     }
-    Ok(vals)
+    Ok(pool.iter().copied().zip(vals).collect())
 }
 
 /// Final bookkeeping shared by every selector: the winner is the pool's best

@@ -15,7 +15,10 @@
 use crate::error::{Result, SelectionError};
 use crate::ids::ModelId;
 use crate::matrix::PerformanceMatrix;
+use crate::parallel::{pair_indices, try_map_indexed};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Performance-based model similarity, Eq. 1:
 /// `sim(m1, m2) = 1 − avg(top_k |vec(m1) − vec(m2)|)`.
@@ -60,25 +63,51 @@ pub fn performance_similarity(v1: &[f64], v2: &[f64], k: usize) -> Result<f64> {
 }
 
 /// A symmetric `|M| × |M|` model-similarity matrix with unit diagonal.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimilarityMatrix {
     n: usize,
     /// Row-major dense storage (kept dense: |M| is small, and the clustering
     /// algorithms index it randomly).
     sim: Vec<f64>,
+    /// Lazily-computed distance view (`1 − sim`), shared by all callers;
+    /// clustering asks for the distance matrix several times per build.
+    dist_cache: Mutex<Option<Arc<Vec<f64>>>>,
 }
 
 impl SimilarityMatrix {
+    fn from_parts(n: usize, sim: Vec<f64>) -> Self {
+        Self {
+            n,
+            sim,
+            dist_cache: Mutex::new(None),
+        }
+    }
+
     /// Compute the Eq. 1 similarity matrix from a performance matrix.
     pub fn from_performance(matrix: &PerformanceMatrix, top_k: usize) -> Result<Self> {
         let vecs = matrix.model_vectors();
         Self::from_vectors_with(&vecs, |a, b| performance_similarity(a, b, top_k))
     }
 
+    /// Parallel [`Self::from_performance`]: the `O(|M|²)` pairwise loop is
+    /// split across `threads` workers. Bit-identical to the serial result.
+    pub fn from_performance_par(
+        matrix: &PerformanceMatrix,
+        top_k: usize,
+        threads: usize,
+    ) -> Result<Self> {
+        let vecs = matrix.model_vectors();
+        Self::from_vectors_with_par(&vecs, threads, |a, b| performance_similarity(a, b, top_k))
+    }
+
     /// Compute a similarity matrix from arbitrary model vectors via cosine —
     /// used for the text-based similarity of Table I.
     pub fn from_vectors_cosine(vecs: &[Vec<f64>]) -> Result<Self> {
         Self::from_vectors_with(vecs, |a, b| Ok(cosine_similarity(a, b)))
+    }
+
+    /// Parallel [`Self::from_vectors_cosine`]. Bit-identical to serial.
+    pub fn from_vectors_cosine_par(vecs: &[Vec<f64>], threads: usize) -> Result<Self> {
+        Self::from_vectors_with_par(vecs, threads, |a, b| Ok(cosine_similarity(a, b)))
     }
 
     fn from_vectors_with(
@@ -98,7 +127,32 @@ impl SimilarityMatrix {
                 sim[j * n + i] = s;
             }
         }
-        Ok(Self { n, sim })
+        Ok(Self::from_parts(n, sim))
+    }
+
+    fn from_vectors_with_par(
+        vecs: &[Vec<f64>],
+        threads: usize,
+        f: impl Fn(&[f64], &[f64]) -> Result<f64> + Sync,
+    ) -> Result<Self> {
+        if vecs.is_empty() {
+            return Err(SelectionError::Empty("model vectors"));
+        }
+        let n = vecs.len();
+        // The pair list is enumerated in the exact order the serial double
+        // loop visits it, so chunked workers also report the serial run's
+        // first error.
+        let pairs = pair_indices(n);
+        let vals = try_map_indexed(&pairs, threads, |_, &(i, j)| f(&vecs[i], &vecs[j]))?;
+        let mut sim = vec![0.0; n * n];
+        for i in 0..n {
+            sim[i * n + i] = 1.0;
+        }
+        for (&(i, j), s) in pairs.iter().zip(vals) {
+            sim[i * n + j] = s;
+            sim[j * n + i] = s;
+        }
+        Ok(Self::from_parts(n, sim))
     }
 
     /// Number of models.
@@ -130,8 +184,68 @@ impl SimilarityMatrix {
     }
 
     /// The full distance matrix, row-major — input to clustering/silhouette.
-    pub fn distance_matrix(&self) -> Vec<f64> {
-        self.sim.iter().map(|s| (1.0 - s).max(0.0)).collect()
+    ///
+    /// Computed once and cached; subsequent calls (clustering reads it
+    /// several times per offline build) hand back the same shared buffer.
+    pub fn distance_matrix(&self) -> Arc<Vec<f64>> {
+        let mut cache = self.dist_cache.lock();
+        if let Some(d) = cache.as_ref() {
+            return Arc::clone(d);
+        }
+        let d: Arc<Vec<f64>> =
+            Arc::new(self.sim.iter().map(|s| (1.0 - s).max(0.0)).collect());
+        *cache = Some(Arc::clone(&d));
+        d
+    }
+}
+
+// The distance cache is derived state: equality, cloning, debug output, and
+// the serialized form all ignore it (and the serde shim's derive has no
+// `skip`, hence the manual impls — kept in lockstep with the derived
+// `{"n": ..., "sim": ...}` object layout).
+
+impl std::fmt::Debug for SimilarityMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimilarityMatrix")
+            .field("n", &self.n)
+            .field("sim", &self.sim)
+            .finish()
+    }
+}
+
+impl Clone for SimilarityMatrix {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            sim: self.sim.clone(),
+            // Share the already-computed view instead of recomputing it.
+            dist_cache: Mutex::new(self.dist_cache.lock().clone()),
+        }
+    }
+}
+
+impl PartialEq for SimilarityMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.sim == other.sim
+    }
+}
+
+impl Serialize for SimilarityMatrix {
+    fn serialize_value(&self) -> serde::value::Value {
+        let mut m = serde::value::Map::new();
+        m.insert("n".into(), self.n.serialize_value());
+        m.insert("sim".into(), self.sim.serialize_value());
+        serde::value::Value::Object(m)
+    }
+}
+
+impl Deserialize for SimilarityMatrix {
+    fn deserialize_value(v: &serde::value::Value) -> std::result::Result<Self, serde::Error> {
+        let m = serde::__private::expect_object(v, "SimilarityMatrix")?;
+        Ok(Self::from_parts(
+            serde::__private::field(m, "n")?,
+            serde::__private::field(m, "sim")?,
+        ))
     }
 }
 
@@ -252,6 +366,48 @@ mod tests {
         let d = s.distance(ModelId(0), ModelId(1));
         assert!((d - 0.5).abs() < 1e-12);
         assert_eq!(s.distance_matrix()[1], d);
+    }
+
+    #[test]
+    fn parallel_constructors_match_serial() {
+        let vecs: Vec<Vec<f64>> = (0..23)
+            .map(|i| (0..6).map(|j| ((i * 7 + j * 3) % 11) as f64 / 11.0).collect())
+            .collect();
+        let serial_perf = {
+            let m = PerformanceMatrix::new(
+                (0..6).map(|j| format!("m{j}")).collect(),
+                (0..23).map(|i| format!("d{i}")).collect(),
+                vecs.clone(),
+            )
+            .unwrap();
+            (
+                SimilarityMatrix::from_performance(&m, 3).unwrap(),
+                SimilarityMatrix::from_performance_par(&m, 3, 4).unwrap(),
+            )
+        };
+        assert_eq!(serial_perf.0, serial_perf.1);
+        let serial_cos = SimilarityMatrix::from_vectors_cosine(&vecs).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let par = SimilarityMatrix::from_vectors_cosine_par(&vecs, threads).unwrap();
+            assert_eq!(par, serial_cos, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn distance_matrix_is_cached_and_shared() {
+        let m = PerformanceMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec!["d0".into()],
+            vec![vec![0.9, 0.4]],
+        )
+        .unwrap();
+        let s = SimilarityMatrix::from_performance(&m, 1).unwrap();
+        let d1 = s.distance_matrix();
+        let d2 = s.distance_matrix();
+        assert!(std::sync::Arc::ptr_eq(&d1, &d2));
+        // Clones share the computed view rather than recomputing it.
+        let c = s.clone();
+        assert!(std::sync::Arc::ptr_eq(&d1, &c.distance_matrix()));
     }
 
     #[test]

@@ -31,6 +31,20 @@ pub trait TargetTrainer {
     fn epochs_per_stage(&self) -> f64 {
         1.0
     }
+
+    /// Train every model in `pool` for one more stage and return their
+    /// validation accuracies, in pool order.
+    ///
+    /// The default implementation is the serial loop and ignores `threads`;
+    /// substrates whose per-model training states are independent (both
+    /// bundled ones) override it to fan the pool out across `threads`
+    /// workers. Overrides must be **bit-identical** to the serial loop —
+    /// per-model results may not depend on thread interleaving — and must
+    /// report the error of the first (pool-order) failing model.
+    fn advance_many(&mut self, pool: &[ModelId], threads: usize) -> Result<Vec<f64>> {
+        let _ = threads;
+        pool.iter().map(|&m| self.advance(m)).collect()
+    }
 }
 
 /// Supplies a source model's feature embeddings of the target samples —

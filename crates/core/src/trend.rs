@@ -186,6 +186,22 @@ impl TrendBook {
         Ok(Self { per_model })
     }
 
+    /// Parallel [`Self::mine`]: models are mined independently across
+    /// `threads` workers. Mining is deterministic per model, so the result
+    /// is bit-identical to the serial build.
+    pub fn mine_par(
+        curves: &crate::curve::CurveSet,
+        n_stages: usize,
+        config: &TrendConfig,
+        threads: usize,
+    ) -> Result<Self> {
+        let indices: Vec<usize> = (0..curves.n_models()).collect();
+        let per_model = crate::parallel::try_map_indexed(&indices, threads, |_, &m| {
+            mine_trends(curves.model_curves(crate::ids::ModelId::from(m)), n_stages, config)
+        })?;
+        Ok(Self { per_model })
+    }
+
     /// Assemble from pre-mined per-model trends.
     pub fn from_parts(per_model: Vec<ConvergenceTrends>) -> Result<Self> {
         if per_model.is_empty() {

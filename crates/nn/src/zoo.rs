@@ -203,24 +203,35 @@ impl RealZoo {
     /// Really fine-tune every model on every benchmark and collect the
     /// performance matrix + learning curves (the offline phase).
     pub fn build_offline(&self) -> Result<(PerformanceMatrix, CurveSet)> {
+        self.build_offline_par(1)
+    }
+
+    /// [`Self::build_offline`] with the `|M| × |D|` fine-tuning runs spread
+    /// over `threads` workers. Every run seeds its own session from
+    /// `(zoo seed, model name, task name)`, so the artifacts are
+    /// bit-identical to the serial build.
+    pub fn build_offline_par(&self, threads: usize) -> Result<(PerformanceMatrix, CurveSet)> {
         let mut builder = PerformanceMatrix::builder(
             self.models.iter().map(|m| m.name.clone()).collect(),
             self.benchmarks.iter().map(|b| b.name.clone()).collect(),
         );
-        let mut curves = Vec::with_capacity(self.n_models() * self.benchmarks.len());
-        for (mi, model) in self.models.iter().enumerate() {
-            for (bi, bench) in self.benchmarks.iter().enumerate() {
-                let run = self.fine_tune_run(model, bench, self.config.stages);
-                builder.record(
-                    DatasetId::from(bi),
-                    ModelId::from(mi),
-                    *run.tests.last().expect("stages >= 1"),
-                )?;
-                curves.push(LearningCurve::new(
-                    run.vals.clone(),
-                    *run.tests.last().expect("stages >= 1"),
-                )?);
-            }
+        let pairs: Vec<(usize, usize)> = (0..self.n_models())
+            .flat_map(|mi| (0..self.benchmarks.len()).map(move |bi| (mi, bi)))
+            .collect();
+        let runs = tps_core::parallel::map_indexed(&pairs, threads, |_, &(mi, bi)| {
+            self.fine_tune_run(&self.models[mi], &self.benchmarks[bi], self.config.stages)
+        });
+        let mut curves = Vec::with_capacity(pairs.len());
+        for (&(mi, bi), run) in pairs.iter().zip(&runs) {
+            builder.record(
+                DatasetId::from(bi),
+                ModelId::from(mi),
+                *run.tests.last().expect("stages >= 1"),
+            )?;
+            curves.push(LearningCurve::new(
+                run.vals.clone(),
+                *run.tests.last().expect("stages >= 1"),
+            )?);
         }
         Ok((
             builder.build()?,
@@ -431,6 +442,69 @@ impl TargetTrainer for NnTrainer<'_> {
             .as_ref()
             .map_or(0, |s| s.stages)
     }
+
+    /// Parallel stage fan-out: each pooled model owns an independent
+    /// fine-tuning session (own network, optimiser state, RNG), so missing
+    /// sessions are started and one epoch is trained across `threads`
+    /// workers. Bit-identical to the serial loop.
+    fn advance_many(&mut self, pool: &[ModelId], threads: usize) -> Result<Vec<f64>> {
+        // Serial semantics first: the first invalid id (pool order) errors
+        // before any training; a pool with duplicates would advance one
+        // session several times in order, so it falls back to the serial
+        // loop rather than racing a shared session.
+        let mut seen = vec![false; self.zoo.n_models()];
+        let mut duplicated = false;
+        for &m in pool {
+            if m.index() >= self.zoo.n_models() {
+                return Err(SelectionError::UnknownId {
+                    what: "model",
+                    id: m.index(),
+                });
+            }
+            duplicated |= seen[m.index()];
+            seen[m.index()] = true;
+        }
+        if threads <= 1 || duplicated {
+            return pool.iter().map(|&m| self.advance(m)).collect();
+        }
+
+        let missing: Vec<ModelId> = pool
+            .iter()
+            .copied()
+            .filter(|m| self.sessions[m.index()].is_none())
+            .collect();
+        let zoo = self.zoo;
+        let target = self.target;
+        let started = tps_core::parallel::map_indexed(&missing, threads, |_, &m| {
+            FtSession::start(zoo, &zoo.models[m.index()], &zoo.targets[target])
+        });
+        for (&m, session) in missing.iter().zip(started) {
+            self.sessions[m.index()] = Some(FtSessionState {
+                session,
+                stages: 0,
+                last_val: 0.0,
+                last_test: 0.0,
+            });
+        }
+
+        // Take the pooled sessions out, train one epoch each in parallel,
+        // and put them back.
+        let mut states: Vec<FtSessionState> = pool
+            .iter()
+            .map(|&m| self.sessions[m.index()].take().expect("ensured above"))
+            .collect();
+        tps_core::parallel::for_each_mut(&mut states, threads, |_, st| {
+            let (val, test) = st.session.advance_epoch();
+            st.stages += 1;
+            st.last_val = val;
+            st.last_test = test;
+        });
+        let vals = states.iter().map(|st| st.last_val).collect();
+        for (&m, st) in pool.iter().zip(states) {
+            self.sessions[m.index()] = Some(st);
+        }
+        Ok(vals)
+    }
 }
 
 /// Real-prediction [`ProxyOracle`]: LEEP consumes the pre-trained model's
@@ -621,6 +695,37 @@ mod tests {
         let o = zoo.oracle(0).unwrap();
         assert!(o.predictions(ModelId(999)).is_err());
         assert!(o.features(ModelId(999)).is_err());
+    }
+
+    #[test]
+    fn parallel_offline_build_matches_serial() {
+        let zoo = small_zoo();
+        let (matrix, curves) = zoo.build_offline().unwrap();
+        let (m4, c4) = zoo.build_offline_par(4).unwrap();
+        assert_eq!(m4, matrix);
+        assert_eq!(c4, curves);
+    }
+
+    #[test]
+    fn advance_many_matches_serial_advance() {
+        let zoo = small_zoo();
+        let pool: Vec<ModelId> = (0..zoo.n_models()).map(ModelId::from).collect();
+        let mut serial = zoo.trainer(0).unwrap();
+        let mut expected = Vec::new();
+        for _ in 0..2 {
+            expected.push(pool.iter().map(|&m| serial.advance(m).unwrap()).collect::<Vec<_>>());
+        }
+        for threads in [1, 4] {
+            let mut par = zoo.trainer(0).unwrap();
+            for stage_vals in &expected {
+                assert_eq!(&par.advance_many(&pool, threads).unwrap(), stage_vals);
+            }
+        }
+        // Duplicate pools fall back to serial semantics.
+        let mut dup = zoo.trainer(0).unwrap();
+        let vals = dup.advance_many(&[ModelId(0), ModelId(0)], 4).unwrap();
+        assert_eq!(vals.len(), 2);
+        assert_eq!(dup.stages_trained(ModelId(0)), 2);
     }
 
     #[test]

@@ -88,6 +88,38 @@ impl TargetTrainer for ZooTrainer<'_> {
     fn stages_trained(&self, model: ModelId) -> usize {
         self.stages_trained[model.index()]
     }
+
+    /// Parallel stage fan-out: the expensive part of `advance` is lazily
+    /// materialising a model's transfer run, which is a pure function of
+    /// `(world, model, target)` — so missing runs are synthesised across
+    /// `threads` workers and the (cheap) stage bookkeeping stays serial.
+    /// Bit-identical to the serial loop.
+    fn advance_many(&mut self, pool: &[ModelId], threads: usize) -> Result<Vec<f64>> {
+        // Serial semantics: the first invalid model (in pool order) errors
+        // before any state changes for later models. Duplicates in `pool`
+        // are fine — the run is only materialised once.
+        let missing: Vec<ModelId> = {
+            let mut seen = vec![false; self.world.n_models()];
+            let mut missing = Vec::new();
+            for &m in pool {
+                self.check_model(m)?;
+                if self.runs[m.index()].is_none() && !seen[m.index()] {
+                    seen[m.index()] = true;
+                    missing.push(m);
+                }
+            }
+            missing
+        };
+        let world = self.world;
+        let target = self.target;
+        let runs = tps_core::parallel::map_indexed(&missing, threads, |_, &m| {
+            world.target_run(m, target)
+        });
+        for (&m, run) in missing.iter().zip(runs) {
+            self.runs[m.index()] = Some(run);
+        }
+        pool.iter().map(|&m| self.advance(m)).collect()
+    }
 }
 
 /// Prediction-matrix oracle for one target dataset.
@@ -178,6 +210,28 @@ mod tests {
         assert_eq!(v1, run.vals[0]);
         assert_eq!(v2, run.vals[1]);
         assert_eq!(t.test(m).unwrap(), run.tests[1]);
+    }
+
+    #[test]
+    fn advance_many_matches_serial_advance() {
+        let w = World::cv(5);
+        let pool: Vec<ModelId> = (0..w.n_models()).map(ModelId::from).collect();
+        let mut serial = ZooTrainer::new(&w, 0).unwrap();
+        let mut expected = Vec::new();
+        for _ in 0..3 {
+            expected.push(pool.iter().map(|&m| serial.advance(m).unwrap()).collect::<Vec<_>>());
+        }
+        for threads in [1, 2, 4] {
+            let mut par = ZooTrainer::new(&w, 0).unwrap();
+            for stage_vals in &expected {
+                assert_eq!(&par.advance_many(&pool, threads).unwrap(), stage_vals);
+            }
+            assert_eq!(par.stages_trained(pool[0]), 3);
+        }
+        // Invalid ids error without touching state, like the serial loop.
+        let mut t = ZooTrainer::new(&w, 0).unwrap();
+        assert!(t.advance_many(&[ModelId(0), ModelId(1000)], 4).is_err());
+        assert_eq!(t.stages_trained(ModelId(0)), 0);
     }
 
     #[test]

@@ -652,18 +652,30 @@ impl World {
     /// Simulate the **offline phase**: fine-tune every model on every
     /// benchmark dataset, yielding the performance matrix and curve set.
     pub fn build_offline(&self) -> Result<(PerformanceMatrix, CurveSet)> {
+        self.build_offline_par(1)
+    }
+
+    /// [`Self::build_offline`] with the `|M| × |D|` transfer-law runs spread
+    /// over `threads` workers. Each run is a pure function of
+    /// `(model, dataset)` (the law re-seeds per pair), so the artifacts are
+    /// bit-identical to the serial build.
+    pub fn build_offline_par(&self, threads: usize) -> Result<(PerformanceMatrix, CurveSet)> {
         let mut builder = PerformanceMatrix::builder(
             self.models.iter().map(|m| m.name.clone()).collect(),
             self.benchmarks.iter().map(|d| d.name.clone()).collect(),
         );
-        let mut curves: Vec<LearningCurve> =
-            Vec::with_capacity(self.n_models() * self.n_benchmarks());
-        for (mi, model) in self.models.iter().enumerate() {
-            for (di, dataset) in self.benchmarks.iter().enumerate() {
-                let run = self.law.run(model, dataset, self.stages, self.hyper, self.seed);
-                builder.record(DatasetId::from(di), ModelId::from(mi), run.final_test())?;
-                curves.push(run.to_curve());
-            }
+        let n_pairs = self.n_models() * self.n_benchmarks();
+        let pairs: Vec<(usize, usize)> = (0..self.n_models())
+            .flat_map(|mi| (0..self.n_benchmarks()).map(move |di| (mi, di)))
+            .collect();
+        let runs = tps_core::parallel::map_indexed(&pairs, threads, |_, &(mi, di)| {
+            self.law
+                .run(&self.models[mi], &self.benchmarks[di], self.stages, self.hyper, self.seed)
+        });
+        let mut curves: Vec<LearningCurve> = Vec::with_capacity(n_pairs);
+        for (&(mi, di), run) in pairs.iter().zip(&runs) {
+            builder.record(DatasetId::from(di), ModelId::from(mi), run.final_test())?;
+            curves.push(run.to_curve());
         }
         let matrix = builder.build()?;
         let curve_set = CurveSet::new(self.n_models(), self.n_benchmarks(), curves)?;
@@ -708,6 +720,17 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_offline_build_matches_serial() {
+        let w = World::cv(3);
+        let (matrix, curves) = w.build_offline().unwrap();
+        for threads in [2, 4, 7] {
+            let (m2, c2) = w.build_offline_par(threads).unwrap();
+            assert_eq!(m2, matrix, "threads={threads}");
+            assert_eq!(c2, curves, "threads={threads}");
+        }
+    }
 
     #[test]
     fn nlp_world_matches_paper_counts() {

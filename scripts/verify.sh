@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, test suite, strict lints.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,89 @@
+//! Property tests for the parallel execution layer: for arbitrary world
+//! seeds, the offline build and the online two-phase pipeline must be
+//! bit-identical between the serial path (threads = 1) and a multi-worker
+//! run (threads = 4) — same artifacts, same recall ranking, same winner,
+//! same `EpochLedger` totals.
+
+use proptest::prelude::*;
+use tps_core::parallel::ParallelConfig;
+use tps_core::pipeline::{two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig};
+use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
+
+fn small_world(seed: u64) -> World {
+    World::synthetic(&SyntheticConfig {
+        seed,
+        n_families: 3,
+        family_size: (2, 4),
+        n_singletons: 3,
+        n_benchmarks: 6,
+        n_targets: 1,
+        stages: 4,
+    })
+}
+
+fn offline_config(threads: usize) -> OfflineConfig {
+    OfflineConfig {
+        parallel: ParallelConfig::with_threads(threads),
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn offline_build_is_thread_count_invariant(seed in 0u64..10_000) {
+        let world = small_world(seed);
+        let (m1, c1) = world.build_offline_par(1).unwrap();
+        let (m4, c4) = world.build_offline_par(4).unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&m1).unwrap(),
+            serde_json::to_string(&m4).unwrap()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&c1).unwrap(),
+            serde_json::to_string(&c4).unwrap()
+        );
+
+        let a1 = OfflineArtifacts::build(m1, &c1, &offline_config(1)).unwrap();
+        let a4 = OfflineArtifacts::build(m4, &c4, &offline_config(4)).unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&a1).unwrap(),
+            serde_json::to_string(&a4).unwrap()
+        );
+    }
+
+    #[test]
+    fn two_phase_select_is_thread_count_invariant(seed in 0u64..10_000) {
+        let world = small_world(seed);
+        let (matrix, curves) = world.build_offline().unwrap();
+        let artifacts =
+            OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+        let oracle = ZooOracle::new(&world, 0).unwrap();
+
+        let run = |threads: usize| {
+            let mut trainer = ZooTrainer::new(&world, 0).unwrap();
+            two_phase_select(
+                &artifacts,
+                &oracle,
+                &mut trainer,
+                &PipelineConfig {
+                    total_stages: world.stages,
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+
+        // Full structural equality: recall ranking, recalled set, winner,
+        // pool history, and both ledgers.
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(&serial.recall.ranked, &parallel.recall.ranked);
+        prop_assert_eq!(&serial.recall.recalled, &parallel.recall.recalled);
+        prop_assert_eq!(serial.selection.winner, parallel.selection.winner);
+        prop_assert!((serial.ledger.total() - parallel.ledger.total()).abs() == 0.0);
+    }
+}

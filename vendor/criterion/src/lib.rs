@@ -1,0 +1,302 @@
+//! Offline, dependency-free subset of the Criterion benchmarking API.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros, `Criterion`,
+//! benchmark groups with `sample_size` / `throughput`, `bench_function` /
+//! `bench_with_input`, and `Bencher::iter`. Measurement is a pragmatic
+//! median-of-samples timer (auto-scaled iteration counts), not Criterion's
+//! statistical machinery. Every run prints per-benchmark medians and
+//! writes a JSON summary to `$CRITERION_SUMMARY` (default
+//! `target/criterion-summary.json`) so baselines can be committed.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Entry {
+    id: String,
+    median_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+static REGISTRY: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+
+/// Units processed per iteration, for derived rates in the summary.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only id (group name supplies the prefix).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as benchmark ids (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<(f64, usize, u64)>, // (median ns/iter, samples, iters/sample)
+}
+
+impl Bencher {
+    /// Measure `routine`, auto-scaling iteration counts so each sample
+    /// takes a measurable amount of time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + scale estimate.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let mut est = start.elapsed();
+        if est.is_zero() {
+            est = Duration::from_nanos(1);
+        }
+        // Aim for ~20ms per sample, capped to keep heavy benches bounded.
+        let target = Duration::from_millis(20);
+        let iters: u64 = (target.as_nanos() / est.as_nanos()).clamp(1, 100_000) as u64;
+        let samples = self.sample_size.clamp(5, 100);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        self.result = Some((median, samples, iters));
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Begin a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id.to_string(), 10, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Attach a throughput so the summary can derive rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (measurements are already recorded).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: String, sample_size: usize, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    if let Some((median, samples, iters)) = b.result {
+        println!("{id:<60} time: {}", fmt_ns(median));
+        REGISTRY.lock().unwrap().push(Entry {
+            id,
+            median_ns: median,
+            samples,
+            iters_per_sample: iters,
+            throughput: tp,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Write the JSON summary of all recorded measurements and clear the
+/// registry. Called by `criterion_main!`; callable directly in tests.
+pub fn write_summary() {
+    let entries = std::mem::take(&mut *REGISTRY.lock().unwrap());
+    if entries.is_empty() {
+        return;
+    }
+    let path = std::env::var("CRITERION_SUMMARY")
+        .unwrap_or_else(|_| "target/criterion-summary.json".to_string());
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let tp = match e.throughput {
+            Some(Throughput::Bytes(n)) => format!(",\"throughput_bytes\":{n}"),
+            Some(Throughput::Elements(n)) => format!(",\"throughput_elements\":{n}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "  {{\"id\":\"{}\",\"median_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{tp}}}",
+            json_escape(&e.id),
+            e.median_ns,
+            e.samples,
+            e.iters_per_sample
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write summary to {path}: {e}");
+    } else {
+        println!("criterion summary written to {path}");
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups and writing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::write_summary();
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>())
+        });
+        g.finish();
+        let entries = REGISTRY.lock().unwrap();
+        let e = entries.iter().find(|e| e.id == "shim/sum").expect("recorded");
+        assert!(e.median_ns > 0.0);
+    }
+}

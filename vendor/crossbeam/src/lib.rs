@@ -1,0 +1,65 @@
+//! Offline, dependency-free subset of the `crossbeam` API.
+//!
+//! Provides `crossbeam::thread::scope` — scoped threads that may borrow
+//! from the enclosing stack frame — implemented over `std::thread::scope`
+//! (stable since Rust 1.63). The result is wrapped in `crossbeam`'s
+//! `Result` shape; panics in spawned threads are propagated by the
+//! underlying std scope on join.
+
+pub mod thread {
+    //! Scoped thread spawning.
+
+    use std::any::Any;
+
+    /// Error type carried by a panicked scope, matching `crossbeam`.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// The scope handle passed to [`scope`]'s closure. Spawn borrowing
+    /// threads through it; all are joined before `scope` returns.
+    pub use std::thread::Scope;
+    /// Join handle for a scoped thread.
+    pub use std::thread::ScopedJoinHandle;
+
+    /// Create a scope for spawning threads that borrow from the caller.
+    ///
+    /// Unlike upstream crossbeam, spawn closures take no `&Scope`
+    /// argument — use the scope handle given to the outer closure:
+    ///
+    /// ```
+    /// let data = vec![1, 2, 3];
+    /// let sum: i32 = crossbeam::thread::scope(|s| {
+    ///     let handles: Vec<_> = data
+    ///         .chunks(2)
+    ///         .map(|c| s.spawn(move || c.iter().sum::<i32>()))
+    ///         .collect();
+    ///     handles.into_iter().map(|h| h.join().unwrap()).sum()
+    /// })
+    /// .unwrap();
+    /// assert_eq!(sum, 6);
+    /// ```
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope itself resumes unwinding if a spawned thread
+        // panicked and was not joined, so reaching here means success.
+        Ok(std::thread::scope(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(30)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, (0..100).sum::<u64>());
+    }
+}

@@ -1,0 +1,43 @@
+//! Test-runner plumbing: configuration, case RNG derivation, case errors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration. Only `cases` is honoured by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure (fails the test).
+    Fail(String),
+    /// Rejected by `prop_assume!` (case is skipped).
+    Reject(String),
+}
+
+/// Deterministic RNG for one case. The base seed is fixed (override with
+/// the `PROPTEST_SEED` env var) so failures reproduce across runs.
+pub fn case_rng(case: u32) -> StdRng {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x7073_7465_7374_2131); // "pstest!1"
+    StdRng::seed_from_u64(base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1)))
+}

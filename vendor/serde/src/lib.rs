@@ -1,0 +1,496 @@
+//! Offline, dependency-free subset of the `serde` API.
+//!
+//! This workspace builds without crates.io access, so `serde` is replaced
+//! by this vendored shim. It keeps serde's public surface (`Serialize`,
+//! `Deserialize`, `de::DeserializeOwned`, the `#[derive(..)]` macros) but
+//! simplifies the data model: serialization always goes through an owned
+//! [`Value`] tree (the same tree `serde_json` exposes), rather than
+//! serde's zero-copy visitor machinery. That is ample for this workspace,
+//! whose only wire format is JSON.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// (De)serialization error: a message plus optional field/element context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Create an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.msg)
+    }
+}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into an owned value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `Self` out of a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialization traits, mirroring `serde::de`.
+
+    pub use crate::Deserialize;
+
+    /// Marker for deserializable-from-owned-data types. In this shim every
+    /// [`Deserialize`] qualifies.
+    pub trait DeserializeOwned: Deserialize {}
+
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v))
+                }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::F(f64::from(*self)))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut m = Map::new();
+        for k in keys {
+            m.insert(k.clone(), self[k].serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_number()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {}", v.kind())))?;
+                let wide = n
+                    .as_i128()
+                    .ok_or_else(|| Error::custom("expected integer, got non-integral number"))?;
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::custom(format!("expected number, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", v.kind())))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, e)| {
+                T::deserialize_value(e).map_err(|err| Error::custom(format!("[{i}]: {err}")))
+            })
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, val)| {
+                V::deserialize_value(val)
+                    .map(|parsed| (k.clone(), parsed))
+                    .map_err(|err| Error::custom(format!("key `{k}`: {err}")))
+            })
+            .collect()
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, val)| {
+                V::deserialize_value(val)
+                    .map(|parsed| (k.clone(), parsed))
+                    .map_err(|err| Error::custom(format!("key `{k}`: {err}")))
+            })
+            .collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::deserialize_value(v).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashSet<T, S>
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::deserialize_value(v).map(|v| v.into_iter().collect())
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected array, got {}", v.kind())))?;
+                if arr.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected array of length {}, got {}",
+                        $len,
+                        arr.len()
+                    )));
+                }
+                Ok(($($t::deserialize_value(&arr[$n])
+                    .map_err(|e| Error::custom(format!("[{}]: {e}", $n)))?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// Support for derive-generated code
+// ---------------------------------------------------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    //! Helpers called by `serde_derive`-generated code. Not public API.
+
+    use super::{Deserialize, Error, Map, Value};
+
+    /// Fetch and parse a named struct field; a missing key reads as null
+    /// (so `Option` fields default to `None`).
+    pub fn field<T: Deserialize>(m: &Map, name: &str) -> Result<T, Error> {
+        T::deserialize_value(m.get(name).unwrap_or(&Value::Null))
+            .map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+    }
+
+    /// Parse a positional element of a tuple variant / tuple struct.
+    pub fn element<T: Deserialize>(arr: &[Value], idx: usize) -> Result<T, Error> {
+        let v = arr
+            .get(idx)
+            .ok_or_else(|| Error::custom(format!("missing tuple element {idx}")))?;
+        T::deserialize_value(v).map_err(|e| Error::custom(format!("[{idx}]: {e}")))
+    }
+
+    /// Expect an object, with type context in the error.
+    pub fn expect_object<'v>(v: &'v Value, ty: &str) -> Result<&'v Map, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("{ty}: expected object, got {}", v.kind())))
+    }
+
+    /// Expect an array, with type context in the error.
+    pub fn expect_array<'v>(v: &'v Value, ty: &str) -> Result<&'v [Value], Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("{ty}: expected array, got {}", v.kind())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(
+            u32::deserialize_value(&42u32.serialize_value()).unwrap(),
+            42
+        );
+        assert_eq!(
+            i64::deserialize_value(&(-7i64).serialize_value()).unwrap(),
+            -7
+        );
+        assert_eq!(
+            f64::deserialize_value(&1.5f64.serialize_value()).unwrap(),
+            1.5
+        );
+        assert_eq!(
+            String::deserialize_value(&"hi".serialize_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let back = Vec::<(u32, String)>::deserialize_value(&v.serialize_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![1.0, 2.0]);
+        let back = BTreeMap::<String, Vec<f64>>::deserialize_value(&m.serialize_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn out_of_range_integer_errors() {
+        let v = 300u32.serialize_value();
+        assert!(u8::deserialize_value(&v).is_err());
+    }
+}

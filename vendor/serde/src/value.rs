@@ -1,0 +1,349 @@
+//! The owned value tree shared by `serde` and `serde_json`: the JSON data
+//! model (`null` / bool / number / string / array / object) with exact
+//! integer preservation.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number. Integers are kept exact (`U`/`I`) rather than coerced to
+/// `f64`, so u64 checksums and large counters survive round-trips.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Value as `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// Value as an exact integer, if integral.
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Number::U(u) => Some(i128::from(u)),
+            Number::I(i) => Some(i128::from(i)),
+            Number::F(f) => {
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < 9.0e18 {
+                    Some(f as i128)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i128(), other.as_i128()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U(u) => write!(f, "{u}"),
+            Number::I(i) => write!(f, "{i}"),
+            Number::F(x) => {
+                if x.is_finite() {
+                    // `{:?}` gives the shortest representation that
+                    // round-trips, and always includes ".0" on whole
+                    // floats, matching serde_json's float_roundtrip.
+                    write!(f, "{x:?}")
+                } else {
+                    // JSON has no NaN/Inf; serialize as null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// An object: key/value pairs with preserved insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert (or replace) a key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// An owned JSON value tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// `true` if null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// As bool, if a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Underlying number, if a number.
+    pub fn as_number(&self) -> Option<&Number> {
+        match self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// As f64, if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().map(Number::as_f64)
+    }
+
+    /// As i64, if an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_number()
+            .and_then(Number::as_i128)
+            .and_then(|w| i64::try_from(w).ok())
+    }
+
+    /// As u64, if an integral non-negative number in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_number()
+            .and_then(Number::as_i128)
+            .and_then(|w| u64::try_from(w).ok())
+    }
+
+    /// As string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As array slice, if an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As object, if an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object-key lookup (`value.get("k")`), mirroring `serde_json`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Object-key indexing; missing keys and non-objects read as null,
+    /// matching `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_number()
+                    .map(|n| *n == Number::I(*other as i64))
+                    .unwrap_or(false)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+value_eq_int!(u8, u16, u32, i8, i16, i32, i64);
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_number()
+            .map(|n| *n == Number::U(*other))
+            .unwrap_or(false)
+    }
+}
+
+impl PartialEq<usize> for Value {
+    fn eq(&self, other: &usize) -> bool {
+        self.as_number()
+            .map(|n| *n == Number::U(*other as u64))
+            .unwrap_or(false)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_equality_is_by_value() {
+        assert_eq!(Number::U(1), Number::I(1));
+        assert_eq!(Number::U(1), Number::F(1.0));
+        assert_ne!(Number::F(1.5), Number::U(1));
+    }
+
+    #[test]
+    fn indexing_missing_keys_gives_null() {
+        let mut m = Map::new();
+        m.insert("x".into(), Value::Number(Number::U(3)));
+        let v = Value::Object(m);
+        assert_eq!(v["x"], 3);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::Null);
+        m.insert("a".into(), Value::Null);
+        let keys: Vec<_> = m.keys().cloned().collect();
+        assert_eq!(keys, vec!["z".to_string(), "a".to_string()]);
+    }
+}

@@ -1,0 +1,449 @@
+//! Offline, dependency-free subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` shim's value-tree data model, without `syn`/`quote`:
+//! the input token stream is walked directly. Only the shapes this
+//! workspace uses are supported — non-generic structs (named, tuple, unit)
+//! and enums (unit / tuple / struct variants), plus the
+//! `#[serde(transparent)]` attribute. Deserialization code leans on type
+//! inference (`serde::__private::field`), so field *types* never need to
+//! be parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of one enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+    transparent: bool,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes (doc comments arrive as #[doc = ...] too).
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            let text = g.stream().to_string();
+            if text.starts_with("serde") && text.contains("transparent") {
+                transparent = true;
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Visibility.
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive shim: generic type `{name}` is not supported");
+        }
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive shim: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde derive shim: cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        kind,
+        transparent,
+    }
+}
+
+/// Skip a run of `#[...]` attributes starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        i += 1;
+        if let Some(TokenTree::Group(_)) = tokens.get(i) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skip `pub` / `pub(...)` starting at `i`; returns the new index.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type (or expression) until a top-level `,`, tracking
+/// angle-bracket depth (parens/brackets/braces are atomic `Group` tokens).
+fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while let Some(tok) = tokens.get(i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive shim: expected field name, got {other:?}"),
+        };
+        fields.push(name);
+        i += 1; // field name
+        i = skip_to_comma(&tokens, i + 1); // ':' then the type
+        i += 1; // ','
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_to_comma(&tokens, i) + 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Tolerate (and ignore) explicit discriminants, then the comma.
+        i = skip_to_comma(&tokens, i) + 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent && fields.len() == 1 {
+                format!("serde::Serialize::serialize_value(&self.{})", fields[0])
+            } else {
+                let mut s = String::from("let mut __m = serde::value::Map::new();\n");
+                for f in fields {
+                    s.push_str(&format!(
+                        "__m.insert(::std::string::String::from(\"{f}\"), \
+                         serde::Serialize::serialize_value(&self.{f}));\n"
+                    ));
+                }
+                s.push_str("serde::Value::Object(__m)");
+                s
+            }
+        }
+        // Newtype structs serialize as their inner value (serde's default).
+        Kind::TupleStruct(1) => "serde::Serialize::serialize_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __m = serde::value::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), {payload});\n\
+                             serde::Value::Object(__m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let mut inner =
+                            String::from("let mut __vm = serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__vm.insert(::std::string::String::from(\"{f}\"), \
+                                 serde::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}\
+                             let mut __m = serde::value::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             serde::Value::Object(__vm));\n\
+                             serde::Value::Object(__m)\n}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent && fields.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: \
+                     serde::Deserialize::deserialize_value(__v)? }})",
+                    fields[0]
+                )
+            } else {
+                let mut s = format!("let __m = serde::__private::expect_object(__v, \"{name}\")?;\n");
+                s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+                for f in fields {
+                    s.push_str(&format!("{f}: serde::__private::field(__m, \"{f}\")?,\n"));
+                }
+                s.push_str("})");
+                s
+            }
+        }
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::__private::element(__arr, {i})?"))
+                .collect();
+            format!(
+                "let __arr = serde::__private::expect_array(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("let _ = __v;\n::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .collect();
+            let payload: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .collect();
+            let mut s = String::new();
+            if !unit.is_empty() {
+                s.push_str("if let ::std::option::Option::Some(__s) = __v.as_str() {\n");
+                s.push_str("match __s {\n");
+                for v in &unit {
+                    let vn = &v.name;
+                    s.push_str(&format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+                s.push_str("_ => {}\n}\n}\n");
+            }
+            if !payload.is_empty() {
+                s.push_str(
+                    "if let ::std::option::Option::Some(__m) = __v.as_object() {\n",
+                );
+                for v in &payload {
+                    let vn = &v.name;
+                    s.push_str(&format!(
+                        "if let ::std::option::Option::Some(__inner) = __m.get(\"{vn}\") {{\n"
+                    ));
+                    match &v.shape {
+                        Shape::Unit => unreachable!(),
+                        Shape::Tuple(1) => s.push_str(&format!(
+                            "return ::std::result::Result::Ok({name}::{vn}(\
+                             serde::Deserialize::deserialize_value(__inner)?));\n"
+                        )),
+                        Shape::Tuple(n) => {
+                            s.push_str(&format!(
+                                "let __arr = serde::__private::expect_array(__inner, \
+                                 \"{name}::{vn}\")?;\n"
+                            ));
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::__private::element(__arr, {i})?"))
+                                .collect();
+                            s.push_str(&format!(
+                                "return ::std::result::Result::Ok({name}::{vn}({}));\n",
+                                elems.join(", ")
+                            ));
+                        }
+                        Shape::Named(fields) => {
+                            s.push_str(&format!(
+                                "let __vm = serde::__private::expect_object(__inner, \
+                                 \"{name}::{vn}\")?;\n"
+                            ));
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: serde::__private::field(__vm, \"{f}\")?")
+                                })
+                                .collect();
+                            s.push_str(&format!(
+                                "return ::std::result::Result::Ok({name}::{vn} {{ {} }});\n",
+                                inits.join(", ")
+                            ));
+                        }
+                    }
+                    s.push_str("}\n");
+                }
+                s.push_str("}\n");
+            }
+            s.push_str(&format!(
+                "::std::result::Result::Err(serde::Error::custom(\
+                 \"unknown variant for enum {name}\"))"
+            ));
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &serde::Value) -> \
+         ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,164 @@
+//! Offline, dependency-free subset of the `serde_json` API.
+//!
+//! Works over the vendored `serde` shim's owned [`Value`] tree: the usual
+//! entry points (`to_string` / `to_string_pretty` / `to_vec` / `from_str` /
+//! `from_slice` / `to_value` / `from_value`) plus a hand-rolled JSON
+//! emitter and recursive-descent parser. Floats print via Rust's shortest
+//! round-trip formatting (the `float_roundtrip` feature of the real crate
+//! is the default here); non-finite floats serialize as `null`.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+pub use serde::value::{Map, Number};
+pub use serde::Value;
+
+mod parse;
+mod write;
+
+/// Errors from (de)serialization or JSON parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.msg)
+    }
+}
+
+/// Result alias, mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize any `Serialize` into an owned [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Deserialize a typed value out of an owned [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T> {
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::compact(&value.serialize_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed (2-space indent) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::pretty(&value.serialize_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Parse a typed value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let value = parse::parse(s)?;
+    from_value(value)
+}
+
+/// Parse a typed value from JSON bytes (must be UTF-8).
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&"a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        let x: f64 = from_str("1e-3").unwrap();
+        assert!((x - 0.001).abs() < 1e-15);
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for &x in &[0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 12345.6789e-7, -0.0] {
+            let back: f64 = from_str(&to_string(&x).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("alpha".to_string(), vec![1u32, 2, 3]);
+        m.insert("beta".to_string(), vec![]);
+        let s = to_string(&m).unwrap();
+        let back: BTreeMap<String, Vec<u32>> = from_str(&s).unwrap();
+        assert_eq!(back, m);
+
+        let pair = ("x".to_string(), vec![0.5f64]);
+        let back: (String, Vec<f64>) = from_str(&to_string(&pair).unwrap()).unwrap();
+        assert_eq!(back, pair);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![
+            BTreeMap::from([("k".to_string(), 1u8)]),
+            BTreeMap::from([("k".to_string(), 2u8)]),
+        ];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<BTreeMap<String, u8>> = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Vec<u8>>("[1, 2").is_err());
+        assert!(from_str::<bool>("troo").is_err());
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let s: String = from_str("\"\\u00e9\\u0041\\t\"").unwrap();
+        assert_eq!(s, "éA\t");
+    }
+}

@@ -1,0 +1,130 @@
+//! JSON emission: compact and pretty (2-space indent) writers.
+
+use serde::value::Value;
+#[cfg(test)]
+use serde::value::Map;
+
+/// Append the compact JSON encoding of `v` to `out`.
+pub(crate) fn compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Append the pretty JSON encoding of `v` at `indent` levels to `out`.
+pub(crate) fn pretty(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                escape_into(k, out);
+                out.push_str(": ");
+                pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => compact(other, out),
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Re-exported for tests: compact encoding of a [`Map`].
+#[cfg(test)]
+pub(crate) fn compact_map(m: &Map) -> String {
+    let mut out = String::new();
+    compact(&Value::Object(m.clone()), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::value::Number;
+
+    #[test]
+    fn control_chars_escape() {
+        let mut out = String::new();
+        escape_into("a\u{01}b", &mut out);
+        assert_eq!(out, "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn nested_compact() {
+        let mut m = Map::new();
+        m.insert(
+            "a".into(),
+            Value::Array(vec![Value::Number(Number::U(1)), Value::Null]),
+        );
+        assert_eq!(compact_map(&m), "{\"a\":[1,null]}");
+    }
+}
