@@ -2,14 +2,14 @@
 //! repository scales (the paper's motivation: repositories keep growing).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::hint::black_box;
 use tps_core::cluster::hierarchical::{agglomerate, Linkage};
 use tps_core::cluster::kmeans::{kmeans, KMeansConfig};
 use tps_core::cluster::silhouette::silhouette;
 use tps_core::similarity::SimilarityMatrix;
 use tps_zoo::{SyntheticConfig, World};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn world_of(n_families: usize, n_singletons: usize) -> World {
     World::synthetic(&SyntheticConfig {
@@ -50,9 +50,7 @@ fn bench_agglomerate(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{n}models")),
             &(dist, n),
-            |b, (dist, n)| {
-                b.iter(|| agglomerate(black_box(dist), *n, Linkage::Average).unwrap())
-            },
+            |b, (dist, n)| b.iter(|| agglomerate(black_box(dist), *n, Linkage::Average).unwrap()),
         );
     }
     group.finish();

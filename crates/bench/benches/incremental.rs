@@ -29,7 +29,12 @@ fn addition_for(world: &World) -> ModelAddition {
         benchmark_curves: world
             .benchmarks
             .iter()
-            .map(|b| world.law.run(&spec, b, world.stages, world.hyper, world.seed).to_curve())
+            .map(|b| {
+                world
+                    .law
+                    .run(&spec, b, world.stages, world.hyper, world.seed)
+                    .to_curve()
+            })
             .collect(),
     }
 }
@@ -58,11 +63,7 @@ fn bench_incremental_vs_rebuild(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("full-rebuild", format!("{n}models")),
             &(),
-            |b, ()| {
-                b.iter(|| {
-                    OfflineArtifacts::build(matrix.clone(), &curves, &config).unwrap()
-                })
-            },
+            |b, ()| b.iter(|| OfflineArtifacts::build(matrix.clone(), &curves, &config).unwrap()),
         );
     }
     group.finish();

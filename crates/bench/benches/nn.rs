@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use tps_nn::{evaluate, train_epoch, Mlp, NnTask, RealZoo, RealZooConfig, SgdState, TaskUniverse, TrainConfig};
+use tps_nn::{
+    evaluate, train_epoch, Mlp, NnTask, RealZoo, RealZooConfig, SgdState, TaskUniverse, TrainConfig,
+};
 
 fn task_setup(n_per_class: usize) -> (TaskUniverse, tps_nn::LabelledData) {
     let universe = TaskUniverse::new(12, 18, 5);
@@ -55,7 +57,9 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("predict-proba-300", |b| {
         b.iter(|| mlp.predict_proba(black_box(&data.x)))
     });
-    group.bench_function("evaluate-300", |b| b.iter(|| evaluate(&mlp, black_box(&data))));
+    group.bench_function("evaluate-300", |b| {
+        b.iter(|| evaluate(&mlp, black_box(&data)))
+    });
     group.finish();
 }
 
@@ -79,5 +83,10 @@ fn bench_real_offline_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_train_epoch, bench_inference, bench_real_offline_build);
+criterion_group!(
+    benches,
+    bench_train_epoch,
+    bench_inference,
+    bench_real_offline_build
+);
 criterion_main!(benches);

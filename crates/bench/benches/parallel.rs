@@ -47,7 +47,10 @@ fn bench_similarity(c: &mut Criterion) {
     let (matrix, _) = world.build_offline().unwrap();
     let mut group = c.benchmark_group(format!("parallel/similarity/{}models", world.n_models()));
     group.sample_size(10);
-    for (label, threads) in [("threads=1".to_string(), 1), (format!("threads={}", par_threads()), par_threads())] {
+    for (label, threads) in [
+        ("threads=1".to_string(), 1),
+        (format!("threads={}", par_threads()), par_threads()),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 SimilarityMatrix::from_performance_par(black_box(&matrix), 5, threads).unwrap()
@@ -61,7 +64,10 @@ fn bench_offline_build(c: &mut Criterion) {
     let world = big_world();
     let mut group = c.benchmark_group(format!("parallel/offline-build/{}models", world.n_models()));
     group.sample_size(10);
-    for (label, threads) in [("threads=1".to_string(), 1), (format!("threads={}", par_threads()), par_threads())] {
+    for (label, threads) in [
+        ("threads=1".to_string(), 1),
+        (format!("threads={}", par_threads()), par_threads()),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| world.build_offline_par(black_box(threads)).unwrap())
         });
@@ -74,7 +80,10 @@ fn bench_trend_mining(c: &mut Criterion) {
     let (_, curves) = world.build_offline().unwrap();
     let mut group = c.benchmark_group(format!("parallel/trend-mining/{}models", world.n_models()));
     group.sample_size(10);
-    for (label, threads) in [("threads=1".to_string(), 1), (format!("threads={}", par_threads()), par_threads())] {
+    for (label, threads) in [
+        ("threads=1".to_string(), 1),
+        (format!("threads={}", par_threads()), par_threads()),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 TrendBook::mine_par(black_box(&curves), 5, &TrendConfig::default(), threads)
@@ -92,7 +101,10 @@ fn bench_recall(c: &mut Criterion) {
     let oracle = ZooOracle::new(&world, 0).unwrap();
     let mut group = c.benchmark_group(format!("parallel/coarse-recall/{}models", world.n_models()));
     group.sample_size(10);
-    for (label, threads) in [("threads=1".to_string(), 1), (format!("threads={}", par_threads()), par_threads())] {
+    for (label, threads) in [
+        ("threads=1".to_string(), 1),
+        (format!("threads={}", par_threads()), par_threads()),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 coarse_recall_par(
@@ -120,7 +132,10 @@ fn bench_selection(c: &mut Criterion) {
     let pool: Vec<ModelId> = artifacts.matrix.model_ids().collect();
     let mut group = c.benchmark_group(format!("parallel/selection/{}models", world.n_models()));
     group.sample_size(10);
-    for (label, threads) in [("threads=1".to_string(), 1), (format!("threads={}", par_threads()), par_threads())] {
+    for (label, threads) in [
+        ("threads=1".to_string(), 1),
+        (format!("threads={}", par_threads()), par_threads()),
+    ] {
         group.bench_function(format!("successive-halving/{label}"), |b| {
             b.iter(|| {
                 let mut t = ZooTrainer::new(&world, 0).unwrap();

@@ -62,9 +62,7 @@ fn bench_feature_proxies(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("logme", format!("n{n}_d{d}")),
             &(&f, &labels),
-            |b, (f, labels)| {
-                b.iter(|| logme(black_box(f), n, d, black_box(labels), 3).unwrap())
-            },
+            |b, (f, labels)| b.iter(|| logme(black_box(f), n, d, black_box(labels), 3).unwrap()),
         );
         group.bench_with_input(
             BenchmarkId::new("knn", format!("n{n}_d{d}")),

@@ -27,8 +27,7 @@ fn bundle(n_families: usize, n_singletons: usize) -> (World, OfflineArtifacts) {
         stages: 5,
     });
     let (matrix, curves) = world.build_offline().unwrap();
-    let artifacts =
-        OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+    let artifacts = OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
     (world, artifacts)
 }
 
@@ -112,9 +111,7 @@ fn bench_trend_mining(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{}models", world.n_models())),
             &curves,
             |b, curves| {
-                b.iter(|| {
-                    TrendBook::mine(black_box(curves), 5, &TrendConfig::default()).unwrap()
-                })
+                b.iter(|| TrendBook::mine(black_box(curves), 5, &TrendConfig::default()).unwrap())
             },
         );
     }

@@ -40,15 +40,17 @@ fn bench_put_get(c: &mut Criterion) {
     group.bench_function("put-overwrite-nlp-artifacts", |b| {
         b.iter(|| {
             store
-                .put_overwrite("bundle", ArtifactKind::OfflineArtifacts, black_box(&artifacts))
+                .put_overwrite(
+                    "bundle",
+                    ArtifactKind::OfflineArtifacts,
+                    black_box(&artifacts),
+                )
                 .unwrap()
         })
     });
     group.bench_function("get-nlp-artifacts", |b| {
         b.iter(|| {
-            let a: OfflineArtifacts = store
-                .get("bundle", ArtifactKind::OfflineArtifacts)
-                .unwrap();
+            let a: OfflineArtifacts = store.get("bundle", ArtifactKind::OfflineArtifacts).unwrap();
             black_box(a)
         })
     });

@@ -27,7 +27,10 @@ fn main() -> ExitCode {
 
     let dir = results_dir();
     let ids: Vec<String> = if args.iter().any(|a| a == "all") {
-        registry().into_iter().map(|(id, _, _)| id.to_string()).collect()
+        registry()
+            .into_iter()
+            .map(|(id, _, _)| id.to_string())
+            .collect()
     } else {
         args
     };

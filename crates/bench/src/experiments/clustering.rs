@@ -5,6 +5,8 @@
 
 use crate::table::{acc, Table};
 use crate::{Report, WorldBundle, SEED};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::Serialize;
 use tps_core::cluster::hierarchical::{hierarchical_k, Linkage};
 use tps_core::cluster::kmeans::{kmeans, KMeansConfig};
@@ -12,8 +14,6 @@ use tps_core::cluster::silhouette::silhouette;
 use tps_core::cluster::Clustering;
 use tps_core::ids::ModelId;
 use tps_core::similarity::{embed_text, SimilarityMatrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Dimension of the hashed bag-of-words card embedding.
 const TEXT_DIM: usize = 128;
@@ -29,8 +29,7 @@ fn comparison_k(bundle: &WorldBundle) -> usize {
 pub fn text_similarity(bundle: &WorldBundle) -> SimilarityMatrix {
     let cards = bundle.world.model_cards();
     let embeddings: Vec<Vec<f64>> = cards.iter().map(|c| embed_text(c, TEXT_DIM)).collect();
-    SimilarityMatrix::from_vectors_cosine(&embeddings)
-        .expect("non-empty model list embeds cleanly")
+    SimilarityMatrix::from_vectors_cosine(&embeddings).expect("non-empty model list embeds cleanly")
 }
 
 fn silhouette_of(bundle: &WorldBundle, sim: &SimilarityMatrix, clustering: &Clustering) -> f64 {
@@ -76,7 +75,10 @@ pub fn tab1() -> Report {
             hierarchical_k(&perf_sim.distance_matrix(), n, k, Linkage::Average).unwrap();
         let km_perf = kmeans(
             &bundle.matrix().model_vectors(),
-            &KMeansConfig { k, ..Default::default() },
+            &KMeansConfig {
+                k,
+                ..Default::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -87,7 +89,10 @@ pub fn tab1() -> Report {
         let text_vecs: Vec<Vec<f64>> = cards.iter().map(|c| embed_text(c, TEXT_DIM)).collect();
         let km_text = kmeans(
             &text_vecs,
-            &KMeansConfig { k, ..Default::default() },
+            &KMeansConfig {
+                k,
+                ..Default::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -183,10 +188,7 @@ pub fn tab2() -> Report {
     let cv = WorldBundle::cv(SEED);
     let nc = nlp.artifacts.clustering.clone();
     let cc = cv.artifacts.clustering.clone();
-    let (body, record) = membership_table(
-        &[("NLP", &nlp, nc), ("CV", &cv, cc)],
-        true,
-    );
+    let (body, record) = membership_table(&[("NLP", &nlp, nc), ("CV", &cv, cc)], true);
     Report::new(
         "tab2",
         "Model clustering results (hierarchical, non-singleton clusters)",
@@ -206,15 +208,23 @@ struct Tab3Row {
 /// Table III: average benchmark accuracy and #best-models, singleton vs
 /// non-singleton clusters.
 pub fn tab3() -> Report {
-    let mut table = Table::new(vec!["task type", "cluster type", "avg(acc)", "no. maximum(acc)"])
-        .aligns(vec![
-            crate::table::Align::Left,
-            crate::table::Align::Left,
-            crate::table::Align::Right,
-            crate::table::Align::Right,
-        ]);
+    let mut table = Table::new(vec![
+        "task type",
+        "cluster type",
+        "avg(acc)",
+        "no. maximum(acc)",
+    ])
+    .aligns(vec![
+        crate::table::Align::Left,
+        crate::table::Align::Left,
+        crate::table::Align::Right,
+        crate::table::Align::Right,
+    ]);
     let mut record = Vec::new();
-    for (domain, bundle) in [("NLP", WorldBundle::nlp(SEED)), ("CV", WorldBundle::cv(SEED))] {
+    for (domain, bundle) in [
+        ("NLP", WorldBundle::nlp(SEED)),
+        ("CV", WorldBundle::cv(SEED)),
+    ] {
         let clustering = &bundle.artifacts.clustering;
         let matrix = bundle.matrix();
         let best = matrix.best_model_per_dataset();
@@ -226,8 +236,7 @@ pub fn tab3() -> Report {
             let avg = if members.is_empty() {
                 0.0
             } else {
-                members.iter().map(|&m| matrix.avg_accuracy(m)).sum::<f64>()
-                    / members.len() as f64
+                members.iter().map(|&m| matrix.avg_accuracy(m)).sum::<f64>() / members.len() as f64
             };
             let n_max = best.iter().filter(|m| members.contains(m)).count();
             table.row(vec![
@@ -304,13 +313,19 @@ pub fn tab11() -> Report {
     let ck = comparison_k(&cv);
     let nc = kmeans(
         &nlp.matrix().model_vectors(),
-        &KMeansConfig { k: nk, ..Default::default() },
+        &KMeansConfig {
+            k: nk,
+            ..Default::default()
+        },
         &mut rng,
     )
     .unwrap();
     let cc = kmeans(
         &cv.matrix().model_vectors(),
-        &KMeansConfig { k: ck, ..Default::default() },
+        &KMeansConfig {
+            k: ck,
+            ..Default::default()
+        },
         &mut rng,
     )
     .unwrap();
@@ -386,10 +401,14 @@ mod tests {
             "NLP non-singleton clusters {}",
             nlp_rows.len()
         );
-        assert!((4..=8).contains(&cv_rows.len()), "CV clusters {}", cv_rows.len());
+        assert!(
+            (4..=8).contains(&cv_rows.len()),
+            "CV clusters {}",
+            cv_rows.len()
+        );
         // The qqp family must be one pure cluster.
-        assert!(nlp_rows.iter().any(|c| {
-            c.size == 5 && c.members.iter().all(|m| m.contains("bert_ft_qqp"))
-        }));
+        assert!(nlp_rows
+            .iter()
+            .any(|c| { c.size == 5 && c.members.iter().all(|m| m.contains("bert_ft_qqp")) }));
     }
 }

@@ -35,7 +35,10 @@ pub fn fig1() -> Report {
     });
     // CV: the paper's CC6204 (birds) stand-in is the cub200 benchmark; its
     // column of the performance matrix is exactly "all models fine-tuned".
-    let cub = cv.matrix().dataset_by_name("cub200").expect("preset benchmark");
+    let cub = cv
+        .matrix()
+        .dataset_by_name("cub200")
+        .expect("preset benchmark");
     let mut cv_accs: Vec<f64> = cv.matrix().dataset_row(cub).to_vec();
     cv_accs.sort_by(|a, b| b.total_cmp(a));
     series.push(Fig1Series {
@@ -241,10 +244,7 @@ mod tests {
         assert_eq!(series.len(), 2);
         for s in &series {
             // Sorted descending.
-            assert!(s
-                .sorted_accuracies
-                .windows(2)
-                .all(|w| w[0] >= w[1]));
+            assert!(s.sorted_accuracies.windows(2).all(|w| w[0] >= w[1]));
             // Meaningful spread between best and worst (the Fig. 1 shape).
             let spread = s.sorted_accuracies[0] - s.sorted_accuracies.last().unwrap();
             assert!(spread > 0.1, "{} spread {spread}", s.dataset);

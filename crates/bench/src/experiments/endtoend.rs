@@ -6,7 +6,7 @@ use crate::table::{acc, epochs, speedup, Table};
 use crate::Report;
 use serde::Serialize;
 use tps_core::ids::ModelId;
-use tps_core::pipeline::{two_phase_select, PipelineConfig};
+use tps_core::pipeline::{two_phase_select, PipelineConfig, PipelineCounters};
 use tps_zoo::{ZooOracle, ZooTrainer};
 
 #[derive(Serialize, serde::Deserialize)]
@@ -18,6 +18,10 @@ struct Tab6Row {
     acc_bf: f64,
     acc_sh: f64,
     acc_2ph: f64,
+    /// Deterministic per-run accounting (proxy evals, recalled pool,
+    /// per-stage survivors) for the 2PH column.
+    #[serde(default)]
+    counters: PipelineCounters,
 }
 
 /// Table VI: the full two-phase pipeline against brute force and successive
@@ -64,6 +68,7 @@ pub fn tab6() -> Report {
             acc_bf: bf.winner_test,
             acc_sh: sh.winner_test,
             acc_2ph: out.selection.winner_test,
+            counters: out.counters,
         });
     }
     Report::new(
@@ -89,10 +94,8 @@ struct Tab7Row {
 pub fn tab7() -> Report {
     let wanted = ["multirc", "boolq", "medmnist", "oxford_flowers"];
     let mut rows = Vec::new();
-    let mut table = Table::new(vec![
-        "dataset", "best model", "acc", "R@CR", "avg acc",
-    ])
-    .label_first();
+    let mut table =
+        Table::new(vec!["dataset", "best model", "acc", "R@CR", "avg acc"]).label_first();
     for (bundle, target, name) in all_targets() {
         if !wanted.contains(&name.as_str()) {
             continue;
@@ -177,6 +180,13 @@ mod tests {
                 r.target,
                 r.acc_2ph,
                 r.acc_bf
+            );
+            // The embedded counters must restate the runtime column.
+            assert_eq!(r.counters.total_epochs, r.runtime_2ph, "{}", r.target);
+            assert!(
+                r.counters.recalled > 0 && r.counters.stages > 0,
+                "{}",
+                r.target
             );
         }
     }

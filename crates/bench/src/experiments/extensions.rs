@@ -41,6 +41,10 @@ struct ScalingRow {
     /// selectors). Machine-dependent — recorded for scaling curves, never
     /// asserted on.
     elapsed_s: f64,
+    /// Deterministic 2PH accounting at this repository size (proxy evals,
+    /// recalled pool, per-stage survivors).
+    #[serde(default)]
+    counters: tps_core::pipeline::PipelineCounters,
 }
 
 /// Scaling study: repository sizes ~50 → ~400, fixed benchmark suite.
@@ -111,6 +115,7 @@ pub fn scaling() -> Report {
             accuracy_regret: regret,
             threads,
             elapsed_s,
+            counters: two_phase.counters,
         });
     }
     Report::new(
@@ -192,7 +197,11 @@ pub fn categories() -> Report {
             for (method, acc, ep) in [
                 ("proxy-only", proxy_acc, proxy_epochs),
                 ("halving", sh.winner_test, sh.ledger.total()),
-                ("two-phase", two_phase.selection.winner_test, two_phase.ledger.total()),
+                (
+                    "two-phase",
+                    two_phase.selection.winner_test,
+                    two_phase.ledger.total(),
+                ),
                 ("brute-force", bf.winner_test, bf.ledger.total()),
             ] {
                 table.row(vec![
@@ -398,8 +407,7 @@ struct ProxySweepRow {
 /// Recall-quality comparison across proxy scores on the 8 preset targets.
 pub fn proxysweep() -> Report {
     let mut rows = Vec::new();
-    let mut table =
-        Table::new(vec!["target", "proxy", "avg acc@10", "rank(best)"]).label_first();
+    let mut table = Table::new(vec!["target", "proxy", "avg acc@10", "rank(best)"]).label_first();
 
     for bundle in [WorldBundle::nlp(SEED), WorldBundle::cv(SEED)] {
         for t in 0..bundle.world.n_targets() {
@@ -538,7 +546,10 @@ mod tests {
             }
         }
         // At the paper's T = 5, FS regret is tiny.
-        let fs5 = rows.iter().find(|r| r.method == "FS" && r.stages == 5).unwrap();
+        let fs5 = rows
+            .iter()
+            .find(|r| r.method == "FS" && r.stages == 5)
+            .unwrap();
         assert!(fs5.regret_mean.abs() < 0.02, "{}", fs5.regret_mean);
     }
 
@@ -579,7 +590,11 @@ mod tests {
         let clean = &rows[0];
         let noisy = rows.last().unwrap();
         // Low noise: excellent recall and near-zero regret.
-        assert!(clean.recall_rank_of_best_mean <= 6.0, "{}", clean.recall_rank_of_best_mean);
+        assert!(
+            clean.recall_rank_of_best_mean <= 6.0,
+            "{}",
+            clean.recall_rank_of_best_mean
+        );
         assert!(clean.fs_regret_mean.abs() < 0.03);
         // High noise hurts but does not break: regret stays bounded.
         assert!(noisy.fs_regret_mean < 0.15, "{}", noisy.fs_regret_mean);
@@ -605,7 +620,12 @@ mod tests {
         // extreme scale the fixed K = 10 recall becomes the bottleneck
         // (documented in EXPERIMENTS.md), so only bound it loosely there.
         for r in rows.iter().filter(|r| r.n_models <= 250) {
-            assert!(r.accuracy_regret.abs() < 0.08, "|M|={}: {}", r.n_models, r.accuracy_regret);
+            assert!(
+                r.accuracy_regret.abs() < 0.08,
+                "|M|={}: {}",
+                r.n_models,
+                r.accuracy_regret
+            );
         }
         assert!(rows.iter().all(|r| r.accuracy_regret.abs() < 0.2));
     }
@@ -625,6 +645,9 @@ mod tests {
             .iter()
             .filter(|r| r.proxy == "leep" && r.best_model_rank <= 10)
             .count();
-        assert!(leep_ok >= 6, "LEEP found best within 10 on {leep_ok}/8 targets");
+        assert!(
+            leep_ok >= 6,
+            "LEEP found best within 10 on {leep_ok}/8 targets"
+        );
     }
 }

@@ -7,6 +7,7 @@ pub mod endtoend;
 pub mod extensions;
 pub mod recall;
 pub mod selection;
+pub mod smoke;
 pub mod trend;
 
 use crate::Report;
@@ -17,27 +18,112 @@ pub type Runner = fn() -> Report;
 /// All experiments in paper order: `(id, title, runner)`.
 pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
     vec![
-        ("fig1", "Fine-tuning accuracy of every model on two tasks", curves::fig1 as fn() -> Report),
-        ("fig3", "Top-10 recalled models' curves on MNLI (lr=3e-5 regime)", curves::fig3),
-        ("fig4", "One model's val/test across benchmarks, trend groups", curves::fig4),
-        ("tab1", "Clustering methods comparison (silhouette)", clustering::tab1),
-        ("tab2", "Hierarchical model clustering results", clustering::tab2),
-        ("tab3", "Singleton vs non-singleton cluster performance", clustering::tab3),
-        ("fig5", "Coarse-recall vs random-recall average accuracy", recall::fig5),
-        ("fig6", "Trend clustering quality and prediction error", trend::fig6),
-        ("tab4", "Fine-selection filtering-threshold sweep", selection::tab4),
+        (
+            "fig1",
+            "Fine-tuning accuracy of every model on two tasks",
+            curves::fig1 as fn() -> Report,
+        ),
+        (
+            "fig3",
+            "Top-10 recalled models' curves on MNLI (lr=3e-5 regime)",
+            curves::fig3,
+        ),
+        (
+            "fig4",
+            "One model's val/test across benchmarks, trend groups",
+            curves::fig4,
+        ),
+        (
+            "tab1",
+            "Clustering methods comparison (silhouette)",
+            clustering::tab1,
+        ),
+        (
+            "tab2",
+            "Hierarchical model clustering results",
+            clustering::tab2,
+        ),
+        (
+            "tab3",
+            "Singleton vs non-singleton cluster performance",
+            clustering::tab3,
+        ),
+        (
+            "fig5",
+            "Coarse-recall vs random-recall average accuracy",
+            recall::fig5,
+        ),
+        (
+            "fig6",
+            "Trend clustering quality and prediction error",
+            trend::fig6,
+        ),
+        (
+            "tab4",
+            "Fine-selection filtering-threshold sweep",
+            selection::tab4,
+        ),
         ("fig7", "Selected-model accuracy: SH vs FS", selection::fig7),
-        ("tab5", "Runtime (epochs) and speedups: BF / SH / FS", selection::tab5),
-        ("tab6", "End-to-end comparison: 2PH vs BF vs SH", endtoend::tab6),
-        ("tab7", "Case study of final selected models", endtoend::tab7),
-        ("fig8", "MNLI curves under the lr=1e-5 regime (App. A)", curves::fig8),
-        ("tabx", "Similarity top-k parameter sweep (App. D)", clustering::tabx),
-        ("tab11", "K-means clustering results (App. F)", clustering::tab11),
-        ("scaling", "Extension: epoch budgets vs repository size", extensions::scaling),
-        ("proxysweep", "Extension: recall quality per proxy score", extensions::proxysweep),
-        ("noise", "Extension: robustness to validation/quality noise", extensions::noise),
-        ("categories", "Extension: pure-proxy vs halving vs hybrid taxonomy", extensions::categories),
-        ("stages", "Extension: stage-budget sweep for SH vs FS", extensions::stages),
+        (
+            "tab5",
+            "Runtime (epochs) and speedups: BF / SH / FS",
+            selection::tab5,
+        ),
+        (
+            "tab6",
+            "End-to-end comparison: 2PH vs BF vs SH",
+            endtoend::tab6,
+        ),
+        (
+            "tab7",
+            "Case study of final selected models",
+            endtoend::tab7,
+        ),
+        (
+            "fig8",
+            "MNLI curves under the lr=1e-5 regime (App. A)",
+            curves::fig8,
+        ),
+        (
+            "tabx",
+            "Similarity top-k parameter sweep (App. D)",
+            clustering::tabx,
+        ),
+        (
+            "tab11",
+            "K-means clustering results (App. F)",
+            clustering::tab11,
+        ),
+        (
+            "scaling",
+            "Extension: epoch budgets vs repository size",
+            extensions::scaling,
+        ),
+        (
+            "proxysweep",
+            "Extension: recall quality per proxy score",
+            extensions::proxysweep,
+        ),
+        (
+            "noise",
+            "Extension: robustness to validation/quality noise",
+            extensions::noise,
+        ),
+        (
+            "categories",
+            "Extension: pure-proxy vs halving vs hybrid taxonomy",
+            extensions::categories,
+        ),
+        (
+            "stages",
+            "Extension: stage-budget sweep for SH vs FS",
+            extensions::stages,
+        ),
+        (
+            "smoke",
+            "CI smoke: traced tiny run, trace checked against outcome",
+            smoke::smoke,
+        ),
     ]
 }
 

@@ -3,14 +3,14 @@
 
 use crate::table::{acc, Table};
 use crate::{Report, WorldBundle, SEED};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::Serialize;
 use tps_core::ids::ModelId;
 use tps_core::proxy::leep::leep;
 use tps_core::recall::{coarse_recall, random_recall, RecallConfig};
 use tps_core::traits::ProxyOracle;
 use tps_zoo::ZooOracle;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// K values swept (the paper plots K up to ~20 and settles on 10).
 const KS: [usize; 4] = [5, 10, 15, 20];
@@ -70,8 +70,8 @@ pub fn fig5() -> Report {
                 let mut random_avg = 0.0;
                 for _ in 0..RANDOM_TRIALS {
                     let picked = random_recall(bundle.world.n_models(), k, &mut rng);
-                    random_avg += picked.iter().map(|m| truth[m.index()]).sum::<f64>()
-                        / picked.len() as f64;
+                    random_avg +=
+                        picked.iter().map(|m| truth[m.index()]).sum::<f64>() / picked.len() as f64;
                 }
                 random_avg /= RANDOM_TRIALS as f64;
 

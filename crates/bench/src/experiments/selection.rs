@@ -100,8 +100,7 @@ pub fn tab4() -> Report {
         ("chest_xray", WorldBundle::cv(SEED)),
     ];
     let mut rows = Vec::new();
-    let mut table =
-        Table::new(vec!["target", "metric", "0%", "1%", "5%", "10%"]).label_first();
+    let mut table = Table::new(vec!["target", "metric", "0%", "1%", "5%", "10%"]).label_first();
     for (name, bundle) in cases {
         let target = bundle.world.target_by_name(name).expect("preset target");
         let pool = recall_for(&bundle, target, 10).recalled;
@@ -158,10 +157,8 @@ struct Fig7Row {
 /// reference lines.
 pub fn fig7() -> Report {
     let mut rows = Vec::new();
-    let mut table = Table::new(vec![
-        "target", "pool", "SH", "FS", "best@10", "worst@10",
-    ])
-    .label_first();
+    let mut table =
+        Table::new(vec!["target", "pool", "SH", "FS", "best@10", "worst@10"]).label_first();
     for (bundle, target, name) in all_targets() {
         let recall = recall_for(&bundle, target, 10);
         let top10 = recall.recalled.clone();
@@ -220,9 +217,14 @@ pub fn tab5() -> Report {
         "domain", "target", "method", "pool", "epochs", "vs BF",
     ])
     .label_first();
-    let push = |domain: &str, target: &str, method: &str, pool: usize, e: f64, bf: f64,
-                    rows: &mut Vec<Tab5Row>,
-                    table: &mut Table| {
+    let push = |domain: &str,
+                target: &str,
+                method: &str,
+                pool: usize,
+                e: f64,
+                bf: f64,
+                rows: &mut Vec<Tab5Row>,
+                table: &mut Table| {
         let s = bf / e;
         table.row(vec![
             domain.to_string(),
@@ -230,7 +232,11 @@ pub fn tab5() -> Report {
             method.to_string(),
             pool.to_string(),
             epochs(e),
-            if method == "BF" { "-".into() } else { speedup(s) },
+            if method == "BF" {
+                "-".into()
+            } else {
+                speedup(s)
+            },
         ]);
         rows.push(Tab5Row {
             domain: domain.into(),
@@ -243,7 +249,11 @@ pub fn tab5() -> Report {
     };
 
     for (bundle, target, name) in all_targets() {
-        let domain = if bundle.world.n_models() == 40 { "NLP" } else { "CV" };
+        let domain = if bundle.world.n_models() == 40 {
+            "NLP"
+        } else {
+            "CV"
+        };
         let top10 = recall_for(&bundle, target, 10).recalled;
         let everyone: Vec<ModelId> = bundle.matrix().model_ids().collect();
         for (pool_size, pool) in [(10usize, &top10), (everyone.len(), &everyone)] {
@@ -251,9 +261,29 @@ pub fn tab5() -> Report {
             let sh = run_selector(&bundle, target, pool, Selector::Halving);
             let fs = run_selector(&bundle, target, pool, Selector::Fine(0.0));
             let bft = bf.ledger.total();
-            push(domain, &name, "BF", pool_size, bft, bft, &mut rows, &mut table);
-            push(domain, &name, "SH", pool_size, sh.ledger.total(), bft, &mut rows, &mut table);
-            push(domain, &name, "FS", pool_size, fs.ledger.total(), bft, &mut rows, &mut table);
+            push(
+                domain, &name, "BF", pool_size, bft, bft, &mut rows, &mut table,
+            );
+            push(
+                domain,
+                &name,
+                "SH",
+                pool_size,
+                sh.ledger.total(),
+                bft,
+                &mut rows,
+                &mut table,
+            );
+            push(
+                domain,
+                &name,
+                "FS",
+                pool_size,
+                fs.ledger.total(),
+                bft,
+                &mut rows,
+                &mut table,
+            );
         }
     }
     Report::new(
@@ -295,9 +325,7 @@ mod tests {
         for sh in rows.iter().filter(|r| r.method == "SH") {
             let fs = rows
                 .iter()
-                .find(|r| {
-                    r.method == "FS" && r.target == sh.target && r.pool == sh.pool
-                })
+                .find(|r| r.method == "FS" && r.target == sh.target && r.pool == sh.pool)
                 .unwrap();
             assert!(
                 fs.runtime_epochs <= sh.runtime_epochs,
@@ -333,7 +361,10 @@ mod tests {
             .iter()
             .filter(|r| r.fs_accuracy >= r.sh_accuracy - 0.015)
             .count();
-        assert!(fs_wins_or_ties >= 13, "FS competitive in only {fs_wins_or_ties}/16");
+        assert!(
+            fs_wins_or_ties >= 13,
+            "FS competitive in only {fs_wins_or_ties}/16"
+        );
         // Both selectors stay inside the [worst, best] envelope of the pool
         // they search (top-10 rows).
         for r in rows.iter().filter(|r| r.pool == "top-10") {
@@ -346,8 +377,7 @@ mod tests {
     fn tab4_threshold_monotonicity() {
         let rows: Vec<Tab4Row> = serde_json::from_value(tab4().json).unwrap();
         for target in ["mnli", "multirc", "oxford_flowers", "chest_xray"] {
-            let mut of_target: Vec<&Tab4Row> =
-                rows.iter().filter(|r| r.target == target).collect();
+            let mut of_target: Vec<&Tab4Row> = rows.iter().filter(|r| r.target == target).collect();
             of_target.sort_by(|a, b| a.threshold_pct.total_cmp(&b.threshold_pct));
             // Larger thresholds never reduce accuracy or runtime below the
             // stricter setting's.

@@ -1,0 +1,192 @@
+//! CI smoke experiment: one tiny end-to-end traced run, with the trace
+//! checked against the returned [`PipelineOutcome`] before anything is
+//! reported. Fast enough for every CI run (a ~20-model world, one target),
+//! and the only experiment that hard-fails on an inconsistent trace —
+//! `repro smoke` going green certifies that the telemetry layer agrees
+//! with the pipeline's own accounting.
+
+use crate::table::{acc, epochs, Table};
+use crate::{Report, WorldBundle, SEED};
+use serde::{Deserialize, Serialize};
+use tps_core::pipeline::{two_phase_select_traced, PipelineConfig, PipelineCounters};
+use tps_core::telemetry::{stage_counter, Telemetry, TraceReport};
+use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
+
+#[derive(Serialize, Deserialize)]
+struct SmokeRecord {
+    n_models: usize,
+    winner: String,
+    winner_test: f64,
+    /// Deterministic counters straight from the outcome.
+    counters: PipelineCounters,
+    /// The full structured trace (spans carry wall-clock, so this part of
+    /// the record varies run to run; the counters above never do).
+    trace: TraceReport,
+}
+
+/// Assert that the trace's counters agree with the outcome's own ledger
+/// and per-stage bookkeeping. Returns a human-readable checklist.
+fn check_consistency(report: &TraceReport, counters: &PipelineCounters) -> String {
+    let mut checks = Vec::new();
+    let mut ok = |label: &str, lhs: f64, rhs: f64| {
+        assert!(
+            (lhs - rhs).abs() < 1e-9,
+            "trace/outcome mismatch at {label}: trace {lhs} vs outcome {rhs}"
+        );
+        checks.push(format!("  ok {label}: {lhs}"));
+    };
+    ok(
+        "recall.proxy_evals",
+        report.counter("recall.proxy_evals").unwrap_or(f64::NAN),
+        counters.proxy_evals as f64,
+    );
+    ok(
+        "recall.recalled",
+        report.counter("recall.recalled").unwrap_or(f64::NAN),
+        counters.recalled as f64,
+    );
+    ok(
+        "recall.proxy_epochs",
+        report.counter("recall.proxy_epochs").unwrap_or(f64::NAN),
+        counters.proxy_epochs,
+    );
+    ok(
+        "fine.stages",
+        report.counter("fine.stages").unwrap_or(f64::NAN),
+        counters.stages as f64,
+    );
+    ok(
+        "select.train_epochs",
+        report.counter("select.train_epochs").unwrap_or(f64::NAN),
+        counters.train_epochs,
+    );
+    // The zoo trainer charges one epoch per stage advanced, so the epochs
+    // the selector charged must equal the stages the trainer actually ran.
+    ok(
+        "zoo.train.stages",
+        report.counter("zoo.train.stages").unwrap_or(f64::NAN),
+        counters.train_epochs,
+    );
+    for (t, (&pool, &survivors)) in counters
+        .pool_per_stage
+        .iter()
+        .zip(&counters.survivors_per_stage)
+        .enumerate()
+    {
+        ok(
+            &stage_counter("fine", t, "pool"),
+            report
+                .counter(&stage_counter("fine", t, "pool"))
+                .unwrap_or(f64::NAN),
+            pool as f64,
+        );
+        ok(
+            &stage_counter("fine", t, "survivors"),
+            report
+                .counter(&stage_counter("fine", t, "survivors"))
+                .unwrap_or(f64::NAN),
+            survivors as f64,
+        );
+    }
+    // Span tree shape: the pipeline span wraps both phases, and the fine
+    // phase ran one `select.stage` span per stage.
+    let pipeline = report
+        .find_span("pipeline.two_phase_select")
+        .expect("pipeline span recorded");
+    assert!(
+        pipeline.find("recall.coarse").is_some(),
+        "recall span nested"
+    );
+    assert!(pipeline.find("select.fine").is_some(), "fine span nested");
+    assert_eq!(
+        report.spans_named("select.stage").len(),
+        counters.stages,
+        "one select.stage span per fine-selection stage"
+    );
+    checks.push(format!(
+        "  ok span tree: pipeline > (recall.coarse, select.fine), {} stage spans",
+        counters.stages
+    ));
+    checks.join("\n")
+}
+
+/// One tiny traced end-to-end run; hard-fails unless trace == outcome.
+pub fn smoke() -> Report {
+    let world = World::synthetic(&SyntheticConfig {
+        seed: SEED,
+        n_families: 4,
+        family_size: (2, 4),
+        n_singletons: 8,
+        n_benchmarks: 12,
+        n_targets: 1,
+        stages: 5,
+    });
+    let bundle = WorldBundle::from_world(world);
+    let n_models = bundle.matrix().n_models();
+
+    let (tel, sink) = Telemetry::recording();
+    let oracle = ZooOracle::new(&bundle.world, 0).expect("target 0 exists");
+    let mut trainer = ZooTrainer::new(&bundle.world, 0)
+        .expect("target 0 exists")
+        .with_telemetry(tel.clone());
+    let out = two_phase_select_traced(
+        &bundle.artifacts,
+        &oracle,
+        &mut trainer,
+        &PipelineConfig {
+            total_stages: bundle.world.stages,
+            ..Default::default()
+        },
+        &tel,
+    )
+    .expect("pipeline runs on the smoke world");
+    let trace = sink.report();
+
+    let checklist = check_consistency(&trace, &out.counters);
+
+    let mut table = Table::new(vec!["models", "recalled", "stages", "epochs", "acc"]);
+    table.row(vec![
+        n_models.to_string(),
+        out.counters.recalled.to_string(),
+        out.counters.stages.to_string(),
+        epochs(out.counters.total_epochs),
+        acc(out.selection.winner_test),
+    ]);
+    let body = format!("{}\ntrace consistency:\n{}", table.render(), checklist);
+    let record = SmokeRecord {
+        n_models,
+        winner: bundle.matrix().model_name(out.selection.winner).to_string(),
+        winner_test: out.selection.winner_test,
+        counters: out.counters,
+        trace,
+    };
+    Report::new(
+        "smoke",
+        "CI smoke: traced end-to-end run, trace checked against the outcome",
+        body,
+        &record,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_is_self_consistent() {
+        // `smoke()` asserts consistency internally; surviving the call is
+        // the test. Spot-check the record shape on top.
+        let report = smoke();
+        let record: SmokeRecord = serde_json::from_value(report.json).unwrap();
+        assert!(record.counters.stages > 0);
+        assert!(record.counters.total_epochs > 0.0);
+        assert_eq!(
+            record.counters.total_epochs,
+            record.counters.proxy_epochs + record.counters.train_epochs
+        );
+        assert!(record
+            .trace
+            .find_span("pipeline.two_phase_select")
+            .is_some());
+    }
+}

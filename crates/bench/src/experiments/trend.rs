@@ -93,8 +93,7 @@ pub fn fig6() -> Report {
         });
     }
 
-    let mean =
-        |f: fn(&Fig6Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+    let mean = |f: fn(&Fig6Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
     let mut body = table.render();
     body.push_str(&format!(
         "\nmeans: sil(val) {:.3} vs sil(random) {:.3}; err(trend) {:.3} vs err(mean) {:.3}\n",
@@ -162,7 +161,10 @@ mod tests {
             .iter()
             .filter(|r| r.silhouette_validation > r.silhouette_random)
             .count();
-        assert!(better >= 38, "only {better}/40 models beat random clustering");
+        assert!(
+            better >= 38,
+            "only {better}/40 models beat random clustering"
+        );
     }
 
     #[test]
@@ -172,13 +174,19 @@ mod tests {
             .iter()
             .filter(|r| r.rel_error_trend < r.rel_error_global_mean)
             .count();
-        assert!(better >= 36, "only {better}/40 models beat the mean baseline");
+        assert!(
+            better >= 36,
+            "only {better}/40 models beat the mean baseline"
+        );
         // And by a clear margin on average.
         let mean_trend: f64 =
             rows.iter().map(|r| r.rel_error_trend).sum::<f64>() / rows.len() as f64;
         let mean_global: f64 =
             rows.iter().map(|r| r.rel_error_global_mean).sum::<f64>() / rows.len() as f64;
-        assert!(mean_trend < 0.5 * mean_global, "{mean_trend} vs {mean_global}");
+        assert!(
+            mean_trend < 0.5 * mean_global,
+            "{mean_trend} vs {mean_global}"
+        );
     }
 
     #[test]

@@ -114,7 +114,10 @@ impl Report {
 
     /// Print the report and persist its JSON record under `dir`.
     pub fn emit(&self, dir: &Path) -> std::io::Result<()> {
-        print_ignoring_pipe(&format!("== {} — {}\n\n{}\n", self.id, self.title, self.body));
+        print_ignoring_pipe(&format!(
+            "== {} — {}\n\n{}\n",
+            self.id, self.title, self.body
+        ));
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
         std::fs::write(&path, serde_json::to_string_pretty(&self.json)?)?;

@@ -80,7 +80,9 @@ impl ParsedArgs {
             let Some(name) = arg.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedPositional(arg));
             };
-            let value = iter.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
             if flags.insert(name.to_string(), value).is_some() {
                 return Err(ArgError::DuplicateFlag(name.to_string()));
             }
@@ -187,7 +189,10 @@ mod tests {
     #[test]
     fn require_reports_flag_name() {
         let a = ParsedArgs::parse(["x"]).unwrap();
-        assert_eq!(a.require("target").unwrap_err(), ArgError::MissingFlag("target"));
+        assert_eq!(
+            a.require("target").unwrap_err(),
+            ArgError::MissingFlag("target")
+        );
     }
 
     #[test]

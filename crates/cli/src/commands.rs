@@ -8,12 +8,13 @@ use std::path::Path;
 use tps_core::ids::ModelId;
 use tps_core::parallel::ParallelConfig;
 use tps_core::pipeline::{
-    two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig,
+    two_phase_select_traced, OfflineArtifacts, OfflineConfig, PipelineConfig,
 };
 use tps_core::recall::RecallConfig;
-use tps_core::select::brute::brute_force_par;
+use tps_core::select::brute::brute_force_traced;
 use tps_core::select::fine::FineSelectionConfig;
-use tps_core::select::halving::successive_halving_par;
+use tps_core::select::halving::successive_halving_traced;
+use tps_core::telemetry::{RecordingSink, Telemetry};
 use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
 
 /// Top-level CLI error: argument problems, IO, or framework errors.
@@ -83,15 +84,18 @@ commands:
                                              [--models N --benchmarks N] --out FILE
   offline  build offline artifacts           --world FILE --out FILE [--top-k-sim N]
                                              [--threshold F] [--threads N]
+                                             [--trace-out FILE]
   inspect  summarise offline artifacts       --artifacts FILE
   select   two-phase selection for a target  --world FILE --artifacts FILE
                                              --target NAME [--top-k N] [--threshold F]
-                                             [--threads N]
+                                             [--threads N] [--trace-out FILE]
   compare  BF vs SH vs 2PH on one target     --world FILE --artifacts FILE --target NAME
-                                             [--threads N]
+                                             [--threads N] [--trace-out FILE]
 
 `--threads 0` resolves the worker count from $TPS_THREADS or the machine's
 available parallelism; results are identical for any thread count.
+`--trace-out FILE` records structured telemetry (per-phase wall-clock spans
+plus proxy-eval / epoch / survivor counters) and writes it as JSON.
   grow     add a model incrementally         --world FILE --artifacts FILE --name NAME
                                              [--like MODEL] [--capability F] [--seed N]
   archive  persist world+artifacts durably   --store DIR --name TAG --world FILE
@@ -110,14 +114,22 @@ fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> 
 }
 
 fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
-    let data = serde_json::to_string(value)
-        .map_err(|e| CliError::Io(format!("cannot serialize: {e}")))?;
+    let data =
+        serde_json::to_string(value).map_err(|e| CliError::Io(format!("cannot serialize: {e}")))?;
     std::fs::write(Path::new(path), data)
         .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))
 }
 
 fn cmd_world(args: &ParsedArgs) -> Result<String, CliError> {
-    args.restrict(&["domain", "seed", "models", "benchmarks", "targets", "stages", "out"])?;
+    args.restrict(&[
+        "domain",
+        "seed",
+        "models",
+        "benchmarks",
+        "targets",
+        "stages",
+        "out",
+    ])?;
     let seed = args.get_parse("seed", 42u64, "integer")?;
     let out = args.require("out")?;
     let world = match args.get("domain").unwrap_or("nlp") {
@@ -157,20 +169,50 @@ fn cmd_world(args: &ParsedArgs) -> Result<String, CliError> {
 /// Parse `--threads N` into a [`ParallelConfig`] (default: serial; `0`
 /// resolves from `TPS_THREADS` / available parallelism).
 fn parallel_config(args: &ParsedArgs) -> Result<ParallelConfig, CliError> {
-    Ok(ParallelConfig::with_threads(args.get_parse(
-        "threads",
-        1usize,
-        "integer",
-    )?))
+    Ok(ParallelConfig::with_threads(
+        args.get_parse("threads", 1usize, "integer")?,
+    ))
+}
+
+/// Telemetry plumbing for `--trace-out FILE`: without the flag, tracing is
+/// disabled (and costs nothing); with it, a recording sink collects spans +
+/// counters which [`write_trace`] renders to the file after the command.
+fn telemetry_for(args: &ParsedArgs) -> (Telemetry, Option<std::sync::Arc<RecordingSink>>) {
+    if args.get("trace-out").is_some() {
+        let (tel, sink) = Telemetry::recording();
+        (tel, Some(sink))
+    } else {
+        (Telemetry::disabled(), None)
+    }
+}
+
+/// Write the collected trace (if any) to the `--trace-out` path, appending
+/// a note to the command output.
+fn write_trace(
+    args: &ParsedArgs,
+    sink: Option<std::sync::Arc<RecordingSink>>,
+    out: &mut String,
+) -> Result<(), CliError> {
+    if let (Some(sink), Some(path)) = (sink, args.get("trace-out")) {
+        let report = sink.report();
+        write_json(path, &report)?;
+        let _ = writeln!(
+            out,
+            "wrote trace to {path}: {} root span(s), {} counter(s)",
+            report.spans.len(),
+            report.counters.len()
+        );
+    }
+    Ok(())
 }
 
 fn offline_config(args: &ParsedArgs) -> Result<OfflineConfig, CliError> {
     let mut config = OfflineConfig::default();
     config.similarity_top_k = args.get_parse("top-k-sim", config.similarity_top_k, "integer")?;
     if let Some(t) = args.get("threshold") {
-        let t: f64 = t.parse().map_err(|_| CliError::Usage(
-            "--threshold expects a number".into(),
-        ))?;
+        let t: f64 = t
+            .parse()
+            .map_err(|_| CliError::Usage("--threshold expects a number".into()))?;
         config.cluster = tps_core::pipeline::ClusterMethod::HierarchicalThreshold(t);
     }
     config.parallel = parallel_config(args)?;
@@ -178,21 +220,31 @@ fn offline_config(args: &ParsedArgs) -> Result<OfflineConfig, CliError> {
 }
 
 fn cmd_offline(args: &ParsedArgs) -> Result<String, CliError> {
-    args.restrict(&["world", "out", "top-k-sim", "threshold", "threads"])?;
+    args.restrict(&[
+        "world",
+        "out",
+        "top-k-sim",
+        "threshold",
+        "threads",
+        "trace-out",
+    ])?;
     let world: World = read_json(args.require("world")?)?;
     let out = args.require("out")?;
     let config = offline_config(args)?;
-    let (matrix, curves) = world.build_offline()?;
-    let artifacts = OfflineArtifacts::build(matrix, &curves, &config)?;
+    let (tel, sink) = telemetry_for(args);
+    let (matrix, curves) = world.build_offline_traced(config.parallel.resolve(), &tel)?;
+    let artifacts = OfflineArtifacts::build_traced(matrix, &curves, &config, &tel)?;
     write_json(out, &artifacts)?;
-    Ok(format!(
+    let mut text = format!(
         "wrote offline artifacts to {out}: {} x {} performance matrix, {} clusters \
          ({} non-singleton)\n",
         artifacts.matrix.n_models(),
         artifacts.matrix.n_datasets(),
         artifacts.clustering.n_clusters(),
         artifacts.clustering.non_singleton_clusters().len(),
-    ))
+    );
+    write_trace(args, sink, &mut text)?;
+    Ok(text)
 }
 
 fn cmd_inspect(args: &ParsedArgs) -> Result<String, CliError> {
@@ -250,7 +302,14 @@ fn target_index(world: &World, name: &str) -> Result<usize, CliError> {
 
 fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
     args.restrict(&[
-        "world", "artifacts", "target", "top-k", "threshold", "stages", "threads",
+        "world",
+        "artifacts",
+        "target",
+        "top-k",
+        "threshold",
+        "stages",
+        "threads",
+        "trace-out",
     ])?;
     let world: World = read_json(args.require("world")?)?;
     let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
@@ -266,9 +325,10 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
         total_stages: args.get_parse("stages", world.stages, "integer")?,
         parallel: parallel_config(args)?,
     };
+    let (tel, sink) = telemetry_for(args);
     let oracle = ZooOracle::new(&world, target)?;
-    let mut trainer = ZooTrainer::new(&world, target)?;
-    let outcome = two_phase_select(&artifacts, &oracle, &mut trainer, &config)?;
+    let mut trainer = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+    let outcome = two_phase_select_traced(&artifacts, &oracle, &mut trainer, &config, &tel)?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -290,11 +350,18 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    let c = &outcome.counters;
+    let _ = writeln!(
+        out,
+        "  accounting    {} proxy evals, {} recalled, pools {:?} over {} stages",
+        c.proxy_evals, c.recalled, c.pool_per_stage, c.stages
+    );
+    write_trace(args, sink, &mut out)?;
     Ok(out)
 }
 
 fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
-    args.restrict(&["world", "artifacts", "target", "threads"])?;
+    args.restrict(&["world", "artifacts", "target", "threads", "trace-out"])?;
     let world: World = read_json(args.require("world")?)?;
     let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
     let target = target_index(&world, args.require("target")?)?;
@@ -302,13 +369,14 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
     let threads = parallel.resolve();
     let everyone: Vec<ModelId> = artifacts.matrix.model_ids().collect();
 
-    let mut t1 = ZooTrainer::new(&world, target)?;
-    let bf = brute_force_par(&mut t1, &everyone, world.stages, threads)?;
-    let mut t2 = ZooTrainer::new(&world, target)?;
-    let sh = successive_halving_par(&mut t2, &everyone, world.stages, threads)?;
+    let (tel, sink) = telemetry_for(args);
+    let mut t1 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+    let bf = brute_force_traced(&mut t1, &everyone, world.stages, threads, &tel)?;
+    let mut t2 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+    let sh = successive_halving_traced(&mut t2, &everyone, world.stages, threads, &tel)?;
     let oracle = ZooOracle::new(&world, target)?;
-    let mut t3 = ZooTrainer::new(&world, target)?;
-    let two_phase = two_phase_select(
+    let mut t3 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+    let two_phase = two_phase_select_traced(
         &artifacts,
         &oracle,
         &mut t3,
@@ -317,6 +385,7 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
             parallel,
             ..Default::default()
         },
+        &tel,
     )?;
 
     let mut out = String::new();
@@ -329,7 +398,12 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
         );
     };
     row("brute force", bf.winner_test, bf.ledger.total(), bf.winner);
-    row("successive halving", sh.winner_test, sh.ledger.total(), sh.winner);
+    row(
+        "successive halving",
+        sh.winner_test,
+        sh.ledger.total(),
+        sh.winner,
+    );
     row(
         "two-phase",
         two_phase.selection.winner_test,
@@ -342,12 +416,12 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
         bf.ledger.total() / two_phase.ledger.total(),
         sh.ledger.total() / two_phase.ledger.total()
     );
+    write_trace(args, sink, &mut out)?;
     Ok(out)
 }
 
 fn open_store(args: &ParsedArgs) -> Result<tps_store::Store, CliError> {
-    tps_store::Store::open(args.require("store")?)
-        .map_err(|e| CliError::Io(e.to_string()))
+    tps_store::Store::open(args.require("store")?).map_err(|e| CliError::Io(e.to_string()))
 }
 
 /// Persist a world + artifacts pair into a durable, checksummed store.
@@ -385,7 +459,8 @@ fn cmd_catalog(args: &ParsedArgs) -> Result<String, CliError> {
     let entries = store.list();
     if entries.is_empty() {
         return Ok("store is empty
-".into());
+"
+        .into());
     }
     let mut out = String::new();
     for (name, entry) in entries {
@@ -404,8 +479,11 @@ fn cmd_fsck(args: &ParsedArgs) -> Result<String, CliError> {
     let store = open_store(args)?;
     let bad = store.fsck();
     if bad.is_empty() {
-        Ok(format!("{} records verified, all healthy
-", store.list().len()))
+        Ok(format!(
+            "{} records verified, all healthy
+",
+            store.list().len()
+        ))
     } else {
         Err(CliError::Usage(format!(
             "corrupt records: {}",
@@ -495,7 +573,10 @@ fn cmd_grow(args: &ParsedArgs) -> Result<String, CliError> {
     write_json(arts_path, &artifacts)?;
 
     let placement = match report.placement {
-        Placement::Joined { cluster, similarity } => {
+        Placement::Joined {
+            cluster,
+            similarity,
+        } => {
             let members: Vec<&str> = artifacts
                 .clustering
                 .members(cluster)
@@ -551,17 +632,115 @@ mod tests {
         assert!(out.contains("top models"));
 
         let out = run_line(&[
-            "select", "--world", world_s, "--artifacts", arts_s, "--target", "beans",
+            "select",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--target",
+            "beans",
         ])
         .unwrap();
         assert!(out.contains("selected `"));
         assert!(out.contains("test accuracy"));
 
         let out = run_line(&[
-            "compare", "--world", world_s, "--artifacts", arts_s, "--target", "beans",
+            "compare",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--target",
+            "beans",
         ])
         .unwrap();
         assert!(out.contains("two-phase speedup"));
+    }
+
+    #[test]
+    fn trace_out_writes_a_consistent_trace() {
+        use tps_core::telemetry::TraceReport;
+        let dir = tmpdir();
+        let world = dir.join("tw.json");
+        let arts = dir.join("ta.json");
+        let trace = dir.join("trace.json");
+        let offline_trace = dir.join("offline-trace.json");
+        let world_s = world.to_str().unwrap();
+        let arts_s = arts.to_str().unwrap();
+        let trace_s = trace.to_str().unwrap();
+
+        run_line(&["world", "--domain", "cv", "--seed", "7", "--out", world_s]).unwrap();
+        let out = run_line(&[
+            "offline",
+            "--world",
+            world_s,
+            "--out",
+            arts_s,
+            "--trace-out",
+            offline_trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote trace to"), "{out}");
+        let offline_report: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&offline_trace).unwrap()).unwrap();
+        assert!(offline_report.find_span("zoo.offline.build").is_some());
+        assert!(offline_report.find_span("offline.build").is_some());
+        // 30 models x 10 benchmarks simulated.
+        assert_eq!(offline_report.counter("zoo.offline.runs"), Some(300.0));
+        assert_eq!(offline_report.counter("offline.models"), Some(30.0));
+
+        let out = run_line(&[
+            "select",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--target",
+            "beans",
+            "--trace-out",
+            trace_s,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote trace to"), "{out}");
+        let report: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        // Counters are self-consistent with the printed accounting and each
+        // other: epochs the selectors charged equal epochs the trainer ran.
+        assert_eq!(
+            report.counter("select.train_epochs"),
+            report.counter("zoo.train.stages"),
+        );
+        assert_eq!(report.counter("recall.recalled"), Some(10.0));
+        let pipeline = report.find_span("pipeline.two_phase_select").unwrap();
+        assert!(pipeline.find("recall.coarse").is_some());
+        assert!(pipeline.find("select.fine").is_some());
+
+        // compare traces all three selectors.
+        let cmp_trace = dir.join("cmp-trace.json");
+        run_line(&[
+            "compare",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--target",
+            "beans",
+            "--trace-out",
+            cmp_trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let cmp: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&cmp_trace).unwrap()).unwrap();
+        for span in [
+            "select.brute",
+            "select.halving",
+            "pipeline.two_phase_select",
+        ] {
+            assert!(cmp.find_span(span).is_some(), "missing {span}");
+        }
+        // BF trains everyone for every stage: 30 models x stages epochs of
+        // the total; SH and 2PH add theirs on top.
+        assert!(cmp.counter("select.train_epochs").unwrap() > 30.0 * 4.0);
     }
 
     #[test]
@@ -585,10 +764,7 @@ mod tests {
 
     #[test]
     fn helpful_errors() {
-        assert!(matches!(
-            run_line(&["frobnicate"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run_line(&["frobnicate"]), Err(CliError::Usage(_))));
         assert!(matches!(
             run_line(&["world", "--domain", "quantum", "--out", "/tmp/x.json"]),
             Err(CliError::Usage(_))
@@ -607,7 +783,11 @@ mod tests {
         let arts = dir.join("a2.json");
         run_line(&["world", "--domain", "cv", "--out", world.to_str().unwrap()]).unwrap();
         run_line(&[
-            "offline", "--world", world.to_str().unwrap(), "--out", arts.to_str().unwrap(),
+            "offline",
+            "--world",
+            world.to_str().unwrap(),
+            "--out",
+            arts.to_str().unwrap(),
         ])
         .unwrap();
         let err = run_line(&[
@@ -646,22 +826,45 @@ mod tests {
         run_line(&["offline", "--world", world_s, "--out", arts_s]).unwrap();
 
         let out = run_line(&[
-            "archive", "--store", store_s, "--name", "cv-v1",
-            "--world", world_s, "--artifacts", arts_s,
+            "archive",
+            "--store",
+            store_s,
+            "--name",
+            "cv-v1",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
         ])
         .unwrap();
         assert!(out.contains("archived `cv-v1`"), "{out}");
 
         // Double-archive without --force is refused.
         assert!(run_line(&[
-            "archive", "--store", store_s, "--name", "cv-v1",
-            "--world", world_s, "--artifacts", arts_s,
+            "archive",
+            "--store",
+            store_s,
+            "--name",
+            "cv-v1",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
         ])
         .is_err());
         // With --force it succeeds.
         run_line(&[
-            "archive", "--store", store_s, "--name", "cv-v1",
-            "--world", world_s, "--artifacts", arts_s, "--force", "true",
+            "archive",
+            "--store",
+            store_s,
+            "--name",
+            "cv-v1",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--force",
+            "true",
         ])
         .unwrap();
 
@@ -685,8 +888,15 @@ mod tests {
 
         // A sibling of an existing family member joins its cluster.
         let out = run_line(&[
-            "grow", "--world", world_s, "--artifacts", arts_s,
-            "--name", "lab/vit-clone", "--like", "google/vit-base-patch16-224",
+            "grow",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--name",
+            "lab/vit-clone",
+            "--like",
+            "google/vit-base-patch16-224",
         ])
         .unwrap();
         assert!(out.contains("joined cluster"), "{out}");
@@ -695,15 +905,26 @@ mod tests {
         let out = run_line(&["inspect", "--artifacts", arts_s]).unwrap();
         assert!(out.contains("31 models"));
         let out = run_line(&[
-            "select", "--world", world_s, "--artifacts", arts_s, "--target", "beans",
+            "select",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--target",
+            "beans",
         ])
         .unwrap();
         assert!(out.contains("selected `"));
 
         // Duplicate names are rejected.
         assert!(run_line(&[
-            "grow", "--world", world_s, "--artifacts", arts_s,
-            "--name", "lab/vit-clone",
+            "grow",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--name",
+            "lab/vit-clone",
         ])
         .is_err());
     }

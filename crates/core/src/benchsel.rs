@@ -137,7 +137,11 @@ mod tests {
     fn compaction_prefers_informative_datasets() {
         let m = redundant_matrix();
         let result = compact_benchmarks(&m, 3, 1).unwrap();
-        assert!(result.selected[0].index() <= 2, "picked {:?}", result.selected);
+        assert!(
+            result.selected[0].index() <= 2,
+            "picked {:?}",
+            result.selected
+        );
         assert!(result.preservation_curve[0] > 0.9);
     }
 

@@ -126,7 +126,15 @@ mod tests {
         // Two dense families and one isolated point.
         let xs: [f64; 7] = [0.0, 0.01, 0.02, 1.0, 1.01, 1.02, 5.0];
         let d = dist_from_points(&xs);
-        let c = dbscan(&d, 7, &DbscanConfig { eps: 0.05, min_points: 2 }).unwrap();
+        let c = dbscan(
+            &d,
+            7,
+            &DbscanConfig {
+                eps: 0.05,
+                min_points: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(c.n_clusters(), 3);
         assert_eq!(c.cluster_of(ModelId(0)), c.cluster_of(ModelId(2)));
         assert_eq!(c.cluster_of(ModelId(3)), c.cluster_of(ModelId(5)));
@@ -141,7 +149,15 @@ mod tests {
         // A chain of points each within eps of the next: one cluster.
         let xs: [f64; 5] = [0.0, 0.04, 0.08, 0.12, 0.16];
         let d = dist_from_points(&xs);
-        let c = dbscan(&d, 5, &DbscanConfig { eps: 0.05, min_points: 2 }).unwrap();
+        let c = dbscan(
+            &d,
+            5,
+            &DbscanConfig {
+                eps: 0.05,
+                min_points: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(c.n_clusters(), 1);
     }
 
@@ -150,9 +166,25 @@ mod tests {
         // A pair is a cluster at min_points 2 but noise at min_points 3.
         let xs: [f64; 3] = [0.0, 0.02, 9.0];
         let d = dist_from_points(&xs);
-        let pair = dbscan(&d, 3, &DbscanConfig { eps: 0.05, min_points: 2 }).unwrap();
+        let pair = dbscan(
+            &d,
+            3,
+            &DbscanConfig {
+                eps: 0.05,
+                min_points: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(pair.non_singleton_clusters().len(), 1);
-        let strict = dbscan(&d, 3, &DbscanConfig { eps: 0.05, min_points: 3 }).unwrap();
+        let strict = dbscan(
+            &d,
+            3,
+            &DbscanConfig {
+                eps: 0.05,
+                min_points: 3,
+            },
+        )
+        .unwrap();
         assert_eq!(strict.non_singleton_clusters().len(), 0);
         assert_eq!(strict.n_clusters(), 3);
     }
@@ -161,7 +193,15 @@ mod tests {
     fn all_noise_when_eps_tiny() {
         let xs: [f64; 4] = [0.0, 1.0, 2.0, 3.0];
         let d = dist_from_points(&xs);
-        let c = dbscan(&d, 4, &DbscanConfig { eps: 1e-6, min_points: 2 }).unwrap();
+        let c = dbscan(
+            &d,
+            4,
+            &DbscanConfig {
+                eps: 1e-6,
+                min_points: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(c.n_clusters(), 4);
     }
 
@@ -169,7 +209,15 @@ mod tests {
     fn single_cluster_when_eps_huge() {
         let xs: [f64; 4] = [0.0, 1.0, 2.0, 3.0];
         let d = dist_from_points(&xs);
-        let c = dbscan(&d, 4, &DbscanConfig { eps: 10.0, min_points: 2 }).unwrap();
+        let c = dbscan(
+            &d,
+            4,
+            &DbscanConfig {
+                eps: 10.0,
+                min_points: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(c.n_clusters(), 1);
     }
 
@@ -177,9 +225,33 @@ mod tests {
     fn validates_input() {
         assert!(dbscan(&[], 0, &DbscanConfig::default()).is_err());
         assert!(dbscan(&[0.0, 1.0], 2, &DbscanConfig::default()).is_err());
-        assert!(dbscan(&[0.0], 1, &DbscanConfig { eps: 0.0, min_points: 2 }).is_err());
-        assert!(dbscan(&[0.0], 1, &DbscanConfig { eps: f64::NAN, min_points: 2 }).is_err());
-        assert!(dbscan(&[0.0], 1, &DbscanConfig { eps: 0.1, min_points: 0 }).is_err());
+        assert!(dbscan(
+            &[0.0],
+            1,
+            &DbscanConfig {
+                eps: 0.0,
+                min_points: 2
+            }
+        )
+        .is_err());
+        assert!(dbscan(
+            &[0.0],
+            1,
+            &DbscanConfig {
+                eps: f64::NAN,
+                min_points: 2
+            }
+        )
+        .is_err());
+        assert!(dbscan(
+            &[0.0],
+            1,
+            &DbscanConfig {
+                eps: 0.1,
+                min_points: 0
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -202,7 +274,10 @@ mod tests {
         let c = dbscan(
             &sim.distance_matrix(),
             matrix.n_models(),
-            &DbscanConfig { eps: 0.05, min_points: 2 },
+            &DbscanConfig {
+                eps: 0.05,
+                min_points: 2,
+            },
         )
         .unwrap();
         assert_eq!(c.non_singleton_clusters().len(), 2);

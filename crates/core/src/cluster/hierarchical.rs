@@ -259,9 +259,18 @@ mod tests {
         let (d, n) = line_points();
         let c = hierarchical_k(&d, n, 2, Linkage::Average).unwrap();
         assert_eq!(c.n_clusters(), 2);
-        assert_eq!(c.cluster_of(crate::ids::ModelId(0)), c.cluster_of(crate::ids::ModelId(1)));
-        assert_eq!(c.cluster_of(crate::ids::ModelId(2)), c.cluster_of(crate::ids::ModelId(3)));
-        assert_ne!(c.cluster_of(crate::ids::ModelId(0)), c.cluster_of(crate::ids::ModelId(2)));
+        assert_eq!(
+            c.cluster_of(crate::ids::ModelId(0)),
+            c.cluster_of(crate::ids::ModelId(1))
+        );
+        assert_eq!(
+            c.cluster_of(crate::ids::ModelId(2)),
+            c.cluster_of(crate::ids::ModelId(3))
+        );
+        assert_ne!(
+            c.cluster_of(crate::ids::ModelId(0)),
+            c.cluster_of(crate::ids::ModelId(2))
+        );
     }
 
     #[test]

@@ -108,10 +108,7 @@ fn kmeans_once<R: Rng + ?Sized>(
 fn plus_plus_init<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= f64::EPSILON {
@@ -247,8 +244,24 @@ mod tests {
     fn rejects_bad_config() {
         let pts = vec![vec![1.0], vec![2.0]];
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(kmeans(&pts, &KMeansConfig { k: 0, ..Default::default() }, &mut rng).is_err());
-        assert!(kmeans(&pts, &KMeansConfig { k: 3, ..Default::default() }, &mut rng).is_err());
+        assert!(kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
         assert!(kmeans(&[], &KMeansConfig::default(), &mut rng).is_err());
     }
 
@@ -256,7 +269,15 @@ mod tests {
     fn rejects_ragged_points() {
         let pts = vec![vec![1.0, 2.0], vec![1.0]];
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(kmeans(&pts, &KMeansConfig { k: 1, ..Default::default() }, &mut rng).is_err());
+        assert!(kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]

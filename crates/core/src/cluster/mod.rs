@@ -180,12 +180,8 @@ mod tests {
 
     #[test]
     fn representative_dimension_check() {
-        let m = PerformanceMatrix::new(
-            vec!["a".into()],
-            vec!["d0".into()],
-            vec![vec![0.9]],
-        )
-        .unwrap();
+        let m =
+            PerformanceMatrix::new(vec!["a".into()], vec!["d0".into()], vec![vec![0.9]]).unwrap();
         let c = Clustering::new(vec![0, 1]).unwrap();
         assert!(c.representatives(&m).is_err());
     }

@@ -186,8 +186,11 @@ mod tests {
     #[test]
     fn curveset_layout() {
         let cs = CurveSet::from_fn(2, 3, |m, d| {
-            LearningCurve::new(vec![0.1 * (m.index() + 1) as f64], 0.01 * (d.index() + 1) as f64)
-                .unwrap()
+            LearningCurve::new(
+                vec![0.1 * (m.index() + 1) as f64],
+                0.01 * (d.index() + 1) as f64,
+            )
+            .unwrap()
         })
         .unwrap();
         assert_eq!(cs.n_models(), 2);

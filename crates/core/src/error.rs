@@ -42,7 +42,10 @@ impl fmt::Display for SelectionError {
                 what,
                 expected,
                 got,
-            } => write!(f, "dimension mismatch for {what}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "dimension mismatch for {what}: expected {expected}, got {got}"
+            ),
             SelectionError::Empty(what) => write!(f, "{what} must not be empty"),
             SelectionError::TooManyClusters { points, clusters } => {
                 write!(f, "cannot form {clusters} clusters from {points} points")
@@ -51,7 +54,10 @@ impl fmt::Display for SelectionError {
                 write!(f, "invalid value for {what}: {value}")
             }
             SelectionError::NotADistribution { row, sum } => {
-                write!(f, "prediction row {row} is not a distribution (sums to {sum})")
+                write!(
+                    f,
+                    "prediction row {row} is not a distribution (sums to {sum})"
+                )
             }
             SelectionError::UnknownId { what, id } => write!(f, "unknown {what} id {id}"),
             SelectionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),

@@ -101,7 +101,9 @@ impl OfflineArtifacts {
         // 3. Greedy cluster placement against existing representatives.
         // (Representatives are derived from the matrix *before* growth —
         // identical, since representative choice ignores the new model.)
-        let reps = self.clustering.representatives_excluding_last(&self.matrix)?;
+        let reps = self
+            .clustering
+            .representatives_excluding_last(&self.matrix)?;
         let join_threshold = match config.cluster {
             ClusterMethod::HierarchicalThreshold(t) => 1.0 - t,
             // DBSCAN's radius is already a distance bound.
@@ -161,7 +163,10 @@ impl crate::matrix::PerformanceMatrix {
             .collect();
         names.push(name.to_string());
         let dataset_names: Vec<String> = (0..self.n_datasets())
-            .map(|d| self.dataset_name(crate::ids::DatasetId::from(d)).to_string())
+            .map(|d| {
+                self.dataset_name(crate::ids::DatasetId::from(d))
+                    .to_string()
+            })
             .collect();
         let rows: Vec<Vec<f64>> = (0..self.n_datasets())
             .map(|d| {
@@ -293,7 +298,10 @@ mod tests {
             .unwrap();
         assert_eq!(report.model, ModelId(4));
         match report.placement {
-            Placement::Joined { cluster, similarity } => {
+            Placement::Joined {
+                cluster,
+                similarity,
+            } => {
                 assert_eq!(cluster, family_cluster);
                 assert!(similarity > 0.95);
             }
@@ -340,7 +348,11 @@ mod tests {
         .unwrap();
         // The newcomer has the highest average accuracy in the family
         // cluster, so it should lead the recall ranking.
-        assert!(out.recalled.contains(&ModelId(4)), "recalled {:?}", out.recalled);
+        assert!(
+            out.recalled.contains(&ModelId(4)),
+            "recalled {:?}",
+            out.recalled
+        );
     }
 
     #[test]
@@ -375,7 +387,8 @@ mod tests {
         })
         .unwrap();
         let rebuilt = OfflineArtifacts::build(arts.matrix.clone(), &curves, &config).unwrap();
-        let same_incr = arts.clustering.cluster_of(ModelId(4)) == arts.clustering.cluster_of(ModelId(0));
+        let same_incr =
+            arts.clustering.cluster_of(ModelId(4)) == arts.clustering.cluster_of(ModelId(0));
         let same_rebuild =
             rebuilt.clustering.cluster_of(ModelId(4)) == rebuilt.clustering.cluster_of(ModelId(0));
         assert_eq!(same_incr, same_rebuild);

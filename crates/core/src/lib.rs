@@ -62,6 +62,7 @@ pub mod recall;
 pub mod select;
 pub mod similarity;
 pub mod stats;
+pub mod telemetry;
 pub mod traits;
 pub mod trend;
 
@@ -76,8 +77,8 @@ pub mod prelude {
     pub use crate::matrix::PerformanceMatrix;
     pub use crate::parallel::ParallelConfig;
     pub use crate::pipeline::{
-        two_phase_select, ClusterMethod, OfflineArtifacts, OfflineConfig, PipelineConfig,
-        PipelineOutcome,
+        two_phase_select, two_phase_select_traced, ClusterMethod, OfflineArtifacts, OfflineConfig,
+        PipelineConfig, PipelineCounters, PipelineOutcome,
     };
     pub use crate::proxy::{leep::leep, PredictionMatrix};
     pub use crate::recall::{coarse_recall, coarse_recall_par, RecallConfig, RecallOutcome};
@@ -88,6 +89,7 @@ pub mod prelude {
         SelectionOutcome,
     };
     pub use crate::similarity::SimilarityMatrix;
+    pub use crate::telemetry::{RecordingSink, Telemetry, TelemetrySink, TraceReport};
     pub use crate::traits::{ProxyOracle, TargetTrainer};
     pub use crate::trend::{ConvergenceTrends, TrendBook, TrendConfig};
 }

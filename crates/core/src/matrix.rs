@@ -296,10 +296,7 @@ mod tests {
     #[test]
     fn best_model_per_dataset() {
         let m = small();
-        assert_eq!(
-            m.best_model_per_dataset(),
-            vec![ModelId(0), ModelId(0)]
-        );
+        assert_eq!(m.best_model_per_dataset(), vec![ModelId(0), ModelId(0)]);
     }
 
     #[test]
@@ -315,23 +312,15 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_accuracy() {
-        let err = PerformanceMatrix::new(
-            vec!["a".into()],
-            vec!["d0".into()],
-            vec![vec![1.5]],
-        )
-        .unwrap_err();
+        let err = PerformanceMatrix::new(vec!["a".into()], vec!["d0".into()], vec![vec![1.5]])
+            .unwrap_err();
         assert!(matches!(err, SelectionError::InvalidValue { .. }));
     }
 
     #[test]
     fn rejects_nan() {
-        let err = PerformanceMatrix::new(
-            vec!["a".into()],
-            vec!["d0".into()],
-            vec![vec![f64::NAN]],
-        )
-        .unwrap_err();
+        let err = PerformanceMatrix::new(vec!["a".into()], vec!["d0".into()], vec![vec![f64::NAN]])
+            .unwrap_err();
         assert!(matches!(err, SelectionError::InvalidValue { .. }));
     }
 

@@ -82,8 +82,7 @@ impl ParallelConfig {
 /// streams, and the result is independent of how items are assigned to
 /// threads — parallel and serial runs see identical child seeds.
 pub fn split_seed(seed: u64, index: u64) -> u64 {
-    let mut z = seed
-        ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -11,6 +11,7 @@
 //! accounting (`CR` proxy epochs + `FS` training epochs, the Table VI
 //! "2PH" runtime).
 
+use crate::budget::EpochLedger;
 use crate::cluster::dbscan::{dbscan, DbscanConfig};
 use crate::cluster::hierarchical::{hierarchical_k, hierarchical_threshold, Linkage};
 use crate::cluster::kmeans::{kmeans, KMeansConfig};
@@ -20,13 +21,13 @@ use crate::error::{Result, SelectionError};
 use crate::matrix::PerformanceMatrix;
 use crate::parallel::ParallelConfig;
 use crate::proxy::leep::leep;
-use crate::recall::{coarse_recall_par, RecallConfig, RecallOutcome};
-use crate::select::fine::{fine_selection_par, FineSelectionConfig};
+use crate::recall::{coarse_recall_par_traced, RecallConfig, RecallOutcome};
+use crate::select::fine::{fine_selection_traced, FineSelectionConfig};
 use crate::select::SelectionOutcome;
 use crate::similarity::SimilarityMatrix;
+use crate::telemetry::Telemetry;
 use crate::traits::{ProxyOracle, TargetTrainer};
 use crate::trend::{TrendBook, TrendConfig};
-use crate::budget::EpochLedger;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -104,6 +105,19 @@ impl OfflineArtifacts {
         curves: &CurveSet,
         config: &OfflineConfig,
     ) -> Result<Self> {
+        Self::build_traced(matrix, curves, config, &Telemetry::disabled())
+    }
+
+    /// [`Self::build`] with telemetry: an `offline.build` span with
+    /// `offline.{similarity, cluster, trends}` children timing each
+    /// derivation step, plus `offline.{models, datasets, clusters}`
+    /// counters. The artifacts are identical to the untraced build.
+    pub fn build_traced(
+        matrix: PerformanceMatrix,
+        curves: &CurveSet,
+        config: &OfflineConfig,
+        tel: &Telemetry,
+    ) -> Result<Self> {
         if curves.n_models() != matrix.n_models() || curves.n_datasets() != matrix.n_datasets() {
             return Err(SelectionError::DimensionMismatch {
                 what: "curve set vs matrix",
@@ -111,11 +125,23 @@ impl OfflineArtifacts {
                 got: curves.n_models() * curves.n_datasets(),
             });
         }
+        let _span = tel.span("offline.build");
+        tel.add("offline.models", matrix.n_models() as f64);
+        tel.add("offline.datasets", matrix.n_datasets() as f64);
         let threads = config.parallel.resolve();
-        let similarity =
-            SimilarityMatrix::from_performance_par(&matrix, config.similarity_top_k, threads)?;
-        let clustering = cluster_models(&matrix, &similarity, config.cluster)?;
-        let trends = TrendBook::mine_par(curves, config.trend_stages, &config.trend, threads)?;
+        let similarity = {
+            let _s = tel.span("offline.similarity");
+            SimilarityMatrix::from_performance_par(&matrix, config.similarity_top_k, threads)?
+        };
+        let clustering = {
+            let _s = tel.span("offline.cluster");
+            cluster_models(&matrix, &similarity, config.cluster)?
+        };
+        tel.add("offline.clusters", clustering.n_clusters() as f64);
+        let trends = {
+            let _s = tel.span("offline.trends");
+            TrendBook::mine_par(curves, config.trend_stages, &config.trend, threads)?
+        };
         Ok(Self {
             matrix,
             similarity,
@@ -183,6 +209,65 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Deterministic accounting summary of one pipeline run, derived from the
+/// phase outcomes. Unlike span timings (which are machine-dependent and
+/// live only in the trace JSON), every field here is a pure function of the
+/// selection trajectory — serial and parallel runs produce identical
+/// values, so the struct participates in [`PipelineOutcome`]'s equality.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineCounters {
+    /// Proxy evaluations run during coarse-recall (one per scored cluster
+    /// representative).
+    pub proxy_evals: usize,
+    /// Models recalled into fine-selection.
+    pub recalled: usize,
+    /// Fine-selection stages run.
+    pub stages: usize,
+    /// Candidate-pool size at the start of each stage.
+    pub pool_per_stage: Vec<usize>,
+    /// Models removed (dominated + halving cut) at each stage.
+    pub filtered_per_stage: Vec<usize>,
+    /// Models surviving each stage (`pool - filtered`).
+    pub survivors_per_stage: Vec<usize>,
+    /// Epoch-equivalents spent on proxy inference.
+    pub proxy_epochs: f64,
+    /// Epochs spent fine-tuning.
+    pub train_epochs: f64,
+    /// Total epoch-equivalents — the Table VI "2PH Runtime".
+    pub total_epochs: f64,
+}
+
+impl PipelineCounters {
+    /// Derive the counters from the two phase outcomes and the combined
+    /// ledger.
+    pub fn from_phases(
+        recall: &RecallOutcome,
+        selection: &SelectionOutcome,
+        ledger: &EpochLedger,
+    ) -> Self {
+        let pool_per_stage: Vec<usize> = selection.pool_history.iter().map(Vec::len).collect();
+        let filtered_per_stage: Vec<usize> = (0..pool_per_stage.len())
+            .map(|t| selection.events.iter().filter(|e| e.stage == t).count())
+            .collect();
+        let survivors_per_stage: Vec<usize> = pool_per_stage
+            .iter()
+            .zip(&filtered_per_stage)
+            .map(|(&pool, &filtered)| pool - filtered)
+            .collect();
+        Self {
+            proxy_evals: recall.cluster_proxy.iter().flatten().count(),
+            recalled: recall.recalled.len(),
+            stages: pool_per_stage.len(),
+            pool_per_stage,
+            filtered_per_stage,
+            survivors_per_stage,
+            proxy_epochs: ledger.proxy_epochs(),
+            train_epochs: ledger.train_epochs(),
+            total_epochs: ledger.total(),
+        }
+    }
+}
+
 /// Outcome of one end-to-end two-phase selection.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineOutcome {
@@ -193,6 +278,11 @@ pub struct PipelineOutcome {
     /// Combined epoch-equivalents (proxy inference + fine-tuning) — the
     /// Table VI "2PH Runtime".
     pub ledger: EpochLedger,
+    /// Deterministic per-phase accounting (proxy evaluations, pool sizes,
+    /// filter counts, epochs). Defaults for artifacts serialized before the
+    /// field existed.
+    #[serde(default)]
+    pub counters: PipelineCounters,
 }
 
 /// Run the full online pipeline for one target task.
@@ -205,8 +295,24 @@ pub fn two_phase_select(
     trainer: &mut dyn TargetTrainer,
     config: &PipelineConfig,
 ) -> Result<PipelineOutcome> {
+    two_phase_select_traced(artifacts, oracle, trainer, config, &Telemetry::disabled())
+}
+
+/// [`two_phase_select`] with telemetry: a `pipeline.two_phase_select` span
+/// wrapping the `recall.coarse` and `select.fine` phase spans, plus every
+/// counter those phases record. The returned outcome (including its
+/// [`PipelineCounters`]) is identical to the untraced run for any thread
+/// count; only span durations vary.
+pub fn two_phase_select_traced(
+    artifacts: &OfflineArtifacts,
+    oracle: &(dyn ProxyOracle + Sync),
+    trainer: &mut dyn TargetTrainer,
+    config: &PipelineConfig,
+    tel: &Telemetry,
+) -> Result<PipelineOutcome> {
+    let _span = tel.span("pipeline.two_phase_select");
     let threads = config.parallel.resolve();
-    let recall = coarse_recall_par(
+    let recall = coarse_recall_par_traced(
         &artifacts.matrix,
         &artifacts.clustering,
         &artifacts.similarity,
@@ -220,22 +326,26 @@ pub fn two_phase_select(
                 oracle.n_target_labels(),
             )
         },
+        tel,
     )?;
-    let selection = fine_selection_par(
+    let selection = fine_selection_traced(
         trainer,
         &recall.recalled,
         config.total_stages,
         &artifacts.trends,
         &config.fine,
         threads,
+        tel,
     )?;
     let mut ledger = EpochLedger::new();
     ledger.charge_proxy(recall.proxy_epochs);
     ledger.merge(&selection.ledger);
+    let counters = PipelineCounters::from_phases(&recall, &selection, &ledger);
     Ok(PipelineOutcome {
         recall,
         selection,
         ledger,
+        counters,
     })
 }
 
@@ -269,12 +379,14 @@ mod tests {
             ]
         };
         // Rows are datasets: build model columns then transpose.
-        let cols = [strong(0.00),
+        let cols = [
+            strong(0.00),
             strong(0.01),
             strong(0.02),
             weak(0.00),
             weak(0.01),
-            vec![0.60, 0.10, 0.55, 0.12, 0.58]];
+            vec![0.60, 0.10, 0.55, 0.12, 0.58],
+        ];
         let n_datasets = 5;
         let rows: Vec<Vec<f64>> = (0..n_datasets)
             .map(|d| cols.iter().map(|c| c[d]).collect())
@@ -381,7 +493,11 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(out.selection.winner.index() <= 2, "winner {:?}", out.selection.winner);
+        assert!(
+            out.selection.winner.index() <= 2,
+            "winner {:?}",
+            out.selection.winner
+        );
         // Proxy epochs: 2 non-singleton clusters scored at 0.5 each.
         assert_eq!(out.ledger.proxy_epochs(), 1.0);
         assert!(out.ledger.total() < 6.0 * stages as f64, "cheaper than BF");
@@ -390,12 +506,76 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_matches_untraced_and_its_own_counters() {
+        let (artifacts, stages) = fixture();
+        let oracle = FixtureOracle {
+            labels: vec![0, 1, 0, 1, 0, 1],
+        };
+        let curves: Vec<Vec<f64>> = (0..6)
+            .map(|m| {
+                let ceiling = if m <= 2 { 0.85 + 0.01 * m as f64 } else { 0.4 };
+                (0..stages)
+                    .map(|t| ceiling * (0.7 + 0.3 * (t + 1) as f64 / stages as f64))
+                    .collect()
+            })
+            .collect();
+        let config = PipelineConfig {
+            recall: RecallConfig {
+                top_k: 3,
+                ..Default::default()
+            },
+            total_stages: stages,
+            ..Default::default()
+        };
+        let mut plain_trainer = ScriptedTrainer::from_val_curves(curves.clone());
+        let plain = two_phase_select(&artifacts, &oracle, &mut plain_trainer, &config).unwrap();
+
+        let (tel, sink) = crate::telemetry::Telemetry::recording();
+        let mut trainer = ScriptedTrainer::from_val_curves(curves);
+        let out =
+            two_phase_select_traced(&artifacts, &oracle, &mut trainer, &config, &tel).unwrap();
+        // Tracing never changes the outcome.
+        assert_eq!(out, plain);
+
+        // Recorded counters agree with the outcome's own accounting.
+        let report = sink.report();
+        let c = &out.counters;
+        assert_eq!(
+            report.counter("recall.proxy_evals"),
+            Some(c.proxy_evals as f64)
+        );
+        assert_eq!(report.counter("recall.recalled"), Some(c.recalled as f64));
+        assert_eq!(report.counter("recall.proxy_epochs"), Some(c.proxy_epochs));
+        assert_eq!(report.counter("fine.stages"), Some(c.stages as f64));
+        assert_eq!(report.counter("select.train_epochs"), Some(c.train_epochs));
+        for t in 0..c.stages {
+            assert_eq!(
+                report.counter(&crate::telemetry::stage_counter("fine", t, "pool")),
+                Some(c.pool_per_stage[t] as f64),
+                "stage {t} pool"
+            );
+            assert_eq!(
+                report.counter(&crate::telemetry::stage_counter("fine", t, "survivors")),
+                Some(c.survivors_per_stage[t] as f64),
+                "stage {t} survivors"
+            );
+        }
+        assert_eq!(c.proxy_epochs + c.train_epochs, c.total_epochs);
+        assert_eq!(c.total_epochs, out.ledger.total());
+
+        // The span tree nests as documented: pipeline > recall + fine, with
+        // one select.stage per stage.
+        let root = report.find_span("pipeline.two_phase_select").unwrap();
+        assert!(root.find("recall.coarse").is_some());
+        assert!(root.find("select.fine").is_some());
+        assert_eq!(report.spans_named("select.stage").len(), c.stages);
+    }
+
+    #[test]
     fn artifacts_build_rejects_mismatched_curves() {
         let (artifacts, _) = fixture();
-        let bad_curves = CurveSet::from_fn(2, 2, |_, _| {
-            LearningCurve::new(vec![0.5], 0.5).unwrap()
-        })
-        .unwrap();
+        let bad_curves =
+            CurveSet::from_fn(2, 2, |_, _| LearningCurve::new(vec![0.5], 0.5).unwrap()).unwrap();
         assert!(OfflineArtifacts::build(
             artifacts.matrix.clone(),
             &bad_curves,
@@ -411,7 +591,10 @@ mod tests {
             ClusterMethod::HierarchicalThreshold(0.1),
             ClusterMethod::HierarchicalK(3),
             ClusterMethod::KMeans { k: 3, seed: 7 },
-            ClusterMethod::Dbscan { eps: 0.08, min_points: 2 },
+            ClusterMethod::Dbscan {
+                eps: 0.08,
+                min_points: 2,
+            },
         ] {
             let c = cluster_models(&artifacts.matrix, &artifacts.similarity, method).unwrap();
             assert_eq!(c.n_models(), 6);

@@ -116,8 +116,8 @@ mod tests {
 
     #[test]
     fn leep_is_nonpositive() {
-        let p = PredictionMatrix::new(3, vec![0.2, 0.5, 0.3, 0.6, 0.2, 0.2, 0.1, 0.1, 0.8])
-            .unwrap();
+        let p =
+            PredictionMatrix::new(3, vec![0.2, 0.5, 0.3, 0.6, 0.2, 0.2, 0.1, 0.1, 0.8]).unwrap();
         let s = leep(&p, &[0, 1, 0], 2).unwrap();
         assert!(s <= 0.0);
         assert!(s.is_finite());
@@ -170,16 +170,10 @@ mod tests {
     fn more_transferable_scores_higher() {
         // Same structure, decreasing alignment sharpness.
         let y = vec![0, 0, 1, 1];
-        let sharp = PredictionMatrix::new(
-            2,
-            vec![0.95, 0.05, 0.9, 0.1, 0.1, 0.9, 0.05, 0.95],
-        )
-        .unwrap();
-        let soft = PredictionMatrix::new(
-            2,
-            vec![0.6, 0.4, 0.55, 0.45, 0.45, 0.55, 0.4, 0.6],
-        )
-        .unwrap();
+        let sharp =
+            PredictionMatrix::new(2, vec![0.95, 0.05, 0.9, 0.1, 0.1, 0.9, 0.05, 0.95]).unwrap();
+        let soft =
+            PredictionMatrix::new(2, vec![0.6, 0.4, 0.55, 0.45, 0.45, 0.55, 0.4, 0.6]).unwrap();
         assert!(leep(&sharp, &y, 2).unwrap() > leep(&soft, &y, 2).unwrap());
     }
 

@@ -77,16 +77,12 @@ mod tests {
         let y = vec![0, 0, 1, 1, 0, 1];
         let informative = PredictionMatrix::new(
             2,
-            vec![
-                0.9, 0.1, 0.8, 0.2, 0.2, 0.8, 0.1, 0.9, 0.7, 0.3, 0.3, 0.7,
-            ],
+            vec![0.9, 0.1, 0.8, 0.2, 0.2, 0.8, 0.1, 0.9, 0.7, 0.3, 0.3, 0.7],
         )
         .unwrap();
         let confused = PredictionMatrix::new(
             2,
-            vec![
-                0.9, 0.1, 0.2, 0.8, 0.9, 0.1, 0.2, 0.8, 0.6, 0.4, 0.6, 0.4,
-            ],
+            vec![0.9, 0.1, 0.2, 0.8, 0.9, 0.1, 0.2, 0.8, 0.6, 0.4, 0.6, 0.4],
         )
         .unwrap();
         let si = nce(&informative, &y, 2).unwrap();

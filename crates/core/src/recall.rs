@@ -19,6 +19,7 @@ use crate::ids::ModelId;
 use crate::matrix::PerformanceMatrix;
 use crate::proxy::normalize_scores;
 use crate::similarity::SimilarityMatrix;
+use crate::telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`coarse_recall`].
@@ -78,12 +79,21 @@ pub fn coarse_recall(
     config: &RecallConfig,
     mut proxy_for: impl FnMut(ModelId) -> Result<f64>,
 ) -> Result<RecallOutcome> {
-    let (representatives, scored_clusters) = prepare_recall(matrix, clustering, similarity, config)?;
+    let (representatives, scored_clusters) =
+        prepare_recall(matrix, clustering, similarity, config)?;
     let mut raw = Vec::with_capacity(scored_clusters.len());
     for &c in &scored_clusters {
         raw.push(proxy_for(representatives[c])?);
     }
-    finish_recall(matrix, clustering, similarity, config, representatives, scored_clusters, raw)
+    finish_recall(
+        matrix,
+        clustering,
+        similarity,
+        config,
+        representatives,
+        scored_clusters,
+        raw,
+    )
 }
 
 /// Parallel [`coarse_recall`]: the per-representative proxy scores are
@@ -102,11 +112,54 @@ pub fn coarse_recall_par(
     threads: usize,
     proxy_for: impl Fn(ModelId) -> Result<f64> + Sync,
 ) -> Result<RecallOutcome> {
-    let (representatives, scored_clusters) = prepare_recall(matrix, clustering, similarity, config)?;
-    let raw = crate::parallel::try_map_indexed(&scored_clusters, threads, |_, &c| {
-        proxy_for(representatives[c])
-    })?;
-    finish_recall(matrix, clustering, similarity, config, representatives, scored_clusters, raw)
+    coarse_recall_par_traced(
+        matrix,
+        clustering,
+        similarity,
+        config,
+        threads,
+        proxy_for,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`coarse_recall_par`] with telemetry: a `recall.coarse` span (with a
+/// `recall.proxy_scoring` child around the representative fan-out) and the
+/// `recall.{candidates, proxy_evals, proxy_epochs, recalled}` counters.
+/// Counter values are identical for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn coarse_recall_par_traced(
+    matrix: &PerformanceMatrix,
+    clustering: &Clustering,
+    similarity: &SimilarityMatrix,
+    config: &RecallConfig,
+    threads: usize,
+    proxy_for: impl Fn(ModelId) -> Result<f64> + Sync,
+    tel: &Telemetry,
+) -> Result<RecallOutcome> {
+    let _span = tel.span("recall.coarse");
+    let (representatives, scored_clusters) =
+        prepare_recall(matrix, clustering, similarity, config)?;
+    tel.add("recall.candidates", matrix.n_models() as f64);
+    tel.add("recall.proxy_evals", scored_clusters.len() as f64);
+    let raw = {
+        let _scoring = tel.span("recall.proxy_scoring");
+        crate::parallel::try_map_indexed(&scored_clusters, threads, |_, &c| {
+            proxy_for(representatives[c])
+        })?
+    };
+    let out = finish_recall(
+        matrix,
+        clustering,
+        similarity,
+        config,
+        representatives,
+        scored_clusters,
+        raw,
+    )?;
+    tel.add("recall.proxy_epochs", out.proxy_epochs);
+    tel.add("recall.recalled", out.recalled.len() as f64);
+    Ok(out)
 }
 
 /// Shared validation + representative/cluster bookkeeping for both recall
@@ -273,7 +326,12 @@ mod tests {
         assert_eq!(out.ranked[1].0, ModelId(1));
         assert_eq!(out.recalled, vec![ModelId(0), ModelId(1)]);
         // Singleton scores are positive but lower.
-        let score_c = out.ranked.iter().find(|&&(id, _)| id == ModelId(2)).unwrap().1;
+        let score_c = out
+            .ranked
+            .iter()
+            .find(|&&(id, _)| id == ModelId(2))
+            .unwrap()
+            .1;
         assert!(score_c > 0.0 && score_c < out.ranked[1].1);
     }
 
@@ -289,9 +347,19 @@ mod tests {
         .unwrap();
         let clustering = Clustering::new(vec![0, 0, 1, 1]).unwrap();
         let sim = SimilarityMatrix::from_performance(&matrix, 1).unwrap();
-        let out = coarse_recall(&matrix, &clustering, &sim, &RecallConfig::default(), |rep| {
-            Ok(if clustering.cluster_of(rep) == 1 { -0.1 } else { -0.9 })
-        })
+        let out = coarse_recall(
+            &matrix,
+            &clustering,
+            &sim,
+            &RecallConfig::default(),
+            |rep| {
+                Ok(if clustering.cluster_of(rep) == 1 {
+                    -0.1
+                } else {
+                    -0.9
+                })
+            },
+        )
         .unwrap();
         assert!(out.ranked[0].0.index() >= 2, "cluster 1 models should lead");
         assert_eq!(out.cluster_proxy[1], Some(1.0));

@@ -6,6 +6,7 @@ use super::{advance_pool, finish, validate_pool, SelectionOutcome};
 use crate::budget::EpochLedger;
 use crate::error::Result;
 use crate::ids::ModelId;
+use crate::telemetry::Telemetry;
 use crate::traits::TargetTrainer;
 
 /// Run brute-force selection over `models` for `total_stages` stages.
@@ -26,17 +27,48 @@ pub fn brute_force_par(
     total_stages: usize,
     threads: usize,
 ) -> Result<SelectionOutcome> {
+    brute_force_traced(
+        trainer,
+        models,
+        total_stages,
+        threads,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`brute_force_par`] with telemetry: a `select.brute` span wrapping one
+/// `select.stage` span per stage, plus per-stage `bf.stage{t}.pool` counters
+/// and a `bf.stages` total. Counter values are identical for any thread
+/// count.
+pub fn brute_force_traced(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<SelectionOutcome> {
     validate_pool(models, total_stages)?;
+    let _span = tel.span("select.brute");
     let mut ledger = EpochLedger::new();
     let mut pool_history = Vec::with_capacity(total_stages);
     let mut val_history = Vec::with_capacity(total_stages);
     let mut last_vals = Vec::new();
-    for _ in 0..total_stages {
+    for t in 0..total_stages {
+        let _stage = tel.span("select.stage");
+        tel.incr("bf.stages");
+        tel.add_stage("bf", t, "pool", models.len() as f64);
         pool_history.push(models.to_vec());
-        last_vals = advance_pool(trainer, models, &mut ledger, threads)?;
+        last_vals = advance_pool(trainer, models, &mut ledger, threads, tel)?;
         val_history.push(last_vals.clone());
     }
-    finish(trainer, &last_vals, ledger, pool_history, val_history, Vec::new())
+    finish(
+        trainer,
+        &last_vals,
+        ledger,
+        pool_history,
+        val_history,
+        Vec::new(),
+    )
 }
 
 #[cfg(test)]

@@ -63,7 +63,13 @@ pub fn fine_selection_ensemble(
 
     for t in 0..total_stages {
         pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger, 1)?;
+        last_vals = advance_pool(
+            trainer,
+            &pool,
+            &mut ledger,
+            1,
+            &crate::telemetry::Telemetry::disabled(),
+        )?;
         if pool.len() > ensemble_size {
             let survivors = fine_filter(&last_vals, t, trends, config.threshold);
             // Halving cap, floored at the ensemble size.
@@ -106,7 +112,7 @@ mod tests {
     use super::*;
     use crate::curve::{CurveSet, LearningCurve};
     use crate::traits::test_support::ScriptedTrainer;
-    use crate::trend::{TrendConfig, TrendBook};
+    use crate::trend::{TrendBook, TrendConfig};
 
     fn trend_book(n_models: usize) -> TrendBook {
         let curves = CurveSet::from_fn(n_models, 4, |_, d| {
@@ -114,7 +120,15 @@ mod tests {
             LearningCurve::new(vec![f * 0.8, f * 0.9, f], f).unwrap()
         })
         .unwrap();
-        TrendBook::mine(&curves, 3, &TrendConfig { n_trends: 2, max_iter: 32 }).unwrap()
+        TrendBook::mine(
+            &curves,
+            3,
+            &TrendConfig {
+                n_trends: 2,
+                max_iter: 32,
+            },
+        )
+        .unwrap()
     }
 
     fn staircase(n: usize, stages: usize) -> ScriptedTrainer {
@@ -122,7 +136,9 @@ mod tests {
             (0..n)
                 .map(|i| {
                     let ceiling = 0.3 + 0.6 * (i + 1) as f64 / n as f64;
-                    (0..stages).map(|t| ceiling * (t + 1) as f64 / stages as f64).collect()
+                    (0..stages)
+                        .map(|t| ceiling * (t + 1) as f64 / stages as f64)
+                        .collect()
                 })
                 .collect(),
         )

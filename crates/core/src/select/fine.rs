@@ -16,6 +16,7 @@ use super::{
 use crate::budget::EpochLedger;
 use crate::error::{Result, SelectionError};
 use crate::ids::ModelId;
+use crate::telemetry::Telemetry;
 use crate::traits::TargetTrainer;
 use crate::trend::TrendBook;
 use serde::{Deserialize, Serialize};
@@ -61,6 +62,31 @@ pub fn fine_selection_par(
     config: &FineSelectionConfig,
     threads: usize,
 ) -> Result<SelectionOutcome> {
+    fine_selection_traced(
+        trainer,
+        models,
+        total_stages,
+        trends,
+        config,
+        threads,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`fine_selection_par`] with telemetry: a `select.fine` span wrapping one
+/// `select.stage` span per stage, plus per-stage `fine.stage{t}.{pool,
+/// dominated, halving_cut, survivors}` counters and a `fine.stages` total.
+/// Counter values are identical for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn fine_selection_traced(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+    trends: &TrendBook,
+    config: &FineSelectionConfig,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<SelectionOutcome> {
     validate_pool(models, total_stages)?;
     if !(0.0..=1.0).contains(&config.threshold) || !config.threshold.is_finite() {
         return Err(SelectionError::InvalidValue {
@@ -75,6 +101,7 @@ pub fn fine_selection_par(
         });
     }
 
+    let _span = tel.span("select.fine");
     let mut ledger = EpochLedger::new();
     let mut pool: Vec<ModelId> = models.to_vec();
     let mut pool_history = Vec::with_capacity(total_stages);
@@ -83,13 +110,18 @@ pub fn fine_selection_par(
     let mut events = Vec::new();
 
     for t in 0..total_stages {
+        let _stage = tel.span("select.stage");
+        tel.incr("fine.stages");
+        tel.add_stage("fine", t, "pool", pool.len() as f64);
         pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger, threads)?;
+        last_vals = advance_pool(trainer, &pool, &mut ledger, threads, tel)?;
         val_history.push(last_vals.clone());
         if pool.len() > 1 {
             // Fine-filter: drop models dominated in (validation, prediction).
             let (survivors, dominated) =
                 fine_filter_traced(&last_vals, t, trends, config.threshold);
+            let n_dominated = dominated.len();
+            tel.add_stage("fine", t, "dominated", n_dominated as f64);
             for (model, by) in dominated {
                 events.push(FilterEvent {
                     stage: t,
@@ -109,8 +141,19 @@ pub fn fine_selection_par(
             } else {
                 survivors
             };
+            tel.add_stage(
+                "fine",
+                t,
+                "halving_cut",
+                (pool.len() - kept.len()).saturating_sub(n_dominated) as f64,
+            );
             record_cuts(&mut events, t, &pool, &kept);
+            tel.add_stage("fine", t, "survivors", kept.len() as f64);
             pool = kept;
+        } else {
+            tel.add_stage("fine", t, "dominated", 0.0);
+            tel.add_stage("fine", t, "halving_cut", 0.0);
+            tel.add_stage("fine", t, "survivors", pool.len() as f64);
         }
     }
     let final_vals: Vec<(ModelId, f64)> = last_vals
@@ -118,7 +161,14 @@ pub fn fine_selection_par(
         .filter(|(m, _)| pool.contains(m))
         .copied()
         .collect();
-    finish(trainer, &final_vals, ledger, pool_history, val_history, events)
+    finish(
+        trainer,
+        &final_vals,
+        ledger,
+        pool_history,
+        val_history,
+        events,
+    )
 }
 
 /// The fine-filter of Algorithm 1: walking from the worst validation
@@ -193,7 +243,7 @@ mod tests {
     use super::*;
     use crate::curve::{CurveSet, LearningCurve};
     use crate::traits::test_support::ScriptedTrainer;
-    use crate::trend::{TrendConfig, TrendBook};
+    use crate::trend::{TrendBook, TrendConfig};
 
     /// Offline curves that make trend prediction informative: each model has
     /// two trend groups — datasets where it reaches ~0.9 and datasets where
@@ -202,20 +252,32 @@ mod tests {
         let curves = CurveSet::from_fn(n_models, 6, |_, d| {
             if d.index() < 3 {
                 LearningCurve::new(
-                    (0..stages).map(|t| 0.7 + 0.2 * (t + 1) as f64 / stages as f64).collect(),
+                    (0..stages)
+                        .map(|t| 0.7 + 0.2 * (t + 1) as f64 / stages as f64)
+                        .collect(),
                     0.9,
                 )
                 .unwrap()
             } else {
                 LearningCurve::new(
-                    (0..stages).map(|t| 0.25 + 0.05 * (t + 1) as f64 / stages as f64).collect(),
+                    (0..stages)
+                        .map(|t| 0.25 + 0.05 * (t + 1) as f64 / stages as f64)
+                        .collect(),
                     0.3,
                 )
                 .unwrap()
             }
         })
         .unwrap();
-        TrendBook::mine(&curves, stages, &TrendConfig { n_trends: 2, max_iter: 32 }).unwrap()
+        TrendBook::mine(
+            &curves,
+            stages,
+            &TrendConfig {
+                n_trends: 2,
+                max_iter: 32,
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -245,8 +307,7 @@ mod tests {
 
     #[test]
     fn never_filters_below_one() {
-        let mut trainer =
-            ScriptedTrainer::from_val_curves(vec![vec![0.3, 0.3], vec![0.31, 0.31]]);
+        let mut trainer = ScriptedTrainer::from_val_curves(vec![vec![0.3, 0.3], vec![0.31, 0.31]]);
         let book = trend_book(2, 2);
         let out = fine_selection(
             &mut trainer,
@@ -289,9 +350,7 @@ mod tests {
     fn threshold_delays_filtering() {
         // Trends predicting 0.80 vs 0.90: a relative gap of 12.5%, filtered
         // at 0% threshold but kept at a 20% threshold.
-        let mk = |val: f64, test: f64| {
-            LearningCurve::new(vec![val], test).unwrap()
-        };
+        let mk = |val: f64, test: f64| LearningCurve::new(vec![val], test).unwrap();
         let curves = CurveSet::new(
             2,
             4,
@@ -308,8 +367,15 @@ mod tests {
             ],
         )
         .unwrap();
-        let book =
-            TrendBook::mine(&curves, 1, &TrendConfig { n_trends: 2, max_iter: 32 }).unwrap();
+        let book = TrendBook::mine(
+            &curves,
+            1,
+            &TrendConfig {
+                n_trends: 2,
+                max_iter: 32,
+            },
+        )
+        .unwrap();
         // Model 0 tracks the high trend (pred 0.90), model 1 the low
         // (pred 0.80); model 0 also validates better.
         let vals = vec![(ModelId(0), 0.71), (ModelId(1), 0.41)];
@@ -339,11 +405,7 @@ mod tests {
         // is that the walk is over survivors and keeps exactly the best.
         // (0.45 sits strictly closer to the low trend's mean validation —
         // an exact midpoint would tie and match the high trend.)
-        let vals = vec![
-            (ModelId(0), 0.9),
-            (ModelId(1), 0.45),
-            (ModelId(2), 0.28),
-        ];
+        let vals = vec![(ModelId(0), 0.9), (ModelId(1), 0.45), (ModelId(2), 0.28)];
         let book = trend_book(3, 5);
         let survivors = fine_filter(&vals, 0, &book, 0.0);
         assert_eq!(survivors, vec![ModelId(0)]);

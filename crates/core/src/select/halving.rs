@@ -13,6 +13,7 @@ use super::{advance_pool, finish, record_cuts, top_by_val, validate_pool, Select
 use crate::budget::EpochLedger;
 use crate::error::Result;
 use crate::ids::ModelId;
+use crate::telemetry::Telemetry;
 use crate::traits::TargetTrainer;
 
 /// Run successive halving over `models` for `total_stages` stages.
@@ -33,7 +34,28 @@ pub fn successive_halving_par(
     total_stages: usize,
     threads: usize,
 ) -> Result<SelectionOutcome> {
+    successive_halving_traced(
+        trainer,
+        models,
+        total_stages,
+        threads,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`successive_halving_par`] with telemetry: a `select.halving` span
+/// wrapping one `select.stage` span per stage, plus per-stage
+/// `sh.stage{t}.{pool, survivors}` counters and an `sh.stages` total.
+/// Counter values are identical for any thread count.
+pub fn successive_halving_traced(
+    trainer: &mut dyn TargetTrainer,
+    models: &[ModelId],
+    total_stages: usize,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<SelectionOutcome> {
     validate_pool(models, total_stages)?;
+    let _span = tel.span("select.halving");
     let mut ledger = EpochLedger::new();
     let mut pool: Vec<ModelId> = models.to_vec();
     let mut pool_history = Vec::with_capacity(total_stages);
@@ -42,14 +64,18 @@ pub fn successive_halving_par(
     let mut events = Vec::new();
 
     for t in 0..total_stages {
+        let _stage = tel.span("select.stage");
+        tel.incr("sh.stages");
+        tel.add_stage("sh", t, "pool", pool.len() as f64);
         pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger, threads)?;
+        last_vals = advance_pool(trainer, &pool, &mut ledger, threads, tel)?;
         val_history.push(last_vals.clone());
         if pool.len() > 1 {
             let kept = top_by_val(&last_vals, pool.len() / 2);
             record_cuts(&mut events, t, &pool, &kept);
             pool = kept;
         }
+        tel.add_stage("sh", t, "survivors", pool.len() as f64);
     }
     // The winner is judged among the models trained in the final stage.
     let final_vals: Vec<(ModelId, f64)> = last_vals
@@ -57,7 +83,14 @@ pub fn successive_halving_par(
         .filter(|(m, _)| pool.contains(m))
         .copied()
         .collect();
-    finish(trainer, &final_vals, ledger, pool_history, val_history, events)
+    finish(
+        trainer,
+        &final_vals,
+        ledger,
+        pool_history,
+        val_history,
+        events,
+    )
 }
 
 /// Generalised successive halving with reduction factor `eta`: each stage
@@ -86,7 +119,7 @@ pub fn successive_halving_eta(
 
     for t in 0..total_stages {
         pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger, 1)?;
+        last_vals = advance_pool(trainer, &pool, &mut ledger, 1, &Telemetry::disabled())?;
         val_history.push(last_vals.clone());
         if pool.len() > 1 {
             let keep = ((pool.len() as f64 / eta).ceil() as usize).clamp(1, pool.len() - 1);
@@ -100,7 +133,14 @@ pub fn successive_halving_eta(
         .filter(|(m, _)| pool.contains(m))
         .copied()
         .collect();
-    finish(trainer, &final_vals, ledger, pool_history, val_history, events)
+    finish(
+        trainer,
+        &final_vals,
+        ledger,
+        pool_history,
+        val_history,
+        events,
+    )
 }
 
 #[cfg(test)]
@@ -113,7 +153,9 @@ mod tests {
         let curves = (0..n)
             .map(|i| {
                 let ceiling = (i + 1) as f64 / n as f64;
-                (0..stages).map(|t| ceiling * (t + 1) as f64 / stages as f64).collect()
+                (0..stages)
+                    .map(|t| ceiling * (t + 1) as f64 / stages as f64)
+                    .collect()
             })
             .collect();
         ScriptedTrainer::from_val_curves(curves)
@@ -160,12 +202,9 @@ mod tests {
     fn can_drop_a_late_bloomer() {
         // Model 1 starts weak but would end strongest — SH's known failure
         // mode, which Fig. 7 contrasts with FS.
-        let mut trainer = ScriptedTrainer::from_val_curves(vec![
-            vec![0.6, 0.62, 0.63],
-            vec![0.2, 0.7, 0.95],
-        ]);
-        let out =
-            successive_halving(&mut trainer, &[ModelId(0), ModelId(1)], 3).unwrap();
+        let mut trainer =
+            ScriptedTrainer::from_val_curves(vec![vec![0.6, 0.62, 0.63], vec![0.2, 0.7, 0.95]]);
+        let out = successive_halving(&mut trainer, &[ModelId(0), ModelId(1)], 3).unwrap();
         assert_eq!(out.winner, ModelId(0));
         assert!(out.winner_test < 0.95);
     }

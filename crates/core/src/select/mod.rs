@@ -22,6 +22,7 @@ pub mod halving;
 use crate::budget::EpochLedger;
 use crate::error::{Result, SelectionError};
 use crate::ids::ModelId;
+use crate::telemetry::Telemetry;
 use crate::traits::TargetTrainer;
 use serde::{Deserialize, Serialize};
 
@@ -93,16 +94,25 @@ pub(crate) fn validate_pool(models: &[ModelId], total_stages: usize) -> Result<(
 /// delegated to [`TargetTrainer::advance_many`], which substrates override
 /// with a deterministic parallel implementation; the ledger is charged
 /// identically either way.
+///
+/// Telemetry: opens a `select.stage.train` span around the fan-out and adds
+/// the epochs charged this stage to the `select.train_epochs` counter.
 pub(crate) fn advance_pool(
     trainer: &mut dyn TargetTrainer,
     pool: &[ModelId],
     ledger: &mut EpochLedger,
     threads: usize,
+    tel: &Telemetry,
 ) -> Result<Vec<(ModelId, f64)>> {
+    let _span = tel.span("select.stage.train");
     let vals = trainer.advance_many(pool, threads)?;
     for _ in pool {
         ledger.charge_training(trainer.epochs_per_stage());
     }
+    tel.add(
+        "select.train_epochs",
+        trainer.epochs_per_stage() * pool.len() as f64,
+    );
     Ok(pool.iter().copied().zip(vals).collect())
 }
 
@@ -141,11 +151,7 @@ pub(crate) fn record_cuts(
     after: &[ModelId],
 ) {
     for &m in before {
-        if !after.contains(&m)
-            && !events
-                .iter()
-                .any(|e| e.stage == stage && e.model == m)
-        {
+        if !after.contains(&m) && !events.iter().any(|e| e.stage == stage && e.model == m) {
             events.push(FilterEvent {
                 stage,
                 model: m,
@@ -179,11 +185,7 @@ mod tests {
 
     #[test]
     fn top_by_val_orders_and_truncates() {
-        let vals = vec![
-            (ModelId(0), 0.5),
-            (ModelId(1), 0.9),
-            (ModelId(2), 0.7),
-        ];
+        let vals = vec![(ModelId(0), 0.5), (ModelId(1), 0.9), (ModelId(2), 0.7)];
         assert_eq!(top_by_val(&vals, 2), vec![ModelId(1), ModelId(2)]);
         // keep=0 still keeps one model.
         assert_eq!(top_by_val(&vals, 0), vec![ModelId(1)]);

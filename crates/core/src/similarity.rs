@@ -50,11 +50,7 @@ pub fn performance_similarity(v1: &[f64], v2: &[f64], k: usize) -> Result<f64> {
     if k == 0 {
         return Err(SelectionError::InvalidConfig("top-k must be >= 1".into()));
     }
-    let mut diffs: Vec<f64> = v1
-        .iter()
-        .zip(v2)
-        .map(|(a, b)| (a - b).abs())
-        .collect();
+    let mut diffs: Vec<f64> = v1.iter().zip(v2).map(|(a, b)| (a - b).abs()).collect();
     let k = k.min(diffs.len());
     // Partial sort: only the k largest differences matter.
     diffs.sort_unstable_by(|a, b| b.total_cmp(a));
@@ -192,8 +188,7 @@ impl SimilarityMatrix {
         if let Some(d) = cache.as_ref() {
             return Arc::clone(d);
         }
-        let d: Arc<Vec<f64>> =
-            Arc::new(self.sim.iter().map(|s| (1.0 - s).max(0.0)).collect());
+        let d: Arc<Vec<f64>> = Arc::new(self.sim.iter().map(|s| (1.0 - s).max(0.0)).collect());
         *cache = Some(Arc::clone(&d));
         d
     }
@@ -371,7 +366,11 @@ mod tests {
     #[test]
     fn parallel_constructors_match_serial() {
         let vecs: Vec<Vec<f64>> = (0..23)
-            .map(|i| (0..6).map(|j| ((i * 7 + j * 3) % 11) as f64 / 11.0).collect())
+            .map(|i| {
+                (0..6)
+                    .map(|j| ((i * 7 + j * 3) % 11) as f64 / 11.0)
+                    .collect()
+            })
             .collect();
         let serial_perf = {
             let m = PerformanceMatrix::new(

@@ -1,0 +1,433 @@
+//! Structured telemetry for the two-phase pipeline: span timers + named
+//! counters behind a [`TelemetrySink`] trait.
+//!
+//! The paper's headline claim (~3× faster than successive halving, Table
+//! V/VI) is an accounting statement: so many proxy evaluations in
+//! coarse-recall, so many epochs of fine-tuning per halving stage, so many
+//! models filtered by Eq. 5/6 at each stage. This module makes those
+//! quantities observable on every run instead of recomputable only in the
+//! experiment harness:
+//!
+//! * **Spans** — named, nested wall-clock timers (`offline.build`,
+//!   `pipeline.two_phase_select`, one `select.stage` per fine-selection
+//!   stage, …). Spans are opened/closed by the *orchestrating* serial code
+//!   only, so the span stack is always well-formed; parallel workers never
+//!   open spans.
+//! * **Counters** — named monotone accumulators (`recall.proxy_evals`,
+//!   `fine.stage3.survivors`, `select.train_epochs`, …). Counters may be
+//!   recorded from any thread; every instrumented call site adds
+//!   deterministic, integral values, so serial and parallel runs produce
+//!   **identical** counter maps (only span durations are machine- and
+//!   thread-dependent).
+//!
+//! The [`Telemetry`] handle is the unit passed through the pipeline. Its
+//! default is *disabled*: no sink, no clock reads, no allocation — every
+//! instrumentation point is a branch on an `Option` that the optimiser
+//! hoists, so the hot paths benchmarked in `BENCH_parallel.json` are
+//! unaffected when tracing is off.
+//!
+//! [`RecordingSink`] is the bundled in-memory implementation; it renders a
+//! serializable [`TraceReport`] (the `--trace-out` JSON of the CLI).
+//!
+//! ```
+//! use tps_core::telemetry::Telemetry;
+//!
+//! let (tel, sink) = Telemetry::recording();
+//! {
+//!     let _span = tel.span("offline.build");
+//!     tel.add("offline.models", 40.0);
+//! }
+//! let report = sink.report();
+//! assert_eq!(report.counter("offline.models"), Some(40.0));
+//! assert_eq!(report.spans[0].name, "offline.build");
+//! ```
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version stamp written into every [`TraceReport`], so downstream tooling
+/// can detect schema changes.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Receives telemetry events. Implementations must be thread-safe:
+/// counters can be recorded from parallel workers (spans cannot — they are
+/// only ever opened/closed by the orchestrating thread).
+pub trait TelemetrySink: Send + Sync {
+    /// A span named `name` opened; the returned token is passed back to
+    /// [`span_exit`](Self::span_exit) when it closes.
+    fn span_enter(&self, name: &'static str) -> u64;
+
+    /// The span identified by `token` closed.
+    fn span_exit(&self, token: u64);
+
+    /// Add `value` to the counter named `name` (creating it at 0 first).
+    fn add(&self, name: &str, value: f64);
+}
+
+/// Cheap, clonable handle threaded through the pipeline. Disabled by
+/// default ([`Telemetry::disabled`]); every operation on a disabled handle
+/// is a no-op that never reads the clock or allocates.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    sink: Option<Arc<dyn TelemetrySink>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.sink.is_some() {
+            "Telemetry(enabled)"
+        } else {
+            "Telemetry(disabled)"
+        })
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle — what every un-instrumented entry point uses.
+    pub fn disabled() -> Self {
+        Self { sink: None }
+    }
+
+    /// A handle feeding `sink`.
+    pub fn with_sink(sink: Arc<dyn TelemetrySink>) -> Self {
+        Self { sink: Some(sink) }
+    }
+
+    /// Convenience: a handle backed by a fresh [`RecordingSink`], returned
+    /// alongside it for later [`RecordingSink::report`] calls.
+    pub fn recording() -> (Self, Arc<RecordingSink>) {
+        let sink = Arc::new(RecordingSink::default());
+        (Self::with_sink(sink.clone()), sink)
+    }
+
+    /// Whether a sink is attached. Call sites use this to skip building
+    /// counter names (the only allocation instrumentation could cause).
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Open a span; it closes when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            active: self
+                .sink
+                .as_deref()
+                .map(|sink| (sink, sink.span_enter(name))),
+        }
+    }
+
+    /// Add `value` to the named counter.
+    pub fn add(&self, name: &str, value: f64) {
+        if let Some(sink) = self.sink.as_deref() {
+            sink.add(name, value);
+        }
+    }
+
+    /// Increment the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1.0);
+    }
+
+    /// Add to a per-stage counter `"{prefix}.stage{stage}.{suffix}"`. The
+    /// name is only formatted when a sink is attached.
+    pub fn add_stage(&self, prefix: &str, stage: usize, suffix: &str, value: f64) {
+        if let Some(sink) = self.sink.as_deref() {
+            sink.add(&stage_counter(prefix, stage, suffix), value);
+        }
+    }
+}
+
+/// Build the canonical per-stage counter name
+/// (`"{prefix}.stage{stage}.{suffix}"`) — shared by instrumentation and by
+/// tests asserting on recorded values.
+pub fn stage_counter(prefix: &str, stage: usize, suffix: &str) -> String {
+    format!("{prefix}.stage{stage}.{suffix}")
+}
+
+/// RAII guard returned by [`Telemetry::span`]; closes the span on drop.
+#[must_use = "a span closes when this guard drops"]
+pub struct Span<'t> {
+    active: Option<(&'t dyn TelemetrySink, u64)>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((sink, token)) = self.active.take() {
+            sink.span_exit(token);
+        }
+    }
+}
+
+/// One finished span: its name, wall-clock duration, and nested children
+/// in open order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name (e.g. `select.stage`).
+    pub name: String,
+    /// Wall-clock duration in microseconds.
+    pub elapsed_us: u64,
+    /// Spans opened (and closed) while this one was open.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Depth-first search for the first span named `name` (self included).
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// All spans named `name` in this subtree, depth-first.
+    fn collect_named<'a>(&'a self, name: &str, out: &mut Vec<&'a SpanRecord>) {
+        if self.name == name {
+            out.push(self);
+        }
+        for c in &self.children {
+            c.collect_named(name, out);
+        }
+    }
+}
+
+/// A fully-rendered trace: the JSON written by `--trace-out`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Schema version ([`TRACE_SCHEMA_VERSION`]).
+    pub version: u32,
+    /// Completed root spans, in open order.
+    pub spans: Vec<SpanRecord>,
+    /// Final counter values, sorted by name.
+    pub counters: BTreeMap<String, f64>,
+}
+
+impl TraceReport {
+    /// Value of a counter, if it was ever recorded.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters.get(name).copied()
+    }
+
+    /// First span named `name`, searching all roots depth-first.
+    pub fn find_span(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Every span named `name`, depth-first across all roots.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        let mut out = Vec::new();
+        for s in &self.spans {
+            s.collect_named(name, &mut out);
+        }
+        out
+    }
+}
+
+/// An open span inside [`RecordingSink`].
+struct OpenSpan {
+    token: u64,
+    name: &'static str,
+    started: Instant,
+    children: Vec<SpanRecord>,
+}
+
+#[derive(Default)]
+struct RecordingState {
+    stack: Vec<OpenSpan>,
+    roots: Vec<SpanRecord>,
+    counters: BTreeMap<String, f64>,
+    next_token: u64,
+}
+
+impl RecordingState {
+    /// Close the top of the span stack, attaching the finished record to
+    /// its parent (or the roots).
+    fn close_top(&mut self) {
+        let top = self.stack.pop().expect("caller checked non-empty");
+        let record = SpanRecord {
+            name: top.name.to_string(),
+            elapsed_us: top.started.elapsed().as_micros() as u64,
+            children: top.children,
+        };
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(record),
+            None => self.roots.push(record),
+        }
+    }
+}
+
+/// In-memory [`TelemetrySink`]: accumulates a span tree + counter map
+/// behind a mutex and renders them as a [`TraceReport`].
+#[derive(Default)]
+pub struct RecordingSink {
+    state: Mutex<RecordingState>,
+}
+
+impl RecordingSink {
+    /// Snapshot the trace collected so far. Open spans are not included —
+    /// take the report after the traced work finished (all guards dropped).
+    pub fn report(&self) -> TraceReport {
+        let state = self.state.lock();
+        TraceReport {
+            version: TRACE_SCHEMA_VERSION,
+            spans: state.roots.clone(),
+            counters: state.counters.clone(),
+        }
+    }
+}
+
+impl TelemetrySink for RecordingSink {
+    fn span_enter(&self, name: &'static str) -> u64 {
+        let mut state = self.state.lock();
+        let token = state.next_token;
+        state.next_token += 1;
+        state.stack.push(OpenSpan {
+            token,
+            name,
+            started: Instant::now(),
+            children: Vec::new(),
+        });
+        token
+    }
+
+    fn span_exit(&self, token: u64) {
+        let mut state = self.state.lock();
+        // Guards drop LIFO, so the token is normally on top; if a guard
+        // leaked (e.g. an early `?` return skipped a child's drop glue —
+        // impossible with RAII, but stay lenient), close intermediates too.
+        while state.stack.iter().any(|s| s.token == token) {
+            let done = state.stack.last().expect("token is in the stack").token == token;
+            state.close_top();
+            if done {
+                break;
+            }
+        }
+    }
+
+    fn add(&self, name: &str, value: f64) {
+        let mut state = self.state.lock();
+        *state.counters.entry(name.to_string()).or_insert(0.0) += value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.enabled());
+        let _span = tel.span("anything");
+        tel.add("counter", 1.0);
+        tel.incr("counter");
+        tel.add_stage("fine", 0, "pool", 10.0);
+        // Nothing to observe — the point is that none of the above panics
+        // or allocates a sink.
+        assert_eq!(format!("{tel:?}"), "Telemetry(disabled)");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let (tel, sink) = Telemetry::recording();
+        tel.add("a", 2.0);
+        tel.incr("a");
+        tel.add_stage("fine", 3, "survivors", 4.0);
+        let report = sink.report();
+        assert_eq!(report.counter("a"), Some(3.0));
+        assert_eq!(report.counter("fine.stage3.survivors"), Some(4.0));
+        assert_eq!(report.counter("missing"), None);
+    }
+
+    #[test]
+    fn spans_nest_in_open_order() {
+        let (tel, sink) = Telemetry::recording();
+        {
+            let _outer = tel.span("outer");
+            {
+                let _a = tel.span("child-a");
+            }
+            {
+                let _b = tel.span("child-b");
+            }
+        }
+        let _second_root = tel.span("root-2");
+        drop(_second_root);
+        let report = sink.report();
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans[0].name, "outer");
+        let children: Vec<&str> = report.spans[0]
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(children, vec!["child-a", "child-b"]);
+        assert_eq!(report.spans[1].name, "root-2");
+        assert!(report.find_span("child-b").is_some());
+        assert_eq!(report.spans_named("child-a").len(), 1);
+    }
+
+    #[test]
+    fn open_spans_are_excluded_from_reports() {
+        let (tel, sink) = Telemetry::recording();
+        let _open = tel.span("still-open");
+        assert!(sink.report().spans.is_empty());
+        drop(_open);
+        assert_eq!(sink.report().spans.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_exit_closes_intermediates() {
+        let sink = RecordingSink::default();
+        let outer = sink.span_enter("outer");
+        let _inner = sink.span_enter("inner");
+        // Exit the outer token first: the inner span is closed on the way.
+        sink.span_exit(outer);
+        let report = sink.report();
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].name, "outer");
+        assert_eq!(report.spans[0].children[0].name, "inner");
+        // Exiting a token that no longer exists is a no-op.
+        sink.span_exit(outer);
+        assert_eq!(sink.report().spans.len(), 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let sink = Arc::new(RecordingSink::default());
+        let tel = Telemetry::with_sink(sink.clone());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let tel = tel.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        tel.incr("hits");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sink.report().counter("hits"), Some(400.0));
+    }
+
+    #[test]
+    fn report_round_trips_serde() {
+        let (tel, sink) = Telemetry::recording();
+        {
+            let _s = tel.span("root");
+            tel.add("k", 1.5);
+        }
+        let report = sink.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.version, TRACE_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn stage_counter_name_is_canonical() {
+        assert_eq!(stage_counter("fine", 2, "pool"), "fine.stage2.pool");
+    }
+}

@@ -116,7 +116,10 @@ pub(crate) mod test_support {
         fn advance(&mut self, model: ModelId) -> Result<f64> {
             let m = model.index();
             if m >= self.curves.len() {
-                return Err(SelectionError::UnknownId { what: "model", id: m });
+                return Err(SelectionError::UnknownId {
+                    what: "model",
+                    id: m,
+                });
             }
             self.advance_log.push(model);
             let t = self.trained[m];
@@ -128,7 +131,10 @@ pub(crate) mod test_support {
         fn test(&mut self, model: ModelId) -> Result<f64> {
             let m = model.index();
             if m >= self.tests.len() {
-                return Err(SelectionError::UnknownId { what: "model", id: m });
+                return Err(SelectionError::UnknownId {
+                    what: "model",
+                    id: m,
+                });
             }
             let t = self.trained[m];
             if t == 0 {

@@ -120,9 +120,15 @@ pub fn mine_trends(
         return Err(SelectionError::Empty("benchmark curves"));
     }
     if config.n_trends == 0 {
-        return Err(SelectionError::InvalidConfig("n_trends must be >= 1".into()));
+        return Err(SelectionError::InvalidConfig(
+            "n_trends must be >= 1".into(),
+        ));
     }
-    let min_stages = curves.iter().map(LearningCurve::n_stages).min().unwrap_or(0);
+    let min_stages = curves
+        .iter()
+        .map(LearningCurve::n_stages)
+        .min()
+        .unwrap_or(0);
     let stages_to_mine = n_stages.min(min_stages).max(1);
     let c = config.n_trends.min(curves.len());
 
@@ -140,11 +146,8 @@ pub fn mine_trends(
                 .map(|(d, _)| DatasetId::from(d))
                 .collect();
             debug_assert!(!members.is_empty());
-            let mean_val = members
-                .iter()
-                .map(|&d| vals[d.index()])
-                .sum::<f64>()
-                / members.len() as f64;
+            let mean_val =
+                members.iter().map(|&d| vals[d.index()]).sum::<f64>() / members.len() as f64;
             let mean_test = members
                 .iter()
                 .map(|&d| curves[d.index()].test())
@@ -174,7 +177,11 @@ pub struct TrendBook {
 
 impl TrendBook {
     /// Mine trends for every model from the offline curve set.
-    pub fn mine(curves: &crate::curve::CurveSet, n_stages: usize, config: &TrendConfig) -> Result<Self> {
+    pub fn mine(
+        curves: &crate::curve::CurveSet,
+        n_stages: usize,
+        config: &TrendConfig,
+    ) -> Result<Self> {
         let mut per_model = Vec::with_capacity(curves.n_models());
         for m in 0..curves.n_models() {
             per_model.push(mine_trends(
@@ -197,7 +204,11 @@ impl TrendBook {
     ) -> Result<Self> {
         let indices: Vec<usize> = (0..curves.n_models()).collect();
         let per_model = crate::parallel::try_map_indexed(&indices, threads, |_, &m| {
-            mine_trends(curves.model_curves(crate::ids::ModelId::from(m)), n_stages, config)
+            mine_trends(
+                curves.model_curves(crate::ids::ModelId::from(m)),
+                n_stages,
+                config,
+            )
         })?;
         Ok(Self { per_model })
     }
@@ -279,7 +290,12 @@ pub fn cluster_values_1d(values: &[f64], k: usize, max_iter: usize) -> Vec<usize
     }
     // Compact labels of inhabited clusters, ordered by centroid value so the
     // labelling is deterministic.
-    let mut inhabited: Vec<usize> = assign.iter().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+    let mut inhabited: Vec<usize> = assign
+        .iter()
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
     inhabited.sort_by(|&a, &b| centroids[a].total_cmp(&centroids[b]));
     let remap: std::collections::HashMap<usize, usize> = inhabited
         .iter()
@@ -309,7 +325,15 @@ mod tests {
 
     #[test]
     fn mines_two_groups() {
-        let trends = mine_trends(&two_group_curves(), 2, &TrendConfig { n_trends: 2, max_iter: 64 }).unwrap();
+        let trends = mine_trends(
+            &two_group_curves(),
+            2,
+            &TrendConfig {
+                n_trends: 2,
+                max_iter: 64,
+            },
+        )
+        .unwrap();
         assert_eq!(trends.n_stages(), 2);
         let t0 = trends.at_stage(0);
         assert_eq!(t0.len(), 2);
@@ -323,7 +347,15 @@ mod tests {
 
     #[test]
     fn eq5_matches_nearest_trend() {
-        let trends = mine_trends(&two_group_curves(), 2, &TrendConfig { n_trends: 2, max_iter: 64 }).unwrap();
+        let trends = mine_trends(
+            &two_group_curves(),
+            2,
+            &TrendConfig {
+                n_trends: 2,
+                max_iter: 64,
+            },
+        )
+        .unwrap();
         let high = trends.match_trend(0, 0.87);
         assert!(high.mean_val > 0.8);
         let low = trends.match_trend(0, 0.25);
@@ -332,7 +364,15 @@ mod tests {
 
     #[test]
     fn eq6_predicts_matched_mean_test() {
-        let trends = mine_trends(&two_group_curves(), 2, &TrendConfig { n_trends: 2, max_iter: 64 }).unwrap();
+        let trends = mine_trends(
+            &two_group_curves(),
+            2,
+            &TrendConfig {
+                n_trends: 2,
+                max_iter: 64,
+            },
+        )
+        .unwrap();
         assert!((trends.predict(0, 0.9) - 0.925).abs() < 1e-9);
         assert!((trends.predict(1, 0.3) - 0.315).abs() < 1e-9);
     }
@@ -348,14 +388,30 @@ mod tests {
     #[test]
     fn trend_count_clamped_to_datasets() {
         let curves = vec![curve(&[0.5], 0.5), curve(&[0.6], 0.6)];
-        let trends = mine_trends(&curves, 1, &TrendConfig { n_trends: 10, max_iter: 64 }).unwrap();
+        let trends = mine_trends(
+            &curves,
+            1,
+            &TrendConfig {
+                n_trends: 10,
+                max_iter: 64,
+            },
+        )
+        .unwrap();
         assert!(trends.at_stage(0).len() <= 2);
     }
 
     #[test]
     fn every_dataset_in_exactly_one_trend() {
         let curves = two_group_curves();
-        let trends = mine_trends(&curves, 1, &TrendConfig { n_trends: 3, max_iter: 64 }).unwrap();
+        let trends = mine_trends(
+            &curves,
+            1,
+            &TrendConfig {
+                n_trends: 3,
+                max_iter: 64,
+            },
+        )
+        .unwrap();
         let mut seen: Vec<usize> = trends
             .at_stage(0)
             .iter()
@@ -369,7 +425,15 @@ mod tests {
     fn rejects_bad_input() {
         assert!(mine_trends(&[], 1, &TrendConfig::default()).is_err());
         let curves = vec![curve(&[0.5], 0.5)];
-        assert!(mine_trends(&curves, 1, &TrendConfig { n_trends: 0, max_iter: 1 }).is_err());
+        assert!(mine_trends(
+            &curves,
+            1,
+            &TrendConfig {
+                n_trends: 0,
+                max_iter: 1
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -169,7 +169,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (TaskUniverse, crate::datagen::LabelledData, crate::datagen::LabelledData) {
+    fn setup() -> (
+        TaskUniverse,
+        crate::datagen::LabelledData,
+        crate::datagen::LabelledData,
+    ) {
         let universe = TaskUniverse::new(10, 12, 6);
         let task = NnTask {
             name: "adam-test".into(),
@@ -231,7 +235,13 @@ mod tests {
                 16,
                 &mut rng,
             );
-            train_epoch(&mut sgd_net, &mut sgd_state, &train, &TrainConfig::default(), &mut rng);
+            train_epoch(
+                &mut sgd_net,
+                &mut sgd_state,
+                &train,
+                &TrainConfig::default(),
+                &mut rng,
+            );
         }
         let adam_acc = evaluate(&adam_net, &val);
         let sgd_acc = evaluate(&sgd_net, &val);

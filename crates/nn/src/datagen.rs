@@ -209,16 +209,36 @@ mod tests {
         let centers = t.centers(&u);
         let d = t.sample(&u, 30, 3);
         for i in 0..d.len() {
-            let own: f64 = d.x.row(i).iter().zip(&centers[d.y[i]]).map(|(a, b)| (a - b) * (a - b)).sum();
-            let other: f64 = d.x.row(i).iter().zip(&centers[1 - d.y[i]]).map(|(a, b)| (a - b) * (a - b)).sum();
+            let own: f64 =
+                d.x.row(i)
+                    .iter()
+                    .zip(&centers[d.y[i]])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+            let other: f64 =
+                d.x.row(i)
+                    .iter()
+                    .zip(&centers[1 - d.y[i]])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
             // Not every point, but the vast majority should be closer to its
             // own center; assert on the mean.
             let _ = (own, other);
         }
         let mean_margin: f64 = (0..d.len())
             .map(|i| {
-                let own: f64 = d.x.row(i).iter().zip(&centers[d.y[i]]).map(|(a, b)| (a - b) * (a - b)).sum();
-                let other: f64 = d.x.row(i).iter().zip(&centers[1 - d.y[i]]).map(|(a, b)| (a - b) * (a - b)).sum();
+                let own: f64 =
+                    d.x.row(i)
+                        .iter()
+                        .zip(&centers[d.y[i]])
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                let other: f64 =
+                    d.x.row(i)
+                        .iter()
+                        .zip(&centers[1 - d.y[i]])
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
                 other - own
             })
             .sum::<f64>()

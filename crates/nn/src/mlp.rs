@@ -203,12 +203,16 @@ mod tests {
     fn tiny() -> (Mlp, Matrix, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(2);
         let mlp = Mlp::new(3, 5, 2, &mut rng);
-        let x = Matrix::from_vec(4, 3, vec![
-            1.0, 0.2, -0.3, //
-            -0.9, 0.1, 0.4, //
-            0.8, -0.2, 0.1, //
-            -1.1, 0.3, -0.2,
-        ]);
+        let x = Matrix::from_vec(
+            4,
+            3,
+            vec![
+                1.0, 0.2, -0.3, //
+                -0.9, 0.1, 0.4, //
+                0.8, -0.2, 0.1, //
+                -1.1, 0.3, -0.2,
+            ],
+        );
         let y = vec![0, 1, 0, 1];
         (mlp, x, y)
     }

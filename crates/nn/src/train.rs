@@ -89,12 +89,7 @@ impl SgdState {
 }
 
 fn update_matrix(v: &mut Matrix, w: &mut Matrix, g: &Matrix, lr: f64, cfg: &TrainConfig) {
-    for ((vi, wi), &gi) in v
-        .data_mut()
-        .iter_mut()
-        .zip(w.data_mut())
-        .zip(g.data())
-    {
+    for ((vi, wi), &gi) in v.data_mut().iter_mut().zip(w.data_mut()).zip(g.data()) {
         *vi = cfg.momentum * *vi - lr * (gi + cfg.weight_decay * *wi);
         *wi += *vi;
     }
@@ -217,7 +212,13 @@ mod tests {
         let bias_before = mlp.b1.clone();
         let mut state = SgdState::for_mlp(&mlp);
         for _ in 0..4 {
-            train_epoch(&mut mlp, &mut state, &train, &TrainConfig::linear_probe(), &mut rng);
+            train_epoch(
+                &mut mlp,
+                &mut state,
+                &train,
+                &TrainConfig::linear_probe(),
+                &mut rng,
+            );
         }
         assert_eq!(mlp.w1, body_before, "body weights must not move");
         assert_eq!(mlp.b1, bias_before, "body bias must not move");

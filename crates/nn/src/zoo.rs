@@ -20,6 +20,7 @@ use tps_core::error::{Result, SelectionError};
 use tps_core::ids::{DatasetId, ModelId};
 use tps_core::matrix::PerformanceMatrix;
 use tps_core::proxy::PredictionMatrix;
+use tps_core::telemetry::Telemetry;
 use tps_core::traits::{FeatureOracle, ProxyOracle, TargetTrainer};
 
 /// Split tags for decorrelated data draws.
@@ -211,6 +212,18 @@ impl RealZoo {
     /// `(zoo seed, model name, task name)`, so the artifacts are
     /// bit-identical to the serial build.
     pub fn build_offline_par(&self, threads: usize) -> Result<(PerformanceMatrix, CurveSet)> {
+        self.build_offline_traced(threads, &Telemetry::disabled())
+    }
+
+    /// [`Self::build_offline_par`] with telemetry: an `nn.offline.build`
+    /// span around the whole build and an `nn.offline.runs` counter for the
+    /// `|M| × |D|` real fine-tuning runs performed.
+    pub fn build_offline_traced(
+        &self,
+        threads: usize,
+        tel: &Telemetry,
+    ) -> Result<(PerformanceMatrix, CurveSet)> {
+        let _span = tel.span("nn.offline.build");
         let mut builder = PerformanceMatrix::builder(
             self.models.iter().map(|m| m.name.clone()).collect(),
             self.benchmarks.iter().map(|b| b.name.clone()).collect(),
@@ -218,6 +231,7 @@ impl RealZoo {
         let pairs: Vec<(usize, usize)> = (0..self.n_models())
             .flat_map(|mi| (0..self.benchmarks.len()).map(move |bi| (mi, bi)))
             .collect();
+        tel.add("nn.offline.runs", pairs.len() as f64);
         let runs = tps_core::parallel::map_indexed(&pairs, threads, |_, &(mi, bi)| {
             self.fine_tune_run(&self.models[mi], &self.benchmarks[bi], self.config.stages)
         });
@@ -265,6 +279,7 @@ impl RealZoo {
             zoo: self,
             target,
             sessions: (0..self.n_models()).map(|_| None).collect(),
+            tel: Telemetry::disabled(),
         })
     }
 
@@ -277,11 +292,8 @@ impl RealZoo {
                 id: target,
             });
         }
-        let data = self.targets[target].sample(
-            &self.universe,
-            self.config.n_train_per_class,
-            TRAIN_SPLIT,
-        );
+        let data =
+            self.targets[target].sample(&self.universe, self.config.n_train_per_class, TRAIN_SPLIT);
         Ok(NnOracle {
             zoo: self,
             target,
@@ -345,7 +357,10 @@ impl FtSession {
             &self.cfg,
             &mut self.rng,
         );
-        (evaluate(&self.mlp, &self.val), evaluate(&self.mlp, &self.test))
+        (
+            evaluate(&self.mlp, &self.val),
+            evaluate(&self.mlp, &self.test),
+        )
     }
 }
 
@@ -381,6 +396,7 @@ pub struct NnTrainer<'z> {
     zoo: &'z RealZoo,
     target: usize,
     sessions: Vec<Option<FtSessionState>>,
+    tel: Telemetry,
 }
 
 /// Per-model training state inside [`NnTrainer`].
@@ -392,6 +408,15 @@ struct FtSessionState {
 }
 
 impl NnTrainer<'_> {
+    /// Record `nn.train.{epochs, sessions}` counters on `tel` (per epoch
+    /// trained / per fine-tuning session started). Counter values are
+    /// identical whether epochs run serially or via the parallel
+    /// `advance_many` fan-out.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
+    }
+
     fn session_mut(&mut self, model: ModelId) -> Result<&mut FtSessionState> {
         let idx = model.index();
         if idx >= self.zoo.n_models() {
@@ -412,6 +437,7 @@ impl NnTrainer<'_> {
                 last_val: 0.0,
                 last_test: 0.0,
             });
+            self.tel.incr("nn.train.sessions");
         }
         Ok(self.sessions[idx].as_mut().expect("just filled"))
     }
@@ -424,6 +450,7 @@ impl TargetTrainer for NnTrainer<'_> {
         state.stages += 1;
         state.last_val = val;
         state.last_test = test;
+        self.tel.incr("nn.train.epochs");
         Ok(val)
     }
 
@@ -478,6 +505,9 @@ impl TargetTrainer for NnTrainer<'_> {
         let started = tps_core::parallel::map_indexed(&missing, threads, |_, &m| {
             FtSession::start(zoo, &zoo.models[m.index()], &zoo.targets[target])
         });
+        // Counted in bulk (outside the workers) so serial and parallel runs
+        // record identical totals.
+        self.tel.add("nn.train.sessions", missing.len() as f64);
         for (&m, session) in missing.iter().zip(started) {
             self.sessions[m.index()] = Some(FtSessionState {
                 session,
@@ -499,6 +529,7 @@ impl TargetTrainer for NnTrainer<'_> {
             st.last_val = val;
             st.last_test = test;
         });
+        self.tel.add("nn.train.epochs", pool.len() as f64);
         let vals = states.iter().map(|st| st.last_val).collect();
         for (&m, st) in pool.iter().zip(states) {
             self.sessions[m.index()] = Some(st);
@@ -546,7 +577,9 @@ impl ProxyOracle for NnOracle<'_> {
                 id: model.index(),
             });
         }
-        let probs = self.zoo.models[model.index()].mlp.predict_proba(&self.data.x);
+        let probs = self.zoo.models[model.index()]
+            .mlp
+            .predict_proba(&self.data.x);
         PredictionMatrix::new(probs.cols(), probs.data().to_vec())
     }
 
@@ -591,9 +624,7 @@ mod tests {
     fn pretrained_models_master_their_upstream() {
         let zoo = small_zoo();
         for model in &zoo.models {
-            let eval = model
-                .upstream
-                .sample(&zoo.universe, 15, VAL_SPLIT);
+            let eval = model.upstream.sample(&zoo.universe, 15, VAL_SPLIT);
             let acc = evaluate(&model.mlp, &eval);
             assert!(acc > 0.8, "{} upstream acc {acc}", model.name);
         }
@@ -664,9 +695,7 @@ mod tests {
         let n_labels = oracle.n_target_labels();
         let related = leep(&oracle.predictions(ModelId(0)).unwrap(), &labels, n_labels).unwrap();
         let unrelated_scores: Vec<f64> = (4..8)
-            .map(|m| {
-                leep(&oracle.predictions(ModelId(m)).unwrap(), &labels, n_labels).unwrap()
-            })
+            .map(|m| leep(&oracle.predictions(ModelId(m)).unwrap(), &labels, n_labels).unwrap())
             .collect();
         let beaten = unrelated_scores.iter().filter(|&&s| related > s).count();
         assert!(
@@ -713,7 +742,11 @@ mod tests {
         let mut serial = zoo.trainer(0).unwrap();
         let mut expected = Vec::new();
         for _ in 0..2 {
-            expected.push(pool.iter().map(|&m| serial.advance(m).unwrap()).collect::<Vec<_>>());
+            expected.push(
+                pool.iter()
+                    .map(|&m| serial.advance(m).unwrap())
+                    .collect::<Vec<_>>(),
+            );
         }
         for threads in [1, 4] {
             let mut par = zoo.trainer(0).unwrap();

@@ -9,7 +9,13 @@ use rand::SeedableRng;
 use tps_nn::{Matrix, Mlp};
 
 /// Build a random network and batch from a seed.
-fn setup(dim: usize, hidden: usize, classes: usize, n: usize, seed: u64) -> (Mlp, Matrix, Vec<usize>) {
+fn setup(
+    dim: usize,
+    hidden: usize,
+    classes: usize,
+    n: usize,
+    seed: u64,
+) -> (Mlp, Matrix, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mlp = Mlp::new(dim, hidden, classes, &mut rng);
     let x = Matrix::kaiming(n, dim, 1, &mut rng); // reuse kaiming as a bounded sampler

@@ -206,8 +206,7 @@ impl Store {
         value: &T,
     ) -> Result<IndexEntry, StoreError> {
         Self::validate_name(name)?;
-        let payload =
-            serde_json::to_vec(value).map_err(|e| StoreError::Serde(e.to_string()))?;
+        let payload = serde_json::to_vec(value).map_err(|e| StoreError::Serde(e.to_string()))?;
         let checksum = crc32(&payload);
 
         // Header: magic | schema version | kind tag | reserved | len | crc.
@@ -306,8 +305,8 @@ impl Store {
     }
 
     fn persist_index(&self) -> Result<(), StoreError> {
-        let data = serde_json::to_vec_pretty(&self.index)
-            .map_err(|e| StoreError::Serde(e.to_string()))?;
+        let data =
+            serde_json::to_vec_pretty(&self.index).map_err(|e| StoreError::Serde(e.to_string()))?;
         let tmp = self.root.join(".index.tmp");
         {
             let mut f = fs::File::create(&tmp)?;
@@ -407,7 +406,9 @@ mod tests {
             label: "v2".into(),
             values: vec![9.0],
         };
-        store.put_overwrite("x", ArtifactKind::Custom, &newer).unwrap();
+        store
+            .put_overwrite("x", ArtifactKind::Custom, &newer)
+            .unwrap();
         let back: Payload = store.get("x", ArtifactKind::Custom).unwrap();
         assert_eq!(back.label, "v2");
     }
@@ -469,10 +470,7 @@ mod tests {
         store.remove("gone").unwrap();
         assert!(!store.contains("gone"));
         assert!(!dir.join("objects").join("gone.rec").exists());
-        assert!(matches!(
-            store.remove("gone"),
-            Err(StoreError::NotFound(_))
-        ));
+        assert!(matches!(store.remove("gone"), Err(StoreError::NotFound(_))));
     }
 
     #[test]
@@ -487,7 +485,9 @@ mod tests {
                 "accepted {bad:?}"
             );
         }
-        assert!(store.put("ok-name_1.0", ArtifactKind::Custom, &sample()).is_ok());
+        assert!(store
+            .put("ok-name_1.0", ArtifactKind::Custom, &sample())
+            .is_ok());
     }
 
     #[test]

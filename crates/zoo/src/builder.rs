@@ -105,13 +105,7 @@ impl WorldBuilder {
     }
 
     /// Add a benchmark dataset at a random domain point.
-    pub fn benchmark(
-        mut self,
-        name: &str,
-        n_labels: usize,
-        chance: f64,
-        ceiling: f64,
-    ) -> Self {
+    pub fn benchmark(mut self, name: &str, n_labels: usize, chance: f64, ceiling: f64) -> Self {
         // Domain sampled at build() so ordering of calls cannot matter.
         self.benchmarks.push(DatasetSpec::new(
             name,
@@ -364,7 +358,9 @@ mod tests {
 
     #[test]
     fn built_worlds_run_the_full_pipeline() {
-        use tps_core::pipeline::{two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig};
+        use tps_core::pipeline::{
+            two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig,
+        };
         use tps_core::recall::RecallConfig;
 
         let w = two_family_world();
@@ -388,7 +384,11 @@ mod tests {
         )
         .unwrap();
         // The winner comes from the in-domain family.
-        assert!(out.selection.winner.index() < 3, "{:?}", out.selection.winner);
+        assert!(
+            out.selection.winner.index() < 3,
+            "{:?}",
+            out.selection.winner
+        );
     }
 
     #[test]

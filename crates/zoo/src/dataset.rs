@@ -75,7 +75,9 @@ impl DatasetSpec {
     /// Deterministic, roughly-balanced target labels for proxy scoring:
     /// sample `i` gets label `i % n_labels`.
     pub fn proxy_labels(&self) -> Vec<usize> {
-        (0..self.n_proxy_samples).map(|i| i % self.n_labels).collect()
+        (0..self.n_proxy_samples)
+            .map(|i| i % self.n_labels)
+            .collect()
     }
 }
 

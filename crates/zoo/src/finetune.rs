@@ -9,6 +9,7 @@ use crate::world::World;
 use tps_core::error::{Result, SelectionError};
 use tps_core::ids::ModelId;
 use tps_core::proxy::PredictionMatrix;
+use tps_core::telemetry::Telemetry;
 use tps_core::traits::{FeatureOracle, ProxyOracle, TargetTrainer};
 
 /// Incremental fine-tuning of the world's models on one target dataset.
@@ -24,6 +25,7 @@ pub struct ZooTrainer<'w> {
     target: usize,
     runs: Vec<Option<TransferRun>>,
     stages_trained: Vec<usize>,
+    tel: Telemetry,
 }
 
 impl<'w> ZooTrainer<'w> {
@@ -40,7 +42,17 @@ impl<'w> ZooTrainer<'w> {
             target,
             runs: vec![None; world.n_models()],
             stages_trained: vec![0; world.n_models()],
+            tel: Telemetry::disabled(),
         })
+    }
+
+    /// Record `zoo.train.{stages, runs}` counters on `tel` (per training
+    /// stage advanced / per transfer run materialised). Counter values are
+    /// identical whether stages are advanced serially or via the parallel
+    /// `advance_many` fan-out.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     fn check_model(&self, model: ModelId) -> Result<()> {
@@ -58,6 +70,7 @@ impl<'w> ZooTrainer<'w> {
         let idx = model.index();
         if self.runs[idx].is_none() {
             self.runs[idx] = Some(self.world.target_run(model, self.target));
+            self.tel.incr("zoo.train.runs");
         }
         Ok(self.runs[idx].as_ref().expect("just filled"))
     }
@@ -70,6 +83,7 @@ impl TargetTrainer for ZooTrainer<'_> {
         let run = self.run_for(model)?;
         let val = run.vals[t.min(run.vals.len() - 1)];
         self.stages_trained[model.index()] += 1;
+        self.tel.incr("zoo.train.stages");
         Ok(val)
     }
 
@@ -112,9 +126,11 @@ impl TargetTrainer for ZooTrainer<'_> {
         };
         let world = self.world;
         let target = self.target;
-        let runs = tps_core::parallel::map_indexed(&missing, threads, |_, &m| {
-            world.target_run(m, target)
-        });
+        let runs =
+            tps_core::parallel::map_indexed(&missing, threads, |_, &m| world.target_run(m, target));
+        // Counted in bulk (outside the workers) so serial and parallel runs
+        // record identical totals; `run_for` then sees the runs as present.
+        self.tel.add("zoo.train.runs", missing.len() as f64);
         for (&m, run) in missing.iter().zip(runs) {
             self.runs[m.index()] = Some(run);
         }
@@ -219,7 +235,11 @@ mod tests {
         let mut serial = ZooTrainer::new(&w, 0).unwrap();
         let mut expected = Vec::new();
         for _ in 0..3 {
-            expected.push(pool.iter().map(|&m| serial.advance(m).unwrap()).collect::<Vec<_>>());
+            expected.push(
+                pool.iter()
+                    .map(|&m| serial.advance(m).unwrap())
+                    .collect::<Vec<_>>(),
+            );
         }
         for threads in [1, 2, 4] {
             let mut par = ZooTrainer::new(&w, 0).unwrap();

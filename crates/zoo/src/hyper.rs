@@ -9,8 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The fine-tuning regime a curve is generated under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum TrainHyper {
     /// Learning rate 3e-5 — the paper's main setting. Fast convergence;
     /// strong transfers over-fit past their peak (Fig. 3).
@@ -47,7 +46,6 @@ impl TrainHyper {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

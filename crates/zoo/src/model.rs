@@ -141,8 +141,22 @@ mod tests {
     #[test]
     fn same_upstream_cards_share_vocabulary() {
         use tps_core::similarity::{cosine_similarity, embed_text};
-        let a = ModelSpec::new("a/bert_ft_qqp-1", Family::TextEncoder, DomainVec::zero(), 0.8, "qqp", 2);
-        let b = ModelSpec::new("b/bert_ft_qqp-2", Family::TextEncoder, DomainVec::zero(), 0.8, "qqp", 2);
+        let a = ModelSpec::new(
+            "a/bert_ft_qqp-1",
+            Family::TextEncoder,
+            DomainVec::zero(),
+            0.8,
+            "qqp",
+            2,
+        );
+        let b = ModelSpec::new(
+            "b/bert_ft_qqp-2",
+            Family::TextEncoder,
+            DomainVec::zero(),
+            0.8,
+            "qqp",
+            2,
+        );
         let c = ModelSpec::new(
             "c/vit-base",
             Family::VisionTransformer,

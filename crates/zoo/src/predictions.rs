@@ -11,9 +11,9 @@
 //! the predictions is synthetic (see `DESIGN.md` §2).
 
 use crate::dataset::DatasetSpec;
+use crate::hyper::TrainHyper;
 use crate::model::ModelSpec;
 use crate::transfer::{run_seed, TransferLaw};
-use crate::hyper::TrainHyper;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tps_core::error::Result;

@@ -86,7 +86,12 @@ impl TransferRun {
 /// Deterministic per-run RNG seed from the world seed and run identity.
 /// FNV-1a over the identifying strings keeps seeds stable across runs and
 /// platforms.
-pub fn run_seed(world_seed: u64, model: &ModelSpec, dataset: &DatasetSpec, hyper: TrainHyper) -> u64 {
+pub fn run_seed(
+    world_seed: u64,
+    model: &ModelSpec,
+    dataset: &DatasetSpec,
+    hyper: TrainHyper,
+) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ world_seed;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -104,12 +109,7 @@ pub fn run_seed(world_seed: u64, model: &ModelSpec, dataset: &DatasetSpec, hyper
 impl TransferLaw {
     /// Latent transfer quality `q` of `model` on `dataset`: capability
     /// scaled by a base + affinity mix, plus a small idiosyncratic noise.
-    pub fn quality(
-        &self,
-        model: &ModelSpec,
-        dataset: &DatasetSpec,
-        world_seed: u64,
-    ) -> f64 {
+    pub fn quality(&self, model: &ModelSpec, dataset: &DatasetSpec, world_seed: u64) -> f64 {
         // Quality noise must be identical under both hyper regimes — it
         // models "how well this model suits this data", not the optimiser.
         let mut rng =
@@ -310,16 +310,21 @@ mod tests {
         let good = law.run(&model_at(0.0, 0.9), &data, 5, TrainHyper::LowLr, 3);
         let bad = law.run(&model_at(2.5, 0.9), &data, 5, TrainHyper::LowLr, 3);
         // Normalised progress at stage 0: good transfer is further along.
-        let frac = |r: &TransferRun, d: &DatasetSpec| {
-            (r.vals[0] - d.chance) / (r.final_test() - d.chance)
-        };
+        let frac =
+            |r: &TransferRun, d: &DatasetSpec| (r.vals[0] - d.chance) / (r.final_test() - d.chance);
         assert!(frac(&good, &data) > frac(&bad, &data));
     }
 
     #[test]
     fn to_curve_roundtrip() {
         let law = TransferLaw::default();
-        let run = law.run(&model_at(0.0, 0.7), &dataset_at(0.1), 4, TrainHyper::HighLr, 11);
+        let run = law.run(
+            &model_at(0.0, 0.7),
+            &dataset_at(0.1),
+            4,
+            TrainHyper::HighLr,
+            11,
+        );
         let curve = run.to_curve();
         assert_eq!(curve.val(), &run.vals[..]);
         assert_eq!(curve.test(), run.final_test());

@@ -258,16 +258,76 @@ const NLP_FAMILIES: &[FamilyDef] = &[
 ];
 
 const NLP_SINGLETONS: &[SingletonDef] = &[
-    SingletonDef { name: "bondi/bert-semaphore-prediction-w4", family: Family::TextEncoder, upstream: "semaphore", capability: 0.45, n_source_labels: 4 },
-    SingletonDef { name: "CAMeL-Lab/bert-base-arabic-camelbert-da-sentiment", family: Family::TextEncoder, upstream: "arabic-sentiment", capability: 0.52, n_source_labels: 3 },
-    SingletonDef { name: "classla/bcms-bertic-parlasent-bcs-ter", family: Family::TextEncoder, upstream: "parlasent", capability: 0.48, n_source_labels: 3 },
-    SingletonDef { name: "dhimskyy/wiki-bert", family: Family::TextEncoder, upstream: "wiki", capability: 0.56, n_source_labels: 2 },
-    SingletonDef { name: "gchhablani/bert-base-cased-finetuned-rte", family: Family::TextEncoder, upstream: "rte", capability: 0.60, n_source_labels: 2 },
-    SingletonDef { name: "gchhablani/bert-base-cased-finetuned-wnli", family: Family::TextEncoder, upstream: "wnli", capability: 0.44, n_source_labels: 2 },
-    SingletonDef { name: "jb2k/bert-base-multilingual-cased-language-detection", family: Family::TextEncoder, upstream: "language-detection", capability: 0.57, n_source_labels: 45 },
-    SingletonDef { name: "socialmediaie/TRAC2020_IBEN_B_bert-base-multilingual-uncased", family: Family::TextEncoder, upstream: "trac2020", capability: 0.50, n_source_labels: 3 },
-    SingletonDef { name: "Guscode/DKbert-hatespeech-detection", family: Family::TextEncoder, upstream: "dk-hatespeech", capability: 0.53, n_source_labels: 2 },
-    SingletonDef { name: "Jeevesh8/6ep_bert_ft_cola-47", family: Family::TextEncoder, upstream: "cola", capability: 0.62, n_source_labels: 2 },
+    SingletonDef {
+        name: "bondi/bert-semaphore-prediction-w4",
+        family: Family::TextEncoder,
+        upstream: "semaphore",
+        capability: 0.45,
+        n_source_labels: 4,
+    },
+    SingletonDef {
+        name: "CAMeL-Lab/bert-base-arabic-camelbert-da-sentiment",
+        family: Family::TextEncoder,
+        upstream: "arabic-sentiment",
+        capability: 0.52,
+        n_source_labels: 3,
+    },
+    SingletonDef {
+        name: "classla/bcms-bertic-parlasent-bcs-ter",
+        family: Family::TextEncoder,
+        upstream: "parlasent",
+        capability: 0.48,
+        n_source_labels: 3,
+    },
+    SingletonDef {
+        name: "dhimskyy/wiki-bert",
+        family: Family::TextEncoder,
+        upstream: "wiki",
+        capability: 0.56,
+        n_source_labels: 2,
+    },
+    SingletonDef {
+        name: "gchhablani/bert-base-cased-finetuned-rte",
+        family: Family::TextEncoder,
+        upstream: "rte",
+        capability: 0.60,
+        n_source_labels: 2,
+    },
+    SingletonDef {
+        name: "gchhablani/bert-base-cased-finetuned-wnli",
+        family: Family::TextEncoder,
+        upstream: "wnli",
+        capability: 0.44,
+        n_source_labels: 2,
+    },
+    SingletonDef {
+        name: "jb2k/bert-base-multilingual-cased-language-detection",
+        family: Family::TextEncoder,
+        upstream: "language-detection",
+        capability: 0.57,
+        n_source_labels: 45,
+    },
+    SingletonDef {
+        name: "socialmediaie/TRAC2020_IBEN_B_bert-base-multilingual-uncased",
+        family: Family::TextEncoder,
+        upstream: "trac2020",
+        capability: 0.50,
+        n_source_labels: 3,
+    },
+    SingletonDef {
+        name: "Guscode/DKbert-hatespeech-detection",
+        family: Family::TextEncoder,
+        upstream: "dk-hatespeech",
+        capability: 0.53,
+        n_source_labels: 2,
+    },
+    SingletonDef {
+        name: "Jeevesh8/6ep_bert_ft_cola-47",
+        family: Family::TextEncoder,
+        upstream: "cola",
+        capability: 0.62,
+        n_source_labels: 2,
+    },
 ];
 
 const CV_BENCHMARKS: &[BenchDef] = &[
@@ -370,11 +430,41 @@ const CV_FAMILIES: &[FamilyDef] = &[
 ];
 
 const CV_SINGLETONS: &[SingletonDef] = &[
-    SingletonDef { name: "google/vit-base-patch32-224-in21k", family: Family::VisionTransformer, upstream: "imagenet-21k", capability: 0.70, n_source_labels: 1000 },
-    SingletonDef { name: "microsoft/beit-base-patch16-224-pt22k", family: Family::VisionTransformer, upstream: "imagenet-22k", capability: 0.66, n_source_labels: 1000 },
-    SingletonDef { name: "mrgiraffe/vit-large-dataset-model-v3", family: Family::VisionTransformer, upstream: "private", capability: 0.60, n_source_labels: 12 },
-    SingletonDef { name: "sail/poolformer_s36", family: Family::ConvBackbone, upstream: "imagenet-1k", capability: 0.62, n_source_labels: 1000 },
-    SingletonDef { name: "oschamp/vit-artworkclassifier", family: Family::VisionTransformer, upstream: "artwork", capability: 0.56, n_source_labels: 5 },
+    SingletonDef {
+        name: "google/vit-base-patch32-224-in21k",
+        family: Family::VisionTransformer,
+        upstream: "imagenet-21k",
+        capability: 0.70,
+        n_source_labels: 1000,
+    },
+    SingletonDef {
+        name: "microsoft/beit-base-patch16-224-pt22k",
+        family: Family::VisionTransformer,
+        upstream: "imagenet-22k",
+        capability: 0.66,
+        n_source_labels: 1000,
+    },
+    SingletonDef {
+        name: "mrgiraffe/vit-large-dataset-model-v3",
+        family: Family::VisionTransformer,
+        upstream: "private",
+        capability: 0.60,
+        n_source_labels: 12,
+    },
+    SingletonDef {
+        name: "sail/poolformer_s36",
+        family: Family::ConvBackbone,
+        upstream: "imagenet-1k",
+        capability: 0.62,
+        n_source_labels: 1000,
+    },
+    SingletonDef {
+        name: "oschamp/vit-artworkclassifier",
+        family: Family::VisionTransformer,
+        upstream: "artwork",
+        capability: 0.56,
+        n_source_labels: 5,
+    },
 ];
 
 /// Spread of a family's members around its anchor (domain units).
@@ -395,7 +485,11 @@ const PROXY_SAMPLES: usize = 200;
 /// walk `i ↦ (i · stride) mod n` visits every benchmark before repeating.
 fn coprime_stride(n: usize) -> usize {
     fn gcd(a: usize, b: usize) -> usize {
-        if b == 0 { a } else { gcd(b, a % b) }
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
     }
     let mut k = (n / 2).max(1);
     while gcd(k, n) != 1 {
@@ -564,7 +658,8 @@ impl World {
 
         let mut models = Vec::new();
         for f in 0..config.n_families {
-            let size = rng.gen_range(config.family_size.0..=config.family_size.1.max(config.family_size.0));
+            let size = rng
+                .gen_range(config.family_size.0..=config.family_size.1.max(config.family_size.0));
             // Anchor at a random benchmark's domain, like real zoos whose
             // families are fine-tuned on popular public datasets.
             let anchor = benchmarks[rng.gen_range(0..benchmarks.len())].domain;
@@ -660,6 +755,18 @@ impl World {
     /// `(model, dataset)` (the law re-seeds per pair), so the artifacts are
     /// bit-identical to the serial build.
     pub fn build_offline_par(&self, threads: usize) -> Result<(PerformanceMatrix, CurveSet)> {
+        self.build_offline_traced(threads, &tps_core::telemetry::Telemetry::disabled())
+    }
+
+    /// [`Self::build_offline_par`] with telemetry: a `zoo.offline.build`
+    /// span around the whole simulation and a `zoo.offline.runs` counter
+    /// for the `|M| × |D|` fine-tuning runs performed.
+    pub fn build_offline_traced(
+        &self,
+        threads: usize,
+        tel: &tps_core::telemetry::Telemetry,
+    ) -> Result<(PerformanceMatrix, CurveSet)> {
+        let _span = tel.span("zoo.offline.build");
         let mut builder = PerformanceMatrix::builder(
             self.models.iter().map(|m| m.name.clone()).collect(),
             self.benchmarks.iter().map(|d| d.name.clone()).collect(),
@@ -668,9 +775,15 @@ impl World {
         let pairs: Vec<(usize, usize)> = (0..self.n_models())
             .flat_map(|mi| (0..self.n_benchmarks()).map(move |di| (mi, di)))
             .collect();
+        tel.add("zoo.offline.runs", pairs.len() as f64);
         let runs = tps_core::parallel::map_indexed(&pairs, threads, |_, &(mi, di)| {
-            self.law
-                .run(&self.models[mi], &self.benchmarks[di], self.stages, self.hyper, self.seed)
+            self.law.run(
+                &self.models[mi],
+                &self.benchmarks[di],
+                self.stages,
+                self.hyper,
+                self.seed,
+            )
         });
         let mut curves: Vec<LearningCurve> = Vec::with_capacity(n_pairs);
         for (&(mi, di), run) in pairs.iter().zip(&runs) {
@@ -781,13 +894,12 @@ mod tests {
         let (matrix, _) = w.build_offline().unwrap();
         // Models 0-4 are the qqp family; model 0 vs 1 should be much more
         // similar than model 0 vs a singleton (index 39).
-        let sim =
-            tps_core::similarity::performance_similarity(
-                &matrix.model_vector(ModelId(0)),
-                &matrix.model_vector(ModelId(1)),
-                5,
-            )
-            .unwrap();
+        let sim = tps_core::similarity::performance_similarity(
+            &matrix.model_vector(ModelId(0)),
+            &matrix.model_vector(ModelId(1)),
+            5,
+        )
+        .unwrap();
         let cross = tps_core::similarity::performance_similarity(
             &matrix.model_vector(ModelId(0)),
             &matrix.model_vector(ModelId(39)),

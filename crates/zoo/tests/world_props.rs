@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use tps_core::ids::ModelId;
-use tps_zoo::{SyntheticConfig, TrainHyper, World, ZooTrainer};
 use tps_core::traits::TargetTrainer;
+use tps_zoo::{SyntheticConfig, TrainHyper, World, ZooTrainer};
 
 fn small_config(seed: u64, stages: usize) -> SyntheticConfig {
     SyntheticConfig {

@@ -42,8 +42,12 @@ fn main() -> tps_core::error::Result<()> {
     let full_sim = SimilarityMatrix::from_performance(&matrix, 5)?;
     let compact = matrix.select_datasets(&result.selected)?;
     let compact_sim = SimilarityMatrix::from_performance(&compact, 5)?;
-    let full_clusters =
-        hierarchical_threshold(&full_sim.distance_matrix(), matrix.n_models(), 0.05, Linkage::Average)?;
+    let full_clusters = hierarchical_threshold(
+        &full_sim.distance_matrix(),
+        matrix.n_models(),
+        0.05,
+        Linkage::Average,
+    )?;
     // Fewer datasets shrink every top-k distance, so compare structure at an
     // equal cluster count rather than an equal distance threshold.
     let compact_clusters = hierarchical_k(
@@ -60,7 +64,8 @@ fn main() -> tps_core::error::Result<()> {
     let agree = (0..matrix.n_models())
         .flat_map(|i| ((i + 1)..matrix.n_models()).map(move |j| (i, j)))
         .filter(|&(i, j)| {
-            let same_full = full_clusters.cluster_of(i.into()) == full_clusters.cluster_of(j.into());
+            let same_full =
+                full_clusters.cluster_of(i.into()) == full_clusters.cluster_of(j.into());
             let same_compact =
                 compact_clusters.cluster_of(i.into()) == compact_clusters.cluster_of(j.into());
             same_full == same_compact

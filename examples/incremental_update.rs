@@ -64,7 +64,12 @@ fn main() -> tps_core::error::Result<()> {
         let benchmark_curves = world
             .benchmarks
             .iter()
-            .map(|b| world.law.run(&spec, b, world.stages, world.hyper, world.seed).to_curve())
+            .map(|b| {
+                world
+                    .law
+                    .run(&spec, b, world.stages, world.hyper, world.seed)
+                    .to_curve()
+            })
             .collect();
         let report = artifacts.add_model(
             &ModelAddition {
@@ -74,12 +79,15 @@ fn main() -> tps_core::error::Result<()> {
             &config,
         )?;
         match report.placement {
-            Placement::Joined { cluster, similarity } => println!(
+            Placement::Joined {
+                cluster,
+                similarity,
+            } => println!(
                 "+ {}  -> joined cluster {cluster} (sim {similarity:.3}), e.g. {}",
                 spec.name,
-                artifacts.matrix.model_name(
-                    artifacts.clustering.members(cluster)[0]
-                )
+                artifacts
+                    .matrix
+                    .model_name(artifacts.clustering.members(cluster)[0])
             ),
             Placement::NewSingleton { cluster } => {
                 println!("+ {}  -> new singleton cluster {cluster}", spec.name)

@@ -8,12 +8,12 @@
 
 use tps_core::benchsel::pearson;
 use tps_core::ids::ModelId;
-use tps_core::traits::{FeatureOracle, ProxyOracle};
 use tps_core::proxy::ensemble::rank_ensemble;
 use tps_core::proxy::knn::knn_proxy;
 use tps_core::proxy::leep::leep;
 use tps_core::proxy::logme::logme;
 use tps_core::proxy::nce::nce;
+use tps_core::traits::{FeatureOracle, ProxyOracle};
 use tps_nn::{RealZoo, RealZooConfig};
 
 fn main() -> tps_core::error::Result<()> {
@@ -57,7 +57,12 @@ fn main() -> tps_core::error::Result<()> {
         knn_s.push(knn_proxy(&f, n, d, &labels, 5)?);
     }
     let combined = rank_ensemble(
-        &[leep_s.clone(), nce_s.clone(), logme_s.clone(), knn_s.clone()],
+        &[
+            leep_s.clone(),
+            nce_s.clone(),
+            logme_s.clone(),
+            knn_s.clone(),
+        ],
         None,
     )?;
 

@@ -54,10 +54,7 @@ fn main() -> Result<()> {
         artifacts.matrix.model_name(outcome.selection.winner),
         world.targets[target].name
     );
-    println!(
-        "  test accuracy  {:.3}",
-        outcome.selection.winner_test
-    );
+    println!("  test accuracy  {:.3}", outcome.selection.winner_test);
     println!("  cost           {}", outcome.ledger);
     println!(
         "  vs brute force {} epochs",

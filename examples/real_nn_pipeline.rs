@@ -53,7 +53,10 @@ fn main() -> Result<()> {
     // Inspect LEEP computed from real logits on the target.
     let target = 0;
     let oracle = zoo.oracle(target)?;
-    println!("\nLEEP scores on `{}` (real predictions):", zoo.targets[target].name);
+    println!(
+        "\nLEEP scores on `{}` (real predictions):",
+        zoo.targets[target].name
+    );
     let mut scored: Vec<(String, f64)> = (0..zoo.n_models())
         .map(|m| {
             let id = ModelId::from(m);

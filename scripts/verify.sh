@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, test suite, strict lints.
+# Full verification gate: formatting, release build, test suite, strict
+# lints. CI runs exactly this script (see .github/workflows/ci.yml), so a
+# clean local `scripts/verify.sh` means a green CI run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
 
 echo "==> cargo build --release"
 cargo build --release

@@ -40,7 +40,11 @@ fn ensemble_members_are_strong_and_fully_trained() {
     let median = truth[truth.len() / 2];
     for member in &out.members {
         let acc = world.target_accuracy(member.model, target);
-        assert!(acc > median, "{:?} at {acc:.3} vs median {median:.3}", member.model);
+        assert!(
+            acc > median,
+            "{:?} at {acc:.3} vs median {median:.3}",
+            member.model
+        );
         // Fully trained (test read at the final stage).
         assert!((0.0..=1.0).contains(&member.test));
     }
@@ -78,7 +82,11 @@ fn ensemble_costs_more_than_single_but_less_than_halving_floor() {
     assert!(ensemble.ledger.total() >= single.ledger.total());
     // …but no more than halving with a floor of 4:
     // 30 + 15 + 7 + 4 = 56 epochs for 4 stages.
-    assert!(ensemble.ledger.total() <= 56.0, "{}", ensemble.ledger.total());
+    assert!(
+        ensemble.ledger.total() <= 56.0,
+        "{}",
+        ensemble.ledger.total()
+    );
     // The single winner is among (or beaten by) the ensemble.
     let best_member_test = ensemble
         .members
@@ -110,5 +118,8 @@ fn ensemble_majority_of_targets_contains_the_true_best() {
             hits += 1;
         }
     }
-    assert!(hits >= 3, "true best inside the 3-ensemble on only {hits}/4 targets");
+    assert!(
+        hits >= 3,
+        "true best inside the 3-ensemble on only {hits}/4 targets"
+    );
 }

@@ -6,7 +6,10 @@
 
 use proptest::prelude::*;
 use tps_core::parallel::ParallelConfig;
-use tps_core::pipeline::{two_phase_select, OfflineArtifacts, OfflineConfig, PipelineConfig};
+use tps_core::pipeline::{
+    two_phase_select, two_phase_select_traced, OfflineArtifacts, OfflineConfig, PipelineConfig,
+};
+use tps_core::telemetry::Telemetry;
 use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
 
 fn small_world(seed: u64) -> World {
@@ -79,11 +82,62 @@ proptest! {
         let parallel = run(4);
 
         // Full structural equality: recall ranking, recalled set, winner,
-        // pool history, and both ledgers.
+        // pool history, counters, and both ledgers.
         prop_assert_eq!(&serial, &parallel);
         prop_assert_eq!(&serial.recall.ranked, &parallel.recall.ranked);
         prop_assert_eq!(&serial.recall.recalled, &parallel.recall.recalled);
         prop_assert_eq!(serial.selection.winner, parallel.selection.winner);
+        prop_assert_eq!(&serial.counters, &parallel.counters);
         prop_assert!((serial.ledger.total() - parallel.ledger.total()).abs() == 0.0);
+    }
+
+    /// Telemetry counters are part of the determinism contract: a recording
+    /// sink attached to a serial run and to a 4-worker run must end with
+    /// identical counter maps (spans carry wall-clock and are exempt).
+    #[test]
+    fn telemetry_counters_are_thread_count_invariant(seed in 0u64..10_000) {
+        let world = small_world(seed);
+        let (matrix, curves) = world.build_offline().unwrap();
+        let artifacts =
+            OfflineArtifacts::build(matrix, &curves, &OfflineConfig::default()).unwrap();
+        let oracle = ZooOracle::new(&world, 0).unwrap();
+
+        let run = |threads: usize| {
+            let (tel, sink) = Telemetry::recording();
+            let mut trainer = ZooTrainer::new(&world, 0)
+                .unwrap()
+                .with_telemetry(tel.clone());
+            let out = two_phase_select_traced(
+                &artifacts,
+                &oracle,
+                &mut trainer,
+                &PipelineConfig {
+                    total_stages: world.stages,
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..Default::default()
+                },
+                &tel,
+            )
+            .unwrap();
+            (out, sink.report())
+        };
+        let (serial_out, serial_trace) = run(1);
+        let (parallel_out, parallel_trace) = run(4);
+
+        prop_assert_eq!(&serial_out, &parallel_out);
+        prop_assert_eq!(&serial_trace.counters, &parallel_trace.counters);
+        // Same span tree shape too — only the timings may differ.
+        let names = |r: &tps_core::telemetry::TraceReport| {
+            fn walk(spans: &[tps_core::telemetry::SpanRecord], out: &mut Vec<String>) {
+                for s in spans {
+                    out.push(s.name.clone());
+                    walk(&s.children, out);
+                }
+            }
+            let mut out = Vec::new();
+            walk(&r.spans, &mut out);
+            out
+        };
+        prop_assert_eq!(names(&serial_trace), names(&parallel_trace));
     }
 }

@@ -6,6 +6,7 @@ use tps_core::cluster::hierarchical::{agglomerate, Linkage};
 use tps_core::cluster::kmeans::{kmeans, KMeansConfig};
 use tps_core::cluster::silhouette::silhouette;
 use tps_core::cluster::Clustering;
+use tps_core::curve::LearningCurve;
 use tps_core::ids::ModelId;
 use tps_core::proxy::ensemble::{normalized_ranks, rank_ensemble};
 use tps_core::proxy::leep::leep;
@@ -14,7 +15,6 @@ use tps_core::proxy::{normalize_scores, PredictionMatrix};
 use tps_core::select::fine::fine_filter;
 use tps_core::similarity::{cosine_similarity, performance_similarity};
 use tps_core::trend::{cluster_values_1d, mine_trends, TrendConfig};
-use tps_core::curve::LearningCurve;
 
 /// Strategy: a probability vector of the given length.
 fn prob_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {

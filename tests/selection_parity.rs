@@ -2,11 +2,11 @@
 //! worlds across seeds and scales.
 
 use tps_core::ids::ModelId;
-use tps_core::traits::TargetTrainer;
+use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
 use tps_core::select::brute::brute_force;
 use tps_core::select::fine::{fine_selection, FineSelectionConfig};
 use tps_core::select::halving::successive_halving;
-use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+use tps_core::traits::TargetTrainer;
 use tps_zoo::{SyntheticConfig, World, ZooTrainer};
 
 fn artifacts_for(world: &World) -> OfflineArtifacts {
@@ -127,7 +127,11 @@ fn fs_pool_shrinks_at_least_as_fast_as_halving() {
     .unwrap();
     let mut cap = pool.len();
     for stage_pool in &fs.pool_history {
-        assert!(stage_pool.len() <= cap, "pool {} > cap {cap}", stage_pool.len());
+        assert!(
+            stage_pool.len() <= cap,
+            "pool {} > cap {cap}",
+            stage_pool.len()
+        );
         cap = (stage_pool.len() / 2).max(1);
     }
 }

@@ -117,7 +117,12 @@ fn incremental_growth_persists_across_store_roundtrips() {
         benchmark_curves: world
             .benchmarks
             .iter()
-            .map(|b| world.law.run(spec, b, world.stages, world.hyper, world.seed).to_curve())
+            .map(|b| {
+                world
+                    .law
+                    .run(spec, b, world.stages, world.hyper, world.seed)
+                    .to_curve()
+            })
             .collect(),
     };
     artifacts

@@ -1,0 +1,211 @@
+//! Integration tests for the structured telemetry layer: counters recorded
+//! during a traced `select` run must equal the ground truth the pipeline
+//! itself returns in [`PipelineOutcome`] — stage count, survivors per
+//! stage, and total epoch-equivalents — and the span tree must reflect the
+//! two-phase control flow.
+
+use tps_core::pipeline::{two_phase_select, two_phase_select_traced, PipelineConfig};
+use tps_core::select::brute::brute_force_traced;
+use tps_core::select::halving::successive_halving_traced;
+use tps_core::telemetry::{stage_counter, Telemetry, TraceReport, TRACE_SCHEMA_VERSION};
+use tps_zoo::{World, ZooOracle, ZooTrainer};
+
+fn traced_run(world: &World, target: usize) -> (tps_core::pipeline::PipelineOutcome, TraceReport) {
+    let (matrix, curves) = world.build_offline().unwrap();
+    let artifacts = tps_core::pipeline::OfflineArtifacts::build(
+        matrix,
+        &curves,
+        &tps_core::pipeline::OfflineConfig::default(),
+    )
+    .unwrap();
+    let oracle = ZooOracle::new(world, target).unwrap();
+    let (tel, sink) = Telemetry::recording();
+    let mut trainer = ZooTrainer::new(world, target)
+        .unwrap()
+        .with_telemetry(tel.clone());
+    let out = two_phase_select_traced(
+        &artifacts,
+        &oracle,
+        &mut trainer,
+        &PipelineConfig {
+            total_stages: world.stages,
+            ..Default::default()
+        },
+        &tel,
+    )
+    .unwrap();
+    (out, sink.report())
+}
+
+#[test]
+fn counters_match_pipeline_outcome_ground_truth() {
+    let world = World::cv(11);
+    let (out, trace) = traced_run(&world, 0);
+
+    // Phase totals.
+    assert_eq!(
+        trace.counter("recall.proxy_evals"),
+        Some(out.counters.proxy_evals as f64)
+    );
+    assert_eq!(
+        trace.counter("recall.recalled"),
+        Some(out.counters.recalled as f64)
+    );
+    assert_eq!(
+        trace.counter("recall.recalled"),
+        Some(out.recall.recalled.len() as f64)
+    );
+    assert_eq!(
+        trace.counter("recall.proxy_epochs"),
+        Some(out.recall.proxy_epochs)
+    );
+    assert_eq!(
+        trace.counter("fine.stages"),
+        Some(out.counters.stages as f64)
+    );
+    assert_eq!(
+        trace.counter("fine.stages"),
+        Some(out.selection.pool_history.len() as f64)
+    );
+    assert_eq!(
+        trace.counter("select.train_epochs"),
+        Some(out.counters.train_epochs)
+    );
+
+    // Epoch accounting closes: proxy + train == ledger total == counters.
+    let proxy = trace.counter("recall.proxy_epochs").unwrap();
+    let train = trace.counter("select.train_epochs").unwrap();
+    assert!((proxy + train - out.ledger.total()).abs() < 1e-9);
+    assert_eq!(out.counters.total_epochs, out.ledger.total());
+
+    // Per-stage survivors, stage by stage.
+    for (t, &survivors) in out.counters.survivors_per_stage.iter().enumerate() {
+        assert_eq!(
+            trace.counter(&stage_counter("fine", t, "pool")),
+            Some(out.counters.pool_per_stage[t] as f64),
+            "stage {t} pool"
+        );
+        assert_eq!(
+            trace.counter(&stage_counter("fine", t, "survivors")),
+            Some(survivors as f64),
+            "stage {t} survivors"
+        );
+        // pool - dominated - halving_cut == survivors at every stage.
+        let dominated = trace
+            .counter(&stage_counter("fine", t, "dominated"))
+            .unwrap();
+        let cut = trace
+            .counter(&stage_counter("fine", t, "halving_cut"))
+            .unwrap();
+        assert_eq!(
+            out.counters.pool_per_stage[t] as f64 - dominated - cut,
+            survivors as f64,
+            "stage {t} balance"
+        );
+    }
+
+    // The trainer's own counters agree with what the selector charged: the
+    // zoo trainer runs one epoch per stage advanced.
+    assert_eq!(
+        trace.counter("zoo.train.stages"),
+        Some(out.counters.train_epochs)
+    );
+}
+
+#[test]
+fn traced_and_untraced_runs_return_identical_outcomes() {
+    let world = World::nlp(5);
+    let target = world.target_by_name("mnli").unwrap();
+    let (traced, _) = traced_run(&world, target);
+
+    let (matrix, curves) = world.build_offline().unwrap();
+    let artifacts = tps_core::pipeline::OfflineArtifacts::build(
+        matrix,
+        &curves,
+        &tps_core::pipeline::OfflineConfig::default(),
+    )
+    .unwrap();
+    let oracle = ZooOracle::new(&world, target).unwrap();
+    let mut trainer = ZooTrainer::new(&world, target).unwrap();
+    let plain = two_phase_select(
+        &artifacts,
+        &oracle,
+        &mut trainer,
+        &PipelineConfig {
+            total_stages: world.stages,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    assert_eq!(traced, plain);
+}
+
+#[test]
+fn span_tree_mirrors_the_control_flow() {
+    let world = World::cv(3);
+    let (out, trace) = traced_run(&world, 1);
+
+    assert_eq!(trace.version, TRACE_SCHEMA_VERSION);
+    let pipeline = trace.find_span("pipeline.two_phase_select").unwrap();
+    let recall = pipeline.find("recall.coarse").unwrap();
+    assert!(recall.find("recall.proxy_scoring").is_some());
+    let fine = pipeline.find("select.fine").unwrap();
+    assert_eq!(fine.children.len(), out.counters.stages);
+    for stage in &fine.children {
+        assert_eq!(stage.name, "select.stage");
+        assert_eq!(stage.children.len(), 1);
+        assert_eq!(stage.children[0].name, "select.stage.train");
+    }
+
+    // Trace survives a JSON round trip unchanged.
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: TraceReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.counters, trace.counters);
+    assert_eq!(back.spans.len(), trace.spans.len());
+}
+
+#[test]
+fn baseline_selectors_record_their_own_stage_counters() {
+    let world = World::cv(7);
+    let everyone: Vec<_> = (0..world.n_models())
+        .map(tps_core::ids::ModelId::from)
+        .collect();
+
+    let (tel, sink) = Telemetry::recording();
+    let mut trainer = ZooTrainer::new(&world, 0)
+        .unwrap()
+        .with_telemetry(tel.clone());
+    let bf = brute_force_traced(&mut trainer, &everyone, world.stages, 1, &tel).unwrap();
+    let mut trainer = ZooTrainer::new(&world, 0)
+        .unwrap()
+        .with_telemetry(tel.clone());
+    let sh = successive_halving_traced(&mut trainer, &everyone, world.stages, 1, &tel).unwrap();
+    let trace = sink.report();
+
+    // BF trains the full pool at every stage.
+    assert_eq!(trace.counter("bf.stages"), Some(world.stages as f64));
+    for t in 0..world.stages {
+        assert_eq!(
+            trace.counter(&stage_counter("bf", t, "pool")),
+            Some(everyone.len() as f64)
+        );
+    }
+    // SH pools shrink and match the returned pool history.
+    assert_eq!(
+        trace.counter("sh.stages"),
+        Some(sh.pool_history.len() as f64)
+    );
+    for (t, pool) in sh.pool_history.iter().enumerate() {
+        assert_eq!(
+            trace.counter(&stage_counter("sh", t, "pool")),
+            Some(pool.len() as f64),
+            "SH stage {t}"
+        );
+    }
+    // Both selectors' charged epochs land in the shared counter.
+    assert_eq!(
+        trace.counter("select.train_epochs"),
+        Some(bf.ledger.train_epochs() + sh.ledger.train_epochs())
+    );
+}

@@ -86,6 +86,24 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    /// Caller-controlled measurement: `routine(iters)` runs the workload
+    /// `iters` times and returns the total elapsed duration — upstream's
+    /// escape hatch for costs that are not wall-clock (e.g. epoch budgets
+    /// mapped onto `Duration`). Deterministic routines yield identical
+    /// samples, which is fine: the median is still well-defined.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let samples = self.sample_size.clamp(5, 100);
+        let iters: u64 = 1;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let d = routine(iters);
+            per_iter.push(d.as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        self.result = Some((median, samples, iters));
+    }
+
     /// Measure `routine`, auto-scaling iteration counts so each sample
     /// takes a measurable amount of time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
@@ -137,6 +155,11 @@ impl Criterion {
         run_one(id.to_string(), 10, None, f);
         self
     }
+
+    /// Disable plot generation (a no-op — the shim never plots).
+    pub fn without_plots(self) -> Self {
+        self
+    }
 }
 
 /// A group of related benchmarks sharing configuration.
@@ -185,7 +208,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(id: String, sample_size: usize, tp: Option<Throughput>, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: String,
+    sample_size: usize,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
     let mut b = Bencher {
         sample_size,
         result: None,
@@ -266,6 +294,13 @@ macro_rules! criterion_group {
             $($target(&mut criterion);)+
         }
     };
+    // Upstream's explicit form with a custom `Criterion` configuration.
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
 }
 
 /// Entry point running the given groups and writing the summary.
@@ -291,12 +326,13 @@ mod tests {
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("shim");
         g.sample_size(5);
-        g.bench_function("sum", |b| {
-            b.iter(|| (0..1000u64).sum::<u64>())
-        });
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
         g.finish();
         let entries = REGISTRY.lock().unwrap();
-        let e = entries.iter().find(|e| e.id == "shim/sum").expect("recorded");
+        let e = entries
+            .iter()
+            .find(|e| e.id == "shim/sum")
+            .expect("recorded");
         assert!(e.median_ns > 0.0);
     }
 }

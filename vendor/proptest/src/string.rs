@@ -37,7 +37,10 @@ fn sample_atom(atom: &Atom, rng: &mut StdRng) -> char {
     match atom {
         Atom::Literal(c) => *c,
         Atom::Class(ranges) => {
-            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
             let mut idx = rng.gen_range(0..total);
             for (lo, hi) in ranges {
                 let span = *hi as u32 - *lo as u32 + 1;
@@ -95,7 +98,10 @@ fn parse(pattern: &str) -> Vec<Piece> {
                 }
             }
             '(' | ')' | '|' | '.' => {
-                panic!("unsupported regex feature `{}` in pattern `{pattern}`", chars[i])
+                panic!(
+                    "unsupported regex feature `{}` in pattern `{pattern}`",
+                    chars[i]
+                )
             }
             c => {
                 i += 1;
@@ -153,7 +159,10 @@ mod tests {
         for _ in 0..200 {
             let s = generate("[a-z]{1,12}", &mut rng);
             assert!((1..=12).contains(&s.len()), "bad length: {s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad chars: {s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()),
+                "bad chars: {s:?}"
+            );
         }
     }
 

@@ -39,5 +39,7 @@ pub fn case_rng(case: u32) -> StdRng {
         .ok()
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(0x7073_7465_7374_2131); // "pstest!1"
-    StdRng::seed_from_u64(base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1)))
+    StdRng::seed_from_u64(
+        base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1)),
+    )
 }

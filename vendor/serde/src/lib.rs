@@ -470,10 +470,7 @@ mod tests {
             String::deserialize_value(&"hi".serialize_value()).unwrap(),
             "hi"
         );
-        assert_eq!(
-            Option::<u8>::deserialize_value(&Value::Null).unwrap(),
-            None
-        );
+        assert_eq!(Option::<u8>::deserialize_value(&Value::Null).unwrap(), None);
     }
 
     #[test]

@@ -40,14 +40,18 @@ struct Input {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derive `serde::Deserialize`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -300,8 +304,7 @@ fn gen_serialize(input: &Input) -> String {
                         ));
                     }
                     Shape::Named(fields) => {
-                        let mut inner =
-                            String::from("let mut __vm = serde::value::Map::new();\n");
+                        let mut inner = String::from("let mut __vm = serde::value::Map::new();\n");
                         for f in fields {
                             inner.push_str(&format!(
                                 "__vm.insert(::std::string::String::from(\"{f}\"), \
@@ -340,7 +343,8 @@ fn gen_deserialize(input: &Input) -> String {
                     fields[0]
                 )
             } else {
-                let mut s = format!("let __m = serde::__private::expect_object(__v, \"{name}\")?;\n");
+                let mut s =
+                    format!("let __m = serde::__private::expect_object(__v, \"{name}\")?;\n");
                 s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
                 for f in fields {
                     s.push_str(&format!("{f}: serde::__private::field(__m, \"{f}\")?,\n"));
@@ -385,9 +389,7 @@ fn gen_deserialize(input: &Input) -> String {
                 s.push_str("_ => {}\n}\n}\n");
             }
             if !payload.is_empty() {
-                s.push_str(
-                    "if let ::std::option::Option::Some(__m) = __v.as_object() {\n",
-                );
+                s.push_str("if let ::std::option::Option::Some(__m) = __v.as_object() {\n");
                 for v in &payload {
                     let vn = &v.name;
                     s.push_str(&format!(
@@ -419,9 +421,7 @@ fn gen_deserialize(input: &Input) -> String {
                             ));
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    format!("{f}: serde::__private::field(__vm, \"{f}\")?")
-                                })
+                                .map(|f| format!("{f}: serde::__private::field(__vm, \"{f}\")?"))
                                 .collect();
                             s.push_str(&format!(
                                 "return ::std::result::Result::Ok({name}::{vn} {{ {} }});\n",

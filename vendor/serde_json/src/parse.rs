@@ -194,7 +194,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, Error> {
         let mut v: u32 = 0;
         for _ in 0..4 {
-            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -220,20 +222,22 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         let n = if is_float {
-            Number::F(text
-                .parse::<f64>()
-                .map_err(|_| self.err("invalid number"))?)
+            Number::F(
+                text.parse::<f64>()
+                    .map_err(|_| self.err("invalid number"))?,
+            )
         } else if let Ok(u) = text.parse::<u64>() {
             Number::U(u)
         } else if let Ok(i) = text.parse::<i64>() {
             Number::I(i)
         } else {
-            Number::F(text
-                .parse::<f64>()
-                .map_err(|_| self.err("invalid number"))?)
+            Number::F(
+                text.parse::<f64>()
+                    .map_err(|_| self.err("invalid number"))?,
+            )
         };
         Ok(Value::Number(n))
     }

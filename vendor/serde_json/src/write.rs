@@ -1,8 +1,8 @@
 //! JSON emission: compact and pretty (2-space indent) writers.
 
-use serde::value::Value;
 #[cfg(test)]
 use serde::value::Map;
+use serde::value::Value;
 
 /// Append the compact JSON encoding of `v` to `out`.
 pub(crate) fn compact(v: &Value, out: &mut String) {
