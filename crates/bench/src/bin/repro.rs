@@ -1,19 +1,30 @@
 //! Reproduction driver: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro all            # every experiment, in paper order
-//! repro tab5 fig7      # specific experiments
-//! repro --list         # available ids
+//! repro all                        # every experiment, in paper order
+//! repro tab5 fig7                  # specific experiments
+//! repro smoke --trace-out t.json   # also write the embedded TraceReport
+//! repro --list                     # available ids
 //! ```
 //!
 //! Output tables print to stdout; structured records land in `results/`.
+//! `--trace-out FILE` extracts the structured trace a traced experiment
+//! (currently `smoke`) embeds in its record and writes it standalone, so
+//! CI can feed it straight to `tps trace diff` / `tps trace check`.
 
 use std::process::ExitCode;
 use tps_bench::experiments::{by_id, registry};
 use tps_bench::{print_ignoring_pipe, results_dir};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = match take_flag_value(&mut args, "--trace-out") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
         return ExitCode::SUCCESS;
@@ -35,26 +46,54 @@ fn main() -> ExitCode {
         args
     };
 
+    let mut trace_written = false;
     for id in &ids {
         let Some(runner) = by_id(id) else {
             eprintln!("unknown experiment `{id}` — try --list");
             return ExitCode::FAILURE;
         };
         let report = runner();
+        if let (Some(path), Some(trace)) = (trace_out.as_deref(), report.json.get("trace")) {
+            let text = serde_json::to_string_pretty(trace).expect("trace reserializes");
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("failed to write trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            print_ignoring_pipe(&format!("wrote {id} trace to {path}\n"));
+            trace_written = true;
+        }
         if let Err(e) = report.emit(&dir) {
             eprintln!("failed to persist {id}: {e}");
             return ExitCode::FAILURE;
         }
     }
+    if trace_out.is_some() && !trace_written {
+        eprintln!("--trace-out given but no selected experiment embeds a trace (try `smoke`)");
+        return ExitCode::FAILURE;
+    }
     print_ignoring_pipe(&format!("results written to {}\n", dir.display()));
     ExitCode::SUCCESS
 }
 
+/// Remove `flag VALUE` from `args`, returning the value if present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
 fn print_usage() {
     print_ignoring_pipe(
-        "usage: repro [all | <id>...] [--list]\n\n\
+        "usage: repro [all | <id>...] [--list] [--trace-out FILE]\n\n\
          Regenerates the paper's tables and figures on the synthetic world\n\
-         model. Known ids:\n",
+         model. --trace-out writes the structured trace a traced experiment\n\
+         embeds (e.g. `smoke`) to FILE for `tps trace` tooling. Known ids:\n",
     );
     for (id, title, _) in registry() {
         print_ignoring_pipe(&format!("  {id:>6}  {title}\n"));

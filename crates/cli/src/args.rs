@@ -1,17 +1,22 @@
 //! Minimal dependency-free argument parsing for the `tps` binary.
 //!
-//! Grammar: `tps <command> [--flag value]...`. Flags are always
-//! `--name value` pairs; unknown flags are errors (typos should not be
-//! silently ignored on a tool that kicks off hours of fine-tuning).
+//! Grammar: `tps <command> [POSITIONAL]... [--flag value]...`. Flags are
+//! always `--name value` pairs; unknown flags are errors (typos should not
+//! be silently ignored on a tool that kicks off hours of fine-tuning).
+//! Positionals are collected for the commands that take them (the `trace`
+//! family: `tps trace summarize FILE`); every other command rejects them
+//! via [`ParsedArgs::restrict`].
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parsed command line: the subcommand plus its `--flag value` pairs.
+/// A parsed command line: the subcommand, its positional arguments, and
+/// its `--flag value` pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
     pub command: String,
+    positionals: Vec<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -76,9 +81,11 @@ impl ParsedArgs {
             return Err(ArgError::MissingCommand);
         }
         let mut flags = BTreeMap::new();
+        let mut positionals = Vec::new();
         while let Some(arg) = iter.next() {
             let Some(name) = arg.strip_prefix("--") else {
-                return Err(ArgError::UnexpectedPositional(arg));
+                positionals.push(arg);
+                continue;
             };
             let value = iter
                 .next()
@@ -87,17 +94,36 @@ impl ParsedArgs {
                 return Err(ArgError::DuplicateFlag(name.to_string()));
             }
         }
-        Ok(Self { command, flags })
+        Ok(Self {
+            command,
+            positionals,
+            flags,
+        })
     }
 
-    /// Reject any flag outside `allowed`.
+    /// Reject any flag outside `allowed` and any positional argument —
+    /// the contract of every non-`trace` command.
     pub fn restrict(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        if let Some(stray) = self.positionals.first() {
+            return Err(ArgError::UnexpectedPositional(stray.clone()));
+        }
+        self.restrict_flags(allowed)
+    }
+
+    /// Reject any flag outside `allowed`, leaving positionals to the
+    /// caller (the `trace` subcommands consume them).
+    pub fn restrict_flags(&self, allowed: &[&str]) -> Result<(), ArgError> {
         for flag in self.flags.keys() {
             if !allowed.contains(&flag.as_str()) {
                 return Err(ArgError::UnknownFlag(flag.clone()));
             }
         }
         Ok(())
+    }
+
+    /// The positional arguments after the subcommand, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// Optional string flag.
@@ -156,10 +182,6 @@ mod tests {
             ArgError::MissingValue("seed".into())
         );
         assert_eq!(
-            ParsedArgs::parse(["world", "stray"]).unwrap_err(),
-            ArgError::UnexpectedPositional("stray".into())
-        );
-        assert_eq!(
             ParsedArgs::parse(["world", "--seed", "1", "--seed", "2"]).unwrap_err(),
             ArgError::DuplicateFlag("seed".into())
         );
@@ -174,6 +196,25 @@ mod tests {
         );
         let ok = ParsedArgs::parse(["world", "--seed", "1"]).unwrap();
         assert!(ok.restrict(&["seed"]).is_ok());
+    }
+
+    #[test]
+    fn positionals_are_collected_but_restrict_rejects_them() {
+        let a = ParsedArgs::parse(["trace", "summarize", "t.json", "--top", "5"]).unwrap();
+        assert_eq!(a.command, "trace");
+        assert_eq!(a.positionals(), ["summarize", "t.json"]);
+        assert_eq!(a.get("top"), Some("5"));
+        // Non-trace commands keep their strict no-positionals contract.
+        assert_eq!(
+            a.restrict(&["top"]).unwrap_err(),
+            ArgError::UnexpectedPositional("summarize".into())
+        );
+        assert!(a.restrict_flags(&["top"]).is_ok());
+        let stray = ParsedArgs::parse(["world", "stray"]).unwrap();
+        assert_eq!(
+            stray.restrict(&["seed"]).unwrap_err(),
+            ArgError::UnexpectedPositional("stray".into())
+        );
     }
 
     #[test]

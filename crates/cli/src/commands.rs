@@ -14,7 +14,7 @@ use tps_core::recall::RecallConfig;
 use tps_core::select::brute::brute_force_traced;
 use tps_core::select::fine::FineSelectionConfig;
 use tps_core::select::halving::successive_halving_traced;
-use tps_core::telemetry::{RecordingSink, Telemetry};
+use tps_core::telemetry::{analysis, budget, openmetrics, RecordingSink, Telemetry, TraceReport};
 use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
 
 /// Top-level CLI error: argument problems, IO, or framework errors.
@@ -28,6 +28,9 @@ pub enum CliError {
     Selection(tps_core::error::SelectionError),
     /// Anything else (unknown command, unknown target…).
     Usage(String),
+    /// A gate failed — trace drift or budget violations. Carries the full
+    /// rendered report; the process exits nonzero so CI fails.
+    Failed(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -37,6 +40,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Selection(e) => write!(f, "{e}"),
             CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Failed(e) => write!(f, "{e}"),
         }
     }
 }
@@ -67,6 +71,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "archive" => cmd_archive(args),
         "catalog" => cmd_catalog(args),
         "fsck" => cmd_fsck(args),
+        "trace" => cmd_trace(args),
         "help" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; try `tps help`"
@@ -102,6 +107,12 @@ plus proxy-eval / epoch / survivor counters) and writes it as JSON.
                                              --artifacts FILE [--force true]
   catalog  list a store's contents           --store DIR
   fsck     verify every stored record        --store DIR
+  trace    analyse --trace-out files:
+           trace summarize FILE [--top N]      top spans by self-time + counter tables
+           trace diff A B [--tolerance F]      deterministic drift check, nonzero on drift
+           trace check FILE [--budgets FILE]   evaluate budgets.toml cost invariants
+           trace export FILE [--out FILE]      OpenMetrics/Prometheus text exposition
+           trace baseline FILE --out FILE      strip to deterministic payload for committing
   help     this message
 "
     .to_string()
@@ -206,6 +217,31 @@ fn write_trace(
     Ok(())
 }
 
+/// Run a traced command body. On success the trace is written normally; on
+/// error the partial trace is still flushed, marked `"completed": false`,
+/// so failed runs stay diagnosable instead of silently dropping telemetry.
+fn with_trace(
+    args: &ParsedArgs,
+    body: impl FnOnce(&Telemetry) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    let (tel, sink) = telemetry_for(args);
+    match body(&tel) {
+        Ok(mut out) => {
+            write_trace(args, sink, &mut out)?;
+            Ok(out)
+        }
+        Err(e) => {
+            if let (Some(sink), Some(path)) = (sink, args.get("trace-out")) {
+                let mut report = sink.report();
+                report.completed = false;
+                // Best-effort: the pipeline error stays the primary failure.
+                let _ = write_json(path, &report);
+            }
+            Err(e)
+        }
+    }
+}
+
 fn offline_config(args: &ParsedArgs) -> Result<OfflineConfig, CliError> {
     let mut config = OfflineConfig::default();
     config.similarity_top_k = args.get_parse("top-k-sim", config.similarity_top_k, "integer")?;
@@ -231,20 +267,19 @@ fn cmd_offline(args: &ParsedArgs) -> Result<String, CliError> {
     let world: World = read_json(args.require("world")?)?;
     let out = args.require("out")?;
     let config = offline_config(args)?;
-    let (tel, sink) = telemetry_for(args);
-    let (matrix, curves) = world.build_offline_traced(config.parallel.resolve(), &tel)?;
-    let artifacts = OfflineArtifacts::build_traced(matrix, &curves, &config, &tel)?;
-    write_json(out, &artifacts)?;
-    let mut text = format!(
-        "wrote offline artifacts to {out}: {} x {} performance matrix, {} clusters \
-         ({} non-singleton)\n",
-        artifacts.matrix.n_models(),
-        artifacts.matrix.n_datasets(),
-        artifacts.clustering.n_clusters(),
-        artifacts.clustering.non_singleton_clusters().len(),
-    );
-    write_trace(args, sink, &mut text)?;
-    Ok(text)
+    with_trace(args, |tel| {
+        let (matrix, curves) = world.build_offline_traced(config.parallel.resolve(), tel)?;
+        let artifacts = OfflineArtifacts::build_traced(matrix, &curves, &config, tel)?;
+        write_json(out, &artifacts)?;
+        Ok(format!(
+            "wrote offline artifacts to {out}: {} x {} performance matrix, {} clusters \
+             ({} non-singleton)\n",
+            artifacts.matrix.n_models(),
+            artifacts.matrix.n_datasets(),
+            artifacts.clustering.n_clusters(),
+            artifacts.clustering.non_singleton_clusters().len(),
+        ))
+    })
 }
 
 fn cmd_inspect(args: &ParsedArgs) -> Result<String, CliError> {
@@ -325,39 +360,39 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
         total_stages: args.get_parse("stages", world.stages, "integer")?,
         parallel: parallel_config(args)?,
     };
-    let (tel, sink) = telemetry_for(args);
-    let oracle = ZooOracle::new(&world, target)?;
-    let mut trainer = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
-    let outcome = two_phase_select_traced(&artifacts, &oracle, &mut trainer, &config, &tel)?;
+    with_trace(args, |tel| {
+        let oracle = ZooOracle::new(&world, target)?;
+        let mut trainer = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+        let outcome = two_phase_select_traced(&artifacts, &oracle, &mut trainer, &config, tel)?;
 
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "selected `{}` for target `{}`",
-        artifacts.matrix.model_name(outcome.selection.winner),
-        world.targets[target].name
-    );
-    let _ = writeln!(out, "  test accuracy {:.3}", outcome.selection.winner_test);
-    let _ = writeln!(out, "  cost          {}", outcome.ledger);
-    let _ = writeln!(
-        out,
-        "  recalled pool {}",
-        outcome
-            .recall
-            .recalled
-            .iter()
-            .map(|&m| artifacts.matrix.model_name(m))
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-    let c = &outcome.counters;
-    let _ = writeln!(
-        out,
-        "  accounting    {} proxy evals, {} recalled, pools {:?} over {} stages",
-        c.proxy_evals, c.recalled, c.pool_per_stage, c.stages
-    );
-    write_trace(args, sink, &mut out)?;
-    Ok(out)
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "selected `{}` for target `{}`",
+            artifacts.matrix.model_name(outcome.selection.winner),
+            world.targets[target].name
+        );
+        let _ = writeln!(out, "  test accuracy {:.3}", outcome.selection.winner_test);
+        let _ = writeln!(out, "  cost          {}", outcome.ledger);
+        let _ = writeln!(
+            out,
+            "  recalled pool {}",
+            outcome
+                .recall
+                .recalled
+                .iter()
+                .map(|&m| artifacts.matrix.model_name(m))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let c = &outcome.counters;
+        let _ = writeln!(
+            out,
+            "  accounting    {} proxy evals, {} recalled, pools {:?} over {} stages",
+            c.proxy_evals, c.recalled, c.pool_per_stage, c.stages
+        );
+        Ok(out)
+    })
 }
 
 fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
@@ -369,55 +404,206 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
     let threads = parallel.resolve();
     let everyone: Vec<ModelId> = artifacts.matrix.model_ids().collect();
 
-    let (tel, sink) = telemetry_for(args);
-    let mut t1 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
-    let bf = brute_force_traced(&mut t1, &everyone, world.stages, threads, &tel)?;
-    let mut t2 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
-    let sh = successive_halving_traced(&mut t2, &everyone, world.stages, threads, &tel)?;
-    let oracle = ZooOracle::new(&world, target)?;
-    let mut t3 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
-    let two_phase = two_phase_select_traced(
-        &artifacts,
-        &oracle,
-        &mut t3,
-        &PipelineConfig {
-            total_stages: world.stages,
-            parallel,
-            ..Default::default()
-        },
-        &tel,
-    )?;
+    with_trace(args, |tel| {
+        let mut t1 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+        let bf = brute_force_traced(&mut t1, &everyone, world.stages, threads, tel)?;
+        let mut t2 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+        let sh = successive_halving_traced(&mut t2, &everyone, world.stages, threads, tel)?;
+        let oracle = ZooOracle::new(&world, target)?;
+        let mut t3 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+        let two_phase = two_phase_select_traced(
+            &artifacts,
+            &oracle,
+            &mut t3,
+            &PipelineConfig {
+                total_stages: world.stages,
+                parallel,
+                ..Default::default()
+            },
+            tel,
+        )?;
 
-    let mut out = String::new();
-    let _ = writeln!(out, "target `{}`:", world.targets[target].name);
-    let mut row = |name: &str, acc: f64, epochs: f64, model: ModelId| {
+        let mut out = String::new();
+        let _ = writeln!(out, "target `{}`:", world.targets[target].name);
+        let mut row = |name: &str, acc: f64, epochs: f64, model: ModelId| {
+            let _ = writeln!(
+                out,
+                "  {name:<18} acc {acc:.3}  {epochs:>7.1} epochs  -> {}",
+                artifacts.matrix.model_name(model)
+            );
+        };
+        row("brute force", bf.winner_test, bf.ledger.total(), bf.winner);
+        row(
+            "successive halving",
+            sh.winner_test,
+            sh.ledger.total(),
+            sh.winner,
+        );
+        row(
+            "two-phase",
+            two_phase.selection.winner_test,
+            two_phase.ledger.total(),
+            two_phase.selection.winner,
+        );
         let _ = writeln!(
             out,
-            "  {name:<18} acc {acc:.3}  {epochs:>7.1} epochs  -> {}",
-            artifacts.matrix.model_name(model)
+            "  two-phase speedup: {:.2}x vs BF, {:.2}x vs SH",
+            bf.ledger.total() / two_phase.ledger.total(),
+            sh.ledger.total() / two_phase.ledger.total()
         );
+        Ok(out)
+    })
+}
+
+/// Usage for the `trace` family (also embedded in [`usage`]).
+fn trace_usage() -> String {
+    "usage: tps trace <summarize|diff|check|export|baseline> ...
+  trace summarize FILE [--top N]      top spans by self-time + counter/histogram tables
+  trace diff A B [--tolerance F]      compare deterministic payloads; nonzero exit on drift
+  trace check FILE [--budgets FILE]   evaluate cost budgets (default budgets.toml)
+  trace export FILE [--out FILE]      render OpenMetrics text exposition
+  trace baseline FILE --out FILE      strip to the deterministic payload for committing
+"
+    .to_string()
+}
+
+fn read_trace(path: &str) -> Result<TraceReport, CliError> {
+    read_json(path)
+}
+
+/// Expect exactly `n` positional arguments after the `trace` subcommand.
+fn expect_positionals<'a>(
+    rest: &'a [String],
+    n: usize,
+    what: &str,
+) -> Result<&'a [String], CliError> {
+    if rest.len() == n {
+        Ok(rest)
+    } else {
+        Err(CliError::Usage(format!(
+            "trace {what}: expected {n} file argument(s), got {}\n{}",
+            rest.len(),
+            trace_usage()
+        )))
+    }
+}
+
+/// `tps trace …` — offline analysis of `--trace-out` files.
+fn cmd_trace(args: &ParsedArgs) -> Result<String, CliError> {
+    let pos = args.positionals();
+    let Some(sub) = pos.first() else {
+        return Err(CliError::Usage(trace_usage()));
     };
-    row("brute force", bf.winner_test, bf.ledger.total(), bf.winner);
-    row(
-        "successive halving",
-        sh.winner_test,
-        sh.ledger.total(),
-        sh.winner,
-    );
-    row(
-        "two-phase",
-        two_phase.selection.winner_test,
-        two_phase.ledger.total(),
-        two_phase.selection.winner,
-    );
-    let _ = writeln!(
-        out,
-        "  two-phase speedup: {:.2}x vs BF, {:.2}x vs SH",
-        bf.ledger.total() / two_phase.ledger.total(),
-        sh.ledger.total() / two_phase.ledger.total()
-    );
-    write_trace(args, sink, &mut out)?;
-    Ok(out)
+    let rest = &pos[1..];
+    match sub.as_str() {
+        "summarize" => {
+            args.restrict_flags(&["top"])?;
+            let files = expect_positionals(rest, 1, "summarize")?;
+            let report = read_trace(&files[0])?;
+            let top = args.get_parse("top", 10usize, "integer")?;
+            Ok(analysis::summarize(&report, top))
+        }
+        "diff" => {
+            args.restrict_flags(&["tolerance"])?;
+            let files = expect_positionals(rest, 2, "diff")?;
+            let a = read_trace(&files[0])?;
+            let b = read_trace(&files[1])?;
+            let tolerance = args.get_parse("tolerance", 0.0f64, "number")?;
+            let mut d = analysis::diff(&a, &b, tolerance);
+            if a.completed != b.completed {
+                d.structure.push(format!(
+                    "completedness differs: {} vs {}",
+                    a.completed, b.completed
+                ));
+            }
+            let text = analysis::render_diff(&d);
+            if d.is_clean() {
+                Ok(text)
+            } else {
+                Err(CliError::Failed(format!(
+                    "trace drift between {} and {}:\n{text}",
+                    files[0], files[1]
+                )))
+            }
+        }
+        "check" => {
+            args.restrict_flags(&["budgets"])?;
+            let files = expect_positionals(rest, 1, "check")?;
+            let report = read_trace(&files[0])?;
+            let budgets_path = args.get("budgets").unwrap_or("budgets.toml");
+            let text = std::fs::read_to_string(budgets_path)
+                .map_err(|e| CliError::Io(format!("cannot read {budgets_path}: {e}")))?;
+            let spec = budget::parse_spec(&text)
+                .map_err(|e| CliError::Usage(format!("{budgets_path}: {e}")))?;
+            if !report.completed {
+                return Err(CliError::Failed(format!(
+                    "{} is a partial trace (completed = false); budgets only apply to \
+                     finished runs",
+                    files[0]
+                )));
+            }
+            let outcome = budget::check(&report, &spec);
+            if outcome.ok() {
+                let mut out = format!(
+                    "all {} budget check(s) passed against {}\n",
+                    outcome.passed.len(),
+                    files[0]
+                );
+                for p in &outcome.passed {
+                    let _ = writeln!(out, "  ok      {p}");
+                }
+                for s in &outcome.skipped {
+                    let _ = writeln!(out, "  skipped {s} (counters absent, rule not required)");
+                }
+                Ok(out)
+            } else {
+                let mut out = format!(
+                    "{} budget violation(s) in {} (of {} checked):\n",
+                    outcome.violations.len(),
+                    files[0],
+                    outcome.violations.len() + outcome.passed.len()
+                );
+                for v in &outcome.violations {
+                    let _ = writeln!(out, "  FAIL {v}");
+                }
+                Err(CliError::Failed(out))
+            }
+        }
+        "export" => {
+            args.restrict_flags(&["out"])?;
+            let files = expect_positionals(rest, 1, "export")?;
+            let report = read_trace(&files[0])?;
+            let text = openmetrics::render(&report);
+            match args.get("out") {
+                Some(path) => {
+                    std::fs::write(Path::new(path), &text)
+                        .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+                    Ok(format!(
+                        "wrote OpenMetrics exposition to {path}: {} metric line(s)\n",
+                        text.lines().count()
+                    ))
+                }
+                None => Ok(text),
+            }
+        }
+        "baseline" => {
+            args.restrict_flags(&["out"])?;
+            let files = expect_positionals(rest, 1, "baseline")?;
+            let report = read_trace(&files[0])?;
+            let out = args.require("out")?;
+            let base = analysis::baseline_of(&report);
+            write_json(out, &base)?;
+            Ok(format!(
+                "wrote baseline to {out}: {} counter(s), {} deterministic histogram(s)\n",
+                base.counters.len(),
+                base.histograms.len()
+            ))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown trace subcommand `{other}`\n{}",
+            trace_usage()
+        ))),
+    }
 }
 
 fn open_store(args: &ParsedArgs) -> Result<tps_store::Store, CliError> {
@@ -927,5 +1113,214 @@ mod tests {
             "lab/vit-clone",
         ])
         .is_err());
+    }
+
+    /// Build a world + artifacts + select trace in `dir`, returning the
+    /// trace path. Shared by the `trace` family tests.
+    fn make_trace(dir: &std::path::Path, tag: &str) -> std::path::PathBuf {
+        let world = dir.join(format!("{tag}-w.json"));
+        let arts = dir.join(format!("{tag}-a.json"));
+        let trace = dir.join(format!("{tag}-trace.json"));
+        let world_s = world.to_str().unwrap();
+        let arts_s = arts.to_str().unwrap();
+        run_line(&["world", "--domain", "cv", "--seed", "7", "--out", world_s]).unwrap();
+        run_line(&["offline", "--world", world_s, "--out", arts_s]).unwrap();
+        run_line(&[
+            "select",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--target",
+            "beans",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        trace
+    }
+
+    #[test]
+    fn trace_summarize_export_and_baseline() {
+        let dir = tmpdir();
+        let trace = make_trace(&dir, "sum");
+        let trace_s = trace.to_str().unwrap();
+
+        let out = run_line(&["trace", "summarize", trace_s]).unwrap();
+        assert!(out.contains("pipeline.two_phase_select"), "{out}");
+        assert!(out.contains("recall.recalled"), "{out}");
+        // --top 1 keeps the span table to a single row.
+        let brief = run_line(&["trace", "summarize", trace_s, "--top", "1"]).unwrap();
+        assert!(brief.len() < out.len());
+
+        let om = run_line(&["trace", "export", trace_s]).unwrap();
+        assert!(om.starts_with("# TYPE") || om.contains("# TYPE"), "{om}");
+        assert!(om.contains("tps_recall_recalled_total"), "{om}");
+        assert!(om.contains("_bucket{le=\"+Inf\"}"), "{om}");
+        assert!(om.ends_with("# EOF\n"), "{om}");
+        let om_file = dir.join("metrics.txt");
+        run_line(&[
+            "trace",
+            "export",
+            trace_s,
+            "--out",
+            om_file.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&om_file).unwrap(), om);
+
+        let base = dir.join("base.json");
+        let base_s = base.to_str().unwrap();
+        let out = run_line(&["trace", "baseline", trace_s, "--out", base_s]).unwrap();
+        assert!(out.contains("wrote baseline"), "{out}");
+        let report: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&base).unwrap()).unwrap();
+        assert!(report.spans.is_empty());
+        assert!(report.histograms.values().all(|h| !h.is_wall_clock()));
+
+        // A fresh identical run diffs clean against the stripped baseline.
+        let trace2 = make_trace(&dir, "sum2");
+        let out = run_line(&["trace", "diff", base_s, trace2.to_str().unwrap()]).unwrap();
+        assert!(out.contains("no drift"), "{out}");
+
+        // Usage errors: bad subcommand, wrong arity.
+        assert!(matches!(
+            run_line(&["trace", "frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run_line(&["trace"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_line(&["trace", "diff", trace_s]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn trace_diff_fails_on_counter_drift() {
+        let dir = tmpdir();
+        let trace = make_trace(&dir, "drift");
+        let trace_s = trace.to_str().unwrap();
+        // Perturb one deterministic counter in a copy.
+        let mut report: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        *report.counters.get_mut("recall.recalled").unwrap() += 1.0;
+        let forged = dir.join("forged.json");
+        write_json(forged.to_str().unwrap(), &report).unwrap();
+
+        let err = run_line(&["trace", "diff", trace_s, forged.to_str().unwrap()]).unwrap_err();
+        match err {
+            CliError::Failed(msg) => {
+                assert!(msg.contains("recall.recalled"), "{msg}");
+                assert!(msg.contains("drift"), "{msg}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_check_enforces_budgets() {
+        let dir = tmpdir();
+        let trace = make_trace(&dir, "check");
+        let trace_s = trace.to_str().unwrap();
+        let budgets = dir.join("budgets.toml");
+        std::fs::write(
+            &budgets,
+            "version = 1\n\
+             \n\
+             [[rule]]\n\
+             name = \"recall-cap\"\n\
+             expect = \"recall.recalled <= 10\"\n\
+             \n\
+             [[rule]]\n\
+             name = \"halving\"\n\
+             per_stage = \"fine\"\n\
+             expect = \"fine.stage{t}.survivors <= ceil(fine.stage{t}.pool / 2)\"\n",
+        )
+        .unwrap();
+        let out = run_line(&[
+            "trace",
+            "check",
+            trace_s,
+            "--budgets",
+            budgets.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("passed"), "{out}");
+
+        // An impossible rule produces a structured FAIL and nonzero exit.
+        std::fs::write(
+            &budgets,
+            "version = 1\n[[rule]]\nname = \"impossible\"\nexpect = \"recall.recalled <= 0\"\n",
+        )
+        .unwrap();
+        let err = run_line(&[
+            "trace",
+            "check",
+            trace_s,
+            "--budgets",
+            budgets.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Failed(msg) => assert!(msg.contains("impossible"), "{msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_run_flushes_partial_trace() {
+        let dir = tmpdir();
+        let world = dir.join("pw.json");
+        let arts = dir.join("pa.json");
+        let trace = dir.join("partial.json");
+        let world_s = world.to_str().unwrap();
+        let arts_s = arts.to_str().unwrap();
+        let trace_s = trace.to_str().unwrap();
+        run_line(&["world", "--domain", "cv", "--seed", "7", "--out", world_s]).unwrap();
+        run_line(&["offline", "--world", world_s, "--out", arts_s]).unwrap();
+
+        // --stages 0 fails validation *inside* the traced pipeline body.
+        let err = run_line(&[
+            "select",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--target",
+            "beans",
+            "--stages",
+            "0",
+            "--trace-out",
+            trace_s,
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Selection(_)), "{err:?}");
+
+        // The partial trace still landed on disk, marked incomplete.
+        let report: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(!report.completed);
+        // And downstream tooling refuses to budget-check it.
+        let budgets = dir.join("b.toml");
+        std::fs::write(
+            &budgets,
+            "version = 1\n[[rule]]\nname = \"x\"\nexpect = \"1 <= 2\"\n",
+        )
+        .unwrap();
+        let err = run_line(&[
+            "trace",
+            "check",
+            trace_s,
+            "--budgets",
+            budgets.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Failed(msg) => assert!(msg.contains("partial"), "{msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // `summarize` flags it instead of pretending the run finished.
+        let out = run_line(&["trace", "summarize", trace_s]).unwrap();
+        assert!(out.contains("INCOMPLETE"), "{out}");
     }
 }

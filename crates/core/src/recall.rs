@@ -142,6 +142,9 @@ pub fn coarse_recall_par_traced(
         prepare_recall(matrix, clustering, similarity, config)?;
     tel.add("recall.candidates", matrix.n_models() as f64);
     tel.add("recall.proxy_evals", scored_clusters.len() as f64);
+    // Fan-out width of the proxy-scoring stage — deterministic, so its
+    // histogram participates in drift gates and serial≡parallel checks.
+    tel.observe("recall.fanout_width", scored_clusters.len() as f64);
     let raw = {
         let _scoring = tel.span("recall.proxy_scoring");
         crate::parallel::try_map_indexed(&scored_clusters, threads, |_, &c| {
@@ -159,6 +162,7 @@ pub fn coarse_recall_par_traced(
     )?;
     tel.add("recall.proxy_epochs", out.proxy_epochs);
     tel.add("recall.recalled", out.recalled.len() as f64);
+    tel.observe("recall.proxy_epochs_per_call", out.proxy_epochs);
     Ok(out)
 }
 

@@ -57,6 +57,7 @@ pub fn brute_force_traced(
         let _stage = tel.span("select.stage");
         tel.incr("bf.stages");
         tel.add_stage("bf", t, "pool", models.len() as f64);
+        tel.observe("bf.stage_pool_width", models.len() as f64);
         pool_history.push(models.to_vec());
         last_vals = advance_pool(trainer, models, &mut ledger, threads, tel)?;
         val_history.push(last_vals.clone());

@@ -113,6 +113,7 @@ pub fn fine_selection_traced(
         let _stage = tel.span("select.stage");
         tel.incr("fine.stages");
         tel.add_stage("fine", t, "pool", pool.len() as f64);
+        tel.observe("fine.stage_pool_width", pool.len() as f64);
         pool_history.push(pool.clone());
         last_vals = advance_pool(trainer, &pool, &mut ledger, threads, tel)?;
         val_history.push(last_vals.clone());

@@ -67,6 +67,7 @@ pub fn successive_halving_traced(
         let _stage = tel.span("select.stage");
         tel.incr("sh.stages");
         tel.add_stage("sh", t, "pool", pool.len() as f64);
+        tel.observe("sh.stage_pool_width", pool.len() as f64);
         pool_history.push(pool.clone());
         last_vals = advance_pool(trainer, &pool, &mut ledger, threads, tel)?;
         val_history.push(last_vals.clone());

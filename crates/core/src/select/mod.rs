@@ -95,8 +95,10 @@ pub(crate) fn validate_pool(models: &[ModelId], total_stages: usize) -> Result<(
 /// with a deterministic parallel implementation; the ledger is charged
 /// identically either way.
 ///
-/// Telemetry: opens a `select.stage.train` span around the fan-out and adds
-/// the epochs charged this stage to the `select.train_epochs` counter.
+/// Telemetry: opens a `select.stage.train` span around the fan-out, adds
+/// the epochs charged this stage to the `select.train_epochs` counter, and
+/// observes the fan-out's wall-clock into the `select.stage_train_us`
+/// histogram (summary-only — never compared across runs).
 pub(crate) fn advance_pool(
     trainer: &mut dyn TargetTrainer,
     pool: &[ModelId],
@@ -105,7 +107,13 @@ pub(crate) fn advance_pool(
     tel: &Telemetry,
 ) -> Result<Vec<(ModelId, f64)>> {
     let _span = tel.span("select.stage.train");
+    // Only read the clock when a sink is attached — a disabled handle
+    // must stay free of clock syscalls on the hot path.
+    let started = tel.enabled().then(std::time::Instant::now);
     let vals = trainer.advance_many(pool, threads)?;
+    if let Some(t0) = started {
+        tel.observe("select.stage_train_us", t0.elapsed().as_micros() as f64);
+    }
     for _ in pool {
         ledger.charge_training(trainer.epochs_per_stage());
     }

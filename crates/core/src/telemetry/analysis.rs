@@ -1,0 +1,352 @@
+//! Trace post-processing: self-time summaries, cross-run diffs, and
+//! drift-gate baselines over [`TraceReport`]s.
+//!
+//! Three consumers share this module: `tps trace summarize` (human
+//! tables), `tps trace diff` (CI counter-drift gate — deterministic
+//! counters and histograms must match bit-for-bit, wall-clock never
+//! compared), and `tps trace baseline` (strips a trace down to its
+//! deterministic payload for committing under `results/baselines/`).
+
+use super::{SpanRecord, TraceReport};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// How many spans had this name.
+    pub count: u64,
+    /// Total wall-clock across them, microseconds.
+    pub total_us: u64,
+    /// Total minus time attributed to child spans, microseconds.
+    pub self_us: u64,
+}
+
+fn accumulate(span: &SpanRecord, stats: &mut BTreeMap<String, SpanStat>) {
+    let child_us: u64 = span.children.iter().map(|c| c.elapsed_us).sum();
+    let entry = stats.entry(span.name.clone()).or_insert_with(|| SpanStat {
+        name: span.name.clone(),
+        count: 0,
+        total_us: 0,
+        self_us: 0,
+    });
+    entry.count += 1;
+    entry.total_us += span.elapsed_us;
+    entry.self_us += span.elapsed_us.saturating_sub(child_us);
+    for c in &span.children {
+        accumulate(c, stats);
+    }
+}
+
+/// Aggregate every span by name, sorted by descending self-time.
+pub fn span_stats(report: &TraceReport) -> Vec<SpanStat> {
+    let mut stats = BTreeMap::new();
+    for s in &report.spans {
+        accumulate(s, &mut stats);
+    }
+    let mut out: Vec<SpanStat> = stats.into_values().collect();
+    out.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Render the human-readable summary used by `tps trace summarize`.
+pub fn summarize(report: &TraceReport, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace v{} — {} root span(s), {} counter(s), {} histogram(s){}",
+        report.version,
+        report.spans.len(),
+        report.counters.len(),
+        report.histograms.len(),
+        if report.completed {
+            ""
+        } else {
+            " [INCOMPLETE]"
+        }
+    );
+
+    let stats = span_stats(report);
+    if !stats.is_empty() {
+        let _ = writeln!(out, "\ntop {} spans by self-time:", top.min(stats.len()));
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>6} {:>12} {:>12}",
+            "span", "count", "self µs", "total µs"
+        );
+        for s in stats.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>6} {:>12} {:>12}",
+                s.name, s.count, s.self_us, s.total_us
+            );
+        }
+    }
+
+    if !report.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, value) in &report.counters {
+            let _ = writeln!(out, "  {name:<40} {value}");
+        }
+    }
+
+    if !report.histograms.is_empty() {
+        let _ = writeln!(out, "\nhistograms:");
+        for (name, h) in &report.histograms {
+            let mean = if h.count > 0 {
+                h.sum / h.count as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<40} n={} sum={} mean={mean:.2} [{}] buckets={:?}",
+                h.count, h.sum, h.unit, h.counts
+            );
+        }
+    }
+    out
+}
+
+/// One counter difference between two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterDiff {
+    /// Counter name.
+    pub name: String,
+    /// Value in the first trace (`None` = absent).
+    pub a: Option<f64>,
+    /// Value in the second trace.
+    pub b: Option<f64>,
+}
+
+/// Everything `diff` found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Counters added, removed, or changed beyond the tolerance.
+    pub counters: Vec<CounterDiff>,
+    /// Deterministic-histogram mismatches, in words.
+    pub histograms: Vec<String>,
+    /// Span-tree structural mismatches, in words (empty when either side
+    /// carries no spans — baselines strip them).
+    pub structure: Vec<String>,
+}
+
+impl DiffReport {
+    /// No drift at all.
+    pub fn is_clean(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.structure.is_empty()
+    }
+}
+
+fn span_paths(spans: &[SpanRecord], prefix: &str, out: &mut Vec<String>) {
+    for s in spans {
+        let path = if prefix.is_empty() {
+            s.name.clone()
+        } else {
+            format!("{prefix}/{}", s.name)
+        };
+        out.push(path.clone());
+        span_paths(&s.children, &path, out);
+    }
+}
+
+/// Compare two traces. Counters are compared exactly (up to `tolerance`),
+/// deterministic histograms bucket-for-bucket; wall-clock histograms and
+/// span *durations* are never compared. Span-tree *structure* (the
+/// depth-first name paths) is compared only when both traces carry spans.
+pub fn diff(a: &TraceReport, b: &TraceReport, tolerance: f64) -> DiffReport {
+    let mut out = DiffReport::default();
+
+    let names: std::collections::BTreeSet<&String> =
+        a.counters.keys().chain(b.counters.keys()).collect();
+    for name in names {
+        let (va, vb) = (a.counter(name), b.counter(name));
+        let drifted = match (va, vb) {
+            (Some(x), Some(y)) => (x - y).abs() > tolerance,
+            _ => true,
+        };
+        if drifted {
+            out.counters.push(CounterDiff {
+                name: name.clone(),
+                a: va,
+                b: vb,
+            });
+        }
+    }
+
+    let (ha, hb) = (a.deterministic_histograms(), b.deterministic_histograms());
+    let hnames: std::collections::BTreeSet<&String> = ha.keys().chain(hb.keys()).collect();
+    for name in hnames {
+        match (ha.get(name), hb.get(name)) {
+            (Some(x), Some(y)) if x == y => {}
+            (Some(x), Some(y)) => out.histograms.push(format!(
+                "`{name}`: bucket counts {:?} (n={}) vs {:?} (n={})",
+                x.counts, x.count, y.counts, y.count
+            )),
+            (only_a, _) => out.histograms.push(format!(
+                "`{name}`: only in trace {}",
+                if only_a.is_some() { "A" } else { "B" }
+            )),
+        }
+    }
+
+    if !a.spans.is_empty() && !b.spans.is_empty() {
+        let (mut pa, mut pb) = (Vec::new(), Vec::new());
+        span_paths(&a.spans, "", &mut pa);
+        span_paths(&b.spans, "", &mut pb);
+        if pa != pb {
+            let mismatch = pa
+                .iter()
+                .zip(&pb)
+                .position(|(x, y)| x != y)
+                .unwrap_or(pa.len().min(pb.len()));
+            out.structure.push(format!(
+                "span trees diverge at depth-first position {mismatch}: {:?} vs {:?} ({} vs {} spans)",
+                pa.get(mismatch).map(String::as_str).unwrap_or("<end>"),
+                pb.get(mismatch).map(String::as_str).unwrap_or("<end>"),
+                pa.len(),
+                pb.len()
+            ));
+        }
+    }
+    out
+}
+
+/// Render a [`DiffReport`] for terminal/CI output.
+pub fn render_diff(d: &DiffReport) -> String {
+    if d.is_clean() {
+        return "no drift: deterministic counters, histograms and span structure match\n"
+            .to_string();
+    }
+    let mut out = String::new();
+    if !d.counters.is_empty() {
+        let _ = writeln!(out, "counter drift ({}):", d.counters.len());
+        for c in &d.counters {
+            let fmt = |v: Option<f64>| v.map_or("<absent>".to_string(), |x| x.to_string());
+            let _ = writeln!(out, "  {:<40} {} -> {}", c.name, fmt(c.a), fmt(c.b));
+        }
+    }
+    if !d.histograms.is_empty() {
+        let _ = writeln!(out, "histogram drift ({}):", d.histograms.len());
+        for h in &d.histograms {
+            let _ = writeln!(out, "  {h}");
+        }
+    }
+    if !d.structure.is_empty() {
+        let _ = writeln!(out, "span structure drift:");
+        for s in &d.structure {
+            let _ = writeln!(out, "  {s}");
+        }
+    }
+    out
+}
+
+/// Strip a trace down to its deterministic payload for committing as a
+/// drift baseline: spans dropped (durations are machine-dependent),
+/// wall-clock histograms dropped, counters kept verbatim.
+pub fn baseline_of(report: &TraceReport) -> TraceReport {
+    TraceReport {
+        version: report.version,
+        spans: Vec::new(),
+        counters: report.counters.clone(),
+        histograms: report.deterministic_histograms(),
+        completed: report.completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Telemetry;
+    use super::*;
+
+    fn sample_trace() -> TraceReport {
+        let (tel, sink) = Telemetry::recording();
+        {
+            let _root = tel.span("pipeline");
+            {
+                let _r = tel.span("recall");
+                tel.add("recall.proxy_evals", 8.0);
+            }
+            {
+                let _s = tel.span("stage");
+            }
+            {
+                let _s = tel.span("stage");
+            }
+            tel.observe("fine.stage_pool_width", 10.0);
+            tel.observe("select.stage_train_us", 1234.0);
+        }
+        sink.report()
+    }
+
+    #[test]
+    fn span_stats_aggregate_by_name_with_self_time() {
+        let report = sample_trace();
+        let stats = span_stats(&report);
+        let stage = stats.iter().find(|s| s.name == "stage").unwrap();
+        assert_eq!(stage.count, 2);
+        let pipeline = stats.iter().find(|s| s.name == "pipeline").unwrap();
+        assert_eq!(pipeline.count, 1);
+        assert!(pipeline.self_us <= pipeline.total_us);
+    }
+
+    #[test]
+    fn summarize_mentions_everything() {
+        let report = sample_trace();
+        let text = summarize(&report, 5);
+        assert!(text.contains("top"));
+        assert!(text.contains("recall.proxy_evals"));
+        assert!(text.contains("fine.stage_pool_width"));
+        assert!(!text.contains("INCOMPLETE"));
+        let mut partial = report;
+        partial.completed = false;
+        assert!(summarize(&partial, 5).contains("INCOMPLETE"));
+    }
+
+    #[test]
+    fn diff_is_clean_on_identical_deterministic_payloads() {
+        let a = sample_trace();
+        let b = sample_trace(); // identical counters/histograms, different durations
+        let d = diff(&a, &b, 0.0);
+        assert!(d.is_clean(), "wall-clock must not cause drift: {d:?}");
+    }
+
+    #[test]
+    fn diff_reports_counter_and_histogram_drift() {
+        let a = sample_trace();
+        let mut b = sample_trace();
+        b.counters.insert("recall.proxy_evals".to_string(), 9.0);
+        b.counters.insert("extra".to_string(), 1.0);
+        b.histograms.remove("fine.stage_pool_width");
+        let d = diff(&a, &b, 0.0);
+        assert_eq!(d.counters.len(), 2);
+        assert_eq!(d.counters[0].name, "extra");
+        assert_eq!(d.counters[0].a, None);
+        assert_eq!(d.counters[1].b, Some(9.0));
+        assert_eq!(d.histograms.len(), 1);
+        assert!(d.histograms[0].contains("only in trace A"));
+        assert!(render_diff(&d).contains("counter drift"));
+    }
+
+    #[test]
+    fn diff_flags_structural_changes_but_skips_span_free_baselines() {
+        let a = sample_trace();
+        let mut b = sample_trace();
+        b.spans[0].children.pop(); // drop a stage span
+        assert_eq!(diff(&a, &b, 0.0).structure.len(), 1);
+
+        let base = baseline_of(&a);
+        assert!(base.spans.is_empty());
+        assert!(diff(&base, &a, 0.0).is_clean());
+    }
+
+    #[test]
+    fn baseline_strips_wall_clock_but_keeps_counters() {
+        let base = baseline_of(&sample_trace());
+        assert!(base.histograms.contains_key("fine.stage_pool_width"));
+        assert!(!base.histograms.contains_key("select.stage_train_us"));
+        assert_eq!(base.counter("recall.proxy_evals"), Some(8.0));
+    }
+}

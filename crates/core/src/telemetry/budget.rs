@@ -1,0 +1,707 @@
+//! Declarative cost budgets evaluated against a [`TraceReport`].
+//!
+//! The paper's efficiency claims are *invariants over counters*:
+//! coarse-recall scores exactly one proxy per non-singleton cluster
+//! (Eq. 2–4), fine-selection keeps at most half the pool per stage
+//! (Algorithm 1), recall keeps at most K candidates. A `budgets.toml`
+//! file states those invariants as comparison expressions over trace
+//! counter names; [`check`] evaluates them and returns structured
+//! [`BudgetViolation`]s instead of a yes/no, so CI output names the rule
+//! and stage that broke.
+//!
+//! ## Schema (parsed by [`toml_lite`](super::toml_lite))
+//!
+//! ```toml
+//! version = 1          # required, must be 1
+//! tolerance = 1e-9     # optional comparison slack (default 1e-9)
+//!
+//! [[rule]]
+//! name = "algorithm1-filters-at-least-half"
+//! per_stage = "fine"   # optional: expand {t} over fine.stage{t}.* counters
+//! expect = "fine.stage{t}.survivors <= ceil(fine.stage{t}.pool / 2)"
+//! required = true      # optional (default true): missing counters violate
+//! ```
+//!
+//! ## Expression language
+//!
+//! `expect` is `lhs CMP rhs` where `CMP` is one of `== <= >= < >` and each
+//! side supports `+ - * /`, parentheses, numeric literals, counter names
+//! (dotted identifiers, `{t}` substituted for per-stage rules), and the
+//! functions `ceil`, `floor`, `min`, `max`.
+
+use super::toml_lite::{self, TomlValue};
+use super::TraceReport;
+use serde::Serialize;
+use std::fmt;
+
+/// Default comparison slack: exact up to floating-point noise.
+const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// A parsed budget file.
+#[derive(Debug, Clone)]
+pub struct BudgetSpec {
+    /// Comparison slack applied to every rule.
+    pub tolerance: f64,
+    /// Rules in file order.
+    pub rules: Vec<BudgetRule>,
+}
+
+/// One declarative invariant.
+#[derive(Debug, Clone)]
+pub struct BudgetRule {
+    /// Human-readable rule id, unique within the file.
+    pub name: String,
+    /// When set, the rule is expanded once per stage `t` discovered from
+    /// `"{prefix}.stage{t}."` counters, substituting `{t}` in `expect`.
+    pub per_stage: Option<String>,
+    /// The comparison expression source (kept for reporting).
+    pub expect: String,
+    /// When `true` (default), counters missing from the trace are a
+    /// violation; when `false` the rule is skipped instead (lets one
+    /// budget file cover traces from different subcommands).
+    pub required: bool,
+    comparison: Comparison,
+}
+
+/// A single failed invariant, with both sides evaluated.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BudgetViolation {
+    /// Rule id from the budget file.
+    pub rule: String,
+    /// Stage index for per-stage rules.
+    pub stage: Option<usize>,
+    /// The rule's `expect` source with `{t}` substituted.
+    pub expect: String,
+    /// Left-hand side value (`NaN` serialized as `null` when unknown).
+    pub lhs: Option<f64>,
+    /// Right-hand side value.
+    pub rhs: Option<f64>,
+    /// What went wrong, in words.
+    pub detail: String,
+}
+
+impl fmt::Display for BudgetViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule `{}`", self.rule)?;
+        if let Some(t) = self.stage {
+            write!(f, " (stage {t})")?;
+        }
+        write!(f, ": {} — {}", self.expect, self.detail)?;
+        if let (Some(l), Some(r)) = (self.lhs, self.rhs) {
+            write!(f, " (lhs = {l}, rhs = {r})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of evaluating a [`BudgetSpec`] against a trace.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetOutcome {
+    /// `"{rule}"` or `"{rule}@stage{t}"` ids that held.
+    pub passed: Vec<String>,
+    /// Non-required rules skipped because their counters were absent.
+    pub skipped: Vec<String>,
+    /// Everything that failed.
+    pub violations: Vec<BudgetViolation>,
+}
+
+impl BudgetOutcome {
+    /// Whether every applicable rule held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Parse a `budgets.toml` document.
+pub fn parse_spec(text: &str) -> Result<BudgetSpec, String> {
+    let doc = toml_lite::parse(text)?;
+    match doc.root.get("version") {
+        Some(TomlValue::Int(1)) => {}
+        Some(other) => return Err(format!("unsupported budget schema version {other:?}")),
+        None => return Err("budget file is missing `version = 1`".to_string()),
+    }
+    let tolerance = match doc.root.get("tolerance") {
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| "`tolerance` must be numeric".to_string())?,
+        None => DEFAULT_TOLERANCE,
+    };
+    let mut rules = Vec::new();
+    for table in doc.tables_named("rule") {
+        let name = table
+            .get("name")
+            .and_then(TomlValue::as_str)
+            .ok_or_else(|| "every [[rule]] needs a string `name`".to_string())?
+            .to_string();
+        let expect = table
+            .get("expect")
+            .and_then(TomlValue::as_str)
+            .ok_or_else(|| format!("rule `{name}` needs a string `expect`"))?
+            .to_string();
+        let per_stage = table
+            .get("per_stage")
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("rule `{name}`: `per_stage` must be a string"))
+            })
+            .transpose()?;
+        let required = match table.get("required") {
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| format!("rule `{name}`: `required` must be a boolean"))?,
+            None => true,
+        };
+        let comparison = Comparison::parse(&expect)
+            .map_err(|e| format!("rule `{name}`: bad expression `{expect}`: {e}"))?;
+        if rules.iter().any(|r: &BudgetRule| r.name == name) {
+            return Err(format!("duplicate rule name `{name}`"));
+        }
+        rules.push(BudgetRule {
+            name,
+            per_stage,
+            expect,
+            required,
+            comparison,
+        });
+    }
+    if rules.is_empty() {
+        return Err("budget file declares no [[rule]] tables".to_string());
+    }
+    Ok(BudgetSpec { tolerance, rules })
+}
+
+/// Stage indices present in the trace for `prefix` (from
+/// `"{prefix}.stage{t}."` counter names), sorted ascending.
+pub fn stages_for(report: &TraceReport, prefix: &str) -> Vec<usize> {
+    let lead = format!("{prefix}.stage");
+    let mut out: Vec<usize> = report
+        .counters
+        .keys()
+        .filter_map(|k| {
+            let rest = k.strip_prefix(&lead)?;
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            // Require the ".suffix" part so `finestage` prefixes can't match.
+            rest[digits.len()..]
+                .starts_with('.')
+                .then(|| digits.parse().ok())?
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Evaluate every rule in `spec` against `report`.
+pub fn check(report: &TraceReport, spec: &BudgetSpec) -> BudgetOutcome {
+    let mut outcome = BudgetOutcome::default();
+    for rule in &spec.rules {
+        match &rule.per_stage {
+            None => check_one(report, spec, rule, None, &mut outcome),
+            Some(prefix) => {
+                let stages = stages_for(report, prefix);
+                if stages.is_empty() {
+                    if rule.required {
+                        outcome.violations.push(BudgetViolation {
+                            rule: rule.name.clone(),
+                            stage: None,
+                            expect: rule.expect.clone(),
+                            lhs: None,
+                            rhs: None,
+                            detail: format!(
+                                "no `{prefix}.stage*.{{...}}` counters in trace (per_stage rule)"
+                            ),
+                        });
+                    } else {
+                        outcome.skipped.push(rule.name.clone());
+                    }
+                    continue;
+                }
+                for t in stages {
+                    check_one(report, spec, rule, Some(t), &mut outcome);
+                }
+            }
+        }
+    }
+    outcome
+}
+
+fn check_one(
+    report: &TraceReport,
+    spec: &BudgetSpec,
+    rule: &BudgetRule,
+    stage: Option<usize>,
+    outcome: &mut BudgetOutcome,
+) {
+    let id = match stage {
+        Some(t) => format!("{}@stage{t}", rule.name),
+        None => rule.name.clone(),
+    };
+    let expect = match stage {
+        Some(t) => rule.expect.replace("{t}", &t.to_string()),
+        None => rule.expect.clone(),
+    };
+    let lookup = |name: &str| {
+        let resolved = match stage {
+            Some(t) => name.replace("{t}", &t.to_string()),
+            None => name.to_string(),
+        };
+        report.counter(&resolved).ok_or(resolved)
+    };
+    let lhs = rule.comparison.lhs.eval(&lookup);
+    let rhs = rule.comparison.rhs.eval(&lookup);
+    if let (&Ok(l), &Ok(r)) = (&lhs, &rhs) {
+        if rule.comparison.op.holds(l, r, spec.tolerance) {
+            outcome.passed.push(id);
+        } else {
+            outcome.violations.push(BudgetViolation {
+                rule: rule.name.clone(),
+                stage,
+                expect,
+                lhs: Some(l),
+                rhs: Some(r),
+                detail: format!("comparison `{}` does not hold", rule.comparison.op),
+            });
+        }
+    } else {
+        let missing = lhs
+            .as_ref()
+            .err()
+            .or(rhs.as_ref().err())
+            .cloned()
+            .expect("at least one side failed");
+        if rule.required {
+            outcome.violations.push(BudgetViolation {
+                rule: rule.name.clone(),
+                stage,
+                expect,
+                lhs: lhs.ok(),
+                rhs: rhs.ok(),
+                detail: format!("counter `{missing}` not present in trace"),
+            });
+        } else {
+            outcome.skipped.push(id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expression language
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CmpOp {
+    Eq,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+}
+
+impl CmpOp {
+    fn holds(self, l: f64, r: f64, tol: f64) -> bool {
+        match self {
+            CmpOp::Eq => (l - r).abs() <= tol,
+            CmpOp::Le => l <= r + tol,
+            CmpOp::Ge => l >= r - tol,
+            CmpOp::Lt => l < r + tol,
+            CmpOp::Gt => l > r - tol,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Num(f64),
+    Counter(String),
+    Neg(Box<Expr>),
+    Bin(char, Box<Expr>, Box<Expr>),
+    Call(Func, Vec<Expr>),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Func {
+    Ceil,
+    Floor,
+    Min,
+    Max,
+}
+
+impl Expr {
+    /// Evaluate with a counter lookup; `Err` carries the first missing
+    /// counter's (stage-resolved) name.
+    fn eval(&self, lookup: &dyn Fn(&str) -> Result<f64, String>) -> Result<f64, String> {
+        match self {
+            Expr::Num(v) => Ok(*v),
+            Expr::Counter(name) => lookup(name),
+            Expr::Neg(e) => Ok(-e.eval(lookup)?),
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.eval(lookup)?, b.eval(lookup)?);
+                Ok(match op {
+                    '+' => a + b,
+                    '-' => a - b,
+                    '*' => a * b,
+                    _ => a / b,
+                })
+            }
+            Expr::Call(f, args) => {
+                let vals: Vec<f64> = args
+                    .iter()
+                    .map(|a| a.eval(lookup))
+                    .collect::<Result<_, _>>()?;
+                Ok(match f {
+                    Func::Ceil => vals[0].ceil(),
+                    Func::Floor => vals[0].floor(),
+                    Func::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+                    Func::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                })
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Comparison {
+    lhs: Expr,
+    op: CmpOp,
+    rhs: Expr,
+}
+
+impl Comparison {
+    fn parse(src: &str) -> Result<Self, String> {
+        let tokens = tokenize(src)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let lhs = p.sum()?;
+        let op = match p.next() {
+            Some(Token::Cmp(op)) => op,
+            other => return Err(format!("expected a comparison operator, got {other:?}")),
+        };
+        let rhs = p.sum()?;
+        if let Some(t) = p.next() {
+            return Err(format!("trailing token {t:?}"));
+        }
+        Ok(Comparison { lhs, op, rhs })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(f64),
+    Ident(String),
+    Cmp(CmpOp),
+    Op(char), // + - * /
+    Open,
+    Close,
+    Comma,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '(' => {
+                out.push(Token::Open);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Close);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '+' | '-' | '*' | '/' => {
+                out.push(Token::Op(c));
+                i += 1;
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Cmp(CmpOp::Eq));
+                    i += 2;
+                } else {
+                    return Err("single `=` (use `==`)".to_string());
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Cmp(CmpOp::Le));
+                    i += 2;
+                } else {
+                    out.push(Token::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Cmp(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let v = text
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad number `{text}`"))?;
+                out.push(Token::Num(v));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' || c == '{' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || "._{}".contains(chars[i]))
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            _ => return Err(format!("unexpected character `{c}`")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn sum(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.term()?;
+        while let Some(Token::Op(op @ ('+' | '-'))) = self.peek().cloned() {
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.factor()?;
+        while let Some(Token::Op(op @ ('*' | '/'))) = self.peek().cloned() {
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, String> {
+        match self.next() {
+            Some(Token::Num(v)) => Ok(Expr::Num(v)),
+            Some(Token::Op('-')) => Ok(Expr::Neg(Box::new(self.factor()?))),
+            Some(Token::Open) => {
+                let inner = self.sum()?;
+                match self.next() {
+                    Some(Token::Close) => Ok(inner),
+                    other => Err(format!("expected `)`, got {other:?}")),
+                }
+            }
+            Some(Token::Ident(name)) => {
+                let func = match name.as_str() {
+                    "ceil" => Some(Func::Ceil),
+                    "floor" => Some(Func::Floor),
+                    "min" => Some(Func::Min),
+                    "max" => Some(Func::Max),
+                    _ => None,
+                };
+                match (func, self.peek()) {
+                    (Some(f), Some(Token::Open)) => {
+                        self.pos += 1;
+                        let mut args = vec![self.sum()?];
+                        while self.peek() == Some(&Token::Comma) {
+                            self.pos += 1;
+                            args.push(self.sum()?);
+                        }
+                        match self.next() {
+                            Some(Token::Close) => {}
+                            other => return Err(format!("expected `)`, got {other:?}")),
+                        }
+                        let arity_ok = match f {
+                            Func::Ceil | Func::Floor => args.len() == 1,
+                            Func::Min | Func::Max => args.len() >= 2,
+                        };
+                        if !arity_ok {
+                            return Err(format!("wrong arity for `{name}`"));
+                        }
+                        Ok(Expr::Call(f, args))
+                    }
+                    _ => Ok(Expr::Counter(name)),
+                }
+            }
+            other => Err(format!("expected a value, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(counters: &[(&str, f64)]) -> TraceReport {
+        let mut r = TraceReport::empty();
+        for (k, v) in counters {
+            r.counters.insert(k.to_string(), *v);
+        }
+        r
+    }
+
+    fn spec(rules: &str) -> BudgetSpec {
+        parse_spec(&format!("version = 1\n{rules}")).unwrap()
+    }
+
+    #[test]
+    fn expression_arithmetic_and_functions() {
+        let s = spec("[[rule]]\nname = \"x\"\nexpect = \"ceil(a / 2) + min(b, 3) * 2 == 9\"\n");
+        let r = report_with(&[("a", 5.0), ("b", 4.0)]);
+        // ceil(5/2)=3, min(4,3)=3, 3+3*2=9.
+        assert!(check(&r, &s).ok());
+    }
+
+    #[test]
+    fn algorithm1_halving_rule_flags_relaxed_filtering() {
+        // The acceptance fixture: a run that kept MORE than half per
+        // stage (8 of 10 survive stage 0) must fail the Algorithm-1
+        // budget with a violation naming the stage.
+        let s = spec(
+            "[[rule]]\nname = \"algorithm1-filters-at-least-half\"\nper_stage = \"fine\"\n\
+             expect = \"fine.stage{t}.survivors <= ceil(fine.stage{t}.pool / 2)\"\n",
+        );
+        let relaxed = report_with(&[
+            ("fine.stage0.pool", 10.0),
+            ("fine.stage0.survivors", 8.0),
+            ("fine.stage1.pool", 8.0),
+            ("fine.stage1.survivors", 4.0),
+        ]);
+        let outcome = check(&relaxed, &s);
+        assert!(!outcome.ok());
+        assert_eq!(outcome.violations.len(), 1);
+        let v = &outcome.violations[0];
+        assert_eq!(v.rule, "algorithm1-filters-at-least-half");
+        assert_eq!(v.stage, Some(0));
+        assert_eq!(v.lhs, Some(8.0));
+        assert_eq!(v.rhs, Some(5.0));
+        assert!(v.expect.contains("fine.stage0.survivors"));
+        // Stage 1 obeys the contract and passes.
+        assert!(outcome
+            .passed
+            .contains(&"algorithm1-filters-at-least-half@stage1".to_string()));
+
+        let honest = report_with(&[("fine.stage0.pool", 10.0), ("fine.stage0.survivors", 5.0)]);
+        assert!(check(&honest, &s).ok());
+    }
+
+    #[test]
+    fn missing_counters_violate_required_rules_and_skip_optional_ones() {
+        let required = spec("[[rule]]\nname = \"r\"\nexpect = \"ghost <= 1\"\n");
+        let outcome = check(&report_with(&[]), &required);
+        assert_eq!(outcome.violations.len(), 1);
+        assert!(outcome.violations[0].detail.contains("ghost"));
+
+        let optional = spec("[[rule]]\nname = \"r\"\nexpect = \"ghost <= 1\"\nrequired = false\n");
+        let outcome = check(&report_with(&[]), &optional);
+        assert!(outcome.ok());
+        assert_eq!(outcome.skipped, vec!["r".to_string()]);
+    }
+
+    #[test]
+    fn per_stage_rule_with_no_stage_counters() {
+        let s = spec(
+            "[[rule]]\nname = \"r\"\nper_stage = \"fine\"\nexpect = \"fine.stage{t}.pool > 0\"\n",
+        );
+        let outcome = check(&report_with(&[("other", 1.0)]), &s);
+        assert_eq!(outcome.violations.len(), 1);
+        assert!(outcome.violations[0].detail.contains("no `fine.stage*"));
+    }
+
+    #[test]
+    fn stage_discovery_parses_indices_not_prefixes() {
+        let r = report_with(&[
+            ("fine.stage0.pool", 1.0),
+            ("fine.stage10.pool", 1.0),
+            ("fine.stage2.survivors", 1.0),
+            ("fine.stages", 3.0),        // no digit+dot -> not a stage
+            ("refine.stage7.pool", 1.0), // different prefix
+        ]);
+        assert_eq!(stages_for(&r, "fine"), vec![0, 2, 10]);
+    }
+
+    #[test]
+    fn tolerance_is_configurable() {
+        let text = "version = 1\ntolerance = 0.5\n[[rule]]\nname = \"r\"\nexpect = \"a == 1\"\n";
+        let s = parse_spec(text).unwrap();
+        assert!(check(&report_with(&[("a", 1.4)]), &s).ok());
+        assert!(!check(&report_with(&[("a", 1.6)]), &s).ok());
+    }
+
+    #[test]
+    fn parse_errors_are_loud() {
+        assert!(parse_spec("[[rule]]\nname = \"r\"\nexpect = \"a <= 1\"\n")
+            .unwrap_err()
+            .contains("version"));
+        assert!(parse_spec("version = 1\n")
+            .unwrap_err()
+            .contains("no [[rule]]"));
+        assert!(
+            parse_spec("version = 1\n[[rule]]\nname = \"r\"\nexpect = \"a = 1\"\n")
+                .unwrap_err()
+                .contains("use `==`")
+        );
+        assert!(parse_spec(
+            "version = 1\n[[rule]]\nname = \"r\"\nexpect = \"a <= 1\"\n[[rule]]\nname = \"r\"\nexpect = \"a <= 1\"\n"
+        )
+        .unwrap_err()
+        .contains("duplicate rule"));
+    }
+
+    #[test]
+    fn violation_display_names_rule_and_stage() {
+        let v = BudgetViolation {
+            rule: "halving".to_string(),
+            stage: Some(2),
+            expect: "a <= b".to_string(),
+            lhs: Some(8.0),
+            rhs: Some(5.0),
+            detail: "comparison `<=` does not hold".to_string(),
+        };
+        let text = v.to_string();
+        assert!(text.contains("halving"));
+        assert!(text.contains("stage 2"));
+        assert!(text.contains("lhs = 8"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Fixed-bucket histograms and the metrics registry behind
+//! [`RecordingSink`](super::RecordingSink).
+//!
+//! Bucket layouts are *static*: every histogram name maps to a
+//! [`HistogramSpec`] chosen by [`spec_for`] at first observation, so two
+//! runs that observe the same values produce bit-identical bucket counts.
+//! That makes histograms over deterministic quantities (recall fan-out
+//! width, per-stage pool widths, proxy epoch costs) part of the
+//! serial≡parallel determinism contract, exactly like counters. Wall-clock
+//! histograms carry the unit `"us"` and are summary-only: trace diffs,
+//! baselines, and determinism property tests exclude them via
+//! [`HistogramSnapshot::is_wall_clock`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Unit tag for wall-clock (microsecond) histograms — the only unit
+/// excluded from deterministic comparisons.
+pub const UNIT_WALL_CLOCK_US: &str = "us";
+
+/// Static description of a histogram: its unit and finite upper bucket
+/// bounds (an overflow bucket above the last bound is implicit).
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSpec {
+    /// Unit tag (`"us"`, `"count"`, `"epochs"`, …).
+    pub unit: &'static str,
+    /// Inclusive upper bounds of the finite buckets, strictly increasing.
+    pub bounds: &'static [f64],
+}
+
+/// Wall-clock latency buckets: 100µs … 10s.
+const LATENCY_US: HistogramSpec = HistogramSpec {
+    unit: UNIT_WALL_CLOCK_US,
+    bounds: &[
+        100.0,
+        1_000.0,
+        10_000.0,
+        100_000.0,
+        1_000_000.0,
+        10_000_000.0,
+    ],
+};
+
+/// Cardinality buckets (candidate pools, fan-out widths): powers of two.
+const WIDTH: HistogramSpec = HistogramSpec {
+    unit: "count",
+    bounds: &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0],
+};
+
+/// Epoch-equivalent cost buckets (proxy scoring charges 0.5 per rep).
+const EPOCHS: HistogramSpec = HistogramSpec {
+    unit: "epochs",
+    bounds: &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+};
+
+/// Choose the bucket layout for a histogram name. Known hot-path metrics
+/// get curated layouts; otherwise the name's suffix decides (`*_us` →
+/// wall-clock latency, `*_epochs` → epoch costs, anything else → widths).
+pub fn spec_for(name: &str) -> HistogramSpec {
+    match name {
+        "select.stage_train_us" => LATENCY_US,
+        "recall.fanout_width"
+        | "fine.stage_pool_width"
+        | "sh.stage_pool_width"
+        | "bf.stage_pool_width" => WIDTH,
+        "recall.proxy_epochs_per_call" => EPOCHS,
+        _ if name.ends_with("_us") => LATENCY_US,
+        _ if name.ends_with("_epochs") => EPOCHS,
+        _ => WIDTH,
+    }
+}
+
+/// A live histogram inside the registry.
+#[derive(Debug, Clone)]
+struct Histogram {
+    unit: &'static str,
+    bounds: &'static [f64],
+    /// One slot per finite bound plus the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(spec: HistogramSpec) -> Self {
+        Histogram {
+            unit: spec.unit,
+            bounds: spec.bounds,
+            counts: vec![0; spec.bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            unit: self.unit.to_string(),
+            bounds: self.bounds.to_vec(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+}
+
+/// Serialized form of a histogram, embedded in
+/// [`TraceReport`](super::TraceReport). `counts` are per-bucket (not
+/// cumulative) with the trailing slot counting observations above the
+/// last bound; the OpenMetrics renderer cumulates them on export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Unit tag (see [`spec_for`]).
+    pub unit: String,
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<f64>,
+    /// Observation counts per bucket; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Whether this histogram measures wall-clock time — machine-dependent
+    /// and therefore excluded from drift gates and determinism checks.
+    pub fn is_wall_clock(&self) -> bool {
+        self.unit == UNIT_WALL_CLOCK_US
+    }
+}
+
+/// Name → histogram map feeding [`TraceReport::histograms`]
+/// (super::TraceReport). Histograms are created lazily on first
+/// observation using [`spec_for`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Record one observation.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::new(spec_for(name));
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Snapshot every histogram for report rendering.
+    pub fn snapshots(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_use_inclusive_upper_bounds() {
+        let mut reg = MetricsRegistry::default();
+        // WIDTH bounds start [1, 2, 4, ...]; 2.0 lands in the `le=2` slot.
+        reg.observe("fine.stage_pool_width", 2.0);
+        reg.observe("fine.stage_pool_width", 2.5);
+        reg.observe("fine.stage_pool_width", 10_000.0); // overflow bucket
+        let snap = &reg.snapshots()["fine.stage_pool_width"];
+        assert_eq!(snap.counts[1], 1); // le=2
+        assert_eq!(snap.counts[2], 1); // le=4
+        assert_eq!(*snap.counts.last().unwrap(), 1); // +Inf
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.counts.len(), snap.bounds.len() + 1);
+    }
+
+    #[test]
+    fn spec_fallbacks_follow_name_suffix() {
+        assert_eq!(spec_for("custom.latency_us").unit, UNIT_WALL_CLOCK_US);
+        assert_eq!(spec_for("custom.cost_epochs").unit, "epochs");
+        assert_eq!(spec_for("custom.width").unit, "count");
+        assert_eq!(spec_for("select.stage_train_us").unit, UNIT_WALL_CLOCK_US);
+    }
+
+    #[test]
+    fn identical_observations_give_identical_snapshots() {
+        let run = || {
+            let mut reg = MetricsRegistry::default();
+            for v in [1.0, 3.0, 8.0, 8.0, 900.0] {
+                reg.observe("recall.fanout_width", v);
+            }
+            reg.snapshots()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snapshot_round_trips_serde() {
+        let mut reg = MetricsRegistry::default();
+        reg.observe("recall.proxy_epochs_per_call", 4.0);
+        let snap = reg.snapshots()["recall.proxy_epochs_per_call"].clone();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

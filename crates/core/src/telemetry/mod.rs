@@ -26,8 +26,23 @@
 //! hoists, so the hot paths benchmarked in `BENCH_parallel.json` are
 //! unaffected when tracing is off.
 //!
+//! * **Histograms** — fixed-bucket distributions ([`metrics`]) recorded
+//!   via [`Telemetry::observe`]. Bucket bounds come from a static spec
+//!   table, so bucket *counts* are as deterministic as the observed
+//!   values: histograms over deterministic quantities (pool widths,
+//!   proxy costs) are serial≡parallel identical, while wall-clock
+//!   histograms (unit `"us"`) are summary-only and excluded from
+//!   cross-run comparisons.
+//!
 //! [`RecordingSink`] is the bundled in-memory implementation; it renders a
 //! serializable [`TraceReport`] (the `--trace-out` JSON of the CLI).
+//!
+//! Companion submodules build the analysis layer on top of the report:
+//! [`metrics`] (histogram specs + registry), [`analysis`] (summaries and
+//! trace diffs), [`budget`] (declarative cost invariants from
+//! `budgets.toml`), [`openmetrics`] (Prometheus/OpenMetrics text
+//! exposition), and [`toml_lite`] (the dependency-free TOML subset parser
+//! behind the budget schema).
 //!
 //! ```
 //! use tps_core::telemetry::Telemetry;
@@ -42,6 +57,13 @@
 //! assert_eq!(report.spans[0].name, "offline.build");
 //! ```
 
+pub mod analysis;
+pub mod budget;
+pub mod metrics;
+pub mod openmetrics;
+pub mod toml_lite;
+
+use metrics::{HistogramSnapshot, MetricsRegistry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -49,8 +71,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Version stamp written into every [`TraceReport`], so downstream tooling
-/// can detect schema changes.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// can detect schema changes. Version 2 added `histograms` and
+/// `completed`; version-1 traces deserialize with empty histograms and
+/// `completed == true`.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Receives telemetry events. Implementations must be thread-safe:
 /// counters can be recorded from parallel workers (spans cannot — they are
@@ -65,6 +89,13 @@ pub trait TelemetrySink: Send + Sync {
 
     /// Add `value` to the counter named `name` (creating it at 0 first).
     fn add(&self, name: &str, value: f64);
+
+    /// Record one observation of `value` into the histogram named `name`
+    /// (bucket layout chosen by [`metrics::spec_for`]). Default is a
+    /// no-op so pre-existing sinks keep compiling.
+    fn observe(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
 }
 
 /// Cheap, clonable handle threaded through the pipeline. Disabled by
@@ -131,6 +162,17 @@ impl Telemetry {
         self.add(name, 1.0);
     }
 
+    /// Record one histogram observation. Like counters, observations of
+    /// deterministic quantities must be made from the orchestrating
+    /// thread (or bulk-recorded) so bucket counts stay serial≡parallel
+    /// identical; wall-clock observations should use a `*_us` name so
+    /// they are tagged as summary-only.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(sink) = self.sink.as_deref() {
+            sink.observe(name, value);
+        }
+    }
+
     /// Add to a per-stage counter `"{prefix}.stage{stage}.{suffix}"`. The
     /// name is only formatted when a sink is attached.
     pub fn add_stage(&self, prefix: &str, stage: usize, suffix: &str, value: f64) {
@@ -193,6 +235,10 @@ impl SpanRecord {
     }
 }
 
+fn default_completed() -> bool {
+    true
+}
+
 /// A fully-rendered trace: the JSON written by `--trace-out`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceReport {
@@ -202,9 +248,30 @@ pub struct TraceReport {
     pub spans: Vec<SpanRecord>,
     /// Final counter values, sorted by name.
     pub counters: BTreeMap<String, f64>,
+    /// Final histogram snapshots, sorted by name. Empty for version-1
+    /// traces.
+    #[serde(default)]
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// `false` when the traced pipeline errored out and the trace was
+    /// flushed partially (`--trace-out` error path); version-1 traces
+    /// default to `true`.
+    #[serde(default = "default_completed")]
+    pub completed: bool,
 }
 
 impl TraceReport {
+    /// An empty completed report at the current schema version —
+    /// convenient for tests and fixtures.
+    pub fn empty() -> Self {
+        TraceReport {
+            version: TRACE_SCHEMA_VERSION,
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            completed: true,
+        }
+    }
+
     /// Value of a counter, if it was ever recorded.
     pub fn counter(&self, name: &str) -> Option<f64> {
         self.counters.get(name).copied()
@@ -223,6 +290,17 @@ impl TraceReport {
         }
         out
     }
+
+    /// The histograms whose values are deterministic (everything except
+    /// wall-clock, see [`HistogramSnapshot::is_wall_clock`]) — the subset
+    /// that drift gates and serial≡parallel comparisons may assert on.
+    pub fn deterministic_histograms(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .filter(|(_, h)| !h.is_wall_clock())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
 }
 
 /// An open span inside [`RecordingSink`].
@@ -238,6 +316,7 @@ struct RecordingState {
     stack: Vec<OpenSpan>,
     roots: Vec<SpanRecord>,
     counters: BTreeMap<String, f64>,
+    metrics: MetricsRegistry,
     next_token: u64,
 }
 
@@ -274,6 +353,8 @@ impl RecordingSink {
             version: TRACE_SCHEMA_VERSION,
             spans: state.roots.clone(),
             counters: state.counters.clone(),
+            histograms: state.metrics.snapshots(),
+            completed: true,
         }
     }
 }
@@ -309,6 +390,10 @@ impl TelemetrySink for RecordingSink {
     fn add(&self, name: &str, value: f64) {
         let mut state = self.state.lock();
         *state.counters.entry(name.to_string()).or_insert(0.0) += value;
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.state.lock().metrics.observe(name, value);
     }
 }
 
@@ -429,5 +514,79 @@ mod tests {
     #[test]
     fn stage_counter_name_is_canonical() {
         assert_eq!(stage_counter("fine", 2, "pool"), "fine.stage2.pool");
+    }
+
+    #[test]
+    fn observe_records_histograms_and_disabled_is_inert() {
+        let tel = Telemetry::disabled();
+        tel.observe("select.stage_train_us", 123.0); // no-op, no panic
+        let (tel, sink) = Telemetry::recording();
+        tel.observe("recall.fanout_width", 8.0);
+        tel.observe("recall.fanout_width", 9.0);
+        let report = sink.report();
+        let h = &report.histograms["recall.fanout_width"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 17.0);
+        assert_eq!(h.counts.iter().sum::<u64>(), 2);
+        assert!(!h.is_wall_clock());
+    }
+
+    #[test]
+    fn version1_trace_json_deserializes_with_defaults() {
+        // A trace written before histograms/completed existed.
+        let json = r#"{"version":1,"spans":[],"counters":{"a":1.0}}"#;
+        let report: TraceReport = serde_json::from_str(json).unwrap();
+        assert!(report.completed);
+        assert!(report.histograms.is_empty());
+        assert_eq!(report.counter("a"), Some(1.0));
+    }
+
+    #[test]
+    fn find_prefers_shallowest_first_in_depth_first_order() {
+        // Duplicate span names at different depths: `find` returns the
+        // first in depth-first order; `spans_named` returns all of them.
+        let (tel, sink) = Telemetry::recording();
+        {
+            let _outer = tel.span("stage");
+            {
+                let _inner = tel.span("stage");
+            }
+        }
+        {
+            let _second = tel.span("stage");
+        }
+        let report = sink.report();
+        assert_eq!(report.spans.len(), 2);
+        let found = report.find_span("stage").unwrap();
+        assert_eq!(found.children.len(), 1, "dfs hits the first root first");
+        assert_eq!(report.spans_named("stage").len(), 3);
+        // SpanRecord::find on the root also sees its nested duplicate.
+        assert!(report.spans[0].find("stage").is_some());
+        assert_eq!(
+            report.spans[0].children[0].find("stage").unwrap().name,
+            "stage"
+        );
+    }
+
+    #[test]
+    fn empty_report_lookups_are_total() {
+        let report = TraceReport::empty();
+        assert_eq!(report.counter("anything"), None);
+        assert!(report.find_span("anything").is_none());
+        assert!(report.spans_named("anything").is_empty());
+        assert!(report.deterministic_histograms().is_empty());
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn deterministic_histograms_exclude_wall_clock() {
+        let (tel, sink) = Telemetry::recording();
+        tel.observe("select.stage_train_us", 1500.0);
+        tel.observe("fine.stage_pool_width", 10.0);
+        let report = sink.report();
+        assert_eq!(report.histograms.len(), 2);
+        let det = report.deterministic_histograms();
+        assert_eq!(det.len(), 1);
+        assert!(det.contains_key("fine.stage_pool_width"));
     }
 }

@@ -1,0 +1,116 @@
+//! OpenMetrics / Prometheus text exposition for a [`TraceReport`].
+//!
+//! [`render`] turns the trace's counters and histograms into the
+//! OpenMetrics text format (the `text/plain; version=0.0.4`-compatible
+//! subset plus the `# EOF` terminator), so a long-running selection
+//! service can expose its registry on a scrape endpoint without any new
+//! dependency. Counter names are sanitized (`.` → `_`, prefixed `tps_`)
+//! and suffixed `_total`; histograms emit cumulative `_bucket{le="…"}`
+//! series plus `_sum`/`_count`, per the exposition format.
+
+use super::TraceReport;
+use std::fmt::Write as _;
+
+/// Metric-name prefix for everything exported from a trace.
+const PREFIX: &str = "tps_";
+
+/// Sanitize a dotted trace name into a legal metric name:
+/// `recall.proxy_evals` → `tps_recall_proxy_evals`.
+pub fn metric_name(trace_name: &str) -> String {
+    let mut out = String::with_capacity(PREFIX.len() + trace_name.len());
+    out.push_str(PREFIX);
+    for (i, c) in trace_name.chars().enumerate() {
+        let legal = c.is_ascii_alphanumeric() && !(i == 0 && c.is_ascii_digit()) || c == '_';
+        out.push(if legal { c } else { '_' });
+    }
+    out
+}
+
+/// Format a float the way Prometheus expects (`1`, `2.5`, `+Inf`).
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the full exposition text, terminated by `# EOF`.
+pub fn render(report: &TraceReport) -> String {
+    let mut out = String::new();
+    for (name, value) in &report.counters {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "# HELP {metric} trace counter `{name}`");
+        let _ = writeln!(out, "{metric}_total {}", fmt_value(*value));
+    }
+    for (name, hist) in &report.histograms {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        let _ = writeln!(
+            out,
+            "# HELP {metric} trace histogram `{name}` (unit: {})",
+            hist.unit
+        );
+        let mut cumulative = 0u64;
+        for (bound, count) in hist
+            .bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(&hist.counts)
+        {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}",
+                fmt_value(bound)
+            );
+        }
+        let _ = writeln!(out, "{metric}_sum {}", fmt_value(hist.sum));
+        let _ = writeln!(out, "{metric}_count {}", hist.count);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Telemetry;
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(metric_name("recall.proxy_evals"), "tps_recall_proxy_evals");
+        assert_eq!(metric_name("fine.stage0.pool"), "tps_fine_stage0_pool");
+        assert_eq!(metric_name("weird-name!"), "tps_weird_name_");
+    }
+
+    #[test]
+    fn renders_counters_histograms_and_eof() {
+        let (tel, sink) = Telemetry::recording();
+        tel.add("recall.proxy_evals", 8.0);
+        tel.observe("recall.fanout_width", 3.0);
+        tel.observe("recall.fanout_width", 700.0); // overflow bucket
+        let text = render(&sink.report());
+
+        assert!(text.contains("# TYPE tps_recall_proxy_evals counter"));
+        assert!(text.contains("tps_recall_proxy_evals_total 8"));
+        assert!(text.contains("# TYPE tps_recall_fanout_width histogram"));
+        // Buckets are cumulative: le="4" already includes the 3.0 sample,
+        // and +Inf equals the total count.
+        assert!(text.contains("tps_recall_fanout_width_bucket{le=\"4\"} 1"));
+        assert!(text.contains("tps_recall_fanout_width_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("tps_recall_fanout_width_sum 703"));
+        assert!(text.contains("tps_recall_fanout_width_count 2"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn empty_report_is_just_eof() {
+        let text = render(&TraceReport::empty());
+        assert_eq!(text, "# EOF\n");
+    }
+}

@@ -1,0 +1,266 @@
+//! A dependency-free parser for the TOML subset used by `budgets.toml`.
+//!
+//! The workspace vendors no TOML crate (offline builds only), and the
+//! budget schema needs nothing exotic, so this module implements exactly
+//! the subset the schema uses:
+//!
+//! * `#` comments and blank lines;
+//! * top-level `key = value` pairs;
+//! * `[[name]]` array-of-tables headers (each opens a fresh table) and
+//!   plain `[name]` table headers;
+//! * values: basic `"strings"` (with `\\ \" \n \t` escapes), integers,
+//!   floats, and booleans.
+//!
+//! Anything outside that subset (nested keys, inline tables, arrays,
+//! multi-line strings, dates) is a parse error naming the line — better a
+//! hard error than silently ignoring part of a cost contract.
+
+use std::collections::BTreeMap;
+
+/// A scalar TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl TomlValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers widen to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            TomlValue::Int(i) => Some(*i as f64),
+            TomlValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            TomlValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed document: root-level keys plus the tables in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlDoc {
+    /// Keys appearing before any table header.
+    pub root: BTreeMap<String, TomlValue>,
+    /// `(header name, table)` in file order; `[[x]]` headers repeat the
+    /// same name once per element.
+    pub tables: Vec<(String, BTreeMap<String, TomlValue>)>,
+}
+
+impl TomlDoc {
+    /// All tables under the given header name, in file order.
+    pub fn tables_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a BTreeMap<String, TomlValue>> {
+        self.tables
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Parse a document; errors carry a 1-based line number.
+pub fn parse(text: &str) -> Result<TomlDoc, String> {
+    let mut doc = TomlDoc::default();
+    let mut current: Option<usize> = None; // index into doc.tables
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = header(line, "[[", "]]") {
+            doc.tables.push((name.to_string(), BTreeMap::new()));
+            current = Some(doc.tables.len() - 1);
+        } else if let Some(name) = header(line, "[", "]") {
+            doc.tables.push((name.to_string(), BTreeMap::new()));
+            current = Some(doc.tables.len() - 1);
+        } else {
+            let (key, value) = key_value(line, lineno)?;
+            let target = match current {
+                Some(i) => &mut doc.tables[i].1,
+                None => &mut doc.root,
+            };
+            if target.insert(key.clone(), value).is_some() {
+                return Err(format!("line {lineno}: duplicate key `{key}`"));
+            }
+        }
+    }
+    Ok(doc)
+}
+
+/// Drop a `#` comment, respecting `#` inside basic strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn header<'a>(line: &'a str, open: &str, close: &str) -> Option<&'a str> {
+    let inner = line.strip_prefix(open)?.strip_suffix(close)?;
+    let name = inner.trim();
+    // `[[x]]` also matches the `[`/`]` pattern with inner `[x]`; reject
+    // bracketed leftovers so the caller's `[[` branch wins.
+    (!name.is_empty() && !name.contains('[') && !name.contains(']')).then_some(name)
+}
+
+fn key_value(line: &str, lineno: usize) -> Result<(String, TomlValue), String> {
+    let eq = line
+        .find('=')
+        .ok_or_else(|| format!("line {lineno}: expected `key = value`, got `{line}`"))?;
+    let key = line[..eq].trim();
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "_-".contains(c))
+    {
+        return Err(format!("line {lineno}: invalid key `{key}`"));
+    }
+    let value = parse_value(line[eq + 1..].trim(), lineno)?;
+    Ok((key.to_string(), value))
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<TomlValue, String> {
+    if let Some(rest) = text.strip_prefix('"') {
+        return parse_string(rest, lineno);
+    }
+    match text {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(TomlValue::Int(i));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        if f.is_finite() {
+            return Ok(TomlValue::Float(f));
+        }
+    }
+    Err(format!(
+        "line {lineno}: unsupported value `{text}` (strings, ints, floats, bools only)"
+    ))
+}
+
+fn parse_string(body: &str, lineno: usize) -> Result<TomlValue, String> {
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                let rest: String = chars.collect();
+                if !rest.trim().is_empty() {
+                    return Err(format!("line {lineno}: trailing characters after string"));
+                }
+                return Ok(TomlValue::Str(out));
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(format!("line {lineno}: unsupported escape `\\{other:?}`"));
+                }
+            },
+            _ => out.push(c),
+        }
+    }
+    Err(format!("line {lineno}: unterminated string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_root_keys_and_array_of_tables() {
+        let doc = parse(
+            r#"
+# budget file
+version = 1
+tolerance = 0.5
+strict = true
+
+[[rule]]
+name = "halving"   # trailing comment
+expect = "a <= ceil(b / 2)"
+
+[[rule]]
+name = "kept"
+expect = "recall.recalled <= 10"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root["version"], TomlValue::Int(1));
+        assert_eq!(doc.root["tolerance"].as_f64(), Some(0.5));
+        assert_eq!(doc.root["strict"].as_bool(), Some(true));
+        let rules: Vec<_> = doc.tables_named("rule").collect();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0]["name"].as_str(), Some("halving"));
+        assert_eq!(rules[1]["expect"].as_str(), Some("recall.recalled <= 10"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse(r##"label = "a # b""##).unwrap();
+        assert_eq!(doc.root["label"].as_str(), Some("a # b"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let doc = parse(r#"s = "quote \" slash \\ nl \n tab \t""#).unwrap();
+        assert_eq!(
+            doc.root["s"].as_str(),
+            Some("quote \" slash \\ nl \n tab \t")
+        );
+    }
+
+    #[test]
+    fn plain_table_headers_are_accepted() {
+        let doc = parse("[meta]\nowner = \"ci\"").unwrap();
+        assert_eq!(doc.tables[0].0, "meta");
+        assert_eq!(doc.tables[0].1["owner"].as_str(), Some("ci"));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        assert!(parse("version 1").unwrap_err().contains("line 1"));
+        assert!(parse("\nx = [1, 2]").unwrap_err().contains("line 2"));
+        assert!(parse("x = \"open").unwrap_err().contains("unterminated"));
+        assert!(parse("a = 1\na = 2").unwrap_err().contains("duplicate"));
+    }
+}

@@ -17,4 +17,14 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> trace budget + counter-drift gate (repro smoke -> tps trace)"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+cargo run -q -p tps-bench --release --bin repro -- smoke \
+  --trace-out "$trace_tmp/smoke-trace.json" > /dev/null
+./target/release/tps trace check "$trace_tmp/smoke-trace.json" \
+  --budgets budgets.toml
+./target/release/tps trace diff results/baselines/smoke-counters.json \
+  "$trace_tmp/smoke-trace.json"
+
 echo "verify: OK"

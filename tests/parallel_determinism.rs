@@ -126,6 +126,16 @@ proptest! {
 
         prop_assert_eq!(&serial_out, &parallel_out);
         prop_assert_eq!(&serial_trace.counters, &parallel_trace.counters);
+        // Deterministic histograms (unit != "us") are bucket-for-bucket
+        // identical too; wall-clock ones are excluded by construction.
+        prop_assert_eq!(
+            serial_trace.deterministic_histograms(),
+            parallel_trace.deterministic_histograms()
+        );
+        prop_assert!(serial_trace
+            .deterministic_histograms()
+            .keys()
+            .any(|k| k.starts_with("fine.")), "expected fine-selection histograms");
         // Same span tree shape too — only the timings may differ.
         let names = |r: &tps_core::telemetry::TraceReport| {
             fn walk(spans: &[tps_core::telemetry::SpanRecord], out: &mut Vec<String>) {

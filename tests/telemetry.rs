@@ -7,8 +7,12 @@
 use tps_core::pipeline::{two_phase_select, two_phase_select_traced, PipelineConfig};
 use tps_core::select::brute::brute_force_traced;
 use tps_core::select::halving::successive_halving_traced;
-use tps_core::telemetry::{stage_counter, Telemetry, TraceReport, TRACE_SCHEMA_VERSION};
+use tps_core::telemetry::{budget, stage_counter, Telemetry, TraceReport, TRACE_SCHEMA_VERSION};
 use tps_zoo::{World, ZooOracle, ZooTrainer};
+
+/// The budget file committed at the repository root — the exact spec CI
+/// enforces via `tps trace check`.
+const COMMITTED_BUDGETS: &str = include_str!("../budgets.toml");
 
 fn traced_run(world: &World, target: usize) -> (tps_core::pipeline::PipelineOutcome, TraceReport) {
     let (matrix, curves) = world.build_offline().unwrap();
@@ -208,4 +212,102 @@ fn baseline_selectors_record_their_own_stage_counters() {
         trace.counter("select.train_epochs"),
         Some(bf.ledger.train_epochs() + sh.ledger.train_epochs())
     );
+}
+
+#[test]
+fn committed_budgets_pass_on_a_real_pipeline_trace() {
+    let spec = budget::parse_spec(COMMITTED_BUDGETS).expect("budgets.toml must parse");
+    for world in [World::cv(11), World::nlp(5)] {
+        let (_, trace) = traced_run(&world, 0);
+        let outcome = budget::check(&trace, &spec);
+        assert!(
+            outcome.ok(),
+            "committed budgets.toml violated on a fresh trace: {:?}",
+            outcome.violations
+        );
+        // Every phase-1 and Algorithm-1 rule actually evaluated — a typo'd
+        // counter name would silently skip instead of pass.
+        assert!(
+            outcome.passed.len() >= 5,
+            "expected the committed rules to engage, got {:?}",
+            outcome.passed
+        );
+        assert!(outcome.skipped.is_empty(), "{:?}", outcome.skipped);
+    }
+}
+
+#[test]
+fn committed_budgets_reject_relaxed_halving() {
+    // A selector that keeps MORE than half per stage violates Algorithm 1's
+    // "filters more than half" bound — the committed spec must flag it with
+    // a violation naming the offending stage.
+    let spec = budget::parse_spec(COMMITTED_BUDGETS).unwrap();
+    let (tel, sink) = Telemetry::recording();
+    // Stage 0 keeps 8 of 10 (allowed max: ceil(10/2) = 5) — relaxed.
+    tel.add_stage("fine", 0, "pool", 10.0);
+    tel.add_stage("fine", 0, "dominated", 2.0);
+    tel.add_stage("fine", 0, "halving_cut", 0.0);
+    tel.add_stage("fine", 0, "survivors", 8.0);
+    // Stage 1 halves properly: 8 -> 4.
+    tel.add_stage("fine", 1, "pool", 8.0);
+    tel.add_stage("fine", 1, "dominated", 3.0);
+    tel.add_stage("fine", 1, "halving_cut", 1.0);
+    tel.add_stage("fine", 1, "survivors", 4.0);
+    let trace = sink.report();
+
+    let outcome = budget::check(&trace, &spec);
+    assert!(!outcome.ok());
+    let v = outcome
+        .violations
+        .iter()
+        .find(|v| v.rule == "algorithm1-filters-at-least-half")
+        .expect("the Algorithm-1 rule must fire");
+    assert_eq!(v.stage, Some(0), "violation must name the relaxed stage");
+    assert_eq!(v.lhs, Some(8.0));
+    assert_eq!(v.rhs, Some(5.0));
+    // The honest stage stays clean.
+    assert!(!outcome
+        .violations
+        .iter()
+        .any(|v| v.rule == "algorithm1-filters-at-least-half" && v.stage == Some(1)));
+}
+
+#[test]
+fn traced_runs_populate_hot_path_histograms() {
+    let world = World::cv(11);
+    let (out, trace) = traced_run(&world, 0);
+
+    // Per-stage trainer latency: one observation per fine stage, wall-clock.
+    let lat = trace.histograms.get("select.stage_train_us").unwrap();
+    assert!(lat.is_wall_clock());
+    assert_eq!(lat.count, out.counters.stages as u64);
+
+    // Recall fan-out width: one observation, equal to the proxy eval count.
+    let fanout = trace.histograms.get("recall.fanout_width").unwrap();
+    assert!(!fanout.is_wall_clock());
+    assert_eq!(fanout.count, 1);
+    assert_eq!(fanout.sum, out.counters.proxy_evals as f64);
+
+    // Proxy-scoring cost in epoch-equivalents.
+    let proxy = trace
+        .histograms
+        .get("recall.proxy_epochs_per_call")
+        .unwrap();
+    assert_eq!(proxy.sum, out.recall.proxy_epochs);
+
+    // Fine-selection pool widths sum to the total pool traffic.
+    let width = trace.histograms.get("fine.stage_pool_width").unwrap();
+    let pools: usize = out.counters.pool_per_stage.iter().sum();
+    assert_eq!(width.sum, pools as f64);
+    assert_eq!(width.count, out.counters.stages as u64);
+
+    // Bucket counts always re-total to `count`.
+    for (name, h) in &trace.histograms {
+        assert_eq!(
+            h.counts.iter().sum::<u64>(),
+            h.count,
+            "histogram {name} bucket totals"
+        );
+        assert_eq!(h.counts.len(), h.bounds.len() + 1, "histogram {name} shape");
+    }
 }

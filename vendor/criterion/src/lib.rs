@@ -247,8 +247,23 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The host's available parallelism, as recorded in summary entries. Falls
+/// back to 1 when the runtime cannot tell (matching `TPS_THREADS` default
+/// semantics elsewhere in the workspace).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Write the JSON summary of all recorded measurements and clear the
 /// registry. Called by `criterion_main!`; callable directly in tests.
+///
+/// Besides timings, every entry records the execution environment that
+/// shaped them: `host_threads` (the machine's available parallelism) and,
+/// when set, the `TPS_THREADS` override the workspace's parallel layer
+/// honours — so committed baselines like `BENCH_parallel.json` say what
+/// hardware produced them.
 pub fn write_summary() {
     let entries = std::mem::take(&mut *REGISTRY.lock().unwrap());
     if entries.is_empty() {
@@ -256,6 +271,14 @@ pub fn write_summary() {
     }
     let path = std::env::var("CRITERION_SUMMARY")
         .unwrap_or_else(|_| "target/criterion-summary.json".to_string());
+    let host = host_threads();
+    let tps_threads = std::env::var("TPS_THREADS")
+        .ok()
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) => format!(",\"tps_threads\":{n}"),
+            Err(_) => format!(",\"tps_threads\":\"{}\"", json_escape(&v)),
+        })
+        .unwrap_or_default();
     let mut out = String::from("[\n");
     for (i, e) in entries.iter().enumerate() {
         if i > 0 {
@@ -267,7 +290,7 @@ pub fn write_summary() {
             None => String::new(),
         };
         out.push_str(&format!(
-            "  {{\"id\":\"{}\",\"median_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{tp}}}",
+            "  {{\"id\":\"{}\",\"median_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}{tp},\"host_threads\":{host}{tps_threads}}}",
             json_escape(&e.id),
             e.median_ns,
             e.samples,
@@ -320,6 +343,11 @@ pub use std::hint::black_box;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_threads_is_positive() {
+        assert!(host_threads() >= 1);
+    }
 
     #[test]
     fn measures_and_records() {

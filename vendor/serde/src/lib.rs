@@ -427,6 +427,22 @@ pub mod __private {
             .map_err(|e| Error::custom(format!("field `{name}`: {e}")))
     }
 
+    /// Like [`field`], but a missing or null value yields `default()`
+    /// instead — the backing for `#[serde(default)]` /
+    /// `#[serde(default = "path")]`.
+    pub fn field_or<T: Deserialize>(
+        m: &Map,
+        name: &str,
+        default: impl FnOnce() -> T,
+    ) -> Result<T, Error> {
+        match m.get(name) {
+            None | Some(Value::Null) => Ok(default()),
+            Some(v) => {
+                T::deserialize_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+        }
+    }
+
     /// Parse a positional element of a tuple variant / tuple struct.
     pub fn element<T: Deserialize>(arr: &[Value], idx: usize) -> Result<T, Error> {
         let v = arr

@@ -11,11 +11,19 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named struct/variant field plus its `#[serde(default)]` marker:
+/// `None` = required, `Some(None)` = `Default::default()`,
+/// `Some(Some(path))` = call `path()`.
+struct Field {
+    name: String,
+    default: Option<Option<String>>,
+}
+
 /// Shape of one enum variant.
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -24,7 +32,7 @@ struct Variant {
 }
 
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
@@ -180,18 +188,58 @@ fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Extract the `default` marker from a `serde(...)` attribute body:
+/// `serde(default)` → `Some(None)`, `serde(default = "path")` →
+/// `Some(Some("path"))`, anything else → `None`.
+fn parse_default_attr(text: &str) -> Option<Option<String>> {
+    // `text` is the attribute body, e.g. `serde(default = "path")` or
+    // `serde (default)` depending on the tokenizer's spacing.
+    let open = text.find('(')?;
+    let close = text.rfind(')')?;
+    for part in text.get(open + 1..close)?.split(',') {
+        let part = part.trim();
+        if part == "default" {
+            return Some(None);
+        }
+        if let Some(rest) = part.strip_prefix("default") {
+            let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+            let inner = rest.strip_prefix('"')?;
+            let end = inner.find('"')?;
+            return Some(Some(inner[..end].to_string()));
+        }
+    }
+    None
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        // Scan attributes, remembering any `#[serde(default ...)]`.
+        let mut default = None;
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                let text = g.stream().to_string();
+                if text.starts_with("serde") {
+                    if let Some(d) = parse_default_attr(&text) {
+                        default = Some(d);
+                    }
+                }
+                i += 1;
+            }
+        }
+        i = skip_vis(&tokens, i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
             other => panic!("serde derive shim: expected field name, got {other:?}"),
         };
-        fields.push(name);
+        fields.push(Field { name, default });
         i += 1; // field name
         i = skip_to_comma(&tokens, i + 1); // ':' then the type
         i += 1; // ','
@@ -248,15 +296,35 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 // Code generation
 // ---------------------------------------------------------------------------
 
+/// Deserialization initializer for one named field, honouring
+/// `#[serde(default)]` / `#[serde(default = "path")]`.
+fn field_init(f: &Field) -> String {
+    let name = &f.name;
+    match &f.default {
+        None => format!("{name}: serde::__private::field(__m, \"{name}\")?"),
+        Some(None) => format!(
+            "{name}: serde::__private::field_or(__m, \"{name}\", \
+             ::std::default::Default::default)?"
+        ),
+        Some(Some(path)) => {
+            format!("{name}: serde::__private::field_or(__m, \"{name}\", {path})?")
+        }
+    }
+}
+
 fn gen_serialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.kind {
         Kind::NamedStruct(fields) => {
             if input.transparent && fields.len() == 1 {
-                format!("serde::Serialize::serialize_value(&self.{})", fields[0])
+                format!(
+                    "serde::Serialize::serialize_value(&self.{})",
+                    fields[0].name
+                )
             } else {
                 let mut s = String::from("let mut __m = serde::value::Map::new();\n");
                 for f in fields {
+                    let f = &f.name;
                     s.push_str(&format!(
                         "__m.insert(::std::string::String::from(\"{f}\"), \
                          serde::Serialize::serialize_value(&self.{f}));\n"
@@ -306,6 +374,7 @@ fn gen_serialize(input: &Input) -> String {
                     Shape::Named(fields) => {
                         let mut inner = String::from("let mut __vm = serde::value::Map::new();\n");
                         for f in fields {
+                            let f = &f.name;
                             inner.push_str(&format!(
                                 "__vm.insert(::std::string::String::from(\"{f}\"), \
                                  serde::Serialize::serialize_value({f}));\n"
@@ -317,7 +386,11 @@ fn gen_serialize(input: &Input) -> String {
                              __m.insert(::std::string::String::from(\"{vn}\"), \
                              serde::Value::Object(__vm));\n\
                              serde::Value::Object(__m)\n}}\n",
-                            fields.join(", ")
+                            fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ")
                         ));
                     }
                 }
@@ -340,14 +413,15 @@ fn gen_deserialize(input: &Input) -> String {
                 format!(
                     "::std::result::Result::Ok({name} {{ {}: \
                      serde::Deserialize::deserialize_value(__v)? }})",
-                    fields[0]
+                    fields[0].name
                 )
             } else {
                 let mut s =
                     format!("let __m = serde::__private::expect_object(__v, \"{name}\")?;\n");
                 s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
                 for f in fields {
-                    s.push_str(&format!("{f}: serde::__private::field(__m, \"{f}\")?,\n"));
+                    s.push_str(&field_init(f));
+                    s.push_str(",\n");
                 }
                 s.push_str("})");
                 s
@@ -421,7 +495,7 @@ fn gen_deserialize(input: &Input) -> String {
                             ));
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| format!("{f}: serde::__private::field(__vm, \"{f}\")?"))
+                                .map(|f| field_init(f).replace("__m", "__vm"))
                                 .collect();
                             s.push_str(&format!(
                                 "return ::std::result::Result::Ok({name}::{vn} {{ {} }});\n",
