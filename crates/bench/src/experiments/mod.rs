@@ -1,6 +1,7 @@
 //! One module per group of paper artifacts; the [`registry`] maps
 //! experiment ids (`fig1` … `tab11`) to their runner functions.
 
+pub mod chaos;
 pub mod clustering;
 pub mod curves;
 pub mod endtoend;
@@ -123,6 +124,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "smoke",
             "CI smoke: traced tiny run, trace checked against outcome",
             smoke::smoke,
+        ),
+        (
+            "chaos",
+            "CI chaos: fault-injected run degrades gracefully",
+            chaos::chaos,
         ),
     ]
 }

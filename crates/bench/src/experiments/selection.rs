@@ -50,7 +50,10 @@ pub(crate) fn run_selector(
             pool,
             stages,
             &bundle.artifacts.trends,
-            &FineSelectionConfig { threshold },
+            &FineSelectionConfig {
+                threshold,
+                ..Default::default()
+            },
         ),
     }
     .expect("selectors run on preset pools")

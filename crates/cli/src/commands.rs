@@ -5,6 +5,7 @@
 use crate::args::{ArgError, ParsedArgs};
 use std::fmt::Write as _;
 use std::path::Path;
+use tps_core::fault::{FaultPlan, FaultyOracle, FaultyTrainer};
 use tps_core::ids::ModelId;
 use tps_core::parallel::ParallelConfig;
 use tps_core::pipeline::{
@@ -19,6 +20,7 @@ use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
 
 /// Top-level CLI error: argument problems, IO, or framework errors.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CliError {
     /// Bad command line.
     Args(ArgError),
@@ -38,14 +40,25 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
-            CliError::Selection(e) => write!(f, "{e}"),
+            // Render the whole cause chain: a quarantine-triggering
+            // substrate failure prints as `... : caused by: ...` so the
+            // underlying fault is visible from the shell.
+            CliError::Selection(e) => write!(f, "{}", e.chain_to_string()),
             CliError::Usage(e) => write!(f, "{e}"),
             CliError::Failed(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Args(e) => Some(e),
+            CliError::Selection(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
@@ -94,13 +107,20 @@ commands:
   select   two-phase selection for a target  --world FILE --artifacts FILE
                                              --target NAME [--top-k N] [--threshold F]
                                              [--threads N] [--trace-out FILE]
+                                             [--fault-plan FILE | --fault-seed N]
   compare  BF vs SH vs 2PH on one target     --world FILE --artifacts FILE --target NAME
                                              [--threads N] [--trace-out FILE]
+                                             [--fault-plan FILE | --fault-seed N]
 
 `--threads 0` resolves the worker count from $TPS_THREADS or the machine's
 available parallelism; results are identical for any thread count.
 `--trace-out FILE` records structured telemetry (per-phase wall-clock spans
 plus proxy-eval / epoch / survivor counters) and writes it as JSON.
+`--fault-plan FILE` injects scripted substrate faults (one `site model
+attempt kind` line each, e.g. `advance m3 1 transient`); `--fault-seed N`
+generates a pseudo-random schedule instead. The pipeline retries transient
+failures and quarantines models lost to permanent ones; casualties are
+listed in the output and recorded in the trace.
   grow     add a model incrementally         --world FILE --artifacts FILE --name NAME
                                              [--like MODEL] [--capability F] [--seed N]
   archive  persist world+artifacts durably   --store DIR --name TAG --world FILE
@@ -242,6 +262,27 @@ fn with_trace(
     }
 }
 
+/// Parse `--fault-plan FILE` / `--fault-seed N` into an optional fault
+/// schedule. The flags are mutually exclusive; a seeded plan schedules a
+/// handful of faults over the repository's models.
+fn fault_plan_from(args: &ParsedArgs, n_models: usize) -> Result<Option<FaultPlan>, CliError> {
+    match (args.get("fault-plan"), args.get("fault-seed")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--fault-plan and --fault-seed are mutually exclusive".into(),
+        )),
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(Path::new(path))
+                .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+            Ok(Some(FaultPlan::parse(&text)?))
+        }
+        (None, Some(_)) => {
+            let seed = args.get_parse("fault-seed", 0u64, "integer")?;
+            Ok(Some(FaultPlan::seeded(seed, n_models, 4, 3)))
+        }
+        (None, None) => Ok(None),
+    }
+}
+
 fn offline_config(args: &ParsedArgs) -> Result<OfflineConfig, CliError> {
     let mut config = OfflineConfig::default();
     config.similarity_top_k = args.get_parse("top-k-sim", config.similarity_top_k, "integer")?;
@@ -345,10 +386,13 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
         "stages",
         "threads",
         "trace-out",
+        "fault-plan",
+        "fault-seed",
     ])?;
     let world: World = read_json(args.require("world")?)?;
     let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
     let target = target_index(&world, args.require("target")?)?;
+    let fault_plan = fault_plan_from(args, world.n_models())?;
     let config = PipelineConfig {
         recall: RecallConfig {
             top_k: args.get_parse("top-k", 10usize, "integer")?,
@@ -356,14 +400,26 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
         },
         fine: FineSelectionConfig {
             threshold: args.get_parse("threshold", 0.0f64, "number")?,
+            ..Default::default()
         },
         total_stages: args.get_parse("stages", world.stages, "integer")?,
         parallel: parallel_config(args)?,
     };
     with_trace(args, |tel| {
         let oracle = ZooOracle::new(&world, target)?;
-        let mut trainer = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
-        let outcome = two_phase_select_traced(&artifacts, &oracle, &mut trainer, &config, tel)?;
+        let trainer = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+        let outcome = match &fault_plan {
+            None => {
+                let mut trainer = trainer;
+                two_phase_select_traced(&artifacts, &oracle, &mut trainer, &config, tel)?
+            }
+            Some(plan) => {
+                let plan = std::sync::Arc::new(plan.clone());
+                let oracle = FaultyOracle::with_shared_plan(oracle, plan.clone());
+                let mut trainer = FaultyTrainer::with_shared_plan(trainer, plan);
+                two_phase_select_traced(&artifacts, &oracle, &mut trainer, &config, tel)?
+            }
+        };
 
         let mut out = String::new();
         let _ = writeln!(
@@ -391,26 +447,65 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
             "  accounting    {} proxy evals, {} recalled, pools {:?} over {} stages",
             c.proxy_evals, c.recalled, c.pool_per_stage, c.stages
         );
+        for cas in &outcome.casualties {
+            let _ = writeln!(
+                out,
+                "  quarantined   {} at {}: {}",
+                artifacts.matrix.model_name(cas.model),
+                cas.stage,
+                cas.cause
+            );
+        }
         Ok(out)
     })
 }
 
 fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
-    args.restrict(&["world", "artifacts", "target", "threads", "trace-out"])?;
+    args.restrict(&[
+        "world",
+        "artifacts",
+        "target",
+        "threads",
+        "trace-out",
+        "fault-plan",
+        "fault-seed",
+    ])?;
     let world: World = read_json(args.require("world")?)?;
     let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
     let target = target_index(&world, args.require("target")?)?;
+    let fault_plan = fault_plan_from(args, world.n_models())?;
     let parallel = parallel_config(args)?;
     let threads = parallel.resolve();
     let everyone: Vec<ModelId> = artifacts.matrix.model_ids().collect();
 
     with_trace(args, |tel| {
-        let mut t1 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+        // Each selector faces the same fault schedule from a fresh wrapper
+        // (attempt counters restart), so the comparison stays apples to
+        // apples under injected failures.
+        fn faulty<'w>(
+            t: ZooTrainer<'w>,
+            plan: &Option<FaultPlan>,
+        ) -> FaultyTrainer<ZooTrainer<'w>> {
+            FaultyTrainer::new(t, plan.clone().unwrap_or_default())
+        }
+        let mut t1 = faulty(
+            ZooTrainer::new(&world, target)?.with_telemetry(tel.clone()),
+            &fault_plan,
+        );
         let bf = brute_force_traced(&mut t1, &everyone, world.stages, threads, tel)?;
-        let mut t2 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+        let mut t2 = faulty(
+            ZooTrainer::new(&world, target)?.with_telemetry(tel.clone()),
+            &fault_plan,
+        );
         let sh = successive_halving_traced(&mut t2, &everyone, world.stages, threads, tel)?;
-        let oracle = ZooOracle::new(&world, target)?;
-        let mut t3 = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
+        let oracle = match &fault_plan {
+            None => FaultyOracle::new(ZooOracle::new(&world, target)?, FaultPlan::empty()),
+            Some(plan) => FaultyOracle::new(ZooOracle::new(&world, target)?, plan.clone()),
+        };
+        let mut t3 = faulty(
+            ZooTrainer::new(&world, target)?.with_telemetry(tel.clone()),
+            &fault_plan,
+        );
         let two_phase = two_phase_select_traced(
             &artifacts,
             &oracle,
@@ -451,6 +546,21 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
             bf.ledger.total() / two_phase.ledger.total(),
             sh.ledger.total() / two_phase.ledger.total()
         );
+        for (who, cs) in [
+            ("brute force", &bf.casualties),
+            ("successive halving", &sh.casualties),
+            ("two-phase", &two_phase.casualties),
+        ] {
+            for cas in cs.iter() {
+                let _ = writeln!(
+                    out,
+                    "  {who}: quarantined {} at {}: {}",
+                    artifacts.matrix.model_name(cas.model),
+                    cas.stage,
+                    cas.cause
+                );
+            }
+        }
         Ok(out)
     })
 }
@@ -927,6 +1037,73 @@ mod tests {
         // BF trains everyone for every stage: 30 models x stages epochs of
         // the total; SH and 2PH add theirs on top.
         assert!(cmp.counter("select.train_epochs").unwrap() > 30.0 * 4.0);
+    }
+
+    #[test]
+    fn fault_plan_quarantines_and_still_selects() {
+        use tps_core::telemetry::TraceReport;
+        let dir = tmpdir();
+        let world = dir.join("fw.json");
+        let arts = dir.join("fa.json");
+        let trace = dir.join("ftrace.json");
+        let (world_s, arts_s, trace_s) = (
+            world.to_str().unwrap(),
+            arts.to_str().unwrap(),
+            trace.to_str().unwrap(),
+        );
+        run_line(&["world", "--domain", "cv", "--seed", "7", "--out", world_s]).unwrap();
+        run_line(&["offline", "--world", world_s, "--out", arts_s]).unwrap();
+
+        let select = |extra: &[&str]| {
+            let mut line = vec![
+                "select",
+                "--world",
+                world_s,
+                "--artifacts",
+                arts_s,
+                "--target",
+                "beans",
+            ];
+            line.extend_from_slice(extra);
+            run_line(&line)
+        };
+        let baseline = select(&[]).unwrap();
+        let winner = baseline.split('`').nth(1).unwrap().to_string();
+        let artifacts: OfflineArtifacts = read_json(arts_s).unwrap();
+        let idx = artifacts
+            .matrix
+            .model_ids()
+            .find(|&m| artifacts.matrix.model_name(m) == winner)
+            .unwrap()
+            .index();
+
+        // Permanently kill the fault-free winner's first training stage:
+        // the run must quarantine it, pick someone else, and say so.
+        let plan = dir.join("faults.txt");
+        let plan_s = plan.to_str().unwrap();
+        std::fs::write(&plan, format!("advance m{idx} 0 permanent\n")).unwrap();
+        let out = select(&["--fault-plan", plan_s, "--trace-out", trace_s]).unwrap();
+        assert!(out.contains("selected `"), "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+        assert!(out.contains("injected permanent fault"), "{out}");
+        assert_ne!(out.split('`').nth(1).unwrap(), winner);
+
+        let report: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.casualties.len(), 1);
+        assert_eq!(report.casualties[0].model.index(), idx);
+        assert_eq!(report.counter("fault.permanent"), Some(1.0));
+
+        // The two fault flags are mutually exclusive.
+        assert!(matches!(
+            select(&["--fault-plan", plan_s, "--fault-seed", "3"]),
+            Err(CliError::Usage(_))
+        ));
+        // A garbage plan file is rejected with a line-numbered error.
+        std::fs::write(&plan, "advance m0 zero permanent\n").unwrap();
+        let err = select(&["--fault-plan", plan_s]).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 
     #[test]

@@ -26,6 +26,13 @@ use std::fmt;
 pub struct EpochLedger {
     train_epochs: f64,
     proxy_epochs: f64,
+    /// Epoch-equivalents burned waiting out retried substrate calls
+    /// (deterministic backoff, see `fault::RetryPolicy`). Kept separate from
+    /// `train_epochs` so the ledger still reconciles exactly against the
+    /// trainer's own stage count. `#[serde(default)]` keeps pre-fault-layer
+    /// JSON deserialising.
+    #[serde(default)]
+    retry_epochs: f64,
 }
 
 impl EpochLedger {
@@ -47,9 +54,20 @@ impl EpochLedger {
         self.proxy_epochs += epochs;
     }
 
+    /// Charge retry-backoff epochs for a re-attempted substrate call.
+    pub fn charge_retry(&mut self, epochs: f64) {
+        debug_assert!(epochs >= 0.0);
+        self.retry_epochs += epochs;
+    }
+
     /// Epochs spent on fine-tuning.
     pub fn train_epochs(&self) -> f64 {
         self.train_epochs
+    }
+
+    /// Epochs spent waiting out retried substrate calls.
+    pub fn retry_epochs(&self) -> f64 {
+        self.retry_epochs
     }
 
     /// Epochs spent on proxy inference.
@@ -59,13 +77,14 @@ impl EpochLedger {
 
     /// Total epoch-equivalents.
     pub fn total(&self) -> f64 {
-        self.train_epochs + self.proxy_epochs
+        self.train_epochs + self.proxy_epochs + self.retry_epochs
     }
 
     /// Fold another ledger into this one.
     pub fn merge(&mut self, other: &EpochLedger) {
         self.train_epochs += other.train_epochs;
         self.proxy_epochs += other.proxy_epochs;
+        self.retry_epochs += other.retry_epochs;
     }
 
     /// Speedup of this ledger relative to a baseline ledger
@@ -83,11 +102,15 @@ impl fmt::Display for EpochLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:.1} epochs ({:.1} train + {:.1} proxy)",
+            "{:.1} epochs ({:.1} train + {:.1} proxy",
             self.total(),
             self.train_epochs,
             self.proxy_epochs
-        )
+        )?;
+        if self.retry_epochs > 0.0 {
+            write!(f, " + {:.1} retry", self.retry_epochs)?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -132,5 +155,28 @@ mod tests {
         l.charge_training(19.0);
         l.charge_proxy(2.5);
         assert_eq!(l.to_string(), "21.5 epochs (19.0 train + 2.5 proxy)");
+    }
+
+    #[test]
+    fn retry_epochs_count_toward_total_not_training() {
+        let mut l = EpochLedger::new();
+        l.charge_training(10.0);
+        l.charge_retry(2.0);
+        assert_eq!(l.train_epochs(), 10.0);
+        assert_eq!(l.retry_epochs(), 2.0);
+        assert_eq!(l.total(), 12.0);
+        assert_eq!(
+            l.to_string(),
+            "12.0 epochs (10.0 train + 0.0 proxy + 2.0 retry)"
+        );
+        let mut other = EpochLedger::new();
+        other.charge_retry(1.0);
+        l.merge(&other);
+        assert_eq!(l.retry_epochs(), 3.0);
+        // Pre-fault-layer JSON (no retry field) still deserialises.
+        let old: EpochLedger =
+            serde_json::from_str(r#"{"train_epochs":5.0,"proxy_epochs":1.0}"#).unwrap();
+        assert_eq!(old.retry_epochs(), 0.0);
+        assert_eq!(old.total(), 6.0);
     }
 }

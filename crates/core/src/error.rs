@@ -6,9 +6,15 @@
 
 use std::error::Error as StdError;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced by the two-phase selection framework.
+///
+/// Marked `#[non_exhaustive]`: downstream crates must keep a wildcard arm,
+/// so future variants (like the fault-layer ones added for the robustness
+/// work) never break them.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 #[allow(missing_docs)] // field names are self-describing; variant docs carry semantics
 pub enum SelectionError {
     /// A performance matrix was built with inconsistent dimensions, or an
@@ -33,6 +39,108 @@ pub enum SelectionError {
     /// The selection algorithm was configured inconsistently (e.g. zero
     /// stages, zero recall size).
     InvalidConfig(String),
+    /// A low-level substrate condition (crashed training job, corrupted
+    /// checkpoint, failed inference pass) with a free-form description.
+    /// Usually appears as the `cause` of a [`SelectionError::Substrate`].
+    Backend(String),
+    /// A substrate call (training stage, proxy inference, feature pass)
+    /// failed for one specific model. This is the only variant the
+    /// resilience layer considers recoverable: `transient: true` means the
+    /// same call may succeed if retried, `transient: false` means the model
+    /// should be quarantined. The underlying condition is chained via
+    /// [`std::error::Error::source`] (kept behind an `Arc` so the error
+    /// stays `Clone + PartialEq`).
+    Substrate {
+        /// Whether retrying the same call may succeed.
+        transient: bool,
+        /// The call site that failed, e.g. `"trainer.advance"`.
+        site: &'static str,
+        /// Index of the model whose call failed.
+        model: usize,
+        /// The underlying condition.
+        cause: Arc<SelectionError>,
+    },
+}
+
+/// How the resilience layer should react to an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Retrying the exact same call may succeed (e.g. a transient OOM).
+    Transient,
+    /// The call will keep failing for this model; quarantine it and keep
+    /// the run alive.
+    Permanent,
+    /// A configuration or programming error; abort the run as before.
+    Fatal,
+}
+
+impl SelectionError {
+    /// Wrap `cause` as a retryable substrate failure at `site` for `model`.
+    pub fn transient_fault(site: &'static str, model: usize, cause: SelectionError) -> Self {
+        SelectionError::Substrate {
+            transient: true,
+            site,
+            model,
+            cause: Arc::new(cause),
+        }
+    }
+
+    /// Wrap `cause` as a non-retryable substrate failure at `site` for
+    /// `model`.
+    pub fn permanent_fault(site: &'static str, model: usize, cause: SelectionError) -> Self {
+        SelectionError::Substrate {
+            transient: false,
+            site,
+            model,
+            cause: Arc::new(cause),
+        }
+    }
+
+    /// Classify this error for the retry/quarantine logic. Only
+    /// [`SelectionError::Substrate`] failures are recoverable; every other
+    /// variant keeps its historical fail-fast semantics.
+    pub fn classify(&self) -> FaultClass {
+        match self {
+            SelectionError::Substrate {
+                transient: true, ..
+            } => FaultClass::Transient,
+            SelectionError::Substrate {
+                transient: false, ..
+            } => FaultClass::Permanent,
+            _ => FaultClass::Fatal,
+        }
+    }
+
+    /// The model a substrate failure implicates, if this is one.
+    pub fn fault_model(&self) -> Option<usize> {
+        match self {
+            SelectionError::Substrate { model, .. } => Some(*model),
+            _ => None,
+        }
+    }
+
+    /// Walk the [`source`](std::error::Error::source) chain to the
+    /// innermost error.
+    pub fn root_cause(&self) -> &SelectionError {
+        let mut cur = self;
+        while let SelectionError::Substrate { cause, .. } = cur {
+            cur = cause;
+        }
+        cur
+    }
+
+    /// The whole error chain rendered as one line
+    /// (`outer: caused by: inner`), for logs and casualty records.
+    pub fn chain_to_string(&self) -> String {
+        let mut out = self.to_string();
+        let mut cur: &dyn StdError = self;
+        while let Some(next) = cur.source() {
+            out.push_str(": caused by: ");
+            out.push_str(&next.to_string());
+            cur = next;
+        }
+        out
+    }
 }
 
 impl fmt::Display for SelectionError {
@@ -61,11 +169,29 @@ impl fmt::Display for SelectionError {
             }
             SelectionError::UnknownId { what, id } => write!(f, "unknown {what} id {id}"),
             SelectionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SelectionError::Backend(what) => write!(f, "substrate backend failure: {what}"),
+            SelectionError::Substrate {
+                transient,
+                site,
+                model,
+                ..
+            } => write!(
+                f,
+                "{} substrate failure at {site} for model m{model}",
+                if *transient { "transient" } else { "permanent" }
+            ),
         }
     }
 }
 
-impl StdError for SelectionError {}
+impl StdError for SelectionError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            SelectionError::Substrate { cause, .. } => Some(cause.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SelectionError>;
@@ -103,5 +229,45 @@ mod tests {
             SelectionError::Empty("models"),
             SelectionError::Empty("datasets")
         );
+    }
+
+    #[test]
+    fn substrate_faults_classify_and_chain() {
+        let cause = SelectionError::Backend("simulated OOM".into());
+        let transient = SelectionError::transient_fault("trainer.advance", 3, cause.clone());
+        let permanent = SelectionError::permanent_fault("oracle.predictions", 7, cause.clone());
+        assert_eq!(transient.classify(), FaultClass::Transient);
+        assert_eq!(permanent.classify(), FaultClass::Permanent);
+        assert_eq!(
+            SelectionError::Empty("models").classify(),
+            FaultClass::Fatal
+        );
+        assert_eq!(transient.fault_model(), Some(3));
+        assert_eq!(permanent.fault_model(), Some(7));
+        assert_eq!(SelectionError::Empty("models").fault_model(), None);
+        // source() exposes the cause; root_cause walks to the leaf.
+        let src = StdError::source(&transient).expect("has a source");
+        assert_eq!(src.to_string(), cause.to_string());
+        assert_eq!(transient.root_cause(), &cause);
+        // Substrate errors stay Clone + PartialEq (Arc compares by value).
+        assert_eq!(transient.clone(), transient);
+        assert_ne!(transient, permanent);
+    }
+
+    #[test]
+    fn chain_renders_every_level() {
+        let e = SelectionError::permanent_fault(
+            "oracle.predictions",
+            2,
+            SelectionError::NotADistribution { row: 0, sum: 0.0 },
+        );
+        let chain = e.chain_to_string();
+        assert!(chain.contains("permanent substrate failure"));
+        assert!(chain.contains("caused by"));
+        assert!(chain.contains("not a distribution"));
+        // Non-chained errors render without the separator.
+        assert!(!SelectionError::Empty("models")
+            .chain_to_string()
+            .contains("caused by"));
     }
 }

@@ -1,0 +1,866 @@
+//! Deterministic fault injection for the online selection pipeline.
+//!
+//! Production deployments of the two-phase pipeline drive real fine-tuning
+//! jobs and inference passes, and those fail routinely: transient OOMs,
+//! corrupted checkpoints, NaN losses. This module supplies the *injection*
+//! side of the robustness story — a scripted, seeded [`FaultPlan`] plus
+//! [`FaultyTrainer`] / [`FaultyOracle`] wrappers that make any substrate
+//! misbehave on cue — so the resilience layer (retry + quarantine in
+//! `recall`/`select`) can be exercised deterministically in tests, the
+//! `repro chaos` experiment, and the CI chaos gate.
+//!
+//! Faults are keyed by `(site, model, attempt)`, where `attempt` counts the
+//! calls the wrapper has seen for that `(site, model)` pair. Keying by
+//! per-model attempt (rather than a global call counter) keeps schedules
+//! deterministic under parallel fan-out: each model's attempt sequence is
+//! its own, regardless of thread interleaving.
+//!
+//! **Zero-fault transparency**: with an empty plan every wrapper method
+//! delegates directly to the wrapped substrate, so outcomes, counters and
+//! histograms are bit-identical to the unwrapped run (proptested in the
+//! bench crate's chaos suite).
+
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::proxy::PredictionMatrix;
+use crate::traits::{FeatureOracle, ProxyOracle, TargetTrainer};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Call sites a fault can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// [`TargetTrainer::advance`] (and the batched `advance_many`).
+    Advance,
+    /// [`TargetTrainer::test`].
+    Test,
+    /// [`ProxyOracle::predictions`].
+    Predictions,
+    /// [`FeatureOracle::features`].
+    Features,
+}
+
+impl FaultSite {
+    /// Canonical lower-case name used by the plan text format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultSite::Advance => "advance",
+            FaultSite::Test => "test",
+            FaultSite::Predictions => "predictions",
+            FaultSite::Features => "features",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "advance" => Some(FaultSite::Advance),
+            "test" => Some(FaultSite::Test),
+            "predictions" => Some(FaultSite::Predictions),
+            "features" => Some(FaultSite::Features),
+            _ => None,
+        }
+    }
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The call fails with a retryable error (simulated OOM/timeout).
+    Transient,
+    /// The call fails with a non-retryable error (corrupted checkpoint).
+    Permanent,
+    /// The call "succeeds" but yields a NaN/out-of-range value. At trainer
+    /// sites the reported accuracy is NaN; at oracle sites this degrades to
+    /// [`FaultKind::CorruptRow`] (a matrix has no single value to poison).
+    NanValue,
+    /// The prediction matrix comes back with a corrupt (non-distribution)
+    /// row, surfacing as a permanent substrate failure whose cause is
+    /// [`SelectionError::NotADistribution`]. At trainer sites this degrades
+    /// to an out-of-range accuracy.
+    CorruptRow,
+}
+
+impl FaultKind {
+    /// Canonical lower-case name used by the plan text format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Permanent => "permanent",
+            FaultKind::NanValue => "nan",
+            FaultKind::CorruptRow => "corrupt-row",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "transient" => Some(FaultKind::Transient),
+            "permanent" => Some(FaultKind::Permanent),
+            "nan" => Some(FaultKind::NanValue),
+            "corrupt-row" => Some(FaultKind::CorruptRow),
+            _ => None,
+        }
+    }
+}
+
+/// One scripted fault: at `model`'s `attempt`-th call (0-based) to `site`,
+/// fire `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The targeted call site.
+    pub site: FaultSite,
+    /// The targeted model.
+    pub model: ModelId,
+    /// 0-based index among the wrapper-observed calls to `(site, model)`.
+    pub attempt: u32,
+    /// What fires.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule.
+///
+/// Built programmatically ([`FaultPlan::new`]), from a seed
+/// ([`FaultPlan::seeded`]), or from the line-based text format accepted by
+/// the CLI's `--fault-plan FILE` ([`FaultPlan::parse`]):
+///
+/// ```text
+/// # site  model  attempt  kind
+/// advance      m3  1  transient
+/// predictions  m7  0  corrupt-row
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan that never fires — wrappers built on it are bit-identical to
+    /// the unwrapped substrate.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build a plan from explicit specs. Later duplicates of the same
+    /// `(site, model, attempt)` key are dropped so lookups are unambiguous.
+    pub fn new(specs: Vec<FaultSpec>) -> Self {
+        let mut plan = FaultPlan { specs: Vec::new() };
+        for s in specs {
+            plan.push(s);
+        }
+        plan
+    }
+
+    /// Add one spec (ignored if its key is already scheduled).
+    pub fn push(&mut self, spec: FaultSpec) {
+        if self.lookup(spec.site, spec.model, spec.attempt).is_none() {
+            self.specs.push(spec);
+        }
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The scheduled specs, in insertion order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// The fault scheduled for `model`'s `attempt`-th call to `site`.
+    pub fn lookup(&self, site: FaultSite, model: ModelId, attempt: u32) -> Option<FaultKind> {
+        self.specs
+            .iter()
+            .find(|s| s.site == site && s.model == model && s.attempt == attempt)
+            .map(|s| s.kind)
+    }
+
+    /// Generate `n_faults` pseudo-random faults over `n_models` models and
+    /// attempts `< max_attempt`, deterministically from `seed` (splitmix64;
+    /// no global RNG state). The same `(seed, n_models, n_faults,
+    /// max_attempt)` always yields the same plan. Collisions on the
+    /// `(site, model, attempt)` key are re-rolled, so the plan holds
+    /// exactly `min(n_faults, reachable keys)` specs.
+    pub fn seeded(seed: u64, n_models: usize, n_faults: usize, max_attempt: u32) -> Self {
+        let mut plan = FaultPlan::default();
+        if n_models == 0 || max_attempt == 0 {
+            return plan;
+        }
+        let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+        let mut rolls = 0usize;
+        while plan.len() < n_faults && rolls < n_faults * 64 {
+            rolls += 1;
+            let r = splitmix64(&mut state);
+            let site = if r.is_multiple_of(4) {
+                FaultSite::Predictions
+            } else {
+                FaultSite::Advance
+            };
+            let model = ModelId::from(((r >> 8) % n_models as u64) as usize);
+            let attempt = ((r >> 32) % max_attempt as u64) as u32;
+            let kind = match (r >> 56) % 4 {
+                0 => FaultKind::Permanent,
+                1 => FaultKind::NanValue,
+                2 if site == FaultSite::Predictions => FaultKind::CorruptRow,
+                _ => FaultKind::Transient,
+            };
+            plan.push(FaultSpec {
+                site,
+                model,
+                attempt,
+                kind,
+            });
+        }
+        plan
+    }
+
+    /// Parse the text format (one `site model attempt kind` spec per line;
+    /// blank lines and `#` comments ignored; the model accepts `m3` or
+    /// `3`).
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut specs = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |what: &str| {
+                SelectionError::InvalidConfig(format!(
+                    "fault plan line {}: {what} in `{line}`",
+                    lineno + 1
+                ))
+            };
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 {
+                return Err(bad("expected `site model attempt kind`"));
+            }
+            let site = FaultSite::parse(fields[0]).ok_or_else(|| bad("unknown site"))?;
+            let model_text = fields[1].strip_prefix('m').unwrap_or(fields[1]);
+            let model = model_text
+                .parse::<usize>()
+                .map(ModelId::from)
+                .map_err(|_| bad("bad model id"))?;
+            let attempt = fields[2]
+                .parse::<u32>()
+                .map_err(|_| bad("bad attempt index"))?;
+            let kind = FaultKind::parse(fields[3]).ok_or_else(|| bad("unknown fault kind"))?;
+            specs.push(FaultSpec {
+                site,
+                model,
+                attempt,
+                kind,
+            });
+        }
+        Ok(FaultPlan::new(specs))
+    }
+
+    /// Render the plan in the text format accepted by [`FaultPlan::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# site model attempt kind\n");
+        for s in &self.specs {
+            out.push_str(&format!(
+                "{} m{} {} {}\n",
+                s.site.as_str(),
+                s.model.index(),
+                s.attempt,
+                s.kind.as_str()
+            ));
+        }
+        out
+    }
+}
+
+/// splitmix64: tiny, deterministic, and good enough for fault scheduling.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bounded-retry policy for substrate calls, with a deterministic
+/// epoch-charged backoff: every retry charges `backoff_epochs` to the run's
+/// [`crate::budget::EpochLedger`], so waiting out transient failures shows
+/// up in the same accounting as training itself (and can be budgeted in
+/// `budgets.toml`: `retry.backoff_epochs <= retry.attempts * 1.0`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try included); `1` disables retries.
+    pub max_attempts: u32,
+    /// Epoch-equivalents charged per retry (the deterministic stand-in for
+    /// wall-clock backoff).
+    pub backoff_epochs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_epochs: 1.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (first failure is final).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff_epochs: 0.0,
+        }
+    }
+}
+
+/// A model lost to a permanent (or retry-exhausted) substrate failure,
+/// recorded on `PipelineOutcome`/`TraceReport` instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Casualty {
+    /// The quarantined model.
+    pub model: ModelId,
+    /// Where it was lost: `"recall"`, `"fine.stage2"`, `"sh.stage0"`,
+    /// `"fine.final"` (winner's test read), …
+    pub stage: String,
+    /// The full error chain that killed it, rendered one-line.
+    pub cause: String,
+}
+
+impl Casualty {
+    /// Build a casualty record from the error that killed `model`.
+    pub fn new(model: ModelId, stage: impl Into<String>, cause: &SelectionError) -> Self {
+        Casualty {
+            model,
+            stage: stage.into(),
+            cause: cause.chain_to_string(),
+        }
+    }
+}
+
+fn injected(kind: &str) -> SelectionError {
+    SelectionError::Backend(format!("injected {kind} fault"))
+}
+
+/// A [`TargetTrainer`] wrapper that fires scripted faults.
+///
+/// Error faults are **transactional**: a failing `advance`/`advance_many`
+/// call leaves the wrapped trainer's state completely untouched (the
+/// simulated jobs crashed before committing), so the resilience layer can
+/// retry or shrink the pool without stage drift. A failed `advance_many`
+/// batch still consumes one attempt for *every* pool model (all jobs were
+/// launched), and reports the first pool-order faulted model, matching the
+/// `advance_many` contract.
+#[derive(Debug)]
+pub struct FaultyTrainer<T> {
+    inner: T,
+    plan: Arc<FaultPlan>,
+    attempts: HashMap<(FaultSite, ModelId), u32>,
+}
+
+impl<T: TargetTrainer> FaultyTrainer<T> {
+    /// Wrap `inner` with a fault schedule.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        Self::with_shared_plan(inner, Arc::new(plan))
+    }
+
+    /// Wrap `inner` with an already-shared plan (lets a trainer and an
+    /// oracle follow one schedule).
+    pub fn with_shared_plan(inner: T, plan: Arc<FaultPlan>) -> Self {
+        Self {
+            inner,
+            plan,
+            attempts: HashMap::new(),
+        }
+    }
+
+    /// The wrapped trainer.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The wrapped trainer, mutably.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn next_attempt(&mut self, site: FaultSite, model: ModelId) -> u32 {
+        let slot = self.attempts.entry((site, model)).or_insert(0);
+        let a = *slot;
+        *slot += 1;
+        a
+    }
+}
+
+impl<T: TargetTrainer> TargetTrainer for FaultyTrainer<T> {
+    fn advance(&mut self, model: ModelId) -> Result<f64> {
+        let attempt = self.next_attempt(FaultSite::Advance, model);
+        match self.plan.lookup(FaultSite::Advance, model, attempt) {
+            None => self.inner.advance(model),
+            Some(FaultKind::Transient) => Err(SelectionError::transient_fault(
+                "trainer.advance",
+                model.index(),
+                injected("transient"),
+            )),
+            Some(FaultKind::Permanent) => Err(SelectionError::permanent_fault(
+                "trainer.advance",
+                model.index(),
+                injected("permanent"),
+            )),
+            // The job ran (state advances) but reported garbage.
+            Some(FaultKind::NanValue) => {
+                self.inner.advance(model)?;
+                Ok(f64::NAN)
+            }
+            Some(FaultKind::CorruptRow) => {
+                self.inner.advance(model)?;
+                Ok(2.0) // out-of-range accuracy
+            }
+        }
+    }
+
+    fn test(&mut self, model: ModelId) -> Result<f64> {
+        let attempt = self.next_attempt(FaultSite::Test, model);
+        match self.plan.lookup(FaultSite::Test, model, attempt) {
+            None => self.inner.test(model),
+            Some(FaultKind::Transient) => Err(SelectionError::transient_fault(
+                "trainer.test",
+                model.index(),
+                injected("transient"),
+            )),
+            Some(FaultKind::Permanent) => Err(SelectionError::permanent_fault(
+                "trainer.test",
+                model.index(),
+                injected("permanent"),
+            )),
+            Some(FaultKind::NanValue | FaultKind::CorruptRow) => {
+                self.inner.test(model)?;
+                Ok(f64::NAN)
+            }
+        }
+    }
+
+    fn stages_trained(&self, model: ModelId) -> usize {
+        self.inner.stages_trained(model)
+    }
+
+    fn epochs_per_stage(&self) -> f64 {
+        self.inner.epochs_per_stage()
+    }
+
+    fn advance_many(&mut self, pool: &[ModelId], threads: usize) -> Result<Vec<f64>> {
+        // Scan the batch for error faults first, in pool order, *before*
+        // touching the wrapped trainer: the first one aborts the whole
+        // batch with nobody advanced (transactional semantics).
+        let first_error = pool.iter().enumerate().find_map(|(i, &m)| {
+            let attempt = *self.attempts.get(&(FaultSite::Advance, m)).unwrap_or(&0);
+            match self.plan.lookup(FaultSite::Advance, m, attempt) {
+                Some(FaultKind::Transient) => Some((i, true)),
+                Some(FaultKind::Permanent) => Some((i, false)),
+                _ => None,
+            }
+        });
+        if let Some((i, transient)) = first_error {
+            for &m in pool {
+                self.next_attempt(FaultSite::Advance, m);
+            }
+            let model = pool[i];
+            let make = if transient {
+                SelectionError::transient_fault
+            } else {
+                SelectionError::permanent_fault
+            };
+            return Err(make(
+                "trainer.advance",
+                model.index(),
+                injected(if transient { "transient" } else { "permanent" }),
+            ));
+        }
+        // No error faults this batch: delegate the full fan-out (zero-fault
+        // plans take exactly the wrapped trainer's parallel path), then
+        // overlay any value-corruption faults in pool order.
+        let corrupt: Vec<Option<FaultKind>> = pool
+            .iter()
+            .map(|&m| {
+                let attempt = self.next_attempt(FaultSite::Advance, m);
+                self.plan.lookup(FaultSite::Advance, m, attempt)
+            })
+            .collect();
+        let mut vals = self.inner.advance_many(pool, threads)?;
+        for (v, kind) in vals.iter_mut().zip(&corrupt) {
+            match kind {
+                Some(FaultKind::NanValue) => *v = f64::NAN,
+                Some(FaultKind::CorruptRow) => *v = 2.0,
+                _ => {}
+            }
+        }
+        Ok(vals)
+    }
+}
+
+/// A [`ProxyOracle`] + [`FeatureOracle`] wrapper that fires scripted
+/// faults. Thread-safe (`&self` methods guard their attempt counters with a
+/// mutex), so it slots into the parallel recall fan-out; determinism holds
+/// because faults are keyed per `(site, model, attempt)` — never by global
+/// call order.
+#[derive(Debug)]
+pub struct FaultyOracle<O> {
+    inner: O,
+    plan: Arc<FaultPlan>,
+    attempts: Mutex<HashMap<(FaultSite, ModelId), u32>>,
+}
+
+impl<O> FaultyOracle<O> {
+    /// Wrap `inner` with a fault schedule.
+    pub fn new(inner: O, plan: FaultPlan) -> Self {
+        Self::with_shared_plan(inner, Arc::new(plan))
+    }
+
+    /// Wrap `inner` with an already-shared plan.
+    pub fn with_shared_plan(inner: O, plan: Arc<FaultPlan>) -> Self {
+        Self {
+            inner,
+            plan,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    fn next_attempt(&self, site: FaultSite, model: ModelId) -> u32 {
+        let mut attempts = self.attempts.lock();
+        let slot = attempts.entry((site, model)).or_insert(0);
+        let a = *slot;
+        *slot += 1;
+        a
+    }
+}
+
+impl<O: ProxyOracle> ProxyOracle for FaultyOracle<O> {
+    fn predictions(&self, model: ModelId) -> Result<PredictionMatrix> {
+        let attempt = self.next_attempt(FaultSite::Predictions, model);
+        match self.plan.lookup(FaultSite::Predictions, model, attempt) {
+            None => self.inner.predictions(model),
+            Some(FaultKind::Transient) => Err(SelectionError::transient_fault(
+                "oracle.predictions",
+                model.index(),
+                injected("transient"),
+            )),
+            Some(FaultKind::Permanent) => Err(SelectionError::permanent_fault(
+                "oracle.predictions",
+                model.index(),
+                injected("permanent"),
+            )),
+            // A corrupt row never survives `PredictionMatrix`'s
+            // construction-time validation, so the wrapper surfaces the
+            // rejection the substrate would hit: a permanent failure caused
+            // by the row that stopped being a distribution.
+            Some(FaultKind::NanValue | FaultKind::CorruptRow) => {
+                Err(SelectionError::permanent_fault(
+                    "oracle.predictions",
+                    model.index(),
+                    SelectionError::NotADistribution { row: 0, sum: 0.0 },
+                ))
+            }
+        }
+    }
+
+    fn target_labels(&self) -> &[usize] {
+        self.inner.target_labels()
+    }
+
+    fn n_target_labels(&self) -> usize {
+        self.inner.n_target_labels()
+    }
+}
+
+impl<O: FeatureOracle> FeatureOracle for FaultyOracle<O> {
+    fn features(&self, model: ModelId) -> Result<(Vec<f64>, usize, usize)> {
+        let attempt = self.next_attempt(FaultSite::Features, model);
+        match self.plan.lookup(FaultSite::Features, model, attempt) {
+            None => self.inner.features(model),
+            Some(FaultKind::Transient) => Err(SelectionError::transient_fault(
+                "oracle.features",
+                model.index(),
+                injected("transient"),
+            )),
+            Some(FaultKind::Permanent) => Err(SelectionError::permanent_fault(
+                "oracle.features",
+                model.index(),
+                injected("permanent"),
+            )),
+            Some(FaultKind::NanValue | FaultKind::CorruptRow) => {
+                let (mut feats, n, d) = self.inner.features(model)?;
+                if let Some(first) = feats.first_mut() {
+                    *first = f64::NAN;
+                }
+                Ok((feats, n, d))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FaultClass;
+    use crate::traits::test_support::ScriptedTrainer;
+
+    fn scripted(n: usize, stages: usize) -> ScriptedTrainer {
+        let curves = (0..n)
+            .map(|i| {
+                (0..stages)
+                    .map(|t| 0.1 * (i + 1) as f64 + 0.01 * t as f64)
+                    .collect()
+            })
+            .collect();
+        ScriptedTrainer::from_val_curves(curves)
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let pool: Vec<ModelId> = (0..4).map(ModelId::from).collect();
+        let mut plain = scripted(4, 3);
+        let mut wrapped = FaultyTrainer::new(scripted(4, 3), FaultPlan::empty());
+        for _ in 0..3 {
+            let a = plain.advance_many(&pool, 1).unwrap();
+            let b = wrapped.advance_many(&pool, 1).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            plain.test(ModelId(2)).unwrap(),
+            wrapped.test(ModelId(2)).unwrap()
+        );
+        assert_eq!(wrapped.stages_trained(ModelId(0)), 3);
+    }
+
+    #[test]
+    fn scripted_faults_fire_at_their_attempt_then_clear() {
+        let plan = FaultPlan::new(vec![FaultSpec {
+            site: FaultSite::Advance,
+            model: ModelId(1),
+            attempt: 1,
+            kind: FaultKind::Transient,
+        }]);
+        let mut t = FaultyTrainer::new(scripted(3, 4), plan);
+        assert!(t.advance(ModelId(1)).is_ok()); // attempt 0
+        let err = t.advance(ModelId(1)).unwrap_err(); // attempt 1: fault
+        assert_eq!(err.classify(), FaultClass::Transient);
+        assert_eq!(err.fault_model(), Some(1));
+        // The faulted call never reached the substrate.
+        assert_eq!(t.stages_trained(ModelId(1)), 1);
+        // Attempt 2 (the retry) succeeds.
+        assert!(t.advance(ModelId(1)).is_ok());
+        assert_eq!(t.stages_trained(ModelId(1)), 2);
+    }
+
+    #[test]
+    fn batch_reports_first_pool_order_fault_and_advances_nobody() {
+        // Faults scripted on m3 and m1: pool order decides, not id order.
+        let plan = FaultPlan::new(vec![
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(3),
+                attempt: 0,
+                kind: FaultKind::Permanent,
+            },
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(1),
+                attempt: 0,
+                kind: FaultKind::Transient,
+            },
+        ]);
+        let pool = vec![ModelId(0), ModelId(3), ModelId(1), ModelId(2)];
+        for threads in [1, 4] {
+            let mut t = FaultyTrainer::new(scripted(4, 2), plan.clone());
+            let err = t.advance_many(&pool, threads).unwrap_err();
+            assert_eq!(err.fault_model(), Some(3), "threads={threads}");
+            assert_eq!(err.classify(), FaultClass::Permanent);
+            // Transactional: nobody advanced.
+            for &m in &pool {
+                assert_eq!(t.stages_trained(m), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn value_faults_corrupt_but_still_train() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(0),
+                attempt: 0,
+                kind: FaultKind::NanValue,
+            },
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(2),
+                attempt: 0,
+                kind: FaultKind::CorruptRow,
+            },
+        ]);
+        let pool: Vec<ModelId> = (0..3).map(ModelId::from).collect();
+        let mut t = FaultyTrainer::new(scripted(3, 2), plan);
+        let vals = t.advance_many(&pool, 1).unwrap();
+        assert!(vals[0].is_nan());
+        assert!(vals[1].is_finite());
+        assert!(vals[2] > 1.0);
+        for &m in &pool {
+            assert_eq!(t.stages_trained(m), 1, "the jobs ran, results were garbage");
+        }
+    }
+
+    #[test]
+    fn plan_text_round_trips() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(3),
+                attempt: 1,
+                kind: FaultKind::Transient,
+            },
+            FaultSpec {
+                site: FaultSite::Predictions,
+                model: ModelId(7),
+                attempt: 0,
+                kind: FaultKind::CorruptRow,
+            },
+        ]);
+        let text = plan.to_text();
+        let back = FaultPlan::parse(&text).unwrap();
+        assert_eq!(back, plan);
+        // Bare indices and comments parse too.
+        let alt = FaultPlan::parse("# hi\n\nadvance 3 1 transient # tail\n").unwrap();
+        assert_eq!(
+            alt.lookup(FaultSite::Advance, ModelId(3), 1),
+            Some(FaultKind::Transient)
+        );
+    }
+
+    #[test]
+    fn plan_parse_rejects_garbage() {
+        assert!(FaultPlan::parse("advance m1 0").is_err());
+        assert!(FaultPlan::parse("elsewhere m1 0 transient").is_err());
+        assert!(FaultPlan::parse("advance mx 0 transient").is_err());
+        assert!(FaultPlan::parse("advance m1 x transient").is_err());
+        assert!(FaultPlan::parse("advance m1 0 sideways").is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        let a = FaultPlan::seeded(42, 10, 6, 5);
+        let b = FaultPlan::seeded(42, 10, 6, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        for s in a.specs() {
+            assert!(s.model.index() < 10);
+            assert!(s.attempt < 5);
+        }
+        assert_ne!(FaultPlan::seeded(43, 10, 6, 5), a);
+        assert!(FaultPlan::seeded(1, 0, 6, 5).is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_spec() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(0),
+                attempt: 0,
+                kind: FaultKind::Permanent,
+            },
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(0),
+                attempt: 0,
+                kind: FaultKind::Transient,
+            },
+        ]);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(
+            plan.lookup(FaultSite::Advance, ModelId(0), 0),
+            Some(FaultKind::Permanent)
+        );
+    }
+
+    struct FixedOracle;
+
+    impl ProxyOracle for FixedOracle {
+        fn predictions(&self, _model: ModelId) -> Result<PredictionMatrix> {
+            PredictionMatrix::new(2, vec![0.5, 0.5, 0.9, 0.1])
+        }
+
+        fn target_labels(&self) -> &[usize] {
+            &[0, 1]
+        }
+
+        fn n_target_labels(&self) -> usize {
+            2
+        }
+    }
+
+    impl FeatureOracle for FixedOracle {
+        fn features(&self, _model: ModelId) -> Result<(Vec<f64>, usize, usize)> {
+            Ok((vec![1.0, 2.0], 1, 2))
+        }
+    }
+
+    #[test]
+    fn oracle_faults_fire_per_model_attempt() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec {
+                site: FaultSite::Predictions,
+                model: ModelId(0),
+                attempt: 0,
+                kind: FaultKind::Transient,
+            },
+            FaultSpec {
+                site: FaultSite::Predictions,
+                model: ModelId(1),
+                attempt: 0,
+                kind: FaultKind::CorruptRow,
+            },
+            FaultSpec {
+                site: FaultSite::Features,
+                model: ModelId(0),
+                attempt: 0,
+                kind: FaultKind::NanValue,
+            },
+        ]);
+        let oracle = FaultyOracle::new(FixedOracle, plan);
+        let e0 = oracle.predictions(ModelId(0)).unwrap_err();
+        assert_eq!(e0.classify(), FaultClass::Transient);
+        // Retry (attempt 1) clears.
+        assert!(oracle.predictions(ModelId(0)).is_ok());
+        let e1 = oracle.predictions(ModelId(1)).unwrap_err();
+        assert_eq!(e1.classify(), FaultClass::Permanent);
+        assert_eq!(
+            e1.root_cause(),
+            &SelectionError::NotADistribution { row: 0, sum: 0.0 }
+        );
+        // Unscripted model untouched.
+        assert!(oracle.predictions(ModelId(5)).is_ok());
+        let (feats, _, _) = oracle.features(ModelId(0)).unwrap();
+        assert!(feats[0].is_nan());
+        assert_eq!(oracle.target_labels(), &[0, 1]);
+        assert_eq!(oracle.n_target_labels(), 2);
+    }
+}

@@ -52,6 +52,7 @@ pub mod budget;
 pub mod cluster;
 pub mod curve;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod incremental;
 pub mod matrix;
@@ -72,7 +73,11 @@ pub mod prelude {
     pub use crate::cluster::hierarchical::Linkage;
     pub use crate::cluster::Clustering;
     pub use crate::curve::{CurveSet, LearningCurve};
-    pub use crate::error::{Result, SelectionError};
+    pub use crate::error::{FaultClass, Result, SelectionError};
+    pub use crate::fault::{
+        Casualty, FaultKind, FaultPlan, FaultSite, FaultSpec, FaultyOracle, FaultyTrainer,
+        RetryPolicy,
+    };
     pub use crate::ids::{DatasetId, ModelId};
     pub use crate::matrix::PerformanceMatrix;
     pub use crate::parallel::ParallelConfig;

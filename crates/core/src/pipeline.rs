@@ -18,6 +18,7 @@ use crate::cluster::kmeans::{kmeans, KMeansConfig};
 use crate::cluster::Clustering;
 use crate::curve::CurveSet;
 use crate::error::{Result, SelectionError};
+use crate::fault::Casualty;
 use crate::matrix::PerformanceMatrix;
 use crate::parallel::ParallelConfig;
 use crate::proxy::leep::leep;
@@ -283,6 +284,11 @@ pub struct PipelineOutcome {
     /// field existed.
     #[serde(default)]
     pub counters: PipelineCounters,
+    /// Models quarantined across both phases (recall first, then
+    /// fine-selection in stage order). Empty on a fault-free run; defaults
+    /// for artifacts serialized before the field existed.
+    #[serde(default)]
+    pub casualties: Vec<Casualty>,
 }
 
 /// Run the full online pipeline for one target task.
@@ -341,11 +347,18 @@ pub fn two_phase_select_traced(
     ledger.charge_proxy(recall.proxy_epochs);
     ledger.merge(&selection.ledger);
     let counters = PipelineCounters::from_phases(&recall, &selection, &ledger);
+    let casualties: Vec<Casualty> = recall
+        .casualties
+        .iter()
+        .chain(&selection.casualties)
+        .cloned()
+        .collect();
     Ok(PipelineOutcome {
         recall,
         selection,
         ledger,
         counters,
+        casualties,
     })
 }
 

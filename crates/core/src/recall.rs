@@ -14,7 +14,8 @@
 //! The top-K models by recall score advance to fine-selection.
 
 use crate::cluster::Clustering;
-use crate::error::{Result, SelectionError};
+use crate::error::{FaultClass, Result, SelectionError};
+use crate::fault::{Casualty, RetryPolicy};
 use crate::ids::ModelId;
 use crate::matrix::PerformanceMatrix;
 use crate::proxy::normalize_scores;
@@ -30,6 +31,11 @@ pub struct RecallConfig {
     /// Epoch-equivalents charged per proxy-score computation. The paper
     /// counts inference as half a training epoch (§V-D: `0.5 · |MC|`).
     pub proxy_epoch_cost: f64,
+    /// How transient proxy-eval failures are retried before the cluster is
+    /// quarantined (every attempt, failed or not, is charged
+    /// `proxy_epoch_cost`).
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl Default for RecallConfig {
@@ -37,6 +43,7 @@ impl Default for RecallConfig {
         Self {
             top_k: 10,
             proxy_epoch_cost: 0.5,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -54,8 +61,15 @@ pub struct RecallOutcome {
     pub cluster_proxy: Vec<Option<f64>>,
     /// Representative model per cluster.
     pub representatives: Vec<ModelId>,
-    /// Epoch-equivalents spent computing proxy scores.
+    /// Epoch-equivalents spent computing proxy scores (every attempt is
+    /// charged, including retried and permanently-failed ones).
     pub proxy_epochs: f64,
+    /// Representatives whose proxy eval failed permanently (or exhausted
+    /// retries, or returned a non-finite score). Their clusters fall back
+    /// to the Eq. 4 propagated score. Empty on fault-free runs; pre-fault
+    /// JSON deserialises to empty.
+    #[serde(default)]
+    pub casualties: Vec<Casualty>,
 }
 
 impl RecallOutcome {
@@ -81,18 +95,22 @@ pub fn coarse_recall(
 ) -> Result<RecallOutcome> {
     let (representatives, scored_clusters) =
         prepare_recall(matrix, clustering, similarity, config)?;
-    let mut raw = Vec::with_capacity(scored_clusters.len());
-    for &c in &scored_clusters {
-        raw.push(proxy_for(representatives[c])?);
-    }
+    let first: Vec<Option<Result<f64>>> = vec![None; scored_clusters.len()];
+    let resolved = resolve_scores(
+        &representatives,
+        &scored_clusters,
+        first,
+        &mut proxy_for,
+        config.retry,
+        &Telemetry::disabled(),
+    )?;
     finish_recall(
         matrix,
         clustering,
         similarity,
         config,
         representatives,
-        scored_clusters,
-        raw,
+        resolved,
     )
 }
 
@@ -141,29 +159,135 @@ pub fn coarse_recall_par_traced(
     let (representatives, scored_clusters) =
         prepare_recall(matrix, clustering, similarity, config)?;
     tel.add("recall.candidates", matrix.n_models() as f64);
-    tel.add("recall.proxy_evals", scored_clusters.len() as f64);
     // Fan-out width of the proxy-scoring stage — deterministic, so its
     // histogram participates in drift gates and serial≡parallel checks.
     tel.observe("recall.fanout_width", scored_clusters.len() as f64);
-    let raw = {
+    let resolved = {
         let _scoring = tel.span("recall.proxy_scoring");
-        crate::parallel::try_map_indexed(&scored_clusters, threads, |_, &c| {
-            proxy_for(representatives[c])
-        })?
+        // First attempt per representative fans out across the workers;
+        // retries and quarantine decisions run serially afterwards, in
+        // cluster order, so the outcome is bit-identical to the serial
+        // call for any thread count.
+        let first: Vec<Option<Result<f64>>> =
+            crate::parallel::map_indexed(&scored_clusters, threads, |_, &c| {
+                Some(proxy_for(representatives[c]))
+            });
+        resolve_scores(
+            &representatives,
+            &scored_clusters,
+            first,
+            &mut |rep| proxy_for(rep),
+            config.retry,
+            tel,
+        )?
     };
+    tel.add("recall.proxy_evals", resolved.attempts as f64);
+    if !resolved.casualties.is_empty() {
+        tel.add("recall.quarantined", resolved.casualties.len() as f64);
+    }
     let out = finish_recall(
         matrix,
         clustering,
         similarity,
         config,
         representatives,
-        scored_clusters,
-        raw,
+        resolved,
     )?;
     tel.add("recall.proxy_epochs", out.proxy_epochs);
     tel.add("recall.recalled", out.recalled.len() as f64);
     tel.observe("recall.proxy_epochs_per_call", out.proxy_epochs);
     Ok(out)
+}
+
+/// Proxy scores that survived the retry/quarantine pass, plus the cost and
+/// casualty bookkeeping the pass produced.
+struct ResolvedScores {
+    /// Clusters whose representative produced a usable raw score.
+    clusters: Vec<usize>,
+    /// The raw scores, aligned with `clusters`.
+    raw: Vec<f64>,
+    /// Representatives lost on the way.
+    casualties: Vec<Casualty>,
+    /// Total proxy-eval attempts, successful or not — the quantity the
+    /// paper's `0.5 · |MC|` accounting is charged on.
+    attempts: usize,
+}
+
+/// Walk the scored clusters in order, resolving each representative's proxy
+/// score with bounded retries. `first` optionally carries an already-made
+/// first attempt per cluster (the parallel fan-out); `None` entries are
+/// attempted lazily, which preserves the serial entry point's
+/// short-circuiting. Transient failures are re-attempted via `attempt` up
+/// to `retry.max_attempts` total; permanent failures, exhausted retries,
+/// and non-finite scores quarantine the representative (its cluster drops
+/// to the Eq. 4 fallback). Fatal errors propagate unchanged.
+fn resolve_scores(
+    representatives: &[ModelId],
+    scored_clusters: &[usize],
+    first: Vec<Option<Result<f64>>>,
+    attempt: &mut dyn FnMut(ModelId) -> Result<f64>,
+    retry: RetryPolicy,
+    tel: &Telemetry,
+) -> Result<ResolvedScores> {
+    let mut resolved = ResolvedScores {
+        clusters: Vec::with_capacity(scored_clusters.len()),
+        raw: Vec::with_capacity(scored_clusters.len()),
+        casualties: Vec::new(),
+        attempts: 0,
+    };
+    for (&c, pre) in scored_clusters.iter().zip(first) {
+        let rep = representatives[c];
+        let mut tries = 1u32;
+        let mut outcome = pre.unwrap_or_else(|| attempt(rep));
+        resolved.attempts += 1;
+        let quarantined_by = loop {
+            match outcome {
+                Ok(v) if v.is_finite() => {
+                    resolved.clusters.push(c);
+                    resolved.raw.push(v);
+                    break None;
+                }
+                Ok(v) => {
+                    tel.add("fault.corrupt_value", 1.0);
+                    break Some(SelectionError::permanent_fault(
+                        "oracle.proxy",
+                        rep.index(),
+                        SelectionError::InvalidValue {
+                            what: "proxy score",
+                            value: v,
+                        },
+                    ));
+                }
+                Err(e) => match e.classify() {
+                    FaultClass::Fatal => return Err(e),
+                    FaultClass::Transient if tries < retry.max_attempts => {
+                        tel.add("fault.transient", 1.0);
+                        tel.add("retry.attempts", 1.0);
+                        tries += 1;
+                        resolved.attempts += 1;
+                        outcome = attempt(rep);
+                    }
+                    FaultClass::Transient => {
+                        tel.add("fault.transient", 1.0);
+                        break Some(e);
+                    }
+                    FaultClass::Permanent => {
+                        tel.add("fault.permanent", 1.0);
+                        break Some(e);
+                    }
+                },
+            }
+        };
+        if let Some(cause) = quarantined_by {
+            let casualty = Casualty::new(rep, "recall", &cause);
+            tel.casualty(&casualty);
+            resolved.casualties.push(casualty);
+        }
+    }
+    if resolved.clusters.is_empty() {
+        return Err(SelectionError::Empty("surviving proxy-scored clusters"));
+    }
+    Ok(resolved)
 }
 
 /// Shared validation + representative/cluster bookkeeping for both recall
@@ -214,9 +338,14 @@ fn finish_recall(
     similarity: &SimilarityMatrix,
     config: &RecallConfig,
     representatives: Vec<ModelId>,
-    scored_clusters: Vec<usize>,
-    raw: Vec<f64>,
+    resolved: ResolvedScores,
 ) -> Result<RecallOutcome> {
+    let ResolvedScores {
+        clusters: scored_clusters,
+        raw,
+        casualties,
+        attempts,
+    } = resolved;
     let n = matrix.n_models();
     let norm = normalize_scores(&raw);
     let mut cluster_proxy: Vec<Option<f64>> = vec![None; clustering.n_clusters()];
@@ -257,7 +386,8 @@ fn finish_recall(
         recalled,
         cluster_proxy,
         representatives,
-        proxy_epochs: config.proxy_epoch_cost * scored_clusters.len() as f64,
+        proxy_epochs: config.proxy_epoch_cost * attempts as f64,
+        casualties,
     })
 }
 

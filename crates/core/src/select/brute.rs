@@ -5,6 +5,7 @@
 use super::{advance_pool, finish, validate_pool, SelectionOutcome};
 use crate::budget::EpochLedger;
 use crate::error::Result;
+use crate::fault::{Casualty, RetryPolicy};
 use crate::ids::ModelId;
 use crate::telemetry::Telemetry;
 use crate::traits::TargetTrainer;
@@ -49,17 +50,34 @@ pub fn brute_force_traced(
 ) -> Result<SelectionOutcome> {
     validate_pool(models, total_stages)?;
     let _span = tel.span("select.brute");
+    let retry = RetryPolicy::default();
     let mut ledger = EpochLedger::new();
+    let mut pool: Vec<ModelId> = models.to_vec();
     let mut pool_history = Vec::with_capacity(total_stages);
     let mut val_history = Vec::with_capacity(total_stages);
     let mut last_vals = Vec::new();
+    let mut casualties: Vec<Casualty> = Vec::new();
     for t in 0..total_stages {
         let _stage = tel.span("select.stage");
         tel.incr("bf.stages");
-        tel.add_stage("bf", t, "pool", models.len() as f64);
-        tel.observe("bf.stage_pool_width", models.len() as f64);
-        pool_history.push(models.to_vec());
-        last_vals = advance_pool(trainer, models, &mut ledger, threads, tel)?;
+        pool_history.push(pool.clone());
+        let adv = advance_pool(
+            trainer,
+            &pool,
+            &mut ledger,
+            threads,
+            tel,
+            retry,
+            &format!("bf.stage{t}"),
+        )?;
+        last_vals = adv.vals;
+        if !adv.casualties.is_empty() {
+            tel.add_stage("bf", t, "quarantined", adv.casualties.len() as f64);
+            casualties.extend(adv.casualties);
+            pool = last_vals.iter().map(|&(m, _)| m).collect();
+        }
+        tel.add_stage("bf", t, "pool", pool.len() as f64);
+        tel.observe("bf.stage_pool_width", pool.len() as f64);
         val_history.push(last_vals.clone());
     }
     finish(
@@ -69,6 +87,10 @@ pub fn brute_force_traced(
         pool_history,
         val_history,
         Vec::new(),
+        casualties,
+        retry,
+        "bf",
+        tel,
     )
 }
 

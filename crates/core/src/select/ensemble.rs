@@ -60,16 +60,23 @@ pub fn fine_selection_ensemble(
     let mut pool: Vec<ModelId> = models.to_vec();
     let mut pool_history = Vec::with_capacity(total_stages);
     let mut last_vals = Vec::new();
+    let tel = crate::telemetry::Telemetry::disabled();
 
     for t in 0..total_stages {
         pool_history.push(pool.clone());
-        last_vals = advance_pool(
+        let adv = advance_pool(
             trainer,
             &pool,
             &mut ledger,
             1,
-            &crate::telemetry::Telemetry::disabled(),
+            &tel,
+            config.retry,
+            &format!("ensemble.stage{t}"),
         )?;
+        last_vals = adv.vals;
+        if !adv.casualties.is_empty() {
+            pool = last_vals.iter().map(|&(m, _)| m).collect();
+        }
         if pool.len() > ensemble_size {
             let survivors = fine_filter(&last_vals, t, trends, config.threshold);
             // Halving cap, floored at the ensemble size.

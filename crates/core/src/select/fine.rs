@@ -15,6 +15,7 @@ use super::{
 };
 use crate::budget::EpochLedger;
 use crate::error::{Result, SelectionError};
+use crate::fault::{Casualty, RetryPolicy};
 use crate::ids::ModelId;
 use crate::telemetry::Telemetry;
 use crate::traits::TargetTrainer;
@@ -30,11 +31,18 @@ pub struct FineSelectionConfig {
     /// ("we uniformly use a 0% threshold"); larger values filter later but
     /// safer.
     pub threshold: f64,
+    /// How transient substrate failures during stage training and the final
+    /// test read are retried before the model is quarantined.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl Default for FineSelectionConfig {
     fn default() -> Self {
-        Self { threshold: 0.0 }
+        Self {
+            threshold: 0.0,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -108,14 +116,39 @@ pub fn fine_selection_traced(
     let mut val_history = Vec::with_capacity(total_stages);
     let mut last_vals = Vec::new();
     let mut events = Vec::new();
+    let mut casualties: Vec<Casualty> = Vec::new();
 
     for t in 0..total_stages {
         let _stage = tel.span("select.stage");
         tel.incr("fine.stages");
+        pool_history.push(pool.clone());
+        let adv = advance_pool(
+            trainer,
+            &pool,
+            &mut ledger,
+            threads,
+            tel,
+            config.retry,
+            &format!("fine.stage{t}"),
+        )?;
+        last_vals = adv.vals;
+        // Quarantined models leave the pool before any accounting: the
+        // per-stage counters (and the filter-at-least-half invariant they
+        // feed) describe the models that actually produced a validation.
+        if !adv.casualties.is_empty() {
+            tel.add_stage("fine", t, "quarantined", adv.casualties.len() as f64);
+            for c in &adv.casualties {
+                events.push(FilterEvent {
+                    stage: t,
+                    model: c.model,
+                    reason: FilterReason::Quarantined,
+                });
+            }
+            casualties.extend(adv.casualties);
+            pool = last_vals.iter().map(|&(m, _)| m).collect();
+        }
         tel.add_stage("fine", t, "pool", pool.len() as f64);
         tel.observe("fine.stage_pool_width", pool.len() as f64);
-        pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger, threads, tel)?;
         val_history.push(last_vals.clone());
         if pool.len() > 1 {
             // Fine-filter: drop models dominated in (validation, prediction).
@@ -169,6 +202,10 @@ pub fn fine_selection_traced(
         pool_history,
         val_history,
         events,
+        casualties,
+        config.retry,
+        "fine",
+        tel,
     )
 }
 
@@ -233,8 +270,11 @@ pub fn fine_filter_traced(
     survivors.reverse(); // best validation first
     if survivors.is_empty() {
         // Unreachable (the best-validating model is never dominated), but
-        // keep the invariant explicit.
-        survivors.push(asc.last().expect("non-empty vals").0);
+        // keep the invariant explicit — and total on empty input rather
+        // than panicking on runtime data.
+        if let Some(&(best, _, _)) = asc.last() {
+            survivors.push(best);
+        }
     }
     (survivors, dominated_by)
 }
@@ -421,7 +461,10 @@ mod tests {
             &[ModelId(0)],
             1,
             &book,
-            &FineSelectionConfig { threshold: -0.1 },
+            &FineSelectionConfig {
+                threshold: -0.1,
+                ..Default::default()
+            },
         )
         .is_err());
         assert!(fine_selection(

@@ -8,10 +8,14 @@
 //! `Σ_t ⌊|M| / 2^t⌋` epochs — e.g. 10 models × 5 stages →
 //! `10 + 5 + 2 + 1 + 1 = 19` epochs, matching Table V.
 
-use super::{advance_pool, finish, record_cuts, top_by_val, validate_pool, SelectionOutcome};
+use super::{
+    advance_pool, finish, record_cuts, top_by_val, validate_pool, FilterEvent, FilterReason,
+    SelectionOutcome,
+};
 
 use crate::budget::EpochLedger;
 use crate::error::Result;
+use crate::fault::{Casualty, RetryPolicy};
 use crate::ids::ModelId;
 use crate::telemetry::Telemetry;
 use crate::traits::TargetTrainer;
@@ -56,20 +60,43 @@ pub fn successive_halving_traced(
 ) -> Result<SelectionOutcome> {
     validate_pool(models, total_stages)?;
     let _span = tel.span("select.halving");
+    let retry = RetryPolicy::default();
     let mut ledger = EpochLedger::new();
     let mut pool: Vec<ModelId> = models.to_vec();
     let mut pool_history = Vec::with_capacity(total_stages);
     let mut val_history = Vec::with_capacity(total_stages);
     let mut last_vals = Vec::new();
     let mut events = Vec::new();
+    let mut casualties: Vec<Casualty> = Vec::new();
 
     for t in 0..total_stages {
         let _stage = tel.span("select.stage");
         tel.incr("sh.stages");
+        pool_history.push(pool.clone());
+        let adv = advance_pool(
+            trainer,
+            &pool,
+            &mut ledger,
+            threads,
+            tel,
+            retry,
+            &format!("sh.stage{t}"),
+        )?;
+        last_vals = adv.vals;
+        if !adv.casualties.is_empty() {
+            tel.add_stage("sh", t, "quarantined", adv.casualties.len() as f64);
+            for c in &adv.casualties {
+                events.push(FilterEvent {
+                    stage: t,
+                    model: c.model,
+                    reason: FilterReason::Quarantined,
+                });
+            }
+            casualties.extend(adv.casualties);
+            pool = last_vals.iter().map(|&(m, _)| m).collect();
+        }
         tel.add_stage("sh", t, "pool", pool.len() as f64);
         tel.observe("sh.stage_pool_width", pool.len() as f64);
-        pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger, threads, tel)?;
         val_history.push(last_vals.clone());
         if pool.len() > 1 {
             let kept = top_by_val(&last_vals, pool.len() / 2);
@@ -91,6 +118,10 @@ pub fn successive_halving_traced(
         pool_history,
         val_history,
         events,
+        casualties,
+        retry,
+        "sh",
+        tel,
     )
 }
 
@@ -118,10 +149,33 @@ pub fn successive_halving_eta(
     let mut last_vals = Vec::new();
     let mut events = Vec::new();
 
+    let retry = RetryPolicy::default();
+    let tel = Telemetry::disabled();
+    let mut casualties: Vec<Casualty> = Vec::new();
     for t in 0..total_stages {
         pool_history.push(pool.clone());
-        last_vals = advance_pool(trainer, &pool, &mut ledger, 1, &Telemetry::disabled())?;
+        let adv = advance_pool(
+            trainer,
+            &pool,
+            &mut ledger,
+            1,
+            &tel,
+            retry,
+            &format!("sh-eta.stage{t}"),
+        )?;
+        last_vals = adv.vals;
         val_history.push(last_vals.clone());
+        if !adv.casualties.is_empty() {
+            for c in &adv.casualties {
+                events.push(FilterEvent {
+                    stage: t,
+                    model: c.model,
+                    reason: FilterReason::Quarantined,
+                });
+            }
+            casualties.extend(adv.casualties);
+            pool = last_vals.iter().map(|&(m, _)| m).collect();
+        }
         if pool.len() > 1 {
             let keep = ((pool.len() as f64 / eta).ceil() as usize).clamp(1, pool.len() - 1);
             let kept = top_by_val(&last_vals, keep);
@@ -141,6 +195,10 @@ pub fn successive_halving_eta(
         pool_history,
         val_history,
         events,
+        casualties,
+        retry,
+        "sh-eta",
+        &tel,
     )
 }
 

@@ -20,11 +20,13 @@ pub mod fine;
 pub mod halving;
 
 use crate::budget::EpochLedger;
-use crate::error::{Result, SelectionError};
+use crate::error::{FaultClass, Result, SelectionError};
+use crate::fault::{Casualty, RetryPolicy};
 use crate::ids::ModelId;
 use crate::telemetry::Telemetry;
 use crate::traits::TargetTrainer;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Why a model was removed from the candidate pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,6 +36,11 @@ pub enum FilterReason {
     DominatedBy(ModelId),
     /// The halving cap removed it: lowest validation among survivors.
     HalvingCut,
+    /// The resilience layer removed it: its training stage failed
+    /// permanently (or exhausted its retries), or it reported a
+    /// NaN/out-of-range validation. Details live in the matching
+    /// [`Casualty`] record.
+    Quarantined,
 }
 
 /// One removal decision, for selection explainability.
@@ -66,6 +73,11 @@ pub struct SelectionOutcome {
     pub val_history: Vec<Vec<(ModelId, f64)>>,
     /// Every removal decision, in order — the audit trail of the run.
     pub events: Vec<FilterEvent>,
+    /// Models lost to permanent substrate failures during this run, in the
+    /// order they were quarantined. Empty on fault-free runs; pre-fault
+    /// JSON deserialises to empty.
+    #[serde(default)]
+    pub casualties: Vec<Casualty>,
 }
 
 /// Shared input validation for the selectors.
@@ -89,11 +101,89 @@ pub(crate) fn validate_pool(models: &[ModelId], total_stages: usize) -> Result<(
     Ok(())
 }
 
+/// One resilient stage fan-out: the models that made it through plus the
+/// models quarantined on the way.
+pub(crate) struct StageAdvance {
+    /// `(model, validation accuracy)` for every model that trained and
+    /// reported a sane value, in pool order.
+    pub vals: Vec<(ModelId, f64)>,
+    /// Models lost this stage, in the order they were quarantined.
+    pub casualties: Vec<Casualty>,
+}
+
+/// A validation/test accuracy the pipeline is willing to rank on.
+fn sane_accuracy(v: f64) -> bool {
+    v.is_finite() && (0.0..=1.0).contains(&v)
+}
+
+/// Quarantine bookkeeping shared by the stage fan-out and the final test
+/// read: record the casualty on the trace and count the permanent fault.
+fn quarantine(
+    model: ModelId,
+    stage_label: &str,
+    cause: &SelectionError,
+    casualties: &mut Vec<Casualty>,
+    tel: &Telemetry,
+) {
+    let c = Casualty::new(model, stage_label, cause);
+    tel.casualty(&c);
+    casualties.push(c);
+}
+
+/// Decide how a failed substrate call is absorbed: `Ok(true)` means retry
+/// the call, `Ok(false)` means quarantine the model, `Err` means the error
+/// is fatal (or implicates no model) and must propagate. Transient retries
+/// charge deterministic backoff epochs to the ledger and are counted on the
+/// `retry.*` / `fault.*` counters (only when faults actually fire, so
+/// fault-free traces stay bit-identical to the pre-fault baseline).
+fn absorb_failure(
+    err: &SelectionError,
+    attempts: &mut HashMap<ModelId, u32>,
+    retry: RetryPolicy,
+    ledger: &mut EpochLedger,
+    tel: &Telemetry,
+) -> Result<bool> {
+    let model = match (err.classify(), err.fault_model()) {
+        (FaultClass::Fatal, _) | (_, None) => return Err(err.clone()),
+        (_, Some(m)) => ModelId::from(m),
+    };
+    match err.classify() {
+        FaultClass::Transient => {
+            tel.add("fault.transient", 1.0);
+            let seen = attempts.entry(model).or_insert(0);
+            *seen += 1;
+            if *seen < retry.max_attempts {
+                ledger.charge_retry(retry.backoff_epochs);
+                tel.add("retry.attempts", 1.0);
+                tel.add("retry.backoff_epochs", retry.backoff_epochs);
+                Ok(true)
+            } else {
+                Ok(false) // retries exhausted
+            }
+        }
+        FaultClass::Permanent => {
+            tel.add("fault.permanent", 1.0);
+            Ok(false)
+        }
+        FaultClass::Fatal => unreachable!("fatal handled above"),
+    }
+}
+
 /// Train every model in `pool` for one stage, recording validations and
 /// charging the ledger. With `threads > 1` the per-model stage fan-out is
 /// delegated to [`TargetTrainer::advance_many`], which substrates override
 /// with a deterministic parallel implementation; the ledger is charged
 /// identically either way.
+///
+/// Resilience: a failed fan-out is classified via
+/// [`SelectionError::classify`]. Transient failures are retried (bounded by
+/// `retry`, with deterministic backoff charged to the ledger's retry
+/// bucket); permanent or retry-exhausted failures quarantine the implicated
+/// model and the stage proceeds with the rest. Models that train but report
+/// a NaN/out-of-range validation are quarantined the same way — the ledger
+/// *is* charged for them (the epochs were spent), keeping
+/// `select.train_epochs` reconciled with the trainer's own stage count.
+/// Losing the whole pool is an error.
 ///
 /// Telemetry: opens a `select.stage.train` span around the fan-out, adds
 /// the epochs charged this stage to the `select.train_epochs` counter, and
@@ -105,49 +195,139 @@ pub(crate) fn advance_pool(
     ledger: &mut EpochLedger,
     threads: usize,
     tel: &Telemetry,
-) -> Result<Vec<(ModelId, f64)>> {
+    retry: RetryPolicy,
+    stage_label: &str,
+) -> Result<StageAdvance> {
     let _span = tel.span("select.stage.train");
     // Only read the clock when a sink is attached — a disabled handle
     // must stay free of clock syscalls on the hot path.
     let started = tel.enabled().then(std::time::Instant::now);
-    let vals = trainer.advance_many(pool, threads)?;
+    let mut remaining: Vec<ModelId> = pool.to_vec();
+    let mut casualties = Vec::new();
+    let mut attempts: HashMap<ModelId, u32> = HashMap::new();
+    let vals = loop {
+        if remaining.is_empty() {
+            return Err(SelectionError::Empty("surviving candidate pool"));
+        }
+        match trainer.advance_many(&remaining, threads) {
+            Ok(vals) => break vals,
+            Err(e) => {
+                if absorb_failure(&e, &mut attempts, retry, ledger, tel)? {
+                    continue; // transient: same pool, one backoff charged
+                }
+                let dead = ModelId::from(e.fault_model().expect("absorb checked"));
+                quarantine(dead, stage_label, &e, &mut casualties, tel);
+                remaining.retain(|&m| m != dead);
+            }
+        }
+    };
     if let Some(t0) = started {
         tel.observe("select.stage_train_us", t0.elapsed().as_micros() as f64);
     }
-    for _ in pool {
+    // Every remaining model trained this stage (a failed advance_many batch
+    // is all-or-nothing per the TargetTrainer contract), so all of them are
+    // charged — including any about to be quarantined for a garbage value.
+    for _ in &remaining {
         ledger.charge_training(trainer.epochs_per_stage());
     }
     tel.add(
         "select.train_epochs",
-        trainer.epochs_per_stage() * pool.len() as f64,
+        trainer.epochs_per_stage() * remaining.len() as f64,
     );
-    Ok(pool.iter().copied().zip(vals).collect())
+    let mut out = Vec::with_capacity(remaining.len());
+    for (m, v) in remaining.iter().copied().zip(vals) {
+        if sane_accuracy(v) {
+            out.push((m, v));
+        } else {
+            tel.add("fault.corrupt_value", 1.0);
+            let cause = SelectionError::permanent_fault(
+                "trainer.advance",
+                m.index(),
+                SelectionError::InvalidValue {
+                    what: "stage validation accuracy",
+                    value: v,
+                },
+            );
+            quarantine(m, stage_label, &cause, &mut casualties, tel);
+        }
+    }
+    if out.is_empty() {
+        return Err(SelectionError::Empty("surviving candidate pool"));
+    }
+    Ok(StageAdvance {
+        vals: out,
+        casualties,
+    })
 }
 
 /// Final bookkeeping shared by every selector: the winner is the pool's best
 /// validation performer; its test accuracy is read at its current state.
+///
+/// Resilience: the test read follows the same retry/quarantine rules as the
+/// stage fan-out. If the best candidate's test read dies permanently it is
+/// quarantined (recorded as a `{phase}.final` casualty) and the next-best
+/// finalist is tested instead; the run only fails once every finalist is
+/// dead.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish(
     trainer: &mut dyn TargetTrainer,
     last_vals: &[(ModelId, f64)],
-    ledger: EpochLedger,
+    mut ledger: EpochLedger,
     pool_history: Vec<Vec<ModelId>>,
     val_history: Vec<Vec<(ModelId, f64)>>,
     events: Vec<FilterEvent>,
+    mut casualties: Vec<Casualty>,
+    retry: RetryPolicy,
+    phase: &str,
+    tel: &Telemetry,
 ) -> Result<SelectionOutcome> {
-    let &(winner, winner_val) = last_vals
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
-        .ok_or(SelectionError::Empty("final validation pool"))?;
-    let winner_test = trainer.test(winner)?;
-    Ok(SelectionOutcome {
-        winner,
-        winner_val,
-        winner_test,
-        ledger,
-        pool_history,
-        val_history,
-        events,
-    })
+    if last_vals.is_empty() {
+        return Err(SelectionError::Empty("final validation pool"));
+    }
+    let mut ranked = last_vals.to_vec();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let stage_label = format!("{phase}.final");
+    let mut attempts: HashMap<ModelId, u32> = HashMap::new();
+    for &(winner, winner_val) in &ranked {
+        let winner_test = loop {
+            match trainer.test(winner) {
+                Ok(v) if sane_accuracy(v) => break Some(v),
+                Ok(v) => {
+                    tel.add("fault.corrupt_value", 1.0);
+                    let cause = SelectionError::permanent_fault(
+                        "trainer.test",
+                        winner.index(),
+                        SelectionError::InvalidValue {
+                            what: "test accuracy",
+                            value: v,
+                        },
+                    );
+                    quarantine(winner, &stage_label, &cause, &mut casualties, tel);
+                    break None;
+                }
+                Err(e) => {
+                    if absorb_failure(&e, &mut attempts, retry, &mut ledger, tel)? {
+                        continue;
+                    }
+                    quarantine(winner, &stage_label, &e, &mut casualties, tel);
+                    break None;
+                }
+            }
+        };
+        if let Some(winner_test) = winner_test {
+            return Ok(SelectionOutcome {
+                winner,
+                winner_val,
+                winner_test,
+                ledger,
+                pool_history,
+                val_history,
+                events,
+                casualties,
+            });
+        }
+    }
+    Err(SelectionError::Empty("testable finalists"))
 }
 
 /// Record `HalvingCut` events for every model in `before` missing from

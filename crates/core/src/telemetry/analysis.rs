@@ -253,6 +253,7 @@ pub fn baseline_of(report: &TraceReport) -> TraceReport {
         counters: report.counters.clone(),
         histograms: report.deterministic_histograms(),
         completed: report.completed,
+        casualties: report.casualties.clone(),
     }
 }
 

@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod openmetrics;
 pub mod toml_lite;
 
+use crate::fault::Casualty;
 use metrics::{HistogramSnapshot, MetricsRegistry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -73,8 +74,10 @@ use std::time::Instant;
 /// Version stamp written into every [`TraceReport`], so downstream tooling
 /// can detect schema changes. Version 2 added `histograms` and
 /// `completed`; version-1 traces deserialize with empty histograms and
-/// `completed == true`.
-pub const TRACE_SCHEMA_VERSION: u32 = 2;
+/// `completed == true`. Version 3 added `casualties` (models quarantined by
+/// the fault/resilience layer); version-2 traces deserialize with an empty
+/// casualty list.
+pub const TRACE_SCHEMA_VERSION: u32 = 3;
 
 /// Receives telemetry events. Implementations must be thread-safe:
 /// counters can be recorded from parallel workers (spans cannot — they are
@@ -95,6 +98,12 @@ pub trait TelemetrySink: Send + Sync {
     /// no-op so pre-existing sinks keep compiling.
     fn observe(&self, name: &str, value: f64) {
         let _ = (name, value);
+    }
+
+    /// Record a model quarantined by the resilience layer. Default is a
+    /// no-op so pre-existing sinks keep compiling.
+    fn casualty(&self, casualty: &Casualty) {
+        let _ = casualty;
     }
 }
 
@@ -180,6 +189,13 @@ impl Telemetry {
             sink.add(&stage_counter(prefix, stage, suffix), value);
         }
     }
+
+    /// Record a quarantined model on the trace.
+    pub fn casualty(&self, casualty: &Casualty) {
+        if let Some(sink) = self.sink.as_deref() {
+            sink.casualty(casualty);
+        }
+    }
 }
 
 /// Build the canonical per-stage counter name
@@ -257,6 +273,10 @@ pub struct TraceReport {
     /// default to `true`.
     #[serde(default = "default_completed")]
     pub completed: bool,
+    /// Models quarantined by the fault/resilience layer, in the order they
+    /// were lost. Empty on fault-free runs and for pre-version-3 traces.
+    #[serde(default)]
+    pub casualties: Vec<Casualty>,
 }
 
 impl TraceReport {
@@ -269,6 +289,7 @@ impl TraceReport {
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
             completed: true,
+            casualties: Vec::new(),
         }
     }
 
@@ -317,6 +338,7 @@ struct RecordingState {
     roots: Vec<SpanRecord>,
     counters: BTreeMap<String, f64>,
     metrics: MetricsRegistry,
+    casualties: Vec<Casualty>,
     next_token: u64,
 }
 
@@ -355,6 +377,7 @@ impl RecordingSink {
             counters: state.counters.clone(),
             histograms: state.metrics.snapshots(),
             completed: true,
+            casualties: state.casualties.clone(),
         }
     }
 }
@@ -394,6 +417,10 @@ impl TelemetrySink for RecordingSink {
 
     fn observe(&self, name: &str, value: f64) {
         self.state.lock().metrics.observe(name, value);
+    }
+
+    fn casualty(&self, casualty: &Casualty) {
+        self.state.lock().casualties.push(casualty.clone());
     }
 }
 
@@ -538,7 +565,47 @@ mod tests {
         let report: TraceReport = serde_json::from_str(json).unwrap();
         assert!(report.completed);
         assert!(report.histograms.is_empty());
+        assert!(report.casualties.is_empty());
         assert_eq!(report.counter("a"), Some(1.0));
+    }
+
+    #[test]
+    fn version2_trace_json_deserializes_with_empty_casualties() {
+        // A trace written before the fault layer existed.
+        let json =
+            r#"{"version":2,"spans":[],"counters":{"a":1.0},"histograms":{},"completed":false}"#;
+        let report: TraceReport = serde_json::from_str(json).unwrap();
+        assert!(!report.completed);
+        assert!(report.casualties.is_empty());
+        assert_eq!(report.counter("a"), Some(1.0));
+    }
+
+    #[test]
+    fn casualties_record_in_loss_order_and_round_trip() {
+        use crate::ids::ModelId;
+        let (tel, sink) = Telemetry::recording();
+        Telemetry::disabled().casualty(&Casualty {
+            model: ModelId(9),
+            stage: "nowhere".into(),
+            cause: "ignored".into(),
+        }); // disabled handle: no-op
+        tel.casualty(&Casualty {
+            model: ModelId(3),
+            stage: "recall".into(),
+            cause: "permanent substrate failure".into(),
+        });
+        tel.casualty(&Casualty {
+            model: ModelId(1),
+            stage: "fine.stage2".into(),
+            cause: "retries exhausted".into(),
+        });
+        let report = sink.report();
+        assert_eq!(report.casualties.len(), 2);
+        assert_eq!(report.casualties[0].model, ModelId(3));
+        assert_eq!(report.casualties[1].stage, "fine.stage2");
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -762,6 +762,47 @@ mod tests {
     }
 
     #[test]
+    fn faulted_advance_many_reports_first_pool_order_model() {
+        use tps_core::error::FaultClass;
+        use tps_core::fault::{FaultKind, FaultPlan, FaultSite, FaultSpec, FaultyTrainer};
+        let zoo = small_zoo();
+        // Faults on m0 and m5; the pool lists m5 first, so the batch must
+        // report m5 for any thread count, not the lowest faulted id.
+        let plan = FaultPlan::new(vec![
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(0),
+                attempt: 0,
+                kind: FaultKind::Permanent,
+            },
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(5),
+                attempt: 0,
+                kind: FaultKind::Transient,
+            },
+        ]);
+        let pool = vec![ModelId(5), ModelId(2), ModelId(0), ModelId(7)];
+        for threads in [1, 4] {
+            let mut t = FaultyTrainer::new(zoo.trainer(0).unwrap(), plan.clone());
+            let err = t.advance_many(&pool, threads).unwrap_err();
+            assert_eq!(err.fault_model(), Some(5), "threads={threads}");
+            assert_eq!(err.classify(), FaultClass::Transient);
+            // Transactional: the failed batch started no sessions and
+            // trained no epochs.
+            for &m in &pool {
+                assert_eq!(t.stages_trained(m), 0, "threads={threads}");
+            }
+            // The failed batch consumed every model's scripted attempt, so
+            // the retry batch is clean and matches an unwrapped serial run.
+            let vals = t.advance_many(&pool, threads).unwrap();
+            let mut plain = zoo.trainer(0).unwrap();
+            let expected: Vec<f64> = pool.iter().map(|&m| plain.advance(m).unwrap()).collect();
+            assert_eq!(vals, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn generation_is_deterministic() {
         let a = small_zoo();
         let b = small_zoo();

@@ -255,6 +255,46 @@ mod tests {
     }
 
     #[test]
+    fn faulted_advance_many_reports_first_pool_order_model() {
+        use tps_core::error::FaultClass;
+        use tps_core::fault::{FaultKind, FaultPlan, FaultSite, FaultSpec, FaultyTrainer};
+        let w = World::cv(5);
+        // Faults on m1 and m3; the pool lists m3 first, so the batch must
+        // report m3 for any thread count, not the lowest faulted id.
+        let plan = FaultPlan::new(vec![
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(1),
+                attempt: 0,
+                kind: FaultKind::Transient,
+            },
+            FaultSpec {
+                site: FaultSite::Advance,
+                model: ModelId(3),
+                attempt: 0,
+                kind: FaultKind::Permanent,
+            },
+        ]);
+        let pool = vec![ModelId(3), ModelId(0), ModelId(1), ModelId(2)];
+        for threads in [1, 2, 4] {
+            let mut t = FaultyTrainer::new(ZooTrainer::new(&w, 0).unwrap(), plan.clone());
+            let err = t.advance_many(&pool, threads).unwrap_err();
+            assert_eq!(err.fault_model(), Some(3), "threads={threads}");
+            assert_eq!(err.classify(), FaultClass::Permanent);
+            // Transactional: the failed batch advanced nobody.
+            for &m in &pool {
+                assert_eq!(t.stages_trained(m), 0, "threads={threads}");
+            }
+            // The failed batch consumed every model's scripted attempt, so
+            // the retry batch is clean and matches an unwrapped serial run.
+            let vals = t.advance_many(&pool, threads).unwrap();
+            let mut plain = ZooTrainer::new(&w, 0).unwrap();
+            let expected: Vec<f64> = pool.iter().map(|&m| plain.advance(m).unwrap()).collect();
+            assert_eq!(vals, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn test_before_training_is_an_error() {
         let w = World::cv(5);
         let mut t = ZooTrainer::new(&w, 0).unwrap();

@@ -48,6 +48,11 @@ fn main() -> Result<()> {
                 event.stage + 1,
                 name(event.model)
             ),
+            FilterReason::Quarantined => println!(
+                "  stage {}: dropped {:<55} quarantined after a permanent training fault",
+                event.stage + 1,
+                name(event.model)
+            ),
         }
     }
 

@@ -27,4 +27,19 @@ cargo run -q -p tps-bench --release --bin repro -- smoke \
 ./target/release/tps trace diff results/baselines/smoke-counters.json \
   "$trace_tmp/smoke-trace.json"
 
+echo "==> chaos fault-injection gate (repro chaos -> tps trace)"
+# The chaos experiment injects transient + permanent faults into the smoke
+# world; the run must still complete, quarantine the casualties, and obey
+# every budget rule (including the retry-accounting ones).
+cargo run -q -p tps-bench --release --bin repro -- chaos \
+  --trace-out "$trace_tmp/chaos-trace.json" > /dev/null
+./target/release/tps trace check "$trace_tmp/chaos-trace.json" \
+  --budgets budgets.toml
+grep -q '"completed": true' "$trace_tmp/chaos-trace.json" \
+  || { echo "chaos trace did not complete"; exit 1; }
+if grep -q '"casualties": \[\]' "$trace_tmp/chaos-trace.json"; then
+  echo "chaos trace recorded no casualties despite injected faults"
+  exit 1
+fi
+
 echo "verify: OK"

@@ -1,0 +1,125 @@
+//! Chaos-layer integration tests: the fault-injection wrappers must be
+//! invisible when no fault fires, and a permanent mid-run fault must
+//! degrade the pipeline exactly as if the dead model had never entered it.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tps_bench::WorldBundle;
+use tps_core::fault::{FaultKind, FaultPlan, FaultSite, FaultSpec, FaultyOracle, FaultyTrainer};
+use tps_core::ids::ModelId;
+use tps_core::parallel::ParallelConfig;
+use tps_core::pipeline::{two_phase_select_traced, PipelineConfig, PipelineOutcome};
+use tps_core::select::halving::successive_halving;
+use tps_core::select::FilterReason;
+use tps_core::telemetry::{analysis, Telemetry, TraceReport};
+use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
+
+/// One traced pipeline run, optionally behind the fault wrappers.
+fn run(
+    bundle: &WorldBundle,
+    plan: Option<&FaultPlan>,
+    threads: usize,
+) -> (PipelineOutcome, TraceReport) {
+    let (tel, sink) = Telemetry::recording();
+    let config = PipelineConfig {
+        total_stages: bundle.world.stages,
+        parallel: ParallelConfig::with_threads(threads),
+        ..Default::default()
+    };
+    let oracle = ZooOracle::new(&bundle.world, 0).unwrap();
+    let trainer = ZooTrainer::new(&bundle.world, 0)
+        .unwrap()
+        .with_telemetry(tel.clone());
+    let out = match plan {
+        None => {
+            let mut trainer = trainer;
+            two_phase_select_traced(&bundle.artifacts, &oracle, &mut trainer, &config, &tel)
+        }
+        Some(p) => {
+            let shared = Arc::new(p.clone());
+            let oracle = FaultyOracle::with_shared_plan(oracle, shared.clone());
+            let mut trainer = FaultyTrainer::with_shared_plan(trainer, shared);
+            two_phase_select_traced(&bundle.artifacts, &oracle, &mut trainer, &config, &tel)
+        }
+    }
+    .unwrap();
+    (out, sink.report())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// An empty fault plan is transparent: for any world seed and for both
+    /// serial and parallel execution, the wrapped run is bit-identical to
+    /// the unwrapped one — same outcome (winner, ledger, counters) and the
+    /// same deterministic trace payload, with no casualties.
+    #[test]
+    fn empty_fault_plan_is_transparent(seed in 0u64..1_000) {
+        let world = World::synthetic(&SyntheticConfig {
+            seed,
+            n_families: 3,
+            family_size: (2, 3),
+            n_singletons: 4,
+            n_benchmarks: 8,
+            n_targets: 1,
+            stages: 4,
+        });
+        let bundle = WorldBundle::from_world(world);
+        for threads in [1, 4] {
+            let (base_out, base_trace) = run(&bundle, None, threads);
+            let (out, trace) = run(&bundle, Some(&FaultPlan::empty()), threads);
+            prop_assert_eq!(&out, &base_out, "outcome drifted (threads={})", threads);
+            let drift = analysis::diff(&base_trace, &trace, 0.0);
+            prop_assert!(
+                drift.is_clean(),
+                "trace drifted (threads={}):\n{}",
+                threads,
+                analysis::render_diff(&drift)
+            );
+            prop_assert!(trace.casualties.is_empty());
+        }
+    }
+}
+
+/// A permanent training fault mid-halving quarantines the model and leaves
+/// the rest of the run exactly as if the casualty had never been in the
+/// pool: same winner, picked at the same test accuracy.
+#[test]
+fn mid_halving_permanent_fault_matches_dropping_the_model_upfront() {
+    let world = World::cv(5);
+    let stages = 4;
+    let pool: Vec<ModelId> = (0..12).map(ModelId::from).collect();
+    let mut clean = ZooTrainer::new(&world, 0).unwrap();
+    let clean_out = successive_halving(&mut clean, &pool, stages).unwrap();
+
+    // Kill a model that reached the stage-2 pool but is not the winner. A
+    // fault-free stage is one clean batch, so every stage-2 survivor sits
+    // at attempt index 2 when that stage's batch runs.
+    let victim = *clean_out.pool_history[2]
+        .iter()
+        .find(|&&m| m != clean_out.winner)
+        .expect("stage-2 pool holds more than the winner");
+    let plan = FaultPlan::new(vec![FaultSpec {
+        site: FaultSite::Advance,
+        model: victim,
+        attempt: 2,
+        kind: FaultKind::Permanent,
+    }]);
+    let mut faulted = FaultyTrainer::new(ZooTrainer::new(&world, 0).unwrap(), plan);
+    let chaos_out = successive_halving(&mut faulted, &pool, stages).unwrap();
+
+    assert_eq!(chaos_out.casualties.len(), 1);
+    assert_eq!(chaos_out.casualties[0].model, victim);
+    assert_eq!(chaos_out.casualties[0].stage, "sh.stage2");
+    assert!(chaos_out
+        .events
+        .iter()
+        .any(|e| e.model == victim && e.stage == 2 && e.reason == FilterReason::Quarantined));
+
+    let without: Vec<ModelId> = pool.iter().copied().filter(|&m| m != victim).collect();
+    let mut reference = ZooTrainer::new(&world, 0).unwrap();
+    let reference_out = successive_halving(&mut reference, &without, stages).unwrap();
+    assert_eq!(chaos_out.winner, reference_out.winner);
+    assert_eq!(chaos_out.winner_test, reference_out.winner_test);
+    assert_eq!(chaos_out.winner, clean_out.winner);
+}

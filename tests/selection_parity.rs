@@ -192,7 +192,10 @@ fn threshold_sweep_never_decreases_epochs() {
             &pool,
             world.stages,
             &artifacts.trends,
-            &FineSelectionConfig { threshold },
+            &FineSelectionConfig {
+                threshold,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(

@@ -232,7 +232,13 @@ fn committed_budgets_pass_on_a_real_pipeline_trace() {
             "expected the committed rules to engage, got {:?}",
             outcome.passed
         );
-        assert!(outcome.skipped.is_empty(), "{:?}", outcome.skipped);
+        // A fault-free run records no fault/retry counters, so only the
+        // retry-accounting rules may skip.
+        assert!(
+            outcome.skipped.iter().all(|r| r.starts_with("retry-")),
+            "{:?}",
+            outcome.skipped
+        );
     }
 }
 
