@@ -6,6 +6,7 @@ pub mod clustering;
 pub mod curves;
 pub mod endtoend;
 pub mod extensions;
+pub mod loadgen;
 pub mod recall;
 pub mod selection;
 pub mod smoke;
@@ -129,6 +130,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "chaos",
             "CI chaos: fault-injected run degrades gracefully",
             chaos::chaos,
+        ),
+        (
+            "loadgen",
+            "Service load test: concurrent clients vs the resident server",
+            loadgen::loadgen,
         ),
     ]
 }

@@ -5,7 +5,7 @@
 use crate::args::{ArgError, ParsedArgs};
 use std::fmt::Write as _;
 use std::path::Path;
-use tps_core::fault::{FaultPlan, FaultyOracle, FaultyTrainer};
+use tps_core::fault::{self, FaultPlan};
 use tps_core::ids::ModelId;
 use tps_core::parallel::ParallelConfig;
 use tps_core::pipeline::{
@@ -85,6 +85,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "catalog" => cmd_catalog(args),
         "fsck" => cmd_fsck(args),
         "trace" => cmd_trace(args),
+        "serve" => cmd_serve(args),
+        "client" => cmd_client(args),
         "help" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; try `tps help`"
@@ -99,14 +101,15 @@ tps — two-phase model selection (coarse-recall + fine-selection)
 
 commands:
   world    generate a synthetic world        --domain nlp|cv|synthetic [--seed N]
-                                             [--models N --benchmarks N] --out FILE
+                                             [--models N --benchmarks N --targets N
+                                             --stages N] --out FILE
   offline  build offline artifacts           --world FILE --out FILE [--top-k-sim N]
                                              [--threshold F] [--threads N]
                                              [--trace-out FILE]
   inspect  summarise offline artifacts       --artifacts FILE
   select   two-phase selection for a target  --world FILE --artifacts FILE
                                              --target NAME [--top-k N] [--threshold F]
-                                             [--threads N] [--trace-out FILE]
+                                             [--stages N] [--threads N] [--trace-out FILE]
                                              [--fault-plan FILE | --fault-seed N]
   compare  BF vs SH vs 2PH on one target     --world FILE --artifacts FILE --target NAME
                                              [--threads N] [--trace-out FILE]
@@ -133,7 +136,21 @@ listed in the output and recorded in the trace.
            trace check FILE [--budgets FILE]   evaluate budgets.toml cost invariants
            trace export FILE [--out FILE]      OpenMetrics/Prometheus text exposition
            trace baseline FILE --out FILE      strip to deterministic payload for committing
+  serve    resident selection service         (--store DIR --name TAG | --world FILE
+                                             --artifacts FILE) [--addr HOST:PORT]
+                                             [--max-inflight N] [--queue-depth N]
+                                             [--cache N] [--threads N] [--top-k N]
+                                             [--threshold F] [--stages N]
+                                             [--ready-file FILE] [--trace-out FILE]
+  client   send requests to a running server  --addr HOST:PORT [--request JSON]
+                                             [--file FILE] [--shutdown true]
+                                             (stdin lines when no request source given)
   help     this message
+
+`tps serve` loads the artifacts once, then answers line-delimited JSON
+selection requests (e.g. `{\"id\":1,\"target\":\"mnli\"}`) until a
+`{\"op\":\"shutdown\"}` request or SIGTERM drains it; the drain flushes one
+aggregate trace (`--trace-out`) that `tps trace check` can audit.
 "
     .to_string()
 }
@@ -406,20 +423,12 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
         parallel: parallel_config(args)?,
     };
     with_trace(args, |tel| {
-        let oracle = ZooOracle::new(&world, target)?;
-        let trainer = ZooTrainer::new(&world, target)?.with_telemetry(tel.clone());
-        let outcome = match &fault_plan {
-            None => {
-                let mut trainer = trainer;
-                two_phase_select_traced(&artifacts, &oracle, &mut trainer, &config, tel)?
-            }
-            Some(plan) => {
-                let plan = std::sync::Arc::new(plan.clone());
-                let oracle = FaultyOracle::with_shared_plan(oracle, plan.clone());
-                let mut trainer = FaultyTrainer::with_shared_plan(trainer, plan);
-                two_phase_select_traced(&artifacts, &oracle, &mut trainer, &config, tel)?
-            }
-        };
+        let (oracle, mut trainer) = fault::wrap_pair(
+            ZooOracle::new(&world, target)?,
+            ZooTrainer::new(&world, target)?.with_telemetry(tel.clone()),
+            fault_plan.as_ref(),
+        );
+        let outcome = two_phase_select_traced(&artifacts, &oracle, &mut trainer, &config, tel)?;
 
         let mut out = String::new();
         let _ = writeln!(
@@ -482,29 +491,20 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
         // Each selector faces the same fault schedule from a fresh wrapper
         // (attempt counters restart), so the comparison stays apples to
         // apples under injected failures.
-        fn faulty<'w>(
-            t: ZooTrainer<'w>,
-            plan: &Option<FaultPlan>,
-        ) -> FaultyTrainer<ZooTrainer<'w>> {
-            FaultyTrainer::new(t, plan.clone().unwrap_or_default())
-        }
-        let mut t1 = faulty(
+        let mut t1 = fault::wrap_trainer(
             ZooTrainer::new(&world, target)?.with_telemetry(tel.clone()),
-            &fault_plan,
+            fault_plan.as_ref(),
         );
         let bf = brute_force_traced(&mut t1, &everyone, world.stages, threads, tel)?;
-        let mut t2 = faulty(
+        let mut t2 = fault::wrap_trainer(
             ZooTrainer::new(&world, target)?.with_telemetry(tel.clone()),
-            &fault_plan,
+            fault_plan.as_ref(),
         );
         let sh = successive_halving_traced(&mut t2, &everyone, world.stages, threads, tel)?;
-        let oracle = match &fault_plan {
-            None => FaultyOracle::new(ZooOracle::new(&world, target)?, FaultPlan::empty()),
-            Some(plan) => FaultyOracle::new(ZooOracle::new(&world, target)?, plan.clone()),
-        };
-        let mut t3 = faulty(
+        let (oracle, mut t3) = fault::wrap_pair(
+            ZooOracle::new(&world, target)?,
             ZooTrainer::new(&world, target)?.with_telemetry(tel.clone()),
-            &fault_plan,
+            fault_plan.as_ref(),
         );
         let two_phase = two_phase_select_traced(
             &artifacts,
@@ -893,6 +893,163 @@ fn cmd_grow(args: &ParsedArgs) -> Result<String, CliError> {
         report.model,
         artifacts.matrix.n_datasets(),
     ))
+}
+
+/// Load the world + artifacts pair for `serve`, from the artifact store
+/// (`--store DIR --name TAG`, as written by `tps archive`) or from plain
+/// JSON files (`--world FILE --artifacts FILE`).
+fn serve_inputs(args: &ParsedArgs) -> Result<(World, OfflineArtifacts), CliError> {
+    use tps_store::ArtifactKind;
+    match (args.get("store"), args.get("world")) {
+        (Some(_), None) => {
+            let store = open_store(args)?;
+            let name = args.require("name")?;
+            let world = store
+                .get(&format!("{name}.world"), ArtifactKind::World)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            let artifacts = store
+                .get(&format!("{name}.artifacts"), ArtifactKind::OfflineArtifacts)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            Ok((world, artifacts))
+        }
+        (None, Some(world_path)) => Ok((
+            read_json(world_path)?,
+            read_json(args.require("artifacts")?)?,
+        )),
+        _ => Err(CliError::Usage(
+            "serve needs either --store DIR --name TAG or --world FILE --artifacts FILE".into(),
+        )),
+    }
+}
+
+/// Run the resident selection service until a `shutdown` request or
+/// SIGTERM drains it, then report final stats (and the aggregate trace,
+/// when `--trace-out` is given).
+fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
+    args.restrict(&[
+        "store",
+        "name",
+        "world",
+        "artifacts",
+        "addr",
+        "max-inflight",
+        "queue-depth",
+        "cache",
+        "threads",
+        "top-k",
+        "threshold",
+        "stages",
+        "ready-file",
+        "trace-out",
+    ])?;
+    let (world, artifacts) = serve_inputs(args)?;
+    let config = tps_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        max_inflight: args.get_parse("max-inflight", 2usize, "integer")?,
+        queue_depth: args.get_parse("queue-depth", 16usize, "integer")?,
+        cache_capacity: args.get_parse("cache", 64usize, "integer")?,
+        threads: parallel_config(args)?.resolve(),
+        top_k: args.get_parse("top-k", 10usize, "integer")?,
+        threshold: args.get_parse("threshold", 0.0f64, "number")?,
+        stages: match args.get("stages") {
+            Some(_) => Some(args.get_parse("stages", world.stages, "integer")?),
+            None => None,
+        },
+    };
+    tps_serve::install_signal_drain();
+    let server = tps_serve::Server::bind(&world, &artifacts, config)
+        .map_err(|e| CliError::Io(format!("bind: {e}")))?;
+    let addr = server.addr();
+    // `run` blocks until drain, so the listening line goes straight to
+    // stdout now instead of into the returned report.
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(
+            stdout,
+            "serving {} models / {} targets on {addr} — drain with {{\"op\":\"shutdown\"}} or SIGTERM",
+            world.n_models(),
+            world.n_targets()
+        );
+        let _ = stdout.flush();
+    }
+    if let Some(path) = args.get("ready-file") {
+        std::fs::write(Path::new(path), format!("{addr}\n"))
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+    }
+    let summary = server
+        .run()
+        .map_err(|e| CliError::Io(format!("serve: {e}")))?;
+    let s = &summary.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "drained after {} request(s): {} executed, {} cache hit(s), {} overloaded, \
+         {} drain-rejected, {} deadline-rejected, {} error(s)",
+        s.requests,
+        s.executed,
+        s.cache_hits,
+        s.rejected,
+        s.drain_rejected,
+        s.deadline_rejected,
+        s.errors
+    );
+    let _ = writeln!(
+        out,
+        "  queue peak {}/{} capacity; {:.1} epoch-equivalents spent",
+        s.queue_peak, s.queue_capacity, s.total_epochs
+    );
+    if let Some(path) = args.get("trace-out") {
+        write_json(path, &summary.trace)?;
+        let _ = writeln!(
+            out,
+            "wrote aggregate trace to {path}: {} request span(s), {} counter(s)",
+            summary.trace.spans.len(),
+            summary.trace.counters.len()
+        );
+    }
+    Ok(out)
+}
+
+/// Send requests to a running server and print the response lines.
+fn cmd_client(args: &ParsedArgs) -> Result<String, CliError> {
+    args.restrict(&["addr", "request", "file", "shutdown"])?;
+    let addr = args.require("addr")?;
+    let mut lines: Vec<String> = Vec::new();
+    if let Some(req) = args.get("request") {
+        lines.push(req.to_string());
+    }
+    if let Some(path) = args.get("file") {
+        let text = std::fs::read_to_string(Path::new(path))
+            .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+        lines.extend(
+            text.lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(str::to_string),
+        );
+    }
+    if args.get("shutdown") == Some("true") {
+        lines.push("{\"op\":\"shutdown\"}".to_string());
+    }
+    if lines.is_empty() {
+        use std::io::BufRead as _;
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| CliError::Io(format!("stdin: {e}")))?;
+            if !line.trim().is_empty() {
+                lines.push(line);
+            }
+        }
+    }
+    let mut client = tps_serve::Client::connect(addr)
+        .map_err(|e| CliError::Io(format!("connect {addr}: {e}")))?;
+    let mut out = String::new();
+    for line in &lines {
+        let response = client
+            .roundtrip(line)
+            .map_err(|e| CliError::Io(format!("request failed: {e}")))?;
+        let _ = writeln!(out, "{response}");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1499,5 +1656,105 @@ mod tests {
         // `summarize` flags it instead of pretending the run finished.
         let out = run_line(&["trace", "summarize", trace_s]).unwrap();
         assert!(out.contains("INCOMPLETE"), "{out}");
+    }
+
+    #[test]
+    fn serve_and_client_round_trip_through_a_drain() {
+        use tps_core::telemetry::TraceReport;
+        let dir = tmpdir();
+        let world = dir.join("sw.json");
+        let arts = dir.join("sa.json");
+        let ready = dir.join("serve-ready");
+        let trace = dir.join("serve-trace.json");
+        let world_s = world.to_str().unwrap().to_string();
+        let arts_s = arts.to_str().unwrap().to_string();
+        let ready_s = ready.to_str().unwrap().to_string();
+        let trace_s = trace.to_str().unwrap().to_string();
+
+        run_line(&["world", "--domain", "cv", "--seed", "7", "--out", &world_s]).unwrap();
+        run_line(&["offline", "--world", &world_s, "--out", &arts_s]).unwrap();
+
+        let server = std::thread::spawn({
+            let (world_s, arts_s, ready_s, trace_s) = (
+                world_s.clone(),
+                arts_s.clone(),
+                ready_s.clone(),
+                trace_s.clone(),
+            );
+            move || {
+                run_line(&[
+                    "serve",
+                    "--world",
+                    &world_s,
+                    "--artifacts",
+                    &arts_s,
+                    "--ready-file",
+                    &ready_s,
+                    "--trace-out",
+                    &trace_s,
+                ])
+            }
+        });
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&ready) {
+                if text.contains(':') {
+                    break text.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        // One-shot select for the same target: the served result must embed
+        // a bit-identical outcome.
+        let expected = run_line(&[
+            "select",
+            "--world",
+            &world_s,
+            "--artifacts",
+            &arts_s,
+            "--target",
+            "beans",
+        ])
+        .unwrap();
+        let out = run_line(&[
+            "client",
+            "--addr",
+            &addr,
+            "--request",
+            r#"{"id":1,"target":"beans"}"#,
+        ])
+        .unwrap();
+        assert!(out.contains("\"status\":\"ok\""), "{out}");
+        let winner = expected
+            .lines()
+            .next()
+            .and_then(|l| l.split('`').nth(1))
+            .unwrap();
+        assert!(out.contains(&format!("\"winner\":\"{winner}\"")), "{out}");
+
+        // Repeat → cache hit, byte-identical response line.
+        let again = run_line(&[
+            "client",
+            "--addr",
+            &addr,
+            "--request",
+            r#"{"id":1,"target":"beans"}"#,
+        ])
+        .unwrap();
+        assert_eq!(out, again);
+
+        let out = run_line(&["client", "--addr", &addr, "--shutdown", "true"]).unwrap();
+        assert!(out.contains("draining"), "{out}");
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("drained after 2 request(s)"), "{summary}");
+        assert!(summary.contains("1 executed, 1 cache hit(s)"), "{summary}");
+
+        let report: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.counter("serve.requests"), Some(2.0));
+        assert_eq!(report.counter("serve.executed"), Some(1.0));
+        assert_eq!(report.counter("serve.cache_hits"), Some(1.0));
+        assert_eq!(report.spans_named("serve.request").len(), 1);
     }
 }

@@ -617,6 +617,29 @@ impl<O: FeatureOracle> FeatureOracle for FaultyOracle<O> {
     }
 }
 
+/// Wrap an oracle/trainer substrate pair on one shared fault schedule —
+/// the standard wiring for a selection run under an optional `FaultPlan`
+/// (`None` wraps with the empty plan, which is behaviourally transparent).
+/// Attempt counters stay per-wrapper; only the immutable plan is shared.
+pub fn wrap_pair<O, T: TargetTrainer>(
+    oracle: O,
+    trainer: T,
+    plan: Option<&FaultPlan>,
+) -> (FaultyOracle<O>, FaultyTrainer<T>) {
+    let plan = Arc::new(plan.cloned().unwrap_or_default());
+    (
+        FaultyOracle::with_shared_plan(oracle, Arc::clone(&plan)),
+        FaultyTrainer::with_shared_plan(trainer, plan),
+    )
+}
+
+/// Wrap just a trainer on an optional plan with fresh attempt counters —
+/// for comparisons that run several selectors against the same scripted
+/// schedule, each of which must see the faults from attempt zero.
+pub fn wrap_trainer<T: TargetTrainer>(trainer: T, plan: Option<&FaultPlan>) -> FaultyTrainer<T> {
+    FaultyTrainer::new(trainer, plan.cloned().unwrap_or_default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -862,5 +885,33 @@ mod tests {
         assert!(feats[0].is_nan());
         assert_eq!(oracle.target_labels(), &[0, 1]);
         assert_eq!(oracle.n_target_labels(), 2);
+    }
+
+    #[test]
+    fn wrap_pair_shares_the_plan_and_none_is_transparent() {
+        let plan = FaultPlan::new(vec![FaultSpec {
+            site: FaultSite::Advance,
+            model: ModelId(0),
+            attempt: 0,
+            kind: FaultKind::Transient,
+        }]);
+        let (oracle, mut trainer) = wrap_pair(FixedOracle, scripted(3, 4), Some(&plan));
+        assert!(oracle.predictions(ModelId(0)).is_ok());
+        assert!(trainer.advance(ModelId(0)).is_err()); // scripted fault fires
+        assert!(trainer.advance(ModelId(0)).is_ok()); // retry clears
+
+        let (oracle, mut trainer) = wrap_pair(FixedOracle, scripted(3, 4), None);
+        assert!(oracle.predictions(ModelId(0)).is_ok());
+        let mut plain = scripted(3, 4);
+        assert_eq!(
+            trainer.advance(ModelId(0)).unwrap(),
+            plain.advance(ModelId(0)).unwrap()
+        );
+
+        // `wrap_trainer` gives each selector its own attempt counters.
+        let mut first = wrap_trainer(scripted(3, 4), Some(&plan));
+        let mut second = wrap_trainer(scripted(3, 4), Some(&plan));
+        assert!(first.advance(ModelId(0)).is_err());
+        assert!(second.advance(ModelId(0)).is_err());
     }
 }

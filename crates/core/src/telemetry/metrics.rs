@@ -138,6 +138,23 @@ impl HistogramSnapshot {
     pub fn is_wall_clock(&self) -> bool {
         self.unit == UNIT_WALL_CLOCK_US
     }
+
+    /// Fold `other`'s observations into `self`. When both sides share a
+    /// bucket layout (always the case for snapshots produced by the same
+    /// [`spec_for`] table) the merge is element-wise; if the layouts ever
+    /// disagree, `other`'s observations land in the overflow bucket so
+    /// `counts` still sums to `count`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.unit == other.unit && self.bounds == other.bounds {
+            for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+                *mine += theirs;
+            }
+        } else if let Some(overflow) = self.counts.last_mut() {
+            *overflow += other.count;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 /// Name → histogram map feeding [`TraceReport::histograms`]

@@ -312,6 +312,36 @@ impl TraceReport {
         out
     }
 
+    /// Fold `other` into `self` as one nested sub-trace: `other`'s root
+    /// spans become the children of a new root span named `root` (with the
+    /// caller-measured `elapsed_us`), counters are summed, histograms are
+    /// merged bucket-wise ([`HistogramSnapshot::merge`]), casualties are
+    /// appended, and `completed` stays true only if both sides completed.
+    /// This is how a resident service rolls per-request traces up into the
+    /// single aggregate report it flushes at drain.
+    pub fn absorb(&mut self, root: impl Into<String>, elapsed_us: u64, other: TraceReport) {
+        self.spans.push(SpanRecord {
+            name: root.into(),
+            elapsed_us,
+            children: other.spans,
+        });
+        for (name, value) in other.counters {
+            *self.counters.entry(name).or_insert(0.0) += value;
+        }
+        for (name, snapshot) in other.histograms {
+            match self.histograms.entry(name) {
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().merge(&snapshot)
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(snapshot);
+                }
+            }
+        }
+        self.casualties.extend(other.casualties);
+        self.completed &= other.completed;
+    }
+
     /// The histograms whose values are deterministic (everything except
     /// wall-clock, see [`HistogramSnapshot::is_wall_clock`]) — the subset
     /// that drift gates and serial≡parallel comparisons may assert on.
@@ -655,5 +685,49 @@ mod tests {
         let det = report.deterministic_histograms();
         assert_eq!(det.len(), 1);
         assert!(det.contains_key("fine.stage_pool_width"));
+    }
+
+    #[test]
+    fn absorb_nests_spans_and_sums_counters() {
+        let mut agg = TraceReport::empty();
+        for round in 0..2u64 {
+            let (tel, sink) = Telemetry::recording();
+            {
+                let _span = tel.span("two_phase_select");
+                tel.add("recall.proxy_epochs", 2.5);
+                tel.observe("fine.stage_pool_width", 10.0);
+            }
+            agg.absorb("serve.request", 40 + round, sink.report());
+        }
+        assert_eq!(agg.spans.len(), 2);
+        assert_eq!(agg.spans[0].name, "serve.request");
+        assert_eq!(agg.spans[0].elapsed_us, 40);
+        assert_eq!(agg.spans[0].children[0].name, "two_phase_select");
+        assert_eq!(agg.counter("recall.proxy_epochs"), Some(5.0));
+        let hist = &agg.histograms["fine.stage_pool_width"];
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 20.0);
+        assert_eq!(hist.counts.iter().sum::<u64>(), hist.count);
+        assert!(agg.completed);
+        // An incomplete sub-trace poisons the aggregate's completed flag.
+        let mut partial = TraceReport::empty();
+        partial.completed = false;
+        agg.absorb("serve.request", 1, partial);
+        assert!(!agg.completed);
+    }
+
+    #[test]
+    fn histogram_merge_mismatched_layout_keeps_invariants() {
+        let (tel, sink) = Telemetry::recording();
+        tel.observe("fine.stage_pool_width", 3.0);
+        let mut a = sink.report().histograms["fine.stage_pool_width"].clone();
+        let mut b = a.clone();
+        b.unit = "other".into();
+        b.count = 4;
+        b.sum = 12.0;
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.sum, 15.0);
+        assert_eq!(a.counts.iter().sum::<u64>(), a.count);
     }
 }

@@ -1,0 +1,165 @@
+//! LRU result cache keyed by request fingerprint.
+//!
+//! Entries store the serialized response payload verbatim, so a hit
+//! replays exactly the bytes the original execution produced — the
+//! byte-identity guarantee lives here. Recency is tick-based: every
+//! `get`/`insert` bumps a logical clock and eviction removes the entry
+//! with the oldest tick (O(capacity) scan; capacities are small).
+
+use std::collections::HashMap;
+
+/// A cached selection result: the response payload plus the ledger totals
+/// the service needs to re-evaluate per-request budgets on the hit path
+/// without re-parsing the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Serialized `SelectionResult` exactly as first computed.
+    pub result_json: String,
+    /// `EpochLedger::total()` of the run that produced the payload.
+    pub total_epochs: f64,
+    /// `EpochLedger::retry_epochs()` of that run.
+    pub retry_epochs: f64,
+}
+
+/// Bounded LRU map from fingerprint to [`CacheEntry`]. Capacity `0`
+/// disables caching entirely (every `get` misses, `insert` is a no-op).
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, (u64, CacheEntry)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether caching is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<CacheEntry> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((last_used, entry)) => {
+                *last_used = self.tick;
+                self.hits += 1;
+                Some(entry.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `key`, evicting the least-recently-used entry if full.
+    pub fn insert(&mut self, key: String, entry: CacheEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(fp, (t, _))| (*t, (*fp).clone()))
+                .map(|(fp, _)| fp.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (self.tick, entry));
+    }
+
+    /// Lookups that found an entry (includes single-flight re-checks, so
+    /// this can exceed the service's `cache_hits` response counter).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: &str) -> CacheEntry {
+        CacheEntry {
+            result_json: format!("{{\"tag\":\"{tag}\"}}"),
+            total_epochs: 10.0,
+            retry_epochs: 0.0,
+        }
+    }
+
+    #[test]
+    fn hit_replays_identical_bytes() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), entry("a"));
+        let first = c.get("a").unwrap();
+        let second = c.get("a").unwrap();
+        assert_eq!(first.result_json, second.result_json);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert("a".into(), entry("a"));
+        c.insert("b".into(), entry("b"));
+        assert!(c.get("a").is_some()); // refresh a; b is now oldest
+        c.insert("c".into(), entry("c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none());
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn reinserting_resident_key_never_evicts_others() {
+        let mut c = ResultCache::new(2);
+        c.insert("a".into(), entry("a"));
+        c.insert("b".into(), entry("b"));
+        c.insert("a".into(), entry("a2"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_some());
+        assert_eq!(c.get("a").unwrap().result_json, entry("a2").result_json);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        assert!(!c.enabled());
+        c.insert("a".into(), entry("a"));
+        assert!(c.get("a").is_none());
+        assert!(c.is_empty());
+    }
+}

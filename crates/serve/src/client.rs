@@ -1,0 +1,61 @@
+//! Minimal blocking line client for the serve protocol.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::Request;
+
+/// One connection to a running server: send a JSON line, read a JSON line.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one raw request line.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read one response line (without the trailing newline).
+    pub fn recv_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Send a raw line and wait for its response.
+    pub fn roundtrip(&mut self, line: &str) -> io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+
+    /// Serialize and send a [`Request`], waiting for its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<String> {
+        let line = serde_json::to_string(req)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.roundtrip(&line)
+    }
+}

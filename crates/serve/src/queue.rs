@@ -1,0 +1,165 @@
+//! Bounded request queue with capacity-based admission control.
+//!
+//! Admission is decided against `waiting + inflight` — the total number of
+//! requests the server currently owns — not just the waiting line. This
+//! makes overload behaviour deterministic for a scripted burst: whether a
+//! worker has already popped the first job or not, the Nth concurrent
+//! request sees the same occupancy and gets the same verdict.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Verdict of [`BoundedQueue::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Accepted; a worker will pick the item up.
+    Queued,
+    /// `waiting + inflight` already at capacity — rejected immediately.
+    Overloaded,
+    /// The queue is draining; no new work is accepted.
+    Draining,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    waiting: VecDeque<T>,
+    inflight: usize,
+    peak: usize,
+    draining: bool,
+}
+
+/// A drain-aware MPMC queue bounded at `queue_depth + max_inflight`
+/// outstanding items.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting up to `queue_depth` waiting items on top of
+    /// `max_inflight` executing ones.
+    pub fn new(queue_depth: usize, max_inflight: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                waiting: VecDeque::new(),
+                inflight: 0,
+                peak: 0,
+                draining: false,
+            }),
+            cond: Condvar::new(),
+            capacity: queue_depth + max_inflight,
+        }
+    }
+
+    /// Total admission capacity (`queue_depth + max_inflight`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Try to enqueue `item`.
+    pub fn admit(&self, item: T) -> Admission {
+        let mut st = self.state.lock().unwrap();
+        if st.draining {
+            return Admission::Draining;
+        }
+        if st.waiting.len() + st.inflight >= self.capacity {
+            return Admission::Overloaded;
+        }
+        st.waiting.push_back(item);
+        st.peak = st.peak.max(st.waiting.len() + st.inflight);
+        self.cond.notify_one();
+        Admission::Queued
+    }
+
+    /// Block until an item is available (marking it in-flight) or the
+    /// queue has drained empty (`None`). Pair every `Some` with a
+    /// [`BoundedQueue::done`] call.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.waiting.pop_front() {
+                st.inflight += 1;
+                return Some(item);
+            }
+            if st.draining {
+                return None;
+            }
+            st = self.cond.wait(st).unwrap();
+        }
+    }
+
+    /// Mark one popped item finished.
+    pub fn done(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.inflight = st.inflight.saturating_sub(1);
+    }
+
+    /// Stop admitting; wake every blocked consumer. Already-queued items
+    /// are still handed out — this drains, it does not abort.
+    pub fn drain(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.draining = true;
+        self.cond.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::drain`] has been called.
+    pub fn draining(&self) -> bool {
+        self.state.lock().unwrap().draining
+    }
+
+    /// Highest `waiting + inflight` occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.state.lock().unwrap().peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_counts_inflight_against_capacity() {
+        let q = BoundedQueue::new(1, 1); // capacity 2
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.admit(1), Admission::Queued);
+        assert_eq!(q.admit(2), Admission::Queued);
+        assert_eq!(q.admit(3), Admission::Overloaded);
+        // Popping moves the item to in-flight without freeing capacity.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.admit(3), Admission::Overloaded);
+        // Only completion frees a slot.
+        q.done();
+        assert_eq!(q.admit(3), Admission::Queued);
+        assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    fn drain_hands_out_queued_items_then_stops() {
+        let q = BoundedQueue::new(4, 1);
+        q.admit("a");
+        q.admit("b");
+        q.drain();
+        assert_eq!(q.admit("c"), Admission::Draining);
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_admit_or_drain() {
+        use std::sync::Arc;
+        let q = Arc::new(BoundedQueue::new(2, 2));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.admit(7u32);
+        assert_eq!(handle.join().unwrap(), Some(7));
+        let q3 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q3.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.drain();
+        assert_eq!(handle.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,705 @@
+//! The resident selection server.
+//!
+//! [`Server::run`] owns three groups of scoped threads: an accept loop
+//! (run inline), one reader + one writer thread per connection, and a
+//! worker pool of `max_inflight` selection workers driven through
+//! `tps_core::parallel::map_indexed` — the same layer the pipeline uses,
+//! so the service's concurrency shares one deterministic thread budget.
+//! Requests flow reader → bounded queue → worker → writer; every admitted
+//! request is answered exactly once, including through a drain.
+
+use std::collections::HashSet;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use tps_core::fault::{self, FaultPlan};
+use tps_core::parallel::ParallelConfig;
+use tps_core::pipeline::{two_phase_select_traced, OfflineArtifacts, PipelineConfig};
+use tps_core::recall::RecallConfig;
+use tps_core::select::fine::FineSelectionConfig;
+use tps_core::telemetry::{budget, Telemetry, TraceReport};
+use tps_zoo::{World, ZooOracle, ZooTrainer};
+
+use crate::cache::{CacheEntry, ResultCache};
+use crate::protocol::{self, Request, SelectionResult};
+use crate::queue::{Admission, BoundedQueue};
+
+/// Process-wide drain flag set by the SIGTERM/SIGINT handler.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Install a SIGTERM/SIGINT handler that asks the running [`Server`] to
+/// drain gracefully (finish queued work, flush the aggregate trace, exit
+/// 0) instead of dying mid-request. Std-only: the handler just stores an
+/// atomic flag the accept loop polls.
+#[cfg(unix)]
+pub fn install_signal_drain() {
+    unsafe extern "C" fn mark(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler: unsafe extern "C" fn(i32) = mark;
+    #[allow(clippy::fn_to_numeric_cast)]
+    unsafe {
+        signal(SIGTERM, handler as usize);
+        signal(SIGINT, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install_signal_drain() {}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free loopback port).
+    pub addr: String,
+    /// Selection workers — requests executing concurrently.
+    pub max_inflight: usize,
+    /// Waiting line on top of `max_inflight`; occupancy beyond
+    /// `queue_depth + max_inflight` is rejected as `overloaded`.
+    pub queue_depth: usize,
+    /// Result-cache entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Threads per selection for the pipeline's internal fan-out.
+    pub threads: usize,
+    /// Default recall size `K` when a request does not specify one.
+    pub top_k: usize,
+    /// Default fine-selection threshold.
+    pub threshold: f64,
+    /// Default stage count (`None` → the world's stage count).
+    pub stages: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 2,
+            queue_depth: 16,
+            cache_capacity: 64,
+            threads: 1,
+            top_k: 10,
+            threshold: 0.0,
+            stages: None,
+        }
+    }
+}
+
+/// Deterministic request accounting. Every select request lands in exactly
+/// one of the six outcome buckets, so
+/// `requests == executed + cache_hits + rejected + drain_rejected +
+/// deadline_rejected + errors` always holds (control ops are not counted).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Select requests received (control ops excluded).
+    pub requests: u64,
+    /// Selections actually run.
+    pub executed: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests rejected `overloaded` at admission.
+    pub rejected: u64,
+    /// Requests rejected because the server was draining.
+    pub drain_rejected: u64,
+    /// Requests whose deadline expired before execution started.
+    pub deadline_rejected: u64,
+    /// Malformed requests and failed selections.
+    pub errors: u64,
+    /// Completed selections that overran their deadline (still answered).
+    pub deadline_violations: u64,
+    /// Completed selections that overran their epoch budget (still
+    /// answered).
+    pub budget_violations: u64,
+    /// Highest queue occupancy (`waiting + inflight`) observed.
+    pub queue_peak: u64,
+    /// Admission capacity (`queue_depth + max_inflight`).
+    pub queue_capacity: u64,
+    /// Epoch-equivalents spent by executed selections (cache hits are
+    /// free — that is the point of the cache).
+    pub total_epochs: f64,
+    /// Retry-backoff epoch share of `total_epochs`.
+    pub retry_epochs: f64,
+}
+
+/// What a drained server hands back: final stats plus one aggregate
+/// [`TraceReport`] with every executed request nested under a
+/// `serve.request` root span.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Final counter snapshot.
+    pub stats: ServeStats,
+    /// Aggregate trace (budget-checkable via `tps trace check`).
+    pub trace: TraceReport,
+}
+
+/// One admitted selection request.
+struct Job {
+    id: u64,
+    target: usize,
+    config: PipelineConfig,
+    plan: Option<FaultPlan>,
+    fingerprint: String,
+    deadline_ms: Option<u64>,
+    max_epochs: Option<f64>,
+    hold_ms: u64,
+    accepted: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+/// State shared between the accept loop, readers, and workers.
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cache: Mutex<ResultCache>,
+    /// Fingerprints currently executing — the single-flight set. Lock
+    /// order: `flight` before `cache`, always.
+    flight: Mutex<HashSet<String>>,
+    flight_done: Condvar,
+    stats: Mutex<ServeStats>,
+    records: Mutex<Vec<(String, u64, TraceReport)>>,
+}
+
+enum Lookup {
+    Hit(CacheEntry),
+    Lead,
+}
+
+/// A bound, resident selection server over borrowed artifacts.
+pub struct Server<'w> {
+    world: &'w World,
+    artifacts: &'w OfflineArtifacts,
+    config: ServeConfig,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl<'w> Server<'w> {
+    /// Bind the listener. The world and artifacts are loaded exactly once,
+    /// by the caller — the server only borrows them.
+    pub fn bind(
+        world: &'w World,
+        artifacts: &'w OfflineArtifacts,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            world,
+            artifacts,
+            config,
+            listener,
+            addr,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until a `shutdown` request or SIGTERM/SIGINT, then drain:
+    /// queued and in-flight selections finish and are answered, the
+    /// aggregate trace is assembled, and the summary is returned.
+    pub fn run(&self) -> std::io::Result<ServeSummary> {
+        self.listener.set_nonblocking(true)?;
+        let workers = self.config.max_inflight.max(1);
+        let shared = Shared {
+            queue: BoundedQueue::new(self.config.queue_depth, workers),
+            cache: Mutex::new(ResultCache::new(self.config.cache_capacity)),
+            flight: Mutex::new(HashSet::new()),
+            flight_done: Condvar::new(),
+            stats: Mutex::new(ServeStats {
+                queue_capacity: (self.config.queue_depth + workers) as u64,
+                ..ServeStats::default()
+            }),
+            records: Mutex::new(Vec::new()),
+        };
+        let pool: Vec<usize> = (0..workers).collect();
+        crossbeam::thread::scope(|s| {
+            let sh = &shared;
+            s.spawn(move || {
+                tps_core::parallel::map_indexed(&pool, workers, |_, _| self.worker(sh));
+            });
+            loop {
+                if SIGNALLED.load(Ordering::SeqCst) {
+                    shared.queue.drain();
+                }
+                if shared.queue.draining() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let (tx, rx) = mpsc::channel::<String>();
+                        if let Ok(write_half) = stream.try_clone() {
+                            s.spawn(move || writer_loop(write_half, rx));
+                            s.spawn(move || self.reader_loop(sh, stream, tx));
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        })
+        .expect("server threads do not panic");
+        Ok(self.summarize(shared))
+    }
+
+    fn summarize(&self, shared: Shared) -> ServeSummary {
+        let mut stats = shared.stats.into_inner().unwrap();
+        stats.queue_peak = shared.queue.peak() as u64;
+        let mut records = shared.records.into_inner().unwrap();
+        // Fingerprint order, not completion order: the aggregate trace must
+        // be identical however the scheduler interleaved the workers.
+        records.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        let mut trace = TraceReport::empty();
+        for (_, elapsed_us, report) in records {
+            trace.absorb("serve.request", elapsed_us, report);
+        }
+        let counters: [(&str, f64); 14] = [
+            ("serve.requests", stats.requests as f64),
+            ("serve.executed", stats.executed as f64),
+            ("serve.cache_hits", stats.cache_hits as f64),
+            ("serve.rejected", stats.rejected as f64),
+            ("serve.drain_rejected", stats.drain_rejected as f64),
+            ("serve.deadline_rejected", stats.deadline_rejected as f64),
+            ("serve.errors", stats.errors as f64),
+            (
+                "serve.deadline_violations",
+                stats.deadline_violations as f64,
+            ),
+            ("serve.budget_violations", stats.budget_violations as f64),
+            ("serve.queue_depth", stats.queue_peak as f64),
+            ("serve.queue_capacity", stats.queue_capacity as f64),
+            ("serve.total_epochs", stats.total_epochs),
+            ("serve.retry_epochs", stats.retry_epochs),
+            ("serve.workers", self.config.max_inflight.max(1) as f64),
+        ];
+        for (name, value) in counters {
+            trace.counters.insert(name.to_string(), value);
+        }
+        ServeSummary { stats, trace }
+    }
+
+    fn worker(&self, sh: &Shared) {
+        while let Some(job) = sh.queue.pop() {
+            self.process(sh, job);
+            sh.queue.done();
+        }
+    }
+
+    fn process(&self, sh: &Shared, job: Job) {
+        if job.hold_ms > 0 {
+            std::thread::sleep(Duration::from_millis(job.hold_ms));
+        }
+        if let Some(deadline) = job.deadline_ms {
+            if job.accepted.elapsed() >= Duration::from_millis(deadline) {
+                sh.stats.lock().unwrap().deadline_rejected += 1;
+                let _ = job.reply.send(protocol::error_envelope(
+                    job.id,
+                    "deadline_exceeded",
+                    &format!("deadline of {deadline}ms expired before execution"),
+                ));
+                return;
+            }
+        }
+        let caching = sh.cache.lock().unwrap().enabled();
+        let lookup = if caching {
+            self.lookup_or_lead(sh, &job.fingerprint)
+        } else {
+            Lookup::Lead
+        };
+        let entry = match lookup {
+            Lookup::Hit(entry) => {
+                sh.stats.lock().unwrap().cache_hits += 1;
+                entry
+            }
+            Lookup::Lead => {
+                let started = Instant::now();
+                let executed = self.execute(&job);
+                let elapsed_us = started.elapsed().as_micros() as u64;
+                match executed {
+                    Ok((entry, report)) => {
+                        self.finish_lead(sh, &job.fingerprint, caching, Some(&entry));
+                        {
+                            let mut stats = sh.stats.lock().unwrap();
+                            stats.executed += 1;
+                            stats.total_epochs += entry.total_epochs;
+                            stats.retry_epochs += entry.retry_epochs;
+                        }
+                        sh.records.lock().unwrap().push((
+                            job.fingerprint.clone(),
+                            elapsed_us,
+                            report,
+                        ));
+                        entry
+                    }
+                    Err(err) => {
+                        self.finish_lead(sh, &job.fingerprint, caching, None);
+                        sh.stats.lock().unwrap().errors += 1;
+                        let _ = job.reply.send(protocol::error_envelope(
+                            job.id,
+                            "error",
+                            &err.to_string(),
+                        ));
+                        return;
+                    }
+                }
+            }
+        };
+        let mut violations = Vec::new();
+        if let Some(deadline) = job.deadline_ms {
+            let elapsed = job.accepted.elapsed();
+            if elapsed > Duration::from_millis(deadline) {
+                sh.stats.lock().unwrap().deadline_violations += 1;
+                violations.push(format!(
+                    "deadline: completed after {}ms, budget was {}ms",
+                    elapsed.as_millis(),
+                    deadline
+                ));
+            }
+        }
+        if let Some(max_epochs) = job.max_epochs {
+            let overruns = epoch_budget_violations(entry.total_epochs, max_epochs);
+            if !overruns.is_empty() {
+                sh.stats.lock().unwrap().budget_violations += overruns.len() as u64;
+                violations.extend(overruns);
+            }
+        }
+        let _ = job.reply.send(protocol::ok_envelope(
+            job.id,
+            &entry.result_json,
+            &violations,
+        ));
+    }
+
+    /// Single-flight gate: return a cached entry, or claim leadership for
+    /// this fingerprint. Concurrent identical requests wait for the leader
+    /// and then hit its cache entry, so `executed` counts distinct
+    /// fingerprints — deterministically, at any `max_inflight`.
+    fn lookup_or_lead(&self, sh: &Shared, fingerprint: &str) -> Lookup {
+        let mut flight = sh.flight.lock().unwrap();
+        loop {
+            {
+                let mut cache = sh.cache.lock().unwrap();
+                if let Some(entry) = cache.get(fingerprint) {
+                    return Lookup::Hit(entry);
+                }
+                if !flight.contains(fingerprint) {
+                    flight.insert(fingerprint.to_string());
+                    return Lookup::Lead;
+                }
+            }
+            // Timeout only as lost-wakeup insurance; the loop re-checks.
+            flight = sh
+                .flight_done
+                .wait_timeout(flight, Duration::from_millis(50))
+                .unwrap()
+                .0;
+        }
+    }
+
+    /// Publish the leader's result (if any) and release the fingerprint,
+    /// atomically with respect to `lookup_or_lead`.
+    fn finish_lead(
+        &self,
+        sh: &Shared,
+        fingerprint: &str,
+        caching: bool,
+        entry: Option<&CacheEntry>,
+    ) {
+        if !caching {
+            return;
+        }
+        let mut flight = sh.flight.lock().unwrap();
+        if let Some(entry) = entry {
+            sh.cache
+                .lock()
+                .unwrap()
+                .insert(fingerprint.to_string(), entry.clone());
+        }
+        flight.remove(fingerprint);
+        sh.flight_done.notify_all();
+    }
+
+    fn execute(&self, job: &Job) -> tps_core::error::Result<(CacheEntry, TraceReport)> {
+        let (tel, sink) = Telemetry::recording();
+        let oracle = ZooOracle::new(self.world, job.target)?;
+        let trainer = ZooTrainer::new(self.world, job.target)?.with_telemetry(tel.clone());
+        let (oracle, mut trainer) = fault::wrap_pair(oracle, trainer, job.plan.as_ref());
+        let outcome =
+            two_phase_select_traced(self.artifacts, &oracle, &mut trainer, &job.config, &tel)?;
+        let total_epochs = outcome.ledger.total();
+        let retry_epochs = outcome.ledger.retry_epochs();
+        let result = SelectionResult::new(self.world, self.artifacts, job.target, outcome);
+        let result_json = serde_json::to_string(&result)
+            .map_err(|e| tps_core::error::SelectionError::Backend(format!("serialize: {e}")))?;
+        let mut report = sink.report();
+        strip_stage_counters(&mut report);
+        Ok((
+            CacheEntry {
+                result_json,
+                total_epochs,
+                retry_epochs,
+            },
+            report,
+        ))
+    }
+
+    fn reader_loop(&self, sh: &Shared, mut stream: TcpStream, tx: mpsc::Sender<String>) {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = buf.drain(..=pos).collect();
+                let line = String::from_utf8_lossy(&raw[..raw.len() - 1]);
+                let line = line.trim();
+                if !line.is_empty() {
+                    self.handle_line(sh, line, &tx);
+                }
+            }
+            if sh.queue.draining() {
+                return;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn handle_line(&self, sh: &Shared, line: &str, tx: &mpsc::Sender<String>) {
+        let req: Request = match serde_json::from_str(line) {
+            Ok(req) => req,
+            Err(e) => {
+                let mut stats = sh.stats.lock().unwrap();
+                stats.requests += 1;
+                stats.errors += 1;
+                drop(stats);
+                let _ = tx.send(protocol::error_envelope(
+                    0,
+                    "error",
+                    &format!("bad request: {e}"),
+                ));
+                return;
+            }
+        };
+        match req.op.as_str() {
+            "ping" => {
+                let _ = tx.send(protocol::ok_envelope(req.id, "{\"pong\":true}", &[]));
+            }
+            "stats" => {
+                let snapshot = {
+                    let mut stats = sh.stats.lock().unwrap();
+                    stats.queue_peak = sh.queue.peak() as u64;
+                    stats.clone()
+                };
+                let json = serde_json::to_string(&snapshot).unwrap_or_else(|_| "{}".to_string());
+                let _ = tx.send(protocol::ok_envelope(req.id, &json, &[]));
+            }
+            "shutdown" => {
+                let _ = tx.send(protocol::ok_envelope(req.id, "{\"draining\":true}", &[]));
+                sh.queue.drain();
+            }
+            "" | "select" => self.handle_select(sh, req, tx),
+            other => {
+                let mut stats = sh.stats.lock().unwrap();
+                stats.requests += 1;
+                stats.errors += 1;
+                drop(stats);
+                let _ = tx.send(protocol::error_envelope(
+                    req.id,
+                    "error",
+                    &format!("unknown op `{other}`"),
+                ));
+            }
+        }
+    }
+
+    fn handle_select(&self, sh: &Shared, req: Request, tx: &mpsc::Sender<String>) {
+        sh.stats.lock().unwrap().requests += 1;
+        let fail = |detail: String| {
+            sh.stats.lock().unwrap().errors += 1;
+            let _ = tx.send(protocol::error_envelope(req.id, "error", &detail));
+        };
+        let target = match req.target.as_deref() {
+            None => return fail("missing target".to_string()),
+            Some(name) => match self.resolve_target(name) {
+                Some(target) => target,
+                None => return fail(format!("unknown target `{name}`")),
+            },
+        };
+        let plan = match (req.fault_plan.as_deref(), req.fault_seed) {
+            (Some(_), Some(_)) => {
+                return fail("fault_plan and fault_seed are mutually exclusive".to_string())
+            }
+            (Some(text), None) => match FaultPlan::parse(text) {
+                Ok(plan) => Some(plan),
+                Err(e) => return fail(format!("bad fault_plan: {e}")),
+            },
+            (None, Some(seed)) => Some(FaultPlan::seeded(seed, self.world.n_models(), 4, 3)),
+            (None, None) => None,
+        };
+        let top_k = req.top_k.unwrap_or(self.config.top_k);
+        let threshold = req.threshold.unwrap_or(self.config.threshold);
+        let stages = req
+            .stages
+            .unwrap_or_else(|| self.config.stages.unwrap_or(self.world.stages));
+        let plan_text = plan.as_ref().map(FaultPlan::to_text).unwrap_or_default();
+        let job = Job {
+            id: req.id,
+            target,
+            config: PipelineConfig {
+                recall: RecallConfig {
+                    top_k,
+                    ..RecallConfig::default()
+                },
+                fine: FineSelectionConfig {
+                    threshold,
+                    ..FineSelectionConfig::default()
+                },
+                total_stages: stages,
+                parallel: ParallelConfig {
+                    threads: self.config.threads,
+                },
+            },
+            plan,
+            fingerprint: protocol::fingerprint(target, top_k, threshold, stages, &plan_text),
+            deadline_ms: req.deadline_ms,
+            max_epochs: req.max_epochs,
+            hold_ms: req.hold_ms.unwrap_or(0),
+            accepted: Instant::now(),
+            reply: tx.clone(),
+        };
+        let id = job.id;
+        match sh.queue.admit(job) {
+            Admission::Queued => {}
+            Admission::Overloaded => {
+                sh.stats.lock().unwrap().rejected += 1;
+                let _ = tx.send(protocol::error_envelope(
+                    id,
+                    "overloaded",
+                    "queue at capacity",
+                ));
+            }
+            Admission::Draining => {
+                sh.stats.lock().unwrap().drain_rejected += 1;
+                let _ = tx.send(protocol::error_envelope(
+                    id,
+                    "draining",
+                    "server is draining",
+                ));
+            }
+        }
+    }
+
+    fn resolve_target(&self, name: &str) -> Option<usize> {
+        if let Some(target) = self.world.target_by_name(name) {
+            return Some(target);
+        }
+        match name.parse::<usize>() {
+            Ok(index) if index < self.world.n_targets() => Some(index),
+            _ => None,
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<String>) {
+    for line in rx {
+        let sent = stream
+            .write_all(line.as_bytes())
+            .and_then(|_| stream.write_all(b"\n"))
+            .and_then(|_| stream.flush());
+        if sent.is_err() {
+            return; // client gone; senders never block on the channel
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+/// Evaluate a per-request epoch budget through the budget engine —
+/// the same `tps trace check` machinery, pointed at a two-counter report.
+fn epoch_budget_violations(total_epochs: f64, max_epochs: f64) -> Vec<String> {
+    let spec = budget::parse_spec(
+        "version = 1\n\
+         [[rule]]\n\
+         name = \"serve-request-epochs\"\n\
+         expect = \"serve.request.total_epochs <= serve.request.max_epochs\"\n",
+    )
+    .expect("static per-request budget spec parses");
+    let mut report = TraceReport::empty();
+    report
+        .counters
+        .insert("serve.request.total_epochs".to_string(), total_epochs);
+    report
+        .counters
+        .insert("serve.request.max_epochs".to_string(), max_epochs);
+    budget::check(&report, &spec)
+        .violations
+        .iter()
+        .map(|v| v.to_string())
+        .collect()
+}
+
+/// Drop per-stage counters (`<prefix>.stage<N>.<suffix>`) from a
+/// per-request report before it is absorbed into the aggregate trace:
+/// summing stage counters across requests would mix unrelated stages and
+/// break the per-stage budget rules, which only make sense per run.
+fn strip_stage_counters(report: &mut TraceReport) {
+    report.counters.retain(|name, _| !is_stage_counter(name));
+}
+
+fn is_stage_counter(name: &str) -> bool {
+    let mut rest = name;
+    while let Some(i) = rest.find(".stage") {
+        let after = &rest[i + ".stage".len()..];
+        let digits = after.bytes().take_while(u8::is_ascii_digit).count();
+        if digits > 0 && after.as_bytes().get(digits) == Some(&b'.') {
+            return true;
+        }
+        rest = after;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_counter_pattern_matches_only_stage_names() {
+        assert!(is_stage_counter("fine.stage0.pool"));
+        assert!(is_stage_counter("fine.stage12.survivors"));
+        assert!(!is_stage_counter("fine.stages"));
+        assert!(!is_stage_counter("recall.proxy_epochs"));
+        assert!(!is_stage_counter("zoo.train.stages"));
+        assert!(!is_stage_counter("serve.stage_fright"));
+    }
+
+    #[test]
+    fn per_request_budget_flags_only_overruns() {
+        assert!(epoch_budget_violations(10.0, 10.0).is_empty());
+        assert!(epoch_budget_violations(9.5, 10.0).is_empty());
+        let violations = epoch_budget_violations(12.0, 10.0);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("serve-request-epochs"),
+            "{violations:?}"
+        );
+    }
+}

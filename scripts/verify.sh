@@ -42,4 +42,16 @@ if grep -q '"casualties": \[\]' "$trace_tmp/chaos-trace.json"; then
   exit 1
 fi
 
+echo "==> serve load-generation gate (repro loadgen -> tps trace)"
+# The loadgen experiment runs the resident server in-process: responses
+# must be byte-identical to one-shot runs, the cache must collapse the
+# repeats, overload must shed with structured rejections, and the drained
+# aggregate trace must obey every serve.* budget rule.
+cargo run -q -p tps-bench --release --bin repro -- loadgen \
+  --trace-out "$trace_tmp/serve-trace.json" > /dev/null
+./target/release/tps trace check "$trace_tmp/serve-trace.json" \
+  --budgets budgets.toml
+grep -q '"completed": true' "$trace_tmp/serve-trace.json" \
+  || { echo "serve trace did not complete"; exit 1; }
+
 echo "verify: OK"

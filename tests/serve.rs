@@ -1,0 +1,202 @@
+//! Service-layer integration tests: the resident server must be a
+//! transparent, deterministic wrapper around `two_phase_select` — identical
+//! response bytes at any `max_inflight`, identical to one-shot runs, and a
+//! cache hit must replay the miss path's bytes verbatim.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use tps_bench::WorldBundle;
+use tps_core::fault;
+use tps_core::parallel::ParallelConfig;
+use tps_core::pipeline::{two_phase_select_traced, PipelineConfig};
+use tps_core::recall::RecallConfig;
+use tps_core::select::fine::FineSelectionConfig;
+use tps_core::telemetry::Telemetry;
+use tps_serve::protocol::{extract_result, status_of};
+use tps_serve::{Client, Request, SelectionResult, ServeConfig, ServeSummary, Server};
+use tps_zoo::{SyntheticConfig, World, ZooOracle, ZooTrainer};
+
+/// The recall sizes the request mix alternates between.
+const TOP_KS: [usize; 2] = [6, 8];
+
+fn small_world(seed: u64) -> World {
+    World::synthetic(&SyntheticConfig {
+        seed,
+        n_families: 3,
+        family_size: (2, 3),
+        n_singletons: 4,
+        n_benchmarks: 8,
+        n_targets: 3,
+        stages: 4,
+    })
+}
+
+/// One-shot reference: the same wiring and serializer the server uses.
+fn one_shot(bundle: &WorldBundle, target: usize, top_k: usize) -> String {
+    let (tel, _sink) = Telemetry::recording();
+    let oracle = ZooOracle::new(&bundle.world, target).unwrap();
+    let trainer = ZooTrainer::new(&bundle.world, target)
+        .unwrap()
+        .with_telemetry(tel.clone());
+    let (oracle, mut trainer) = fault::wrap_pair(oracle, trainer, None);
+    let config = PipelineConfig {
+        recall: RecallConfig {
+            top_k,
+            ..RecallConfig::default()
+        },
+        fine: FineSelectionConfig {
+            threshold: 0.0,
+            ..FineSelectionConfig::default()
+        },
+        total_stages: bundle.world.stages,
+        parallel: ParallelConfig { threads: 1 },
+    };
+    let outcome =
+        two_phase_select_traced(&bundle.artifacts, &oracle, &mut trainer, &config, &tel).unwrap();
+    let result = SelectionResult::new(&bundle.world, &bundle.artifacts, target, outcome);
+    serde_json::to_string(&result).unwrap()
+}
+
+/// The request mix: every (target, top_k) fingerprint exactly twice.
+fn request_mix(world: &World) -> Vec<Request> {
+    let mut requests = Vec::new();
+    for _ in 0..2 {
+        for target in 0..world.n_targets() {
+            for &top_k in &TOP_KS {
+                let mut req =
+                    Request::select((requests.len() + 1) as u64, &world.targets[target].name);
+                req.top_k = Some(top_k);
+                requests.push(req);
+            }
+        }
+    }
+    requests
+}
+
+/// Run every request on its own concurrent connection against a fresh
+/// in-process server; return the responses in request order plus the
+/// drain summary.
+fn drive_concurrent(
+    bundle: &WorldBundle,
+    config: ServeConfig,
+    requests: &[Request],
+) -> (Vec<String>, ServeSummary) {
+    let server = Server::bind(&bundle.world, &bundle.artifacts, config).unwrap();
+    let addr = server.addr().to_string();
+    let lines: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; requests.len()]);
+    let summary = std::thread::scope(|s| {
+        let handle = s.spawn(|| server.run().expect("server drains cleanly"));
+        std::thread::scope(|cs| {
+            for (i, req) in requests.iter().enumerate() {
+                let (addr, lines) = (&addr, &lines);
+                cs.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let line = client.request(req).expect("request answered");
+                    lines.lock().unwrap()[i] = Some(line);
+                });
+            }
+        });
+        let mut client = Client::connect(&addr).expect("control client connects");
+        let ack = client.request(&Request::control(999, "shutdown")).unwrap();
+        assert_eq!(status_of(&ack), Some("ok"));
+        handle.join().expect("server thread joins")
+    });
+    let lines = lines
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|l| l.expect("every request was answered"))
+        .collect();
+    (lines, summary)
+}
+
+fn serve_config(max_inflight: usize) -> ServeConfig {
+    ServeConfig {
+        max_inflight,
+        queue_depth: 64,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For any world seed, serving a fixed request mix at `max_inflight
+    /// 1` and `4` produces byte-identical responses — each bit-identical
+    /// to a one-shot `two_phase_select` of the same request — and the
+    /// deterministic accounting (executed = distinct fingerprints,
+    /// everything else a cache hit) is independent of the concurrency.
+    #[test]
+    fn responses_are_identical_at_any_max_inflight(seed in 0u64..100) {
+        let bundle = WorldBundle::from_world(small_world(seed));
+        let mut expected = HashMap::new();
+        for target in 0..bundle.world.n_targets() {
+            for &top_k in &TOP_KS {
+                expected.insert((target, top_k), one_shot(&bundle, target, top_k));
+            }
+        }
+        let requests = request_mix(&bundle.world);
+
+        let (serial, s1) = drive_concurrent(&bundle, serve_config(1), &requests);
+        let (parallel, s4) = drive_concurrent(&bundle, serve_config(4), &requests);
+
+        prop_assert_eq!(&serial, &parallel, "responses depend on max_inflight");
+        for (i, req) in requests.iter().enumerate() {
+            let key = (
+                bundle.world.target_by_name(req.target.as_deref().unwrap()).unwrap(),
+                req.top_k.unwrap(),
+            );
+            prop_assert_eq!(
+                extract_result(&serial[i]),
+                Some(expected[&key].as_str()),
+                "response {} diverged from its one-shot twin",
+                i
+            );
+        }
+
+        let distinct = expected.len() as u64;
+        let total = requests.len() as u64;
+        for stats in [&s1.stats, &s4.stats] {
+            prop_assert_eq!(stats.requests, total);
+            prop_assert_eq!(stats.executed, distinct);
+            prop_assert_eq!(stats.cache_hits, total - distinct);
+            prop_assert_eq!(stats.rejected, 0);
+            prop_assert_eq!(stats.errors, 0);
+        }
+        // The epoch meter is the same sum either way (only the addition
+        // order may differ between schedules).
+        prop_assert!((s1.stats.total_epochs - s4.stats.total_epochs).abs() < 1e-9);
+        prop_assert!(s1.trace.completed && s4.trace.completed);
+    }
+}
+
+/// A cache hit replays the miss path's bytes verbatim: two identical
+/// requests (same correlation id) produce byte-identical response lines,
+/// with exactly one execution between them.
+#[test]
+fn cache_hit_is_byte_identical_to_miss() {
+    let bundle = WorldBundle::from_world(small_world(7));
+    let server = Server::bind(&bundle.world, &bundle.artifacts, serve_config(2)).unwrap();
+    let addr = server.addr().to_string();
+    let summary = std::thread::scope(|s| {
+        let handle = s.spawn(|| server.run().expect("server drains cleanly"));
+        let mut client = Client::connect(&addr).unwrap();
+        let req = Request::select(7, &bundle.world.targets[0].name);
+        let miss = client.request(&req).unwrap();
+        let hit = client.request(&req).unwrap();
+        assert_eq!(status_of(&miss), Some("ok"), "{miss}");
+        assert_eq!(miss, hit, "hit path must replay the miss path's bytes");
+        assert_eq!(
+            extract_result(&miss),
+            Some(one_shot(&bundle, 0, 10).as_str()),
+            "and both match the one-shot run"
+        );
+        client.request(&Request::control(999, "shutdown")).unwrap();
+        handle.join().unwrap()
+    });
+    assert_eq!(summary.stats.requests, 2);
+    assert_eq!(summary.stats.executed, 1);
+    assert_eq!(summary.stats.cache_hits, 1);
+}

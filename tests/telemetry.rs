@@ -232,10 +232,14 @@ fn committed_budgets_pass_on_a_real_pipeline_trace() {
             "expected the committed rules to engage, got {:?}",
             outcome.passed
         );
-        // A fault-free run records no fault/retry counters, so only the
-        // retry-accounting rules may skip.
+        // A fault-free one-shot run records neither fault/retry counters
+        // nor `serve.*` service counters, so only the retry-accounting and
+        // resident-service rules may skip.
         assert!(
-            outcome.skipped.iter().all(|r| r.starts_with("retry-")),
+            outcome
+                .skipped
+                .iter()
+                .all(|r| r.starts_with("retry-") || r.starts_with("serve-")),
             "{:?}",
             outcome.skipped
         );
