@@ -106,7 +106,10 @@ fn bench_trend_filter_ablation(c: &mut Criterion) {
                         &pool,
                         world.stages,
                         &arts.trends,
-                        &FineSelectionConfig { threshold },
+                        &FineSelectionConfig {
+                            threshold,
+                            ..Default::default()
+                        },
                     )
                     .unwrap()
                     .ledger

@@ -1,0 +1,195 @@
+//! ANN-vs-exhaustive benchmarks (ISSUE 6 acceptance): coarse recall with
+//! the indexed candidate expansion against the legacy score-every-
+//! representative scan at M ∈ {219, 2k, 20k}, plus the streamed
+//! index-assisted offline build at ~20k and ~100k zoo models — scales
+//! where the dense O(M²) path stops being an option at all. The committed
+//! baseline is `BENCH_ann.json` (regenerate with
+//! `CRITERION_SUMMARY=$PWD/BENCH_ann.json cargo bench -p tps-bench --bench ann`).
+//!
+//! The recall benches run on directly synthesized family-structured
+//! worlds (tight families around well-separated anchors) rather than the
+//! zoo presets: the presets anchor families on a handful of benchmark
+//! domains, so at 10⁴⁺ models their threshold graph percolates into a few
+//! giant clusters and *both* recall paths degenerate to a handful of
+//! proxy calls — no fan-out left to measure. The build benches keep the
+//! zoo worlds (completing the streamed build is the point there) and use
+//! `iter_custom` with a measure-once cache to stay in CI-friendly time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use tps_core::ann::{AnnConfig, AnnMode};
+use tps_core::curve::LearningCurve;
+use tps_core::error::Result;
+use tps_core::ids::ModelId;
+use tps_core::pipeline::{OfflineArtifacts, OfflineConfig};
+use tps_core::proxy::leep::leep;
+use tps_core::proxy::PredictionMatrix;
+use tps_core::recall::{coarse_recall_ann_traced, coarse_recall_par, RecallConfig};
+use tps_core::stream::StreamingOfflineBuilder;
+use tps_core::telemetry::Telemetry;
+use tps_zoo::{SyntheticConfig, World};
+
+const DIMS: usize = 8;
+
+fn ann_indexed() -> AnnConfig {
+    AnnConfig {
+        mode: AnnMode::Indexed,
+        ..Default::default()
+    }
+}
+
+fn indexed_offline() -> OfflineConfig {
+    OfflineConfig {
+        ann: ann_indexed(),
+        ..Default::default()
+    }
+}
+
+/// Deterministic xorshift stream in `[0, 1)`.
+fn unit_stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Indexed artifacts for `n_families` tight 4-member families around
+/// uniform anchors plus `n_singletons` free-floating models: every family
+/// survives the Eq. 1 threshold (0.05) as its own cluster, so the
+/// exhaustive recall fan-out really is ~`n_families` proxy calls.
+fn family_artifacts(n_families: usize, n_singletons: usize) -> OfflineArtifacts {
+    let mut rand = unit_stream(17);
+    let mut builder = StreamingOfflineBuilder::new(
+        (0..DIMS).map(|j| format!("bench-{j}")).collect(),
+        indexed_offline(),
+    )
+    .unwrap();
+    let mut push = |name: String, vector: Vec<f64>| {
+        let curves: Vec<LearningCurve> = vector
+            .iter()
+            .map(|&v| LearningCurve::new(vec![0.7 * v, 0.9 * v, v], v).unwrap())
+            .collect();
+        builder.push_model(name, &curves).unwrap();
+    };
+    for f in 0..n_families {
+        let anchor: Vec<f64> = (0..DIMS).map(|_| 0.05 + 0.89 * rand()).collect();
+        for member in 0..4 {
+            let v: Vec<f64> = anchor.iter().map(|&a| a + 0.002 * rand()).collect();
+            push(format!("fam{f}-m{member}"), v);
+        }
+    }
+    for s in 0..n_singletons {
+        push(format!("single-{s}"), (0..DIMS).map(|_| rand()).collect());
+    }
+    builder.finish().unwrap()
+}
+
+/// Synthesized-LEEP proxy: builds a deterministic 512×8 prediction matrix
+/// keyed on the representative and scores it against 4-way labels — the
+/// per-call cost (~tens of µs) of a real cached-inference proxy eval,
+/// without hauling a zoo world into the measurement.
+fn synth_leep(rep: ModelId) -> Result<f64> {
+    const N: usize = 512;
+    const Z: usize = 8;
+    const Y: usize = 4;
+    let mut rand = unit_stream(rep.index() as u64 + 1);
+    let mut flat = Vec::with_capacity(N * Z);
+    let mut labels = Vec::with_capacity(N);
+    for _ in 0..N {
+        let row: Vec<f64> = (0..Z).map(|_| rand() + 0.01).collect();
+        let sum: f64 = row.iter().sum();
+        flat.extend(row.into_iter().map(|x| x / sum));
+        labels.push((rand() * Y as f64) as usize % Y);
+    }
+    let p = PredictionMatrix::new(Z, flat)?;
+    leep(&p, &labels, Y)
+}
+
+fn bench_recall_scales(c: &mut Criterion) {
+    // (families, singletons) → exactly 219, 2000, 20000 models.
+    for &(fams, singles) in &[(40, 59), (450, 200), (4500, 2000)] {
+        let artifacts = family_artifacts(fams, singles);
+        let m = artifacts.matrix.n_models();
+        let mut group = c.benchmark_group(format!("ann/coarse-recall/{m}models"));
+        group.sample_size(10);
+
+        group.bench_function("exhaustive", |b| {
+            b.iter(|| {
+                coarse_recall_par(
+                    &artifacts.matrix,
+                    &artifacts.clustering,
+                    &artifacts.similarity,
+                    &RecallConfig::default(),
+                    1,
+                    |rep| synth_leep(black_box(rep)),
+                )
+                .unwrap()
+            })
+        });
+
+        let ann = ann_indexed();
+        group.bench_function("indexed", |b| {
+            b.iter(|| {
+                coarse_recall_ann_traced(
+                    &artifacts.matrix,
+                    &artifacts.clustering,
+                    &artifacts.similarity,
+                    &RecallConfig::default(),
+                    &ann,
+                    artifacts.ann.as_ref(),
+                    1,
+                    |rep| synth_leep(black_box(rep)),
+                    &Telemetry::disabled(),
+                )
+                .unwrap()
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_streamed_build(c: &mut Criterion) {
+    // ~20k and ~100k zoo models: the streamed index-assisted build is the
+    // acceptance gate ("completes without dense M×M"); timing it once per
+    // scale documents the cost curve.
+    for &(fams, singles) in &[(4000, 2000), (20_000, 10_000)] {
+        let world = World::synthetic(&SyntheticConfig {
+            seed: 13,
+            n_families: fams,
+            family_size: (3, 6),
+            n_singletons: singles,
+            n_benchmarks: DIMS,
+            n_targets: 1,
+            stages: 4,
+        });
+        let m = world.n_models();
+        let mut group = c.benchmark_group(format!("ann/offline-build/{m}models"));
+        group.sample_size(10);
+        let mut once: Option<Duration> = None;
+        group.bench_function("streamed-indexed", |b| {
+            b.iter_custom(|_| {
+                *once.get_or_insert_with(|| {
+                    let start = Instant::now();
+                    black_box(
+                        world
+                            .build_offline_streamed(
+                                1024,
+                                &indexed_offline(),
+                                &Telemetry::disabled(),
+                            )
+                            .unwrap(),
+                    );
+                    start.elapsed()
+                })
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_recall_scales, bench_streamed_build);
+criterion_main!(benches);

@@ -97,6 +97,7 @@ fn pipeline_config(world: &World, top_k: usize) -> PipelineConfig {
         },
         total_stages: world.stages,
         parallel: ParallelConfig { threads: 1 },
+        ann: Default::default(),
     }
 }
 

@@ -5,6 +5,7 @@
 use crate::args::{ArgError, ParsedArgs};
 use std::fmt::Write as _;
 use std::path::Path;
+use tps_core::ann::{AnnConfig, AnnMode};
 use tps_core::fault::{self, FaultPlan};
 use tps_core::ids::ModelId;
 use tps_core::parallel::ParallelConfig;
@@ -105,12 +106,14 @@ commands:
                                              --stages N] --out FILE
   offline  build offline artifacts           --world FILE --out FILE [--top-k-sim N]
                                              [--threshold F] [--threads N]
-                                             [--trace-out FILE]
+                                             [--trace-out FILE] [--ann exact|indexed]
+                                             [--ann-k N] [--ann-ef N] [--stream-batch N]
   inspect  summarise offline artifacts       --artifacts FILE
   select   two-phase selection for a target  --world FILE --artifacts FILE
                                              --target NAME [--top-k N] [--threshold F]
                                              [--stages N] [--threads N] [--trace-out FILE]
                                              [--fault-plan FILE | --fault-seed N]
+                                             [--ann exact|indexed] [--ann-k N] [--ann-ef N]
   compare  BF vs SH vs 2PH on one target     --world FILE --artifacts FILE --target NAME
                                              [--threads N] [--trace-out FILE]
                                              [--fault-plan FILE | --fault-seed N]
@@ -124,6 +127,13 @@ attempt kind` line each, e.g. `advance m3 1 transient`); `--fault-seed N`
 generates a pseudo-random schedule instead. The pipeline retries transient
 failures and quarantines models lost to permanent ones; casualties are
 listed in the output and recorded in the trace.
+`--ann indexed` turns on ANN-indexed mode: the offline build replaces the
+dense O(M^2) similarity matrix with an HNSW-style index (and supports
+`--stream-batch N` to fold models in waves without holding every curve),
+and online recall proxy-scores only ~k*log(M) index-near clusters instead
+of every representative. `--ann exact` (the default) is byte-identical to
+the pre-index behaviour. `--ann-k` / `--ann-ef` tune neighbour count and
+search beam; results are deterministic for any thread count either way.
   grow     add a model incrementally         --world FILE --artifacts FILE --name NAME
                                              [--like MODEL] [--capability F] [--seed N]
   archive  persist world+artifacts durably   --store DIR --name TAG --world FILE
@@ -141,6 +151,7 @@ listed in the output and recorded in the trace.
                                              [--max-inflight N] [--queue-depth N]
                                              [--cache N] [--threads N] [--top-k N]
                                              [--threshold F] [--stages N]
+                                             [--ann exact|indexed] [--ann-k N] [--ann-ef N]
                                              [--ready-file FILE] [--trace-out FILE]
   client   send requests to a running server  --addr HOST:PORT [--request JSON]
                                              [--file FILE] [--shutdown true]
@@ -300,6 +311,20 @@ fn fault_plan_from(args: &ParsedArgs, n_models: usize) -> Result<Option<FaultPla
     }
 }
 
+/// Parse `--ann exact|indexed` plus `--ann-k N` / `--ann-ef N` overrides
+/// into an [`AnnConfig`] (defaults: exact mode, the core's tuning).
+fn ann_config(args: &ParsedArgs) -> Result<AnnConfig, CliError> {
+    let mut config = AnnConfig::default();
+    if let Some(mode) = args.get("ann") {
+        config.mode = mode
+            .parse()
+            .map_err(|_| CliError::Usage("--ann must be `exact` or `indexed`".into()))?;
+    }
+    config.k = args.get_parse("ann-k", config.k, "integer")?;
+    config.ef_search = args.get_parse("ann-ef", config.ef_search, "integer")?;
+    Ok(config)
+}
+
 fn offline_config(args: &ParsedArgs) -> Result<OfflineConfig, CliError> {
     let mut config = OfflineConfig::default();
     config.similarity_top_k = args.get_parse("top-k-sim", config.similarity_top_k, "integer")?;
@@ -310,6 +335,7 @@ fn offline_config(args: &ParsedArgs) -> Result<OfflineConfig, CliError> {
         config.cluster = tps_core::pipeline::ClusterMethod::HierarchicalThreshold(t);
     }
     config.parallel = parallel_config(args)?;
+    config.ann = ann_config(args)?;
     Ok(config)
 }
 
@@ -321,13 +347,35 @@ fn cmd_offline(args: &ParsedArgs) -> Result<String, CliError> {
         "threshold",
         "threads",
         "trace-out",
+        "ann",
+        "ann-k",
+        "ann-ef",
+        "stream-batch",
     ])?;
     let world: World = read_json(args.require("world")?)?;
     let out = args.require("out")?;
     let config = offline_config(args)?;
+    let stream_batch = match args.get("stream-batch") {
+        Some(_) => Some(args.get_parse("stream-batch", 0usize, "integer")?),
+        None => None,
+    };
+    if stream_batch.is_some() && config.ann.mode != AnnMode::Indexed {
+        return Err(CliError::Usage(
+            "--stream-batch requires --ann indexed (the dense exact build cannot stream)".into(),
+        ));
+    }
     with_trace(args, |tel| {
-        let (matrix, curves) = world.build_offline_traced(config.parallel.resolve(), tel)?;
-        let artifacts = OfflineArtifacts::build_traced(matrix, &curves, &config, tel)?;
+        let artifacts = match stream_batch {
+            // Streamed: models are simulated and folded in `batch`-sized
+            // waves, so million-model worlds never hold all curves (or any
+            // O(M²) structure) in memory.
+            Some(batch) => world.build_offline_streamed(batch, &config, tel)?,
+            None => {
+                let (matrix, curves) =
+                    world.build_offline_traced(config.parallel.resolve(), tel)?;
+                OfflineArtifacts::build_traced(matrix, &curves, &config, tel)?
+            }
+        };
         write_json(out, &artifacts)?;
         Ok(format!(
             "wrote offline artifacts to {out}: {} x {} performance matrix, {} clusters \
@@ -405,6 +453,9 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
         "trace-out",
         "fault-plan",
         "fault-seed",
+        "ann",
+        "ann-k",
+        "ann-ef",
     ])?;
     let world: World = read_json(args.require("world")?)?;
     let artifacts: OfflineArtifacts = read_json(args.require("artifacts")?)?;
@@ -421,6 +472,7 @@ fn cmd_select(args: &ParsedArgs) -> Result<String, CliError> {
         },
         total_stages: args.get_parse("stages", world.stages, "integer")?,
         parallel: parallel_config(args)?,
+        ann: ann_config(args)?,
     };
     with_trace(args, |tel| {
         let (oracle, mut trainer) = fault::wrap_pair(
@@ -941,6 +993,9 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         "stages",
         "ready-file",
         "trace-out",
+        "ann",
+        "ann-k",
+        "ann-ef",
     ])?;
     let (world, artifacts) = serve_inputs(args)?;
     let config = tps_serve::ServeConfig {
@@ -955,6 +1010,7 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
             Some(_) => Some(args.get_parse("stages", world.stages, "integer")?),
             None => None,
         },
+        ann: ann_config(args)?,
     };
     tps_serve::install_signal_drain();
     let server = tps_serve::Server::bind(&world, &artifacts, config)
@@ -1261,6 +1317,121 @@ mod tests {
         std::fs::write(&plan, "advance m0 zero permanent\n").unwrap();
         let err = select(&["--fault-plan", plan_s]).unwrap_err();
         assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn indexed_offline_and_select_workflow() {
+        let dir = tmpdir();
+        let world = dir.join("iw.json");
+        let arts_exact = dir.join("ia-exact.json");
+        let arts_indexed = dir.join("ia-indexed.json");
+        let arts_streamed = dir.join("ia-streamed.json");
+        let world_s = world.to_str().unwrap();
+
+        run_line(&["world", "--domain", "cv", "--seed", "7", "--out", world_s]).unwrap();
+
+        // Exact artifacts with an explicit `--ann exact` are byte-identical
+        // to the flagless build (the legacy path).
+        run_line(&[
+            "offline",
+            "--world",
+            world_s,
+            "--out",
+            arts_exact.to_str().unwrap(),
+            "--ann",
+            "exact",
+        ])
+        .unwrap();
+        let flagless = dir.join("ia-flagless.json");
+        run_line(&[
+            "offline",
+            "--world",
+            world_s,
+            "--out",
+            flagless.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&arts_exact).unwrap(),
+            std::fs::read_to_string(&flagless).unwrap()
+        );
+
+        // Indexed batch and streamed builds agree byte-for-byte.
+        run_line(&[
+            "offline",
+            "--world",
+            world_s,
+            "--out",
+            arts_indexed.to_str().unwrap(),
+            "--ann",
+            "indexed",
+        ])
+        .unwrap();
+        run_line(&[
+            "offline",
+            "--world",
+            world_s,
+            "--out",
+            arts_streamed.to_str().unwrap(),
+            "--ann",
+            "indexed",
+            "--stream-batch",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&arts_indexed).unwrap(),
+            std::fs::read_to_string(&arts_streamed).unwrap()
+        );
+
+        // Indexed select works end-to-end and emits the ann.* counters.
+        let trace = dir.join("itrace.json");
+        let out = run_line(&[
+            "select",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_indexed.to_str().unwrap(),
+            "--target",
+            "beans",
+            "--ann",
+            "indexed",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("selected `"), "{out}");
+        let report: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(report.counter("ann.k").is_some());
+        assert!(report.counter("ann.candidates").is_some());
+
+        // Streaming without indexed mode is refused up front.
+        assert!(matches!(
+            run_line(&[
+                "offline",
+                "--world",
+                world_s,
+                "--out",
+                flagless.to_str().unwrap(),
+                "--stream-batch",
+                "8",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // Bad mode string.
+        assert!(matches!(
+            run_line(&[
+                "offline",
+                "--world",
+                world_s,
+                "--out",
+                flagless.to_str().unwrap(),
+                "--ann",
+                "fuzzy",
+            ]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,729 @@
+//! Deterministic approximate-nearest-neighbour index over model embeddings.
+//!
+//! The paper's coarse recall proxy-scores every cluster representative and
+//! its offline phase materialises the dense O(M²) similarity matrix —
+//! neither survives a million-model zoo. This module provides the
+//! sublinear substitute: a hand-rolled HNSW-style layered graph over model
+//! performance vectors, using the paper's Eq. 1 top-k-difference metric as
+//! its distance, so "near in the index" means exactly "similar under the
+//! paper's similarity".
+//!
+//! # Determinism
+//!
+//! The repo's bar is bit-reproducibility for any fixed `(seed, AnnConfig,
+//! threads)` triple. The index earns it three ways:
+//!
+//! - **Seeded levels.** Each node's layer is drawn from the
+//!   [`crate::parallel::split_seed`] splitmix64 stream at its insertion
+//!   index, not from a shared RNG, so levels depend only on `(seed, id)`.
+//! - **Serial construction.** Insertion is sequential in id order; there
+//!   is no thread interleaving to perturb the graph. Batch queries
+//!   ([`AnnIndex::knn_lists`]) fan out over the *frozen* graph through
+//!   [`crate::parallel::map_indexed`], which gathers in index order, so
+//!   results are identical at any thread count.
+//! - **Total orders everywhere.** Every comparison is `(distance via
+//!   `total_cmp`, then node id)` — no float `partial_cmp` unwraps, no
+//!   hash-map iteration order.
+//!
+//! # Exactness knob
+//!
+//! [`AnnMode::Exact`] keeps the legacy dense path byte-identical (the
+//! index is never consulted); [`AnnMode::Indexed`] switches both phases to
+//! the graph. Searching with `ef_search >= n` degrades to an exhaustive
+//! scan, which is the documented "`ef_search = ∞`" exact regime used by
+//! the parity tests.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::matrix::PerformanceMatrix;
+use crate::parallel::split_seed;
+
+/// Default construction/search seed (disjoint from the zoo's world seeds).
+pub const DEFAULT_ANN_SEED: u64 = 0x5eed_0a22;
+
+/// Hard cap on layer indices; `-ln(u) * mult` is clamped below this.
+const MAX_LEVEL: usize = 24;
+
+/// Whether the pipeline consults the ANN index or keeps the legacy
+/// exhaustive path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnnMode {
+    /// Legacy behaviour: dense similarity offline, every representative
+    /// proxy-scored online. Outputs are byte-identical to the pre-index
+    /// pipeline.
+    #[default]
+    Exact,
+    /// Index-assisted behaviour: kNN-graph clustering offline, seeded
+    /// index expansion online with O(k·log M) recall fan-out.
+    Indexed,
+}
+
+impl std::str::FromStr for AnnMode {
+    type Err = SelectionError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "exact" => Ok(AnnMode::Exact),
+            "indexed" => Ok(AnnMode::Indexed),
+            other => Err(SelectionError::InvalidConfig(format!(
+                "unknown ann mode '{other}' (expected 'exact' or 'indexed')"
+            ))),
+        }
+    }
+}
+
+/// Tuning knobs for the ANN index, threaded through `OfflineConfig`,
+/// `PipelineConfig`, the CLI (`--ann …`) and `tps serve`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnConfig {
+    /// Exactness knob; `Exact` ignores every other field.
+    pub mode: AnnMode,
+    /// Graph degree bound per layer (level 0 allows `2 * max_degree`).
+    pub max_degree: usize,
+    /// Beam width while inserting nodes.
+    pub ef_construction: usize,
+    /// Beam width while querying; `>= n` degrades to an exhaustive scan.
+    pub ef_search: usize,
+    /// Neighbours requested per query (offline kNN edges and online
+    /// expansion are both `k`-bounded).
+    pub k: usize,
+    /// Online recall: number of top-average-accuracy representatives
+    /// proxy-scored as expansion seeds.
+    pub seed_reps: usize,
+    /// Seed for the splitmix64 level stream.
+    pub seed: u64,
+}
+
+impl Default for AnnConfig {
+    fn default() -> Self {
+        AnnConfig {
+            mode: AnnMode::Exact,
+            max_degree: 12,
+            ef_construction: 64,
+            ef_search: 48,
+            k: 8,
+            seed_reps: 8,
+            seed: DEFAULT_ANN_SEED,
+        }
+    }
+}
+
+impl AnnConfig {
+    /// Validate the knobs (degree needs ≥ 2 for a meaningful level
+    /// distribution; beams and k must be non-zero).
+    pub fn validate(&self) -> Result<()> {
+        if self.max_degree < 2 {
+            return Err(SelectionError::InvalidConfig(format!(
+                "ann max_degree must be >= 2, got {}",
+                self.max_degree
+            )));
+        }
+        if self.ef_construction == 0 || self.ef_search == 0 {
+            return Err(SelectionError::InvalidConfig(
+                "ann ef_construction and ef_search must be >= 1".to_string(),
+            ));
+        }
+        if self.k == 0 || self.seed_reps == 0 {
+            return Err(SelectionError::InvalidConfig(
+                "ann k and seed_reps must be >= 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Candidate ordering: distance first (total order), node id breaks ties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    dist: f64,
+    id: u32,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable per-thread search scratch: a generation-stamped visited set
+/// (avoids an O(n) clear per query) plus the Eq. 1 diff buffer.
+struct Scratch {
+    stamp: Vec<u32>,
+    generation: u32,
+    diffs: Vec<f64>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            stamp: Vec::new(),
+            generation: 0,
+            diffs: Vec::new(),
+        }
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.generation = 1;
+        }
+    }
+
+    /// Mark `id` visited; returns `true` the first time.
+    fn visit(&mut self, id: u32) -> bool {
+        let slot = &mut self.stamp[id as usize];
+        if *slot == self.generation {
+            false
+        } else {
+            *slot = self.generation;
+            true
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// A deterministic HNSW-style layered proximity graph over fixed-length
+/// embeddings, with the paper's Eq. 1 top-k-difference distance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnIndex {
+    vectors: Vec<Vec<f64>>,
+    /// Eq. 1 `k`: how many of the largest per-dimension differences are
+    /// averaged into the distance (`OfflineConfig::similarity_top_k`).
+    sim_top_k: usize,
+    max_degree: usize,
+    ef_construction: usize,
+    seed: u64,
+    /// Top layer of each node.
+    levels: Vec<u8>,
+    /// `links[node][layer]` — adjacency per layer, pruned to the degree
+    /// bound, stored in deterministic (insertion, then prune-sorted) order.
+    links: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_level: u8,
+}
+
+impl AnnIndex {
+    /// An empty index expecting vectors of any (consistent) dimension.
+    pub fn new(sim_top_k: usize, config: &AnnConfig) -> Result<Self> {
+        config.validate()?;
+        if sim_top_k == 0 {
+            return Err(SelectionError::InvalidConfig(
+                "ann sim_top_k must be >= 1".to_string(),
+            ));
+        }
+        Ok(AnnIndex {
+            vectors: Vec::new(),
+            sim_top_k,
+            max_degree: config.max_degree,
+            ef_construction: config.ef_construction,
+            seed: config.seed,
+            levels: Vec::new(),
+            links: Vec::new(),
+            entry: 0,
+            max_level: 0,
+        })
+    }
+
+    /// Build an index over `vectors` by inserting them in order.
+    pub fn build(vectors: Vec<Vec<f64>>, sim_top_k: usize, config: &AnnConfig) -> Result<Self> {
+        let mut index = AnnIndex::new(sim_top_k, config)?;
+        for v in vectors {
+            index.insert(v)?;
+        }
+        Ok(index)
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the index holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The stored embedding of node `i`.
+    pub fn vector(&self, i: usize) -> &[f64] {
+        &self.vectors[i]
+    }
+
+    /// The Eq. 1 `k` this index measures distance with.
+    pub fn sim_top_k(&self) -> usize {
+        self.sim_top_k
+    }
+
+    /// Node `id`'s layer from the splitmix64 stream: `floor(-ln(u) * mult)`
+    /// with `mult = 1 / ln(max_degree)` — the standard HNSW geometric
+    /// distribution, but reproducible from `(seed, id)` alone.
+    fn level_for(&self, id: u32) -> usize {
+        let bits = split_seed(self.seed, id as u64);
+        // 53 high bits -> uniform in (0, 1].
+        let u = ((bits >> 11) as f64 + 1.0) * (1.0 / 9_007_199_254_740_992.0);
+        let mult = 1.0 / (self.max_degree as f64).ln();
+        let level = (-u.ln() * mult).floor();
+        (level as usize).min(MAX_LEVEL)
+    }
+
+    /// Eq. 1 distance from `q` to stored node `node`: `1 - sim` where
+    /// `sim = 1 - avg(top_k largest |Δ|)`, floored at zero — the same
+    /// float-op sequence as `SimilarityMatrix::distance` on the lazy path.
+    fn node_distance(&self, q: &[f64], node: u32, diffs: &mut Vec<f64>) -> f64 {
+        let v = &self.vectors[node as usize];
+        diffs.clear();
+        diffs.extend(q.iter().zip(v.iter()).map(|(a, b)| (a - b).abs()));
+        diffs.sort_unstable_by(|a, b| b.total_cmp(a));
+        let k = self.sim_top_k.min(diffs.len());
+        let avg = diffs[..k].iter().sum::<f64>() / k as f64;
+        let sim = 1.0 - avg;
+        (1.0 - sim).max(0.0)
+    }
+
+    /// Beam search one layer: best-first from `entry_points`, keeping the
+    /// `ef` closest visited nodes. Returns candidates sorted ascending by
+    /// `(dist, id)`.
+    fn search_layer(
+        &self,
+        q: &[f64],
+        entry_points: &[u32],
+        ef: usize,
+        layer: usize,
+        scratch: &mut Scratch,
+    ) -> Vec<Cand> {
+        scratch.begin(self.len());
+        let mut results: BinaryHeap<Cand> = BinaryHeap::new(); // worst on top
+        let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        for &ep in entry_points {
+            if !scratch.visit(ep) {
+                continue;
+            }
+            let mut diffs = std::mem::take(&mut scratch.diffs);
+            let dist = self.node_distance(q, ep, &mut diffs);
+            scratch.diffs = diffs;
+            let cand = Cand { dist, id: ep };
+            results.push(cand);
+            frontier.push(Reverse(cand));
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(Reverse(current)) = frontier.pop() {
+            if results.len() >= ef {
+                let worst = results.peek().expect("results non-empty");
+                if current.dist.total_cmp(&worst.dist).is_gt() {
+                    break;
+                }
+            }
+            for &nb in &self.links[current.id as usize][layer] {
+                if !scratch.visit(nb) {
+                    continue;
+                }
+                let mut diffs = std::mem::take(&mut scratch.diffs);
+                let dist = self.node_distance(q, nb, &mut diffs);
+                scratch.diffs = diffs;
+                let admit = if results.len() < ef {
+                    true
+                } else {
+                    dist.total_cmp(&results.peek().expect("non-empty").dist)
+                        .is_lt()
+                };
+                if admit {
+                    let cand = Cand { dist, id: nb };
+                    results.push(cand);
+                    frontier.push(Reverse(cand));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out = results.into_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Greedy single-step descent through layers above `target_layer`,
+    /// returning the entry point for the beam phase.
+    fn greedy_descend(&self, q: &[f64], target_layer: usize, scratch: &mut Scratch) -> u32 {
+        let mut ep = self.entry;
+        let mut diffs = std::mem::take(&mut scratch.diffs);
+        let mut best = self.node_distance(q, ep, &mut diffs);
+        let mut layer = self.max_level as usize;
+        while layer > target_layer {
+            let mut improved = true;
+            while improved {
+                improved = false;
+                for &nb in &self.links[ep as usize][layer] {
+                    let dist = self.node_distance(q, nb, &mut diffs);
+                    if dist.total_cmp(&best).is_lt() {
+                        best = dist;
+                        ep = nb;
+                        improved = true;
+                    }
+                }
+            }
+            layer -= 1;
+        }
+        scratch.diffs = diffs;
+        ep
+    }
+
+    /// Insert one embedding; ids are assigned sequentially. Construction
+    /// is serial by design — see the module docs on determinism.
+    pub fn insert(&mut self, vector: Vec<f64>) -> Result<usize> {
+        if vector.is_empty() {
+            return Err(SelectionError::Empty("ann vector"));
+        }
+        if let Some(first) = self.vectors.first() {
+            if vector.len() != first.len() {
+                return Err(SelectionError::DimensionMismatch {
+                    what: "ann vector length",
+                    expected: first.len(),
+                    got: vector.len(),
+                });
+            }
+        }
+        let id = u32::try_from(self.vectors.len()).map_err(|_| {
+            SelectionError::InvalidConfig("ann index capacity exceeded (u32 ids)".to_string())
+        })?;
+        let level = self.level_for(id);
+        self.vectors.push(vector);
+        self.levels.push(level as u8);
+        self.links.push(vec![Vec::new(); level + 1]);
+        if id == 0 {
+            self.entry = 0;
+            self.max_level = level as u8;
+            return Ok(0);
+        }
+        let q = self.vectors[id as usize].clone();
+        SCRATCH.with(|cell| {
+            let scratch = &mut cell.borrow_mut();
+            let top = self.max_level as usize;
+            let mut ep = if level < top {
+                self.greedy_descend(&q, level, scratch)
+            } else {
+                self.entry
+            };
+            let mut layer = level.min(top);
+            loop {
+                let candidates = self.search_layer(&q, &[ep], self.ef_construction, layer, scratch);
+                let selected: Vec<Cand> =
+                    candidates.iter().copied().take(self.max_degree).collect();
+                self.links[id as usize][layer] = selected.iter().map(|c| c.id).collect();
+                let cap = if layer == 0 {
+                    2 * self.max_degree
+                } else {
+                    self.max_degree
+                };
+                for cand in &selected {
+                    let nb = cand.id as usize;
+                    self.links[nb][layer].push(id);
+                    if self.links[nb][layer].len() > cap {
+                        self.prune_links(nb, layer, cap, scratch);
+                    }
+                }
+                if let Some(best) = selected.first() {
+                    ep = best.id;
+                }
+                if layer == 0 {
+                    break;
+                }
+                layer -= 1;
+            }
+        });
+        if level > self.max_level as usize {
+            self.max_level = level as u8;
+            self.entry = id;
+        }
+        Ok(id as usize)
+    }
+
+    /// Re-rank `node`'s layer adjacency by `(dist, id)` and keep the `cap`
+    /// closest — deterministic because both keys are total orders.
+    fn prune_links(&mut self, node: usize, layer: usize, cap: usize, scratch: &mut Scratch) {
+        let neighbors = std::mem::take(&mut self.links[node][layer]);
+        let q = &self.vectors[node];
+        let mut diffs = std::mem::take(&mut scratch.diffs);
+        let mut ranked: Vec<Cand> = neighbors
+            .into_iter()
+            .map(|nb| Cand {
+                dist: {
+                    let v = &self.vectors[nb as usize];
+                    diffs.clear();
+                    diffs.extend(q.iter().zip(v.iter()).map(|(a, b)| (a - b).abs()));
+                    diffs.sort_unstable_by(|a, b| b.total_cmp(a));
+                    let k = self.sim_top_k.min(diffs.len());
+                    let avg = diffs[..k].iter().sum::<f64>() / k as f64;
+                    (1.0 - (1.0 - avg)).max(0.0)
+                },
+                id: nb,
+            })
+            .collect();
+        scratch.diffs = diffs;
+        ranked.sort_unstable();
+        ranked.truncate(cap);
+        self.links[node][layer] = ranked.into_iter().map(|c| c.id).collect();
+    }
+
+    /// Exhaustive Eq. 1 top-`k` scan — the ground truth the parity suite
+    /// measures recall against, and the `ef_search >= n` exact regime.
+    pub fn exhaustive_top_k(&self, q: &[f64], k: usize) -> Vec<(u32, f64)> {
+        let mut all: Vec<Cand> = SCRATCH.with(|cell| {
+            let scratch = &mut cell.borrow_mut();
+            let mut diffs = std::mem::take(&mut scratch.diffs);
+            let out = (0..self.len() as u32)
+                .map(|id| Cand {
+                    dist: self.node_distance(q, id, &mut diffs),
+                    id,
+                })
+                .collect();
+            scratch.diffs = diffs;
+            out
+        });
+        all.sort_unstable();
+        all.truncate(k);
+        all.into_iter().map(|c| (c.id, c.dist)).collect()
+    }
+
+    /// Query the `k` nearest stored nodes to `q` under the Eq. 1 metric,
+    /// sorted ascending by `(dist, id)`. `ef >= len()` is the exact
+    /// regime (exhaustive scan); otherwise a beam search with width
+    /// `max(ef, k)`.
+    pub fn search(&self, q: &[f64], k: usize, ef: usize) -> Vec<(u32, f64)> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        if ef >= self.len() {
+            return self.exhaustive_top_k(q, k);
+        }
+        SCRATCH.with(|cell| {
+            let scratch = &mut cell.borrow_mut();
+            let ep = self.greedy_descend(q, 0, scratch);
+            let found = self.search_layer(q, &[ep], ef.max(k), 0, scratch);
+            found.into_iter().take(k).map(|c| (c.id, c.dist)).collect()
+        })
+    }
+
+    /// The `k` nearest *other* nodes to stored node `i`.
+    pub fn knn(&self, i: usize, k: usize, ef: usize) -> Vec<(u32, f64)> {
+        let q = &self.vectors[i];
+        let mut found = self.search(q, k + 1, ef.max(k + 1).min(self.len()));
+        found.retain(|&(id, _)| id as usize != i);
+        found.truncate(k);
+        found
+    }
+
+    /// Neighbour lists for every node — the index-assisted replacement for
+    /// dense similarity rows. Fans out over the frozen graph with
+    /// [`crate::parallel::map_indexed`], so output is bit-identical at any
+    /// thread count.
+    pub fn knn_lists(&self, k: usize, ef: usize, threads: usize) -> Vec<Vec<(u32, f64)>> {
+        let ids: Vec<usize> = (0..self.len()).collect();
+        crate::parallel::map_indexed(&ids, threads, |_, &i| self.knn(i, k, ef))
+    }
+}
+
+/// An ANN index over the *cluster representatives* that coarse recall
+/// proxy-scores, plus the mapping back to cluster indices. Built offline
+/// (stored in `OfflineArtifacts`) or on the fly by the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnRepIndex {
+    /// Scored-cluster index of each indexed item (ascending).
+    clusters: Vec<usize>,
+    /// Representative model of each indexed item (aligned with
+    /// `clusters`).
+    reps: Vec<ModelId>,
+    index: AnnIndex,
+}
+
+impl AnnRepIndex {
+    /// Index the representatives of `scored_clusters` (the clusters coarse
+    /// recall would proxy-score) by their performance vectors.
+    pub fn build(
+        matrix: &PerformanceMatrix,
+        representatives: &[ModelId],
+        scored_clusters: &[usize],
+        sim_top_k: usize,
+        config: &AnnConfig,
+    ) -> Result<Self> {
+        if scored_clusters.is_empty() {
+            return Err(SelectionError::Empty("scored clusters for ann rep index"));
+        }
+        let mut index = AnnIndex::new(sim_top_k, config)?;
+        let mut reps = Vec::with_capacity(scored_clusters.len());
+        for &c in scored_clusters {
+            let rep = *representatives.get(c).ok_or(SelectionError::UnknownId {
+                what: "cluster",
+                id: c,
+            })?;
+            index.insert(matrix.model_vector(rep))?;
+            reps.push(rep);
+        }
+        Ok(AnnRepIndex {
+            clusters: scored_clusters.to_vec(),
+            reps,
+            index,
+        })
+    }
+
+    /// Whether this index was built over exactly `scored_clusters`.
+    pub fn matches(&self, scored_clusters: &[usize]) -> bool {
+        self.clusters == scored_clusters
+    }
+
+    /// Number of indexed representatives.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether no representatives are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The scored-cluster indices nearest to `query` (a model performance
+    /// vector), closest first, at most `width` of them.
+    pub fn expand(&self, query: &[f64], width: usize, ef: usize) -> Vec<usize> {
+        self.index
+            .search(query, width, ef)
+            .into_iter()
+            .map(|(i, _)| self.clusters[i as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_vectors(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..dims)
+                    .map(|d| {
+                        let bits = split_seed(seed, (i * dims + d) as u64);
+                        (bits >> 11) as f64 / 9_007_199_254_740_992.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn indexed_config() -> AnnConfig {
+        AnnConfig {
+            mode: AnnMode::Indexed,
+            ..AnnConfig::default()
+        }
+    }
+
+    #[test]
+    fn mode_parses_and_rejects() {
+        assert_eq!("exact".parse::<AnnMode>().unwrap(), AnnMode::Exact);
+        assert_eq!("indexed".parse::<AnnMode>().unwrap(), AnnMode::Indexed);
+        assert!("fuzzy".parse::<AnnMode>().is_err());
+    }
+
+    #[test]
+    fn config_validation_catches_degenerate_knobs() {
+        let mut cfg = AnnConfig::default();
+        cfg.max_degree = 1;
+        assert!(cfg.validate().is_err());
+        cfg = AnnConfig::default();
+        cfg.k = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn empty_and_mismatched_vectors_are_rejected() {
+        let mut index = AnnIndex::new(3, &indexed_config()).unwrap();
+        assert!(index.insert(Vec::new()).is_err());
+        index.insert(vec![0.1, 0.2]).unwrap();
+        assert!(index.insert(vec![0.1, 0.2, 0.3]).is_err());
+    }
+
+    #[test]
+    fn construction_is_reproducible() {
+        let vectors = demo_vectors(200, 6, 7);
+        let a = AnnIndex::build(vectors.clone(), 3, &indexed_config()).unwrap();
+        let b = AnnIndex::build(vectors, 3, &indexed_config()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_ef_search_matches_exhaustive_scan() {
+        let vectors = demo_vectors(150, 5, 11);
+        let index = AnnIndex::build(vectors.clone(), 3, &indexed_config()).unwrap();
+        for probe in 0..10 {
+            let q = &vectors[probe * 13 % vectors.len()];
+            let exact = index.exhaustive_top_k(q, 10);
+            let found = index.search(q, 10, index.len());
+            assert_eq!(exact, found);
+        }
+    }
+
+    #[test]
+    fn beam_search_recall_is_high() {
+        let vectors = demo_vectors(300, 6, 23);
+        let index = AnnIndex::build(vectors.clone(), 3, &indexed_config()).unwrap();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for probe in 0..30 {
+            let q = &vectors[(probe * 7) % vectors.len()];
+            let exact: Vec<u32> = index
+                .exhaustive_top_k(q, 8)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            let found: Vec<u32> = index.search(q, 8, 48).into_iter().map(|(i, _)| i).collect();
+            total += exact.len();
+            hits += exact.iter().filter(|i| found.contains(i)).count();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.95, "recall {recall} below 0.95");
+    }
+
+    #[test]
+    fn knn_lists_are_thread_count_invariant() {
+        let vectors = demo_vectors(120, 4, 5);
+        let index = AnnIndex::build(vectors, 2, &indexed_config()).unwrap();
+        let serial = index.knn_lists(6, 32, 1);
+        let parallel = index.knn_lists(6, 32, 4);
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().all(|l| l.len() <= 6));
+        for (i, list) in serial.iter().enumerate() {
+            assert!(list.iter().all(|&(id, _)| id as usize != i));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_index() {
+        let vectors = demo_vectors(40, 4, 3);
+        let index = AnnIndex::build(vectors, 2, &indexed_config()).unwrap();
+        let json = serde_json::to_string(&index).unwrap();
+        let back: AnnIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(index, back);
+    }
+}

@@ -1,0 +1,174 @@
+//! Index-assisted clustering: connected components of a thresholded kNN
+//! graph.
+//!
+//! The exact offline phase feeds a dense O(M²) distance matrix into
+//! average-linkage agglomeration — infeasible at 10⁵–10⁶ models. The
+//! indexed path (`--ann indexed`) replaces the dense rows with each
+//! model's top-k neighbour list from the ANN index and merges every pair
+//! closer than the clustering threshold with a union-find, i.e.
+//! single-linkage restricted to index edges. At the tight thresholds the
+//! pipeline uses (families sit far below the threshold, strangers far
+//! above) this recovers the same family structure while doing
+//! O(M·k) work; `DESIGN.md` §5.6 discusses the linkage approximation.
+//!
+//! Determinism: neighbour lists come from the (deterministic) index, the
+//! edge sweep visits nodes in id order, and labels are compacted in
+//! first-appearance order by [`Clustering::new`] — no thread count or
+//! hash-order dependence anywhere.
+
+use super::Clustering;
+use crate::error::{Result, SelectionError};
+
+/// Path-compressing, rank-free union-find (union by smaller root id keeps
+/// the structure independent of merge order).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Attach the larger root under the smaller: the final root of each
+        // component is its minimum member id, a canonical choice.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+    }
+}
+
+/// Cluster `n` models into the connected components of their thresholded
+/// kNN graph: models `i` and `j` land in one cluster when some index-edge
+/// path between them has every hop's distance `<= threshold`.
+///
+/// `neighbor_lists[i]` is model `i`'s neighbour list as `(id, distance)`
+/// pairs (from [`crate::ann::AnnIndex::knn_lists`]); edges are undirected,
+/// so one direction suffices.
+pub fn knn_threshold_components(
+    n: usize,
+    neighbor_lists: &[Vec<(u32, f64)>],
+    threshold: f64,
+) -> Result<Clustering> {
+    if n == 0 {
+        return Err(SelectionError::Empty("cluster assignments"));
+    }
+    if neighbor_lists.len() != n {
+        return Err(SelectionError::DimensionMismatch {
+            what: "knn neighbor lists",
+            expected: n,
+            got: neighbor_lists.len(),
+        });
+    }
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err(SelectionError::InvalidValue {
+            what: "knn clustering threshold",
+            value: threshold,
+        });
+    }
+    let mut uf = UnionFind::new(n);
+    for (i, list) in neighbor_lists.iter().enumerate() {
+        for &(j, dist) in list {
+            if (j as usize) >= n {
+                return Err(SelectionError::UnknownId {
+                    what: "knn neighbor",
+                    id: j as usize,
+                });
+            }
+            if dist <= threshold {
+                uf.union(i, j as usize);
+            }
+        }
+    }
+    let roots: Vec<usize> = (0..n).map(|i| uf.find(i)).collect();
+    // `Clustering::new` compacts root ids in first-appearance order.
+    Clustering::new(roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_follow_threshold() {
+        // 0-1 close, 2-3 close, the groups far apart.
+        let lists = vec![
+            vec![(1u32, 0.02), (2, 0.8)],
+            vec![(0, 0.02), (3, 0.9)],
+            vec![(3, 0.03), (0, 0.8)],
+            vec![(2, 0.03), (1, 0.9)],
+        ];
+        let c = knn_threshold_components(4, &lists, 0.05).unwrap();
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.assignments(), &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn loose_threshold_merges_everything() {
+        let lists = vec![vec![(1u32, 0.02)], vec![(2, 0.4)], vec![(0, 0.5)]];
+        let c = knn_threshold_components(3, &lists, 0.6).unwrap();
+        assert_eq!(c.n_clusters(), 1);
+    }
+
+    #[test]
+    fn no_edges_yields_singletons() {
+        let lists = vec![vec![(1u32, 0.5)], vec![(0, 0.5)], vec![]];
+        let c = knn_threshold_components(3, &lists, 0.1).unwrap();
+        assert_eq!(c.n_clusters(), 3);
+        assert_eq!(c.assignments(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn chaining_is_single_linkage() {
+        // 0-1 and 1-2 are close but 0-2 is not listed: chaining still
+        // merges all three (single linkage over the edge set).
+        let lists = vec![vec![(1u32, 0.04)], vec![(2, 0.04)], vec![]];
+        let c = knn_threshold_components(3, &lists, 0.05).unwrap();
+        assert_eq!(c.n_clusters(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(knn_threshold_components(0, &[], 0.1).is_err());
+        assert!(knn_threshold_components(2, &[vec![]], 0.1).is_err());
+        assert!(knn_threshold_components(1, &[vec![(5, 0.0)]], 0.1).is_err());
+        assert!(knn_threshold_components(1, &[vec![]], f64::NAN).is_err());
+        assert!(knn_threshold_components(1, &[vec![]], -0.1).is_err());
+    }
+
+    #[test]
+    fn union_order_does_not_change_labels() {
+        let forward = vec![
+            vec![(1u32, 0.01), (2, 0.01)],
+            vec![],
+            vec![],
+            vec![(4u32, 0.01)],
+            vec![],
+        ];
+        let reversed = vec![
+            vec![],
+            vec![(0u32, 0.01)],
+            vec![(0, 0.01)],
+            vec![],
+            vec![(3u32, 0.01)],
+        ];
+        let a = knn_threshold_components(5, &forward, 0.05).unwrap();
+        let b = knn_threshold_components(5, &reversed, 0.05).unwrap();
+        assert_eq!(a, b);
+    }
+}

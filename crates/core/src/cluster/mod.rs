@@ -13,6 +13,7 @@
 pub mod dbscan;
 pub mod hierarchical;
 pub mod kmeans;
+pub mod knn;
 pub mod silhouette;
 
 use crate::error::{Result, SelectionError};
@@ -39,18 +40,24 @@ impl Clustering {
         }
         let mut remap: Vec<Option<usize>> = Vec::new();
         let mut compact = Vec::with_capacity(assignments.len());
+        // Running label counter keeps relabelling O(M) — the former
+        // count-the-assigned scan per model was O(M·C), which dominated
+        // at 10⁵-model worlds.
+        let mut next = 0usize;
         for &a in &assignments {
             if a >= remap.len() {
                 remap.resize(a + 1, None);
             }
-            let next = remap.iter().flatten().count();
-            let label = *remap[a].get_or_insert(next);
+            let label = *remap[a].get_or_insert_with(|| {
+                let label = next;
+                next += 1;
+                label
+            });
             compact.push(label);
         }
-        let n_clusters = remap.iter().flatten().count();
         Ok(Self {
             assignments: compact,
-            n_clusters,
+            n_clusters: next,
         })
     }
 
@@ -92,20 +99,27 @@ impl Clustering {
         self.assignments.iter().filter(|&&a| a == c).count()
     }
 
+    /// Size of every cluster in one O(M) pass, indexed by cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_clusters];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
     /// Indices of non-singleton clusters (`|C_i| > 1`) — the only clusters
     /// whose representatives get an online proxy-score computation (Eq. 3).
     pub fn non_singleton_clusters(&self) -> Vec<usize> {
-        (0..self.n_clusters)
-            .filter(|&c| self.cluster_size(c) > 1)
-            .collect()
+        let sizes = self.cluster_sizes();
+        (0..self.n_clusters).filter(|&c| sizes[c] > 1).collect()
     }
 
     /// Indices of singleton clusters (`|C_i| = 1`), whose members receive a
     /// propagated proxy score (Eq. 4).
     pub fn singleton_clusters(&self) -> Vec<usize> {
-        (0..self.n_clusters)
-            .filter(|&c| self.cluster_size(c) == 1)
-            .collect()
+        let sizes = self.cluster_sizes();
+        (0..self.n_clusters).filter(|&c| sizes[c] == 1).collect()
     }
 
     /// Whether a model sits in a non-singleton cluster.
@@ -124,16 +138,23 @@ impl Clustering {
                 got: self.n_models(),
             });
         }
-        let mut reps = Vec::with_capacity(self.n_clusters);
-        for c in 0..self.n_clusters {
-            let rep = self
-                .members(c)
-                .into_iter()
-                .max_by(|&a, &b| matrix.avg_accuracy(a).total_cmp(&matrix.avg_accuracy(b)))
-                .expect("compact clustering has no empty clusters");
-            reps.push(rep);
+        // One O(M) pass instead of a members() scan per cluster. Ties keep
+        // the *later* (higher-id) member, matching what the historical
+        // `members(c).max_by(...)` produced (`max_by` returns the last of
+        // equal maxima).
+        let mut best: Vec<Option<(f64, ModelId)>> = vec![None; self.n_clusters];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            let m = ModelId::from(i);
+            let acc = matrix.avg_accuracy(m);
+            match best[c] {
+                Some((top, _)) if acc.total_cmp(&top).is_lt() => {}
+                _ => best[c] = Some((acc, m)),
+            }
         }
-        Ok(reps)
+        Ok(best
+            .into_iter()
+            .map(|slot| slot.expect("compact clustering has no empty clusters").1)
+            .collect())
     }
 }
 

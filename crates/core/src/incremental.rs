@@ -141,6 +141,11 @@ impl OfflineArtifacts {
         )?;
         self.trends.push(trends);
 
+        // 5. The stored representative index (indexed builds) no longer
+        // matches the grown repository; drop it so online recall rebuilds
+        // one from the fresh matrix instead of querying stale vectors.
+        self.ann = None;
+
         Ok(AdditionReport {
             model: new_id,
             placement,
@@ -272,6 +277,7 @@ mod tests {
             },
             trend_stages: 3,
             parallel: Default::default(),
+            ann: Default::default(),
         };
         (
             OfflineArtifacts::build(matrix, &curves, &config).unwrap(),

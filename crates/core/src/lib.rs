@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod ann;
 pub mod benchsel;
 pub mod budget;
 pub mod cluster;
@@ -63,12 +64,14 @@ pub mod recall;
 pub mod select;
 pub mod similarity;
 pub mod stats;
+pub mod stream;
 pub mod telemetry;
 pub mod traits;
 pub mod trend;
 
 /// One-stop imports for typical use of the framework.
 pub mod prelude {
+    pub use crate::ann::{AnnConfig, AnnIndex, AnnMode, AnnRepIndex};
     pub use crate::budget::EpochLedger;
     pub use crate::cluster::hierarchical::Linkage;
     pub use crate::cluster::Clustering;
@@ -94,6 +97,7 @@ pub mod prelude {
         SelectionOutcome,
     };
     pub use crate::similarity::SimilarityMatrix;
+    pub use crate::stream::StreamingOfflineBuilder;
     pub use crate::telemetry::{RecordingSink, Telemetry, TelemetrySink, TraceReport};
     pub use crate::traits::{ProxyOracle, TargetTrainer};
     pub use crate::trend::{ConvergenceTrends, TrendBook, TrendConfig};

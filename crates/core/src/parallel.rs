@@ -101,10 +101,28 @@ pub fn pair_indices(n: usize) -> Vec<(usize, usize)> {
     pairs
 }
 
+/// Minimum items each worker thread must have before fanning out is
+/// worth it. Spawning an OS thread costs tens of microseconds; the tiny
+/// pools in the selection stages (a handful of survivors or scored
+/// clusters) were paying that on every fan-out — `BENCH_parallel.json`
+/// showed `threads=4` running ~2× *slower* than serial on a 1-core host.
+/// Pools smaller than `8 × threads` now shed workers until every worker
+/// has at least 8 items (or the pool runs serially). Output is unchanged:
+/// chunking stays contiguous and gathered in order, whatever the
+/// effective thread count.
+pub const MIN_ITEMS_PER_THREAD: usize = 8;
+
+/// Cap `threads` so each worker gets at least [`MIN_ITEMS_PER_THREAD`]
+/// items; always at least 1.
+fn effective_threads(threads: usize, len: usize) -> usize {
+    threads.min(len / MIN_ITEMS_PER_THREAD).max(1)
+}
+
 /// Apply `f(index, &item)` to every item, gathering results in index
 /// order. With `threads <= 1` (or fewer than two items) this is the
 /// plain serial loop; otherwise items are split into contiguous chunks
-/// across scoped worker threads.
+/// across scoped worker threads. Small pools shed workers (see
+/// [`MIN_ITEMS_PER_THREAD`]) — the result is identical either way.
 ///
 /// On error, the returned error is exactly the one the serial loop
 /// would produce: each worker stops at its first failure and the
@@ -116,6 +134,7 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
+    let threads = effective_threads(threads, items.len());
     if threads <= 1 || items.len() <= 1 {
         let mut out = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
@@ -172,13 +191,15 @@ where
 }
 
 /// Apply `f(index, &mut item)` to every item in place. Chunking,
-/// ordering, and error semantics match [`try_map_indexed`].
+/// ordering, error semantics, and the small-pool serial cutoff match
+/// [`try_map_indexed`].
 pub fn try_for_each_mut<T, E, F>(items: &mut [T], threads: usize, f: F) -> Result<(), E>
 where
     T: Send,
     E: Send,
     F: Fn(usize, &mut T) -> Result<(), E> + Sync,
 {
+    let threads = effective_threads(threads, items.len());
     if threads <= 1 || items.len() <= 1 {
         for (i, item) in items.iter_mut().enumerate() {
             f(i, item)?;
@@ -315,6 +336,34 @@ mod tests {
             let mut par = init.clone();
             for_each_mut(&mut par, threads, |i, x| *x = split_seed(*x, i as u64));
             assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_pools_shed_workers() {
+        assert_eq!(effective_threads(4, 0), 1);
+        assert_eq!(effective_threads(4, 7), 1);
+        assert_eq!(effective_threads(4, 8), 1);
+        assert_eq!(effective_threads(4, 16), 2);
+        assert_eq!(effective_threads(4, 31), 3);
+        assert_eq!(effective_threads(4, 1000), 4);
+        assert_eq!(effective_threads(1, 1000), 1);
+    }
+
+    #[test]
+    fn small_pool_output_is_unchanged_by_cutoff() {
+        // Pools straddling the cutoff produce identical results at every
+        // thread count — the satellite's serial≡parallel guarantee.
+        for len in [3usize, 7, 8, 9, 16, 17, 64] {
+            let items: Vec<u64> = (0..len as u64).collect();
+            let serial = map_indexed(&items, 1, |i, x| split_seed(*x, i as u64));
+            for threads in [2, 4, 16] {
+                let par = map_indexed(&items, threads, |i, x| split_seed(*x, i as u64));
+                assert_eq!(par, serial, "len={len} threads={threads}");
+                let mut in_place = items.clone();
+                for_each_mut(&mut in_place, threads, |i, x| *x = split_seed(*x, i as u64));
+                assert_eq!(in_place, serial, "len={len} threads={threads} (mut)");
+            }
         }
     }
 

@@ -11,10 +11,12 @@
 //! accounting (`CR` proxy epochs + `FS` training epochs, the Table VI
 //! "2PH" runtime).
 
+use crate::ann::{AnnConfig, AnnIndex, AnnMode, AnnRepIndex};
 use crate::budget::EpochLedger;
 use crate::cluster::dbscan::{dbscan, DbscanConfig};
 use crate::cluster::hierarchical::{hierarchical_k, hierarchical_threshold, Linkage};
 use crate::cluster::kmeans::{kmeans, KMeansConfig};
+use crate::cluster::knn::knn_threshold_components;
 use crate::cluster::Clustering;
 use crate::curve::CurveSet;
 use crate::error::{Result, SelectionError};
@@ -22,7 +24,7 @@ use crate::fault::Casualty;
 use crate::matrix::PerformanceMatrix;
 use crate::parallel::ParallelConfig;
 use crate::proxy::leep::leep;
-use crate::recall::{coarse_recall_par_traced, RecallConfig, RecallOutcome};
+use crate::recall::{coarse_recall_ann_traced, scored_cluster_set, RecallConfig, RecallOutcome};
 use crate::select::fine::{fine_selection_traced, FineSelectionConfig};
 use crate::select::SelectionOutcome;
 use crate::similarity::SimilarityMatrix;
@@ -32,6 +34,7 @@ use crate::trend::{TrendBook, TrendConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How to cluster the model repository offline.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -72,6 +75,13 @@ pub struct OfflineConfig {
     /// Worker threads for the pairwise-similarity and trend-mining loops
     /// (serial by default; results are identical for any thread count).
     pub parallel: ParallelConfig,
+    /// ANN exactness knob. `Exact` (default) keeps the dense O(M²) build;
+    /// `Indexed` builds an HNSW-style index instead, replacing the dense
+    /// similarity matrix with lazy storage and dense agglomeration with
+    /// thresholded-kNN components. Defaults for configs serialized before
+    /// the field existed.
+    #[serde(default)]
+    pub ann: AnnConfig,
 }
 
 impl Default for OfflineConfig {
@@ -82,12 +92,13 @@ impl Default for OfflineConfig {
             trend: TrendConfig::default(),
             trend_stages: 8,
             parallel: ParallelConfig::serial(),
+            ann: AnnConfig::default(),
         }
     }
 }
 
 /// Everything the online phases need, computed once per repository.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OfflineArtifacts {
     /// The performance matrix `Matrix(D, M)`.
     pub matrix: PerformanceMatrix,
@@ -97,6 +108,44 @@ pub struct OfflineArtifacts {
     pub clustering: Clustering,
     /// Per-model convergence trends `CT`.
     pub trends: TrendBook,
+    /// Representative ANN index over the scored clusters, present only on
+    /// indexed builds — online recall reuses it instead of rebuilding one
+    /// per query.
+    pub ann: Option<AnnRepIndex>,
+}
+
+// Manual serde keeps exact-mode artifact JSON byte-identical to pre-index
+// builds: the `ann` key is written only when an index exists, and absent
+// keys deserialize to `None` (older artifact files keep loading).
+impl Serialize for OfflineArtifacts {
+    fn serialize_value(&self) -> serde::value::Value {
+        let mut m = serde::value::Map::new();
+        m.insert("matrix".into(), self.matrix.serialize_value());
+        m.insert("similarity".into(), self.similarity.serialize_value());
+        m.insert("clustering".into(), self.clustering.serialize_value());
+        m.insert("trends".into(), self.trends.serialize_value());
+        if let Some(ann) = &self.ann {
+            m.insert("ann".into(), ann.serialize_value());
+        }
+        serde::value::Value::Object(m)
+    }
+}
+
+impl Deserialize for OfflineArtifacts {
+    fn deserialize_value(v: &serde::value::Value) -> std::result::Result<Self, serde::Error> {
+        let m = serde::__private::expect_object(v, "OfflineArtifacts")?;
+        let ann = match m.get("ann") {
+            None | Some(serde::value::Value::Null) => None,
+            Some(v) => Some(AnnRepIndex::deserialize_value(v)?),
+        };
+        Ok(Self {
+            matrix: serde::__private::field(m, "matrix")?,
+            similarity: serde::__private::field(m, "similarity")?,
+            clustering: serde::__private::field(m, "clustering")?,
+            trends: serde::__private::field(m, "trends")?,
+            ann,
+        })
+    }
 }
 
 impl OfflineArtifacts {
@@ -130,13 +179,68 @@ impl OfflineArtifacts {
         tel.add("offline.models", matrix.n_models() as f64);
         tel.add("offline.datasets", matrix.n_datasets() as f64);
         let threads = config.parallel.resolve();
-        let similarity = {
-            let _s = tel.span("offline.similarity");
-            SimilarityMatrix::from_performance_par(&matrix, config.similarity_top_k, threads)?
-        };
-        let clustering = {
-            let _s = tel.span("offline.cluster");
-            cluster_models(&matrix, &similarity, config.cluster)?
+        let (similarity, clustering, ann) = match config.ann.mode {
+            AnnMode::Exact => {
+                let similarity = {
+                    let _s = tel.span("offline.similarity");
+                    SimilarityMatrix::from_performance_par(
+                        &matrix,
+                        config.similarity_top_k,
+                        threads,
+                    )?
+                };
+                let clustering = {
+                    let _s = tel.span("offline.cluster");
+                    cluster_models(&matrix, &similarity, config.cluster)?
+                };
+                (similarity, clustering, None)
+            }
+            AnnMode::Indexed => {
+                config.ann.validate()?;
+                let threshold = match config.cluster {
+                    ClusterMethod::HierarchicalThreshold(t) => t,
+                    other => {
+                        return Err(SelectionError::InvalidConfig(format!(
+                            "indexed offline build supports only \
+                             HierarchicalThreshold clustering, got {other:?}"
+                        )))
+                    }
+                };
+                let vectors = Arc::new(matrix.model_vectors());
+                let similarity = {
+                    let _s = tel.span("offline.similarity");
+                    SimilarityMatrix::lazy_from_vectors(
+                        Arc::clone(&vectors),
+                        config.similarity_top_k,
+                    )?
+                };
+                let clustering = {
+                    let _s = tel.span("offline.cluster");
+                    let index = AnnIndex::build(
+                        vectors.as_ref().clone(),
+                        config.similarity_top_k,
+                        &config.ann,
+                    )?;
+                    tel.add("ann.index_nodes", index.len() as f64);
+                    tel.add("ann.knn_k", config.ann.k as f64);
+                    let lists = index.knn_lists(config.ann.k, config.ann.ef_search, threads);
+                    tel.add(
+                        "ann.knn_edges",
+                        lists.iter().map(Vec::len).sum::<usize>() as f64,
+                    );
+                    knn_threshold_components(matrix.n_models(), &lists, threshold)?
+                };
+                let reps = clustering.representatives(&matrix)?;
+                let scored = scored_cluster_set(&clustering);
+                let rep_index = AnnRepIndex::build(
+                    &matrix,
+                    &reps,
+                    &scored,
+                    config.similarity_top_k,
+                    &config.ann,
+                )?;
+                (similarity, clustering, Some(rep_index))
+            }
         };
         tel.add("offline.clusters", clustering.n_clusters() as f64);
         let trends = {
@@ -148,6 +252,7 @@ impl OfflineArtifacts {
             similarity,
             clustering,
             trends,
+            ann,
         })
     }
 }
@@ -197,6 +302,12 @@ pub struct PipelineConfig {
     /// Worker threads for proxy scoring and per-stage training fan-out
     /// (serial by default; results are identical for any thread count).
     pub parallel: ParallelConfig,
+    /// ANN exactness knob for coarse recall. `Exact` (default) proxy-scores
+    /// every representative; `Indexed` restricts proxy scoring to seed
+    /// clusters plus index neighbours (`O(k·log M)` fan-out). Defaults for
+    /// configs serialized before the field existed.
+    #[serde(default)]
+    pub ann: AnnConfig,
 }
 
 impl Default for PipelineConfig {
@@ -206,6 +317,7 @@ impl Default for PipelineConfig {
             fine: FineSelectionConfig::default(),
             total_stages: 5,
             parallel: ParallelConfig::serial(),
+            ann: AnnConfig::default(),
         }
     }
 }
@@ -318,11 +430,13 @@ pub fn two_phase_select_traced(
 ) -> Result<PipelineOutcome> {
     let _span = tel.span("pipeline.two_phase_select");
     let threads = config.parallel.resolve();
-    let recall = coarse_recall_par_traced(
+    let recall = coarse_recall_ann_traced(
         &artifacts.matrix,
         &artifacts.clustering,
         &artifacts.similarity,
         &config.recall,
+        &config.ann,
+        artifacts.ann.as_ref(),
         threads,
         |rep| {
             let predictions = oracle.predictions(rep)?;
@@ -595,6 +709,155 @@ mod tests {
             &OfflineConfig::default()
         )
         .is_err());
+    }
+
+    fn fixture_inputs() -> (PerformanceMatrix, CurveSet, usize) {
+        let stages = 4;
+        let (artifacts, _) = fixture();
+        let matrix = artifacts.matrix;
+        let curves = CurveSet::from_fn(6, matrix.n_datasets(), |m, d| {
+            let final_acc = matrix.accuracy(d, m);
+            let vals = (0..stages)
+                .map(|t| final_acc * (0.6 + 0.4 * (t + 1) as f64 / stages as f64))
+                .collect();
+            LearningCurve::new(vals, final_acc).unwrap()
+        })
+        .unwrap();
+        (matrix, curves, stages)
+    }
+
+    #[test]
+    fn indexed_offline_build_recovers_families_and_stores_index() {
+        let (matrix, curves, _) = fixture_inputs();
+        let config = OfflineConfig {
+            cluster: ClusterMethod::HierarchicalThreshold(0.08),
+            trend: TrendConfig {
+                n_trends: 2,
+                max_iter: 32,
+            },
+            ann: AnnConfig {
+                mode: AnnMode::Indexed,
+                ..AnnConfig::default()
+            },
+            ..Default::default()
+        };
+        let artifacts = OfflineArtifacts::build(matrix, &curves, &config).unwrap();
+        let c = &artifacts.clustering;
+        // Same family structure the dense build finds on this fixture.
+        assert_eq!(c.cluster_of(ModelId(0)), c.cluster_of(ModelId(1)));
+        assert_eq!(c.cluster_of(ModelId(0)), c.cluster_of(ModelId(2)));
+        assert_eq!(c.cluster_of(ModelId(3)), c.cluster_of(ModelId(4)));
+        assert_ne!(c.cluster_of(ModelId(0)), c.cluster_of(ModelId(3)));
+        assert!(!c.in_non_singleton(ModelId(5)));
+        assert!(artifacts.similarity.is_lazy());
+        let rep_index = artifacts.ann.as_ref().expect("indexed build stores index");
+        assert_eq!(rep_index.len(), 2, "two non-singleton clusters scored");
+    }
+
+    #[test]
+    fn indexed_build_rejects_non_threshold_clustering() {
+        let (matrix, curves, _) = fixture_inputs();
+        let config = OfflineConfig {
+            cluster: ClusterMethod::KMeans { k: 3, seed: 7 },
+            ann: AnnConfig {
+                mode: AnnMode::Indexed,
+                ..AnnConfig::default()
+            },
+            ..Default::default()
+        };
+        assert!(matches!(
+            OfflineArtifacts::build(matrix, &curves, &config),
+            Err(SelectionError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn indexed_end_to_end_selects_a_strong_model() {
+        let (matrix, curves, stages) = fixture_inputs();
+        let ann = AnnConfig {
+            mode: AnnMode::Indexed,
+            ..AnnConfig::default()
+        };
+        let artifacts = OfflineArtifacts::build(
+            matrix,
+            &curves,
+            &OfflineConfig {
+                cluster: ClusterMethod::HierarchicalThreshold(0.08),
+                trend: TrendConfig {
+                    n_trends: 2,
+                    max_iter: 32,
+                },
+                ann,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let oracle = FixtureOracle {
+            labels: vec![0, 1, 0, 1, 0, 1],
+        };
+        let target: Vec<Vec<f64>> = (0..6)
+            .map(|m| {
+                let ceiling = if m <= 2 { 0.85 + 0.01 * m as f64 } else { 0.4 };
+                (0..stages)
+                    .map(|t| ceiling * (0.7 + 0.3 * (t + 1) as f64 / stages as f64))
+                    .collect()
+            })
+            .collect();
+        let mut trainer = ScriptedTrainer::from_val_curves(target);
+        let out = two_phase_select(
+            &artifacts,
+            &oracle,
+            &mut trainer,
+            &PipelineConfig {
+                recall: RecallConfig {
+                    top_k: 3,
+                    ..Default::default()
+                },
+                total_stages: stages,
+                ann,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.selection.winner.index() <= 2);
+        assert!(out.recall.recalled.iter().all(|m| m.index() <= 2));
+    }
+
+    #[test]
+    fn exact_artifacts_serialize_without_ann_key() {
+        let (artifacts, _) = fixture();
+        assert!(artifacts.ann.is_none());
+        let json = serde_json::to_string(&artifacts).unwrap();
+        assert!(
+            !json.contains("\"ann\""),
+            "exact artifacts must not gain keys"
+        );
+        let back: OfflineArtifacts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.clustering, artifacts.clustering);
+        assert!(back.ann.is_none());
+    }
+
+    #[test]
+    fn indexed_artifacts_round_trip_with_index() {
+        let (matrix, curves, _) = fixture_inputs();
+        let config = OfflineConfig {
+            cluster: ClusterMethod::HierarchicalThreshold(0.08),
+            trend: TrendConfig {
+                n_trends: 2,
+                max_iter: 32,
+            },
+            ann: AnnConfig {
+                mode: AnnMode::Indexed,
+                ..AnnConfig::default()
+            },
+            ..Default::default()
+        };
+        let artifacts = OfflineArtifacts::build(matrix, &curves, &config).unwrap();
+        let json = serde_json::to_string(&artifacts).unwrap();
+        let back: OfflineArtifacts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.similarity, artifacts.similarity);
+        assert_eq!(back.clustering, artifacts.clustering);
+        assert_eq!(back.ann, artifacts.ann);
     }
 
     #[test]

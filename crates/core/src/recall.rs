@@ -13,6 +13,7 @@
 //!
 //! The top-K models by recall score advance to fine-selection.
 
+use crate::ann::{AnnConfig, AnnMode, AnnRepIndex};
 use crate::cluster::Clustering;
 use crate::error::{FaultClass, Result, SelectionError};
 use crate::fault::{Casualty, RetryPolicy};
@@ -199,6 +200,161 @@ pub fn coarse_recall_par_traced(
     Ok(out)
 }
 
+/// [`coarse_recall_par_traced`] with an ANN-index candidate stage in front
+/// of proxy scoring.
+///
+/// With [`AnnMode::Exact`] this *is* `coarse_recall_par_traced` — same
+/// code path, byte-identical outcome and trace. With [`AnnMode::Indexed`]
+/// the proxy fan-out shrinks from O(#reps) to O(k·log M): the
+/// `seed_reps` scored clusters whose representatives have the highest
+/// benchmark average accuracy are taken as seeds, the index around the
+/// best seed is expanded to at most `k·⌈log₂ M⌉` further representatives,
+/// and only that candidate set is proxy-scored. Every unscored cluster
+/// falls back to the paper's Eq. 4 propagation, so every model still
+/// receives a recall score. Candidate choice happens *before* any proxy
+/// call, and all tie-breaks are `(value via total_cmp, then id)`, so the
+/// outcome is bit-identical for any fixed `(seed, AnnConfig, threads)`.
+///
+/// `rep_index` is the prebuilt representative index from
+/// `OfflineArtifacts` (indexed builds store one); when absent or stale it
+/// is rebuilt here from the matrix. Indexed mode additionally emits the
+/// `ann.{seeds, expanded, candidates, k, log2_m}` counters; exact mode
+/// emits nothing new, preserving the trace-drift baseline.
+#[allow(clippy::too_many_arguments)]
+pub fn coarse_recall_ann_traced(
+    matrix: &PerformanceMatrix,
+    clustering: &Clustering,
+    similarity: &SimilarityMatrix,
+    config: &RecallConfig,
+    ann: &AnnConfig,
+    rep_index: Option<&AnnRepIndex>,
+    threads: usize,
+    proxy_for: impl Fn(ModelId) -> Result<f64> + Sync,
+    tel: &Telemetry,
+) -> Result<RecallOutcome> {
+    if ann.mode == AnnMode::Exact {
+        return coarse_recall_par_traced(
+            matrix, clustering, similarity, config, threads, proxy_for, tel,
+        );
+    }
+    ann.validate()?;
+    let _span = tel.span("recall.coarse");
+    let (representatives, all_scored) = prepare_recall(matrix, clustering, similarity, config)?;
+    tel.add("recall.candidates", matrix.n_models() as f64);
+    let scored_clusters = ann_candidate_clusters(
+        matrix,
+        similarity,
+        &representatives,
+        &all_scored,
+        ann,
+        rep_index,
+        tel,
+    )?;
+    tel.observe("recall.fanout_width", scored_clusters.len() as f64);
+    let resolved = {
+        let _scoring = tel.span("recall.proxy_scoring");
+        let first: Vec<Option<Result<f64>>> =
+            crate::parallel::map_indexed(&scored_clusters, threads, |_, &c| {
+                Some(proxy_for(representatives[c]))
+            });
+        resolve_scores(
+            &representatives,
+            &scored_clusters,
+            first,
+            &mut |rep| proxy_for(rep),
+            config.retry,
+            tel,
+        )?
+    };
+    tel.add("recall.proxy_evals", resolved.attempts as f64);
+    if !resolved.casualties.is_empty() {
+        tel.add("recall.quarantined", resolved.casualties.len() as f64);
+    }
+    let out = finish_recall(
+        matrix,
+        clustering,
+        similarity,
+        config,
+        representatives,
+        resolved,
+    )?;
+    tel.add("recall.proxy_epochs", out.proxy_epochs);
+    tel.add("recall.recalled", out.recalled.len() as f64);
+    tel.observe("recall.proxy_epochs_per_call", out.proxy_epochs);
+    Ok(out)
+}
+
+/// `⌈log₂ max(n, 2)⌉` — the sublinearity budget's scale term.
+fn ceil_log2(n: usize) -> usize {
+    let n = n.max(2);
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// Choose which clusters indexed recall proxy-scores: `seed_reps` seeds by
+/// representative benchmark accuracy plus at most `k·⌈log₂ M⌉` index
+/// neighbours of the best seed. Returns cluster indices sorted ascending —
+/// the same iteration order the exhaustive path uses, which keeps the
+/// Eq. 4 float-summation order deterministic.
+fn ann_candidate_clusters(
+    matrix: &PerformanceMatrix,
+    similarity: &SimilarityMatrix,
+    representatives: &[ModelId],
+    all_scored: &[usize],
+    ann: &AnnConfig,
+    rep_index: Option<&AnnRepIndex>,
+    tel: &Telemetry,
+) -> Result<Vec<usize>> {
+    let width = ann.k.saturating_mul(ceil_log2(matrix.n_models()));
+    tel.add("ann.k", ann.k as f64);
+    tel.add("ann.log2_m", ceil_log2(matrix.n_models()) as f64);
+    if all_scored.len() <= ann.seed_reps.saturating_add(width) {
+        // The zoo is small enough that "sublinear" would cover everything;
+        // score all clusters, exactly like the exhaustive path.
+        tel.add("ann.seeds", all_scored.len() as f64);
+        tel.add("ann.expanded", 0.0);
+        tel.add("ann.candidates", all_scored.len() as f64);
+        return Ok(all_scored.to_vec());
+    }
+
+    // Seeds: scored clusters whose representatives lead on benchmark
+    // average accuracy (ties to the lower model id).
+    let mut order: Vec<usize> = all_scored.to_vec();
+    order.sort_by(|&a, &b| {
+        matrix
+            .avg_accuracy(representatives[b])
+            .total_cmp(&matrix.avg_accuracy(representatives[a]))
+            .then_with(|| representatives[a].cmp(&representatives[b]))
+    });
+    order.truncate(ann.seed_reps);
+    let seeds = order;
+
+    // Expand the index around the best seed's representative — before any
+    // proxy call, so candidate choice stays independent of proxy quality.
+    let built;
+    let index = match rep_index {
+        Some(idx) if idx.matches(all_scored) => idx,
+        _ => {
+            let sim_top_k = similarity.eq1_top_k().unwrap_or(5);
+            built = AnnRepIndex::build(matrix, representatives, all_scored, sim_top_k, ann)?;
+            &built
+        }
+    };
+    let query = matrix.model_vector(representatives[seeds[0]]);
+    let expanded = index.expand(&query, width, ann.ef_search);
+
+    let mut candidates: Vec<usize> = seeds
+        .iter()
+        .copied()
+        .chain(expanded.iter().copied())
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    tel.add("ann.seeds", seeds.len() as f64);
+    tel.add("ann.expanded", expanded.len() as f64);
+    tel.add("ann.candidates", candidates.len() as f64);
+    Ok(candidates)
+}
+
 /// Proxy scores that survived the retry/quarantine pass, plus the cost and
 /// casualty bookkeeping the pass produced.
 struct ResolvedScores {
@@ -318,17 +474,21 @@ fn prepare_recall(
     }
 
     let representatives = clustering.representatives(matrix)?;
-    let non_singleton = clustering.non_singleton_clusters();
+    Ok((representatives, scored_cluster_set(clustering)))
+}
 
-    // Proxy scores for the representatives of non-singleton clusters. When
-    // every cluster is a singleton (degenerate clustering) we fall back to
-    // scoring every representative — otherwise no model could be ranked.
-    let scored_clusters: Vec<usize> = if non_singleton.is_empty() {
+/// The clusters whose representatives recall proxy-scores: non-singleton
+/// clusters, or — when the clustering is fully singleton (degenerate) —
+/// every cluster, since otherwise no model could be ranked. Shared with
+/// the offline build so the stored [`AnnRepIndex`] covers exactly this
+/// set.
+pub(crate) fn scored_cluster_set(clustering: &Clustering) -> Vec<usize> {
+    let non_singleton = clustering.non_singleton_clusters();
+    if non_singleton.is_empty() {
         (0..clustering.n_clusters()).collect()
     } else {
         non_singleton
-    };
-    Ok((representatives, scored_clusters))
+    }
 }
 
 /// Turn raw representative proxy scores into the final [`RecallOutcome`].
@@ -590,6 +750,126 @@ mod tests {
             coarse_recall_par(&m, &c, &s, &RecallConfig::default(), 4, fail).unwrap_err(),
             coarse_recall(&m, &c, &s, &RecallConfig::default(), fail).unwrap_err(),
         );
+    }
+
+    #[test]
+    fn ann_exact_mode_is_byte_identical_to_legacy_path() {
+        let (m, c, s) = fixture();
+        let proxy = |rep: ModelId| Ok(-0.1 * (rep.index() as f64 + 1.0));
+        let legacy = coarse_recall_par(&m, &c, &s, &RecallConfig::default(), 2, proxy).unwrap();
+        let ann = coarse_recall_ann_traced(
+            &m,
+            &c,
+            &s,
+            &RecallConfig::default(),
+            &AnnConfig::default(), // mode = Exact
+            None,
+            2,
+            proxy,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(ann, legacy);
+        assert_eq!(
+            serde_json::to_string(&ann).unwrap(),
+            serde_json::to_string(&legacy).unwrap()
+        );
+    }
+
+    #[test]
+    fn ann_indexed_mode_small_world_scores_everything() {
+        // Fewer scored clusters than seeds + width: indexed recall must
+        // collapse to the exhaustive candidate set and match it exactly.
+        let (m, c, s) = fixture();
+        let proxy = |rep: ModelId| Ok(-0.1 * (rep.index() as f64 + 1.0));
+        let exact = coarse_recall_par(&m, &c, &s, &RecallConfig::default(), 1, proxy).unwrap();
+        let cfg = AnnConfig {
+            mode: AnnMode::Indexed,
+            ..AnnConfig::default()
+        };
+        let indexed = coarse_recall_ann_traced(
+            &m,
+            &c,
+            &s,
+            &RecallConfig::default(),
+            &cfg,
+            None,
+            1,
+            proxy,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(indexed, exact);
+    }
+
+    #[test]
+    fn ann_indexed_mode_bounds_proxy_fanout() {
+        // 60 clusters of 2 models each; indexed recall must proxy-score at
+        // most seed_reps + k·⌈log₂ M⌉ representatives, not all 60.
+        let n = 120usize;
+        let names: Vec<String> = (0..n).map(|i| format!("m{i}")).collect();
+        let rows: Vec<Vec<f64>> = (0..3)
+            .map(|d| {
+                (0..n)
+                    .map(|i| (((i / 2) * 17 + d * 5) % 97) as f64 / 97.0)
+                    .collect()
+            })
+            .collect();
+        let matrix =
+            PerformanceMatrix::new(names, (0..3).map(|d| format!("d{d}")).collect(), rows).unwrap();
+        let clustering = Clustering::new((0..n).map(|i| i / 2).collect()).unwrap();
+        let similarity = SimilarityMatrix::lazy_from_performance(&matrix, 2).unwrap();
+        let cfg = AnnConfig {
+            mode: AnnMode::Indexed,
+            k: 2,
+            seed_reps: 3,
+            ..AnnConfig::default()
+        };
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let out = coarse_recall_ann_traced(
+            &matrix,
+            &clustering,
+            &similarity,
+            &RecallConfig::default(),
+            &cfg,
+            None,
+            1,
+            |rep| {
+                calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Ok(-0.1 * (rep.index() as f64 + 1.0))
+            },
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        let bound = cfg.seed_reps + cfg.k * super::ceil_log2(n);
+        let scored = calls.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(scored <= bound, "scored {scored} > bound {bound}");
+        assert!(scored < 60, "fan-out was not reduced");
+        // Every model still gets ranked (Eq. 4 covers unscored clusters).
+        assert_eq!(out.ranked.len(), n);
+        // Deterministic across repeat runs and thread counts.
+        let again = coarse_recall_ann_traced(
+            &matrix,
+            &clustering,
+            &similarity,
+            &RecallConfig::default(),
+            &cfg,
+            None,
+            4,
+            |rep| Ok(-0.1 * (rep.index() as f64 + 1.0)),
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn ceil_log2_scale_term() {
+        assert_eq!(ceil_log2(0), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Streamed offline builds for million-model zoos.
+//!
+//! [`OfflineArtifacts::build`] wants every model's curves in memory at
+//! once (a [`crate::curve::CurveSet`]), which at 10⁵–10⁶ models is the
+//! difference between fitting in RAM and not: curves dominate the input
+//! footprint, and the dense exact path additionally materialises an
+//! O(M²) similarity matrix. [`StreamingOfflineBuilder`] instead accepts
+//! one model at a time, mining its convergence trends and inserting its
+//! performance vector into the ANN index *immediately*, so each model's
+//! curves can be dropped as soon as it is pushed. Peak memory is
+//! O(M·D + index), never O(M²) or O(total curves).
+//!
+//! The builder requires [`crate::ann::AnnMode::Indexed`] (a streamed
+//! dense build would defeat the point) and produces artifacts
+//! **bit-identical** to the batch indexed build for the same model
+//! order: the index inserts in push order exactly as
+//! [`crate::ann::AnnIndex::build`] does, and trend mining is per-model.
+
+use crate::ann::{AnnIndex, AnnMode, AnnRepIndex};
+use crate::curve::LearningCurve;
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::matrix::PerformanceMatrix;
+use crate::pipeline::{ClusterMethod, OfflineArtifacts, OfflineConfig};
+use crate::recall::scored_cluster_set;
+use crate::similarity::SimilarityMatrix;
+use crate::telemetry::Telemetry;
+use crate::trend::{mine_trends, ConvergenceTrends, TrendBook};
+use std::sync::Arc;
+
+/// Incremental offline build: push models one at a time, then
+/// [`finish`](Self::finish) into [`OfflineArtifacts`].
+///
+/// ```
+/// use tps_core::prelude::*;
+/// use tps_core::stream::StreamingOfflineBuilder;
+/// # use tps_core::curve::LearningCurve;
+/// # fn curves_for(_m: usize) -> Vec<LearningCurve> {
+/// #     (0..2).map(|d| LearningCurve::new(vec![0.4, 0.5], 0.5 + 0.01 * d as f64).unwrap()).collect()
+/// # }
+/// # fn main() -> tps_core::error::Result<()> {
+/// let config = OfflineConfig {
+///     ann: AnnConfig { mode: AnnMode::Indexed, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let mut builder = StreamingOfflineBuilder::new(
+///     vec!["bench-0".into(), "bench-1".into()],
+///     config,
+/// )?;
+/// for m in 0..16 {
+///     builder.push_model(format!("model-{m}"), &curves_for(m))?;
+/// }
+/// let artifacts = builder.finish()?;
+/// assert_eq!(artifacts.matrix.n_models(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamingOfflineBuilder {
+    dataset_names: Vec<String>,
+    config: OfflineConfig,
+    threshold: f64,
+    model_names: Vec<String>,
+    trends: Vec<ConvergenceTrends>,
+    index: AnnIndex,
+}
+
+impl StreamingOfflineBuilder {
+    /// Start a streamed build over the given benchmark datasets.
+    ///
+    /// `config.ann.mode` must be [`AnnMode::Indexed`] and `config.cluster`
+    /// must be [`ClusterMethod::HierarchicalThreshold`] — the only
+    /// combination whose offline derivations are incremental.
+    pub fn new(dataset_names: Vec<String>, config: OfflineConfig) -> Result<Self> {
+        if dataset_names.is_empty() {
+            return Err(SelectionError::Empty("benchmark datasets"));
+        }
+        if config.ann.mode != AnnMode::Indexed {
+            return Err(SelectionError::InvalidConfig(
+                "streamed offline build requires ann mode `indexed`".into(),
+            ));
+        }
+        config.ann.validate()?;
+        let threshold = match config.cluster {
+            ClusterMethod::HierarchicalThreshold(t) => t,
+            other => {
+                return Err(SelectionError::InvalidConfig(format!(
+                    "streamed offline build supports only HierarchicalThreshold \
+                     clustering, got {other:?}"
+                )))
+            }
+        };
+        let index = AnnIndex::new(config.similarity_top_k, &config.ann)?;
+        Ok(Self {
+            dataset_names,
+            config,
+            threshold,
+            model_names: Vec::new(),
+            trends: Vec::new(),
+            index,
+        })
+    }
+
+    /// Add one model from its benchmark learning curves (one per dataset,
+    /// in dataset order). The curves are fully consumed here — trends are
+    /// mined and the final test accuracies indexed — so the caller can
+    /// drop them immediately.
+    pub fn push_model(
+        &mut self,
+        name: impl Into<String>,
+        curves: &[LearningCurve],
+    ) -> Result<ModelId> {
+        if curves.len() != self.dataset_names.len() {
+            return Err(SelectionError::DimensionMismatch {
+                what: "benchmark curves",
+                expected: self.dataset_names.len(),
+                got: curves.len(),
+            });
+        }
+        let trends = mine_trends(curves, self.config.trend_stages, &self.config.trend)?;
+        let accuracies: Vec<f64> = curves.iter().map(LearningCurve::test).collect();
+        let id = self.index.insert(accuracies)?;
+        self.model_names.push(name.into());
+        self.trends.push(trends);
+        Ok(ModelId::from(id))
+    }
+
+    /// Number of models pushed so far.
+    pub fn len(&self) -> usize {
+        self.model_names.len()
+    }
+
+    /// Whether no models have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.model_names.is_empty()
+    }
+
+    /// Finalize into [`OfflineArtifacts`]. Bit-identical to
+    /// [`OfflineArtifacts::build`] with the same config over the same
+    /// models in push order.
+    pub fn finish(self) -> Result<OfflineArtifacts> {
+        self.finish_traced(&Telemetry::disabled())
+    }
+
+    /// [`Self::finish`] with the same `offline.*` spans and counters the
+    /// batch indexed build records.
+    pub fn finish_traced(self, tel: &Telemetry) -> Result<OfflineArtifacts> {
+        if self.model_names.is_empty() {
+            return Err(SelectionError::Empty("streamed models"));
+        }
+        let _span = tel.span("offline.build");
+        let n_models = self.model_names.len();
+        let n_datasets = self.dataset_names.len();
+        tel.add("offline.models", n_models as f64);
+        tel.add("offline.datasets", n_datasets as f64);
+        let threads = self.config.parallel.resolve();
+
+        // Dataset-major rows from the indexed model columns.
+        let rows: Vec<Vec<f64>> = (0..n_datasets)
+            .map(|d| (0..n_models).map(|m| self.index.vector(m)[d]).collect())
+            .collect();
+        let matrix = PerformanceMatrix::new(self.model_names, self.dataset_names, rows)?;
+
+        let similarity = {
+            let _s = tel.span("offline.similarity");
+            SimilarityMatrix::lazy_from_vectors(
+                Arc::new(matrix.model_vectors()),
+                self.config.similarity_top_k,
+            )?
+        };
+        let clustering = {
+            let _s = tel.span("offline.cluster");
+            tel.add("ann.index_nodes", self.index.len() as f64);
+            tel.add("ann.knn_k", self.config.ann.k as f64);
+            let lists = self
+                .index
+                .knn_lists(self.config.ann.k, self.config.ann.ef_search, threads);
+            tel.add(
+                "ann.knn_edges",
+                lists.iter().map(Vec::len).sum::<usize>() as f64,
+            );
+            crate::cluster::knn::knn_threshold_components(n_models, &lists, self.threshold)?
+        };
+        tel.add("offline.clusters", clustering.n_clusters() as f64);
+        let reps = clustering.representatives(&matrix)?;
+        let scored = scored_cluster_set(&clustering);
+        let rep_index = AnnRepIndex::build(
+            &matrix,
+            &reps,
+            &scored,
+            self.config.similarity_top_k,
+            &self.config.ann,
+        )?;
+        let trends = {
+            let _s = tel.span("offline.trends");
+            TrendBook::from_parts(self.trends)?
+        };
+        Ok(OfflineArtifacts {
+            matrix,
+            similarity,
+            clustering,
+            trends,
+            ann: Some(rep_index),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ann::AnnConfig;
+    use crate::curve::CurveSet;
+    use crate::trend::TrendConfig;
+
+    fn indexed_config() -> OfflineConfig {
+        OfflineConfig {
+            cluster: ClusterMethod::HierarchicalThreshold(0.08),
+            trend: TrendConfig {
+                n_trends: 2,
+                max_iter: 32,
+            },
+            ann: AnnConfig {
+                mode: AnnMode::Indexed,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Synthetic world: `fams` families of 4 look-alike models plus
+    /// `singles` oddballs, over `d` datasets.
+    fn world(fams: usize, singles: usize, d: usize) -> (Vec<String>, Vec<Vec<LearningCurve>>) {
+        let n = fams * 4 + singles;
+        let names: Vec<String> = (0..n).map(|m| format!("model-{m}")).collect();
+        let curves: Vec<Vec<LearningCurve>> = (0..n)
+            .map(|m| {
+                (0..d)
+                    .map(|j| {
+                        let base = if m < fams * 4 {
+                            let fam = m / 4;
+                            0.3 + 0.4 * ((fam * 7 + j * 3) % 10) as f64 / 10.0
+                                + 0.002 * (m % 4) as f64
+                        } else {
+                            ((m * 13 + j * 5) % 97) as f64 / 97.0
+                        };
+                        LearningCurve::new(vec![base * 0.7, base * 0.9, base], base).unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+        (names, curves)
+    }
+
+    #[test]
+    fn streamed_build_matches_batch_indexed_build() {
+        let (names, curves) = world(6, 5, 4);
+        let d = 4;
+        let config = indexed_config();
+
+        let rows: Vec<Vec<f64>> = (0..d)
+            .map(|j| curves.iter().map(|cs| cs[j].test()).collect())
+            .collect();
+        let matrix = PerformanceMatrix::new(
+            names.clone(),
+            (0..d).map(|j| format!("bench-{j}")).collect(),
+            rows,
+        )
+        .unwrap();
+        let curve_set =
+            CurveSet::from_fn(names.len(), d, |m, j| curves[m.index()][j.index()].clone()).unwrap();
+        let batch = OfflineArtifacts::build(matrix, &curve_set, &config).unwrap();
+
+        let mut builder =
+            StreamingOfflineBuilder::new((0..d).map(|j| format!("bench-{j}")).collect(), config)
+                .unwrap();
+        for (m, name) in names.iter().enumerate() {
+            let id = builder.push_model(name.clone(), &curves[m]).unwrap();
+            assert_eq!(id.index(), m);
+        }
+        let streamed = builder.finish().unwrap();
+
+        // Bit-identical artifacts, down to the serialized bytes.
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_exact_mode_and_bad_cluster_methods() {
+        let datasets = vec!["d0".to_string()];
+        assert!(StreamingOfflineBuilder::new(datasets.clone(), OfflineConfig::default()).is_err());
+        let mut config = indexed_config();
+        config.cluster = ClusterMethod::KMeans { k: 2, seed: 1 };
+        assert!(StreamingOfflineBuilder::new(datasets.clone(), config).is_err());
+        assert!(StreamingOfflineBuilder::new(vec![], indexed_config()).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch_and_empty_finish() {
+        let mut builder = StreamingOfflineBuilder::new(
+            vec!["d0".to_string(), "d1".to_string()],
+            indexed_config(),
+        )
+        .unwrap();
+        let one = vec![LearningCurve::new(vec![0.4, 0.5], 0.5).unwrap()];
+        assert!(builder.push_model("m", &one).is_err());
+        assert!(builder.is_empty());
+        assert!(builder.finish().is_err());
+    }
+}

@@ -76,6 +76,9 @@ pub struct ServeConfig {
     pub threshold: f64,
     /// Default stage count (`None` → the world's stage count).
     pub stages: Option<usize>,
+    /// ANN exactness knob applied to every request's coarse recall
+    /// (server-global, so it does not participate in result fingerprints).
+    pub ann: tps_core::ann::AnnConfig,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +92,7 @@ impl Default for ServeConfig {
             top_k: 10,
             threshold: 0.0,
             stages: None,
+            ann: tps_core::ann::AnnConfig::default(),
         }
     }
 }
@@ -577,6 +581,7 @@ impl<'w> Server<'w> {
                 parallel: ParallelConfig {
                     threads: self.config.threads,
                 },
+                ann: self.config.ann,
             },
             plan,
             fingerprint: protocol::fingerprint(target, top_k, threshold, stages, &plan_text),

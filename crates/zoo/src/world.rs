@@ -795,6 +795,65 @@ impl World {
         Ok((matrix, curve_set))
     }
 
+    /// Simulate the offline phase **streamed**: models are fine-tuned in
+    /// batches of `batch` and pushed straight into a
+    /// [`StreamingOfflineBuilder`](tps_core::stream::StreamingOfflineBuilder),
+    /// so at most `batch × |D|` learning curves are alive at once and no
+    /// O(|M|²) structure is ever materialised — the only way to build a
+    /// 10⁵–10⁶ model world's artifacts in bounded memory.
+    ///
+    /// Requires `config.ann.mode == Indexed`. The transfer law re-seeds per
+    /// `(model, dataset)` pair, so the artifacts are bit-identical to
+    /// [`Self::build_offline_par`] + [`OfflineArtifacts::build`](tps_core::pipeline::OfflineArtifacts::build)
+    /// with the same config, for any `batch` and thread count.
+    pub fn build_offline_streamed(
+        &self,
+        batch: usize,
+        config: &tps_core::pipeline::OfflineConfig,
+        tel: &tps_core::telemetry::Telemetry,
+    ) -> Result<tps_core::pipeline::OfflineArtifacts> {
+        if batch == 0 {
+            return Err(tps_core::error::SelectionError::InvalidConfig(
+                "stream batch must be >= 1".into(),
+            ));
+        }
+        let _span = tel.span("zoo.offline.build");
+        let threads = config.parallel.resolve();
+        let mut builder = tps_core::stream::StreamingOfflineBuilder::new(
+            self.benchmarks.iter().map(|d| d.name.clone()).collect(),
+            *config,
+        )?;
+        tel.add(
+            "zoo.offline.runs",
+            (self.n_models() * self.n_benchmarks()) as f64,
+        );
+        let model_ids: Vec<usize> = (0..self.n_models()).collect();
+        for chunk in model_ids.chunks(batch) {
+            // Each run is a pure function of (model, dataset); fan the batch
+            // out over threads, then push in model order.
+            let batch_curves: Vec<Vec<LearningCurve>> =
+                tps_core::parallel::map_indexed(chunk, threads, |_, &mi| {
+                    (0..self.n_benchmarks())
+                        .map(|di| {
+                            self.law
+                                .run(
+                                    &self.models[mi],
+                                    &self.benchmarks[di],
+                                    self.stages,
+                                    self.hyper,
+                                    self.seed,
+                                )
+                                .to_curve()
+                        })
+                        .collect()
+                });
+            for (&mi, curves) in chunk.iter().zip(&batch_curves) {
+                builder.push_model(self.models[mi].name.clone(), curves)?;
+            }
+        }
+        builder.finish_traced(tel)
+    }
+
     /// Ground-truth fine-tuning run of a model on a target dataset — what a
     /// full `stages`-long fine-tune would produce. Evaluation-only (Fig. 5's
     /// "actual training performance", Fig. 7's best/worst lines).
@@ -939,6 +998,43 @@ mod tests {
         assert_eq!(w.n_benchmarks(), 30);
         let (matrix, _) = w.build_offline().unwrap();
         assert_eq!(matrix.n_models(), w.n_models());
+    }
+
+    #[test]
+    fn streamed_offline_build_matches_batch() {
+        use tps_core::pipeline::{ClusterMethod, OfflineArtifacts, OfflineConfig};
+        use tps_core::prelude::{AnnConfig, AnnMode};
+        let w = World::synthetic(&SyntheticConfig {
+            n_families: 6,
+            family_size: (3, 4),
+            n_singletons: 8,
+            n_benchmarks: 8,
+            ..Default::default()
+        });
+        let config = OfflineConfig {
+            cluster: ClusterMethod::HierarchicalThreshold(0.05),
+            ann: AnnConfig {
+                mode: AnnMode::Indexed,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (matrix, curves) = w.build_offline().unwrap();
+        let batch = OfflineArtifacts::build(matrix, &curves, &config).unwrap();
+        let tel = tps_core::telemetry::Telemetry::disabled();
+        for batch_size in [1, 7, 1000] {
+            let streamed = w.build_offline_streamed(batch_size, &config, &tel).unwrap();
+            assert_eq!(
+                serde_json::to_string(&streamed).unwrap(),
+                serde_json::to_string(&batch).unwrap(),
+                "batch_size={batch_size}"
+            );
+        }
+        assert!(w.build_offline_streamed(0, &config, &tel).is_err());
+        // Exact mode cannot stream.
+        assert!(w
+            .build_offline_streamed(8, &OfflineConfig::default(), &tel)
+            .is_err());
     }
 
     #[test]

@@ -54,4 +54,33 @@ cargo run -q -p tps-bench --release --bin repro -- loadgen \
 grep -q '"completed": true' "$trace_tmp/serve-trace.json" \
   || { echo "serve trace did not complete"; exit 1; }
 
+echo "==> ann indexed gate (streamed 10k world -> tps trace)"
+# The streamed index-assisted offline build must complete on a 10k-model
+# world without the dense O(M^2) path, obey the ann.* budget rules, and
+# feed an indexed select whose trace shows the sublinear candidate fan-out.
+# `--ann exact` (and no flag at all) must stay byte-identical.
+./target/release/tps world --domain synthetic --models 10000 --benchmarks 12 \
+  --targets 1 --seed 11 --out "$trace_tmp/ann-world.json"
+./target/release/tps offline --world "$trace_tmp/ann-world.json" \
+  --ann indexed --stream-batch 512 --out "$trace_tmp/ann-artifacts.json" \
+  --trace-out "$trace_tmp/ann-offline-trace.json"
+./target/release/tps trace check "$trace_tmp/ann-offline-trace.json" \
+  --budgets budgets.toml
+grep -q '"ann.index_nodes"' "$trace_tmp/ann-offline-trace.json" \
+  || { echo "indexed offline trace missing ann.* counters"; exit 1; }
+./target/release/tps select --world "$trace_tmp/ann-world.json" \
+  --artifacts "$trace_tmp/ann-artifacts.json" --target target-0 \
+  --ann indexed --trace-out "$trace_tmp/ann-select-trace.json" > /dev/null
+./target/release/tps trace check "$trace_tmp/ann-select-trace.json" \
+  --budgets budgets.toml
+grep -q '"ann.candidates"' "$trace_tmp/ann-select-trace.json" \
+  || { echo "indexed select trace missing ann.* counters"; exit 1; }
+./target/release/tps world --domain cv --seed 7 --out "$trace_tmp/cv-world.json"
+./target/release/tps offline --world "$trace_tmp/cv-world.json" \
+  --out "$trace_tmp/cv-default.json"
+./target/release/tps offline --world "$trace_tmp/cv-world.json" \
+  --ann exact --out "$trace_tmp/cv-exact.json"
+cmp "$trace_tmp/cv-default.json" "$trace_tmp/cv-exact.json" \
+  || { echo "--ann exact diverged from the default offline build"; exit 1; }
+
 echo "verify: OK"

@@ -51,6 +51,7 @@ fn one_shot(bundle: &WorldBundle, target: usize, top_k: usize) -> String {
         },
         total_stages: bundle.world.stages,
         parallel: ParallelConfig { threads: 1 },
+        ann: Default::default(),
     };
     let outcome =
         two_phase_select_traced(&bundle.artifacts, &oracle, &mut trainer, &config, &tel).unwrap();

@@ -233,13 +233,13 @@ fn committed_budgets_pass_on_a_real_pipeline_trace() {
             outcome.passed
         );
         // A fault-free one-shot run records neither fault/retry counters
-        // nor `serve.*` service counters, so only the retry-accounting and
-        // resident-service rules may skip.
+        // nor `serve.*` service counters, and an exact-mode run emits no
+        // `ann.*` counters (their absence is the exactness contract), so
+        // only those rule families may skip.
         assert!(
-            outcome
-                .skipped
-                .iter()
-                .all(|r| r.starts_with("retry-") || r.starts_with("serve-")),
+            outcome.skipped.iter().all(|r| r.starts_with("retry-")
+                || r.starts_with("serve-")
+                || r.starts_with("ann-")),
             "{:?}",
             outcome.skipped
         );
