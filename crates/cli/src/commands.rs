@@ -82,7 +82,9 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "select" => cmd_select(args),
         "compare" => cmd_compare(args),
         "grow" => cmd_grow(args),
+        "update" => cmd_update(args),
         "archive" => cmd_archive(args),
+        "store" => cmd_store(args),
         "catalog" => cmd_catalog(args),
         "fsck" => cmd_fsck(args),
         "trace" => cmd_trace(args),
@@ -136,8 +138,24 @@ the pre-index behaviour. `--ann-k` / `--ann-ef` tune neighbour count and
 search beam; results are deterministic for any thread count either way.
   grow     add a model incrementally         --world FILE --artifacts FILE --name NAME
                                              [--like MODEL] [--capability F] [--seed N]
+  update   apply a deterministic churn       --world FILE --artifacts FILE [--ops N]
+           stream (add/retire/refresh        [--seed N] [--top-k-sim N] [--threshold F]
+           models, add/drop benchmarks)      [--threads N] [--trace-out FILE]
+           through the incremental delta     [--ann exact|indexed] [--ann-k N] [--ann-ef N]
+           engine; both files are rewritten  (flags must match the original offline build
+           in place, byte-identical to a     for the byte-identity guarantee to hold)
+           from-scratch offline build
   archive  persist world+artifacts durably   --store DIR --name TAG --world FILE
                                              --artifacts FILE [--force true]
+  store    versioned generations of raw artifact files (content-addressed):
+           store commit --store DIR --world FILE --artifacts FILE [--note TEXT]
+           store log --store DIR               history from head, newest first
+           store diff A B --store DIR          entry-level changes between generations
+           store rollback N --store DIR        move head back to generation N
+           store cat N ENTRY --store DIR --out FILE   extract entry bytes verbatim
+           store export N --store DIR --out FILE      one-file bundle of generation N
+           store import FILE --store DIR              ingest an exported bundle
+           store gc --store DIR                drop generations/blobs unreachable from head
   catalog  list a store's contents           --store DIR
   fsck     verify every stored record        --store DIR
   trace    analyse --trace-out files:
@@ -153,6 +171,8 @@ search beam; results are deterministic for any thread count either way.
                                              [--threshold F] [--stages N]
                                              [--ann exact|indexed] [--ann-k N] [--ann-ef N]
                                              [--ready-file FILE] [--trace-out FILE]
+           a `{\"op\":\"reload\"}` request (or SIGHUP) hot-swaps to the current
+           on-disk world+artifacts without dropping in-flight requests
   client   send requests to a running server  --addr HOST:PORT [--request JSON]
                                              [--file FILE] [--shutdown true]
                                              (stdin lines when no request source given)
@@ -633,19 +653,20 @@ fn read_trace(path: &str) -> Result<TraceReport, CliError> {
     read_json(path)
 }
 
-/// Expect exactly `n` positional arguments after the `trace` subcommand.
+/// Expect exactly `n` positional arguments after a verb-style subcommand
+/// (`trace summarize FILE`, `store diff A B`, …).
 fn expect_positionals<'a>(
     rest: &'a [String],
     n: usize,
     what: &str,
+    usage: &str,
 ) -> Result<&'a [String], CliError> {
     if rest.len() == n {
         Ok(rest)
     } else {
         Err(CliError::Usage(format!(
-            "trace {what}: expected {n} file argument(s), got {}\n{}",
+            "{what}: expected {n} positional argument(s), got {}\n{usage}",
             rest.len(),
-            trace_usage()
         )))
     }
 }
@@ -660,14 +681,14 @@ fn cmd_trace(args: &ParsedArgs) -> Result<String, CliError> {
     match sub.as_str() {
         "summarize" => {
             args.restrict_flags(&["top"])?;
-            let files = expect_positionals(rest, 1, "summarize")?;
+            let files = expect_positionals(rest, 1, "trace summarize", &trace_usage())?;
             let report = read_trace(&files[0])?;
             let top = args.get_parse("top", 10usize, "integer")?;
             Ok(analysis::summarize(&report, top))
         }
         "diff" => {
             args.restrict_flags(&["tolerance"])?;
-            let files = expect_positionals(rest, 2, "diff")?;
+            let files = expect_positionals(rest, 2, "trace diff", &trace_usage())?;
             let a = read_trace(&files[0])?;
             let b = read_trace(&files[1])?;
             let tolerance = args.get_parse("tolerance", 0.0f64, "number")?;
@@ -690,7 +711,7 @@ fn cmd_trace(args: &ParsedArgs) -> Result<String, CliError> {
         }
         "check" => {
             args.restrict_flags(&["budgets"])?;
-            let files = expect_positionals(rest, 1, "check")?;
+            let files = expect_positionals(rest, 1, "trace check", &trace_usage())?;
             let report = read_trace(&files[0])?;
             let budgets_path = args.get("budgets").unwrap_or("budgets.toml");
             let text = std::fs::read_to_string(budgets_path)
@@ -733,7 +754,7 @@ fn cmd_trace(args: &ParsedArgs) -> Result<String, CliError> {
         }
         "export" => {
             args.restrict_flags(&["out"])?;
-            let files = expect_positionals(rest, 1, "export")?;
+            let files = expect_positionals(rest, 1, "trace export", &trace_usage())?;
             let report = read_trace(&files[0])?;
             let text = openmetrics::render(&report);
             match args.get("out") {
@@ -750,7 +771,7 @@ fn cmd_trace(args: &ParsedArgs) -> Result<String, CliError> {
         }
         "baseline" => {
             args.restrict_flags(&["out"])?;
-            let files = expect_positionals(rest, 1, "baseline")?;
+            let files = expect_positionals(rest, 1, "trace baseline", &trace_usage())?;
             let report = read_trace(&files[0])?;
             let out = args.require("out")?;
             let base = analysis::baseline_of(&report);
@@ -837,6 +858,202 @@ fn cmd_fsck(args: &ParsedArgs) -> Result<String, CliError> {
             "corrupt records: {}",
             bad.join(", ")
         )))
+    }
+}
+
+fn store_usage() -> String {
+    "usage: tps store <commit|log|diff|rollback|cat|export|import|gc> --store DIR ...
+  store commit --store DIR --world FILE --artifacts FILE [--note TEXT]
+  store log --store DIR               parent-linked history from head, newest first
+  store diff A B --store DIR          entry-level changes between two generations
+  store rollback N --store DIR        move head back to generation N
+  store cat N ENTRY --store DIR --out FILE   write an entry's bytes verbatim
+  store export N --store DIR --out FILE      bundle generation N into one file
+  store import FILE --store DIR              ingest an exported bundle
+  store gc --store DIR                drop generations/blobs unreachable from head
+"
+    .to_string()
+}
+
+fn store_err(e: tps_store::StoreError) -> CliError {
+    CliError::Io(e.to_string())
+}
+
+fn read_bytes(path: &str) -> Result<Vec<u8>, CliError> {
+    std::fs::read(Path::new(path)).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))
+}
+
+fn parse_generation_id(s: &str) -> Result<u64, CliError> {
+    s.parse()
+        .map_err(|_| CliError::Usage(format!("expected a generation id, got `{s}`")))
+}
+
+/// `tps store …` — snapshot-versioned generations over the durable store.
+/// A generation is an immutable commit of raw artifact files (entries
+/// `world` and `artifacts`) addressed by content, so identical payloads
+/// share one blob across generations and `cat` replays the exact bytes
+/// that were committed — the substrate of the CI generation-parity gate.
+fn cmd_store(args: &ParsedArgs) -> Result<String, CliError> {
+    let pos = args.positionals();
+    let Some(sub) = pos.first() else {
+        return Err(CliError::Usage(store_usage()));
+    };
+    let rest = &pos[1..];
+    match sub.as_str() {
+        "commit" => {
+            args.restrict_flags(&["store", "world", "artifacts", "note"])?;
+            expect_positionals(rest, 0, "store commit", &store_usage())?;
+            let world = read_bytes(args.require("world")?)?;
+            let artifacts = read_bytes(args.require("artifacts")?)?;
+            let mut store = open_store(args)?;
+            let rec = store
+                .commit_generation(
+                    &[("world", &world), ("artifacts", &artifacts)],
+                    args.get("note").unwrap_or(""),
+                )
+                .map_err(store_err)?;
+            Ok(format!(
+                "committed generation {} (parent {}): {} entries, {} bytes\n",
+                rec.id,
+                rec.parent
+                    .map_or_else(|| "none".to_string(), |p| p.to_string()),
+                rec.entries.len(),
+                rec.entries.values().map(|b| b.size).sum::<u64>(),
+            ))
+        }
+        "log" => {
+            args.restrict_flags(&["store"])?;
+            expect_positionals(rest, 0, "store log", &store_usage())?;
+            let store = open_store(args)?;
+            let log = store.generation_log(None).map_err(store_err)?;
+            if log.is_empty() {
+                return Ok("no generations committed\n".into());
+            }
+            let head = log[0].id;
+            let mut out = String::new();
+            for rec in &log {
+                let _ = writeln!(
+                    out,
+                    "generation {}{}  parent {}{}",
+                    rec.id,
+                    if rec.id == head { " (head)" } else { "" },
+                    rec.parent
+                        .map_or_else(|| "none".to_string(), |p| p.to_string()),
+                    if rec.note.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  — {}", rec.note)
+                    },
+                );
+                for (name, blob) in &rec.entries {
+                    let _ = writeln!(
+                        out,
+                        "    {name:<12} {:>9} bytes  crc {:08x}",
+                        blob.size, blob.checksum
+                    );
+                }
+            }
+            Ok(out)
+        }
+        "diff" => {
+            args.restrict_flags(&["store"])?;
+            let ids = expect_positionals(rest, 2, "store diff", &store_usage())?;
+            let (a, b) = (parse_generation_id(&ids[0])?, parse_generation_id(&ids[1])?);
+            let store = open_store(args)?;
+            let diffs = store.diff_generations(a, b).map_err(store_err)?;
+            if diffs.is_empty() {
+                return Ok(format!("generations {a} and {b} are identical\n"));
+            }
+            let mut out = String::new();
+            for d in &diffs {
+                use tps_store::EntryChange;
+                let _ = match &d.change {
+                    EntryChange::Added(blob) => {
+                        writeln!(out, "  added   {:<12} ({} bytes)", d.entry, blob.size)
+                    }
+                    EntryChange::Removed(blob) => {
+                        writeln!(out, "  removed {:<12} ({} bytes)", d.entry, blob.size)
+                    }
+                    EntryChange::Changed { from, to } => writeln!(
+                        out,
+                        "  changed {:<12} crc {:08x} -> {:08x} ({} -> {} bytes)",
+                        d.entry, from.checksum, to.checksum, from.size, to.size
+                    ),
+                };
+            }
+            let _ = writeln!(
+                out,
+                "{} entr(ies) differ between generations {a} and {b}",
+                diffs.len()
+            );
+            Ok(out)
+        }
+        "rollback" => {
+            args.restrict_flags(&["store"])?;
+            let ids = expect_positionals(rest, 1, "store rollback", &store_usage())?;
+            let id = parse_generation_id(&ids[0])?;
+            let mut store = open_store(args)?;
+            let rec = store.rollback_generation(id).map_err(store_err)?;
+            Ok(format!(
+                "head is now generation {} ({} entries); run `tps store gc` to drop \
+                 unreachable generations\n",
+                rec.id,
+                rec.entries.len()
+            ))
+        }
+        "cat" => {
+            args.restrict_flags(&["store", "out"])?;
+            let p = expect_positionals(rest, 2, "store cat", &store_usage())?;
+            let id = parse_generation_id(&p[0])?;
+            let out_path = args.require("out")?;
+            let store = open_store(args)?;
+            let bytes = store.generation_entry(id, &p[1]).map_err(store_err)?;
+            std::fs::write(Path::new(out_path), &bytes)
+                .map_err(|e| CliError::Io(format!("cannot write {out_path}: {e}")))?;
+            Ok(format!(
+                "wrote generation {id} entry `{}` to {out_path}: {} bytes\n",
+                p[1],
+                bytes.len()
+            ))
+        }
+        "export" => {
+            args.restrict_flags(&["store", "out"])?;
+            let ids = expect_positionals(rest, 1, "store export", &store_usage())?;
+            let id = parse_generation_id(&ids[0])?;
+            let out_path = args.require("out")?;
+            let store = open_store(args)?;
+            store
+                .export_generation(id, Path::new(out_path))
+                .map_err(store_err)?;
+            Ok(format!("exported generation {id} to {out_path}\n"))
+        }
+        "import" => {
+            args.restrict_flags(&["store"])?;
+            let files = expect_positionals(rest, 1, "store import", &store_usage())?;
+            let mut store = open_store(args)?;
+            let rec = store
+                .import_generation(Path::new(files[0].as_str()))
+                .map_err(store_err)?;
+            Ok(format!(
+                "imported generation {} ({} entries)\n",
+                rec.id,
+                rec.entries.len()
+            ))
+        }
+        "gc" => {
+            args.restrict_flags(&["store"])?;
+            expect_positionals(rest, 0, "store gc", &store_usage())?;
+            let mut store = open_store(args)?;
+            let report = store.gc_generations().map_err(store_err)?;
+            Ok(format!(
+                "gc removed {} generation record(s) and {} blob(s)\n",
+                report.removed_generations, report.removed_blobs
+            ))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown store subcommand `{other}`\n{}",
+            store_usage()
+        ))),
     }
 }
 
@@ -947,29 +1164,122 @@ fn cmd_grow(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
-/// Load the world + artifacts pair for `serve`, from the artifact store
-/// (`--store DIR --name TAG`, as written by `tps archive`) or from plain
-/// JSON files (`--world FILE --artifacts FILE`).
-fn serve_inputs(args: &ParsedArgs) -> Result<(World, OfflineArtifacts), CliError> {
-    use tps_store::ArtifactKind;
-    match (args.get("store"), args.get("world")) {
-        (Some(_), None) => {
-            let store = open_store(args)?;
-            let name = args.require("name")?;
-            let world = store
-                .get(&format!("{name}.world"), ArtifactKind::World)
-                .map_err(|e| CliError::Io(e.to_string()))?;
-            let artifacts = store
-                .get(&format!("{name}.artifacts"), ArtifactKind::OfflineArtifacts)
-                .map_err(|e| CliError::Io(e.to_string()))?;
-            Ok((world, artifacts))
+/// `tps update` — run a deterministic live-zoo churn stream (publish /
+/// retire / refresh models, add / drop benchmarks) through the
+/// incremental delta engine. Each event is folded into the offline
+/// artifacts with localized work — no global rebuild — yet the rewritten
+/// world + artifacts files are byte-identical to what a from-scratch
+/// `tps offline` on the mutated world would produce, provided the build
+/// flags (`--top-k-sim`, `--threshold`, `--ann*`) match the original
+/// build. CI's `store-smoke` job enforces exactly that with `cmp`.
+fn cmd_update(args: &ParsedArgs) -> Result<String, CliError> {
+    use tps_core::incremental::DeltaEngine;
+    use tps_zoo::Churn;
+
+    args.restrict(&[
+        "world",
+        "artifacts",
+        "ops",
+        "seed",
+        "top-k-sim",
+        "threshold",
+        "threads",
+        "trace-out",
+        "ann",
+        "ann-k",
+        "ann-ef",
+    ])?;
+    let world_path = args.require("world")?;
+    let arts_path = args.require("artifacts")?;
+    let mut world: World = read_json(world_path)?;
+    let artifacts: OfflineArtifacts = read_json(arts_path)?;
+    if artifacts.matrix.n_models() != world.n_models() {
+        return Err(CliError::Usage(
+            "world and artifacts disagree on the model count; rebuild offline artifacts".into(),
+        ));
+    }
+    let n_ops = args.get_parse("ops", 1usize, "integer")?;
+    let seed = args.get_parse("seed", 1u64, "integer")?;
+    let config = offline_config(args)?;
+    with_trace(args, |tel| {
+        // The engine needs the curve table the artifacts were built from;
+        // regenerate it through the transfer law (pure in (model, dataset))
+        // — the constructor cross-checks every curve against the matrix,
+        // so a world/artifacts mismatch fails loudly here.
+        let (_, curves) = world.build_offline_par(config.parallel.resolve())?;
+        let mut engine = DeltaEngine::from_curve_set(artifacts, &curves, config)?;
+        let mut churn = Churn::new(seed);
+        let mut out = String::new();
+        for _ in 0..n_ops {
+            let event = churn.next_update(&world);
+            let update = world.apply_churn(&event).map_err(CliError::Usage)?;
+            let report = engine.apply_update_traced(&update, tel)?;
+            let _ = writeln!(
+                out,
+                "applied {} `{}`: {} models x {} datasets, {} clusters \
+                 ({} row(s) re-mined, {} kNN list(s) touched)",
+                report.op,
+                report.target,
+                report.models,
+                report.datasets,
+                report.clusters,
+                report.remined_rows,
+                report.touched_lists,
+            );
         }
-        (None, Some(world_path)) => Ok((
-            read_json(world_path)?,
-            read_json(args.require("artifacts")?)?,
-        )),
+        write_json(world_path, &world)?;
+        write_json(arts_path, engine.artifacts())?;
+        let _ = writeln!(
+            out,
+            "rewrote {world_path} + {arts_path} after {n_ops} event(s)"
+        );
+        Ok(out)
+    })
+}
+
+/// Where `serve` loads its world + artifacts pair from: the artifact
+/// store (`--store DIR --name TAG`, as written by `tps archive`) or plain
+/// JSON files (`--world FILE --artifacts FILE`). Owned, so the server's
+/// reload source can re-read the same inputs on a hot-swap long after the
+/// parsed arguments are gone.
+#[derive(Clone)]
+enum ServeSource {
+    Store { dir: String, name: String },
+    Files { world: String, artifacts: String },
+}
+
+fn serve_source(args: &ParsedArgs) -> Result<ServeSource, CliError> {
+    match (args.get("store"), args.get("world")) {
+        (Some(dir), None) => Ok(ServeSource::Store {
+            dir: dir.to_string(),
+            name: args.require("name")?.to_string(),
+        }),
+        (None, Some(world)) => Ok(ServeSource::Files {
+            world: world.to_string(),
+            artifacts: args.require("artifacts")?.to_string(),
+        }),
         _ => Err(CliError::Usage(
             "serve needs either --store DIR --name TAG or --world FILE --artifacts FILE".into(),
+        )),
+    }
+}
+
+fn load_serve_source(source: &ServeSource) -> Result<(World, OfflineArtifacts), String> {
+    use tps_store::ArtifactKind;
+    match source {
+        ServeSource::Store { dir, name } => {
+            let store = tps_store::Store::open(dir).map_err(|e| e.to_string())?;
+            let world = store
+                .get(&format!("{name}.world"), ArtifactKind::World)
+                .map_err(|e| e.to_string())?;
+            let artifacts = store
+                .get(&format!("{name}.artifacts"), ArtifactKind::OfflineArtifacts)
+                .map_err(|e| e.to_string())?;
+            Ok((world, artifacts))
+        }
+        ServeSource::Files { world, artifacts } => Ok((
+            read_json(world).map_err(|e| e.to_string())?,
+            read_json(artifacts).map_err(|e| e.to_string())?,
         )),
     }
 }
@@ -997,7 +1307,8 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         "ann-k",
         "ann-ef",
     ])?;
-    let (world, artifacts) = serve_inputs(args)?;
+    let source = serve_source(args)?;
+    let (world, artifacts) = load_serve_source(&source).map_err(CliError::Io)?;
     let config = tps_serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
         max_inflight: args.get_parse("max-inflight", 2usize, "integer")?,
@@ -1014,7 +1325,10 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
     };
     tps_serve::install_signal_drain();
     let server = tps_serve::Server::bind(&world, &artifacts, config)
-        .map_err(|e| CliError::Io(format!("bind: {e}")))?;
+        .map_err(|e| CliError::Io(format!("bind: {e}")))?
+        // `{"op":"reload"}` / SIGHUP re-reads the same inputs and
+        // hot-swaps to them without dropping in-flight requests.
+        .with_reload_source(Box::new(move || load_serve_source(&source)));
     let addr = server.addr();
     // `run` blocks until drain, so the listening line goes straight to
     // stdout now instead of into the returned report.
@@ -1023,7 +1337,8 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         let mut stdout = std::io::stdout();
         let _ = writeln!(
             stdout,
-            "serving {} models / {} targets on {addr} — drain with {{\"op\":\"shutdown\"}} or SIGTERM",
+            "serving {} models / {} targets on {addr} — drain with {{\"op\":\"shutdown\"}} or \
+             SIGTERM, hot-swap with {{\"op\":\"reload\"}} or SIGHUP",
             world.n_models(),
             world.n_targets()
         );
@@ -1451,6 +1766,175 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("12 benchmark datasets"));
+    }
+
+    /// The CI generation-parity gate in unit form: churn applied through
+    /// the incremental engine must leave files byte-identical to a
+    /// from-scratch rebuild, and a store rollback must restore the
+    /// pre-churn bytes exactly.
+    #[test]
+    fn update_store_generation_workflow() {
+        let dir = tmpdir();
+        let world = dir.join("live-w.json");
+        let arts = dir.join("live-a.json");
+        let scratch = dir.join("live-scratch.json");
+        let store = dir.join("live-store");
+        let (world_s, arts_s, store_s) = (
+            world.to_str().unwrap(),
+            arts.to_str().unwrap(),
+            store.to_str().unwrap(),
+        );
+        let build = |out| {
+            vec![
+                "offline",
+                "--world",
+                world_s,
+                "--out",
+                out,
+                "--ann",
+                "indexed",
+                "--threshold",
+                "0.05",
+            ]
+        };
+
+        run_line(&[
+            "world",
+            "--domain",
+            "synthetic",
+            "--models",
+            "12",
+            "--benchmarks",
+            "6",
+            "--targets",
+            "2",
+            "--stages",
+            "4",
+            "--seed",
+            "5",
+            "--out",
+            world_s,
+        ])
+        .unwrap();
+        run_line(&build(arts_s)).unwrap();
+        let (world_v1, arts_v1) = (
+            std::fs::read(&world).unwrap(),
+            std::fs::read(&arts).unwrap(),
+        );
+
+        let out = run_line(&[
+            "store",
+            "commit",
+            "--store",
+            store_s,
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--note",
+            "base",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("committed generation 1 (parent none)"),
+            "{out}"
+        );
+
+        let out = run_line(&[
+            "update",
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+            "--ops",
+            "2",
+            "--seed",
+            "9",
+            "--ann",
+            "indexed",
+            "--threshold",
+            "0.05",
+        ])
+        .unwrap();
+        assert!(out.contains("applied "), "{out}");
+        assert!(out.contains("rewrote "), "{out}");
+
+        let out = run_line(&[
+            "store",
+            "commit",
+            "--store",
+            store_s,
+            "--world",
+            world_s,
+            "--artifacts",
+            arts_s,
+        ])
+        .unwrap();
+        assert!(out.contains("committed generation 2 (parent 1)"), "{out}");
+
+        let out = run_line(&["store", "diff", "1", "2", "--store", store_s]).unwrap();
+        assert!(out.contains("changed"), "{out}");
+        assert!(out.contains("entr(ies) differ"), "{out}");
+
+        // Generation parity: a from-scratch rebuild of the churned world
+        // is byte-identical to the incrementally maintained artifacts.
+        run_line(&build(scratch.to_str().unwrap())).unwrap();
+        assert_eq!(
+            std::fs::read(&scratch).unwrap(),
+            std::fs::read(&arts).unwrap(),
+            "incremental artifacts differ from a from-scratch rebuild"
+        );
+
+        // Rollback + cat restore the pre-churn bytes exactly.
+        let out = run_line(&["store", "rollback", "1", "--store", store_s]).unwrap();
+        assert!(out.contains("head is now generation 1"), "{out}");
+        let restored = dir.join("live-restored.json");
+        let restored_s = restored.to_str().unwrap();
+        run_line(&[
+            "store", "cat", "1", "world", "--store", store_s, "--out", restored_s,
+        ])
+        .unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), world_v1);
+        run_line(&[
+            "store",
+            "cat",
+            "1",
+            "artifacts",
+            "--store",
+            store_s,
+            "--out",
+            restored_s,
+        ])
+        .unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), arts_v1);
+
+        let out = run_line(&["store", "log", "--store", store_s]).unwrap();
+        assert!(out.contains("generation 1 (head)"), "{out}");
+
+        // Export/import round-trips the abandoned generation 2 elsewhere;
+        // gc then prunes it from the original store.
+        let bundle = dir.join("live-gen2.bundle");
+        let bundle_s = bundle.to_str().unwrap();
+        run_line(&[
+            "store", "export", "2", "--store", store_s, "--out", bundle_s,
+        ])
+        .unwrap();
+        let store2 = dir.join("live-store-2");
+        let out = run_line(&[
+            "store",
+            "import",
+            bundle_s,
+            "--store",
+            store2.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("imported generation 2"), "{out}");
+
+        let out = run_line(&["store", "gc", "--store", store_s]).unwrap();
+        assert!(out.contains("removed 1 generation record(s)"), "{out}");
+        assert!(run_line(&["store", "fsck"]).is_err());
+        let out = run_line(&["fsck", "--store", store_s]).unwrap();
+        assert!(out.contains("all healthy"), "{out}");
     }
 
     #[test]

@@ -205,6 +205,28 @@ thread_local! {
     static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
 }
 
+/// Eq. 1 distance between two performance vectors: `1 - sim` where
+/// `sim = 1 - avg(top_k largest |Δ|)`, floored at zero.
+///
+/// This is the one float-op sequence every distance in the crate shares —
+/// [`AnnIndex`] queries, link pruning and the incremental delta engine all
+/// funnel through it, so "equal bytes" comparisons across those layers are
+/// meaningful. `diffs` is caller-provided scratch (cleared here).
+pub(crate) fn eq1_distance_buf(a: &[f64], b: &[f64], top_k: usize, diffs: &mut Vec<f64>) -> f64 {
+    diffs.clear();
+    diffs.extend(a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()));
+    diffs.sort_unstable_by(|x, y| y.total_cmp(x));
+    let k = top_k.min(diffs.len());
+    let avg = diffs[..k].iter().sum::<f64>() / k as f64;
+    let sim = 1.0 - avg;
+    (1.0 - sim).max(0.0)
+}
+
+/// Allocating convenience wrapper around the shared Eq. 1 distance.
+pub fn eq1_distance(a: &[f64], b: &[f64], top_k: usize) -> f64 {
+    eq1_distance_buf(a, b, top_k, &mut Vec::new())
+}
+
 /// A deterministic HNSW-style layered proximity graph over fixed-length
 /// embeddings, with the paper's Eq. 1 top-k-difference distance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -292,14 +314,7 @@ impl AnnIndex {
     /// `sim = 1 - avg(top_k largest |Δ|)`, floored at zero — the same
     /// float-op sequence as `SimilarityMatrix::distance` on the lazy path.
     fn node_distance(&self, q: &[f64], node: u32, diffs: &mut Vec<f64>) -> f64 {
-        let v = &self.vectors[node as usize];
-        diffs.clear();
-        diffs.extend(q.iter().zip(v.iter()).map(|(a, b)| (a - b).abs()));
-        diffs.sort_unstable_by(|a, b| b.total_cmp(a));
-        let k = self.sim_top_k.min(diffs.len());
-        let avg = diffs[..k].iter().sum::<f64>() / k as f64;
-        let sim = 1.0 - avg;
-        (1.0 - sim).max(0.0)
+        eq1_distance_buf(q, &self.vectors[node as usize], self.sim_top_k, diffs)
     }
 
     /// Beam search one layer: best-first from `entry_points`, keeping the
@@ -470,15 +485,7 @@ impl AnnIndex {
         let mut ranked: Vec<Cand> = neighbors
             .into_iter()
             .map(|nb| Cand {
-                dist: {
-                    let v = &self.vectors[nb as usize];
-                    diffs.clear();
-                    diffs.extend(q.iter().zip(v.iter()).map(|(a, b)| (a - b).abs()));
-                    diffs.sort_unstable_by(|a, b| b.total_cmp(a));
-                    let k = self.sim_top_k.min(diffs.len());
-                    let avg = diffs[..k].iter().sum::<f64>() / k as f64;
-                    (1.0 - (1.0 - avg)).max(0.0)
-                },
+                dist: eq1_distance_buf(q, &self.vectors[nb as usize], self.sim_top_k, &mut diffs),
                 id: nb,
             })
             .collect();

@@ -1,29 +1,51 @@
-//! Incremental repository maintenance.
+//! Incremental repository maintenance: the live-zoo delta engine.
 //!
 //! Public model hubs grow continuously (the paper's core motivation), and
 //! rebuilding all offline artifacts on every upload would defeat the
-//! purpose of precomputing them. This module adds a model to existing
-//! [`OfflineArtifacts`] with only the *new* model's benchmark fine-tuning
-//! runs as input:
+//! purpose of precomputing them. This module maintains existing
+//! [`OfflineArtifacts`] under repository churn two ways:
 //!
-//! 1. the performance matrix gains a column;
-//! 2. the similarity matrix is recomputed (cheap: `O(|M|² · |D|)`);
-//! 3. the new model joins the cluster whose **representative** it is most
-//!    similar to — if that similarity clears the clustering threshold —
-//!    and otherwise becomes a new singleton (no global re-clustering);
-//! 4. its convergence trends are mined from its own curves.
+//! - [`OfflineArtifacts::add_model`] — the legacy greedy single-add:
+//!   the matrix gains a column, the new model joins the cluster whose
+//!   representative it is most similar to (or becomes a singleton), and
+//!   its trends are mined from its own curves. Placement is a greedy
+//!   approximation of re-clustering.
+//! - [`DeltaEngine`] — the full delta engine behind `tps update`:
+//!   [`DeltaEngine::apply_update`] applies
+//!   [`Update::{AddModel, RetireModel, RefreshModel, AddDataset,
+//!   DropDataset}`](Update) and re-derives artifacts **byte-identically**
+//!   to a from-scratch [`OfflineArtifacts::build`] on the post-update
+//!   zoo, while re-mining trends only for the affected rows and (in the
+//!   `--ann indexed` exhaustive regime) patching only the kNN neighbour
+//!   lists the change actually touches. See `DESIGN.md` §5.7.
 //!
-//! Placement is a greedy approximation of re-clustering; callers that want
-//! exactness can rebuild with [`OfflineArtifacts::build`] at any cadence.
+//! # Byte-identity
+//!
+//! The engine leans on three facts. Trend mining is per-model, so an
+//! untouched row's mined trends are bit-equal to a rebuild's. Lazy
+//! similarity serializes as the vector set itself, so refreshing it is
+//! O(M·D). And in the exhaustive search regime (`max(ef_search, k+1) >=
+//! n`, where [`crate::ann::AnnIndex`] queries degrade to exact scans) each
+//! kNN list is a pure function of the vector set — the engine maintains
+//! exactly that function under inserts, retires and refreshes. Outside
+//! that regime the engine falls back to rebuilding the index (still
+//! avoiding the dense O(M²) similarity and the O(M) trend re-mine); the
+//! rebuild inserts in id order, which is what a from-scratch build does,
+//! so byte-identity is preserved there too.
 
+use crate::ann::{eq1_distance_buf, AnnIndex, AnnMode, AnnRepIndex};
+use crate::cluster::knn::knn_threshold_components;
 use crate::cluster::Clustering;
 use crate::curve::LearningCurve;
 use crate::error::{Result, SelectionError};
-use crate::ids::ModelId;
-use crate::pipeline::{ClusterMethod, OfflineArtifacts, OfflineConfig};
+use crate::ids::{DatasetId, ModelId};
+use crate::pipeline::{cluster_models, ClusterMethod, OfflineArtifacts, OfflineConfig};
+use crate::recall::scored_cluster_set;
 use crate::similarity::SimilarityMatrix;
+use crate::telemetry::Telemetry;
 use crate::trend::mine_trends;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A new model's offline measurements: one fine-tuning run per benchmark
 /// dataset, in the matrix's dataset order.
@@ -94,9 +116,16 @@ impl OfflineArtifacts {
         self.matrix = self.matrix.with_model(&addition.name, &accuracies)?;
         let new_id = ModelId::from(self.matrix.n_models() - 1);
 
-        // 2. Refresh the similarity matrix.
-        self.similarity =
-            SimilarityMatrix::from_performance(&self.matrix, config.similarity_top_k)?;
+        // 2. Refresh the similarity matrix, preserving the storage layout:
+        // lazy artifacts (indexed builds) stay lazy, dense stay dense.
+        self.similarity = if self.similarity.is_lazy() {
+            SimilarityMatrix::lazy_from_vectors(
+                Arc::new(self.matrix.model_vectors()),
+                config.similarity_top_k,
+            )?
+        } else {
+            SimilarityMatrix::from_performance(&self.matrix, config.similarity_top_k)?
+        };
 
         // 3. Greedy cluster placement against existing representatives.
         // (Representatives are derived from the matrix *before* growth —
@@ -141,10 +170,21 @@ impl OfflineArtifacts {
         )?;
         self.trends.push(trends);
 
-        // 5. The stored representative index (indexed builds) no longer
-        // matches the grown repository; drop it so online recall rebuilds
-        // one from the fresh matrix instead of querying stale vectors.
-        self.ann = None;
+        // 5. Rebuild the stored representative index (indexed builds) over
+        // the grown clustering: it is O(C) work, and dropping it instead
+        // would silently push every indexed select onto the per-query
+        // rebuild path.
+        if self.ann.is_some() {
+            let reps = self.clustering.representatives(&self.matrix)?;
+            let scored = scored_cluster_set(&self.clustering);
+            self.ann = Some(AnnRepIndex::build(
+                &self.matrix,
+                &reps,
+                &scored,
+                config.similarity_top_k,
+                &config.ann,
+            )?);
+        }
 
         Ok(AdditionReport {
             model: new_id,
@@ -181,6 +221,108 @@ impl crate::matrix::PerformanceMatrix {
             })
             .collect();
         Self::new(names, dataset_names, rows)
+    }
+
+    /// A copy of the matrix with model `m` removed; later ids shift down.
+    pub fn without_model(&self, m: ModelId) -> Result<Self> {
+        if m.index() >= self.n_models() {
+            return Err(SelectionError::UnknownId {
+                what: "model",
+                id: m.index(),
+            });
+        }
+        if self.n_models() < 2 {
+            return Err(SelectionError::Empty("models after retirement"));
+        }
+        let names: Vec<String> = (0..self.n_models())
+            .filter(|&j| j != m.index())
+            .map(|j| self.model_name(ModelId::from(j)).to_string())
+            .collect();
+        let dataset_names: Vec<String> = (0..self.n_datasets())
+            .map(|d| self.dataset_name(DatasetId::from(d)).to_string())
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..self.n_datasets())
+            .map(|d| {
+                let mut row = self.dataset_row(DatasetId::from(d)).to_vec();
+                row.remove(m.index());
+                row
+            })
+            .collect();
+        Self::new(names, dataset_names, rows)
+    }
+
+    /// A copy of the matrix with model `m`'s accuracies replaced (a
+    /// retrained model keeps its id and name).
+    pub fn with_model_replaced(&self, m: ModelId, accuracies: &[f64]) -> Result<Self> {
+        if m.index() >= self.n_models() {
+            return Err(SelectionError::UnknownId {
+                what: "model",
+                id: m.index(),
+            });
+        }
+        if accuracies.len() != self.n_datasets() {
+            return Err(SelectionError::DimensionMismatch {
+                what: "model accuracies",
+                expected: self.n_datasets(),
+                got: accuracies.len(),
+            });
+        }
+        let names: Vec<String> = (0..self.n_models())
+            .map(|j| self.model_name(ModelId::from(j)).to_string())
+            .collect();
+        let dataset_names: Vec<String> = (0..self.n_datasets())
+            .map(|d| self.dataset_name(DatasetId::from(d)).to_string())
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..self.n_datasets())
+            .map(|d| {
+                let mut row = self.dataset_row(DatasetId::from(d)).to_vec();
+                row[m.index()] = accuracies[d];
+                row
+            })
+            .collect();
+        Self::new(names, dataset_names, rows)
+    }
+
+    /// A copy of the matrix with one extra benchmark dataset appended.
+    /// `row[m]` is model `m`'s accuracy on the new dataset.
+    pub fn with_dataset(&self, name: &str, row: &[f64]) -> Result<Self> {
+        if row.len() != self.n_models() {
+            return Err(SelectionError::DimensionMismatch {
+                what: "dataset row",
+                expected: self.n_models(),
+                got: row.len(),
+            });
+        }
+        let names: Vec<String> = (0..self.n_models())
+            .map(|j| self.model_name(ModelId::from(j)).to_string())
+            .collect();
+        let mut dataset_names: Vec<String> = (0..self.n_datasets())
+            .map(|d| self.dataset_name(DatasetId::from(d)).to_string())
+            .collect();
+        dataset_names.push(name.to_string());
+        let mut rows: Vec<Vec<f64>> = (0..self.n_datasets())
+            .map(|d| self.dataset_row(DatasetId::from(d)).to_vec())
+            .collect();
+        rows.push(row.to_vec());
+        Self::new(names, dataset_names, rows)
+    }
+
+    /// A copy of the matrix with dataset `d` removed; later ids shift down.
+    pub fn without_dataset(&self, d: DatasetId) -> Result<Self> {
+        if d.index() >= self.n_datasets() {
+            return Err(SelectionError::UnknownId {
+                what: "dataset",
+                id: d.index(),
+            });
+        }
+        if self.n_datasets() < 2 {
+            return Err(SelectionError::Empty("datasets after drop"));
+        }
+        let keep: Vec<DatasetId> = (0..self.n_datasets())
+            .filter(|&j| j != d.index())
+            .map(DatasetId::from)
+            .collect();
+        self.select_datasets(&keep)
     }
 }
 
@@ -239,6 +381,600 @@ impl crate::trend::TrendBook {
     /// Append one model's trends (the model must be the repository's newest).
     pub fn push(&mut self, trends: crate::trend::ConvergenceTrends) {
         self.push_inner(trends);
+    }
+
+    /// Drop model `m`'s trends; later rows shift down.
+    pub fn remove(&mut self, m: ModelId) {
+        self.remove_inner(m.index());
+    }
+
+    /// Replace model `m`'s trends in place.
+    pub fn replace(&mut self, m: ModelId, trends: crate::trend::ConvergenceTrends) {
+        self.replace_inner(m.index(), trends);
+    }
+}
+
+/// One live-zoo repository change, with the measurements the offline
+/// artifacts need to absorb it. Model ops carry only the affected model's
+/// curves; `AddDataset` carries every model's curve on the new dataset
+/// (the zoo layer regenerates curves deterministically from its transfer
+/// law, so callers never persist them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Update {
+    /// Register a new model (appended at the end of the id space).
+    AddModel {
+        /// Repository name of the new model.
+        name: String,
+        /// `curves[d]` = its learning curve on benchmark dataset `d`.
+        benchmark_curves: Vec<LearningCurve>,
+    },
+    /// Remove a model; later model ids shift down by one.
+    RetireModel {
+        /// Name of the model to retire.
+        name: String,
+    },
+    /// Replace a model's measurements (a retrain keeps id and name).
+    RefreshModel {
+        /// Name of the retrained model.
+        name: String,
+        /// Its fresh benchmark curves, in dataset order.
+        benchmark_curves: Vec<LearningCurve>,
+    },
+    /// Append a benchmark dataset; every model's trends are re-mined.
+    AddDataset {
+        /// Name of the new benchmark dataset.
+        name: String,
+        /// `model_curves[m]` = model `m`'s curve on the new dataset.
+        model_curves: Vec<LearningCurve>,
+    },
+    /// Remove a benchmark dataset; every model's trends are re-mined.
+    DropDataset {
+        /// Name of the dataset to drop.
+        name: String,
+    },
+}
+
+impl Update {
+    /// The operation name as it appears in reports and traces.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Update::AddModel { .. } => "add-model",
+            Update::RetireModel { .. } => "retire-model",
+            Update::RefreshModel { .. } => "refresh-model",
+            Update::AddDataset { .. } => "add-dataset",
+            Update::DropDataset { .. } => "drop-dataset",
+        }
+    }
+
+    /// The name the update targets (model or dataset).
+    pub fn target(&self) -> &str {
+        match self {
+            Update::AddModel { name, .. }
+            | Update::RetireModel { name }
+            | Update::RefreshModel { name, .. }
+            | Update::AddDataset { name, .. }
+            | Update::DropDataset { name } => name,
+        }
+    }
+}
+
+/// Accounting for one applied [`Update`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateReport {
+    /// Operation name (`add-model`, `retire-model`, …).
+    pub op: String,
+    /// Model or dataset name the update targeted.
+    pub target: String,
+    /// Models in the repository after the update.
+    pub models: usize,
+    /// Benchmark datasets after the update.
+    pub datasets: usize,
+    /// Clusters after the update.
+    pub clusters: usize,
+    /// Trend rows re-mined by this update (0 or 1 for model ops; dataset
+    /// ops re-mine every row and report it here).
+    pub remined_rows: usize,
+    /// kNN neighbour lists recomputed or patched (indexed mode; 0 in
+    /// exact mode, which has no lists).
+    pub touched_lists: usize,
+}
+
+/// The incremental delta engine: owns [`OfflineArtifacts`] plus the side
+/// state (per-model curves, current kNN lists) needed to absorb
+/// [`Update`]s with localized work while staying byte-identical to a
+/// from-scratch build on the post-update zoo.
+///
+/// Indexed mode (`--ann indexed` + `HierarchicalThreshold`, the same
+/// combination [`crate::stream::StreamingOfflineBuilder`] supports) keeps
+/// neighbour lists incrementally in the exhaustive search regime and
+/// falls back to an id-order index rebuild outside it. Exact mode
+/// re-derives the dense similarity and clustering with the exact build's
+/// own code path (trivially byte-identical) while still localizing the
+/// trend re-mine.
+#[derive(Debug, Clone)]
+pub struct DeltaEngine {
+    artifacts: OfflineArtifacts,
+    config: OfflineConfig,
+    threads: usize,
+    /// `curves[m][d]` = model `m`'s learning curve on dataset `d` —
+    /// required so dataset ops can re-mine every row.
+    curves: Vec<Vec<LearningCurve>>,
+    /// Indexed mode: the current kNN neighbour lists (empty in exact mode).
+    lists: Vec<Vec<(u32, f64)>>,
+    /// Indexed mode: the `HierarchicalThreshold` clustering threshold.
+    threshold: f64,
+}
+
+impl DeltaEngine {
+    /// Wrap existing artifacts for incremental maintenance. `curves[m][d]`
+    /// must be the learning curves the artifacts were built from (their
+    /// final test accuracies are checked against the matrix).
+    pub fn new(
+        artifacts: OfflineArtifacts,
+        curves: Vec<Vec<LearningCurve>>,
+        config: OfflineConfig,
+    ) -> Result<Self> {
+        let n = artifacts.matrix.n_models();
+        let d = artifacts.matrix.n_datasets();
+        if curves.len() != n {
+            return Err(SelectionError::DimensionMismatch {
+                what: "curve rows",
+                expected: n,
+                got: curves.len(),
+            });
+        }
+        for (m, row) in curves.iter().enumerate() {
+            if row.len() != d {
+                return Err(SelectionError::DimensionMismatch {
+                    what: "curves per model",
+                    expected: d,
+                    got: row.len(),
+                });
+            }
+            for (di, curve) in row.iter().enumerate() {
+                let cell = artifacts
+                    .matrix
+                    .accuracy(DatasetId::from(di), ModelId::from(m));
+                if curve.test() != cell {
+                    return Err(SelectionError::InvalidConfig(format!(
+                        "curve final accuracy for model {m} on dataset {di} \
+                         ({}) disagrees with the performance matrix ({cell})",
+                        curve.test()
+                    )));
+                }
+            }
+        }
+        let threshold = match (config.ann.mode, config.cluster) {
+            (AnnMode::Indexed, ClusterMethod::HierarchicalThreshold(t)) => {
+                config.ann.validate()?;
+                t
+            }
+            (AnnMode::Indexed, other) => {
+                return Err(SelectionError::InvalidConfig(format!(
+                    "indexed incremental updates support only \
+                     HierarchicalThreshold clustering, got {other:?}"
+                )))
+            }
+            (AnnMode::Exact, _) => 0.0,
+        };
+        let threads = config.parallel.resolve();
+        let mut engine = DeltaEngine {
+            artifacts,
+            config,
+            threads,
+            curves,
+            lists: Vec::new(),
+            threshold,
+        };
+        if engine.config.ann.mode == AnnMode::Indexed {
+            engine.lists = engine.rebuild_lists()?;
+        }
+        Ok(engine)
+    }
+
+    /// Convenience wrapper over [`new`](Self::new) for callers holding a
+    /// [`CurveSet`](crate::curve::CurveSet).
+    pub fn from_curve_set(
+        artifacts: OfflineArtifacts,
+        curves: &crate::curve::CurveSet,
+        config: OfflineConfig,
+    ) -> Result<Self> {
+        let table = (0..curves.n_models())
+            .map(|m| curves.model_curves(ModelId::from(m)).to_vec())
+            .collect();
+        Self::new(artifacts, table, config)
+    }
+
+    /// The maintained artifacts.
+    pub fn artifacts(&self) -> &OfflineArtifacts {
+        &self.artifacts
+    }
+
+    /// The maintained curve table (`[model][dataset]` order).
+    pub fn curves(&self) -> &[Vec<LearningCurve>] {
+        &self.curves
+    }
+
+    /// Consume the engine, yielding the artifacts.
+    pub fn into_artifacts(self) -> OfflineArtifacts {
+        self.artifacts
+    }
+
+    /// Apply one repository update. See
+    /// [`apply_update_traced`](Self::apply_update_traced).
+    pub fn apply_update(&mut self, update: &Update) -> Result<UpdateReport> {
+        self.apply_update_traced(update, &Telemetry::disabled())
+    }
+
+    /// Apply one repository update, re-deriving the artifacts
+    /// byte-identically to a from-scratch build on the post-update zoo.
+    ///
+    /// Emits an `incremental.update` span with counters:
+    /// `incremental.updates`, `incremental.remined_rows` (model ops),
+    /// `incremental.dataset_remined_rows` (dataset ops re-mine all M
+    /// rows), and in indexed mode `incremental.touched_lists`,
+    /// `incremental.knn_k` and `incremental.log2_m` — the operands of the
+    /// `incremental-touched-sublinear` budget rule.
+    pub fn apply_update_traced(
+        &mut self,
+        update: &Update,
+        tel: &Telemetry,
+    ) -> Result<UpdateReport> {
+        let _span = tel.span("incremental.update");
+        let indexed = self.config.ann.mode == AnnMode::Indexed;
+        let (remined, dataset_remined, touched) = match update {
+            Update::AddModel {
+                name,
+                benchmark_curves,
+            } => {
+                self.validate_new_model(name, benchmark_curves)?;
+                let trends = mine_trends(
+                    benchmark_curves,
+                    self.config.trend_stages,
+                    &self.config.trend,
+                )?;
+                let accuracies: Vec<f64> =
+                    benchmark_curves.iter().map(LearningCurve::test).collect();
+                self.artifacts.matrix = self.artifacts.matrix.with_model(name, &accuracies)?;
+                self.curves.push(benchmark_curves.clone());
+                self.artifacts.trends.push(trends);
+                let touched = if indexed { self.lists_after_add()? } else { 0 };
+                (1, 0, touched)
+            }
+            Update::RetireModel { name } => {
+                let r = self.model_id(name)?;
+                self.artifacts.matrix = self.artifacts.matrix.without_model(r)?;
+                self.curves.remove(r.index());
+                self.artifacts.trends.remove(r);
+                let touched = if indexed {
+                    self.lists_after_retire(r.index())?
+                } else {
+                    0
+                };
+                (0, 0, touched)
+            }
+            Update::RefreshModel {
+                name,
+                benchmark_curves,
+            } => {
+                let r = self.model_id(name)?;
+                if benchmark_curves.len() != self.artifacts.matrix.n_datasets() {
+                    return Err(SelectionError::DimensionMismatch {
+                        what: "benchmark curves",
+                        expected: self.artifacts.matrix.n_datasets(),
+                        got: benchmark_curves.len(),
+                    });
+                }
+                let trends = mine_trends(
+                    benchmark_curves,
+                    self.config.trend_stages,
+                    &self.config.trend,
+                )?;
+                let accuracies: Vec<f64> =
+                    benchmark_curves.iter().map(LearningCurve::test).collect();
+                self.artifacts.matrix =
+                    self.artifacts.matrix.with_model_replaced(r, &accuracies)?;
+                self.curves[r.index()] = benchmark_curves.clone();
+                self.artifacts.trends.replace(r, trends);
+                let touched = if indexed {
+                    self.lists_after_refresh(r.index())?
+                } else {
+                    0
+                };
+                (1, 0, touched)
+            }
+            Update::AddDataset { name, model_curves } => {
+                let n = self.artifacts.matrix.n_models();
+                if model_curves.len() != n {
+                    return Err(SelectionError::DimensionMismatch {
+                        what: "model curves",
+                        expected: n,
+                        got: model_curves.len(),
+                    });
+                }
+                if self.artifacts.matrix.dataset_by_name(name).is_some() {
+                    return Err(SelectionError::InvalidConfig(format!(
+                        "dataset `{name}` already in the repository"
+                    )));
+                }
+                let row: Vec<f64> = model_curves.iter().map(LearningCurve::test).collect();
+                self.artifacts.matrix = self.artifacts.matrix.with_dataset(name, &row)?;
+                for (m, curve) in model_curves.iter().enumerate() {
+                    self.curves[m].push(curve.clone());
+                }
+                self.remine_all_rows()?;
+                let touched = if indexed {
+                    self.lists = self.rebuild_lists()?;
+                    n
+                } else {
+                    0
+                };
+                (0, n, touched)
+            }
+            Update::DropDataset { name } => {
+                let d = self.artifacts.matrix.dataset_by_name(name).ok_or_else(|| {
+                    SelectionError::InvalidConfig(format!("dataset `{name}` not in the repository"))
+                })?;
+                let n = self.artifacts.matrix.n_models();
+                self.artifacts.matrix = self.artifacts.matrix.without_dataset(d)?;
+                for row in &mut self.curves {
+                    row.remove(d.index());
+                }
+                self.remine_all_rows()?;
+                let touched = if indexed {
+                    self.lists = self.rebuild_lists()?;
+                    n
+                } else {
+                    0
+                };
+                (0, n, touched)
+            }
+        };
+        self.derive()?;
+        tel.add("incremental.updates", 1.0);
+        if remined > 0 {
+            tel.add("incremental.remined_rows", remined as f64);
+        }
+        if dataset_remined > 0 {
+            tel.add("incremental.dataset_remined_rows", dataset_remined as f64);
+        }
+        if indexed {
+            tel.add("incremental.touched_lists", touched as f64);
+            tel.add("incremental.knn_k", self.config.ann.k as f64);
+            tel.add(
+                "incremental.log2_m",
+                (self.artifacts.matrix.n_models().max(2) as f64)
+                    .log2()
+                    .ceil(),
+            );
+        }
+        Ok(UpdateReport {
+            op: update.op().to_string(),
+            target: update.target().to_string(),
+            models: self.artifacts.matrix.n_models(),
+            datasets: self.artifacts.matrix.n_datasets(),
+            clusters: self.artifacts.clustering.n_clusters(),
+            remined_rows: remined + dataset_remined,
+            touched_lists: touched,
+        })
+    }
+
+    fn model_id(&self, name: &str) -> Result<ModelId> {
+        self.artifacts.matrix.model_by_name(name).ok_or_else(|| {
+            SelectionError::InvalidConfig(format!("model `{name}` not in the repository"))
+        })
+    }
+
+    fn validate_new_model(&self, name: &str, curves: &[LearningCurve]) -> Result<()> {
+        if curves.len() != self.artifacts.matrix.n_datasets() {
+            return Err(SelectionError::DimensionMismatch {
+                what: "benchmark curves",
+                expected: self.artifacts.matrix.n_datasets(),
+                got: curves.len(),
+            });
+        }
+        if self.artifacts.matrix.model_by_name(name).is_some() {
+            return Err(SelectionError::InvalidConfig(format!(
+                "model `{name}` already in the repository"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Re-mine every model's trends (dataset schema changed).
+    fn remine_all_rows(&mut self) -> Result<()> {
+        let rows: Vec<crate::trend::ConvergenceTrends> = self
+            .curves
+            .iter()
+            .map(|row| mine_trends(row, self.config.trend_stages, &self.config.trend))
+            .collect::<Result<_>>()?;
+        self.artifacts.trends = crate::trend::TrendBook::from_parts(rows)?;
+        Ok(())
+    }
+
+    /// Whether kNN queries over `n` nodes run in the exhaustive regime —
+    /// the mirror of [`AnnIndex::knn`]'s `ef >= len()` degradation, where
+    /// each list is a pure function of the vector set and can be patched
+    /// locally.
+    fn exhaustive_regime(&self, n: usize) -> bool {
+        self.config.ann.ef_search.max(self.config.ann.k + 1) >= n
+    }
+
+    /// From-scratch neighbour lists via an id-order index rebuild —
+    /// byte-identical to what [`OfflineArtifacts::build`] derives.
+    fn rebuild_lists(&self) -> Result<Vec<Vec<(u32, f64)>>> {
+        let index = AnnIndex::build(
+            self.artifacts.matrix.model_vectors(),
+            self.config.similarity_top_k,
+            &self.config.ann,
+        )?;
+        Ok(index.knn_lists(self.config.ann.k, self.config.ann.ef_search, self.threads))
+    }
+
+    /// Model `i`'s exhaustive-regime kNN list over `vectors`: the same
+    /// take-`k+1`, drop-self, truncate-`k` sequence as [`AnnIndex::knn`].
+    fn exhaustive_list(
+        &self,
+        vectors: &[Vec<f64>],
+        i: usize,
+        diffs: &mut Vec<f64>,
+    ) -> Vec<(u32, f64)> {
+        let top_k = self.config.similarity_top_k;
+        let k = self.config.ann.k;
+        let q = &vectors[i];
+        let mut all: Vec<(u32, f64)> = (0..vectors.len() as u32)
+            .map(|id| (id, eq1_distance_buf(q, &vectors[id as usize], top_k, diffs)))
+            .collect();
+        all.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k + 1);
+        all.retain(|&(id, _)| id as usize != i);
+        all.truncate(k);
+        all
+    }
+
+    /// Insert `(id, dist)` into a `(dist, id)`-sorted top-`k` list;
+    /// returns whether the list changed.
+    fn insert_candidate(list: &mut Vec<(u32, f64)>, id: u32, dist: f64, k: usize) -> bool {
+        let pos = list.partition_point(|&(eid, ed)| match ed.total_cmp(&dist) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => eid < id,
+            std::cmp::Ordering::Greater => false,
+        });
+        if pos >= k {
+            return false;
+        }
+        list.insert(pos, (id, dist));
+        list.truncate(k);
+        true
+    }
+
+    /// Patch the neighbour lists after a model append. Returns the number
+    /// of lists touched.
+    fn lists_after_add(&mut self) -> Result<usize> {
+        let n = self.artifacts.matrix.n_models();
+        if !self.exhaustive_regime(n) {
+            self.lists = self.rebuild_lists()?;
+            return Ok(n);
+        }
+        let vectors = self.artifacts.matrix.model_vectors();
+        let new = n - 1;
+        let top_k = self.config.similarity_top_k;
+        let k = self.config.ann.k;
+        let mut diffs = Vec::new();
+        let mut touched = 1; // the new model's own list
+        let mut new_list: Vec<(u32, f64)> = Vec::with_capacity(new);
+        for x in 0..new {
+            let d = eq1_distance_buf(&vectors[x], &vectors[new], top_k, &mut diffs);
+            new_list.push((x as u32, d));
+            if Self::insert_candidate(&mut self.lists[x], new as u32, d, k) {
+                touched += 1;
+            }
+        }
+        new_list.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        new_list.truncate(k);
+        self.lists.push(new_list);
+        Ok(touched)
+    }
+
+    /// Patch the neighbour lists after retiring (pre-removal) model `r`.
+    fn lists_after_retire(&mut self, r: usize) -> Result<usize> {
+        let n = self.artifacts.matrix.n_models();
+        if !self.exhaustive_regime(n) {
+            self.lists = self.rebuild_lists()?;
+            return Ok(n);
+        }
+        self.lists.remove(r);
+        let vectors = self.artifacts.matrix.model_vectors();
+        let mut diffs = Vec::new();
+        let mut requeue: Vec<usize> = Vec::new();
+        for (x, list) in self.lists.iter_mut().enumerate() {
+            if list.iter().any(|&(id, _)| id as usize == r) {
+                requeue.push(x);
+            } else {
+                for entry in list.iter_mut() {
+                    if entry.0 as usize > r {
+                        entry.0 -= 1;
+                    }
+                }
+            }
+        }
+        for &x in &requeue {
+            self.lists[x] = self.exhaustive_list(&vectors, x, &mut diffs);
+        }
+        Ok(requeue.len())
+    }
+
+    /// Patch the neighbour lists after refreshing model `r`'s vector.
+    fn lists_after_refresh(&mut self, r: usize) -> Result<usize> {
+        let n = self.artifacts.matrix.n_models();
+        if !self.exhaustive_regime(n) {
+            self.lists = self.rebuild_lists()?;
+            return Ok(n);
+        }
+        let vectors = self.artifacts.matrix.model_vectors();
+        let top_k = self.config.similarity_top_k;
+        let k = self.config.ann.k;
+        let mut diffs = Vec::new();
+        let mut touched = 1; // r's own list
+        self.lists[r] = self.exhaustive_list(&vectors, r, &mut diffs);
+        for x in 0..n {
+            if x == r {
+                continue;
+            }
+            let had = self.lists[x].iter().any(|&(id, _)| id as usize == r);
+            if had {
+                // r's old entry may have displaced the true k-th; requery.
+                self.lists[x] = self.exhaustive_list(&vectors, x, &mut diffs);
+                touched += 1;
+            } else {
+                // r was outside x's top-k; it enters only if the new
+                // vector beats the current worst.
+                let d = eq1_distance_buf(&vectors[x], &vectors[r], top_k, &mut diffs);
+                if Self::insert_candidate(&mut self.lists[x], r as u32, d, k) {
+                    touched += 1;
+                }
+            }
+        }
+        Ok(touched)
+    }
+
+    /// Re-derive similarity, clustering and the representative index from
+    /// the updated matrix (+ lists), exactly as a from-scratch build does.
+    fn derive(&mut self) -> Result<()> {
+        match self.config.ann.mode {
+            AnnMode::Indexed => {
+                let matrix = &self.artifacts.matrix;
+                self.artifacts.similarity = SimilarityMatrix::lazy_from_vectors(
+                    Arc::new(matrix.model_vectors()),
+                    self.config.similarity_top_k,
+                )?;
+                self.artifacts.clustering =
+                    knn_threshold_components(matrix.n_models(), &self.lists, self.threshold)?;
+                let reps = self.artifacts.clustering.representatives(matrix)?;
+                let scored = scored_cluster_set(&self.artifacts.clustering);
+                self.artifacts.ann = Some(AnnRepIndex::build(
+                    matrix,
+                    &reps,
+                    &scored,
+                    self.config.similarity_top_k,
+                    &self.config.ann,
+                )?);
+            }
+            AnnMode::Exact => {
+                self.artifacts.similarity = SimilarityMatrix::from_performance_par(
+                    &self.artifacts.matrix,
+                    self.config.similarity_top_k,
+                    self.threads,
+                )?;
+                self.artifacts.clustering = cluster_models(
+                    &self.artifacts.matrix,
+                    &self.artifacts.similarity,
+                    self.config.cluster,
+                )?;
+                self.artifacts.ann = None;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -419,5 +1155,208 @@ mod tests {
         assert_eq!(joined.cluster_size(1), 2);
         let single = c.with_model(None).unwrap();
         assert_eq!(single.n_clusters(), 3);
+    }
+
+    // ---- delta engine ----------------------------------------------------
+
+    use crate::ann::AnnMode;
+
+    fn curve_for(f: f64) -> LearningCurve {
+        LearningCurve::new(vec![f * 0.7, f * 0.9, f], f).unwrap()
+    }
+
+    /// A 6-model / 3-dataset world with a family (m0,m1) and spread-out
+    /// singletons, plus its curve set.
+    fn world(indexed: bool) -> (PerformanceMatrix, CurveSet, OfflineConfig) {
+        let matrix = PerformanceMatrix::new(
+            (0..6).map(|m| format!("m{m}")).collect(),
+            vec!["d0".into(), "d1".into(), "d2".into()],
+            vec![
+                vec![0.90, 0.89, 0.50, 0.20, 0.75, 0.35],
+                vec![0.80, 0.81, 0.20, 0.60, 0.45, 0.95],
+                vec![0.70, 0.69, 0.40, 0.40, 0.65, 0.15],
+            ],
+        )
+        .unwrap();
+        let curves = CurveSet::from_fn(6, 3, |m, d| curve_for(matrix.accuracy(d, m))).unwrap();
+        let mut config = OfflineConfig {
+            similarity_top_k: 2,
+            cluster: ClusterMethod::HierarchicalThreshold(0.05),
+            trend: TrendConfig {
+                n_trends: 2,
+                max_iter: 32,
+            },
+            trend_stages: 3,
+            parallel: Default::default(),
+            ann: Default::default(),
+        };
+        if indexed {
+            config.ann.mode = AnnMode::Indexed;
+        }
+        (matrix, curves, config)
+    }
+
+    fn engine(indexed: bool) -> DeltaEngine {
+        let (matrix, curves, config) = world(indexed);
+        let arts = OfflineArtifacts::build(matrix, &curves, &config).unwrap();
+        DeltaEngine::from_curve_set(arts, &curves, config).unwrap()
+    }
+
+    /// From-scratch artifacts on the engine's current curve table.
+    fn rebuild(engine: &DeltaEngine, config: &OfflineConfig) -> OfflineArtifacts {
+        let table = engine.curves();
+        let flat: Vec<LearningCurve> = table.iter().flat_map(|row| row.iter().cloned()).collect();
+        let curves = CurveSet::new(table.len(), table[0].len(), flat).unwrap();
+        OfflineArtifacts::build(engine.artifacts().matrix.clone(), &curves, config).unwrap()
+    }
+
+    fn assert_byte_identical(engine: &DeltaEngine, config: &OfflineConfig, ctx: &str) {
+        let incremental = serde_json::to_string(engine.artifacts()).unwrap();
+        let scratch = serde_json::to_string(&rebuild(engine, config)).unwrap();
+        assert_eq!(incremental, scratch, "artifacts diverge after {ctx}");
+    }
+
+    fn update_script() -> Vec<Update> {
+        vec![
+            Update::AddModel {
+                name: "m0-sibling".into(),
+                benchmark_curves: vec![curve_for(0.895), curve_for(0.805), curve_for(0.695)],
+            },
+            Update::RefreshModel {
+                name: "m2".into(),
+                benchmark_curves: vec![curve_for(0.91), curve_for(0.79), curve_for(0.71)],
+            },
+            Update::AddDataset {
+                name: "d3".into(),
+                model_curves: (0..7).map(|m| curve_for(0.3 + 0.07 * m as f64)).collect(),
+            },
+            Update::RetireModel { name: "m3".into() },
+            Update::DropDataset { name: "d1".into() },
+        ]
+    }
+
+    #[test]
+    fn add_model_keeps_indexed_recall_live() {
+        let (matrix, curves, config) = world(true);
+        let mut arts = OfflineArtifacts::build(matrix, &curves, &config).unwrap();
+        arts.add_model(
+            &ModelAddition {
+                name: "late".into(),
+                benchmark_curves: vec![curve_for(0.88), curve_for(0.79), curve_for(0.68)],
+            },
+            &config,
+        )
+        .unwrap();
+        let ann = arts
+            .ann
+            .as_ref()
+            .expect("add_model on indexed artifacts must rebuild the rep index, not drop it");
+        let scored = scored_cluster_set(&arts.clustering);
+        assert!(
+            ann.matches(&scored),
+            "rebuilt rep index must cover the post-addition cluster set"
+        );
+    }
+
+    #[test]
+    fn delta_updates_match_rebuild_exact() {
+        let (_, _, config) = world(false);
+        let mut eng = engine(false);
+        for update in update_script() {
+            let report = eng.apply_update(&update).unwrap();
+            assert_eq!(report.touched_lists, 0, "exact mode has no kNN lists");
+            assert_byte_identical(&eng, &config, &format!("{} (exact)", update.op()));
+        }
+    }
+
+    #[test]
+    fn delta_updates_match_rebuild_indexed_exhaustive() {
+        // Default ef_search (48) >= n: the localized list-patching path.
+        let (_, _, config) = world(true);
+        let mut eng = engine(true);
+        for update in update_script() {
+            eng.apply_update(&update).unwrap();
+            assert_byte_identical(&eng, &config, &format!("{} (indexed)", update.op()));
+        }
+    }
+
+    #[test]
+    fn delta_updates_match_rebuild_indexed_beam() {
+        // ef_search < n forces the beam regime: every op falls back to an
+        // id-order index rebuild and must still be byte-identical.
+        let (matrix, curves, mut config) = world(true);
+        config.ann.ef_search = 3;
+        config.ann.k = 2;
+        let arts = OfflineArtifacts::build(matrix, &curves, &config).unwrap();
+        let mut eng = DeltaEngine::from_curve_set(arts, &curves, config.clone()).unwrap();
+        for update in update_script() {
+            eng.apply_update(&update).unwrap();
+            assert_byte_identical(&eng, &config, &format!("{} (beam)", update.op()));
+        }
+    }
+
+    #[test]
+    fn delta_reports_and_counters_account_for_the_work() {
+        let (tel, sink) = Telemetry::recording();
+        let mut eng = engine(true);
+        let report = eng
+            .apply_update_traced(
+                &Update::AddModel {
+                    name: "x".into(),
+                    benchmark_curves: vec![curve_for(0.5), curve_for(0.5), curve_for(0.5)],
+                },
+                &tel,
+            )
+            .unwrap();
+        assert_eq!(report.op, "add-model");
+        assert_eq!(report.models, 7);
+        assert_eq!(report.remined_rows, 1);
+        assert!(report.touched_lists >= 1);
+        let report = eng
+            .apply_update_traced(&Update::RetireModel { name: "x".into() }, &tel)
+            .unwrap();
+        assert_eq!(report.remined_rows, 0);
+        let counters = &sink.report().counters;
+        assert_eq!(counters["incremental.updates"], 2.0);
+        assert_eq!(counters["incremental.remined_rows"], 1.0);
+        // The sublinear budget rule's operands are present.
+        assert!(counters.contains_key("incremental.knn_k"));
+        assert!(counters.contains_key("incremental.log2_m"));
+    }
+
+    #[test]
+    fn delta_engine_validates_inputs() {
+        let (matrix, curves, config) = world(false);
+        let arts = OfflineArtifacts::build(matrix, &curves, &config).unwrap();
+        // Curve/matrix disagreement is rejected.
+        let mut bad: Vec<Vec<LearningCurve>> = (0..6)
+            .map(|m| curves.model_curves(ModelId(m)).to_vec())
+            .collect();
+        bad[0][0] = curve_for(0.123);
+        assert!(DeltaEngine::new(arts.clone(), bad, config.clone()).is_err());
+        let mut eng = DeltaEngine::from_curve_set(arts, &curves, config).unwrap();
+        assert!(eng
+            .apply_update(&Update::RetireModel {
+                name: "nope".into()
+            })
+            .is_err());
+        assert!(eng
+            .apply_update(&Update::AddModel {
+                name: "m0".into(),
+                benchmark_curves: vec![curve_for(0.5); 3],
+            })
+            .is_err());
+        assert!(eng
+            .apply_update(&Update::DropDataset {
+                name: "nope".into()
+            })
+            .is_err());
+        // Too few curves for a new dataset.
+        assert!(eng
+            .apply_update(&Update::AddDataset {
+                name: "d9".into(),
+                model_curves: vec![curve_for(0.5); 2],
+            })
+            .is_err());
     }
 }

@@ -82,6 +82,7 @@ pub mod prelude {
         RetryPolicy,
     };
     pub use crate::ids::{DatasetId, ModelId};
+    pub use crate::incremental::{DeltaEngine, Update, UpdateReport};
     pub use crate::matrix::PerformanceMatrix;
     pub use crate::parallel::ParallelConfig;
     pub use crate::pipeline::{

@@ -236,6 +236,18 @@ impl TrendBook {
     pub(crate) fn push_inner(&mut self, trends: ConvergenceTrends) {
         self.per_model.push(trends);
     }
+
+    /// Drop the trends of model `m`, shifting later rows down (crate-
+    /// internal; used by the incremental delta engine on `RetireModel`).
+    pub(crate) fn remove_inner(&mut self, m: usize) {
+        self.per_model.remove(m);
+    }
+
+    /// Replace the trends of model `m` in place (crate-internal; used by
+    /// the incremental delta engine on `RefreshModel`).
+    pub(crate) fn replace_inner(&mut self, m: usize, trends: ConvergenceTrends) {
+        self.per_model[m] = trends;
+    }
 }
 
 /// Deterministic 1-D k-means: centroids initialised at evenly-spaced

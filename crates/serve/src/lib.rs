@@ -38,4 +38,7 @@ mod server;
 
 pub use client::Client;
 pub use protocol::{Request, SelectionResult};
-pub use server::{install_signal_drain, ServeConfig, ServeStats, ServeSummary, Server};
+pub use server::{
+    install_signal_drain, GenerationState, ReloadSource, ServeConfig, ServeStats, ServeSummary,
+    Server,
+};

@@ -106,25 +106,29 @@ impl SelectionResult {
 }
 
 /// Canonical fingerprint of a selection request — the result-cache key.
-/// Covers everything the outcome depends on (target, recall size,
-/// threshold, stage count, fault schedule) and deliberately excludes
-/// everything it does not (thread count, deadlines, epoch budgets), so
-/// e.g. a 4-thread request can be served from a 1-thread request's cache
-/// entry byte-identically.
+/// Covers everything the outcome depends on (artifact generation, target,
+/// recall size, threshold, stage count, fault schedule) and deliberately
+/// excludes everything it does not (thread count, deadlines, epoch
+/// budgets), so e.g. a 4-thread request can be served from a 1-thread
+/// request's cache entry byte-identically. Folding the generation in
+/// invalidates the whole cache at every hot-swap — a deliberate
+/// cache-compat break versus the pre-generation key format.
 pub fn fingerprint(
+    generation: u64,
     target: usize,
     top_k: usize,
     threshold: f64,
     stages: usize,
     fault_plan_text: &str,
 ) -> String {
-    format!("t{target}.k{top_k}.th{threshold:?}.s{stages}.faults[{fault_plan_text}]")
+    format!("g{generation}.t{target}.k{top_k}.th{threshold:?}.s{stages}.faults[{fault_plan_text}]")
 }
 
 /// Assemble a success envelope around an already-serialized result
-/// payload. `violations` (deadline/budget overruns) are appended after the
-/// result so the result bytes stay a verbatim substring.
-pub fn ok_envelope(id: u64, result_json: &str, violations: &[String]) -> String {
+/// payload. `violations` (deadline/budget overruns) and the serving
+/// `generation` are appended after the result so the result bytes stay a
+/// verbatim substring.
+pub fn ok_envelope(id: u64, result_json: &str, violations: &[String], generation: u64) -> String {
     let mut line = format!("{{\"id\":{id},\"status\":\"ok\",\"result\":{result_json}");
     if !violations.is_empty() {
         line.push_str(",\"violations\":[");
@@ -136,6 +140,7 @@ pub fn ok_envelope(id: u64, result_json: &str, violations: &[String]) -> String 
         }
         line.push(']');
     }
+    line.push_str(&format!(",\"generation\":{generation}"));
     line.push('}');
     line
 }
@@ -160,16 +165,30 @@ pub fn status_of(line: &str) -> Option<&str> {
 }
 
 /// The raw result payload of an `ok` response line — exactly the bytes the
-/// server embedded, violations tail stripped. `None` for non-`ok` lines.
+/// server embedded, with the `generation` and `violations` tails stripped.
+/// `None` for non-`ok` lines.
 pub fn extract_result(line: &str) -> Option<&str> {
     let rest = line.strip_prefix("{\"id\":")?;
     let digits = rest.find(|c: char| !c.is_ascii_digit())?;
     let rest = rest[digits..].strip_prefix(",\"status\":\"ok\",\"result\":")?;
-    let rest = rest.strip_suffix('}')?;
+    let mut rest = rest.strip_suffix('}')?;
+    if let Some(i) = rest.rfind(",\"generation\":") {
+        let tail = &rest[i + ",\"generation\":".len()..];
+        if !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()) {
+            rest = &rest[..i];
+        }
+    }
     match rest.rfind(",\"violations\":[") {
         Some(i) if rest.ends_with(']') => Some(&rest[..i]),
         _ => Some(rest),
     }
+}
+
+/// The `generation` field of an `ok` response line, if present.
+pub fn generation_of(line: &str) -> Option<u64> {
+    let rest = line.strip_suffix('}')?;
+    let i = rest.rfind(",\"generation\":")?;
+    rest[i + ",\"generation\":".len()..].parse().ok()
 }
 
 /// Minimal JSON string encoder for envelope fields.
@@ -208,22 +227,34 @@ mod tests {
 
     #[test]
     fn envelopes_parse_and_extract() {
-        let line = ok_envelope(3, r#"{"winner":"m1"}"#, &[]);
+        let line = ok_envelope(3, r#"{"winner":"m1"}"#, &[], 1);
         let v: serde_json::Value = serde_json::from_str(&line).unwrap();
         assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+        assert_eq!(v.get("generation").and_then(|g| g.as_u64()), Some(1));
         assert_eq!(status_of(&line), Some("ok"));
         assert_eq!(extract_result(&line), Some(r#"{"winner":"m1"}"#));
+        assert_eq!(generation_of(&line), Some(1));
 
-        let with_violations = ok_envelope(3, r#"{"winner":"m1"}"#, &["over budget".into()]);
+        let with_violations = ok_envelope(3, r#"{"winner":"m1"}"#, &["over budget".into()], 7);
         let v: serde_json::Value = serde_json::from_str(&with_violations).unwrap();
         assert!(v.get("violations").is_some());
         assert_eq!(extract_result(&with_violations), Some(r#"{"winner":"m1"}"#));
+        assert_eq!(generation_of(&with_violations), Some(7));
+
+        // A result whose own JSON ends in a generation-like field must
+        // survive the tail strip (the envelope's field is the outermost).
+        let tricky = ok_envelope(4, r#"{"note":"x","generation":99}"#, &[], 2);
+        assert_eq!(
+            extract_result(&tricky),
+            Some(r#"{"note":"x","generation":99}"#)
+        );
 
         let err = error_envelope(9, "overloaded", "queue full");
         let v: serde_json::Value = serde_json::from_str(&err).unwrap();
         assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("overloaded"));
         assert_eq!(status_of(&err), Some("overloaded"));
         assert_eq!(extract_result(&err), None);
+        assert_eq!(generation_of(&err), None);
     }
 
     #[test]
@@ -239,12 +270,20 @@ mod tests {
 
     #[test]
     fn fingerprint_separates_what_matters() {
-        let base = fingerprint(0, 10, 0.0, 5, "");
-        assert_ne!(base, fingerprint(1, 10, 0.0, 5, ""));
-        assert_ne!(base, fingerprint(0, 8, 0.0, 5, ""));
-        assert_ne!(base, fingerprint(0, 10, 0.05, 5, ""));
-        assert_ne!(base, fingerprint(0, 10, 0.0, 4, ""));
-        assert_ne!(base, fingerprint(0, 10, 0.0, 5, "advance m1 0 transient\n"));
-        assert_eq!(base, fingerprint(0, 10, 0.0, 5, ""));
+        let base = fingerprint(1, 0, 10, 0.0, 5, "");
+        assert_ne!(
+            base,
+            fingerprint(2, 0, 10, 0.0, 5, ""),
+            "generation invalidates"
+        );
+        assert_ne!(base, fingerprint(1, 1, 10, 0.0, 5, ""));
+        assert_ne!(base, fingerprint(1, 0, 8, 0.0, 5, ""));
+        assert_ne!(base, fingerprint(1, 0, 10, 0.05, 5, ""));
+        assert_ne!(base, fingerprint(1, 0, 10, 0.0, 4, ""));
+        assert_ne!(
+            base,
+            fingerprint(1, 0, 10, 0.0, 5, "advance m1 0 transient\n")
+        );
+        assert_eq!(base, fingerprint(1, 0, 10, 0.0, 5, ""));
     }
 }

@@ -12,7 +12,7 @@ use std::collections::HashSet;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -30,26 +30,36 @@ use crate::queue::{Admission, BoundedQueue};
 
 /// Process-wide drain flag set by the SIGTERM/SIGINT handler.
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
+/// Process-wide reload flag set by the SIGHUP handler; the accept loop
+/// polls it and performs a generation hot-swap (like a reload request).
+static RELOAD_SIGNALLED: AtomicBool = AtomicBool::new(false);
 
 /// Install a SIGTERM/SIGINT handler that asks the running [`Server`] to
 /// drain gracefully (finish queued work, flush the aggregate trace, exit
-/// 0) instead of dying mid-request. Std-only: the handler just stores an
-/// atomic flag the accept loop polls.
+/// 0) instead of dying mid-request, plus a SIGHUP handler that requests a
+/// generation reload. Std-only: the handlers just store atomic flags the
+/// accept loop polls.
 #[cfg(unix)]
 pub fn install_signal_drain() {
     unsafe extern "C" fn mark(_sig: i32) {
         SIGNALLED.store(true, Ordering::SeqCst);
     }
+    unsafe extern "C" fn mark_reload(_sig: i32) {
+        RELOAD_SIGNALLED.store(true, Ordering::SeqCst);
+    }
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     let handler: unsafe extern "C" fn(i32) = mark;
+    let reload_handler: unsafe extern "C" fn(i32) = mark_reload;
     #[allow(clippy::fn_to_numeric_cast)]
     unsafe {
         signal(SIGTERM, handler as usize);
         signal(SIGINT, handler as usize);
+        signal(SIGHUP, reload_handler as usize);
     }
 }
 
@@ -131,6 +141,12 @@ pub struct ServeStats {
     pub total_epochs: f64,
     /// Retry-backoff epoch share of `total_epochs`.
     pub retry_epochs: f64,
+    /// Successful generation hot-swaps (reload requests + SIGHUP).
+    #[serde(default)]
+    pub reloads: u64,
+    /// Current artifact generation (1-based; `reloads + 1` always).
+    #[serde(default)]
+    pub generation: u64,
 }
 
 /// What a drained server hands back: final stats plus one aggregate
@@ -144,10 +160,32 @@ pub struct ServeSummary {
     pub trace: TraceReport,
 }
 
+/// One immutable artifact snapshot a server answers requests from.
+/// Requests pin the `Arc` at admission, so a hot-swap never changes the
+/// artifacts under an in-flight selection — old-generation requests
+/// finish (and are answered) on the old artifacts.
+pub struct GenerationState {
+    /// Swap epoch: 1 for the artifacts the server was bound with, +1 per
+    /// successful reload. (A server loading from a versioned store will
+    /// typically note the store generation id in logs; the fingerprint
+    /// uses this monotonic epoch, which also covers non-store reloads.)
+    pub generation: u64,
+    /// The world answering this generation's requests.
+    pub world: World,
+    /// The offline artifacts answering this generation's requests.
+    pub artifacts: OfflineArtifacts,
+}
+
+/// Produces the next `(world, artifacts)` pair for a hot-swap.
+pub type ReloadSource = Box<dyn Fn() -> Result<(World, OfflineArtifacts), String> + Send + Sync>;
+
 /// One admitted selection request.
 struct Job {
     id: u64,
     target: usize,
+    /// The generation pinned at admission; execution uses it even if a
+    /// swap lands while the job waits in the queue.
+    gen: Arc<GenerationState>,
     config: PipelineConfig,
     plan: Option<FaultPlan>,
     fingerprint: String,
@@ -175,37 +213,81 @@ enum Lookup {
     Lead,
 }
 
-/// A bound, resident selection server over borrowed artifacts.
-pub struct Server<'w> {
-    world: &'w World,
-    artifacts: &'w OfflineArtifacts,
+/// A bound, resident selection server over hot-swappable artifacts.
+pub struct Server {
+    /// The current generation; swapped atomically by `reload`.
+    state: Mutex<Arc<GenerationState>>,
+    /// Where `reload` gets the next generation from (absent → reload is
+    /// answered with an error).
+    reload_source: Option<ReloadSource>,
     config: ServeConfig,
     listener: TcpListener,
     addr: SocketAddr,
 }
 
-impl<'w> Server<'w> {
-    /// Bind the listener. The world and artifacts are loaded exactly once,
-    /// by the caller — the server only borrows them.
+impl Server {
+    /// Bind the listener over generation 1 of the given artifacts (cloned
+    /// into the server's own swappable state).
     pub fn bind(
-        world: &'w World,
-        artifacts: &'w OfflineArtifacts,
+        world: &World,
+        artifacts: &OfflineArtifacts,
         config: ServeConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         Ok(Server {
-            world,
-            artifacts,
+            state: Mutex::new(Arc::new(GenerationState {
+                generation: 1,
+                world: world.clone(),
+                artifacts: artifacts.clone(),
+            })),
+            reload_source: None,
             config,
             listener,
             addr,
         })
     }
 
+    /// Attach a reload source enabling `{"op":"reload"}` and SIGHUP
+    /// hot-swaps.
+    pub fn with_reload_source(mut self, source: ReloadSource) -> Self {
+        self.reload_source = Some(source);
+        self
+    }
+
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Pin the current generation.
+    fn current(&self) -> Arc<GenerationState> {
+        self.state.lock().unwrap().clone()
+    }
+
+    /// Load the next generation from the reload source and swap it in.
+    /// In-flight and queued jobs keep the `Arc` they pinned at admission;
+    /// only requests admitted after the swap see the new generation. The
+    /// result cache needs no explicit flush — the generation is folded
+    /// into every fingerprint, so old entries simply stop matching.
+    fn reload(&self, sh: &Shared) -> Result<u64, String> {
+        let source = self
+            .reload_source
+            .as_ref()
+            .ok_or_else(|| "no reload source configured".to_string())?;
+        let (world, artifacts) = source()?;
+        let mut state = self.state.lock().unwrap();
+        let generation = state.generation + 1;
+        *state = Arc::new(GenerationState {
+            generation,
+            world,
+            artifacts,
+        });
+        drop(state);
+        let mut stats = sh.stats.lock().unwrap();
+        stats.reloads += 1;
+        stats.generation = generation;
+        Ok(generation)
     }
 
     /// Serve until a `shutdown` request or SIGTERM/SIGINT, then drain:
@@ -221,6 +303,7 @@ impl<'w> Server<'w> {
             flight_done: Condvar::new(),
             stats: Mutex::new(ServeStats {
                 queue_capacity: (self.config.queue_depth + workers) as u64,
+                generation: self.current().generation,
                 ..ServeStats::default()
             }),
             records: Mutex::new(Vec::new()),
@@ -234,6 +317,11 @@ impl<'w> Server<'w> {
             loop {
                 if SIGNALLED.load(Ordering::SeqCst) {
                     shared.queue.drain();
+                }
+                if RELOAD_SIGNALLED.swap(false, Ordering::SeqCst) {
+                    // SIGHUP: best-effort swap; a missing source or failed
+                    // load keeps serving the current generation.
+                    let _ = self.reload(sh);
                 }
                 if shared.queue.draining() {
                     break;
@@ -261,6 +349,7 @@ impl<'w> Server<'w> {
     fn summarize(&self, shared: Shared) -> ServeSummary {
         let mut stats = shared.stats.into_inner().unwrap();
         stats.queue_peak = shared.queue.peak() as u64;
+        stats.generation = self.current().generation;
         let mut records = shared.records.into_inner().unwrap();
         // Fingerprint order, not completion order: the aggregate trace must
         // be identical however the scheduler interleaved the workers.
@@ -269,7 +358,7 @@ impl<'w> Server<'w> {
         for (_, elapsed_us, report) in records {
             trace.absorb("serve.request", elapsed_us, report);
         }
-        let counters: [(&str, f64); 14] = [
+        let counters: [(&str, f64); 16] = [
             ("serve.requests", stats.requests as f64),
             ("serve.executed", stats.executed as f64),
             ("serve.cache_hits", stats.cache_hits as f64),
@@ -287,6 +376,8 @@ impl<'w> Server<'w> {
             ("serve.total_epochs", stats.total_epochs),
             ("serve.retry_epochs", stats.retry_epochs),
             ("serve.workers", self.config.max_inflight.max(1) as f64),
+            ("serve.reloads", stats.reloads as f64),
+            ("serve.generation", stats.generation as f64),
         ];
         for (name, value) in counters {
             trace.counters.insert(name.to_string(), value);
@@ -383,6 +474,7 @@ impl<'w> Server<'w> {
             job.id,
             &entry.result_json,
             &violations,
+            job.gen.generation,
         ));
     }
 
@@ -437,14 +529,15 @@ impl<'w> Server<'w> {
 
     fn execute(&self, job: &Job) -> tps_core::error::Result<(CacheEntry, TraceReport)> {
         let (tel, sink) = Telemetry::recording();
-        let oracle = ZooOracle::new(self.world, job.target)?;
-        let trainer = ZooTrainer::new(self.world, job.target)?.with_telemetry(tel.clone());
+        let gen = &*job.gen;
+        let oracle = ZooOracle::new(&gen.world, job.target)?;
+        let trainer = ZooTrainer::new(&gen.world, job.target)?.with_telemetry(tel.clone());
         let (oracle, mut trainer) = fault::wrap_pair(oracle, trainer, job.plan.as_ref());
         let outcome =
-            two_phase_select_traced(self.artifacts, &oracle, &mut trainer, &job.config, &tel)?;
+            two_phase_select_traced(&gen.artifacts, &oracle, &mut trainer, &job.config, &tel)?;
         let total_epochs = outcome.ledger.total();
         let retry_epochs = outcome.ledger.retry_epochs();
-        let result = SelectionResult::new(self.world, self.artifacts, job.target, outcome);
+        let result = SelectionResult::new(&gen.world, &gen.artifacts, job.target, outcome);
         let result_json = serde_json::to_string(&result)
             .map_err(|e| tps_core::error::SelectionError::Backend(format!("serialize: {e}")))?;
         let mut report = sink.report();
@@ -505,19 +598,50 @@ impl<'w> Server<'w> {
         };
         match req.op.as_str() {
             "ping" => {
-                let _ = tx.send(protocol::ok_envelope(req.id, "{\"pong\":true}", &[]));
+                let generation = self.current().generation;
+                let _ = tx.send(protocol::ok_envelope(
+                    req.id,
+                    "{\"pong\":true}",
+                    &[],
+                    generation,
+                ));
             }
             "stats" => {
                 let snapshot = {
                     let mut stats = sh.stats.lock().unwrap();
                     stats.queue_peak = sh.queue.peak() as u64;
+                    stats.generation = self.current().generation;
                     stats.clone()
                 };
                 let json = serde_json::to_string(&snapshot).unwrap_or_else(|_| "{}".to_string());
-                let _ = tx.send(protocol::ok_envelope(req.id, &json, &[]));
+                let _ = tx.send(protocol::ok_envelope(
+                    req.id,
+                    &json,
+                    &[],
+                    snapshot.generation,
+                ));
             }
+            "reload" => match self.reload(sh) {
+                Ok(generation) => {
+                    let _ = tx.send(protocol::ok_envelope(
+                        req.id,
+                        "{\"reloaded\":true}",
+                        &[],
+                        generation,
+                    ));
+                }
+                Err(e) => {
+                    let _ = tx.send(protocol::error_envelope(req.id, "error", &e));
+                }
+            },
             "shutdown" => {
-                let _ = tx.send(protocol::ok_envelope(req.id, "{\"draining\":true}", &[]));
+                let generation = self.current().generation;
+                let _ = tx.send(protocol::ok_envelope(
+                    req.id,
+                    "{\"draining\":true}",
+                    &[],
+                    generation,
+                ));
                 sh.queue.drain();
             }
             "" | "select" => self.handle_select(sh, req, tx),
@@ -537,13 +661,16 @@ impl<'w> Server<'w> {
 
     fn handle_select(&self, sh: &Shared, req: Request, tx: &mpsc::Sender<String>) {
         sh.stats.lock().unwrap().requests += 1;
+        // Pin the generation at admission: everything below (target
+        // resolution, fingerprint, execution) speaks about this snapshot.
+        let gen = self.current();
         let fail = |detail: String| {
             sh.stats.lock().unwrap().errors += 1;
             let _ = tx.send(protocol::error_envelope(req.id, "error", &detail));
         };
         let target = match req.target.as_deref() {
             None => return fail("missing target".to_string()),
-            Some(name) => match self.resolve_target(name) {
+            Some(name) => match resolve_target(&gen.world, name) {
                 Some(target) => target,
                 None => return fail(format!("unknown target `{name}`")),
             },
@@ -556,18 +683,21 @@ impl<'w> Server<'w> {
                 Ok(plan) => Some(plan),
                 Err(e) => return fail(format!("bad fault_plan: {e}")),
             },
-            (None, Some(seed)) => Some(FaultPlan::seeded(seed, self.world.n_models(), 4, 3)),
+            (None, Some(seed)) => Some(FaultPlan::seeded(seed, gen.world.n_models(), 4, 3)),
             (None, None) => None,
         };
         let top_k = req.top_k.unwrap_or(self.config.top_k);
         let threshold = req.threshold.unwrap_or(self.config.threshold);
         let stages = req
             .stages
-            .unwrap_or_else(|| self.config.stages.unwrap_or(self.world.stages));
+            .unwrap_or_else(|| self.config.stages.unwrap_or(gen.world.stages));
         let plan_text = plan.as_ref().map(FaultPlan::to_text).unwrap_or_default();
+        let fingerprint =
+            protocol::fingerprint(gen.generation, target, top_k, threshold, stages, &plan_text);
         let job = Job {
             id: req.id,
             target,
+            gen,
             config: PipelineConfig {
                 recall: RecallConfig {
                     top_k,
@@ -584,7 +714,7 @@ impl<'w> Server<'w> {
                 ann: self.config.ann,
             },
             plan,
-            fingerprint: protocol::fingerprint(target, top_k, threshold, stages, &plan_text),
+            fingerprint,
             deadline_ms: req.deadline_ms,
             max_epochs: req.max_epochs,
             hold_ms: req.hold_ms.unwrap_or(0),
@@ -612,15 +742,15 @@ impl<'w> Server<'w> {
             }
         }
     }
+}
 
-    fn resolve_target(&self, name: &str) -> Option<usize> {
-        if let Some(target) = self.world.target_by_name(name) {
-            return Some(target);
-        }
-        match name.parse::<usize>() {
-            Ok(index) if index < self.world.n_targets() => Some(index),
-            _ => None,
-        }
+fn resolve_target(world: &World, name: &str) -> Option<usize> {
+    if let Some(target) = world.target_by_name(name) {
+        return Some(target);
+    }
+    match name.parse::<usize>() {
+        Ok(index) if index < world.n_targets() => Some(index),
+        _ => None,
     }
 }
 

@@ -1,0 +1,576 @@
+//! Snapshot-versioned generations over the artifact store.
+//!
+//! A *generation* is an immutable snapshot of a set of named artifacts
+//! (typically `world` + `artifacts`), stored as:
+//!
+//! * **content-addressed blobs** — payload bytes live in `Blob` records
+//!   named `blob-<crc32>-<size>`, so identical payloads are stored once
+//!   across generations (structural sharing, verified byte-for-byte
+//!   against CRC-32 collisions);
+//! * **generation records** — small `Generation` records (`gen-NNNNNN`)
+//!   mapping entry names to blob references, with a parent pointer to the
+//!   generation they were derived from;
+//! * **a head pointer** — `generations-head`, naming the current
+//!   generation; `rollback` just moves it, leaving history intact.
+//!
+//! The log is a parent-linked chain like a VCS: `log` walks parents from
+//! head, `diff` compares two snapshots entry-by-entry, `gc` drops
+//! generations unreachable from head and sweeps unreferenced blobs, and
+//! `export`/`import` move one generation (record + blobs) as a single
+//! self-validating bundle file. See DESIGN.md §5.7.
+
+use crate::checksum::crc32;
+use crate::store::{ArtifactKind, Store, StoreError};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Bundle-file magic: "TPSG".
+const BUNDLE_MAGIC: [u8; 4] = *b"TPSG";
+/// Bundle format version.
+const BUNDLE_VERSION: u32 = 1;
+/// Name of the head-pointer record.
+const HEAD_NAME: &str = "generations-head";
+
+/// Content address of one stored payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlobRef {
+    /// CRC-32 of the payload.
+    pub checksum: u32,
+    /// Payload size in bytes.
+    pub size: u64,
+}
+
+impl BlobRef {
+    /// The content address of `payload`.
+    pub fn of(payload: &[u8]) -> Self {
+        BlobRef {
+            checksum: crc32(payload),
+            size: payload.len() as u64,
+        }
+    }
+
+    /// The store record name holding this blob.
+    pub fn record_name(&self) -> String {
+        format!("blob-{:08x}-{}", self.checksum, self.size)
+    }
+}
+
+/// One immutable snapshot: entry names mapped to content addresses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationRecord {
+    /// Generation id (1-based, monotonically assigned).
+    pub id: u64,
+    /// The generation this one was derived from (None for roots).
+    pub parent: Option<u64>,
+    /// Free-form commit note.
+    pub note: String,
+    /// Entry name → blob reference.
+    pub entries: BTreeMap<String, BlobRef>,
+}
+
+impl GenerationRecord {
+    fn record_name(id: u64) -> String {
+        format!("gen-{id:06}")
+    }
+}
+
+/// One entry-level difference between two generations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryChange {
+    /// Present only in the newer generation.
+    Added(BlobRef),
+    /// Present only in the older generation.
+    Removed(BlobRef),
+    /// Present in both with different content.
+    Changed {
+        /// Content in the older generation.
+        from: BlobRef,
+        /// Content in the newer generation.
+        to: BlobRef,
+    },
+}
+
+/// A named entry difference from `diff_generations`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerationDiff {
+    /// Entry name.
+    pub entry: String,
+    /// What changed.
+    pub change: EntryChange,
+}
+
+/// What `gc_generations` removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Generation records dropped (unreachable from head).
+    pub removed_generations: usize,
+    /// Blob records swept (referenced by no surviving generation).
+    pub removed_blobs: usize,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct HeadRecord {
+    head: u64,
+}
+
+impl Store {
+    /// The current head generation id, if any generation exists.
+    pub fn head_generation(&self) -> Result<Option<u64>, StoreError> {
+        if !self.contains(HEAD_NAME) {
+            return Ok(None);
+        }
+        let head: HeadRecord = self.get(HEAD_NAME, ArtifactKind::Generation)?;
+        Ok(Some(head.head))
+    }
+
+    fn set_head(&mut self, id: u64) -> Result<(), StoreError> {
+        self.put_overwrite(
+            HEAD_NAME,
+            ArtifactKind::Generation,
+            &HeadRecord { head: id },
+        )?;
+        Ok(())
+    }
+
+    /// Load one generation record.
+    pub fn generation(&self, id: u64) -> Result<GenerationRecord, StoreError> {
+        self.get(&GenerationRecord::record_name(id), ArtifactKind::Generation)
+            .map_err(|e| match e {
+                StoreError::NotFound(_) => StoreError::NotFound(format!("generation {id}")),
+                other => other,
+            })
+    }
+
+    /// All generation ids present in the store (sorted ascending),
+    /// including ones no longer reachable from head.
+    pub fn generation_ids(&self) -> Vec<u64> {
+        self.list()
+            .iter()
+            .filter_map(|(name, _)| name.strip_prefix("gen-"))
+            .filter_map(|id| id.parse::<u64>().ok())
+            .collect()
+    }
+
+    /// Store a blob if absent; verifies byte-equality on a name hit so a
+    /// CRC-32 collision surfaces as corruption instead of silent sharing.
+    fn intern_blob(&mut self, payload: &[u8]) -> Result<BlobRef, StoreError> {
+        let blob = BlobRef::of(payload);
+        let name = blob.record_name();
+        if self.contains(&name) {
+            let existing = self.get_raw(&name, ArtifactKind::Blob)?;
+            if existing != payload {
+                return Err(StoreError::Corrupt {
+                    name,
+                    reason: "content-address collision: same crc32+size, different bytes".into(),
+                });
+            }
+        } else {
+            self.put_raw(&name, ArtifactKind::Blob, payload)?;
+        }
+        Ok(blob)
+    }
+
+    /// Commit a new generation holding `entries` (name → payload bytes),
+    /// parented on the current head. Returns the new record.
+    pub fn commit_generation(
+        &mut self,
+        entries: &[(&str, &[u8])],
+        note: &str,
+    ) -> Result<GenerationRecord, StoreError> {
+        if entries.is_empty() {
+            return Err(StoreError::Serde(
+                "a generation needs at least one entry".into(),
+            ));
+        }
+        let parent = self.head_generation()?;
+        let id = self.generation_ids().last().copied().unwrap_or(0) + 1;
+        let mut refs = BTreeMap::new();
+        for (name, payload) in entries {
+            if refs
+                .insert(name.to_string(), self.intern_blob(payload)?)
+                .is_some()
+            {
+                return Err(StoreError::Serde(format!("duplicate entry name `{name}`")));
+            }
+        }
+        let record = GenerationRecord {
+            id,
+            parent,
+            note: note.to_string(),
+            entries: refs,
+        };
+        self.put(
+            &GenerationRecord::record_name(id),
+            ArtifactKind::Generation,
+            &record,
+        )?;
+        self.set_head(id)?;
+        Ok(record)
+    }
+
+    /// The parent-linked history from head (or `from`) back to the root,
+    /// newest first.
+    pub fn generation_log(&self, from: Option<u64>) -> Result<Vec<GenerationRecord>, StoreError> {
+        let mut cursor = match from {
+            Some(id) => Some(id),
+            None => self.head_generation()?,
+        };
+        let mut chain = Vec::new();
+        while let Some(id) = cursor {
+            let record = self.generation(id)?;
+            cursor = record.parent;
+            chain.push(record);
+            if chain.len() > 1_000_000 {
+                return Err(StoreError::Corrupt {
+                    name: GenerationRecord::record_name(id),
+                    reason: "parent cycle in generation log".into(),
+                });
+            }
+        }
+        Ok(chain)
+    }
+
+    /// Entry-level differences from generation `a` to generation `b`.
+    pub fn diff_generations(&self, a: u64, b: u64) -> Result<Vec<GenerationDiff>, StoreError> {
+        let old = self.generation(a)?;
+        let new = self.generation(b)?;
+        let mut diffs = Vec::new();
+        for (entry, &from) in &old.entries {
+            match new.entries.get(entry) {
+                None => diffs.push(GenerationDiff {
+                    entry: entry.clone(),
+                    change: EntryChange::Removed(from),
+                }),
+                Some(&to) if to != from => diffs.push(GenerationDiff {
+                    entry: entry.clone(),
+                    change: EntryChange::Changed { from, to },
+                }),
+                Some(_) => {}
+            }
+        }
+        for (entry, &to) in &new.entries {
+            if !old.entries.contains_key(entry) {
+                diffs.push(GenerationDiff {
+                    entry: entry.clone(),
+                    change: EntryChange::Added(to),
+                });
+            }
+        }
+        Ok(diffs)
+    }
+
+    /// The raw bytes of one entry in one generation.
+    pub fn generation_entry(&self, id: u64, entry: &str) -> Result<Vec<u8>, StoreError> {
+        let record = self.generation(id)?;
+        let blob = record
+            .entries
+            .get(entry)
+            .ok_or_else(|| StoreError::NotFound(format!("entry `{entry}` in generation {id}")))?;
+        let payload = self.get_raw(&blob.record_name(), ArtifactKind::Blob)?;
+        if BlobRef::of(&payload) != *blob {
+            return Err(StoreError::Corrupt {
+                name: blob.record_name(),
+                reason: "blob content does not match its reference".into(),
+            });
+        }
+        Ok(payload)
+    }
+
+    /// Move head to an existing generation; history stays intact (a later
+    /// `gc` prunes generations the new head cannot reach).
+    pub fn rollback_generation(&mut self, id: u64) -> Result<GenerationRecord, StoreError> {
+        let record = self.generation(id)?;
+        self.set_head(id)?;
+        Ok(record)
+    }
+
+    /// Drop generations unreachable from head and sweep blobs no
+    /// surviving generation references.
+    pub fn gc_generations(&mut self) -> Result<GcReport, StoreError> {
+        let live: BTreeSet<u64> = self
+            .generation_log(None)?
+            .iter()
+            .map(|record| record.id)
+            .collect();
+        let mut report = GcReport::default();
+        for id in self.generation_ids() {
+            if !live.contains(&id) {
+                self.remove(&GenerationRecord::record_name(id))?;
+                report.removed_generations += 1;
+            }
+        }
+        let referenced: BTreeSet<String> = live
+            .iter()
+            .map(|&id| self.generation(id))
+            .collect::<Result<Vec<_>, _>>()?
+            .iter()
+            .flat_map(|record| record.entries.values().map(BlobRef::record_name))
+            .collect();
+        let stale: Vec<String> = self
+            .list()
+            .iter()
+            .filter(|(name, entry)| entry.kind == ArtifactKind::Blob && !referenced.contains(*name))
+            .map(|(name, _)| name.to_string())
+            .collect();
+        for name in stale {
+            self.remove(&name)?;
+            report.removed_blobs += 1;
+        }
+        Ok(report)
+    }
+
+    /// Write one generation (record + every referenced blob) as a single
+    /// self-validating bundle file.
+    pub fn export_generation(&self, id: u64, path: &Path) -> Result<(), StoreError> {
+        let record = self.generation(id)?;
+        let record_json =
+            serde_json::to_vec(&record).map_err(|e| StoreError::Serde(e.to_string()))?;
+        // Deduplicate shared payloads: BTreeMap gives a deterministic order.
+        let mut blobs: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for (entry, blob) in &record.entries {
+            blobs
+                .entry(blob.record_name())
+                .or_insert(self.generation_entry(id, entry)?);
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&BUNDLE_MAGIC);
+        out.extend_from_slice(&BUNDLE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(record_json.len() as u64).to_le_bytes());
+        out.extend_from_slice(&record_json);
+        out.extend_from_slice(&(blobs.len() as u64).to_le_bytes());
+        for (name, payload) in &blobs {
+            out.extend_from_slice(&(name.len() as u64).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Import a bundle written by [`export_generation`]. Importing a
+    /// generation id that already exists is a no-op when the records
+    /// match byte-for-byte and an error otherwise. Head moves forward to
+    /// the imported id if it is newer than the current head.
+    pub fn import_generation(&mut self, path: &Path) -> Result<GenerationRecord, StoreError> {
+        let bytes = fs::read(path)?;
+        let corrupt = |reason: &str| StoreError::Corrupt {
+            name: path.display().to_string(),
+            reason: reason.to_string(),
+        };
+        let mut at = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], StoreError> {
+            if bytes.len() - at < n {
+                return Err(StoreError::Corrupt {
+                    name: path.display().to_string(),
+                    reason: "truncated bundle".into(),
+                });
+            }
+            let slice = &bytes[at..at + n];
+            at += n;
+            Ok(slice)
+        };
+        if take(4)? != BUNDLE_MAGIC {
+            return Err(corrupt("bad bundle magic"));
+        }
+        let version = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        if version != BUNDLE_VERSION {
+            return Err(corrupt(&format!(
+                "bundle version {version} (supported: {BUNDLE_VERSION})"
+            )));
+        }
+        let record_len = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize;
+        let record: GenerationRecord = serde_json::from_slice(take(record_len)?)
+            .map_err(|e| StoreError::Serde(e.to_string()))?;
+        let n_blobs = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize;
+        let mut blobs: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for _ in 0..n_blobs {
+            let name_len = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize;
+            let name = String::from_utf8(take(name_len)?.to_vec())
+                .map_err(|_| corrupt("blob name is not utf-8"))?;
+            let payload_len = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize;
+            blobs.insert(name, take(payload_len)?.to_vec());
+        }
+        // Every referenced blob must arrive with matching content.
+        for blob in record.entries.values() {
+            let payload = blobs
+                .get(&blob.record_name())
+                .ok_or_else(|| corrupt("bundle is missing a referenced blob"))?;
+            if BlobRef::of(payload) != *blob {
+                return Err(corrupt("bundled blob does not match its reference"));
+            }
+        }
+        let name = GenerationRecord::record_name(record.id);
+        if self.contains(&name) {
+            let existing: GenerationRecord = self.get(&name, ArtifactKind::Generation)?;
+            if existing != record {
+                return Err(StoreError::AlreadyExists(format!(
+                    "generation {} exists with different content",
+                    record.id
+                )));
+            }
+            return Ok(record);
+        }
+        for payload in blobs.values() {
+            self.intern_blob(payload)?;
+        }
+        self.put(&name, ArtifactKind::Generation, &record)?;
+        if self.head_generation()?.is_none_or(|head| record.id > head) {
+            self.set_head(record.id)?;
+        }
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_store() -> (Store, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "tps-gen-test-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        (Store::open(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn commit_log_and_head_walk_the_parent_chain() {
+        let (mut store, _dir) = temp_store();
+        assert_eq!(store.head_generation().unwrap(), None);
+        let g1 = store
+            .commit_generation(&[("world", b"w1"), ("artifacts", b"a1")], "base")
+            .unwrap();
+        let g2 = store
+            .commit_generation(&[("world", b"w2"), ("artifacts", b"a2")], "delta")
+            .unwrap();
+        assert_eq!((g1.id, g1.parent), (1, None));
+        assert_eq!((g2.id, g2.parent), (2, Some(1)));
+        assert_eq!(store.head_generation().unwrap(), Some(2));
+        let log = store.generation_log(None).unwrap();
+        assert_eq!(
+            log.iter().map(|g| g.id).collect::<Vec<_>>(),
+            vec![2, 1],
+            "log is newest-first"
+        );
+    }
+
+    #[test]
+    fn identical_payloads_share_one_blob() {
+        let (mut store, _dir) = temp_store();
+        store
+            .commit_generation(&[("world", b"same"), ("artifacts", b"a1")], "g1")
+            .unwrap();
+        store
+            .commit_generation(&[("world", b"same"), ("artifacts", b"a2")], "g2")
+            .unwrap();
+        let blobs = store
+            .list()
+            .iter()
+            .filter(|(_, e)| e.kind == ArtifactKind::Blob)
+            .count();
+        assert_eq!(blobs, 3, "the shared `world` payload is stored once");
+    }
+
+    #[test]
+    fn diff_reports_changed_added_and_removed_entries() {
+        let (mut store, _dir) = temp_store();
+        store
+            .commit_generation(&[("world", b"w1"), ("old", b"x")], "g1")
+            .unwrap();
+        store
+            .commit_generation(&[("world", b"w2"), ("new", b"y")], "g2")
+            .unwrap();
+        let diffs = store.diff_generations(1, 2).unwrap();
+        assert_eq!(diffs.len(), 3);
+        assert!(diffs
+            .iter()
+            .any(|d| d.entry == "world" && matches!(d.change, EntryChange::Changed { .. })));
+        assert!(diffs
+            .iter()
+            .any(|d| d.entry == "old" && matches!(d.change, EntryChange::Removed(_))));
+        assert!(diffs
+            .iter()
+            .any(|d| d.entry == "new" && matches!(d.change, EntryChange::Added(_))));
+        assert!(store.diff_generations(1, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_bytes_and_gc_prunes_the_abandoned_branch() {
+        let (mut store, _dir) = temp_store();
+        store.commit_generation(&[("a", b"v1")], "g1").unwrap();
+        store.commit_generation(&[("a", b"v2")], "g2").unwrap();
+        store.rollback_generation(1).unwrap();
+        assert_eq!(store.head_generation().unwrap(), Some(1));
+        assert_eq!(store.generation_entry(1, "a").unwrap(), b"v1");
+        // A commit after rollback branches: new id, parent = 1.
+        let g3 = store.commit_generation(&[("a", b"v3")], "g3").unwrap();
+        assert_eq!((g3.id, g3.parent), (3, Some(1)));
+        let report = store.gc_generations().unwrap();
+        assert_eq!(report.removed_generations, 1, "generation 2 is unreachable");
+        assert_eq!(report.removed_blobs, 1, "v2's blob is swept");
+        assert!(store.generation(2).is_err());
+        assert_eq!(store.generation_entry(3, "a").unwrap(), b"v3");
+        assert!(store.fsck().is_empty());
+    }
+
+    #[test]
+    fn export_import_round_trips_byte_identically() {
+        let (mut store, dir) = temp_store();
+        let committed = store
+            .commit_generation(&[("world", b"w1"), ("artifacts", b"a1")], "base")
+            .unwrap();
+        let bundle = dir.join("gen1.tpsg");
+        store.export_generation(1, &bundle).unwrap();
+
+        let (mut other, _dir2) = temp_store();
+        let imported = other.import_generation(&bundle).unwrap();
+        assert_eq!(imported, committed);
+        assert_eq!(other.head_generation().unwrap(), Some(1));
+        assert_eq!(
+            other.generation_entry(1, "world").unwrap(),
+            store.generation_entry(1, "world").unwrap()
+        );
+        assert_eq!(
+            other.generation_entry(1, "artifacts").unwrap(),
+            store.generation_entry(1, "artifacts").unwrap()
+        );
+        // Re-import is a no-op; a conflicting id is refused.
+        assert!(other.import_generation(&bundle).is_ok());
+        let (mut third, _dir3) = temp_store();
+        third
+            .commit_generation(&[("other", b"zzz")], "rival")
+            .unwrap();
+        assert!(matches!(
+            third.import_generation(&bundle),
+            Err(StoreError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_bundle_is_rejected() {
+        let (mut store, dir) = temp_store();
+        store.commit_generation(&[("a", b"payload")], "g1").unwrap();
+        let bundle = dir.join("gen1.tpsg");
+        store.export_generation(1, &bundle).unwrap();
+        let bytes = fs::read(&bundle).unwrap();
+        fs::write(&bundle, &bytes[..bytes.len() - 3]).unwrap();
+        let (mut other, _dir2) = temp_store();
+        assert!(other.import_generation(&bundle).is_err());
+    }
+}

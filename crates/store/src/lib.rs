@@ -21,7 +21,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod checksum;
+pub mod generation;
 pub mod store;
 
 pub use checksum::{crc32, Crc32};
+pub use generation::{BlobRef, EntryChange, GcReport, GenerationDiff, GenerationRecord};
 pub use store::{ArtifactKind, IndexEntry, Store, StoreError, SCHEMA_VERSION};

@@ -39,6 +39,10 @@ pub enum ArtifactKind {
     OfflineArtifacts,
     /// Anything else the caller serialises.
     Custom,
+    /// A content-addressed opaque byte blob (generation storage).
+    Blob,
+    /// A generation record (snapshot metadata, see `generation.rs`).
+    Generation,
 }
 
 impl ArtifactKind {
@@ -47,6 +51,8 @@ impl ArtifactKind {
             ArtifactKind::World => 1,
             ArtifactKind::OfflineArtifacts => 2,
             ArtifactKind::Custom => 3,
+            ArtifactKind::Blob => 4,
+            ArtifactKind::Generation => 5,
         }
     }
 
@@ -55,6 +61,8 @@ impl ArtifactKind {
             1 => Some(ArtifactKind::World),
             2 => Some(ArtifactKind::OfflineArtifacts),
             3 => Some(ArtifactKind::Custom),
+            4 => Some(ArtifactKind::Blob),
+            5 => Some(ArtifactKind::Generation),
             _ => None,
         }
     }
@@ -205,9 +213,32 @@ impl Store {
         kind: ArtifactKind,
         value: &T,
     ) -> Result<IndexEntry, StoreError> {
-        Self::validate_name(name)?;
         let payload = serde_json::to_vec(value).map_err(|e| StoreError::Serde(e.to_string()))?;
-        let checksum = crc32(&payload);
+        self.put_raw_overwrite(name, kind, &payload)
+    }
+
+    /// Store raw payload bytes (no serialisation), refusing to overwrite.
+    pub fn put_raw(
+        &mut self,
+        name: &str,
+        kind: ArtifactKind,
+        payload: &[u8],
+    ) -> Result<IndexEntry, StoreError> {
+        if self.contains(name) {
+            return Err(StoreError::AlreadyExists(name.to_string()));
+        }
+        self.put_raw_overwrite(name, kind, payload)
+    }
+
+    /// Store raw payload bytes, replacing any existing record of that name.
+    pub fn put_raw_overwrite(
+        &mut self,
+        name: &str,
+        kind: ArtifactKind,
+        payload: &[u8],
+    ) -> Result<IndexEntry, StoreError> {
+        Self::validate_name(name)?;
+        let checksum = crc32(payload);
 
         // Header: magic | schema version | kind tag | reserved | len | crc.
         let mut record = Vec::with_capacity(payload.len() + 24);
@@ -217,7 +248,7 @@ impl Store {
         record.extend_from_slice(&[0u8; 3]);
         record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         record.extend_from_slice(&checksum.to_le_bytes());
-        record.extend_from_slice(&payload);
+        record.extend_from_slice(payload);
 
         let final_path = self.object_path(name);
         let tmp_path = self.root.join("objects").join(format!(".{name}.tmp"));
@@ -256,6 +287,21 @@ impl Store {
             });
         }
         serde_json::from_slice(&payload).map_err(|e| StoreError::Serde(e.to_string()))
+    }
+
+    /// Load a record's raw payload bytes after checksum validation.
+    pub fn get_raw(&self, name: &str, expected_kind: ArtifactKind) -> Result<Vec<u8>, StoreError> {
+        if !self.contains(name) {
+            return Err(StoreError::NotFound(name.to_string()));
+        }
+        let (kind, payload) = self.read_record(name)?;
+        if kind != expected_kind {
+            return Err(StoreError::Corrupt {
+                name: name.to_string(),
+                reason: format!("kind mismatch: stored {kind:?}, requested {expected_kind:?}"),
+            });
+        }
+        Ok(payload)
     }
 
     /// Delete a record.

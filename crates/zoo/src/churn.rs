@@ -1,0 +1,394 @@
+//! Deterministic live-zoo churn: an update stream over a [`World`].
+//!
+//! The paper's future work (§VII) imagines the repository as a living
+//! system — models get published, retired, and re-uploaded; benchmark
+//! suites grow and shrink. This module generates that churn synthetically:
+//! [`Churn`] is a seeded stream of [`WorldUpdate`] events valid for the
+//! current world state, and [`World::apply_churn`] applies one event to
+//! the world while emitting the matching artifact-level
+//! [`Update`](tps_core::incremental::Update) — curves regenerated through
+//! the world's transfer law, so feeding the update to a
+//! [`DeltaEngine`](tps_core::incremental::DeltaEngine) keeps the offline
+//! artifacts byte-identical to a from-scratch build of the mutated world.
+
+use crate::dataset::{DatasetRole, DatasetSpec};
+use crate::domain::DomainVec;
+use crate::model::ModelSpec;
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tps_core::curve::LearningCurve;
+use tps_core::incremental::Update;
+
+/// Domain jitter for churned-in models (matches the family jitter the
+/// world presets use, so new arrivals cluster plausibly).
+const CHURN_JITTER: f64 = 0.05;
+/// Convergence-speed range for churned models (the presets' range).
+const SPEED_RANGE: (f64, f64) = (0.70, 1.30);
+
+/// One repository-level event in a live zoo. Events carry full
+/// specifications (not generator state), so a recorded stream can be
+/// serialized, replayed, and applied to any world where it is valid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorldUpdate {
+    /// A new model is published.
+    AddModel(ModelSpec),
+    /// A model is withdrawn from the repository.
+    RetireModel {
+        /// Name of the model to remove.
+        name: String,
+    },
+    /// A model is re-uploaded with new weights: capability and
+    /// convergence speed change, the domain stays (same checkpoint
+    /// lineage), and all its benchmark results must be re-simulated.
+    RefreshModel {
+        /// Name of the model to refresh.
+        name: String,
+        /// New scalar capability in `(0, 1]`.
+        capability: f64,
+        /// New convergence-speed multiplier (`> 0`).
+        speed: f64,
+    },
+    /// A benchmark dataset joins the offline suite.
+    AddBenchmark(DatasetSpec),
+    /// A benchmark dataset is dropped from the offline suite.
+    DropBenchmark {
+        /// Name of the benchmark to remove.
+        name: String,
+    },
+}
+
+impl WorldUpdate {
+    /// Short operation name for reports.
+    pub fn op(&self) -> &'static str {
+        match self {
+            WorldUpdate::AddModel(_) => "add-model",
+            WorldUpdate::RetireModel { .. } => "retire-model",
+            WorldUpdate::RefreshModel { .. } => "refresh-model",
+            WorldUpdate::AddBenchmark(_) => "add-benchmark",
+            WorldUpdate::DropBenchmark { .. } => "drop-benchmark",
+        }
+    }
+
+    /// The model or benchmark name the event targets.
+    pub fn target(&self) -> &str {
+        match self {
+            WorldUpdate::AddModel(spec) => &spec.name,
+            WorldUpdate::RetireModel { name } => name,
+            WorldUpdate::RefreshModel { name, .. } => name,
+            WorldUpdate::AddBenchmark(spec) => &spec.name,
+            WorldUpdate::DropBenchmark { name } => name,
+        }
+    }
+}
+
+/// A seeded, deterministic generator of churn events. Every event it
+/// yields is valid for the world it was sampled against (names exist,
+/// shrink guards respected); the mix is biased toward growth the way real
+/// zoos are, with a steady trickle of retirements and refreshes.
+#[derive(Debug, Clone)]
+pub struct Churn {
+    rng: StdRng,
+    serial: u64,
+}
+
+impl Churn {
+    /// A churn stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Churn {
+            rng: StdRng::seed_from_u64(seed ^ 0xC4A2_0001),
+            serial: 0,
+        }
+    }
+
+    /// Sample the next event for the current `world` state. Shrinking
+    /// events degrade to their nearest growing/refreshing cousin when the
+    /// world is too small to shrink safely (< 3 models / benchmarks).
+    pub fn next_update(&mut self, world: &World) -> WorldUpdate {
+        self.serial += 1;
+        match self.rng.gen_range(0u32..10) {
+            0..=3 => self.add_model(world),
+            4..=5 => self.refresh_model(world),
+            6 => {
+                if world.n_models() > 2 {
+                    let name = self.pick_model(world);
+                    WorldUpdate::RetireModel { name }
+                } else {
+                    self.add_model(world)
+                }
+            }
+            7..=8 => self.add_benchmark(),
+            _ => {
+                if world.n_benchmarks() > 2 {
+                    let i = self.rng.gen_range(0..world.benchmarks.len());
+                    WorldUpdate::DropBenchmark {
+                        name: world.benchmarks[i].name.clone(),
+                    }
+                } else {
+                    self.add_benchmark()
+                }
+            }
+        }
+    }
+
+    fn pick_model(&mut self, world: &World) -> String {
+        world.models[self.rng.gen_range(0..world.models.len())]
+            .name
+            .clone()
+    }
+
+    fn add_model(&mut self, world: &World) -> WorldUpdate {
+        // New arrivals are siblings of an existing model — same family and
+        // upstream, jittered domain — mirroring how real zoos grow by
+        // fine-tuning variants of popular checkpoints.
+        let base = &world.models[self.rng.gen_range(0..world.models.len())];
+        let capability = (base.capability + self.rng.gen_range(-0.03..=0.03)).clamp(0.05, 1.0);
+        let spec = ModelSpec::new(
+            format!("churn/model-{}", self.serial),
+            base.family,
+            base.domain.jitter(CHURN_JITTER, &mut self.rng),
+            capability,
+            base.upstream.clone(),
+            base.n_source_labels,
+        )
+        .with_speed(self.rng.gen_range(SPEED_RANGE.0..=SPEED_RANGE.1));
+        WorldUpdate::AddModel(spec)
+    }
+
+    fn refresh_model(&mut self, world: &World) -> WorldUpdate {
+        let name = self.pick_model(world);
+        WorldUpdate::RefreshModel {
+            name,
+            capability: self.rng.gen_range(0.35..=0.95),
+            speed: self.rng.gen_range(SPEED_RANGE.0..=SPEED_RANGE.1),
+        }
+    }
+
+    fn add_benchmark(&mut self) -> WorldUpdate {
+        let n_labels = self.rng.gen_range(2..=10usize);
+        let spec = DatasetSpec::new(
+            format!("churn-bench-{}", self.serial),
+            DatasetRole::Benchmark,
+            DomainVec::sample(&mut self.rng),
+            n_labels,
+            1.0 / n_labels as f64,
+            self.rng.gen_range(0.70..=0.99),
+            200,
+        );
+        WorldUpdate::AddBenchmark(spec)
+    }
+}
+
+impl World {
+    /// Apply one churn event, mutating the world and returning the
+    /// artifact-level [`Update`] that carries the regenerated learning
+    /// curves. The curves come from the same transfer-law runs a
+    /// from-scratch [`World::build_offline`] of the mutated world would
+    /// perform, which is what lets an incremental
+    /// [`DeltaEngine`](tps_core::incremental::DeltaEngine) apply stay
+    /// byte-identical to a full rebuild.
+    pub fn apply_churn(&mut self, update: &WorldUpdate) -> Result<Update, String> {
+        match update {
+            WorldUpdate::AddModel(spec) => {
+                if self.models.iter().any(|m| m.name == spec.name) {
+                    return Err(format!("model `{}` already exists", spec.name));
+                }
+                let benchmark_curves = self.curves_for_model(spec);
+                self.models.push(spec.clone());
+                Ok(Update::AddModel {
+                    name: spec.name.clone(),
+                    benchmark_curves,
+                })
+            }
+            WorldUpdate::RetireModel { name } => {
+                if self.models.len() <= 2 {
+                    return Err(format!(
+                        "cannot retire `{name}`: a world needs at least 2 models"
+                    ));
+                }
+                let i = self.model_index(name)?;
+                self.models.remove(i);
+                Ok(Update::RetireModel { name: name.clone() })
+            }
+            WorldUpdate::RefreshModel {
+                name,
+                capability,
+                speed,
+            } => {
+                if !(*capability > 0.0 && *capability <= 1.0) {
+                    return Err(format!("capability must be in (0, 1], got {capability}"));
+                }
+                if !(*speed > 0.0 && speed.is_finite()) {
+                    return Err(format!("speed must be positive, got {speed}"));
+                }
+                let i = self.model_index(name)?;
+                self.models[i].capability = *capability;
+                self.models[i].speed = *speed;
+                let spec = self.models[i].clone();
+                Ok(Update::RefreshModel {
+                    name: name.clone(),
+                    benchmark_curves: self.curves_for_model(&spec),
+                })
+            }
+            WorldUpdate::AddBenchmark(spec) => {
+                if spec.role != DatasetRole::Benchmark {
+                    return Err(format!("`{}` is not a benchmark-role dataset", spec.name));
+                }
+                if self.benchmarks.iter().any(|b| b.name == spec.name) {
+                    return Err(format!("benchmark `{}` already exists", spec.name));
+                }
+                let model_curves: Vec<LearningCurve> = self
+                    .models
+                    .iter()
+                    .map(|m| {
+                        self.law
+                            .run(m, spec, self.stages, self.hyper, self.seed)
+                            .to_curve()
+                    })
+                    .collect();
+                self.benchmarks.push(spec.clone());
+                Ok(Update::AddDataset {
+                    name: spec.name.clone(),
+                    model_curves,
+                })
+            }
+            WorldUpdate::DropBenchmark { name } => {
+                if self.benchmarks.len() <= 2 {
+                    return Err(format!(
+                        "cannot drop `{name}`: a world needs at least 2 benchmarks"
+                    ));
+                }
+                let i = self
+                    .benchmarks
+                    .iter()
+                    .position(|b| b.name == *name)
+                    .ok_or_else(|| format!("no benchmark named `{name}`"))?;
+                self.benchmarks.remove(i);
+                Ok(Update::DropDataset { name: name.clone() })
+            }
+        }
+    }
+
+    fn model_index(&self, name: &str) -> Result<usize, String> {
+        self.models
+            .iter()
+            .position(|m| m.name == name)
+            .ok_or_else(|| format!("no model named `{name}`"))
+    }
+
+    fn curves_for_model(&self, spec: &ModelSpec) -> Vec<LearningCurve> {
+        self.benchmarks
+            .iter()
+            .map(|bench| {
+                self.law
+                    .run(spec, bench, self.stages, self.hyper, self.seed)
+                    .to_curve()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::SyntheticConfig;
+    use tps_core::ann::AnnMode;
+    use tps_core::incremental::DeltaEngine;
+    use tps_core::pipeline::{ClusterMethod, OfflineArtifacts, OfflineConfig};
+
+    fn small_world(seed: u64) -> World {
+        World::synthetic(&SyntheticConfig {
+            seed,
+            n_families: 2,
+            family_size: (2, 3),
+            n_singletons: 2,
+            n_benchmarks: 4,
+            n_targets: 2,
+            stages: 4,
+        })
+    }
+
+    #[test]
+    fn churn_stream_is_deterministic_and_valid() {
+        let mut a = Churn::new(42);
+        let mut b = Churn::new(42);
+        let mut world_a = small_world(3);
+        let mut world_b = small_world(3);
+        for _ in 0..12 {
+            let ua = a.next_update(&world_a);
+            let ub = b.next_update(&world_b);
+            assert_eq!(ua, ub);
+            world_a.apply_churn(&ua).expect("generated event applies");
+            world_b.apply_churn(&ub).unwrap();
+        }
+        assert_eq!(
+            serde_json::to_string(&world_a).unwrap(),
+            serde_json::to_string(&world_b).unwrap()
+        );
+        let mut c = Churn::new(43);
+        let ua = Churn::new(42).next_update(&world_a);
+        let uc = c.next_update(&world_a);
+        // Different seeds diverge quickly (not a hard guarantee per-event,
+        // but these seeds do differ on the first event).
+        assert_ne!(ua, uc);
+    }
+
+    #[test]
+    fn applied_churn_keeps_incremental_artifacts_byte_identical() {
+        let mut world = small_world(7);
+        let mut config = OfflineConfig::default();
+        config.cluster = ClusterMethod::HierarchicalThreshold(0.05);
+        config.ann.mode = AnnMode::Indexed;
+        config.ann.k = 2;
+        config.ann.ef_search = 3;
+        let (matrix, curves) = world.build_offline().unwrap();
+        let artifacts = OfflineArtifacts::build(matrix, &curves, &config).unwrap();
+        let mut engine = DeltaEngine::from_curve_set(artifacts, &curves, config).unwrap();
+
+        let mut churn = Churn::new(11);
+        for _ in 0..6 {
+            let event = churn.next_update(&world);
+            let update = world.apply_churn(&event).unwrap();
+            engine.apply_update(&update).unwrap();
+
+            let (matrix, curves) = world.build_offline().unwrap();
+            let scratch = OfflineArtifacts::build(matrix, &curves, &config).unwrap();
+            assert_eq!(
+                serde_json::to_string(engine.artifacts()).unwrap(),
+                serde_json::to_string(&scratch).unwrap(),
+                "incremental artifacts drifted from scratch build after {}",
+                event.op()
+            );
+        }
+    }
+
+    #[test]
+    fn apply_churn_rejects_invalid_events() {
+        let mut world = small_world(1);
+        let spec = world.models[0].clone();
+        assert!(world.apply_churn(&WorldUpdate::AddModel(spec)).is_err());
+        assert!(world
+            .apply_churn(&WorldUpdate::RetireModel {
+                name: "nope".into()
+            })
+            .is_err());
+        assert!(world
+            .apply_churn(&WorldUpdate::RefreshModel {
+                name: world.models[0].name.clone(),
+                capability: 1.5,
+                speed: 1.0,
+            })
+            .is_err());
+        while world.benchmarks.len() > 2 {
+            let name = world.benchmarks.last().unwrap().name.clone();
+            world
+                .apply_churn(&WorldUpdate::DropBenchmark { name })
+                .unwrap();
+        }
+        let name = world.benchmarks[0].name.clone();
+        assert!(world
+            .apply_churn(&WorldUpdate::DropBenchmark { name })
+            .is_err());
+    }
+}

@@ -19,6 +19,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod builder;
+pub mod churn;
 pub mod dataset;
 pub mod domain;
 pub mod features;
@@ -30,6 +31,7 @@ pub mod transfer;
 pub mod world;
 
 pub use builder::WorldBuilder;
+pub use churn::{Churn, WorldUpdate};
 pub use dataset::{DatasetRole, DatasetSpec};
 pub use domain::DomainVec;
 pub use finetune::{ZooOracle, ZooTrainer};

@@ -18,8 +18,15 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
 echo "==> trace budget + counter-drift gate (repro smoke -> tps trace)"
-trace_tmp="$(mktemp -d)"
-trap 'rm -rf "$trace_tmp"' EXIT
+# CI sets TRACE_DIR so the traces survive a mid-gate failure and get
+# uploaded as artifacts; locally we default to a throwaway mktemp dir.
+if [ -n "${TRACE_DIR:-}" ]; then
+  trace_tmp="$TRACE_DIR"
+  mkdir -p "$trace_tmp"
+else
+  trace_tmp="$(mktemp -d)"
+  trap 'rm -rf "$trace_tmp"' EXIT
+fi
 cargo run -q -p tps-bench --release --bin repro -- smoke \
   --trace-out "$trace_tmp/smoke-trace.json" > /dev/null
 ./target/release/tps trace check "$trace_tmp/smoke-trace.json" \
@@ -82,5 +89,60 @@ grep -q '"ann.candidates"' "$trace_tmp/ann-select-trace.json" \
   --ann exact --out "$trace_tmp/cv-exact.json"
 cmp "$trace_tmp/cv-default.json" "$trace_tmp/cv-exact.json" \
   || { echo "--ann exact diverged from the default offline build"; exit 1; }
+
+echo "==> live-zoo generation-parity gate (tps update / store -> cmp)"
+# The determinism proof as a shell gate, mirroring CI's store-smoke job:
+# commit a base generation, apply an incremental churn stream with `tps
+# update`, commit the delta generation, and require (a) a non-empty store
+# diff, (b) the incrementally maintained artifacts to cmp byte-identical
+# to a from-scratch rebuild of the mutated world, (c) rollback to restore
+# the original bytes, and (d) an export/import round-trip to reproduce
+# the blobs exactly.
+store_dir="$trace_tmp/gen-store"
+./target/release/tps world --domain synthetic --models 16 --benchmarks 8 \
+  --targets 2 --seed 5 --out "$trace_tmp/live-world.json"
+./target/release/tps offline --world "$trace_tmp/live-world.json" \
+  --ann indexed --threshold 0.05 --out "$trace_tmp/live-artifacts.json"
+cp "$trace_tmp/live-world.json" "$trace_tmp/world-v1.json"
+cp "$trace_tmp/live-artifacts.json" "$trace_tmp/artifacts-v1.json"
+./target/release/tps store commit --store "$store_dir" --note base \
+  --world "$trace_tmp/live-world.json" \
+  --artifacts "$trace_tmp/live-artifacts.json" > /dev/null
+./target/release/tps update --world "$trace_tmp/live-world.json" \
+  --artifacts "$trace_tmp/live-artifacts.json" --ops 6 --seed 9 \
+  --ann indexed --threshold 0.05 \
+  --trace-out "$trace_tmp/update-trace.json" > /dev/null
+./target/release/tps trace check "$trace_tmp/update-trace.json" \
+  --budgets budgets.toml
+grep -q '"incremental.updates"' "$trace_tmp/update-trace.json" \
+  || { echo "update trace missing incremental.* counters"; exit 1; }
+./target/release/tps store commit --store "$store_dir" --note churn \
+  --world "$trace_tmp/live-world.json" \
+  --artifacts "$trace_tmp/live-artifacts.json" > /dev/null
+./target/release/tps store diff 1 2 --store "$store_dir" \
+  | grep -q 'entr(ies) differ' \
+  || { echo "store diff between generations is empty"; exit 1; }
+./target/release/tps offline --world "$trace_tmp/live-world.json" \
+  --ann indexed --threshold 0.05 --out "$trace_tmp/scratch-artifacts.json"
+cmp "$trace_tmp/scratch-artifacts.json" "$trace_tmp/live-artifacts.json" \
+  || { echo "incremental artifacts diverged from a from-scratch rebuild"; exit 1; }
+./target/release/tps store rollback 1 --store "$store_dir" > /dev/null
+./target/release/tps store cat 1 world --store "$store_dir" \
+  --out "$trace_tmp/world-restored.json"
+./target/release/tps store cat 1 artifacts --store "$store_dir" \
+  --out "$trace_tmp/artifacts-restored.json"
+cmp "$trace_tmp/world-restored.json" "$trace_tmp/world-v1.json" \
+  || { echo "rollback did not restore the original world bytes"; exit 1; }
+cmp "$trace_tmp/artifacts-restored.json" "$trace_tmp/artifacts-v1.json" \
+  || { echo "rollback did not restore the original artifact bytes"; exit 1; }
+./target/release/tps store export 1 --store "$store_dir" \
+  --out "$trace_tmp/gen1.bundle" > /dev/null
+./target/release/tps store import "$trace_tmp/gen1.bundle" \
+  --store "$trace_tmp/gen-store-copy" > /dev/null
+./target/release/tps store cat 1 artifacts --store "$trace_tmp/gen-store-copy" \
+  --out "$trace_tmp/artifacts-imported.json"
+cmp "$trace_tmp/artifacts-imported.json" "$trace_tmp/artifacts-v1.json" \
+  || { echo "export/import did not round-trip the artifact bytes"; exit 1; }
+./target/release/tps fsck --store "$store_dir" > /dev/null
 
 echo "verify: OK"

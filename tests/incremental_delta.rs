@@ -1,0 +1,207 @@
+//! Determinism proof for the incremental delta engine: after ANY random
+//! sequence of zoo updates, the incrementally maintained artifacts must be
+//! **byte-identical** (same serialized JSON) to a from-scratch offline
+//! build on the post-update zoo — in exact mode, in the ANN-indexed
+//! exhaustive regime (localized list patching) and in the beam regime
+//! (id-order index rebuild), serial and parallel alike.
+
+use proptest::prelude::*;
+use tps_core::ann::AnnMode;
+use tps_core::curve::{CurveSet, LearningCurve};
+use tps_core::ids::ModelId;
+use tps_core::incremental::{DeltaEngine, Update};
+use tps_core::matrix::PerformanceMatrix;
+use tps_core::parallel::ParallelConfig;
+use tps_core::pipeline::{ClusterMethod, OfflineArtifacts, OfflineConfig};
+use tps_core::trend::TrendConfig;
+
+fn curve_for(f: f64) -> LearningCurve {
+    let f = f.clamp(0.01, 1.0);
+    LearningCurve::new(vec![f * 0.6, f * 0.85, f], f).unwrap()
+}
+
+/// One abstract update op; concretised against the current zoo shape so
+/// any sequence stays applicable (names resolved modulo current counts,
+/// retire/drop skipped at the size floor).
+#[derive(Debug, Clone)]
+enum Op {
+    Add(f64),
+    Retire(usize),
+    Refresh(usize, f64),
+    AddDataset(f64),
+    DropDataset(usize),
+}
+
+/// The vendored proptest shim has no `prop_oneof`; encode the variant
+/// choice and its operands as a flat tuple and decode.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    ((0usize..5), (0usize..32), 0.05f64..0.95).prop_map(|(variant, pick, base)| match variant {
+        0 => Op::Add(base),
+        1 => Op::Retire(pick),
+        2 => Op::Refresh(pick, base),
+        3 => Op::AddDataset(base),
+        _ => Op::DropDataset(pick),
+    })
+}
+
+/// Resolve an abstract op against the current matrix, or `None` when the
+/// zoo is at its size floor for that op.
+fn concretise(op: &Op, matrix: &PerformanceMatrix, serial: u32) -> Option<Update> {
+    let n = matrix.n_models();
+    let d = matrix.n_datasets();
+    match op {
+        Op::Add(base) => Some(Update::AddModel {
+            name: format!("added-{serial}"),
+            benchmark_curves: (0..d)
+                .map(|di| curve_for(base + 0.11 * di as f64 % 0.9))
+                .collect(),
+        }),
+        Op::Retire(pick) => {
+            if n <= 2 {
+                return None;
+            }
+            Some(Update::RetireModel {
+                name: matrix.model_name(ModelId::from(pick % n)).to_string(),
+            })
+        }
+        Op::Refresh(pick, base) => Some(Update::RefreshModel {
+            name: matrix.model_name(ModelId::from(pick % n)).to_string(),
+            benchmark_curves: (0..d)
+                .map(|di| curve_for(base + 0.07 * di as f64 % 0.9))
+                .collect(),
+        }),
+        Op::AddDataset(base) => Some(Update::AddDataset {
+            name: format!("ds-{serial}"),
+            model_curves: (0..n)
+                .map(|m| curve_for(base + 0.05 * m as f64 % 0.9))
+                .collect(),
+        }),
+        Op::DropDataset(pick) => {
+            if d <= 2 {
+                return None;
+            }
+            Some(Update::DropDataset {
+                name: matrix
+                    .dataset_name(tps_core::ids::DatasetId::from(pick % d))
+                    .to_string(),
+            })
+        }
+    }
+}
+
+/// A small random zoo: accuracies in (0,1), 3..7 models, 2..4 datasets.
+fn zoo_strategy() -> impl Strategy<Value = (PerformanceMatrix, CurveSet)> {
+    ((3usize..7), (2usize..4)).prop_flat_map(|(n, d)| {
+        prop::collection::vec(0.05f64..0.95, n * d).prop_map(move |acc| {
+            let rows: Vec<Vec<f64>> = (0..d)
+                .map(|di| (0..n).map(|m| acc[di * n + m]).collect())
+                .collect();
+            let matrix = PerformanceMatrix::new(
+                (0..n).map(|m| format!("m{m}")).collect(),
+                (0..d).map(|di| format!("d{di}")).collect(),
+                rows,
+            )
+            .unwrap();
+            let curves =
+                CurveSet::from_fn(n, d, |m, di| curve_for(matrix.accuracy(di, m))).unwrap();
+            (matrix, curves)
+        })
+    })
+}
+
+fn config_for(mode: AnnMode, ef_search: usize, threads: usize) -> OfflineConfig {
+    let mut config = OfflineConfig {
+        similarity_top_k: 2,
+        cluster: ClusterMethod::HierarchicalThreshold(0.05),
+        trend: TrendConfig {
+            n_trends: 2,
+            max_iter: 32,
+        },
+        trend_stages: 3,
+        parallel: ParallelConfig::with_threads(threads),
+        ann: Default::default(),
+    };
+    config.ann.mode = mode;
+    config.ann.ef_search = ef_search;
+    config.ann.k = config.ann.k.min(ef_search.saturating_sub(1).max(2));
+    config
+}
+
+/// Apply the ops through the delta engine and assert each step's artifacts
+/// serialize byte-identically to a from-scratch build on the same zoo.
+fn check_sequence(
+    matrix: &PerformanceMatrix,
+    curves: &CurveSet,
+    ops: &[Op],
+    config: &OfflineConfig,
+) {
+    let arts = OfflineArtifacts::build(matrix.clone(), curves, config).unwrap();
+    let mut engine = DeltaEngine::from_curve_set(arts, curves, config.clone()).unwrap();
+    for (serial, op) in ops.iter().enumerate() {
+        let Some(update) = concretise(op, &engine.artifacts().matrix, serial as u32) else {
+            continue;
+        };
+        engine.apply_update(&update).unwrap();
+        let table = engine.curves();
+        let flat: Vec<LearningCurve> = table.iter().flat_map(|r| r.iter().cloned()).collect();
+        let now = CurveSet::new(table.len(), table[0].len(), flat).unwrap();
+        let scratch =
+            OfflineArtifacts::build(engine.artifacts().matrix.clone(), &now, config).unwrap();
+        assert_eq!(
+            serde_json::to_string(engine.artifacts()).unwrap(),
+            serde_json::to_string(&scratch).unwrap(),
+            "incremental artifacts diverge from scratch build after op {serial} ({op:?}) \
+             with config {config:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Exact mode, serial: every update re-derives dense similarity and
+    /// clustering exactly as the batch build does.
+    #[test]
+    fn random_updates_stay_byte_identical_exact(
+        (matrix, curves) in zoo_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..6),
+    ) {
+        let config = config_for(AnnMode::Exact, 48, 1);
+        check_sequence(&matrix, &curves, &ops, &config);
+    }
+
+    /// Indexed exhaustive regime (ef_search >= n): the localized
+    /// list-patching path must reproduce the batch kNN lists bit-for-bit.
+    #[test]
+    fn random_updates_stay_byte_identical_indexed_exhaustive(
+        (matrix, curves) in zoo_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..6),
+    ) {
+        let config = config_for(AnnMode::Indexed, 48, 1);
+        check_sequence(&matrix, &curves, &ops, &config);
+    }
+
+    /// Indexed beam regime (ef_search < n): falls back to id-order index
+    /// rebuilds, which must equal the batch build by construction.
+    #[test]
+    fn random_updates_stay_byte_identical_indexed_beam(
+        (matrix, curves) in zoo_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..6),
+    ) {
+        let config = config_for(AnnMode::Indexed, 3, 1);
+        check_sequence(&matrix, &curves, &ops, &config);
+    }
+
+    /// Parallelism must not perturb a single byte: the same sequences at
+    /// 4 worker threads equal the serial scratch build.
+    #[test]
+    fn random_updates_stay_byte_identical_parallel(
+        (matrix, curves) in zoo_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..5),
+    ) {
+        for mode in [AnnMode::Exact, AnnMode::Indexed] {
+            let config = config_for(mode, 48, 4);
+            check_sequence(&matrix, &curves, &ops, &config);
+        }
+    }
+}

@@ -201,3 +201,121 @@ fn cache_hit_is_byte_identical_to_miss() {
     assert_eq!(summary.stats.executed, 1);
     assert_eq!(summary.stats.cache_hits, 1);
 }
+
+/// Hot-swap: an in-flight request completes on the generation it was
+/// admitted under, the swap invalidates the result cache (same request
+/// re-executes on the new artifacts), and the envelope `generation` field
+/// is monotonic across the reload.
+#[test]
+fn hot_swap_pins_in_flight_requests_and_invalidates_the_cache() {
+    use tps_serve::protocol::generation_of;
+
+    let old = WorldBundle::from_world(small_world(7));
+    let new = WorldBundle::from_world(small_world(8));
+    let (new_world, new_artifacts) = (new.world.clone(), new.artifacts.clone());
+    let server = Server::bind(&old.world, &old.artifacts, serve_config(2))
+        .unwrap()
+        .with_reload_source(Box::new(move || {
+            Ok((new_world.clone(), new_artifacts.clone()))
+        }));
+    let addr = server.addr().to_string();
+
+    let summary = std::thread::scope(|s| {
+        let handle = s.spawn(|| server.run().expect("server drains cleanly"));
+
+        // Admit a request that executes slowly enough to still be in
+        // flight when the reload lands.
+        let slow_line = {
+            let addr = addr.clone();
+            s.spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut req = Request::select(1, "target-0");
+                req.hold_ms = Some(400);
+                client.request(&req).unwrap()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+
+        let mut client = Client::connect(&addr).unwrap();
+        let ack = client.request(&Request::control(2, "reload")).unwrap();
+        assert_eq!(status_of(&ack), Some("ok"), "{ack}");
+        assert_eq!(
+            generation_of(&ack),
+            Some(2),
+            "reload advances the generation"
+        );
+
+        // The in-flight request finishes on generation 1, answering with
+        // the OLD artifacts — byte-identical to a one-shot on them.
+        let slow_line = slow_line.join().unwrap();
+        assert_eq!(status_of(&slow_line), Some("ok"), "{slow_line}");
+        assert_eq!(
+            generation_of(&slow_line),
+            Some(1),
+            "in-flight requests keep the generation pinned at admission"
+        );
+        assert_eq!(
+            extract_result(&slow_line),
+            Some(one_shot(&old, 0, 10).as_str()),
+            "in-flight request must answer from the old artifacts"
+        );
+
+        // Post-swap, the identical request is a cache MISS (the
+        // generation is folded into the fingerprint): it re-executes on
+        // the new artifacts under generation 2.
+        let fresh = client.request(&Request::select(3, "target-0")).unwrap();
+        assert_eq!(status_of(&fresh), Some("ok"), "{fresh}");
+        assert_eq!(generation_of(&fresh), Some(2));
+        assert_eq!(
+            extract_result(&fresh),
+            Some(one_shot(&new, 0, 10).as_str()),
+            "post-swap request must answer from the new artifacts"
+        );
+        assert!(
+            generation_of(&slow_line) < generation_of(&fresh),
+            "generation is monotonic across a reload"
+        );
+
+        // Same-generation repeat is a plain cache hit again.
+        let hit = client.request(&Request::select(4, "target-0")).unwrap();
+        assert_eq!(hit.replace("\"id\":4", "\"id\":3"), fresh);
+
+        client.request(&Request::control(999, "shutdown")).unwrap();
+        handle.join().unwrap()
+    });
+    assert_eq!(summary.stats.requests, 3);
+    assert_eq!(
+        summary.stats.executed, 2,
+        "one execution per generation: the swap invalidated the cache"
+    );
+    assert_eq!(summary.stats.cache_hits, 1);
+    assert_eq!(summary.stats.reloads, 1);
+    assert_eq!(summary.stats.generation, 2);
+    // The committed budget rule: serve.generation == serve.reloads + 1.
+    assert_eq!(
+        summary.trace.counters["serve.generation"],
+        summary.trace.counters["serve.reloads"] + 1.0
+    );
+}
+
+/// Without a reload source, `reload` is answered with a structured error
+/// and the server keeps serving the bound generation.
+#[test]
+fn reload_without_a_source_is_a_structured_error() {
+    let bundle = WorldBundle::from_world(small_world(9));
+    let server = Server::bind(&bundle.world, &bundle.artifacts, serve_config(1)).unwrap();
+    let addr = server.addr().to_string();
+    let summary = std::thread::scope(|s| {
+        let handle = s.spawn(|| server.run().expect("server drains cleanly"));
+        let mut client = Client::connect(&addr).unwrap();
+        let nack = client.request(&Request::control(1, "reload")).unwrap();
+        assert_eq!(status_of(&nack), Some("error"), "{nack}");
+        let ok = client.request(&Request::select(2, "target-0")).unwrap();
+        assert_eq!(status_of(&ok), Some("ok"), "{ok}");
+        assert_eq!(tps_serve::protocol::generation_of(&ok), Some(1));
+        client.request(&Request::control(999, "shutdown")).unwrap();
+        handle.join().unwrap()
+    });
+    assert_eq!(summary.stats.reloads, 0);
+    assert_eq!(summary.stats.generation, 1);
+}

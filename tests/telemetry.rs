@@ -233,13 +233,15 @@ fn committed_budgets_pass_on_a_real_pipeline_trace() {
             outcome.passed
         );
         // A fault-free one-shot run records neither fault/retry counters
-        // nor `serve.*` service counters, and an exact-mode run emits no
-        // `ann.*` counters (their absence is the exactness contract), so
-        // only those rule families may skip.
+        // nor `serve.*` service counters, an exact-mode run emits no
+        // `ann.*` counters (their absence is the exactness contract), and
+        // a run that applied no updates emits no `incremental.*` counters,
+        // so only those rule families may skip.
         assert!(
             outcome.skipped.iter().all(|r| r.starts_with("retry-")
                 || r.starts_with("serve-")
-                || r.starts_with("ann-")),
+                || r.starts_with("ann-")
+                || r.starts_with("incremental-")),
             "{:?}",
             outcome.skipped
         );
