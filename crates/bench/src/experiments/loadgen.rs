@@ -14,6 +14,12 @@
 //!    structured `overloaded` rejections (never a hang or abort), and a
 //!    `deadline_ms: 0` request must come back `deadline_exceeded`.
 //!
+//! Phase 1 runs with the observability plane armed: a structured JSONL
+//! access log (whose drop accounting must close exactly at drain) and a
+//! generous SLO objective (whose burn counter must stay at zero under
+//! non-overload). The record persists the server-side rolling-window
+//! percentiles alongside the client-side ones.
+//!
 //! Both drains flush an aggregate trace that is checked against the
 //! committed `budgets.toml` — the same gate `scripts/verify.sh` applies
 //! via `tps trace check` to the record's embedded `trace`.
@@ -58,10 +64,19 @@ struct LoadgenRecord {
     overload_requests: u64,
     overload_rejected: u64,
     deadline_rejected: u64,
-    /// Wall-clock latency percentiles of the phase-1 storm (µs).
+    /// Wall-clock latency percentiles of the phase-1 storm (µs),
+    /// measured client-side.
     latency_p50_us: u64,
     latency_p95_us: u64,
     latency_max_us: u64,
+    /// Server-side rolling-window percentiles at drain (µs).
+    window_p50_us: u64,
+    window_p95_us: u64,
+    window_p99_us: u64,
+    /// SLO burn and access-log accounting of the phase-1 server.
+    slo_violations: u64,
+    access_log_records: u64,
+    access_log_dropped: u64,
     /// Epoch-equivalents billed by the phase-1 server.
     total_epochs: f64,
     /// Phase-1 aggregate trace (extracted by `repro loadgen --trace-out`;
@@ -159,10 +174,14 @@ fn clip(line: &str) -> &str {
 }
 
 /// Phase 1: concurrent storm + cache + budgets + faults, then drain.
+/// Runs with the observability plane fully armed: a structured access log
+/// and a generous SLO, both audited against the drain accounting.
 fn correctness_phase(
     bundle: &WorldBundle,
     expected: &HashMap<(usize, usize), String>,
 ) -> (ServeSummary, Vec<u64>, usize) {
+    let access_path =
+        std::env::temp_dir().join(format!("tps-loadgen-access-{}.jsonl", std::process::id()));
     let server = Server::bind(
         &bundle.world,
         &bundle.artifacts,
@@ -170,6 +189,8 @@ fn correctness_phase(
             max_inflight: 2,
             queue_depth: 32,
             cache_capacity: 64,
+            access_log: Some(access_path.to_str().expect("utf-8 temp path").to_string()),
+            slo_ms: Some(60_000),
             ..ServeConfig::default()
         },
     )
@@ -265,6 +286,20 @@ fn correctness_phase(
     );
     let mut latencies = latencies.into_inner().unwrap();
     latencies.sort_unstable();
+
+    // The access log wrote exactly one JSONL record per processed request,
+    // and nothing in this synthetic world takes a minute.
+    assert_eq!(summary.stats.slo_violations, 0, "generous SLO never burns");
+    assert_eq!(summary.stats.access_log_records, summary.stats.requests);
+    assert_eq!(summary.stats.access_log_dropped, 0);
+    let log = std::fs::read_to_string(&access_path).expect("access log flushed");
+    assert_eq!(
+        log.lines().count() as u64,
+        summary.stats.access_log_written,
+        "one line per written record"
+    );
+    std::fs::remove_file(&access_path).ok();
+
     (summary, latencies, fault_casualties)
 }
 
@@ -426,6 +461,16 @@ pub fn loadgen() -> Report {
         overload.stats.rejected,
         overload.stats.deadline_rejected,
     );
+    let body = format!(
+        "{body}server window µs: p50 {}, p95 {}, p99 {} — {} SLO violation(s), \
+         access log {} record(s) ({} dropped)\n",
+        summary.window.p50_us,
+        summary.window.p95_us,
+        summary.window.p99_us,
+        stats.slo_violations,
+        stats.access_log_records,
+        stats.access_log_dropped,
+    );
 
     let record = LoadgenRecord {
         n_models: bundle.world.n_models(),
@@ -444,6 +489,12 @@ pub fn loadgen() -> Report {
         latency_p50_us: percentile(&latencies, 0.50),
         latency_p95_us: percentile(&latencies, 0.95),
         latency_max_us: percentile(&latencies, 1.0),
+        window_p50_us: summary.window.p50_us,
+        window_p95_us: summary.window.p95_us,
+        window_p99_us: summary.window.p99_us,
+        slo_violations: stats.slo_violations,
+        access_log_records: stats.access_log_records,
+        access_log_dropped: stats.access_log_dropped,
         total_epochs: stats.total_epochs,
         trace: summary.trace,
     };
@@ -475,5 +526,12 @@ mod tests {
         assert_eq!(record.overload_rejected, 4);
         assert!(record.fault_casualties > 0);
         assert!(record.trace.completed);
+        // Observability accounting rides along in the record.
+        assert_eq!(record.slo_violations, 0);
+        assert_eq!(record.access_log_records, 26);
+        assert_eq!(record.access_log_dropped, 0);
+        assert_eq!(record.trace.counter("serve.access_log_records"), Some(26.0));
+        assert!(record.window_p50_us <= record.window_p95_us);
+        assert!(record.window_p95_us <= record.window_p99_us);
     }
 }

@@ -90,6 +90,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "trace" => cmd_trace(args),
         "serve" => cmd_serve(args),
         "client" => cmd_client(args),
+        "top" => cmd_top(args),
         "help" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; try `tps help`"
@@ -159,7 +160,8 @@ search beam; results are deterministic for any thread count either way.
   catalog  list a store's contents           --store DIR
   fsck     verify every stored record        --store DIR
   trace    analyse --trace-out files:
-           trace summarize FILE [--top N]      top spans by self-time + counter tables
+           trace summarize FILE [--top N] [--format text|json]
+                                               top spans by self-time + counter tables
            trace diff A B [--tolerance F]      deterministic drift check, nonzero on drift
            trace check FILE [--budgets FILE]   evaluate budgets.toml cost invariants
            trace export FILE [--out FILE]      OpenMetrics/Prometheus text exposition
@@ -171,17 +173,29 @@ search beam; results are deterministic for any thread count either way.
                                              [--threshold F] [--stages N]
                                              [--ann exact|indexed] [--ann-k N] [--ann-ef N]
                                              [--ready-file FILE] [--trace-out FILE]
+                                             [--access-log FILE] [--slo-ms N]
            a `{\"op\":\"reload\"}` request (or SIGHUP) hot-swaps to the current
            on-disk world+artifacts without dropping in-flight requests
   client   send requests to a running server  --addr HOST:PORT [--request JSON]
-                                             [--file FILE] [--shutdown true]
+                                             [--file FILE] [--metrics true]
+                                             [--shutdown true]
                                              (stdin lines when no request source given)
+  top      live dashboard over a server       --addr HOST:PORT [--interval-ms N]
+                                             [--samples N] [--once true]
+           polls `{\"op\":\"metrics\"}` + `{\"op\":\"stats\"}` and renders rates,
+           window percentiles, occupancy, generation, and SLO burn;
+           `--once true` prints one machine-readable JSON line for CI
   help     this message
 
 `tps serve` loads the artifacts once, then answers line-delimited JSON
 selection requests (e.g. `{\"id\":1,\"target\":\"mnli\"}`) until a
 `{\"op\":\"shutdown\"}` request or SIGTERM drains it; the drain flushes one
-aggregate trace (`--trace-out`) that `tps trace check` can audit.
+aggregate trace (`--trace-out`) that `tps trace check` can audit. The
+server is observable while live: `{\"op\":\"metrics\"}` (or `tps client
+--metrics true`) scrapes an OpenMetrics snapshot without draining,
+`--access-log FILE` records one JSONL line per admitted request off the
+critical path, and `--slo-ms N` burns `serve.slo_violations` for every
+answered request slower than the objective.
 "
     .to_string()
 }
@@ -640,7 +654,8 @@ fn cmd_compare(args: &ParsedArgs) -> Result<String, CliError> {
 /// Usage for the `trace` family (also embedded in [`usage`]).
 fn trace_usage() -> String {
     "usage: tps trace <summarize|diff|check|export|baseline> ...
-  trace summarize FILE [--top N]      top spans by self-time + counter/histogram tables
+  trace summarize FILE [--top N] [--format text|json]
+                                      top spans by self-time + counter/histogram tables
   trace diff A B [--tolerance F]      compare deterministic payloads; nonzero exit on drift
   trace check FILE [--budgets FILE]   evaluate cost budgets (default budgets.toml)
   trace export FILE [--out FILE]      render OpenMetrics text exposition
@@ -680,11 +695,22 @@ fn cmd_trace(args: &ParsedArgs) -> Result<String, CliError> {
     let rest = &pos[1..];
     match sub.as_str() {
         "summarize" => {
-            args.restrict_flags(&["top"])?;
+            args.restrict_flags(&["top", "format"])?;
             let files = expect_positionals(rest, 1, "trace summarize", &trace_usage())?;
             let report = read_trace(&files[0])?;
             let top = args.get_parse("top", 10usize, "integer")?;
-            Ok(analysis::summarize(&report, top))
+            match args.get("format").unwrap_or("text") {
+                "text" => Ok(analysis::summarize(&report, top)),
+                "json" => {
+                    let summary = analysis::summary(&report, top);
+                    let json = serde_json::to_string(&summary)
+                        .map_err(|e| CliError::Io(format!("cannot serialize summary: {e}")))?;
+                    Ok(format!("{json}\n"))
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown summarize format `{other}` (expected text or json)"
+                ))),
+            }
         }
         "diff" => {
             args.restrict_flags(&["tolerance"])?;
@@ -1306,6 +1332,8 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         "ann",
         "ann-k",
         "ann-ef",
+        "access-log",
+        "slo-ms",
     ])?;
     let source = serve_source(args)?;
     let (world, artifacts) = load_serve_source(&source).map_err(CliError::Io)?;
@@ -1322,6 +1350,11 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
             None => None,
         },
         ann: ann_config(args)?,
+        access_log: args.get("access-log").map(str::to_string),
+        slo_ms: match args.get("slo-ms") {
+            Some(_) => Some(args.get_parse("slo-ms", 0u64, "integer")?),
+            None => None,
+        },
     };
     tps_serve::install_signal_drain();
     let server = tps_serve::Server::bind(&world, &artifacts, config)
@@ -1370,6 +1403,19 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         "  queue peak {}/{} capacity; {:.1} epoch-equivalents spent",
         s.queue_peak, s.queue_capacity, s.total_epochs
     );
+    let w = &summary.window;
+    let _ = writeln!(
+        out,
+        "  window: {} request(s), p50 {}µs p95 {}µs p99 {}µs; {} SLO violation(s)",
+        w.count, w.p50_us, w.p95_us, w.p99_us, s.slo_violations
+    );
+    if args.get("access-log").is_some() {
+        let _ = writeln!(
+            out,
+            "  access log: {} record(s), {} written, {} dropped",
+            s.access_log_records, s.access_log_written, s.access_log_dropped
+        );
+    }
     if let Some(path) = args.get("trace-out") {
         write_json(path, &summary.trace)?;
         let _ = writeln!(
@@ -1384,8 +1430,17 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// Send requests to a running server and print the response lines.
 fn cmd_client(args: &ParsedArgs) -> Result<String, CliError> {
-    args.restrict(&["addr", "request", "file", "shutdown"])?;
+    args.restrict(&["addr", "request", "file", "shutdown", "metrics"])?;
     let addr = args.require("addr")?;
+    if args.get("metrics") == Some("true") {
+        // A scrape prints the decoded OpenMetrics text, not the JSON
+        // envelope, so the output pipes straight into Prometheus tooling.
+        let mut client = tps_serve::Client::connect(addr)
+            .map_err(|e| CliError::Io(format!("connect {addr}: {e}")))?;
+        return client
+            .scrape(0)
+            .map_err(|e| CliError::Io(format!("metrics scrape failed: {e}")));
+    }
     let mut lines: Vec<String> = Vec::new();
     if let Some(req) = args.get("request") {
         lines.push(req.to_string());
@@ -1421,6 +1476,179 @@ fn cmd_client(args: &ParsedArgs) -> Result<String, CliError> {
         let _ = writeln!(out, "{response}");
     }
     Ok(out)
+}
+
+/// One polled sample of a live server: the stats snapshot plus every
+/// sample line parsed out of the metrics exposition (gauges and
+/// counters alike, keyed by exposition metric name).
+struct TopSample {
+    stats: serde_json::Value,
+    metrics: std::collections::BTreeMap<String, f64>,
+}
+
+impl TopSample {
+    fn stat(&self, key: &str) -> u64 {
+        self.stats.get(key).and_then(|v| v.as_u64()).unwrap_or(0)
+    }
+
+    fn metric(&self, name: &str) -> u64 {
+        self.metrics.get(name).copied().unwrap_or(0.0) as u64
+    }
+}
+
+fn top_sample(client: &mut tps_serve::Client, id: u64) -> Result<TopSample, CliError> {
+    let line = client
+        .request(&tps_serve::Request::control(id, "stats"))
+        .map_err(|e| CliError::Io(format!("stats poll failed: {e}")))?;
+    let result = tps_serve::protocol::extract_result(&line)
+        .ok_or_else(|| CliError::Io(format!("stats poll returned no result: {line}")))?;
+    let stats: serde_json::Value = serde_json::from_str(result)
+        .map_err(|e| CliError::Io(format!("cannot parse stats: {e}")))?;
+    let exposition = client
+        .scrape(id + 1)
+        .map_err(|e| CliError::Io(format!("metrics scrape failed: {e}")))?;
+    let mut metrics = std::collections::BTreeMap::new();
+    for sample in exposition.lines() {
+        if sample.starts_with('#') || sample.contains('{') {
+            continue; // comments and labelled bucket series
+        }
+        let mut parts = sample.split_whitespace();
+        if let (Some(name), Some(value)) = (parts.next(), parts.next()) {
+            if let Ok(v) = value.parse::<f64>() {
+                metrics.insert(name.to_string(), v);
+            }
+        }
+    }
+    Ok(TopSample { stats, metrics })
+}
+
+/// The `--once` machine-readable line: one JSON object combining the
+/// stats counters with the window gauges, for CI consumption.
+fn top_once_line(s: &TopSample) -> String {
+    format!(
+        "{{\"generation\":{},\"requests\":{},\"executed\":{},\"cache_hits\":{},\
+         \"rejected\":{},\"errors\":{},\"queue_waiting\":{},\"queue_inflight\":{},\
+         \"queue_peak\":{},\"cache_entries\":{},\"slo_violations\":{},\
+         \"access_log_records\":{},\"access_log_dropped\":{},\"window_count\":{},\
+         \"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+        s.stat("generation"),
+        s.stat("requests"),
+        s.stat("executed"),
+        s.stat("cache_hits"),
+        s.stat("rejected"),
+        s.stat("errors"),
+        s.stat("queue_waiting"),
+        s.stat("queue_inflight"),
+        s.stat("queue_peak"),
+        s.stat("cache_entries"),
+        s.stat("slo_violations"),
+        s.stat("access_log_records"),
+        s.stat("access_log_dropped"),
+        s.metric("tps_serve_window_count"),
+        s.metric("tps_serve_window_p50_us"),
+        s.metric("tps_serve_window_p95_us"),
+        s.metric("tps_serve_window_p99_us"),
+    )
+}
+
+/// Render one dashboard frame. `prev` is the previous sample's request
+/// count and age, for the requests/s rate.
+fn render_top(addr: &str, s: &TopSample, prev: Option<(u64, std::time::Duration)>) -> String {
+    let rate = match prev {
+        Some((prev_requests, age)) if age.as_secs_f64() > 0.0 => {
+            (s.stat("requests").saturating_sub(prev_requests)) as f64 / age.as_secs_f64()
+        }
+        _ => 0.0,
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tps top — {addr} · generation {} · {} worker(s)",
+        s.stat("generation"),
+        s.metric("tps_serve_workers"),
+    );
+    let _ = writeln!(
+        out,
+        "  requests {} ({rate:.1}/s) · executed {} · cache hits {} · rejected {} · errors {}",
+        s.stat("requests"),
+        s.stat("executed"),
+        s.stat("cache_hits"),
+        s.stat("rejected"),
+        s.stat("errors"),
+    );
+    let _ = writeln!(
+        out,
+        "  queue {}/{} (waiting {}, inflight {}, peak {}) · cache {} entries",
+        s.stat("queue_waiting") + s.stat("queue_inflight"),
+        s.stat("queue_capacity"),
+        s.stat("queue_waiting"),
+        s.stat("queue_inflight"),
+        s.stat("queue_peak"),
+        s.stat("cache_entries"),
+    );
+    let _ = writeln!(
+        out,
+        "  window[{}]: p50 {}µs · p95 {}µs · p99 {}µs · SLO violations {}",
+        s.metric("tps_serve_window_count"),
+        s.metric("tps_serve_window_p50_us"),
+        s.metric("tps_serve_window_p95_us"),
+        s.metric("tps_serve_window_p99_us"),
+        s.stat("slo_violations"),
+    );
+    if s.stat("access_log_records") > 0 || s.stat("access_log_dropped") > 0 {
+        let _ = writeln!(
+            out,
+            "  access log: {} record(s), {} dropped",
+            s.stat("access_log_records"),
+            s.stat("access_log_dropped"),
+        );
+    }
+    out
+}
+
+/// `tps top` — poll a live server's metrics/stats ops and render a
+/// one-screen dashboard, or one machine-readable JSON line with
+/// `--once true`.
+fn cmd_top(args: &ParsedArgs) -> Result<String, CliError> {
+    args.restrict(&["addr", "interval-ms", "samples", "once"])?;
+    let addr = args.require("addr")?;
+    let interval_ms = args.get_parse("interval-ms", 1_000u64, "integer")?;
+    let samples = args.get_parse("samples", 0usize, "integer")?;
+    let mut client = tps_serve::Client::connect(addr)
+        .map_err(|e| CliError::Io(format!("connect {addr}: {e}")))?;
+    if args.get("once") == Some("true") {
+        let sample = top_sample(&mut client, 0)?;
+        return Ok(format!("{}\n", top_once_line(&sample)));
+    }
+    let mut prev: Option<(u64, std::time::Instant)> = None;
+    let mut taken = 0usize;
+    loop {
+        let sample = match top_sample(&mut client, (taken as u64) * 2) {
+            Ok(sample) => sample,
+            // A server draining away mid-watch ends the dashboard; it is
+            // only an error if we never got a single frame.
+            Err(_) if taken > 0 => return Ok("top: server went away\n".to_string()),
+            Err(e) => return Err(e),
+        };
+        let now = std::time::Instant::now();
+        let frame = render_top(
+            addr,
+            &sample,
+            prev.map(|(requests, at)| (requests, now.duration_since(at))),
+        );
+        {
+            use std::io::Write as _;
+            let mut stdout = std::io::stdout();
+            let _ = write!(stdout, "{frame}");
+            let _ = stdout.flush();
+        }
+        prev = Some((sample.stat("requests"), now));
+        taken += 1;
+        if samples > 0 && taken >= samples {
+            return Ok(String::new());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 #[cfg(test)]
@@ -2142,6 +2370,34 @@ mod tests {
         let brief = run_line(&["trace", "summarize", trace_s, "--top", "1"]).unwrap();
         assert!(brief.len() < out.len());
 
+        // --format json emits one machine-readable object mirroring the text.
+        let json = run_line(&["trace", "summarize", trace_s, "--format", "json"]).unwrap();
+        let summary: tps_core::telemetry::analysis::TraceSummary =
+            serde_json::from_str(json.trim()).unwrap();
+        assert!(summary.completed);
+        assert!(summary.counters.contains_key("recall.recalled"));
+        assert!(summary
+            .spans
+            .iter()
+            .any(|s| s.name == "pipeline.two_phase_select"));
+        let brief_json = run_line(&[
+            "trace",
+            "summarize",
+            trace_s,
+            "--top",
+            "1",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let brief_summary: tps_core::telemetry::analysis::TraceSummary =
+            serde_json::from_str(brief_json.trim()).unwrap();
+        assert_eq!(brief_summary.spans.len(), 1);
+        assert!(matches!(
+            run_line(&["trace", "summarize", trace_s, "--format", "yaml"]),
+            Err(CliError::Usage(_))
+        ));
+
         let om = run_line(&["trace", "export", trace_s]).unwrap();
         assert!(om.starts_with("# TYPE") || om.contains("# TYPE"), "{om}");
         assert!(om.contains("tps_recall_recalled_total"), "{om}");
@@ -2321,20 +2577,23 @@ mod tests {
         let arts = dir.join("sa.json");
         let ready = dir.join("serve-ready");
         let trace = dir.join("serve-trace.json");
+        let access = dir.join("serve-access.jsonl");
         let world_s = world.to_str().unwrap().to_string();
         let arts_s = arts.to_str().unwrap().to_string();
         let ready_s = ready.to_str().unwrap().to_string();
         let trace_s = trace.to_str().unwrap().to_string();
+        let access_s = access.to_str().unwrap().to_string();
 
         run_line(&["world", "--domain", "cv", "--seed", "7", "--out", &world_s]).unwrap();
         run_line(&["offline", "--world", &world_s, "--out", &arts_s]).unwrap();
 
         let server = std::thread::spawn({
-            let (world_s, arts_s, ready_s, trace_s) = (
+            let (world_s, arts_s, ready_s, trace_s, access_s) = (
                 world_s.clone(),
                 arts_s.clone(),
                 ready_s.clone(),
                 trace_s.clone(),
+                access_s.clone(),
             );
             move || {
                 run_line(&[
@@ -2347,6 +2606,10 @@ mod tests {
                     &ready_s,
                     "--trace-out",
                     &trace_s,
+                    "--access-log",
+                    &access_s,
+                    "--slo-ms",
+                    "60000",
                 ])
             }
         });
@@ -2398,11 +2661,44 @@ mod tests {
         .unwrap();
         assert_eq!(out, again);
 
+        // Live scrape without draining: a full OpenMetrics exposition.
+        let exposition = run_line(&["client", "--addr", &addr, "--metrics", "true"]).unwrap();
+        assert!(
+            exposition.contains("tps_serve_requests_total 2"),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains("tps_serve_cache_hits_total 1"),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains("tps_serve_request_latency_us_count 2"),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains("tps_serve_window_p50_us"),
+            "{exposition}"
+        );
+        assert!(exposition.trim_end().ends_with("# EOF"), "{exposition}");
+
+        // `tps top --once` condenses the same scrape into one JSON line.
+        let top = run_line(&["top", "--addr", &addr, "--once", "true"]).unwrap();
+        let top_json: serde_json::Value = serde_json::from_str(top.trim()).unwrap();
+        assert_eq!(top_json["requests"], 2, "{top}");
+        assert_eq!(top_json["executed"], 1, "{top}");
+        assert_eq!(top_json["cache_hits"], 1, "{top}");
+        assert_eq!(top_json["slo_violations"], 0, "{top}");
+        assert_eq!(top_json["access_log_records"], 2, "{top}");
+        assert_eq!(top_json["window_count"], 2, "{top}");
+
         let out = run_line(&["client", "--addr", &addr, "--shutdown", "true"]).unwrap();
         assert!(out.contains("draining"), "{out}");
         let summary = server.join().unwrap().unwrap();
         assert!(summary.contains("drained after 2 request(s)"), "{summary}");
         assert!(summary.contains("1 executed, 1 cache hit(s)"), "{summary}");
+        assert!(summary.contains("window: 2 request(s)"), "{summary}");
+        assert!(summary.contains("0 SLO violation(s)"), "{summary}");
+        assert!(summary.contains("access log: 2 record(s)"), "{summary}");
 
         let report: TraceReport =
             serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
@@ -2411,5 +2707,20 @@ mod tests {
         assert_eq!(report.counter("serve.executed"), Some(1.0));
         assert_eq!(report.counter("serve.cache_hits"), Some(1.0));
         assert_eq!(report.spans_named("serve.request").len(), 1);
+        assert_eq!(report.counter("serve.slo_violations"), Some(0.0));
+        assert_eq!(report.counter("serve.access_log_records"), Some(2.0));
+        assert_eq!(report.counter("serve.access_log_dropped"), Some(0.0));
+
+        // The access log carries one JSONL record per admitted request,
+        // and the cache verdicts reconcile with the stats.
+        let log = std::fs::read_to_string(&access).unwrap();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2, "{log}");
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        let second: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(first["cache"], "miss", "{log}");
+        assert_eq!(second["cache"], "hit", "{log}");
+        assert_eq!(first["status"], "ok", "{log}");
+        assert_eq!(first["fingerprint"], second["fingerprint"], "{log}");
     }
 }

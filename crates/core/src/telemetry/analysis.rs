@@ -8,11 +8,12 @@
 //! deterministic payload for committing under `results/baselines/`).
 
 use super::{SpanRecord, TraceReport};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Aggregated timing for one span name.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpanStat {
     /// Span name.
     pub name: String,
@@ -108,6 +109,79 @@ pub fn summarize(report: &TraceReport, top: usize) -> String {
         }
     }
     out
+}
+
+/// One histogram row in the machine-readable summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Unit tag (`"us"`, `"count"`, `"epochs"`, …).
+    pub unit: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// `sum / count` (0 when empty).
+    pub mean: f64,
+    /// Per-bucket observation counts (overflow slot last).
+    pub buckets: Vec<u64>,
+}
+
+/// Machine-readable trace summary — the same facts `summarize` renders as
+/// text, as one serializable object for `tps trace summarize --format
+/// json` and `tps top --once`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Trace schema version.
+    pub version: u32,
+    /// Whether the trace was flushed cleanly.
+    pub completed: bool,
+    /// Root span count.
+    pub root_spans: usize,
+    /// Casualty count.
+    pub casualties: usize,
+    /// Per-name span timings, descending self-time, truncated to `top`.
+    pub spans: Vec<SpanStat>,
+    /// All counters, verbatim.
+    pub counters: BTreeMap<String, f64>,
+    /// Per-histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Build the machine-readable summary; `top` truncates the span table
+/// exactly like the text renderer.
+pub fn summary(report: &TraceReport, top: usize) -> TraceSummary {
+    let mut spans = span_stats(report);
+    spans.truncate(top);
+    let histograms = report
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            let mean = if h.count > 0 {
+                h.sum / h.count as f64
+            } else {
+                0.0
+            };
+            (
+                name.clone(),
+                HistogramSummary {
+                    unit: h.unit.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    mean,
+                    buckets: h.counts.clone(),
+                },
+            )
+        })
+        .collect();
+    TraceSummary {
+        version: report.version,
+        completed: report.completed,
+        root_spans: report.spans.len(),
+        casualties: report.casualties.len(),
+        spans,
+        counters: report.counters.clone(),
+        histograms,
+    }
 }
 
 /// One counter difference between two traces.
@@ -304,6 +378,24 @@ mod tests {
         let mut partial = report;
         partial.completed = false;
         assert!(summarize(&partial, 5).contains("INCOMPLETE"));
+    }
+
+    #[test]
+    fn json_summary_mirrors_the_text_summary() {
+        let report = sample_trace();
+        let s = summary(&report, 1);
+        assert_eq!(s.version, report.version);
+        assert!(s.completed);
+        assert_eq!(s.root_spans, 1);
+        assert_eq!(s.spans.len(), 1, "span table truncates to top");
+        assert_eq!(s.counters["recall.proxy_evals"], 8.0);
+        let h = &s.histograms["fine.stage_pool_width"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.mean, 10.0);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        // Round-trips through serde for CI consumers.
+        let back: TraceSummary = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

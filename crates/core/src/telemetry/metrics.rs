@@ -133,6 +133,39 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// An empty snapshot with `spec`'s layout — the seed for callers that
+    /// maintain histograms outside a registry (e.g. the serve layer's
+    /// rolling latency window).
+    pub fn empty(spec: HistogramSpec) -> Self {
+        HistogramSnapshot {
+            unit: spec.unit.to_string(),
+            bounds: spec.bounds.to_vec(),
+            counts: vec![0; spec.bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation directly into the snapshot, using the same
+    /// inclusive-upper-bound rule as the live registry.
+    pub fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Drop every observation, keeping the bucket layout.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum = 0.0;
+    }
+
     /// Whether this histogram measures wall-clock time — machine-dependent
     /// and therefore excluded from drift gates and determinism checks.
     pub fn is_wall_clock(&self) -> bool {
@@ -223,6 +256,65 @@ mod tests {
             reg.snapshots()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merging_empty_into_populated_and_back_is_lossless() {
+        let mut reg = MetricsRegistry::default();
+        for v in [1.0, 5.0, 700.0] {
+            reg.observe("recall.fanout_width", v);
+        }
+        let populated = reg.snapshots()["recall.fanout_width"].clone();
+        let empty = HistogramSnapshot::empty(spec_for("recall.fanout_width"));
+
+        // empty ← populated reproduces the populated snapshot exactly.
+        let mut into_empty = empty.clone();
+        into_empty.merge(&populated);
+        assert_eq!(into_empty, populated);
+
+        // populated ← empty is a no-op.
+        let mut into_populated = populated.clone();
+        into_populated.merge(&empty);
+        assert_eq!(into_populated, populated);
+    }
+
+    #[test]
+    fn merge_accumulates_overflow_buckets() {
+        let snap = |values: &[f64]| {
+            let mut s = HistogramSnapshot::empty(spec_for("recall.fanout_width"));
+            values.iter().for_each(|v| s.record(*v));
+            s
+        };
+        // WIDTH's last finite bound is 512; everything above overflows.
+        let mut a = snap(&[600.0, 700.0]);
+        let b = snap(&[1.0, 9_999.0]);
+        a.merge(&b);
+        assert_eq!(*a.counts.last().unwrap(), 3, "overflow slots add up");
+        assert_eq!(a.counts[0], 1);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.counts.iter().sum::<u64>(), a.count);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_specs_into_overflow() {
+        let mut widths = HistogramSnapshot::empty(spec_for("recall.fanout_width"));
+        widths.record(2.0);
+        let finite_before: Vec<u64> = widths.counts[..widths.bounds.len()].to_vec();
+
+        let mut epochs = HistogramSnapshot::empty(spec_for("recall.proxy_epochs_per_call"));
+        epochs.record(0.5);
+        epochs.record(4.0);
+
+        // Mismatched unit+bounds: the foreign observations are not
+        // redistributed across buckets — they land in overflow wholesale,
+        // keeping `counts` consistent with `count`.
+        widths.merge(&epochs);
+        assert_eq!(widths.counts[..widths.bounds.len()], finite_before[..]);
+        assert_eq!(*widths.counts.last().unwrap(), 2);
+        assert_eq!(widths.count, 3);
+        assert_eq!(widths.sum, 2.0 + 0.5 + 4.0);
+        assert_eq!(widths.counts.iter().sum::<u64>(), widths.count);
+        assert_eq!(widths.unit, "count", "layout is the receiver's");
     }
 
     #[test]

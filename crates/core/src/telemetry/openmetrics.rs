@@ -9,6 +9,7 @@
 //! series plus `_sum`/`_count`, per the exposition format.
 
 use super::TraceReport;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Metric-name prefix for everything exported from a trace.
@@ -26,6 +27,22 @@ pub fn metric_name(trace_name: &str) -> String {
     out
 }
 
+/// Escape free text embedded in the exposition (HELP lines and label
+/// values): backslash, double quote, and newline must never appear raw,
+/// or a hostile counter name could smuggle extra exposition lines.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Format a float the way Prometheus expects (`1`, `2.5`, `+Inf`).
 fn fmt_value(v: f64) -> String {
     if v == f64::INFINITY {
@@ -39,11 +56,18 @@ fn fmt_value(v: f64) -> String {
 
 /// Render the full exposition text, terminated by `# EOF`.
 pub fn render(report: &TraceReport) -> String {
+    render_with_gauges(report, &BTreeMap::new())
+}
+
+/// Render counters and histograms from `report` plus point-in-time
+/// `gauges` (queue occupancy, window percentiles, config echoes — values
+/// that can move without any counter changing), terminated by `# EOF`.
+pub fn render_with_gauges(report: &TraceReport, gauges: &BTreeMap<String, f64>) -> String {
     let mut out = String::new();
     for (name, value) in &report.counters {
         let metric = metric_name(name);
         let _ = writeln!(out, "# TYPE {metric} counter");
-        let _ = writeln!(out, "# HELP {metric} trace counter `{name}`");
+        let _ = writeln!(out, "# HELP {metric} trace counter `{}`", escape_text(name));
         let _ = writeln!(out, "{metric}_total {}", fmt_value(*value));
     }
     for (name, hist) in &report.histograms {
@@ -51,8 +75,9 @@ pub fn render(report: &TraceReport) -> String {
         let _ = writeln!(out, "# TYPE {metric} histogram");
         let _ = writeln!(
             out,
-            "# HELP {metric} trace histogram `{name}` (unit: {})",
-            hist.unit
+            "# HELP {metric} trace histogram `{}` (unit: {})",
+            escape_text(name),
+            escape_text(&hist.unit)
         );
         let mut cumulative = 0u64;
         for (bound, count) in hist
@@ -71,6 +96,16 @@ pub fn render(report: &TraceReport) -> String {
         }
         let _ = writeln!(out, "{metric}_sum {}", fmt_value(hist.sum));
         let _ = writeln!(out, "{metric}_count {}", hist.count);
+    }
+    for (name, value) in gauges {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(
+            out,
+            "# HELP {metric} point-in-time gauge `{}`",
+            escape_text(name)
+        );
+        let _ = writeln!(out, "{metric} {}", fmt_value(*value));
     }
     out.push_str("# EOF\n");
     out
@@ -112,5 +147,38 @@ mod tests {
     fn empty_report_is_just_eof() {
         let text = render(&TraceReport::empty());
         assert_eq!(text, "# EOF\n");
+    }
+
+    #[test]
+    fn renders_gauges_after_counters() {
+        let mut report = TraceReport::empty();
+        report.counters.insert("serve.requests".into(), 3.0);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("serve.queue_occupancy".to_string(), 2.0);
+        let text = render_with_gauges(&report, &gauges);
+        assert!(text.contains("# TYPE tps_serve_queue_occupancy gauge"));
+        assert!(text.contains("\ntps_serve_queue_occupancy 2\n"));
+        // Gauge samples carry no `_total` suffix.
+        assert!(!text.contains("tps_serve_queue_occupancy_total"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn escapes_adversarial_names_and_terminates() {
+        let mut report = TraceReport::empty();
+        report
+            .counters
+            .insert("evil\\name\"quoted\nsecond.line".into(), 1.0);
+        let text = render(&report);
+
+        // A raw newline in the counter name must not mint an extra
+        // exposition line: TYPE + HELP + sample + EOF, nothing more.
+        assert_eq!(text.lines().count(), 4);
+        let help = text.lines().nth(1).unwrap();
+        assert!(help.contains("evil\\\\name\\\"quoted\\nsecond.line"));
+        assert!(text.contains("tps_evil_name_quoted_second_line_total 1"));
+        assert!(text.ends_with("# EOF\n"));
+
+        assert_eq!(escape_text("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     }
 }

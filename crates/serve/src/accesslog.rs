@@ -1,0 +1,251 @@
+//! Structured JSONL access log, written outside the request critical
+//! path.
+//!
+//! Workers hand finished-request records to a bounded channel; a
+//! dedicated writer thread serializes them to the log file. The hot path
+//! never blocks on the filesystem: when the channel is full the record is
+//! dropped and counted (`serve.access_log_dropped`), so slow disks cost
+//! visibility, never admission latency. Accounting always closes —
+//! `records == written + dropped` once the log is closed at drain, which
+//! is exactly the invariant the `serve-access-log-accounting-closes`
+//! budget rule checks on the drain trace.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Default bounded-channel depth between workers and the writer thread.
+pub const DEFAULT_QUEUE: usize = 1024;
+
+/// One line of the access log: everything an operator needs to replay a
+/// request's admission-to-reply story.
+#[derive(Debug, Clone)]
+pub struct AccessRecord {
+    /// Client-chosen request id.
+    pub id: u64,
+    /// Result-cache fingerprint of the request.
+    pub fingerprint: String,
+    /// Artifact generation the request was pinned to.
+    pub generation: u64,
+    /// Admission → worker pickup, microseconds.
+    pub queue_wait_us: u64,
+    /// Worker pickup → reply, microseconds (includes any think-time hold).
+    pub exec_us: u64,
+    /// `"hit"` (served from cache), `"flight"` (waited on the
+    /// single-flight leader), `"miss"` (led the execution), or `"none"`
+    /// (never reached the cache).
+    pub cache: &'static str,
+    /// Terminal status: `"ok"`, `"deadline_rejected"`, or `"error"`.
+    pub status: &'static str,
+    /// Deadline outcome: `"none"`, `"met"`, `"violated"`, or
+    /// `"rejected"`.
+    pub deadline: &'static str,
+    /// Fault casualties charged during execution (0 for cache hits).
+    pub casualties: usize,
+    /// Epoch-equivalents charged to the ledger (0 for cache hits).
+    pub epochs: f64,
+}
+
+impl AccessRecord {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"id\":{},\"fingerprint\":{},\"generation\":{},\"queue_wait_us\":{},\
+             \"exec_us\":{},\"cache\":\"{}\",\"status\":\"{}\",\"deadline\":\"{}\",\
+             \"casualties\":{},\"epochs\":{}}}",
+            self.id,
+            crate::protocol::json_string(&self.fingerprint),
+            self.generation,
+            self.queue_wait_us,
+            self.exec_us,
+            self.cache,
+            self.status,
+            self.deadline,
+            self.casualties,
+            self.epochs
+        )
+    }
+}
+
+/// Drop-accounting counters, readable while the log is live.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccessLogCounters {
+    /// Records submitted by workers (written + dropped + in flight).
+    pub records: u64,
+    /// Lines the writer thread has flushed to the file.
+    pub written: u64,
+    /// Records dropped because the channel was full.
+    pub dropped: u64,
+}
+
+/// Bounded, never-blocking JSONL writer.
+pub struct AccessLog {
+    tx: Option<SyncSender<String>>,
+    records: AtomicU64,
+    dropped: AtomicU64,
+    written: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AccessLog {
+    /// Open (truncate) `path` and start the writer thread.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Self::with_queue(path, DEFAULT_QUEUE)
+    }
+
+    /// Like [`AccessLog::create`] with an explicit channel depth.
+    pub fn with_queue(path: &str, depth: usize) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let (tx, rx) = sync_channel::<String>(depth.max(1));
+        let written = Arc::new(AtomicU64::new(0));
+        let written_in_thread = Arc::clone(&written);
+        let handle = std::thread::spawn(move || {
+            let mut out = BufWriter::new(file);
+            for line in rx {
+                let ok = out
+                    .write_all(line.as_bytes())
+                    .and_then(|_| out.write_all(b"\n"))
+                    .is_ok();
+                if ok {
+                    written_in_thread.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            let _ = out.flush();
+        });
+        Ok(AccessLog {
+            tx: Some(tx),
+            records: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            written,
+            handle: Some(handle),
+        })
+    }
+
+    /// Submit one record. Never blocks: a full channel drops the record
+    /// and bumps the drop counter instead.
+    pub fn log(&self, record: &AccessRecord) {
+        self.records.fetch_add(1, Ordering::SeqCst);
+        let Some(tx) = &self.tx else {
+            self.dropped.fetch_add(1, Ordering::SeqCst);
+            return;
+        };
+        match tx.try_send(record.to_json_line()) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Point-in-time counters. While the log is live `written` may lag
+    /// `records - dropped` by the channel depth; after [`AccessLog::close`]
+    /// the accounting closes exactly.
+    pub fn counters(&self) -> AccessLogCounters {
+        AccessLogCounters {
+            records: self.records.load(Ordering::SeqCst),
+            written: self.written.load(Ordering::SeqCst),
+            dropped: self.dropped.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Drop the sender, drain the writer thread, and return the final
+    /// counters (`records == written + dropped` from here on).
+    pub fn close(mut self) -> AccessLogCounters {
+        self.shutdown();
+        self.counters()
+    }
+
+    fn shutdown(&mut self) {
+        self.tx = None; // unblocks the writer's recv loop
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AccessLog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64) -> AccessRecord {
+        AccessRecord {
+            id,
+            fingerprint: format!("g1.t0.k{id}.th0.0.s4.faults[]"),
+            generation: 1,
+            queue_wait_us: 42,
+            exec_us: 1_234,
+            cache: "miss",
+            status: "ok",
+            deadline: "none",
+            casualties: 0,
+            epochs: 6.5,
+        }
+    }
+
+    #[test]
+    fn records_serialize_as_parseable_jsonl() {
+        let line = sample(7).to_json_line();
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("id").and_then(|x| x.as_u64()), Some(7));
+        assert_eq!(v.get("cache").and_then(|x| x.as_str()), Some("miss"));
+        assert_eq!(v.get("epochs").and_then(|x| x.as_f64()), Some(6.5));
+        assert_eq!(v.get("queue_wait_us").and_then(|x| x.as_u64()), Some(42));
+        // Fingerprints pass through the JSON string escaper.
+        let mut evil = sample(1);
+        evil.fingerprint = "a\"b\\c".to_string();
+        let v: serde_json::Value = serde_json::from_str(&evil.to_json_line()).unwrap();
+        assert_eq!(
+            v.get("fingerprint").and_then(|x| x.as_str()),
+            Some("a\"b\\c")
+        );
+    }
+
+    #[test]
+    fn accounting_closes_after_drain() {
+        let path =
+            std::env::temp_dir().join(format!("tps-accesslog-test-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let log = AccessLog::with_queue(&path_str, 4).unwrap();
+        for id in 0..3 {
+            log.log(&sample(id));
+        }
+        let counters = log.close();
+        assert_eq!(counters.records, 3);
+        assert_eq!(counters.written + counters.dropped, counters.records);
+        assert_eq!(counters.dropped, 0, "depth 4 never fills with 3 records");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 3);
+        for line in body.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("fingerprint").is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_closed_channel_counts_drops_instead_of_blocking() {
+        let path = std::env::temp_dir().join(format!(
+            "tps-accesslog-drop-test-{}.jsonl",
+            std::process::id()
+        ));
+        let path_str = path.to_str().unwrap().to_string();
+        let mut log = AccessLog::with_queue(&path_str, 1).unwrap();
+        log.log(&sample(0));
+        log.shutdown(); // writer gone; further logs must drop, not block
+        log.log(&sample(1));
+        let counters = log.counters();
+        assert_eq!(counters.records, 2);
+        assert_eq!(counters.dropped, 1);
+        assert_eq!(counters.written + counters.dropped, counters.records);
+        let _ = std::fs::remove_file(&path);
+    }
+}

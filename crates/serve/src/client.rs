@@ -58,4 +58,16 @@ impl Client {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         self.roundtrip(&line)
     }
+
+    /// Scrape the live OpenMetrics exposition (`{"op":"metrics"}`),
+    /// returning the decoded text.
+    pub fn scrape(&mut self, id: u64) -> io::Result<String> {
+        let line = self.request(&Request::control(id, "metrics"))?;
+        crate::protocol::extract_exposition(&line).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response carried no exposition: {line}"),
+            )
+        })
+    }
 }

@@ -23,22 +23,36 @@
 //!   one aggregate `TraceReport` is flushed with per-request sub-traces
 //!   under `serve.request` root spans.
 //! * [`client`] — a minimal blocking line client for the CLI and tests.
+//! * [`accesslog`] — a structured JSONL access log written off the
+//!   critical path by a bounded writer thread; a full channel drops the
+//!   record (counted, `serve.access_log_dropped`) instead of blocking a
+//!   worker.
+//! * [`window`] — tick-advanced rolling latency histograms feeding live
+//!   p50/p95/p99 and the `serve.slo_violations` burn counter; together
+//!   with the `{"op":"metrics"}` OpenMetrics scrape they make the server
+//!   observable without draining it.
 //!
 //! Determinism contract: for a fixed set of select requests (and cache
 //! capacity at least the number of distinct fingerprints), responses,
 //! `executed`, and `cache_hits` are identical at any `max_inflight` — and
 //! each response is bit-identical to a one-shot `two_phase_select` of the
-//! same request.
+//! same request. The live metrics scrape inherits the same contract for
+//! its counter lines; wall-clock histograms and occupancy gauges are
+//! explicitly outside it.
 
+pub mod accesslog;
 pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod queue;
 mod server;
+pub mod window;
 
+pub use accesslog::{AccessLog, AccessLogCounters, AccessRecord};
 pub use client::Client;
 pub use protocol::{Request, SelectionResult};
 pub use server::{
     install_signal_drain, GenerationState, ReloadSource, ServeConfig, ServeStats, ServeSummary,
     Server,
 };
+pub use window::{RollingWindow, WindowPercentiles};

@@ -18,7 +18,8 @@ pub struct Request {
     /// Client-chosen correlation id, echoed in the response.
     #[serde(default)]
     pub id: u64,
-    /// `"select"` (or empty), `"ping"`, `"stats"`, or `"shutdown"`.
+    /// `"select"` (or empty), `"ping"`, `"stats"`, `"metrics"`, or
+    /// `"shutdown"`.
     #[serde(default)]
     pub op: String,
     /// Target dataset, by name or by decimal index.
@@ -184,6 +185,23 @@ pub fn extract_result(line: &str) -> Option<&str> {
     }
 }
 
+/// Assemble the result payload of a `metrics` response: the OpenMetrics
+/// exposition text as one JSON string field, so the scrape rides the same
+/// `ok` envelope as every other op.
+pub fn exposition_result(text: &str) -> String {
+    format!("{{\"exposition\":{}}}", json_string(text))
+}
+
+/// Decode the exposition text out of a `metrics` response line (`None`
+/// for any other line shape).
+pub fn extract_exposition(line: &str) -> Option<String> {
+    let v: serde_json::Value = serde_json::from_str(line).ok()?;
+    v.get("result")?
+        .get("exposition")?
+        .as_str()
+        .map(str::to_string)
+}
+
 /// The `generation` field of an `ok` response line, if present.
 pub fn generation_of(line: &str) -> Option<u64> {
     let rest = line.strip_suffix('}')?;
@@ -191,8 +209,8 @@ pub fn generation_of(line: &str) -> Option<u64> {
     rest[i + ",\"generation\":".len()..].parse().ok()
 }
 
-/// Minimal JSON string encoder for envelope fields.
-fn json_string(s: &str) -> String {
+/// Minimal JSON string encoder for envelope and access-log fields.
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -266,6 +284,16 @@ mod tests {
             v.get("error").and_then(|s| s.as_str()),
             Some("line1\nline2\t\"x\"")
         );
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_envelope() {
+        let text = "# TYPE tps_serve_requests counter\ntps_serve_requests_total 3\n# EOF\n";
+        let line = ok_envelope(5, &exposition_result(text), &[], 2);
+        assert_eq!(status_of(&line), Some("ok"));
+        assert_eq!(generation_of(&line), Some(2));
+        assert_eq!(extract_exposition(&line).as_deref(), Some(text));
+        assert_eq!(extract_exposition("{\"id\":1,\"status\":\"ok\"}"), None);
     }
 
     #[test]

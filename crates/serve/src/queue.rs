@@ -113,6 +113,13 @@ impl<T> BoundedQueue<T> {
     pub fn peak(&self) -> usize {
         self.state.lock().unwrap().peak
     }
+
+    /// Current `(waiting, inflight)` — one consistent point-in-time read
+    /// for the stats op and the live metrics scrape.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let st = self.state.lock().unwrap();
+        (st.waiting.len(), st.inflight)
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +140,19 @@ mod tests {
         q.done();
         assert_eq!(q.admit(3), Admission::Queued);
         assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    fn occupancy_tracks_waiting_and_inflight_separately() {
+        let q = BoundedQueue::new(4, 2);
+        assert_eq!(q.occupancy(), (0, 0));
+        q.admit(1);
+        q.admit(2);
+        assert_eq!(q.occupancy(), (2, 0));
+        q.pop();
+        assert_eq!(q.occupancy(), (1, 1));
+        q.done();
+        assert_eq!(q.occupancy(), (1, 0));
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! so the service's concurrency shares one deterministic thread budget.
 //! Requests flow reader → bounded queue → worker → writer; every admitted
 //! request is answered exactly once, including through a drain.
+//!
+//! The server is observable while live, not just at drain: the
+//! `{"op":"metrics"}` control op renders an OpenMetrics snapshot of the
+//! registry mid-flight (deterministic counters byte-stable for a fixed
+//! request history at any `max_inflight`, wall-clock and occupancy
+//! exposed as histograms/gauges), an optional JSONL access log records
+//! every admitted request off the critical path, and a rolling latency
+//! window feeds live percentiles plus an SLO burn counter.
 
 use std::collections::HashSet;
 use std::io::{ErrorKind, Read, Write};
@@ -24,9 +32,12 @@ use tps_core::select::fine::FineSelectionConfig;
 use tps_core::telemetry::{budget, Telemetry, TraceReport};
 use tps_zoo::{World, ZooOracle, ZooTrainer};
 
+use crate::accesslog::{AccessLog, AccessRecord};
 use crate::cache::{CacheEntry, ResultCache};
 use crate::protocol::{self, Request, SelectionResult};
 use crate::queue::{Admission, BoundedQueue};
+use crate::window::{RollingWindow, WindowPercentiles, LATENCY_METRIC, SLOT_MS, WINDOW_SLOTS};
+use std::collections::BTreeMap;
 
 /// Process-wide drain flag set by the SIGTERM/SIGINT handler.
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
@@ -89,6 +100,14 @@ pub struct ServeConfig {
     /// ANN exactness knob applied to every request's coarse recall
     /// (server-global, so it does not participate in result fingerprints).
     pub ann: tps_core::ann::AnnConfig,
+    /// JSONL access-log path (`None` disables logging). Written by a
+    /// bounded background thread — a slow disk drops records (counted in
+    /// `serve.access_log_dropped`), it never blocks admission.
+    pub access_log: Option<String>,
+    /// Latency objective in milliseconds: each answered request slower
+    /// than this burns one `serve.slo_violations`. `None` disables the
+    /// counter's accrual (it stays 0).
+    pub slo_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +122,8 @@ impl Default for ServeConfig {
             threshold: 0.0,
             stages: None,
             ann: tps_core::ann::AnnConfig::default(),
+            access_log: None,
+            slo_ms: None,
         }
     }
 }
@@ -147,6 +168,29 @@ pub struct ServeStats {
     /// Current artifact generation (1-based; `reloads + 1` always).
     #[serde(default)]
     pub generation: u64,
+    /// Answered requests slower than the configured `--slo-ms` objective
+    /// (always 0 when no objective is set).
+    #[serde(default)]
+    pub slo_violations: u64,
+    /// Access-log records submitted by workers.
+    #[serde(default)]
+    pub access_log_records: u64,
+    /// Access-log lines flushed by the writer thread.
+    #[serde(default)]
+    pub access_log_written: u64,
+    /// Access-log records dropped because the bounded channel was full.
+    #[serde(default)]
+    pub access_log_dropped: u64,
+    /// Point-in-time: requests waiting in the queue (refreshed on the
+    /// stats op and at drain, not cumulative).
+    #[serde(default)]
+    pub queue_waiting: u64,
+    /// Point-in-time: requests currently executing.
+    #[serde(default)]
+    pub queue_inflight: u64,
+    /// Point-in-time: entries resident in the result cache.
+    #[serde(default)]
+    pub cache_entries: u64,
 }
 
 /// What a drained server hands back: final stats plus one aggregate
@@ -158,6 +202,8 @@ pub struct ServeSummary {
     pub stats: ServeStats,
     /// Aggregate trace (budget-checkable via `tps trace check`).
     pub trace: TraceReport,
+    /// Trailing-window latency percentiles at drain time.
+    pub window: WindowPercentiles,
 }
 
 /// One immutable artifact snapshot a server answers requests from.
@@ -206,10 +252,19 @@ struct Shared {
     flight_done: Condvar,
     stats: Mutex<ServeStats>,
     records: Mutex<Vec<(String, u64, TraceReport)>>,
+    /// Rolling latency window feeding live percentiles and SLO burn.
+    window: Mutex<RollingWindow>,
+    /// Optional JSONL access log (bounded, never blocks workers).
+    access: Option<AccessLog>,
 }
 
 enum Lookup {
-    Hit(CacheEntry),
+    Hit {
+        entry: CacheEntry,
+        /// Whether the hit waited on a single-flight leader (`"flight"`
+        /// in the access log) or was served straight from the cache.
+        waited: bool,
+    },
     Lead,
 }
 
@@ -296,6 +351,10 @@ impl Server {
     pub fn run(&self) -> std::io::Result<ServeSummary> {
         self.listener.set_nonblocking(true)?;
         let workers = self.config.max_inflight.max(1);
+        let access = match &self.config.access_log {
+            Some(path) => Some(AccessLog::create(path)?),
+            None => None,
+        };
         let shared = Shared {
             queue: BoundedQueue::new(self.config.queue_depth, workers),
             cache: Mutex::new(ResultCache::new(self.config.cache_capacity)),
@@ -307,6 +366,8 @@ impl Server {
                 ..ServeStats::default()
             }),
             records: Mutex::new(Vec::new()),
+            window: Mutex::new(RollingWindow::new(WINDOW_SLOTS, SLOT_MS)),
+            access,
         };
         let pool: Vec<usize> = (0..workers).collect();
         crossbeam::thread::scope(|s| {
@@ -350,15 +411,57 @@ impl Server {
         let mut stats = shared.stats.into_inner().unwrap();
         stats.queue_peak = shared.queue.peak() as u64;
         stats.generation = self.current().generation;
-        let mut records = shared.records.into_inner().unwrap();
-        // Fingerprint order, not completion order: the aggregate trace must
-        // be identical however the scheduler interleaved the workers.
-        records.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
-        let mut trace = TraceReport::empty();
-        for (_, elapsed_us, report) in records {
-            trace.absorb("serve.request", elapsed_us, report);
+        let (waiting, inflight) = shared.queue.occupancy();
+        stats.queue_waiting = waiting as u64;
+        stats.queue_inflight = inflight as u64;
+        stats.cache_entries = shared.cache.into_inner().unwrap().len() as u64;
+        if let Some(access) = shared.access {
+            // Joining the writer thread closes the accounting exactly:
+            // records == written + dropped from here on.
+            let counters = access.close();
+            stats.access_log_records = counters.records;
+            stats.access_log_written = counters.written;
+            stats.access_log_dropped = counters.dropped;
         }
-        let counters: [(&str, f64); 16] = [
+        let records = shared.records.into_inner().unwrap();
+        let mut trace = aggregate_records(records);
+        for (name, value) in self.deterministic_counters(&stats) {
+            trace.counters.insert(name, value);
+        }
+        // The drain trace additionally records peak occupancy, capacity,
+        // and worker count as counters — the overload budget rules read
+        // them. The live metrics op exposes these as gauges instead, so
+        // its counter lines stay byte-stable across `max_inflight`.
+        trace
+            .counters
+            .insert("serve.queue_depth".to_string(), stats.queue_peak as f64);
+        trace.counters.insert(
+            "serve.queue_capacity".to_string(),
+            stats.queue_capacity as f64,
+        );
+        trace.counters.insert(
+            "serve.workers".to_string(),
+            self.config.max_inflight.max(1) as f64,
+        );
+        let mut window = shared.window.into_inner().unwrap();
+        let percentiles = window.percentiles();
+        trace
+            .histograms
+            .insert(LATENCY_METRIC.to_string(), window.snapshot());
+        ServeSummary {
+            stats,
+            trace,
+            window: percentiles,
+        }
+    }
+
+    /// The serve counters that are byte-stable for a fixed request
+    /// history at any `max_inflight` — shared between the drain trace and
+    /// the live metrics op. Access-log counters appear only when the log
+    /// is configured, mirroring the "absent counter ⇒ budget rule skips"
+    /// convention.
+    fn deterministic_counters(&self, stats: &ServeStats) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = [
             ("serve.requests", stats.requests as f64),
             ("serve.executed", stats.executed as f64),
             ("serve.cache_hits", stats.cache_hits as f64),
@@ -371,18 +474,102 @@ impl Server {
                 stats.deadline_violations as f64,
             ),
             ("serve.budget_violations", stats.budget_violations as f64),
-            ("serve.queue_depth", stats.queue_peak as f64),
-            ("serve.queue_capacity", stats.queue_capacity as f64),
             ("serve.total_epochs", stats.total_epochs),
             ("serve.retry_epochs", stats.retry_epochs),
-            ("serve.workers", self.config.max_inflight.max(1) as f64),
             ("serve.reloads", stats.reloads as f64),
             ("serve.generation", stats.generation as f64),
-        ];
-        for (name, value) in counters {
-            trace.counters.insert(name.to_string(), value);
+            ("serve.slo_violations", stats.slo_violations as f64),
+        ]
+        .into_iter()
+        .map(|(name, value)| (name.to_string(), value))
+        .collect();
+        if self.config.access_log.is_some() {
+            out.push((
+                "serve.access_log_records".to_string(),
+                stats.access_log_records as f64,
+            ));
+            out.push((
+                "serve.access_log_written".to_string(),
+                stats.access_log_written as f64,
+            ));
+            out.push((
+                "serve.access_log_dropped".to_string(),
+                stats.access_log_dropped as f64,
+            ));
         }
-        ServeSummary { stats, trace }
+        out
+    }
+
+    /// Render a live OpenMetrics snapshot for the `{"op":"metrics"}`
+    /// control op — no drain required. Deterministic counters come from
+    /// the same fingerprint-sorted aggregation as the drain trace, so for
+    /// a fixed request history the counter lines are byte-identical at
+    /// any `max_inflight`; wall-clock histograms and point-in-time values
+    /// (occupancy, window percentiles, config echoes) ride along as
+    /// histograms and gauges, outside the determinism contract.
+    fn render_metrics(&self, sh: &Shared) -> String {
+        let records = sh.records.lock().unwrap().clone();
+        let mut trace = aggregate_records(records);
+        let stats = self.stats_snapshot(sh);
+        for (name, value) in self.deterministic_counters(&stats) {
+            trace.counters.insert(name, value);
+        }
+        let (percentiles, latency) = {
+            let mut window = sh.window.lock().unwrap();
+            (window.percentiles(), window.snapshot())
+        };
+        trace.histograms.insert(LATENCY_METRIC.to_string(), latency);
+        let mut gauges = BTreeMap::new();
+        gauges.insert(
+            "serve.queue_waiting".to_string(),
+            stats.queue_waiting as f64,
+        );
+        gauges.insert(
+            "serve.queue_inflight".to_string(),
+            stats.queue_inflight as f64,
+        );
+        gauges.insert(
+            "serve.queue_occupancy".to_string(),
+            (stats.queue_waiting + stats.queue_inflight) as f64,
+        );
+        gauges.insert("serve.queue_peak".to_string(), stats.queue_peak as f64);
+        gauges.insert(
+            "serve.queue_capacity".to_string(),
+            stats.queue_capacity as f64,
+        );
+        gauges.insert(
+            "serve.workers".to_string(),
+            self.config.max_inflight.max(1) as f64,
+        );
+        gauges.insert(
+            "serve.cache_entries".to_string(),
+            stats.cache_entries as f64,
+        );
+        gauges.insert("serve.window_count".to_string(), percentiles.count as f64);
+        gauges.insert("serve.window_p50_us".to_string(), percentiles.p50_us as f64);
+        gauges.insert("serve.window_p95_us".to_string(), percentiles.p95_us as f64);
+        gauges.insert("serve.window_p99_us".to_string(), percentiles.p99_us as f64);
+        tps_core::telemetry::openmetrics::render_with_gauges(&trace, &gauges)
+    }
+
+    /// One point-in-time stats snapshot: cumulative counters plus current
+    /// queue occupancy, cache size, and access-log accounting.
+    fn stats_snapshot(&self, sh: &Shared) -> ServeStats {
+        let (waiting, inflight) = sh.queue.occupancy();
+        let cache_entries = sh.cache.lock().unwrap().len() as u64;
+        let access = sh.access.as_ref().map(AccessLog::counters);
+        let mut stats = sh.stats.lock().unwrap();
+        stats.queue_peak = sh.queue.peak() as u64;
+        stats.generation = self.current().generation;
+        stats.queue_waiting = waiting as u64;
+        stats.queue_inflight = inflight as u64;
+        stats.cache_entries = cache_entries;
+        if let Some(access) = access {
+            stats.access_log_records = access.records;
+            stats.access_log_written = access.written;
+            stats.access_log_dropped = access.dropped;
+        }
+        stats.clone()
     }
 
     fn worker(&self, sh: &Shared) {
@@ -393,6 +580,8 @@ impl Server {
     }
 
     fn process(&self, sh: &Shared, job: Job) {
+        let queue_wait_us = job.accepted.elapsed().as_micros() as u64;
+        let picked_up = Instant::now();
         if job.hold_ms > 0 {
             std::thread::sleep(Duration::from_millis(job.hold_ms));
         }
@@ -404,6 +593,17 @@ impl Server {
                     "deadline_exceeded",
                     &format!("deadline of {deadline}ms expired before execution"),
                 ));
+                self.finish_request(
+                    sh,
+                    &job,
+                    queue_wait_us,
+                    picked_up,
+                    "none",
+                    "deadline_rejected",
+                    "rejected",
+                    0,
+                    0.0,
+                );
                 return;
             }
         }
@@ -413,10 +613,11 @@ impl Server {
         } else {
             Lookup::Lead
         };
-        let entry = match lookup {
-            Lookup::Hit(entry) => {
+        let mut casualties = 0usize;
+        let (entry, cache_kind) = match lookup {
+            Lookup::Hit { entry, waited } => {
                 sh.stats.lock().unwrap().cache_hits += 1;
-                entry
+                (entry, if waited { "flight" } else { "hit" })
             }
             Lookup::Lead => {
                 let started = Instant::now();
@@ -424,6 +625,7 @@ impl Server {
                 let elapsed_us = started.elapsed().as_micros() as u64;
                 match executed {
                     Ok((entry, report)) => {
+                        casualties = report.casualties.len();
                         self.finish_lead(sh, &job.fingerprint, caching, Some(&entry));
                         {
                             let mut stats = sh.stats.lock().unwrap();
@@ -436,7 +638,7 @@ impl Server {
                             elapsed_us,
                             report,
                         ));
-                        entry
+                        (entry, if caching { "miss" } else { "none" })
                     }
                     Err(err) => {
                         self.finish_lead(sh, &job.fingerprint, caching, None);
@@ -446,12 +648,24 @@ impl Server {
                             "error",
                             &err.to_string(),
                         ));
+                        self.finish_request(
+                            sh,
+                            &job,
+                            queue_wait_us,
+                            picked_up,
+                            if caching { "miss" } else { "none" },
+                            "error",
+                            "none",
+                            0,
+                            0.0,
+                        );
                         return;
                     }
                 }
             }
         };
         let mut violations = Vec::new();
+        let mut deadline_outcome = "none";
         if let Some(deadline) = job.deadline_ms {
             let elapsed = job.accepted.elapsed();
             if elapsed > Duration::from_millis(deadline) {
@@ -461,6 +675,9 @@ impl Server {
                     elapsed.as_millis(),
                     deadline
                 ));
+                deadline_outcome = "violated";
+            } else {
+                deadline_outcome = "met";
             }
         }
         if let Some(max_epochs) = job.max_epochs {
@@ -476,6 +693,64 @@ impl Server {
             &violations,
             job.gen.generation,
         ));
+        // Epochs are charged only when this request led the execution —
+        // cache hits are free, which the access log makes visible.
+        let epochs = if cache_kind == "hit" || cache_kind == "flight" {
+            0.0
+        } else {
+            entry.total_epochs
+        };
+        self.finish_request(
+            sh,
+            &job,
+            queue_wait_us,
+            picked_up,
+            cache_kind,
+            "ok",
+            deadline_outcome,
+            casualties,
+            epochs,
+        );
+    }
+
+    /// Terminal bookkeeping for every admitted request, whatever its
+    /// outcome: observe the rolling latency window, burn the SLO counter,
+    /// and submit one access-log record (never blocking).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_request(
+        &self,
+        sh: &Shared,
+        job: &Job,
+        queue_wait_us: u64,
+        picked_up: Instant,
+        cache: &'static str,
+        status: &'static str,
+        deadline: &'static str,
+        casualties: usize,
+        epochs: f64,
+    ) {
+        let total_us = job.accepted.elapsed().as_micros() as u64;
+        let exec_us = picked_up.elapsed().as_micros() as u64;
+        sh.window.lock().unwrap().observe_us(total_us);
+        if let Some(slo_ms) = self.config.slo_ms {
+            if total_us > slo_ms.saturating_mul(1_000) {
+                sh.stats.lock().unwrap().slo_violations += 1;
+            }
+        }
+        if let Some(access) = &sh.access {
+            access.log(&AccessRecord {
+                id: job.id,
+                fingerprint: job.fingerprint.clone(),
+                generation: job.gen.generation,
+                queue_wait_us,
+                exec_us,
+                cache,
+                status,
+                deadline,
+                casualties,
+                epochs,
+            });
+        }
     }
 
     /// Single-flight gate: return a cached entry, or claim leadership for
@@ -484,17 +759,19 @@ impl Server {
     /// fingerprints — deterministically, at any `max_inflight`.
     fn lookup_or_lead(&self, sh: &Shared, fingerprint: &str) -> Lookup {
         let mut flight = sh.flight.lock().unwrap();
+        let mut waited = false;
         loop {
             {
                 let mut cache = sh.cache.lock().unwrap();
                 if let Some(entry) = cache.get(fingerprint) {
-                    return Lookup::Hit(entry);
+                    return Lookup::Hit { entry, waited };
                 }
                 if !flight.contains(fingerprint) {
                     flight.insert(fingerprint.to_string());
                     return Lookup::Lead;
                 }
             }
+            waited = true;
             // Timeout only as lost-wakeup insurance; the loop re-checks.
             flight = sh
                 .flight_done
@@ -607,18 +884,23 @@ impl Server {
                 ));
             }
             "stats" => {
-                let snapshot = {
-                    let mut stats = sh.stats.lock().unwrap();
-                    stats.queue_peak = sh.queue.peak() as u64;
-                    stats.generation = self.current().generation;
-                    stats.clone()
-                };
+                let snapshot = self.stats_snapshot(sh);
                 let json = serde_json::to_string(&snapshot).unwrap_or_else(|_| "{}".to_string());
                 let _ = tx.send(protocol::ok_envelope(
                     req.id,
                     &json,
                     &[],
                     snapshot.generation,
+                ));
+            }
+            "metrics" => {
+                let text = self.render_metrics(sh);
+                let generation = self.current().generation;
+                let _ = tx.send(protocol::ok_envelope(
+                    req.id,
+                    &protocol::exposition_result(&text),
+                    &[],
+                    generation,
                 ));
             }
             "reload" => match self.reload(sh) {
@@ -742,6 +1024,19 @@ impl Server {
             }
         }
     }
+}
+
+/// Fold per-request reports into one aggregate trace in fingerprint
+/// order, not completion order: the result must be identical however the
+/// scheduler interleaved the workers — the property both the drain trace
+/// and the live metrics op rely on.
+fn aggregate_records(mut records: Vec<(String, u64, TraceReport)>) -> TraceReport {
+    records.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    let mut trace = TraceReport::empty();
+    for (_, elapsed_us, report) in records {
+        trace.absorb("serve.request", elapsed_us, report);
+    }
+    trace
 }
 
 fn resolve_target(world: &World, name: &str) -> Option<usize> {

@@ -1,0 +1,203 @@
+//! Rolling windowed latency histograms for the live observability plane.
+//!
+//! A [`RollingWindow`] is a ring of fixed-bucket
+//! [`HistogramSnapshot`]s — one per time slot — advanced by a logical
+//! tick derived from elapsed wall-clock, exactly like the result cache's
+//! LRU tick. Observations land in the current slot; reading the window
+//! merges the live slots into one snapshot, so percentiles always cover
+//! the trailing `slots × slot_ms` milliseconds and old traffic ages out
+//! without any background thread.
+//!
+//! Everything here is wall-clock — the histogram keeps the `_us` name
+//! suffix so [`spec_for`] assigns the latency layout and the unit `"us"`
+//! keeps it outside the serial≡parallel determinism contract.
+
+use tps_core::telemetry::metrics::{spec_for, HistogramSnapshot};
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Default ring size: 60 slots.
+pub const WINDOW_SLOTS: usize = 60;
+
+/// Default slot width: 1 second — a 60 s trailing window.
+pub const SLOT_MS: u64 = 1_000;
+
+/// Name of the windowed request-latency histogram (`_us` suffix keeps it
+/// in the wall-clock class, excluded from determinism comparisons).
+pub const LATENCY_METRIC: &str = "serve.request_latency_us";
+
+/// Percentile estimates read off the merged window buckets. Estimates are
+/// bucket upper bounds (the histogram is fixed-bucket, not exact), with
+/// overflow observations clamped to the top finite bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowPercentiles {
+    /// Observations inside the window.
+    pub count: u64,
+    /// Median latency estimate, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency estimate, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency estimate, microseconds.
+    pub p99_us: u64,
+}
+
+/// Tick-advanced ring of latency histograms.
+pub struct RollingWindow {
+    slots: Vec<HistogramSnapshot>,
+    slot_ms: u64,
+    started: Instant,
+    last_tick: u64,
+}
+
+impl RollingWindow {
+    /// A window of `slots` histograms, each covering `slot_ms` of
+    /// wall-clock.
+    pub fn new(slots: usize, slot_ms: u64) -> Self {
+        let spec = spec_for(LATENCY_METRIC);
+        RollingWindow {
+            slots: (0..slots.max(1))
+                .map(|_| HistogramSnapshot::empty(spec))
+                .collect(),
+            slot_ms: slot_ms.max(1),
+            started: Instant::now(),
+            last_tick: 0,
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64 / self.slot_ms
+    }
+
+    /// Clear every slot the clock has skipped past since the last call, so
+    /// a quiet period expires stale traffic before new data lands.
+    fn advance(&mut self, tick: u64) {
+        if tick <= self.last_tick {
+            return;
+        }
+        let n = self.slots.len() as u64;
+        let stale = (tick - self.last_tick).min(n);
+        for i in 0..stale {
+            let idx = ((self.last_tick + 1 + i) % n) as usize;
+            self.slots[idx].clear();
+        }
+        self.last_tick = tick;
+    }
+
+    fn observe_at(&mut self, tick: u64, value_us: u64) {
+        self.advance(tick);
+        let idx = (tick % self.slots.len() as u64) as usize;
+        self.slots[idx].record(value_us as f64);
+    }
+
+    fn snapshot_at(&mut self, tick: u64) -> HistogramSnapshot {
+        self.advance(tick);
+        let mut merged = HistogramSnapshot::empty(spec_for(LATENCY_METRIC));
+        for slot in &self.slots {
+            merged.merge(slot);
+        }
+        merged
+    }
+
+    /// Record one request latency into the current slot.
+    pub fn observe_us(&mut self, value_us: u64) {
+        self.observe_at(self.tick(), value_us);
+    }
+
+    /// Merge the live slots into one trailing-window snapshot.
+    pub fn snapshot(&mut self) -> HistogramSnapshot {
+        self.snapshot_at(self.tick())
+    }
+
+    /// p50/p95/p99 over the trailing window.
+    pub fn percentiles(&mut self) -> WindowPercentiles {
+        let snap = self.snapshot();
+        WindowPercentiles {
+            count: snap.count,
+            p50_us: percentile_us(&snap, 0.50),
+            p95_us: percentile_us(&snap, 0.95),
+            p99_us: percentile_us(&snap, 0.99),
+        }
+    }
+}
+
+/// Estimate the `p`-th percentile (0..=1) from cumulative bucket counts:
+/// the upper bound of the first bucket whose cumulative count reaches the
+/// rank. Overflow observations clamp to the last finite bound; an empty
+/// histogram reports 0.
+pub fn percentile_us(hist: &HistogramSnapshot, p: f64) -> u64 {
+    if hist.count == 0 {
+        return 0;
+    }
+    let rank = ((hist.count as f64 * p).ceil() as u64).clamp(1, hist.count);
+    let mut cumulative = 0u64;
+    for (i, c) in hist.counts.iter().enumerate() {
+        cumulative += c;
+        if cumulative >= rank {
+            let bound = hist.bounds.get(i).or_else(|| hist.bounds.last());
+            return bound.map(|b| *b as u64).unwrap_or(0);
+        }
+    }
+    hist.bounds.last().map(|b| *b as u64).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_accumulate_within_the_window() {
+        let mut w = RollingWindow::new(4, 1_000);
+        w.observe_at(0, 500);
+        w.observe_at(1, 5_000);
+        w.observe_at(2, 50_000);
+        let snap = w.snapshot_at(2);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.unit, "us");
+        assert!(snap.is_wall_clock());
+    }
+
+    #[test]
+    fn old_slots_expire_as_the_tick_advances() {
+        let mut w = RollingWindow::new(2, 1_000);
+        w.observe_at(0, 100);
+        w.observe_at(1, 200);
+        // Tick 2 reuses slot 0: the tick-0 observation is gone.
+        assert_eq!(w.snapshot_at(2).count, 1);
+        // A long quiet period expires everything, even wrapping the ring.
+        assert_eq!(w.snapshot_at(10).count, 0);
+    }
+
+    #[test]
+    fn a_stale_tick_never_resurrects_cleared_slots() {
+        let mut w = RollingWindow::new(4, 1_000);
+        w.observe_at(5, 100);
+        w.observe_at(3, 200); // clock went "backwards" — lands in slot 3
+        let snap = w.snapshot_at(5);
+        assert_eq!(snap.count, 2, "no clearing on non-advancing ticks");
+    }
+
+    #[test]
+    fn percentiles_read_bucket_upper_bounds() {
+        // LATENCY_US bounds: 100, 1k, 10k, 100k, 1M, 10M.
+        let mut w = RollingWindow::new(4, 1_000);
+        for _ in 0..9 {
+            w.observe_at(0, 90); // le=100
+        }
+        w.observe_at(0, 5_000); // le=10k
+        let p = w.percentiles();
+        assert_eq!(p.count, 10);
+        assert_eq!(p.p50_us, 100);
+        assert_eq!(p.p95_us, 10_000);
+        assert_eq!(p.p99_us, 10_000);
+    }
+
+    #[test]
+    fn percentiles_clamp_overflow_and_handle_empty() {
+        let mut w = RollingWindow::new(2, 1_000);
+        assert_eq!(w.percentiles(), WindowPercentiles::default());
+        w.observe_us(20_000_000); // above the last finite bound (10s)
+        let p = w.percentiles();
+        assert_eq!(p.p99_us, 10_000_000, "overflow clamps to the top bound");
+    }
+}

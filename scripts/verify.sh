@@ -145,4 +145,47 @@ cmp "$trace_tmp/artifacts-imported.json" "$trace_tmp/artifacts-v1.json" \
   || { echo "export/import did not round-trip the artifact bytes"; exit 1; }
 ./target/release/tps fsck --store "$store_dir" > /dev/null
 
+echo "==> live observability gate (tps serve -> metrics scrape / top / access log)"
+# Mirrors CI's obs-smoke job: a real background server is scraped twice
+# without draining; the deterministic counter lines of the two expositions
+# must be byte-identical (only wall-clock histograms and point-in-time
+# gauges may move), `tps top --once` must emit a machine-readable line,
+# and the structured access log + drain trace must close their accounting.
+./target/release/tps serve --world "$trace_tmp/cv-world.json" \
+  --artifacts "$trace_tmp/cv-default.json" \
+  --ready-file "$trace_tmp/obs-ready" \
+  --access-log "$trace_tmp/obs-access.jsonl" --slo-ms 60000 \
+  --trace-out "$trace_tmp/obs-trace.json" > /dev/null &
+obs_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$trace_tmp/obs-ready" ] && break
+  sleep 0.1
+done
+obs_addr="$(cat "$trace_tmp/obs-ready")"
+./target/release/tps client --addr "$obs_addr" \
+  --request '{"id":1,"target":"beans"}' > /dev/null
+./target/release/tps client --addr "$obs_addr" \
+  --request '{"id":1,"target":"beans"}' > /dev/null
+./target/release/tps client --addr "$obs_addr" --metrics true \
+  > "$trace_tmp/obs-scrape-1.txt"
+./target/release/tps client --addr "$obs_addr" --metrics true \
+  > "$trace_tmp/obs-scrape-2.txt"
+grep '_total ' "$trace_tmp/obs-scrape-1.txt" > "$trace_tmp/obs-counters-1.txt"
+grep '_total ' "$trace_tmp/obs-scrape-2.txt" > "$trace_tmp/obs-counters-2.txt"
+cmp "$trace_tmp/obs-counters-1.txt" "$trace_tmp/obs-counters-2.txt" \
+  || { echo "live scrape counter lines drifted between identical scrapes"; exit 1; }
+grep -q 'tps_serve_requests_total 2' "$trace_tmp/obs-scrape-1.txt" \
+  || { echo "scrape missing the request counter"; exit 1; }
+grep -q '# EOF' "$trace_tmp/obs-scrape-1.txt" \
+  || { echo "scrape not terminated with # EOF"; exit 1; }
+./target/release/tps top --addr "$obs_addr" --once true \
+  | grep -q '"requests":2' \
+  || { echo "tps top --once disagrees with the request history"; exit 1; }
+./target/release/tps client --addr "$obs_addr" --shutdown true > /dev/null
+wait "$obs_pid"
+[ "$(wc -l < "$trace_tmp/obs-access.jsonl")" = "2" ] \
+  || { echo "access log does not carry one record per request"; exit 1; }
+./target/release/tps trace check "$trace_tmp/obs-trace.json" \
+  --budgets budgets.toml
+
 echo "verify: OK"

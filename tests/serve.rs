@@ -121,6 +121,51 @@ fn serve_config(max_inflight: usize) -> ServeConfig {
     }
 }
 
+/// Drive `requests` to completion on concurrent connections, scrape the
+/// live `{"op":"metrics"}` exposition (no drain), then shut down; returns
+/// the exposition and the drain summary.
+fn drive_and_scrape(
+    bundle: &WorldBundle,
+    config: ServeConfig,
+    requests: &[Request],
+) -> (String, ServeSummary) {
+    let server = Server::bind(&bundle.world, &bundle.artifacts, config).unwrap();
+    let addr = server.addr().to_string();
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| server.run().expect("server drains cleanly"));
+        std::thread::scope(|cs| {
+            for req in requests {
+                let addr = &addr;
+                cs.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let line = client.request(req).expect("request answered");
+                    assert_eq!(status_of(&line), Some("ok"), "{line}");
+                });
+            }
+        });
+        let mut client = Client::connect(&addr).expect("control client connects");
+        let scrape = client.scrape(998).expect("live metrics scrape");
+        let ack = client.request(&Request::control(999, "shutdown")).unwrap();
+        assert_eq!(status_of(&ack), Some("ok"));
+        (scrape, handle.join().expect("server thread joins"))
+    })
+}
+
+/// The deterministic slice of an exposition: every counter sample line
+/// (`…_total value`). Histogram series (wall-clock) and gauges
+/// (point-in-time) are explicitly outside the byte-stability contract.
+fn counter_lines(exposition: &str) -> Vec<&str> {
+    exposition
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            l.split_whitespace()
+                .next()
+                .is_some_and(|name| name.ends_with("_total"))
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
@@ -171,6 +216,188 @@ proptest! {
         prop_assert!((s1.stats.total_epochs - s4.stats.total_epochs).abs() < 1e-9);
         prop_assert!(s1.trace.completed && s4.trace.completed);
     }
+
+    /// Acceptance: the live metrics scrape's deterministic counter lines
+    /// are byte-identical for the same request history at `max_inflight 1`
+    /// and `4`. Wall-clock histograms and point-in-time gauges are the
+    /// only schedule-dependent parts of the exposition.
+    #[test]
+    fn live_scrape_counter_lines_are_byte_identical_across_schedules(seed in 0u64..100) {
+        let bundle = WorldBundle::from_world(small_world(seed));
+        let requests = request_mix(&bundle.world);
+
+        let (scrape1, s1) = drive_and_scrape(&bundle, serve_config(1), &requests);
+        let (scrape4, s4) = drive_and_scrape(&bundle, serve_config(4), &requests);
+
+        let lines1 = counter_lines(&scrape1);
+        prop_assert_eq!(
+            &lines1,
+            &counter_lines(&scrape4),
+            "live counter lines depend on max_inflight"
+        );
+        // The scrape reflects the full request history and is well-formed.
+        prop_assert!(!lines1.is_empty());
+        let total = requests.len();
+        prop_assert!(
+            scrape1.contains(&format!("tps_serve_requests_total {total}")),
+            "scrape missing the request counter: {}", scrape1
+        );
+        prop_assert!(
+            scrape1.contains(&format!("tps_serve_executed_total {}", s1.stats.executed)),
+            "scrape disagrees with the drain stats: {}", scrape1
+        );
+        prop_assert!(scrape1.contains("tps_serve_request_latency_us_bucket"));
+        prop_assert!(scrape1.contains("tps_serve_window_p50_us"));
+        prop_assert!(scrape1.ends_with("# EOF\n"));
+        // Scraping never drained anything: both servers still answered
+        // every request and flushed complete traces afterwards.
+        prop_assert_eq!(s1.stats.requests, total as u64);
+        prop_assert!(s1.trace.completed && s4.trace.completed);
+    }
+}
+
+/// `{"op":"stats"}` is point-in-time: while a held request is being
+/// executed, the snapshot shows it as live occupancy; after the drain the
+/// cumulative counters reconcile with the admission accounting.
+#[test]
+fn stats_op_reports_point_in_time_occupancy() {
+    use tps_serve::ServeStats;
+
+    let bundle = WorldBundle::from_world(small_world(7));
+    let server = Server::bind(&bundle.world, &bundle.artifacts, serve_config(1)).unwrap();
+    let addr = server.addr().to_string();
+    let summary = std::thread::scope(|s| {
+        let handle = s.spawn(|| server.run().expect("server drains cleanly"));
+        let mut client = Client::connect(&addr).unwrap();
+        // Pipeline a held select and a stats poll on ONE connection: the
+        // reader admits the select before it answers the stats op, and
+        // both replies come back in processing order, so the snapshot is
+        // guaranteed to see the held request as waiting or in flight.
+        let mut held = Request::select(1, &bundle.world.targets[0].name);
+        held.hold_ms = Some(300);
+        client
+            .send_line(&serde_json::to_string(&held).unwrap())
+            .unwrap();
+        let stats_line = client.request(&Request::control(2, "stats")).unwrap();
+        let live: ServeStats = serde_json::from_str(extract_result(&stats_line).unwrap()).unwrap();
+        assert_eq!(
+            live.queue_waiting + live.queue_inflight,
+            1,
+            "snapshot must count the held request: {stats_line}"
+        );
+        assert_eq!(live.requests, 1, "{stats_line}");
+        assert_eq!(live.executed, 0, "{stats_line}");
+        assert_eq!(live.cache_entries, 0, "{stats_line}");
+
+        // The held select then completes and populates the cache.
+        let select_line = client.recv_line().unwrap();
+        assert_eq!(status_of(&select_line), Some("ok"), "{select_line}");
+        let after_line = client.request(&Request::control(3, "stats")).unwrap();
+        let after: ServeStats = serde_json::from_str(extract_result(&after_line).unwrap()).unwrap();
+        assert_eq!(
+            after.queue_waiting + after.queue_inflight,
+            0,
+            "{after_line}"
+        );
+        assert_eq!(after.executed, 1, "{after_line}");
+        assert_eq!(after.cache_entries, 1, "{after_line}");
+
+        client.request(&Request::control(999, "shutdown")).unwrap();
+        handle.join().unwrap()
+    });
+    // Drain-time reconciliation: every admitted request is accounted for.
+    let st = &summary.stats;
+    assert_eq!(st.requests, 1);
+    assert_eq!(
+        st.requests,
+        st.executed
+            + st.cache_hits
+            + st.rejected
+            + st.drain_rejected
+            + st.deadline_rejected
+            + st.errors
+    );
+    assert_eq!(st.queue_waiting + st.queue_inflight, 0);
+}
+
+/// Access-log and SLO accounting close exactly at drain: one JSONL record
+/// per processed request, `records == written + dropped`, and the SLO burn
+/// counter is 0 under a generous objective but counts every request under
+/// an impossible one.
+#[test]
+fn access_log_and_slo_accounting_close_at_drain() {
+    let bundle = WorldBundle::from_world(small_world(7));
+    let requests = request_mix(&bundle.world);
+    let total = requests.len() as u64;
+    let log_path = std::env::temp_dir().join(format!(
+        "tps-serve-access-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+
+    // Generous SLO: nothing in this synthetic world takes a minute.
+    let config = ServeConfig {
+        access_log: Some(log_path.to_str().unwrap().to_string()),
+        slo_ms: Some(60_000),
+        ..serve_config(4)
+    };
+    let (_, summary) = drive_concurrent(&bundle, config, &requests);
+    assert_eq!(summary.stats.requests, total);
+    assert_eq!(summary.stats.slo_violations, 0);
+    assert_eq!(summary.stats.access_log_records, total);
+    assert_eq!(summary.stats.access_log_dropped, 0);
+    assert_eq!(
+        summary.stats.access_log_records,
+        summary.stats.access_log_written + summary.stats.access_log_dropped,
+        "accounting must close exactly at drain"
+    );
+    // The same accounting is visible to budget rules in the drain trace.
+    assert_eq!(
+        summary.trace.counter("serve.access_log_records"),
+        Some(total as f64)
+    );
+    assert_eq!(summary.trace.counter("serve.slo_violations"), Some(0.0));
+    // The rolling window saw every processed request.
+    assert_eq!(summary.window.count, total);
+    assert!(summary.window.p50_us <= summary.window.p95_us);
+    assert!(summary.window.p95_us <= summary.window.p99_us);
+
+    // One structured JSONL record per processed request, every line a
+    // parseable object carrying the documented fields.
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), total as usize);
+    let mut hits = 0u64;
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(v["fingerprint"].as_str().is_some(), "{line}");
+        assert_eq!(v["generation"], 1, "{line}");
+        assert_eq!(v["status"], "ok", "{line}");
+        assert!(v["exec_us"].as_u64().is_some(), "{line}");
+        assert!(v["queue_wait_us"].as_u64().is_some(), "{line}");
+        match v["cache"].as_str().unwrap() {
+            "hit" | "flight" => hits += 1,
+            "miss" => assert!(v["epochs"].as_f64().unwrap() > 0.0, "{line}"),
+            other => panic!("unexpected cache verdict {other}: {line}"),
+        }
+    }
+    assert_eq!(
+        hits, summary.stats.cache_hits,
+        "access-log verdicts must reconcile with the stats"
+    );
+    std::fs::remove_file(&log_path).ok();
+
+    // Impossible SLO: every processed request burns the budget.
+    let config = ServeConfig {
+        slo_ms: Some(0),
+        ..serve_config(4)
+    };
+    let (_, summary) = drive_concurrent(&bundle, config, &requests);
+    assert_eq!(summary.stats.slo_violations, total);
+    assert_eq!(
+        summary.trace.counter("serve.slo_violations"),
+        Some(total as f64)
+    );
 }
 
 /// A cache hit replays the miss path's bytes verbatim: two identical
