@@ -2,6 +2,7 @@
 //! experiment ids (`fig1` … `tab11`) to their runner functions.
 
 pub mod chaos;
+pub mod chaos_serve;
 pub mod clustering;
 pub mod curves;
 pub mod endtoend;
@@ -135,6 +136,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "loadgen",
             "Service load test: concurrent clients vs the resident server",
             loadgen::loadgen,
+        ),
+        (
+            "chaos-serve",
+            "Crash-safe commits + connection chaos: injected faults reconcile",
+            chaos_serve::chaos_serve,
         ),
     ]
 }

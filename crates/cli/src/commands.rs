@@ -158,7 +158,9 @@ search beam; results are deterministic for any thread count either way.
            store import FILE --store DIR              ingest an exported bundle
            store gc --store DIR                drop generations/blobs unreachable from head
   catalog  list a store's contents           --store DIR
-  fsck     verify every stored record        --store DIR
+  fsck     verify every stored record        --store DIR [--repair true]
+           `--repair true` quarantines corrupt/truncated records and orphan
+           blobs into DIR/quarantine/ and reindexes salvageable ones
   trace    analyse --trace-out files:
            trace summarize FILE [--top N] [--format text|json]
                                                top spans by self-time + counter tables
@@ -174,12 +176,23 @@ search beam; results are deterministic for any thread count either way.
                                              [--ann exact|indexed] [--ann-k N] [--ann-ef N]
                                              [--ready-file FILE] [--trace-out FILE]
                                              [--access-log FILE] [--slo-ms N]
+                                             [--max-line-bytes N] [--stall-timeout-ms N]
+                                             [--net-fault-plan FILE]
            a `{\"op\":\"reload\"}` request (or SIGHUP) hot-swaps to the current
-           on-disk world+artifacts without dropping in-flight requests
+           on-disk world+artifacts without dropping in-flight requests;
+           request lines over --max-line-bytes (default 1 MiB) are rejected
+           with a `malformed` envelope, and a partial line idle past
+           --stall-timeout-ms (default 30000; 0 disables) drops the
+           connection; --net-fault-plan injects deterministic response
+           faults (`response INDEX disconnect|partial|garbage|stall`) for
+           chaos drills
   client   send requests to a running server  --addr HOST:PORT [--request JSON]
                                              [--file FILE] [--metrics true]
-                                             [--shutdown true]
+                                             [--shutdown true] [--retries N]
+                                             [--retry-backoff-ms N] [--timeout-ms N]
                                              (stdin lines when no request source given)
+           --retries reconnects and resends through severed/garbled/stalled
+           connections; safe because retried responses are byte-identical
   top      live dashboard over a server       --addr HOST:PORT [--interval-ms N]
                                              [--samples N] [--once true]
            polls `{\"op\":\"metrics\"}` + `{\"op\":\"stats\"}` and renders rates,
@@ -868,20 +881,53 @@ fn cmd_catalog(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Verify every record's integrity.
+/// Verify every record's integrity; `--repair true` quarantines what
+/// cannot be salvaged instead of merely reporting it.
 fn cmd_fsck(args: &ParsedArgs) -> Result<String, CliError> {
-    args.restrict(&["store"])?;
-    let store = open_store(args)?;
+    args.restrict(&["store", "repair"])?;
+    let mut store = open_store(args)?;
+    let recovered = store.recovery().recovered();
+    let mut out = String::new();
+    if recovered > 0 {
+        let _ = writeln!(
+            out,
+            "open recovered {} interrupted commit(s) from the journal",
+            recovered
+        );
+    }
+    if args.get("repair") == Some("true") {
+        let report = store.fsck_repair().map_err(store_err)?;
+        if report.is_clean() {
+            let _ = writeln!(
+                out,
+                "{} records verified, nothing to repair",
+                store.list().len()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "repaired: {} corrupt record(s) and {} orphan blob(s) quarantined, \
+                 {} record(s) reindexed",
+                report.quarantined_corrupt.len(),
+                report.quarantined_orphans.len(),
+                report.reindexed.len(),
+            );
+            for name in &report.quarantined_corrupt {
+                let _ = writeln!(out, "  quarantined corrupt: {name}");
+            }
+            for name in &report.quarantined_orphans {
+                let _ = writeln!(out, "  quarantined orphan:  {name}");
+            }
+        }
+        return Ok(out);
+    }
     let bad = store.fsck();
     if bad.is_empty() {
-        Ok(format!(
-            "{} records verified, all healthy
-",
-            store.list().len()
-        ))
+        let _ = writeln!(out, "{} records verified, all healthy", store.list().len());
+        Ok(out)
     } else {
         Err(CliError::Usage(format!(
-            "corrupt records: {}",
+            "corrupt records: {} (rerun with --repair true to quarantine)",
             bad.join(", ")
         )))
     }
@@ -932,6 +978,15 @@ fn cmd_store(args: &ParsedArgs) -> Result<String, CliError> {
             let world = read_bytes(args.require("world")?)?;
             let artifacts = read_bytes(args.require("artifacts")?)?;
             let mut store = open_store(args)?;
+            // Test hook for the chaos CI gate: TPS_STORE_CRASH="<site> <index>
+            // <kind>" aborts this process at the named commit point, so the
+            // recovery path is exercised by a REAL kill, not just in-process
+            // error returns.
+            if let Ok(plan_text) = std::env::var("TPS_STORE_CRASH") {
+                let plan = tps_store::CrashPlan::parse(&plan_text)
+                    .map_err(|e| CliError::Usage(format!("bad TPS_STORE_CRASH: {e}")))?;
+                store.set_crash_plan(plan.with_abort());
+            }
             let rec = store
                 .commit_generation(
                     &[("world", &world), ("artifacts", &artifacts)],
@@ -1334,9 +1389,21 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         "ann-ef",
         "access-log",
         "slo-ms",
+        "max-line-bytes",
+        "stall-timeout-ms",
+        "net-fault-plan",
     ])?;
     let source = serve_source(args)?;
     let (world, artifacts) = load_serve_source(&source).map_err(CliError::Io)?;
+    let net_faults = match args.get("net-fault-plan") {
+        None => tps_serve::NetFaultPlan::empty(),
+        Some(path) => {
+            let text = std::fs::read_to_string(Path::new(path))
+                .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+            tps_serve::NetFaultPlan::parse(&text)
+                .map_err(|e| CliError::Usage(format!("bad net-fault plan {path}: {e}")))?
+        }
+    };
     let config = tps_serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
         max_inflight: args.get_parse("max-inflight", 2usize, "integer")?,
@@ -1355,6 +1422,12 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
             Some(_) => Some(args.get_parse("slo-ms", 0u64, "integer")?),
             None => None,
         },
+        max_line_bytes: args.get_parse("max-line-bytes", 1usize << 20, "integer")?,
+        stall_timeout_ms: match args.get_parse("stall-timeout-ms", 30_000u64, "integer")? {
+            0 => None, // 0 disables the slow-loris timeout
+            ms => Some(ms),
+        },
+        net_faults: std::sync::Arc::new(net_faults),
     };
     tps_serve::install_signal_drain();
     let server = tps_serve::Server::bind(&world, &artifacts, config)
@@ -1430,8 +1503,25 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// Send requests to a running server and print the response lines.
 fn cmd_client(args: &ParsedArgs) -> Result<String, CliError> {
-    args.restrict(&["addr", "request", "file", "shutdown", "metrics"])?;
+    args.restrict(&[
+        "addr",
+        "request",
+        "file",
+        "shutdown",
+        "metrics",
+        "retries",
+        "retry-backoff-ms",
+        "timeout-ms",
+    ])?;
     let addr = args.require("addr")?;
+    let policy = tps_serve::RetryPolicy {
+        retries: args.get_parse("retries", 0u32, "integer")?,
+        backoff_ms: args.get_parse("retry-backoff-ms", 50u64, "integer")?,
+        timeout_ms: match args.get("timeout-ms") {
+            Some(_) => Some(args.get_parse("timeout-ms", 0u64, "integer")?),
+            None => None,
+        },
+    };
     if args.get("metrics") == Some("true") {
         // A scrape prints the decoded OpenMetrics text, not the JSON
         // envelope, so the output pipes straight into Prometheus tooling.
@@ -1466,8 +1556,10 @@ fn cmd_client(args: &ParsedArgs) -> Result<String, CliError> {
             }
         }
     }
-    let mut client = tps_serve::Client::connect(addr)
-        .map_err(|e| CliError::Io(format!("connect {addr}: {e}")))?;
+    // Retries resend through a fresh connection; the server's fingerprint
+    // cache makes the retried response byte-identical, so a flaky network
+    // changes latency but never output.
+    let mut client = tps_serve::RetryClient::new(addr, policy);
     let mut out = String::new();
     for line in &lines {
         let response = client

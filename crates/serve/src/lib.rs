@@ -22,7 +22,14 @@
 //!   `shutdown`/SIGTERM every admitted request is still answered, then
 //!   one aggregate `TraceReport` is flushed with per-request sub-traces
 //!   under `serve.request` root spans.
-//! * [`client`] — a minimal blocking line client for the CLI and tests.
+//! * [`client`] — a minimal blocking line client for the CLI and tests,
+//!   plus [`client::RetryClient`], which reconnects and resends on
+//!   connection faults (safe because selection is deterministic and
+//!   cached: a retried request is answered byte-identically).
+//! * [`netfault`] — deterministic connection-fault injection
+//!   ([`NetFaultPlan`], mirroring `tps_core::fault::FaultPlan`): the
+//!   n-th response line can be severed, half-written, garbled, or
+//!   stalled. An empty plan is byte-transparent.
 //! * [`accesslog`] — a structured JSONL access log written off the
 //!   critical path by a bounded writer thread; a full channel drops the
 //!   record (counted, `serve.access_log_dropped`) instead of blocking a
@@ -43,13 +50,15 @@
 pub mod accesslog;
 pub mod cache;
 pub mod client;
+pub mod netfault;
 pub mod protocol;
 pub mod queue;
 mod server;
 pub mod window;
 
 pub use accesslog::{AccessLog, AccessLogCounters, AccessRecord};
-pub use client::Client;
+pub use client::{Client, RetryClient, RetryPolicy};
+pub use netfault::{NetFaultKind, NetFaultPlan, NetFaultSite, NetFaultSpec};
 pub use protocol::{Request, SelectionResult};
 pub use server::{
     install_signal_drain, GenerationState, ReloadSource, ServeConfig, ServeStats, ServeSummary,

@@ -1,0 +1,315 @@
+//! Deterministic network-fault injection for the serve plane.
+//!
+//! A [`NetFaultPlan`] schedules connection-level faults the same way
+//! `tps_core::fault::FaultPlan` schedules trainer faults and
+//! `tps_store`'s `CrashPlan` schedules commit crashes: keyed by
+//! `(site, per-site op index)`, with an empty plan guaranteed
+//! byte-transparent. `Response` faults are consumed by the server's
+//! writer thread — the n-th response line written across *all*
+//! connections can be severed, half-written, garbled, or stalled.
+//! `Request` faults are consumed by a chaos client driving raw bytes at
+//! the server (the loadgen/chaos harness); the server never needs to
+//! know about them, it just has to survive them.
+//!
+//! The full net-fault taxonomy (what each kind simulates and what the
+//! server/client contract is) lives in DESIGN.md §5.9.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Where a network fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetFaultSite {
+    /// The client → server request path (driven by the chaos client).
+    Request,
+    /// The server → client response path (driven by the writer thread).
+    Response,
+}
+
+impl NetFaultSite {
+    /// Stable textual name (used by [`NetFaultPlan::parse`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetFaultSite::Request => "request",
+            NetFaultSite::Response => "response",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "request" => Some(NetFaultSite::Request),
+            "response" => Some(NetFaultSite::Response),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NetFaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What the fault does to the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Sever the connection instead of transmitting.
+    Disconnect,
+    /// Transmit roughly half the bytes, then sever.
+    Partial,
+    /// Transmit garbage bytes in place of the payload, then sever.
+    Garbage,
+    /// Go silent for the plan's `stall_ms`, then sever.
+    Stall,
+}
+
+impl NetFaultKind {
+    /// Stable textual name (used by [`NetFaultPlan::parse`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetFaultKind::Disconnect => "disconnect",
+            NetFaultKind::Partial => "partial",
+            NetFaultKind::Garbage => "garbage",
+            NetFaultKind::Stall => "stall",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "disconnect" => Some(NetFaultKind::Disconnect),
+            "partial" => Some(NetFaultKind::Partial),
+            "garbage" => Some(NetFaultKind::Garbage),
+            "stall" => Some(NetFaultKind::Stall),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NetFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One planned fault: the `index`-th operation at `site` suffers `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFaultSpec {
+    /// Which path.
+    pub site: NetFaultSite,
+    /// Which operation at that path (0-based, counted server-wide for
+    /// responses, harness-wide for requests).
+    pub index: u32,
+    /// What happens.
+    pub kind: NetFaultKind,
+}
+
+/// A deterministic connection-fault schedule.
+///
+/// Interior counters track how many operations each site has seen, so the
+/// plan can be shared (`Arc`) between every writer thread and still key
+/// faults off a global, deterministic operation index. An empty plan is
+/// fully transparent: with no specs, [`NetFaultPlan::next`] is the only
+/// overhead (one mutex increment per response line).
+#[derive(Debug, Default)]
+pub struct NetFaultPlan {
+    specs: Vec<NetFaultSpec>,
+    counts: Mutex<HashMap<NetFaultSite, u32>>,
+    stall_ms: u64,
+}
+
+impl NetFaultPlan {
+    /// Default stall duration for `stall` faults.
+    pub const DEFAULT_STALL_MS: u64 = 1_000;
+
+    /// A plan that injects nothing.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A plan from explicit specs.
+    pub fn new(specs: Vec<NetFaultSpec>) -> Self {
+        let mut plan = Self {
+            stall_ms: Self::DEFAULT_STALL_MS,
+            ..Self::default()
+        };
+        for spec in specs {
+            plan.push(spec);
+        }
+        plan
+    }
+
+    /// Override how long `stall` faults go silent.
+    pub fn with_stall_ms(mut self, stall_ms: u64) -> Self {
+        self.stall_ms = stall_ms;
+        self
+    }
+
+    /// How long `stall` faults go silent.
+    pub fn stall_ms(&self) -> u64 {
+        if self.stall_ms == 0 {
+            Self::DEFAULT_STALL_MS
+        } else {
+            self.stall_ms
+        }
+    }
+
+    /// Add a spec; a later spec for the same (site, index) replaces the
+    /// earlier one.
+    pub fn push(&mut self, spec: NetFaultSpec) {
+        self.specs
+            .retain(|s| (s.site, s.index) != (spec.site, spec.index));
+        self.specs.push(spec);
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Planned faults at one site.
+    pub fn count_at(&self, site: NetFaultSite) -> usize {
+        self.specs.iter().filter(|s| s.site == site).count()
+    }
+
+    /// The planned specs, in insertion order.
+    pub fn specs(&self) -> &[NetFaultSpec] {
+        &self.specs
+    }
+
+    /// Consume the next operation index at `site` and return the fault
+    /// planned for it, if any. This is the single injection gate: callers
+    /// perform the operation normally on `None`.
+    pub fn next(&self, site: NetFaultSite) -> Option<NetFaultKind> {
+        let mut counts = self.counts.lock().expect("net fault counter lock");
+        let count = counts.entry(site).or_insert(0);
+        let index = *count;
+        *count += 1;
+        drop(counts);
+        self.specs
+            .iter()
+            .find(|s| s.site == site && s.index == index)
+            .map(|s| s.kind)
+    }
+
+    /// Parse the plan text format: one `site index kind` triple per line,
+    /// plus an optional `stall-ms N` directive; `#` comments and blank
+    /// lines ignored. Example:
+    ///
+    /// ```text
+    /// stall-ms 500
+    /// response 2 disconnect
+    /// response 4 partial
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = Self {
+            stall_ms: Self::DEFAULT_STALL_MS,
+            ..Self::default()
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() == 2 && fields[0] == "stall-ms" {
+                plan.stall_ms = fields[1]
+                    .parse()
+                    .map_err(|_| format!("line {}: bad stall-ms `{}`", lineno + 1, fields[1]))?;
+                continue;
+            }
+            if fields.len() != 3 {
+                return Err(format!(
+                    "line {}: expected `site index kind` or `stall-ms N`, got `{line}`",
+                    lineno + 1
+                ));
+            }
+            let site = NetFaultSite::parse(fields[0]).ok_or_else(|| {
+                format!("line {}: unknown fault site `{}`", lineno + 1, fields[0])
+            })?;
+            let index: u32 = fields[1]
+                .parse()
+                .map_err(|_| format!("line {}: bad index `{}`", lineno + 1, fields[1]))?;
+            let kind = NetFaultKind::parse(fields[2]).ok_or_else(|| {
+                format!("line {}: unknown fault kind `{}`", lineno + 1, fields[2])
+            })?;
+            plan.push(NetFaultSpec { site, index, kind });
+        }
+        Ok(plan)
+    }
+
+    /// Serialise to the text format accepted by [`NetFaultPlan::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.stall_ms != 0 && self.stall_ms != Self::DEFAULT_STALL_MS {
+            out.push_str(&format!("stall-ms {}\n", self.stall_ms));
+        }
+        for spec in &self.specs {
+            out.push_str(&format!("{} {} {}\n", spec.site, spec.index, spec.kind));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_text_round_trips() {
+        let text = "stall-ms 250\nresponse 2 disconnect\nrequest 0 garbage\n";
+        let plan = NetFaultPlan::parse(text).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.stall_ms(), 250);
+        assert_eq!(plan.to_text(), text);
+        assert!(NetFaultPlan::parse("# nothing\n").unwrap().is_empty());
+        assert!(NetFaultPlan::parse("elsewhere 0 disconnect").is_err());
+        assert!(NetFaultPlan::parse("response one disconnect").is_err());
+        assert!(NetFaultPlan::parse("response 0 melt").is_err());
+    }
+
+    #[test]
+    fn next_consumes_indices_per_site() {
+        let plan = NetFaultPlan::parse("response 1 partial\nrequest 0 stall\n").unwrap();
+        assert_eq!(plan.next(NetFaultSite::Request), Some(NetFaultKind::Stall));
+        assert_eq!(plan.next(NetFaultSite::Response), None);
+        assert_eq!(
+            plan.next(NetFaultSite::Response),
+            Some(NetFaultKind::Partial)
+        );
+        assert_eq!(plan.next(NetFaultSite::Response), None);
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = NetFaultPlan::empty();
+        for _ in 0..64 {
+            assert_eq!(plan.next(NetFaultSite::Response), None);
+        }
+    }
+
+    #[test]
+    fn later_spec_replaces_earlier_for_same_key() {
+        let mut plan = NetFaultPlan::empty();
+        plan.push(NetFaultSpec {
+            site: NetFaultSite::Response,
+            index: 0,
+            kind: NetFaultKind::Disconnect,
+        });
+        plan.push(NetFaultSpec {
+            site: NetFaultSite::Response,
+            index: 0,
+            kind: NetFaultKind::Garbage,
+        });
+        assert_eq!(plan.len(), 1);
+        assert_eq!(
+            plan.next(NetFaultSite::Response),
+            Some(NetFaultKind::Garbage)
+        );
+    }
+}

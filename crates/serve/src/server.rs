@@ -34,6 +34,7 @@ use tps_zoo::{World, ZooOracle, ZooTrainer};
 
 use crate::accesslog::{AccessLog, AccessRecord};
 use crate::cache::{CacheEntry, ResultCache};
+use crate::netfault::{NetFaultKind, NetFaultPlan, NetFaultSite};
 use crate::protocol::{self, Request, SelectionResult};
 use crate::queue::{Admission, BoundedQueue};
 use crate::window::{RollingWindow, WindowPercentiles, LATENCY_METRIC, SLOT_MS, WINDOW_SLOTS};
@@ -108,6 +109,19 @@ pub struct ServeConfig {
     /// than this burns one `serve.slo_violations`. `None` disables the
     /// counter's accrual (it stays 0).
     pub slo_ms: Option<u64>,
+    /// Longest request line accepted (bytes, newline excluded). Longer
+    /// lines get a structured `malformed` error and the connection is
+    /// closed instead of buffering without bound.
+    pub max_line_bytes: usize,
+    /// Slow-loris defense: a connection holding a *partial* request line
+    /// longer than this is counted in `serve.conn_errors` and closed.
+    /// Idle connections with an empty buffer are unaffected, so
+    /// keep-alive clients (`tps top`) can sit between requests forever.
+    /// `None` disables the timeout.
+    pub stall_timeout_ms: Option<u64>,
+    /// Deterministic response-path fault schedule (chaos testing). The
+    /// default empty plan is byte-transparent.
+    pub net_faults: Arc<NetFaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +138,9 @@ impl Default for ServeConfig {
             ann: tps_core::ann::AnnConfig::default(),
             access_log: None,
             slo_ms: None,
+            max_line_bytes: 1 << 20,
+            stall_timeout_ms: Some(30_000),
+            net_faults: Arc::new(NetFaultPlan::empty()),
         }
     }
 }
@@ -191,6 +208,16 @@ pub struct ServeStats {
     /// Point-in-time: entries resident in the result cache.
     #[serde(default)]
     pub cache_entries: u64,
+    /// Lines that never became a request: unparseable JSON or an
+    /// over-length request line. Counted outside the admission identity —
+    /// `requests` only counts parsed select requests.
+    #[serde(default)]
+    pub malformed: u64,
+    /// Connections that ended abnormally: EOF mid-line, over-length
+    /// close, stalled partial request, reader/worker panic, or an
+    /// injected response fault.
+    #[serde(default)]
+    pub conn_errors: u64,
 }
 
 /// What a drained server hands back: final stats plus one aggregate
@@ -391,8 +418,26 @@ impl Server {
                     Ok((stream, _)) => {
                         let (tx, rx) = mpsc::channel::<String>();
                         if let Ok(write_half) = stream.try_clone() {
-                            s.spawn(move || writer_loop(write_half, rx));
-                            s.spawn(move || self.reader_loop(sh, stream, tx));
+                            let faults = Arc::clone(&self.config.net_faults);
+                            // Both halves are panic-isolated: a connection
+                            // dying — however badly — must never take the
+                            // accept loop (or the scope) down with it.
+                            s.spawn(move || {
+                                let body = std::panic::AssertUnwindSafe(|| {
+                                    writer_loop(sh, &faults, write_half, rx)
+                                });
+                                if catch_panic(body).is_err() {
+                                    bump_conn_errors(sh);
+                                }
+                            });
+                            s.spawn(move || {
+                                let body = std::panic::AssertUnwindSafe(|| {
+                                    self.reader_loop(sh, stream, tx)
+                                });
+                                if catch_panic(body).is_err() {
+                                    bump_conn_errors(sh);
+                                }
+                            });
                         }
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -497,6 +542,15 @@ impl Server {
                 stats.access_log_dropped as f64,
             ));
         }
+        // Chaos counters appear only once something abnormal happened, so
+        // a fault-free run's trace and scrape stay byte-identical to a
+        // build without the chaos layer.
+        if stats.malformed > 0 {
+            out.push(("serve.malformed".to_string(), stats.malformed as f64));
+        }
+        if stats.conn_errors > 0 {
+            out.push(("serve.conn_errors".to_string(), stats.conn_errors as f64));
+        }
         out
     }
 
@@ -574,7 +628,11 @@ impl Server {
 
     fn worker(&self, sh: &Shared) {
         while let Some(job) = sh.queue.pop() {
-            self.process(sh, job);
+            // A panicking selection must not kill the worker pool; the
+            // slot is released either way so the drain still completes.
+            if catch_panic(std::panic::AssertUnwindSafe(|| self.process(sh, job))).is_err() {
+                bump_conn_errors(sh);
+            }
             sh.queue.done();
         }
     }
@@ -831,43 +889,95 @@ impl Server {
 
     fn reader_loop(&self, sh: &Shared, mut stream: TcpStream, tx: mpsc::Sender<String>) {
         let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let max_line = self.config.max_line_bytes.max(1);
+        let stall = self.config.stall_timeout_ms.map(Duration::from_millis);
         let mut buf: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 4096];
+        // Set while `buf` holds an unterminated partial line — the only
+        // state the slow-loris timeout applies to.
+        let mut partial_since: Option<Instant> = None;
         loop {
             while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
                 let raw: Vec<u8> = buf.drain(..=pos).collect();
+                if raw.len() - 1 > max_line {
+                    self.reject_oversized(sh, &tx, max_line);
+                    return;
+                }
                 let line = String::from_utf8_lossy(&raw[..raw.len() - 1]);
                 let line = line.trim();
                 if !line.is_empty() {
                     self.handle_line(sh, line, &tx);
                 }
             }
+            if buf.len() > max_line {
+                // No newline yet and already over the cap: reject now
+                // instead of buffering a garbage client without bound.
+                self.reject_oversized(sh, &tx, max_line);
+                return;
+            }
+            if buf.is_empty() {
+                partial_since = None;
+            } else if partial_since.is_none() {
+                partial_since = Some(Instant::now());
+            }
+            if let (Some(stall), Some(since)) = (stall, partial_since) {
+                if since.elapsed() >= stall {
+                    // Slow loris: a partial request line held open too
+                    // long. Close without an envelope — the peer is not
+                    // speaking the protocol.
+                    bump_conn_errors(sh);
+                    return;
+                }
+            }
             if sh.queue.draining() {
                 return;
             }
             match stream.read(&mut chunk) {
-                Ok(0) => return,
+                Ok(0) => {
+                    if !buf.is_empty() {
+                        // EOF mid-line: the client died mid-request.
+                        bump_conn_errors(sh);
+                    }
+                    return;
+                }
                 Ok(n) => buf.extend_from_slice(&chunk[..n]),
                 Err(e)
                     if e.kind() == ErrorKind::WouldBlock
                         || e.kind() == ErrorKind::TimedOut
                         || e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return,
+                Err(_) => {
+                    bump_conn_errors(sh);
+                    return;
+                }
             }
         }
+    }
+
+    /// Structured rejection for an over-length request line; the caller
+    /// closes the connection (the buffer may hold arbitrary garbage).
+    fn reject_oversized(&self, sh: &Shared, tx: &mpsc::Sender<String>, max_line: usize) {
+        if let Ok(mut stats) = sh.stats.lock() {
+            stats.malformed += 1;
+            stats.conn_errors += 1;
+        }
+        let _ = tx.send(protocol::error_envelope(
+            0,
+            "malformed",
+            &format!("request line exceeds {max_line} bytes"),
+        ));
     }
 
     fn handle_line(&self, sh: &Shared, line: &str, tx: &mpsc::Sender<String>) {
         let req: Request = match serde_json::from_str(line) {
             Ok(req) => req,
             Err(e) => {
-                let mut stats = sh.stats.lock().unwrap();
-                stats.requests += 1;
-                stats.errors += 1;
-                drop(stats);
+                // Never a request: counted as `malformed`, outside the
+                // admission identity (the connection survives — a typo'd
+                // line should not cost the client its session).
+                sh.stats.lock().unwrap().malformed += 1;
                 let _ = tx.send(protocol::error_envelope(
                     0,
-                    "error",
+                    "malformed",
                     &format!("bad request: {e}"),
                 ));
                 return;
@@ -913,7 +1023,10 @@ impl Server {
                     ));
                 }
                 Err(e) => {
-                    let _ = tx.send(protocol::error_envelope(req.id, "error", &e));
+                    // The old generation keeps serving; the client gets a
+                    // distinct status so monitoring can tell "your request
+                    // was bad" from "the swap was refused".
+                    let _ = tx.send(protocol::error_envelope(req.id, "reload_failed", &e));
                 }
             },
             "shutdown" => {
@@ -1049,17 +1162,72 @@ fn resolve_target(world: &World, name: &str) -> Option<usize> {
     }
 }
 
-fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<String>) {
+fn writer_loop(
+    sh: &Shared,
+    plan: &NetFaultPlan,
+    mut stream: TcpStream,
+    rx: mpsc::Receiver<String>,
+) {
     for line in rx {
-        let sent = stream
-            .write_all(line.as_bytes())
-            .and_then(|_| stream.write_all(b"\n"))
-            .and_then(|_| stream.flush());
-        if sent.is_err() {
-            return; // client gone; senders never block on the channel
+        match plan.next(NetFaultSite::Response) {
+            None => {
+                let sent = stream
+                    .write_all(line.as_bytes())
+                    .and_then(|_| stream.write_all(b"\n"))
+                    .and_then(|_| stream.flush());
+                if sent.is_err() {
+                    // client gone; senders never block on the channel
+                    bump_conn_errors(sh);
+                    return;
+                }
+            }
+            // Every injected response fault severs the connection after
+            // acting, so a retrying client deterministically reconnects
+            // and resends rather than waiting on a half-poisoned stream.
+            Some(NetFaultKind::Disconnect) => {
+                bump_conn_errors(sh);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            Some(NetFaultKind::Partial) => {
+                bump_conn_errors(sh);
+                let half = line.len() / 2;
+                let _ = stream.write_all(&line.as_bytes()[..half]);
+                let _ = stream.flush();
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            Some(NetFaultKind::Garbage) => {
+                bump_conn_errors(sh);
+                let _ = stream.write_all(b"\x7f\x00garbage\xfe\xff not json\n");
+                let _ = stream.flush();
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            Some(NetFaultKind::Stall) => {
+                bump_conn_errors(sh);
+                std::thread::sleep(Duration::from_millis(plan.stall_ms()));
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
         }
     }
     let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+/// Count a connection-level failure (peer error, injected fault, or a
+/// panic caught at a thread boundary).
+fn bump_conn_errors(sh: &Shared) {
+    if let Ok(mut stats) = sh.stats.lock() {
+        stats.conn_errors += 1;
+    }
+}
+
+/// Run `f` with panics contained to this call. Used at every connection
+/// and worker thread boundary so one poisoned request cannot unwind
+/// through the crossbeam scope and abort the whole server.
+fn catch_panic<F: FnOnce()>(f: std::panic::AssertUnwindSafe<F>) -> std::thread::Result<()> {
+    std::panic::catch_unwind(f)
 }
 
 /// Evaluate a per-request epoch budget through the budget engine —

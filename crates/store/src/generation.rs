@@ -32,7 +32,7 @@ const BUNDLE_MAGIC: [u8; 4] = *b"TPSG";
 /// Bundle format version.
 const BUNDLE_VERSION: u32 = 1;
 /// Name of the head-pointer record.
-const HEAD_NAME: &str = "generations-head";
+pub(crate) const HEAD_NAME: &str = "generations-head";
 
 /// Content address of one stored payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,7 +72,7 @@ pub struct GenerationRecord {
 }
 
 impl GenerationRecord {
-    fn record_name(id: u64) -> String {
+    pub(crate) fn record_name(id: u64) -> String {
         format!("gen-{id:06}")
     }
 }
@@ -112,8 +112,8 @@ pub struct GcReport {
 }
 
 #[derive(Debug, Serialize, Deserialize)]
-struct HeadRecord {
-    head: u64,
+pub(crate) struct HeadRecord {
+    pub(crate) head: u64,
 }
 
 impl Store {
@@ -126,13 +126,8 @@ impl Store {
         Ok(Some(head.head))
     }
 
-    fn set_head(&mut self, id: u64) -> Result<(), StoreError> {
-        self.put_overwrite(
-            HEAD_NAME,
-            ArtifactKind::Generation,
-            &HeadRecord { head: id },
-        )?;
-        Ok(())
+    pub(crate) fn set_head(&mut self, id: u64) -> Result<(), StoreError> {
+        self.set_head_at(id, None)
     }
 
     /// Load one generation record.
@@ -156,9 +151,17 @@ impl Store {
 
     /// Store a blob if absent; verifies byte-equality on a name hit so a
     /// CRC-32 collision surfaces as corruption instead of silent sharing.
-    fn intern_blob(&mut self, payload: &[u8]) -> Result<BlobRef, StoreError> {
+    /// Each call consults one `Blob` crash point (no-op without a plan).
+    pub(crate) fn intern_blob(&mut self, payload: &[u8]) -> Result<BlobRef, StoreError> {
         let blob = BlobRef::of(payload);
         let name = blob.record_name();
+        match self.crash_fire(crate::journal::CrashSite::Blob)? {
+            crate::journal::CrashFire::Proceed => {}
+            crate::journal::CrashFire::Torn(err) => {
+                self.write_torn_tmp(&name, ArtifactKind::Blob, payload)?;
+                return Err(err);
+            }
+        }
         if self.contains(&name) {
             let existing = self.get_raw(&name, ArtifactKind::Blob)?;
             if existing != payload {
@@ -175,40 +178,17 @@ impl Store {
 
     /// Commit a new generation holding `entries` (name → payload bytes),
     /// parented on the current head. Returns the new record.
+    ///
+    /// The commit is journaled: a fsynced intent record lands before any
+    /// blob/generation/head mutation, so a crash at any point leaves a
+    /// store that [`Store::open`] recovers to exactly the parent or the
+    /// child snapshot (see `journal.rs` and DESIGN.md §5.9).
     pub fn commit_generation(
         &mut self,
         entries: &[(&str, &[u8])],
         note: &str,
     ) -> Result<GenerationRecord, StoreError> {
-        if entries.is_empty() {
-            return Err(StoreError::Serde(
-                "a generation needs at least one entry".into(),
-            ));
-        }
-        let parent = self.head_generation()?;
-        let id = self.generation_ids().last().copied().unwrap_or(0) + 1;
-        let mut refs = BTreeMap::new();
-        for (name, payload) in entries {
-            if refs
-                .insert(name.to_string(), self.intern_blob(payload)?)
-                .is_some()
-            {
-                return Err(StoreError::Serde(format!("duplicate entry name `{name}`")));
-            }
-        }
-        let record = GenerationRecord {
-            id,
-            parent,
-            note: note.to_string(),
-            entries: refs,
-        };
-        self.put(
-            &GenerationRecord::record_name(id),
-            ArtifactKind::Generation,
-            &record,
-        )?;
-        self.set_head(id)?;
-        Ok(record)
+        self.commit_generation_journaled(entries, note)
     }
 
     /// The parent-linked history from head (or `from`) back to the root,
@@ -280,11 +260,10 @@ impl Store {
     }
 
     /// Move head to an existing generation; history stays intact (a later
-    /// `gc` prunes generations the new head cannot reach).
+    /// `gc` prunes generations the new head cannot reach). Journaled like
+    /// [`Store::commit_generation`].
     pub fn rollback_generation(&mut self, id: u64) -> Result<GenerationRecord, StoreError> {
-        let record = self.generation(id)?;
-        self.set_head(id)?;
-        Ok(record)
+        self.rollback_generation_journaled(id)
     }
 
     /// Drop generations unreachable from head and sweep blobs no

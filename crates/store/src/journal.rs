@@ -1,0 +1,883 @@
+//! Deterministic crash-point injection and the fsynced commit journal.
+//!
+//! Single-record writes are already atomic (tmp + fsync + rename), but a
+//! generation commit is a *multi*-record mutation: blobs, then the
+//! generation record, then the head pointer. A crash in the middle leaves
+//! the store between snapshots. This module closes that gap:
+//!
+//! * **commit journal** — before touching any record,
+//!   [`Store::commit_generation`] / [`Store::rollback_generation`] write an
+//!   intent record to `<root>/commit-journal.json` (itself tmp + fsync +
+//!   rename) describing the whole mutation. [`Store::open`] inspects a
+//!   leftover journal and rolls the mutation *forward* when the child
+//!   generation is complete on disk, or *back* (deleting the new blobs and
+//!   the torn generation record, restoring the previous head) when it is
+//!   not. Reopen therefore always lands on exactly the parent or the child
+//!   snapshot — never a third state.
+//! * **[`CrashPlan`]** — crash points are keyed by `(site, per-site op
+//!   index)`, mirroring `tps_core::fault::FaultPlan`'s keyed-plan style. A
+//!   recording probe run enumerates every point a commit visits; a test
+//!   then replays the commit once per point, killing it there, and asserts
+//!   recovery. `Before` dies before the write; `Torn` dies after the temp
+//!   file is written but before the rename — the classic torn-write window.
+//!
+//! The crash-point matrix and journal state machine are documented in
+//! DESIGN.md §5.9.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use crate::generation::{GenerationRecord, HeadRecord, HEAD_NAME};
+use crate::store::{ArtifactKind, Store, StoreError};
+use crate::BlobRef;
+
+/// Where in a journaled mutation a crash can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CrashSite {
+    /// Writing the commit journal itself.
+    Journal,
+    /// Interning one entry's blob (one index per blob, in entry order).
+    Blob,
+    /// Writing the generation record.
+    Gen,
+    /// Moving the head pointer.
+    Head,
+    /// Removing the journal after the mutation is complete.
+    Clear,
+}
+
+impl CrashSite {
+    /// Every site, in the order a commit visits them.
+    pub const ALL: [CrashSite; 5] = [
+        CrashSite::Journal,
+        CrashSite::Blob,
+        CrashSite::Gen,
+        CrashSite::Head,
+        CrashSite::Clear,
+    ];
+
+    /// Stable textual name (used by [`CrashPlan::parse`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrashSite::Journal => "journal",
+            CrashSite::Blob => "blob",
+            CrashSite::Gen => "gen",
+            CrashSite::Head => "head",
+            CrashSite::Clear => "clear",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|site| site.as_str() == s)
+    }
+}
+
+impl fmt::Display for CrashSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How the injected crash dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashKind {
+    /// Die before the site's write happens at all.
+    Before,
+    /// Die after the temp file is written but before the atomic rename —
+    /// the torn-write window a real power cut exposes.
+    Torn,
+}
+
+impl CrashKind {
+    /// Stable textual name (used by [`CrashPlan::parse`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrashKind::Before => "before",
+            CrashKind::Torn => "torn",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "before" => Some(CrashKind::Before),
+            "torn" => Some(CrashKind::Torn),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One planned crash: the `index`-th visit to `site` dies with `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Which operation site.
+    pub site: CrashSite,
+    /// Which visit to that site (0-based, counted per store instance).
+    pub index: u32,
+    /// How the crash presents.
+    pub kind: CrashKind,
+}
+
+/// Shared log of the crash points a probe run visits, in visit order.
+pub type CrashLog = Arc<Mutex<Vec<(CrashSite, u32)>>>;
+
+/// A deterministic crash schedule for journaled store mutations.
+///
+/// Attach with [`Store::set_crash_plan`]. An empty plan is fully
+/// transparent: the store behaves byte-identically to one with no plan.
+#[derive(Debug, Clone, Default)]
+pub struct CrashPlan {
+    specs: Vec<CrashSpec>,
+    abort: bool,
+    log: Option<CrashLog>,
+}
+
+impl CrashPlan {
+    /// A plan that injects nothing.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A plan with a single crash at (`site`, `index`) of the given kind.
+    pub fn at(site: CrashSite, index: u32, kind: CrashKind) -> Self {
+        let mut plan = Self::default();
+        plan.push(CrashSpec { site, index, kind });
+        plan
+    }
+
+    /// A recording plan: injects nothing, but logs every crash point the
+    /// store visits so a test can enumerate the full matrix from one
+    /// clean probe run.
+    pub fn recording() -> (Self, CrashLog) {
+        let log: CrashLog = Arc::new(Mutex::new(Vec::new()));
+        let plan = Self {
+            specs: Vec::new(),
+            abort: false,
+            log: Some(Arc::clone(&log)),
+        };
+        (plan, log)
+    }
+
+    /// Die with `std::process::abort()` instead of returning
+    /// [`StoreError::CrashInjected`] — a real `kill -9` for shell-level
+    /// crash tests (see the `TPS_STORE_CRASH` hook in the CLI).
+    pub fn with_abort(mut self) -> Self {
+        self.abort = true;
+        self
+    }
+
+    /// Add a spec; a later spec for the same (site, index) replaces the
+    /// earlier one.
+    pub fn push(&mut self, spec: CrashSpec) {
+        self.specs
+            .retain(|s| (s.site, s.index) != (spec.site, spec.index));
+        self.specs.push(spec);
+    }
+
+    /// The planned crash for the `index`-th visit to `site`, if any.
+    pub fn lookup(&self, site: CrashSite, index: u32) -> Option<CrashKind> {
+        self.specs
+            .iter()
+            .find(|s| s.site == site && s.index == index)
+            .map(|s| s.kind)
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Number of planned crashes.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The planned specs, in insertion order.
+    pub fn specs(&self) -> &[CrashSpec] {
+        &self.specs
+    }
+
+    pub(crate) fn aborts(&self) -> bool {
+        self.abort
+    }
+
+    pub(crate) fn log(&self) -> Option<&CrashLog> {
+        self.log.as_ref()
+    }
+
+    /// Parse the plan text format: one `site index kind` triple per line,
+    /// `#` comments and blank lines ignored. Example:
+    ///
+    /// ```text
+    /// # die before moving the head pointer
+    /// head 0 before
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 3 {
+                return Err(format!(
+                    "line {}: expected `site index kind`, got `{line}`",
+                    lineno + 1
+                ));
+            }
+            let site = CrashSite::parse(fields[0]).ok_or_else(|| {
+                format!("line {}: unknown crash site `{}`", lineno + 1, fields[0])
+            })?;
+            let index: u32 = fields[1]
+                .parse()
+                .map_err(|_| format!("line {}: bad index `{}`", lineno + 1, fields[1]))?;
+            let kind = CrashKind::parse(fields[2]).ok_or_else(|| {
+                format!("line {}: unknown crash kind `{}`", lineno + 1, fields[2])
+            })?;
+            plan.push(CrashSpec { site, index, kind });
+        }
+        Ok(plan)
+    }
+
+    /// Serialise to the text format accepted by [`CrashPlan::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for spec in &self.specs {
+            out.push_str(&format!("{} {} {}\n", spec.site, spec.index, spec.kind));
+        }
+        out
+    }
+}
+
+/// What [`Store::open`] had to do to reach a consistent state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Interrupted mutations completed (child generation was whole).
+    pub rolled_forward: u64,
+    /// Interrupted mutations undone (child generation was torn).
+    pub rolled_back: u64,
+    /// Stale `.{name}.tmp` crash debris files swept.
+    pub swept_tmp: u64,
+}
+
+impl RecoveryReport {
+    /// Total interrupted mutations resolved either way.
+    pub fn recovered(&self) -> u64 {
+        self.rolled_forward + self.rolled_back
+    }
+}
+
+/// What [`Store::fsck_repair`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsckRepairReport {
+    /// Corrupt or truncated records moved to `<root>/quarantine/`.
+    pub quarantined_corrupt: Vec<String>,
+    /// Blob records referenced by no generation, moved to quarantine.
+    pub quarantined_orphans: Vec<String>,
+    /// Readable records found on disk but missing from the index.
+    pub reindexed: Vec<String>,
+}
+
+impl FsckRepairReport {
+    /// Whether the repair pass changed nothing.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_corrupt.is_empty()
+            && self.quarantined_orphans.is_empty()
+            && self.reindexed.is_empty()
+    }
+}
+
+/// Which journaled mutation a journal record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub(crate) enum JournalOp {
+    Commit,
+    Rollback,
+}
+
+/// The intent record written before a multi-record mutation starts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CommitJournal {
+    pub op: JournalOp,
+    /// Target generation id (new id for commits, rollback target).
+    pub id: u64,
+    /// Parent of the new generation (commits only).
+    pub parent: Option<u64>,
+    pub note: String,
+    /// Entry name → content address of the planned generation.
+    pub entries: BTreeMap<String, BlobRef>,
+    /// Blob record names this mutation introduces (absent beforehand).
+    pub new_blobs: Vec<String>,
+    /// Head before the mutation; restored on roll-back.
+    pub prev_head: Option<u64>,
+}
+
+/// Outcome of consulting the crash plan at a site: proceed, or die after
+/// half-applying (the caller writes the temp file, then returns the error).
+pub(crate) enum CrashFire {
+    Proceed,
+    Torn(StoreError),
+}
+
+impl Store {
+    /// Path of the pending-mutation journal.
+    pub(crate) fn journal_path(&self) -> PathBuf {
+        self.root.join("commit-journal.json")
+    }
+
+    /// Whether a pending-mutation journal exists (true only between a
+    /// crash and the next [`Store::open`]).
+    pub fn journal_path_exists(&self) -> bool {
+        self.journal_path().exists()
+    }
+
+    /// Consult the crash plan for the next visit to `site`. `Before`
+    /// crashes return `Err` directly; `Torn` crashes hand the caller the
+    /// error to return after simulating the half-applied write.
+    pub(crate) fn crash_fire(&mut self, site: CrashSite) -> Result<CrashFire, StoreError> {
+        let count = self.crash_counts.entry(site).or_insert(0);
+        let index = *count;
+        *count += 1;
+        if let Some(log) = self.crash_plan.log() {
+            log.lock().expect("crash log lock").push((site, index));
+        }
+        match self.crash_plan.lookup(site, index) {
+            None => Ok(CrashFire::Proceed),
+            Some(kind) => {
+                if self.crash_plan.aborts() {
+                    // A real crash for shell-level tests: no unwinding, no
+                    // destructors — the process dies here.
+                    std::process::abort();
+                }
+                let err = StoreError::CrashInjected { site, index };
+                match kind {
+                    CrashKind::Before => Err(err),
+                    CrashKind::Torn => Ok(CrashFire::Torn(err)),
+                }
+            }
+        }
+    }
+
+    /// Durably record the intent of a multi-record mutation.
+    pub(crate) fn write_journal(&mut self, journal: &CommitJournal) -> Result<(), StoreError> {
+        let data =
+            serde_json::to_vec_pretty(journal).map_err(|e| StoreError::Serde(e.to_string()))?;
+        let tmp = self.root.join(".journal.tmp");
+        match self.crash_fire(CrashSite::Journal)? {
+            CrashFire::Proceed => {}
+            CrashFire::Torn(err) => {
+                fs::write(&tmp, &data)?;
+                return Err(err);
+            }
+        }
+        {
+            use std::io::Write as _;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&data)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.journal_path())?;
+        Ok(())
+    }
+
+    /// Remove the journal after the mutation is fully applied.
+    pub(crate) fn clear_journal(&mut self) -> Result<(), StoreError> {
+        match self.crash_fire(CrashSite::Clear)? {
+            CrashFire::Proceed => {}
+            // Removal has no temp-file window; `torn` degrades to `before`.
+            CrashFire::Torn(err) => return Err(err),
+        }
+        fs::remove_file(self.journal_path())?;
+        Ok(())
+    }
+
+    /// Resolve a leftover journal: roll the interrupted mutation forward
+    /// when the child generation is complete on disk, back otherwise.
+    /// Called by [`Store::open`]; a store with no journal is untouched.
+    pub(crate) fn recover_from_journal(&mut self) -> Result<(), StoreError> {
+        let path = self.journal_path();
+        let Ok(bytes) = fs::read(&path) else {
+            return Ok(());
+        };
+        // While a mutation is pending the index may predate it; the disk
+        // is the source of truth.
+        self.rebuild_index()?;
+        let journal: CommitJournal = match serde_json::from_slice(&bytes) {
+            Ok(journal) => journal,
+            Err(_) => {
+                // Unreadable journal: the journal write itself is atomic,
+                // so this is foreign damage; the mutation never started.
+                fs::remove_file(&path)?;
+                self.recovery.rolled_back += 1;
+                return Ok(());
+            }
+        };
+        match journal.op {
+            JournalOp::Commit => {
+                if self.journal_commit_complete(&journal) {
+                    // Every record of the child generation survived; only
+                    // the head move (or journal removal) was interrupted.
+                    if self.head_generation().unwrap_or(None) != Some(journal.id) {
+                        self.set_head(journal.id)?;
+                    }
+                    self.recovery.rolled_forward += 1;
+                } else {
+                    self.undo_commit(&journal)?;
+                    self.recovery.rolled_back += 1;
+                }
+            }
+            JournalOp::Rollback => {
+                // A rollback is a single atomic head swap: the head is
+                // either the target (forward) or untouched (back).
+                if self.head_generation().unwrap_or(None) == Some(journal.id) {
+                    self.recovery.rolled_forward += 1;
+                } else {
+                    self.recovery.rolled_back += 1;
+                }
+            }
+        }
+        fs::remove_file(&path)?;
+        self.persist_index()?;
+        Ok(())
+    }
+
+    /// Whether every record the journaled commit promised is present and
+    /// validates: the generation record matches the journal and every
+    /// entry blob round-trips to its content address.
+    fn journal_commit_complete(&self, journal: &CommitJournal) -> bool {
+        let name = GenerationRecord::record_name(journal.id);
+        let Ok(record) = self.get::<GenerationRecord>(&name, ArtifactKind::Generation) else {
+            return false;
+        };
+        if record.id != journal.id || record.entries != journal.entries {
+            return false;
+        }
+        journal.entries.values().all(|blob| {
+            self.get_raw(&blob.record_name(), ArtifactKind::Blob)
+                .map(|payload| BlobRef::of(&payload) == *blob)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Undo a half-applied commit: drop the torn generation record and the
+    /// blobs this commit introduced, restore the previous head.
+    fn undo_commit(&mut self, journal: &CommitJournal) -> Result<(), StoreError> {
+        let gen_name = GenerationRecord::record_name(journal.id);
+        for name in journal.new_blobs.iter().chain(std::iter::once(&gen_name)) {
+            if self.contains(name) {
+                self.remove(name)?;
+            } else {
+                // Index and disk can disagree mid-crash; the file is what
+                // matters.
+                let path = self.object_path(name);
+                if path.exists() {
+                    fs::remove_file(path)?;
+                }
+            }
+        }
+        match journal.prev_head {
+            Some(prev) => {
+                if self.head_generation().unwrap_or(None) != Some(prev) {
+                    self.set_head(prev)?;
+                }
+            }
+            None => {
+                if self.contains(HEAD_NAME) {
+                    self.remove(HEAD_NAME)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Repair pass over the whole store: quarantine corrupt or truncated
+    /// records and orphaned blobs (referenced by no readable generation)
+    /// into `<root>/quarantine/`, and re-index readable records the index
+    /// lost. The store is fsck-clean afterwards.
+    pub fn fsck_repair(&mut self) -> Result<FsckRepairReport, StoreError> {
+        let mut report = FsckRepairReport::default();
+        // The disk is the source of truth: scan every record file, not
+        // just the index.
+        let mut names: Vec<String> = Vec::new();
+        for entry in fs::read_dir(self.root.join("objects"))? {
+            let path = entry?.path();
+            let Some(stem) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(name) = stem.strip_suffix(".rec") {
+                if !name.starts_with('.') {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        for name in names {
+            match self.read_record(&name) {
+                Ok((kind, payload)) => {
+                    if !self.contains(&name) {
+                        self.index.insert(
+                            name.clone(),
+                            crate::store::IndexEntry {
+                                kind,
+                                size: payload.len() as u64,
+                                checksum: crate::checksum::crc32(&payload),
+                                schema_version: crate::store::SCHEMA_VERSION,
+                            },
+                        );
+                        report.reindexed.push(name);
+                    }
+                }
+                Err(_) => {
+                    self.quarantine(&name)?;
+                    report.quarantined_corrupt.push(name);
+                }
+            }
+        }
+        // Orphan blobs: content-addressed payloads no readable generation
+        // references — crash debris (a journaled crash already swept its
+        // own, but foreign damage can strand them).
+        let referenced: std::collections::BTreeSet<String> = self
+            .generation_ids()
+            .into_iter()
+            .filter_map(|id| self.generation(id).ok())
+            .flat_map(|record| {
+                record
+                    .entries
+                    .values()
+                    .map(BlobRef::record_name)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let orphans: Vec<String> = self
+            .list()
+            .iter()
+            .filter(|(name, entry)| entry.kind == ArtifactKind::Blob && !referenced.contains(*name))
+            .map(|(name, _)| name.to_string())
+            .collect();
+        for name in orphans {
+            self.quarantine(&name)?;
+            report.quarantined_orphans.push(name);
+        }
+        self.persist_index()?;
+        Ok(report)
+    }
+
+    /// Move a record file out of `objects/` into `<root>/quarantine/` and
+    /// drop it from the index (the caller persists the index).
+    fn quarantine(&mut self, name: &str) -> Result<(), StoreError> {
+        let qdir = self.root.join("quarantine");
+        fs::create_dir_all(&qdir)?;
+        let from = self.object_path(name);
+        if from.exists() {
+            fs::rename(&from, qdir.join(format!("{name}.rec")))?;
+        }
+        self.index.remove(name);
+        Ok(())
+    }
+
+    /// Journaled commit of a new generation, replacing the non-journaled
+    /// path. See `generation.rs` for the public API docs.
+    pub(crate) fn commit_generation_journaled(
+        &mut self,
+        entries: &[(&str, &[u8])],
+        note: &str,
+    ) -> Result<GenerationRecord, StoreError> {
+        if entries.is_empty() {
+            return Err(StoreError::Serde(
+                "a generation needs at least one entry".into(),
+            ));
+        }
+        let parent = self.head_generation()?;
+        let id = self.generation_ids().last().copied().unwrap_or(0) + 1;
+        // Plan the whole commit up front so the journal can describe it
+        // before any record is touched.
+        let mut refs: BTreeMap<String, BlobRef> = BTreeMap::new();
+        for (name, payload) in entries {
+            if refs
+                .insert(name.to_string(), BlobRef::of(payload))
+                .is_some()
+            {
+                return Err(StoreError::Serde(format!("duplicate entry name `{name}`")));
+            }
+        }
+        let new_blobs: Vec<String> = refs
+            .values()
+            .map(BlobRef::record_name)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .filter(|name| !self.contains(name))
+            .collect();
+        self.write_journal(&CommitJournal {
+            op: JournalOp::Commit,
+            id,
+            parent,
+            note: note.to_string(),
+            entries: refs.clone(),
+            new_blobs,
+            prev_head: parent,
+        })?;
+        for (_, payload) in entries {
+            self.intern_blob(payload)?;
+        }
+        let record = GenerationRecord {
+            id,
+            parent,
+            note: note.to_string(),
+            entries: refs,
+        };
+        self.put_at(
+            &GenerationRecord::record_name(id),
+            ArtifactKind::Generation,
+            &record,
+            Some(CrashSite::Gen),
+        )?;
+        self.set_head_at(id, Some(CrashSite::Head))?;
+        self.clear_journal()?;
+        Ok(record)
+    }
+
+    /// Journaled head move for `rollback_generation`.
+    pub(crate) fn rollback_generation_journaled(
+        &mut self,
+        id: u64,
+    ) -> Result<GenerationRecord, StoreError> {
+        let record = self.generation(id)?;
+        let prev_head = self.head_generation()?;
+        self.write_journal(&CommitJournal {
+            op: JournalOp::Rollback,
+            id,
+            parent: record.parent,
+            note: String::new(),
+            entries: BTreeMap::new(),
+            new_blobs: Vec::new(),
+            prev_head,
+        })?;
+        self.set_head_at(id, Some(CrashSite::Head))?;
+        self.clear_journal()?;
+        Ok(record)
+    }
+
+    /// Serialise and store under a crash site (refuses to overwrite).
+    pub(crate) fn put_at<T: Serialize>(
+        &mut self,
+        name: &str,
+        kind: ArtifactKind,
+        value: &T,
+        site: Option<CrashSite>,
+    ) -> Result<(), StoreError> {
+        if self.contains(name) {
+            return Err(StoreError::AlreadyExists(name.to_string()));
+        }
+        let payload = serde_json::to_vec(value).map_err(|e| StoreError::Serde(e.to_string()))?;
+        self.put_raw_overwrite_at(name, kind, &payload, site)?;
+        Ok(())
+    }
+
+    /// Move the head pointer under a crash site.
+    pub(crate) fn set_head_at(
+        &mut self,
+        id: u64,
+        site: Option<CrashSite>,
+    ) -> Result<(), StoreError> {
+        let payload = serde_json::to_vec(&HeadRecord { head: id })
+            .map_err(|e| StoreError::Serde(e.to_string()))?;
+        self.put_raw_overwrite_at(HEAD_NAME, ArtifactKind::Generation, &payload, site)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tps-journal-test-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn plan_text_round_trips() {
+        let text = "journal 0 before\nblob 1 torn\nhead 0 before\n";
+        let plan = CrashPlan::parse(text).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.to_text(), text);
+        assert_eq!(plan.lookup(CrashSite::Blob, 1), Some(CrashKind::Torn));
+        assert_eq!(plan.lookup(CrashSite::Blob, 0), None);
+        assert!(CrashPlan::parse("# only a comment\n\n").unwrap().is_empty());
+        assert!(CrashPlan::parse("nowhere 0 before").is_err());
+        assert!(CrashPlan::parse("head zero before").is_err());
+        assert!(CrashPlan::parse("head 0").is_err());
+    }
+
+    #[test]
+    fn empty_plan_is_transparent_and_recording_logs_every_point() {
+        let dir = temp_dir();
+        let mut store = Store::open(&dir).unwrap();
+        let (plan, log) = CrashPlan::recording();
+        store.set_crash_plan(plan);
+        store
+            .commit_generation(&[("world", b"w1"), ("artifacts", b"a1")], "base")
+            .unwrap();
+        let visited = log.lock().unwrap().clone();
+        assert_eq!(
+            visited,
+            vec![
+                (CrashSite::Journal, 0),
+                (CrashSite::Blob, 0),
+                (CrashSite::Blob, 1),
+                (CrashSite::Gen, 0),
+                (CrashSite::Head, 0),
+                (CrashSite::Clear, 0),
+            ],
+            "a two-entry commit visits exactly these crash points in order"
+        );
+        assert_eq!(store.head_generation().unwrap(), Some(1));
+        assert!(store.fsck().is_empty());
+        assert!(!store.journal_path().exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_before_head_rolls_back_to_parent() {
+        let dir = temp_dir();
+        let mut store = Store::open(&dir).unwrap();
+        store.commit_generation(&[("a", b"v1")], "g1").unwrap();
+        store.set_crash_plan(CrashPlan::at(CrashSite::Gen, 0, CrashKind::Torn));
+        let err = store.commit_generation(&[("a", b"v2")], "g2").unwrap_err();
+        assert!(matches!(err, StoreError::CrashInjected { .. }));
+        drop(store);
+
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.recovery().rolled_back, 1);
+        assert_eq!(reopened.head_generation().unwrap(), Some(1));
+        assert_eq!(reopened.generation_entry(1, "a").unwrap(), b"v1");
+        assert!(reopened.generation(2).is_err(), "torn child fully undone");
+        assert!(reopened.fsck().is_empty());
+        assert!(!reopened.journal_path().exists());
+        // The next commit reuses the freed id.
+        let mut reopened = reopened;
+        let g2 = reopened.commit_generation(&[("a", b"v2")], "g2").unwrap();
+        assert_eq!((g2.id, g2.parent), (2, Some(1)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_at_clear_rolls_forward_to_child() {
+        let dir = temp_dir();
+        let mut store = Store::open(&dir).unwrap();
+        store.commit_generation(&[("a", b"v1")], "g1").unwrap();
+        store.set_crash_plan(CrashPlan::at(CrashSite::Clear, 0, CrashKind::Before));
+        store.commit_generation(&[("a", b"v2")], "g2").unwrap_err();
+        assert!(store.journal_path().exists(), "journal survives the crash");
+        drop(store);
+
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.recovery().rolled_forward, 1);
+        assert_eq!(reopened.head_generation().unwrap(), Some(2));
+        assert_eq!(reopened.generation_entry(2, "a").unwrap(), b"v2");
+        assert!(reopened.fsck().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_on_first_commit_rolls_back_to_empty_store() {
+        let dir = temp_dir();
+        let mut store = Store::open(&dir).unwrap();
+        store.set_crash_plan(CrashPlan::at(CrashSite::Gen, 0, CrashKind::Before));
+        store.commit_generation(&[("a", b"v1")], "g1").unwrap_err();
+        drop(store);
+
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.recovery().rolled_back, 1);
+        assert_eq!(reopened.head_generation().unwrap(), None);
+        assert!(reopened.generation_ids().is_empty());
+        assert!(reopened.list().is_empty(), "no blob debris survives");
+        assert!(reopened.fsck().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollback_crash_leaves_head_on_either_end() {
+        for (site, expect_head) in [(CrashSite::Head, 2), (CrashSite::Clear, 1)] {
+            let dir = temp_dir();
+            let mut store = Store::open(&dir).unwrap();
+            store.commit_generation(&[("a", b"v1")], "g1").unwrap();
+            store.commit_generation(&[("a", b"v2")], "g2").unwrap();
+            store.set_crash_plan(CrashPlan::at(site, 0, CrashKind::Before));
+            store.rollback_generation(1).unwrap_err();
+            drop(store);
+
+            let reopened = Store::open(&dir).unwrap();
+            assert_eq!(reopened.recovery().recovered(), 1);
+            assert_eq!(reopened.head_generation().unwrap(), Some(expect_head));
+            assert!(reopened.fsck().is_empty());
+            assert!(!reopened.journal_path().exists());
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn fsck_repair_quarantines_corruption_and_orphans() {
+        let dir = temp_dir();
+        let mut store = Store::open(&dir).unwrap();
+        store
+            .commit_generation(&[("world", b"w1"), ("artifacts", b"a1")], "base")
+            .unwrap();
+        // Truncate one live blob and strand one orphan blob.
+        let live = BlobRef::of(b"w1").record_name();
+        let path = dir.join("objects").join(format!("{live}.rec"));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        store
+            .put_raw("blob-deadbeef-9", ArtifactKind::Blob, b"abandoned")
+            .unwrap();
+        assert!(!store.fsck().is_empty());
+
+        let report = store.fsck_repair().unwrap();
+        assert_eq!(report.quarantined_corrupt, vec![live.clone()]);
+        assert_eq!(
+            report.quarantined_orphans,
+            vec!["blob-deadbeef-9".to_string()]
+        );
+        assert!(store.fsck().is_empty(), "store is fsck-clean after repair");
+        assert!(dir.join("quarantine").join(format!("{live}.rec")).exists());
+        // The surviving entry still reads; the truncated one is now absent.
+        assert_eq!(store.generation_entry(1, "artifacts").unwrap(), b"a1");
+        assert!(store.generation_entry(1, "world").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_repair_reindexes_unindexed_records() {
+        let dir = temp_dir();
+        let mut store = Store::open(&dir).unwrap();
+        store.commit_generation(&[("a", b"v1")], "g1").unwrap();
+        // Simulate an index that lost a record (crash between rename and
+        // index persist).
+        store.index.remove(&BlobRef::of(b"v1").record_name());
+        let report = store.fsck_repair().unwrap();
+        assert_eq!(report.reindexed, vec![BlobRef::of(b"v1").record_name()]);
+        assert!(report.quarantined_corrupt.is_empty());
+        assert!(report.quarantined_orphans.is_empty());
+        assert_eq!(store.generation_entry(1, "a").unwrap(), b"v1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -22,8 +22,11 @@
 
 pub mod checksum;
 pub mod generation;
+pub mod journal;
 pub mod store;
 
 pub use checksum::{crc32, Crc32};
 pub use generation::{BlobRef, EntryChange, GcReport, GenerationDiff, GenerationRecord};
+pub use journal::{CrashKind, CrashLog, CrashPlan, CrashSite, CrashSpec};
+pub use journal::{FsckRepairReport, RecoveryReport};
 pub use store::{ArtifactKind, IndexEntry, Store, StoreError, SCHEMA_VERSION};

@@ -17,6 +17,7 @@
 //! rebuilt from the records at any time ([`Store::rebuild_index`]).
 
 use crate::checksum::crc32;
+use crate::journal::{CrashFire, CrashPlan, CrashSite, RecoveryReport};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -101,6 +102,14 @@ pub enum StoreError {
     AlreadyExists(String),
     /// Invalid artifact name.
     BadName(String),
+    /// A planned crash point fired (deterministic crash injection; see
+    /// `journal::CrashPlan`).
+    CrashInjected {
+        /// Which operation site died.
+        site: CrashSite,
+        /// Which visit to that site.
+        index: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -117,6 +126,9 @@ impl fmt::Display for StoreError {
                 f,
                 "invalid artifact name `{name}` (use [a-zA-Z0-9._-], non-empty)"
             ),
+            StoreError::CrashInjected { site, index } => {
+                write!(f, "crash injected at site `{site}` index {index}")
+            }
         }
     }
 }
@@ -132,20 +144,30 @@ impl From<std::io::Error> for StoreError {
 /// A directory-backed artifact store.
 #[derive(Debug)]
 pub struct Store {
-    root: PathBuf,
-    index: BTreeMap<String, IndexEntry>,
+    pub(crate) root: PathBuf,
+    pub(crate) index: BTreeMap<String, IndexEntry>,
+    pub(crate) crash_plan: CrashPlan,
+    pub(crate) crash_counts: BTreeMap<CrashSite, u32>,
+    pub(crate) recovery: RecoveryReport,
 }
 
 impl Store {
     /// Open (or create) a store rooted at `root`. An existing index is
     /// loaded; a missing or unreadable index is rebuilt from the records.
+    /// Stale temp files from a crashed write are swept, and an interrupted
+    /// journaled mutation is rolled forward or back ([`Store::recovery`]
+    /// reports what happened).
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let root = root.into();
         fs::create_dir_all(root.join("objects"))?;
         let mut store = Self {
             root,
             index: BTreeMap::new(),
+            crash_plan: CrashPlan::empty(),
+            crash_counts: BTreeMap::new(),
+            recovery: RecoveryReport::default(),
         };
+        store.recovery.swept_tmp = store.sweep_stale_tmp()?;
         let index_path = store.index_path();
         match fs::read_to_string(&index_path) {
             Ok(data) => match serde_json::from_str(&data) {
@@ -154,14 +176,53 @@ impl Store {
             },
             Err(_) => store.rebuild_index()?,
         }
+        store.recover_from_journal()?;
         Ok(store)
+    }
+
+    /// Attach a deterministic crash schedule (tests and the
+    /// `TPS_STORE_CRASH` CLI hook). An empty plan changes nothing.
+    pub fn set_crash_plan(&mut self, plan: CrashPlan) {
+        self.crash_plan = plan;
+        self.crash_counts.clear();
+    }
+
+    /// What [`Store::open`] had to recover (zero everywhere after a clean
+    /// shutdown).
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Remove `.{name}.tmp` debris a crash mid-write can leave behind.
+    /// Every such file is pre-rename: its final record either never
+    /// landed or landed atomically, so deletion is always safe.
+    fn sweep_stale_tmp(&self) -> Result<u64, StoreError> {
+        let mut swept = 0;
+        for entry in fs::read_dir(self.root.join("objects"))? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.starts_with('.') && name.ends_with(".tmp") {
+                fs::remove_file(&path)?;
+                swept += 1;
+            }
+        }
+        for stale in [".index.tmp", ".journal.tmp"] {
+            let path = self.root.join(stale);
+            if path.exists() {
+                fs::remove_file(&path)?;
+                swept += 1;
+            }
+        }
+        Ok(swept)
     }
 
     fn index_path(&self) -> PathBuf {
         self.root.join("index.json")
     }
 
-    fn object_path(&self, name: &str) -> PathBuf {
+    pub(crate) fn object_path(&self, name: &str) -> PathBuf {
         self.root.join("objects").join(format!("{name}.rec"))
     }
 
@@ -237,10 +298,12 @@ impl Store {
         kind: ArtifactKind,
         payload: &[u8],
     ) -> Result<IndexEntry, StoreError> {
-        Self::validate_name(name)?;
-        let checksum = crc32(payload);
+        self.put_raw_overwrite_at(name, kind, payload, None)
+    }
 
-        // Header: magic | schema version | kind tag | reserved | len | crc.
+    /// Assemble the on-disk record bytes for a payload.
+    /// Header: magic | schema version | kind tag | reserved | len | crc.
+    fn record_bytes(kind: ArtifactKind, payload: &[u8], checksum: u32) -> Vec<u8> {
         let mut record = Vec::with_capacity(payload.len() + 24);
         record.extend_from_slice(&MAGIC);
         record.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
@@ -249,9 +312,51 @@ impl Store {
         record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         record.extend_from_slice(&checksum.to_le_bytes());
         record.extend_from_slice(payload);
+        record
+    }
 
+    fn tmp_path(&self, name: &str) -> PathBuf {
+        self.root.join("objects").join(format!(".{name}.tmp"))
+    }
+
+    /// Write only the temp file of a record — the half-applied state a
+    /// `Torn` crash leaves behind (used by crash injection).
+    pub(crate) fn write_torn_tmp(
+        &self,
+        name: &str,
+        kind: ArtifactKind,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        let record = Self::record_bytes(kind, payload, crc32(payload));
+        let mut f = fs::File::create(self.tmp_path(name))?;
+        f.write_all(&record)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// The raw write path, with an optional crash-injection site consulted
+    /// before anything touches disk (`None` for unjournaled writes).
+    pub(crate) fn put_raw_overwrite_at(
+        &mut self,
+        name: &str,
+        kind: ArtifactKind,
+        payload: &[u8],
+        crash_site: Option<CrashSite>,
+    ) -> Result<IndexEntry, StoreError> {
+        Self::validate_name(name)?;
+        if let Some(site) = crash_site {
+            match self.crash_fire(site)? {
+                CrashFire::Proceed => {}
+                CrashFire::Torn(err) => {
+                    self.write_torn_tmp(name, kind, payload)?;
+                    return Err(err);
+                }
+            }
+        }
+        let checksum = crc32(payload);
+        let record = Self::record_bytes(kind, payload, checksum);
         let final_path = self.object_path(name);
-        let tmp_path = self.root.join("objects").join(format!(".{name}.tmp"));
+        let tmp_path = self.tmp_path(name);
         {
             let mut f = fs::File::create(&tmp_path)?;
             f.write_all(&record)?;
@@ -350,7 +455,7 @@ impl Store {
         self.persist_index()
     }
 
-    fn persist_index(&self) -> Result<(), StoreError> {
+    pub(crate) fn persist_index(&self) -> Result<(), StoreError> {
         let data =
             serde_json::to_vec_pretty(&self.index).map_err(|e| StoreError::Serde(e.to_string()))?;
         let tmp = self.root.join(".index.tmp");
@@ -364,7 +469,7 @@ impl Store {
     }
 
     /// Read and fully validate a record, returning its kind and payload.
-    fn read_record(&self, name: &str) -> Result<(ArtifactKind, Vec<u8>), StoreError> {
+    pub(crate) fn read_record(&self, name: &str) -> Result<(ArtifactKind, Vec<u8>), StoreError> {
         let corrupt = |reason: &str| StoreError::Corrupt {
             name: name.to_string(),
             reason: reason.to_string(),
@@ -534,6 +639,24 @@ mod tests {
         assert!(store
             .put("ok-name_1.0", ArtifactKind::Custom, &sample())
             .is_ok());
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let (mut store, dir) = temp_store();
+        store.put("keep", ArtifactKind::Custom, &sample()).unwrap();
+        // Crash debris: a half-written record temp file and an index temp.
+        fs::write(dir.join("objects").join(".stale.tmp"), b"torn write").unwrap();
+        fs::write(dir.join(".index.tmp"), b"torn index").unwrap();
+        drop(store);
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.recovery().swept_tmp, 2);
+        assert!(!dir.join("objects").join(".stale.tmp").exists());
+        assert!(!dir.join(".index.tmp").exists());
+        assert!(reopened.contains("keep"), "real records are untouched");
+        // A clean reopen sweeps nothing.
+        drop(reopened);
+        assert_eq!(Store::open(&dir).unwrap().recovery().swept_tmp, 0);
     }
 
     #[test]

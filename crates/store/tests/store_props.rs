@@ -99,3 +99,170 @@ proptest! {
         }
     }
 }
+
+// --- crash-point recovery -------------------------------------------------
+//
+// For EVERY injectable crash point in commit_generation / rollback_generation
+// (enumerated by a recording probe run, not hard-coded), killing the mutation
+// there and reopening the store must land on a fsck-clean store whose head is
+// byte-identical to either the parent or the child snapshot — no third state.
+
+use std::collections::BTreeMap;
+use tps_store::{CrashKind, CrashPlan, Store as CrashStore, StoreError};
+
+fn commit_map(
+    store: &mut CrashStore,
+    map: &BTreeMap<String, Vec<u8>>,
+    note: &str,
+) -> Result<tps_store::GenerationRecord, StoreError> {
+    let entries: Vec<(&str, &[u8])> = map
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_slice()))
+        .collect();
+    store.commit_generation(&entries, note)
+}
+
+fn assert_entries_match(
+    store: &CrashStore,
+    id: u64,
+    map: &BTreeMap<String, Vec<u8>>,
+) -> Result<(), TestCaseError> {
+    let record = store.generation(id).unwrap();
+    prop_assert_eq!(record.entries.len(), map.len());
+    for (name, payload) in map {
+        prop_assert_eq!(
+            &store.generation_entry(id, name).unwrap(),
+            payload,
+            "entry `{}` of generation {} diverged",
+            name,
+            id
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_commit_crash_point_recovers_to_parent_or_child(
+        base_raw in prop::collection::vec(("[a-z]{1,6}", prop::collection::vec(any::<u8>(), 1..48)), 1..3),
+        next_raw in prop::collection::vec(("[a-z]{1,6}", prop::collection::vec(any::<u8>(), 1..48)), 1..3),
+    ) {
+        // Collect into maps: duplicate generated names collapse (last wins),
+        // matching commit_generation's distinct-name requirement.
+        let base: BTreeMap<String, Vec<u8>> = base_raw.into_iter().collect();
+        let next: BTreeMap<String, Vec<u8>> = next_raw.into_iter().collect();
+        // Probe run: enumerate the crash points this exact commit visits.
+        let probe_dir = temp_dir();
+        let mut probe = CrashStore::open(&probe_dir).unwrap();
+        commit_map(&mut probe, &base, "base").unwrap();
+        let (plan, log) = CrashPlan::recording();
+        probe.set_crash_plan(plan);
+        commit_map(&mut probe, &next, "next").unwrap();
+        let points = log.lock().unwrap().clone();
+        prop_assert!(points.len() >= 4, "journal, >=1 blob, gen, head, clear");
+        let _ = fs::remove_dir_all(&probe_dir);
+
+        for &(site, index) in &points {
+            for kind in [CrashKind::Before, CrashKind::Torn] {
+                let dir = temp_dir();
+                let mut store = CrashStore::open(&dir).unwrap();
+                commit_map(&mut store, &base, "base").unwrap();
+                store.set_crash_plan(CrashPlan::at(site, index, kind));
+                let err = commit_map(&mut store, &next, "next").unwrap_err();
+                prop_assert!(
+                    matches!(err, StoreError::CrashInjected { .. }),
+                    "crash at ({:?},{}) surfaced as {:?}",
+                    site,
+                    index,
+                    err
+                );
+                drop(store);
+
+                let store = CrashStore::open(&dir).unwrap();
+                prop_assert!(
+                    store.fsck().is_empty(),
+                    "corrupt records after crash at ({:?},{},{:?})",
+                    site,
+                    index,
+                    kind
+                );
+                prop_assert!(!store.journal_path_exists());
+                match store.head_generation().unwrap() {
+                    Some(1) => {
+                        assert_entries_match(&store, 1, &base)?;
+                        prop_assert!(
+                            store.generation(2).is_err(),
+                            "rolled back but child generation survived"
+                        );
+                    }
+                    Some(2) => {
+                        assert_entries_match(&store, 2, &next)?;
+                        assert_entries_match(&store, 1, &base)?;
+                    }
+                    other => prop_assert!(
+                        false,
+                        "head is {:?} after crash at ({:?},{},{:?}) — not parent or child",
+                        other,
+                        site,
+                        index,
+                        kind
+                    ),
+                }
+                // Recovery is terminal: a second reopen has nothing to do.
+                drop(store);
+                let again = CrashStore::open(&dir).unwrap();
+                prop_assert_eq!(again.recovery().recovered(), 0);
+                let _ = fs::remove_dir_all(&dir);
+            }
+        }
+    }
+
+    #[test]
+    fn every_rollback_crash_point_recovers_to_either_head(
+        v1 in prop::collection::vec(any::<u8>(), 1..32),
+        v2 in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        prop_assume!(v1 != v2);
+        let probe_dir = temp_dir();
+        let mut probe = CrashStore::open(&probe_dir).unwrap();
+        probe.commit_generation(&[("a", &v1)], "g1").unwrap();
+        probe.commit_generation(&[("a", &v2)], "g2").unwrap();
+        let (plan, log) = CrashPlan::recording();
+        probe.set_crash_plan(plan);
+        probe.rollback_generation(1).unwrap();
+        let points = log.lock().unwrap().clone();
+        prop_assert_eq!(points.len(), 3, "journal, head, clear");
+        let _ = fs::remove_dir_all(&probe_dir);
+
+        for &(site, index) in &points {
+            for kind in [CrashKind::Before, CrashKind::Torn] {
+                let dir = temp_dir();
+                let mut store = CrashStore::open(&dir).unwrap();
+                store.commit_generation(&[("a", &v1)], "g1").unwrap();
+                store.commit_generation(&[("a", &v2)], "g2").unwrap();
+                store.set_crash_plan(CrashPlan::at(site, index, kind));
+                store.rollback_generation(1).unwrap_err();
+                drop(store);
+
+                let store = CrashStore::open(&dir).unwrap();
+                prop_assert!(store.fsck().is_empty());
+                prop_assert!(!store.journal_path_exists());
+                let head = store.head_generation().unwrap();
+                prop_assert!(
+                    head == Some(1) || head == Some(2),
+                    "head is {:?} after rollback crash at ({:?},{},{:?})",
+                    head,
+                    site,
+                    index,
+                    kind
+                );
+                // History survives either way.
+                prop_assert_eq!(&store.generation_entry(1, "a").unwrap(), &v1);
+                prop_assert_eq!(&store.generation_entry(2, "a").unwrap(), &v2);
+                let _ = fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}

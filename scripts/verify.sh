@@ -188,4 +188,112 @@ wait "$obs_pid"
 ./target/release/tps trace check "$trace_tmp/obs-trace.json" \
   --budgets budgets.toml
 
+echo "==> chaos-serve gate (repro chaos-serve + real crash-recovery drill)"
+# Mirrors CI's chaos-serve-smoke job. Part 1: the in-process chaos
+# experiment — commit crash matrix, scheduled connection faults with
+# byte-identical retries, reload refusal under fire — whose drain trace
+# must reconcile injected vs observed counters under the chaos budget
+# rules (serve-conn-errors-accounted / serve-malformed-accounted /
+# store-recovery-terminal).
+cargo run -q -p tps-bench --release --bin repro -- chaos-serve \
+  --trace-out "$trace_tmp/chaos-serve-trace.json" > /dev/null
+./target/release/tps trace check "$trace_tmp/chaos-serve-trace.json" \
+  --budgets budgets.toml
+grep -q '"serve.injected_conn_faults"' "$trace_tmp/chaos-serve-trace.json" \
+  || { echo "chaos-serve trace missing injected-fault counters"; exit 1; }
+
+# Part 2: REAL process deaths, not in-process error returns. An armed
+# TPS_STORE_CRASH aborts `tps store commit` at a named crash point; the
+# next open must recover to exactly the parent (crash before the
+# generation record lands) or the child (crash once the commit is fully
+# recorded), and end fsck-clean either way.
+crash_store="$trace_tmp/crash-store"
+./target/release/tps store commit --store "$crash_store" --note base \
+  --world "$trace_tmp/world-v1.json" \
+  --artifacts "$trace_tmp/artifacts-v1.json" > /dev/null
+set +e
+TPS_STORE_CRASH="gen 0 before" ./target/release/tps store commit \
+  --store "$crash_store" --note doomed \
+  --world "$trace_tmp/live-world.json" \
+  --artifacts "$trace_tmp/live-artifacts.json" > /dev/null 2>&1
+crash_rc=$?
+set -e
+[ "$crash_rc" -ne 0 ] || { echo "armed crash did not abort the commit"; exit 1; }
+./target/release/tps fsck --store "$crash_store" \
+  | grep -q 'recovered 1 interrupted commit' \
+  || { echo "reopen after pre-gen crash did not recover the journal"; exit 1; }
+./target/release/tps store log --store "$crash_store" \
+  | grep -q 'generation 1 (head)' \
+  || { echo "pre-gen crash did not roll back to the parent"; exit 1; }
+set +e
+TPS_STORE_CRASH="clear 0 before" ./target/release/tps store commit \
+  --store "$crash_store" --note survives \
+  --world "$trace_tmp/live-world.json" \
+  --artifacts "$trace_tmp/live-artifacts.json" > /dev/null 2>&1
+crash_rc=$?
+set -e
+[ "$crash_rc" -ne 0 ] || { echo "armed crash did not abort the commit"; exit 1; }
+./target/release/tps fsck --store "$crash_store" \
+  | grep -q 'recovered 1 interrupted commit' \
+  || { echo "reopen after post-head crash did not recover the journal"; exit 1; }
+./target/release/tps store log --store "$crash_store" \
+  | grep -q 'generation 2 (head)' \
+  || { echo "post-head crash did not roll forward to the child"; exit 1; }
+./target/release/tps fsck --store "$crash_store" > /dev/null
+
+# fsck --repair quarantines a deliberately corrupted blob and leaves a
+# store plain fsck accepts again.
+repair_store="$trace_tmp/repair-store"
+cp -r "$crash_store" "$repair_store"
+victim="$(ls -S "$repair_store"/objects/blob-*.rec | head -1)"
+printf '\xff' | dd of="$victim" bs=1 \
+  seek=$(( $(stat -c %s "$victim") - 1 )) conv=notrunc status=none
+./target/release/tps fsck --store "$repair_store" > /dev/null 2>&1 \
+  && { echo "fsck accepted a corrupted blob"; exit 1; }
+./target/release/tps fsck --store "$repair_store" --repair true \
+  | grep -q 'quarantined' \
+  || { echo "fsck --repair did not quarantine the corrupt blob"; exit 1; }
+./target/release/tps fsck --store "$repair_store" > /dev/null
+
+# Part 3: kill -9 a live server mid-request. The client must fail fast
+# (no hang, no fabricated response), and a fresh server must come up and
+# answer a retried client afterwards.
+./target/release/tps serve --world "$trace_tmp/cv-world.json" \
+  --artifacts "$trace_tmp/cv-default.json" \
+  --ready-file "$trace_tmp/chaos-ready-1" > /dev/null 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$trace_tmp/chaos-ready-1" ] && break
+  sleep 0.1
+done
+chaos_addr="$(cat "$trace_tmp/chaos-ready-1")"
+./target/release/tps client --addr "$chaos_addr" \
+  --request '{"id":9,"target":"beans","hold_ms":3000}' > /dev/null 2>&1 &
+client_pid=$!
+sleep 0.4
+kill -9 "$serve_pid"
+set +e
+wait "$client_pid"
+client_rc=$?
+wait "$serve_pid" 2>/dev/null
+set -e
+[ "$client_rc" -ne 0 ] \
+  || { echo "client reported success from a kill -9'd server"; exit 1; }
+./target/release/tps serve --world "$trace_tmp/cv-world.json" \
+  --artifacts "$trace_tmp/cv-default.json" \
+  --ready-file "$trace_tmp/chaos-ready-2" > /dev/null &
+serve2_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$trace_tmp/chaos-ready-2" ] && break
+  sleep 0.1
+done
+chaos_addr2="$(cat "$trace_tmp/chaos-ready-2")"
+./target/release/tps client --addr "$chaos_addr2" --retries 2 \
+  --retry-backoff-ms 100 --timeout-ms 5000 \
+  --request '{"id":10,"target":"beans"}' \
+  | grep -q '"status":"ok"' \
+  || { echo "restarted server did not answer a retried client"; exit 1; }
+./target/release/tps client --addr "$chaos_addr2" --shutdown true > /dev/null
+wait "$serve2_pid"
+
 echo "verify: OK"

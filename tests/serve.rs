@@ -536,7 +536,7 @@ fn reload_without_a_source_is_a_structured_error() {
         let handle = s.spawn(|| server.run().expect("server drains cleanly"));
         let mut client = Client::connect(&addr).unwrap();
         let nack = client.request(&Request::control(1, "reload")).unwrap();
-        assert_eq!(status_of(&nack), Some("error"), "{nack}");
+        assert_eq!(status_of(&nack), Some("reload_failed"), "{nack}");
         let ok = client.request(&Request::select(2, "target-0")).unwrap();
         assert_eq!(status_of(&ok), Some("ok"), "{ok}");
         assert_eq!(tps_serve::protocol::generation_of(&ok), Some(1));

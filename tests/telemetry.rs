@@ -234,14 +234,16 @@ fn committed_budgets_pass_on_a_real_pipeline_trace() {
         );
         // A fault-free one-shot run records neither fault/retry counters
         // nor `serve.*` service counters, an exact-mode run emits no
-        // `ann.*` counters (their absence is the exactness contract), and
-        // a run that applied no updates emits no `incremental.*` counters,
-        // so only those rule families may skip.
+        // `ann.*` counters (their absence is the exactness contract), a
+        // run that applied no updates emits no `incremental.*` counters,
+        // and a run that opened no generation store emits no `store.*`
+        // counters, so only those rule families may skip.
         assert!(
             outcome.skipped.iter().all(|r| r.starts_with("retry-")
                 || r.starts_with("serve-")
                 || r.starts_with("ann-")
-                || r.starts_with("incremental-")),
+                || r.starts_with("incremental-")
+                || r.starts_with("store-")),
             "{:?}",
             outcome.skipped
         );
