@@ -457,6 +457,15 @@ pub fn two_phase_select_traced(
         threads,
         tel,
     )?;
+    Ok(assemble_outcome(recall, selection))
+}
+
+/// Combine the two phase outcomes into a [`PipelineOutcome`]: charge the
+/// proxy epochs, merge the fine-selection ledger, derive the deterministic
+/// counters and chain the casualty lists (recall first, then fine-selection
+/// in stage order). Shared by [`two_phase_select_traced`] and by serving
+/// planes that run the phases themselves (e.g. sharded scatter/gather).
+pub fn assemble_outcome(recall: RecallOutcome, selection: SelectionOutcome) -> PipelineOutcome {
     let mut ledger = EpochLedger::new();
     ledger.charge_proxy(recall.proxy_epochs);
     ledger.merge(&selection.ledger);
@@ -467,13 +476,13 @@ pub fn two_phase_select_traced(
         .chain(&selection.casualties)
         .cloned()
         .collect();
-    Ok(PipelineOutcome {
+    PipelineOutcome {
         recall,
         selection,
         ledger,
         counters,
         casualties,
-    })
+    }
 }
 
 #[cfg(test)]

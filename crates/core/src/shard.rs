@@ -1,0 +1,539 @@
+//! Deterministic zoo sharding: scatter coarse recall across N partitions
+//! and gather the candidates back in total order.
+//!
+//! A [`ShardSpec`] assigns every *cluster* (and hence every model, via its
+//! cluster) to one of `N` shards. The assignment is a pure function of
+//! `(seed, N)` — it touches no clock, no RNG state, no iteration order —
+//! so any process that knows the spec derives the identical partition. On
+//! top of the plan, [`coarse_recall_sharded_traced`] runs the paper's
+//! coarse recall as scatter/gather: each shard proxy-scores the
+//! representatives of its own clusters, each shard ranks the models whose
+//! clusters it owns, and the gather stage merges the per-shard rankings in
+//! `(score desc, id asc)` total order — the exact comparator the unsharded
+//! ranking sorts with. Because the per-model score (Eq. 3/4) depends only
+//! on the global normalised proxy scores — never on which shard computed
+//! them — the merged outcome is byte-identical to
+//! [`crate::recall::coarse_recall_par_traced`] at any shard count.
+//!
+//! Serving planes that want to interleave the scatter with their own
+//! batching use the lower-level pieces directly: [`scatter_set`] to get the
+//! scored-cluster fan-out, [`ShardPlan::partition_positions`] to split it,
+//! and [`resolve_and_gather`] to turn the collected first attempts into a
+//! [`RecallOutcome`].
+
+use crate::cluster::Clustering;
+use crate::error::{Result, SelectionError};
+use crate::ids::ModelId;
+use crate::matrix::PerformanceMatrix;
+use crate::parallel::split_seed;
+use crate::proxy::normalize_scores;
+use crate::recall::{self, RecallConfig, RecallOutcome};
+use crate::similarity::SimilarityMatrix;
+use crate::telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+
+/// Default partition seed. Fixed so that every process (server, CLI,
+/// tests) that does not override it derives the same partition.
+pub const DEFAULT_SHARD_SEED: u64 = 0x7470_732d_7368_6172; // "tps-shar"
+
+/// The two numbers that fully determine a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Partition seed; mixed per cluster through SplitMix64.
+    pub seed: u64,
+    /// Number of shards (>= 1).
+    pub shards: usize,
+}
+
+impl ShardSpec {
+    /// Spec with the [`DEFAULT_SHARD_SEED`].
+    pub fn new(shards: usize) -> Self {
+        Self {
+            seed: DEFAULT_SHARD_SEED,
+            shards,
+        }
+    }
+
+    /// Shard owning `cluster`. Pure in `(self.seed, self.shards, cluster)`:
+    /// the cluster index is mixed through the same SplitMix64 finalizer the
+    /// parallel layer uses for per-item seeds, then reduced mod `shards`.
+    pub fn shard_of(&self, cluster: usize) -> usize {
+        (split_seed(self.seed, cluster as u64) % self.shards.max(1) as u64) as usize
+    }
+}
+
+/// A materialised partition: the per-cluster shard assignment for one
+/// `(spec, n_clusters)` pair, plus the per-shard cluster lists.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    spec: ShardSpec,
+    /// `assignment[c]` = shard owning cluster `c`.
+    assignment: Vec<usize>,
+    /// Clusters per shard, each list ascending.
+    clusters: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// Build the plan for `n_clusters` clusters. Errors when `spec.shards`
+    /// is zero.
+    pub fn build(spec: ShardSpec, n_clusters: usize) -> Result<Self> {
+        if spec.shards == 0 {
+            return Err(SelectionError::InvalidConfig("shards must be >= 1".into()));
+        }
+        let assignment: Vec<usize> = (0..n_clusters).map(|c| spec.shard_of(c)).collect();
+        let mut clusters = vec![Vec::new(); spec.shards];
+        for (c, &s) in assignment.iter().enumerate() {
+            clusters[s].push(c);
+        }
+        Ok(Self {
+            spec,
+            assignment,
+            clusters,
+        })
+    }
+
+    /// The spec this plan was built from.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.spec.shards
+    }
+
+    /// Number of clusters the plan partitions.
+    pub fn n_clusters(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Per-cluster shard assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Clusters owned by `shard`, ascending.
+    pub fn clusters_of(&self, shard: usize) -> &[usize] {
+        &self.clusters[shard]
+    }
+
+    /// Split positions `0..clusters.len()` by the shard owning each listed
+    /// cluster. Returns one ascending position list per shard; every
+    /// position appears in exactly one list, so a scatter computed
+    /// shard-by-shard reassembles into the original order by position.
+    pub fn partition_positions(&self, clusters: &[usize]) -> Vec<Vec<usize>> {
+        let mut per_shard = vec![Vec::new(); self.shards()];
+        for (pos, &c) in clusters.iter().enumerate() {
+            per_shard[self.assignment[c]].push(pos);
+        }
+        per_shard
+    }
+
+    /// Validate the plan against a clustering's cluster count.
+    pub fn check(&self, n_clusters: usize) -> Result<()> {
+        if self.n_clusters() != n_clusters {
+            return Err(SelectionError::DimensionMismatch {
+                what: "shard plan vs clustering clusters",
+                expected: n_clusters,
+                got: self.n_clusters(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The scatter fan-out: validated representatives plus the scored-cluster
+/// set, exactly as the unsharded recall prepares them.
+pub fn scatter_set(
+    matrix: &PerformanceMatrix,
+    clustering: &Clustering,
+    similarity: &SimilarityMatrix,
+    config: &RecallConfig,
+) -> Result<(Vec<ModelId>, Vec<usize>)> {
+    recall::prepare_recall(matrix, clustering, similarity, config)
+}
+
+/// Scatter the first proxy attempts across the plan's shards: shard `s`
+/// computes `attempt(pos)` for every position of `scored` it owns, the
+/// per-shard results are gathered back by position. `attempt` receives a
+/// position into `scored` (so callers close over both the scored set and
+/// the representatives). The returned vector is position-aligned with
+/// `scored` — identical in content to the unsharded fan-out.
+pub fn scatter_attempts(
+    plan: &ShardPlan,
+    scored: &[usize],
+    threads: usize,
+    attempt: impl Fn(usize) -> Result<f64> + Sync,
+) -> Vec<Option<Result<f64>>> {
+    let locals = plan.partition_positions(scored);
+    let shard_ids: Vec<usize> = (0..plan.shards()).collect();
+    let per_shard: Vec<Vec<(usize, Result<f64>)>> =
+        crate::parallel::map_indexed(&shard_ids, threads, |_, &s| {
+            locals[s].iter().map(|&pos| (pos, attempt(pos))).collect()
+        });
+    let mut firsts: Vec<Option<Result<f64>>> = (0..scored.len()).map(|_| None).collect();
+    for shard_out in per_shard {
+        for (pos, r) in shard_out {
+            firsts[pos] = Some(r);
+        }
+    }
+    firsts
+}
+
+/// Resolve the scattered first attempts (serial retry/quarantine pass, in
+/// cluster order — identical to the unsharded path) and gather the
+/// per-shard rankings into the final [`RecallOutcome`].
+///
+/// Each shard ranks the models whose clusters it owns using the same
+/// Eq. 3/4 arithmetic as the unsharded scorer; the gather concatenates the
+/// per-shard rankings and sorts by `(score desc, id asc)`. That comparator
+/// is a total order over the repository (model ids are unique), so the
+/// merged ranking is the unique sorted sequence — byte-identical to the
+/// unsharded one regardless of shard count or merge arrival order.
+///
+/// Emits the standard `recall.{proxy_evals, quarantined, proxy_epochs,
+/// recalled}` counters and the `recall.proxy_epochs_per_call` observation.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_and_gather(
+    matrix: &PerformanceMatrix,
+    clustering: &Clustering,
+    similarity: &SimilarityMatrix,
+    config: &RecallConfig,
+    plan: &ShardPlan,
+    representatives: Vec<ModelId>,
+    scored: &[usize],
+    firsts: Vec<Option<Result<f64>>>,
+    retry: &mut dyn FnMut(ModelId) -> Result<f64>,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<RecallOutcome> {
+    let resolved =
+        recall::resolve_scores(&representatives, scored, firsts, retry, config.retry, tel)?;
+    tel.add("recall.proxy_evals", resolved.attempts as f64);
+    if !resolved.casualties.is_empty() {
+        tel.add("recall.quarantined", resolved.casualties.len() as f64);
+    }
+    let out = gather_ranking(
+        matrix,
+        clustering,
+        similarity,
+        config,
+        plan,
+        representatives,
+        resolved,
+        threads,
+    )?;
+    tel.add("recall.proxy_epochs", out.proxy_epochs);
+    tel.add("recall.recalled", out.recalled.len() as f64);
+    tel.observe("recall.proxy_epochs_per_call", out.proxy_epochs);
+    Ok(out)
+}
+
+/// Per-shard Eq. 3/4 scoring + total-order gather merge.
+#[allow(clippy::too_many_arguments)]
+fn gather_ranking(
+    matrix: &PerformanceMatrix,
+    clustering: &Clustering,
+    similarity: &SimilarityMatrix,
+    config: &RecallConfig,
+    plan: &ShardPlan,
+    representatives: Vec<ModelId>,
+    resolved: recall::ResolvedScores,
+    threads: usize,
+) -> Result<RecallOutcome> {
+    plan.check(clustering.n_clusters())?;
+    let recall::ResolvedScores {
+        clusters: scored_clusters,
+        raw,
+        casualties,
+        attempts,
+    } = resolved;
+    let n = matrix.n_models();
+    let norm = normalize_scores(&raw);
+    let mut cluster_proxy: Vec<Option<f64>> = vec![None; clustering.n_clusters()];
+    for (&c, &p) in scored_clusters.iter().zip(&norm) {
+        cluster_proxy[c] = Some(p);
+    }
+
+    // Scatter: each shard ranks its own partition — the models whose
+    // cluster it owns — in ascending id order.
+    let shard_ids: Vec<usize> = (0..plan.shards()).collect();
+    let local_ranked: Vec<Vec<(ModelId, f64)>> =
+        crate::parallel::map_indexed(&shard_ids, threads, |_, &s| {
+            matrix
+                .model_ids()
+                .filter(|&m| plan.assignment[clustering.cluster_of(m)] == s)
+                .map(|m| {
+                    let score = recall::model_recall_score(
+                        matrix,
+                        clustering,
+                        similarity,
+                        &representatives,
+                        &scored_clusters,
+                        &norm,
+                        &cluster_proxy,
+                        m,
+                    );
+                    (m, score)
+                })
+                .collect()
+        });
+
+    // Gather: merge in (score desc, id asc) total order — the unsharded
+    // ranking's comparator. Ids are unique, so the order is total and the
+    // sorted sequence is unique: shard count and concatenation order
+    // cannot leak into the result.
+    let mut ranked: Vec<(ModelId, f64)> = local_ranked.into_iter().flatten().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let recalled = ranked
+        .iter()
+        .take(config.top_k.min(n))
+        .map(|&(m, _)| m)
+        .collect();
+
+    Ok(RecallOutcome {
+        ranked,
+        recalled,
+        cluster_proxy,
+        representatives,
+        proxy_epochs: config.proxy_epoch_cost * attempts as f64,
+        casualties,
+    })
+}
+
+/// Sharded scatter/gather coarse recall, traced. Reference composition of
+/// the pieces above; byte-identical to
+/// [`crate::recall::coarse_recall_par_traced`] for any `(plan, threads)`.
+///
+/// Emits the standard recall counters plus — when the plan has more than
+/// one shard — `shard.shards` and `shard.scatter_jobs`.
+#[allow(clippy::too_many_arguments)]
+pub fn coarse_recall_sharded_traced(
+    matrix: &PerformanceMatrix,
+    clustering: &Clustering,
+    similarity: &SimilarityMatrix,
+    config: &RecallConfig,
+    plan: &ShardPlan,
+    threads: usize,
+    proxy_for: impl Fn(ModelId) -> Result<f64> + Sync,
+    tel: &Telemetry,
+) -> Result<RecallOutcome> {
+    let _span = tel.span("recall.coarse");
+    let (representatives, scored) = scatter_set(matrix, clustering, similarity, config)?;
+    plan.check(clustering.n_clusters())?;
+    tel.add("recall.candidates", matrix.n_models() as f64);
+    tel.observe("recall.fanout_width", scored.len() as f64);
+    if plan.shards() > 1 {
+        tel.add("shard.shards", plan.shards() as f64);
+        tel.add("shard.scatter_jobs", scored.len() as f64);
+    }
+    let firsts = {
+        let _scoring = tel.span("recall.proxy_scoring");
+        scatter_attempts(plan, &scored, threads, |pos| {
+            proxy_for(representatives[scored[pos]])
+        })
+    };
+    resolve_and_gather(
+        matrix,
+        clustering,
+        similarity,
+        config,
+        plan,
+        representatives,
+        &scored,
+        firsts,
+        &mut |rep| proxy_for(rep),
+        threads,
+        tel,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recall::coarse_recall_par_traced;
+    use crate::similarity::SimilarityMatrix;
+
+    /// 8 models, 3 datasets: two families plus singletons, so the scored
+    /// set exercises both Eq. 3 and Eq. 4 paths.
+    fn fixture() -> (PerformanceMatrix, Clustering, SimilarityMatrix) {
+        let names: Vec<String> = (0..8).map(|i| format!("m{i}")).collect();
+        let datasets = vec!["d0".into(), "d1".into(), "d2".into()];
+        let rows = vec![
+            vec![0.91, 0.90, 0.89, 0.55, 0.54, 0.30, 0.70, 0.20],
+            vec![0.88, 0.87, 0.86, 0.52, 0.51, 0.33, 0.66, 0.25],
+            vec![0.93, 0.92, 0.91, 0.57, 0.56, 0.28, 0.72, 0.18],
+        ];
+        let matrix = PerformanceMatrix::new(names, datasets, rows).unwrap();
+        let similarity = SimilarityMatrix::from_performance(&matrix, 3).unwrap();
+        let clustering = Clustering::new(vec![0, 0, 0, 1, 1, 2, 3, 4]).unwrap();
+        (matrix, clustering, similarity)
+    }
+
+    fn proxy(rep: ModelId) -> Result<f64> {
+        // Deterministic, representative-dependent, non-monotone in id.
+        Ok(((rep.0 as f64) * 0.37 + 0.11).sin().abs())
+    }
+
+    #[test]
+    fn partition_is_pure_in_seed_and_shard_count() {
+        // Rebuilding the plan from the same (seed, N) — in any process, at
+        // any time — yields the identical assignment.
+        for &shards in &[1usize, 2, 4, 7] {
+            let a = ShardPlan::build(ShardSpec::new(shards), 64).unwrap();
+            let b = ShardPlan::build(ShardSpec::new(shards), 64).unwrap();
+            assert_eq!(a, b);
+            // Pointwise: assignment[c] is spec.shard_of(c), nothing else.
+            let spec = ShardSpec::new(shards);
+            for c in 0..64 {
+                assert_eq!(a.assignment()[c], spec.shard_of(c));
+                assert!(a.assignment()[c] < shards);
+                assert!(a.clusters_of(a.assignment()[c]).contains(&c));
+            }
+        }
+        // Different seeds give different partitions (at 4 shards, 64
+        // clusters, a collision of the full assignment is astronomically
+        // unlikely — this guards against the seed being ignored).
+        let a = ShardPlan::build(ShardSpec { seed: 1, shards: 4 }, 64).unwrap();
+        let b = ShardPlan::build(ShardSpec { seed: 2, shards: 4 }, 64).unwrap();
+        assert_ne!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn partition_positions_cover_exactly_once() {
+        let plan = ShardPlan::build(ShardSpec::new(3), 16).unwrap();
+        let scored: Vec<usize> = vec![0, 2, 3, 5, 7, 11, 13, 15];
+        let per_shard = plan.partition_positions(&scored);
+        let mut seen: Vec<usize> = per_shard.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..scored.len()).collect::<Vec<_>>());
+        for (s, positions) in per_shard.iter().enumerate() {
+            for &pos in positions {
+                assert_eq!(plan.assignment()[scored[pos]], s);
+            }
+            assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(ShardPlan::build(ShardSpec::new(0), 8).is_err());
+    }
+
+    #[test]
+    fn sharded_recall_is_byte_identical_to_unsharded() {
+        let (matrix, clustering, similarity) = fixture();
+        let config = RecallConfig {
+            top_k: 5,
+            ..RecallConfig::default()
+        };
+        let reference = coarse_recall_par_traced(
+            &matrix,
+            &clustering,
+            &similarity,
+            &config,
+            1,
+            proxy,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        for &shards in &[1usize, 2, 4, 7] {
+            for &threads in &[1usize, 4] {
+                let plan =
+                    ShardPlan::build(ShardSpec::new(shards), clustering.n_clusters()).unwrap();
+                let out = coarse_recall_sharded_traced(
+                    &matrix,
+                    &clustering,
+                    &similarity,
+                    &config,
+                    &plan,
+                    threads,
+                    proxy,
+                    &Telemetry::disabled(),
+                )
+                .unwrap();
+                assert_eq!(out, reference, "shards={shards} threads={threads}");
+                // Byte-identical through the serialised form too.
+                assert_eq!(
+                    serde_json::to_string(&out).unwrap(),
+                    serde_json::to_string(&reference).unwrap(),
+                    "serialised mismatch at shards={shards} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_recall_counters_match_unsharded() {
+        let (matrix, clustering, similarity) = fixture();
+        let config = RecallConfig::default();
+        let (tel_ref, sink_ref) = Telemetry::recording();
+        coarse_recall_par_traced(
+            &matrix,
+            &clustering,
+            &similarity,
+            &config,
+            1,
+            proxy,
+            &tel_ref,
+        )
+        .unwrap();
+        let reference = sink_ref.report();
+        let plan = ShardPlan::build(ShardSpec::new(4), clustering.n_clusters()).unwrap();
+        let (tel, sink) = Telemetry::recording();
+        coarse_recall_sharded_traced(
+            &matrix,
+            &clustering,
+            &similarity,
+            &config,
+            &plan,
+            4,
+            proxy,
+            &tel,
+        )
+        .unwrap();
+        let report = sink.report();
+        for key in [
+            "recall.candidates",
+            "recall.proxy_evals",
+            "recall.proxy_epochs",
+            "recall.recalled",
+        ] {
+            assert_eq!(
+                report.counters.get(key),
+                reference.counters.get(key),
+                "{key}"
+            );
+        }
+        assert_eq!(report.counters.get("shard.shards"), Some(&4.0));
+        assert!(
+            report
+                .counters
+                .get("shard.scatter_jobs")
+                .copied()
+                .unwrap_or(0.0)
+                > 0.0
+        );
+        // The unsharded trace never mentions shard.* counters.
+        assert!(reference.counters.get("shard.shards").is_none());
+    }
+
+    #[test]
+    fn mismatched_plan_is_rejected() {
+        let (matrix, clustering, similarity) = fixture();
+        let config = RecallConfig::default();
+        let plan = ShardPlan::build(ShardSpec::new(2), clustering.n_clusters() + 3).unwrap();
+        let err = coarse_recall_sharded_traced(
+            &matrix,
+            &clustering,
+            &similarity,
+            &config,
+            &plan,
+            1,
+            proxy,
+            &Telemetry::disabled(),
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Cross-request batching for the scatter/gather serve plane.
+//!
+//! A [`Batcher`] coalesces the substrate work of *different* in-flight
+//! requests — proxy scorings from coarse recall and transfer-run
+//! materialisations from halving's `advance_many` — into one fan-out per
+//! batching window. Every unit of work is a pure function of
+//! `(generation, target, model)`: a proxy score is LEEP over synthesized
+//! predictions, a transfer run is `world.target_run(model, target)`.
+//! Purity is what makes the coalescing safe — which calls end up grouped
+//! into one flush depends on scheduling, but the per-unit results cannot,
+//! so responses stay byte-identical to the unbatched server.
+//!
+//! Which batch a unit lands in (and therefore the `serve.batches` /
+//! width gauges) is schedule-dependent; the call/job totals
+//! (`serve.batch_calls`, `serve.batch_jobs`) are not — they count one
+//! per submission, however the windows happened to group them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use tps_core::ids::ModelId;
+use tps_core::proxy::leep::leep;
+use tps_core::traits::ProxyOracle;
+use tps_zoo::{TransferRun, ZooOracle, ZooTrainer};
+
+use crate::server::GenerationState;
+
+/// What one unit of batched work computes.
+pub(crate) enum UnitKind {
+    /// Proxy-score (LEEP) one cluster representative on the target.
+    Proxy(ModelId),
+    /// Materialise one model's transfer run on the target.
+    Run(ModelId),
+}
+
+/// One unit of substrate work, self-contained so units from different
+/// requests (even different artifact generations) can share a flush.
+pub(crate) struct Unit {
+    pub(crate) gen: Arc<GenerationState>,
+    pub(crate) target: usize,
+    pub(crate) kind: UnitKind,
+}
+
+/// Result of one unit, aligned with the submitted order.
+pub(crate) enum UnitOut {
+    Proxy(tps_core::error::Result<f64>),
+    Run(TransferRun),
+}
+
+impl UnitOut {
+    pub(crate) fn into_proxy(self) -> tps_core::error::Result<f64> {
+        match self {
+            UnitOut::Proxy(r) => r,
+            UnitOut::Run(_) => unreachable!("proxy unit answered with a run"),
+        }
+    }
+
+    fn into_run(self) -> TransferRun {
+        match self {
+            UnitOut::Run(run) => run,
+            UnitOut::Proxy(_) => unreachable!("run unit answered with a proxy score"),
+        }
+    }
+}
+
+/// Compute one unit. Pure in the unit's fields.
+fn compute(unit: &Unit) -> UnitOut {
+    match unit.kind {
+        UnitKind::Proxy(rep) => UnitOut::Proxy(proxy_score(&unit.gen, unit.target, rep)),
+        UnitKind::Run(m) => UnitOut::Run(unit.gen.world.target_run(m, unit.target)),
+    }
+}
+
+/// The LEEP proxy score of `rep` on `target` — the same arithmetic the
+/// pipeline's recall closure performs.
+pub(crate) fn proxy_score(
+    gen: &GenerationState,
+    target: usize,
+    rep: ModelId,
+) -> tps_core::error::Result<f64> {
+    let oracle = ZooOracle::new(&gen.world, target)?;
+    let predictions = oracle.predictions(rep)?;
+    leep(
+        &predictions,
+        oracle.target_labels(),
+        oracle.n_target_labels(),
+    )
+}
+
+struct PendingCall {
+    units: Vec<Unit>,
+    slot: Arc<(Mutex<Option<Vec<UnitOut>>>, Condvar)>,
+}
+
+#[derive(Default)]
+struct BatchState {
+    pending: Vec<PendingCall>,
+    flusher_active: bool,
+}
+
+/// Rendezvous batcher: calls submitted within one `window` are flushed as
+/// a single fan-out. The first caller of an idle window becomes the
+/// flusher — it sleeps out the window, takes everything pending, computes
+/// the flat batch through `tps_core::parallel`, and distributes results
+/// back to each caller's slot. A zero window degenerates to pass-through
+/// (each call computes its own units immediately).
+pub(crate) struct Batcher {
+    window: Duration,
+    threads: usize,
+    state: Mutex<BatchState>,
+    calls: AtomicU64,
+    jobs: AtomicU64,
+    flushes: AtomicU64,
+    width_last: AtomicU64,
+    width_max: AtomicU64,
+}
+
+impl Batcher {
+    /// `window_ticks` is the coalescing window in milliseconds (ticks of
+    /// the serve clock); `threads` bounds the fan-out of each flush.
+    pub(crate) fn new(window_ticks: u64, threads: usize) -> Self {
+        Batcher {
+            window: Duration::from_millis(window_ticks),
+            threads: threads.max(1),
+            state: Mutex::new(BatchState::default()),
+            calls: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            width_last: AtomicU64::new(0),
+            width_max: AtomicU64::new(0),
+        }
+    }
+
+    /// Submit one call's units and wait for their results (input order).
+    pub(crate) fn run(&self, units: Vec<Unit>) -> Vec<UnitOut> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.jobs.fetch_add(units.len() as u64, Ordering::Relaxed);
+        if units.is_empty() {
+            return Vec::new();
+        }
+        if self.window.is_zero() {
+            self.note_flush(units.len());
+            let refs: Vec<&Unit> = units.iter().collect();
+            return tps_core::parallel::map_indexed(&refs, self.threads, |_, u| compute(u));
+        }
+        let slot = Arc::new((Mutex::new(None), Condvar::new()));
+        let is_flusher = {
+            let mut st = self.state.lock().unwrap();
+            st.pending.push(PendingCall {
+                units,
+                slot: Arc::clone(&slot),
+            });
+            if st.flusher_active {
+                false
+            } else {
+                st.flusher_active = true;
+                true
+            }
+        };
+        if is_flusher {
+            std::thread::sleep(self.window);
+            // Take the batch and retire the flusher role in one critical
+            // section: every call that pushed before this point is in the
+            // batch; the next call to arrive becomes the next flusher.
+            let batch = {
+                let mut st = self.state.lock().unwrap();
+                st.flusher_active = false;
+                std::mem::take(&mut st.pending)
+            };
+            self.flush(batch);
+        }
+        let (lock, cv) = &*slot;
+        let mut guard = lock.lock().unwrap();
+        loop {
+            if let Some(out) = guard.take() {
+                return out;
+            }
+            // Timeout only as lost-wakeup insurance; the loop re-checks.
+            guard = cv.wait_timeout(guard, Duration::from_millis(50)).unwrap().0;
+        }
+    }
+
+    fn flush(&self, batch: Vec<PendingCall>) {
+        let width: usize = batch.iter().map(|c| c.units.len()).sum();
+        self.note_flush(width);
+        let flat: Vec<&Unit> = batch.iter().flat_map(|c| c.units.iter()).collect();
+        let outs = tps_core::parallel::map_indexed(&flat, self.threads, |_, u| compute(u));
+        let mut outs = outs.into_iter();
+        for call in batch {
+            let mine: Vec<UnitOut> = outs.by_ref().take(call.units.len()).collect();
+            let (lock, cv) = &*call.slot;
+            *lock.lock().unwrap() = Some(mine);
+            cv.notify_all();
+        }
+    }
+
+    fn note_flush(&self, width: usize) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.width_last.store(width as u64, Ordering::Relaxed);
+        self.width_max.fetch_max(width as u64, Ordering::Relaxed);
+    }
+
+    /// Calls submitted so far (schedule-independent).
+    pub(crate) fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Units submitted so far (schedule-independent).
+    pub(crate) fn jobs(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Flushes executed so far (schedule-dependent: how calls grouped).
+    pub(crate) fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Width of the most recent flush.
+    pub(crate) fn width_last(&self) -> u64 {
+        self.width_last.load(Ordering::Relaxed)
+    }
+
+    /// Widest flush so far.
+    pub(crate) fn width_max(&self) -> u64 {
+        self.width_max.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`ZooTrainer`] whose `advance_many` materialises missing transfer
+/// runs through the [`Batcher`] — so halving stages of concurrent
+/// requests share substrate fan-outs. Validation, stage bookkeeping, and
+/// telemetry all delegate to the inner trainer; the runs installed are
+/// the identical pure values the trainer would have synthesized itself.
+pub(crate) struct BatchedTrainer<'w> {
+    inner: ZooTrainer<'w>,
+    gen: Arc<GenerationState>,
+    target: usize,
+    batcher: Arc<Batcher>,
+}
+
+impl<'w> BatchedTrainer<'w> {
+    pub(crate) fn new(
+        inner: ZooTrainer<'w>,
+        gen: Arc<GenerationState>,
+        target: usize,
+        batcher: Arc<Batcher>,
+    ) -> Self {
+        BatchedTrainer {
+            inner,
+            gen,
+            target,
+            batcher,
+        }
+    }
+}
+
+impl tps_core::traits::TargetTrainer for BatchedTrainer<'_> {
+    fn advance(&mut self, model: ModelId) -> tps_core::error::Result<f64> {
+        self.inner.advance(model)
+    }
+
+    fn test(&mut self, model: ModelId) -> tps_core::error::Result<f64> {
+        self.inner.test(model)
+    }
+
+    fn stages_trained(&self, model: ModelId) -> usize {
+        self.inner.stages_trained(model)
+    }
+
+    fn advance_many(
+        &mut self,
+        pool: &[ModelId],
+        threads: usize,
+    ) -> tps_core::error::Result<Vec<f64>> {
+        // Serial error semantics first (no state change on an invalid
+        // pool), then batch the missing runs across requests.
+        let missing = self.inner.missing_runs(pool)?;
+        if !missing.is_empty() {
+            let units: Vec<Unit> = missing
+                .iter()
+                .map(|&m| Unit {
+                    gen: Arc::clone(&self.gen),
+                    target: self.target,
+                    kind: UnitKind::Run(m),
+                })
+                .collect();
+            let outs = self.batcher.run(units);
+            for (&m, out) in missing.iter().zip(outs) {
+                self.inner.install_run(m, out.into_run())?;
+            }
+        }
+        self.inner.advance_many(pool, threads)
+    }
+}

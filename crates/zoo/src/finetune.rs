@@ -74,6 +74,42 @@ impl<'w> ZooTrainer<'w> {
         }
         Ok(self.runs[idx].as_ref().expect("just filled"))
     }
+
+    /// Models in `pool` whose transfer run is not yet materialised, deduped,
+    /// in pool order. Validates exactly like [`TargetTrainer::advance_many`]:
+    /// the first invalid model (in pool order) errors before any run would
+    /// be synthesised, so a caller that materialises the returned runs
+    /// externally (e.g. a cross-request batcher) keeps serial error
+    /// semantics.
+    pub fn missing_runs(&self, pool: &[ModelId]) -> Result<Vec<ModelId>> {
+        let mut seen = vec![false; self.world.n_models()];
+        let mut missing = Vec::new();
+        for &m in pool {
+            self.check_model(m)?;
+            if self.runs[m.index()].is_none() && !seen[m.index()] {
+                seen[m.index()] = true;
+                missing.push(m);
+            }
+        }
+        Ok(missing)
+    }
+
+    /// Install an externally materialised transfer run. `run` must be
+    /// `world.target_run(model, target)` for this trainer's target —
+    /// synthesis is a pure function of `(world, model, target)`, so an
+    /// external producer (shard worker, batcher) computes the identical
+    /// run. A run already present is left untouched; a newly installed one
+    /// counts toward `zoo.train.runs`, matching what lazy materialisation
+    /// would have recorded.
+    pub fn install_run(&mut self, model: ModelId, run: TransferRun) -> Result<()> {
+        self.check_model(model)?;
+        let idx = model.index();
+        if self.runs[idx].is_none() {
+            self.runs[idx] = Some(run);
+            self.tel.incr("zoo.train.runs");
+        }
+        Ok(())
+    }
 }
 
 impl TargetTrainer for ZooTrainer<'_> {
@@ -112,18 +148,7 @@ impl TargetTrainer for ZooTrainer<'_> {
         // Serial semantics: the first invalid model (in pool order) errors
         // before any state changes for later models. Duplicates in `pool`
         // are fine — the run is only materialised once.
-        let missing: Vec<ModelId> = {
-            let mut seen = vec![false; self.world.n_models()];
-            let mut missing = Vec::new();
-            for &m in pool {
-                self.check_model(m)?;
-                if self.runs[m.index()].is_none() && !seen[m.index()] {
-                    seen[m.index()] = true;
-                    missing.push(m);
-                }
-            }
-            missing
-        };
+        let missing = self.missing_runs(pool)?;
         let world = self.world;
         let target = self.target;
         let runs =

@@ -296,4 +296,54 @@ chaos_addr2="$(cat "$trace_tmp/chaos-ready-2")"
 ./target/release/tps client --addr "$chaos_addr2" --shutdown true > /dev/null
 wait "$serve2_pid"
 
+echo "==> sharded scatter/gather gate (tps serve --shards / tps loadgen)"
+# Mirrors CI's shard-smoke job: a real sharded+batched background server
+# must answer the same request set byte-identically to a plain one, the
+# open-loop generator must close its accounting identity against it, and
+# the drained trace must carry the scatter/batch counters and pass the
+# batching budget rules.
+printf '%s\n' \
+  '{"id":1,"target":"beans"}' \
+  '{"id":2,"target":"beans","top_k":6}' \
+  '{"id":3,"target":"beans","top_k":8}' \
+  '{"id":4,"target":"beans","top_k":6}' > "$trace_tmp/shard-requests.jsonl"
+./target/release/tps serve --world "$trace_tmp/cv-world.json" \
+  --artifacts "$trace_tmp/cv-default.json" \
+  --ready-file "$trace_tmp/shard-ready-1" > /dev/null &
+shard1_pid=$!
+./target/release/tps serve --world "$trace_tmp/cv-world.json" \
+  --artifacts "$trace_tmp/cv-default.json" --shards 4 --batch-window-ticks 1 \
+  --ready-file "$trace_tmp/shard-ready-4" \
+  --trace-out "$trace_tmp/shard-trace.json" > /dev/null &
+shard4_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$trace_tmp/shard-ready-1" ] && [ -s "$trace_tmp/shard-ready-4" ] && break
+  sleep 0.1
+done
+shard1_addr="$(cat "$trace_tmp/shard-ready-1")"
+shard4_addr="$(cat "$trace_tmp/shard-ready-4")"
+./target/release/tps client --addr "$shard1_addr" \
+  --file "$trace_tmp/shard-requests.jsonl" > "$trace_tmp/shard-responses-1.txt"
+./target/release/tps client --addr "$shard4_addr" \
+  --file "$trace_tmp/shard-requests.jsonl" > "$trace_tmp/shard-responses-4.txt"
+cmp "$trace_tmp/shard-responses-1.txt" "$trace_tmp/shard-responses-4.txt" \
+  || { echo "--shards 4 responses diverged from the unsharded server"; exit 1; }
+./target/release/tps loadgen --addr "$shard4_addr" --targets beans \
+  --requests 200 --interval-us 500 --conns 4 --seed 3 --format json \
+  > "$trace_tmp/shard-loadgen.json"
+grep -q '"requests":200' "$trace_tmp/shard-loadgen.json" \
+  || { echo "loadgen did not account for every request"; exit 1; }
+grep -q '"errors":0' "$trace_tmp/shard-loadgen.json" \
+  || { echo "loadgen saw severed connections"; exit 1; }
+./target/release/tps client --addr "$shard1_addr" --shutdown true > /dev/null
+./target/release/tps client --addr "$shard4_addr" --shutdown true > /dev/null
+wait "$shard1_pid"
+wait "$shard4_pid"
+./target/release/tps trace check "$trace_tmp/shard-trace.json" \
+  --budgets budgets.toml
+grep -q '"serve.sharded_requests"' "$trace_tmp/shard-trace.json" \
+  || { echo "sharded drain trace missing scatter counters"; exit 1; }
+grep -q '"serve.batch_calls"' "$trace_tmp/shard-trace.json" \
+  || { echo "sharded drain trace missing batching counters"; exit 1; }
+
 echo "verify: OK"

@@ -1,0 +1,91 @@
+//! Edge-case coverage for `tps_core::benchsel::similarity_preservation`
+//! from the integration tree: degenerate model counts (n < 2), dimension
+//! mismatches, and constant-column (zero-variance) matrices must all be
+//! handled with structured errors or a well-defined score — never a panic
+//! or a NaN.
+
+use tps_core::benchsel::{compact_benchmarks, similarity_preservation};
+use tps_core::error::SelectionError;
+use tps_core::matrix::PerformanceMatrix;
+use tps_core::similarity::SimilarityMatrix;
+
+/// A performance matrix with the given per-dataset accuracy rows.
+fn matrix(rows: &[&[f64]]) -> PerformanceMatrix {
+    let n_models = rows[0].len();
+    PerformanceMatrix::new(
+        (0..n_models).map(|i| format!("m{i}")).collect(),
+        (0..rows.len()).map(|i| format!("d{i}")).collect(),
+        rows.iter().map(|r| r.to_vec()).collect(),
+    )
+    .unwrap()
+}
+
+fn similarity(rows: &[&[f64]], top_k: usize) -> SimilarityMatrix {
+    SimilarityMatrix::from_performance(&matrix(rows), top_k).unwrap()
+}
+
+#[test]
+fn single_model_is_a_structured_invalid_config() {
+    // One model means zero upper-triangular pairs — there is no structure
+    // to preserve and the comparison must refuse rather than return 0/0.
+    let s1 = similarity(&[&[0.7], &[0.4]], 1);
+    match similarity_preservation(&s1, &s1) {
+        Err(SelectionError::InvalidConfig(msg)) => {
+            assert!(msg.contains(">= 2"), "unexpected message: {msg}")
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
+fn dimension_mismatch_reports_both_sizes() {
+    let s3 = similarity(&[&[0.9, 0.5, 0.1], &[0.8, 0.4, 0.2]], 2);
+    let s2 = similarity(&[&[0.9, 0.5], &[0.8, 0.4]], 1);
+    match similarity_preservation(&s3, &s2) {
+        Err(SelectionError::DimensionMismatch { expected, got, .. }) => {
+            assert_eq!((expected, got), (3, 2));
+        }
+        other => panic!("expected DimensionMismatch, got {other:?}"),
+    }
+    // The comparison is directional about which side sets `expected`.
+    match similarity_preservation(&s2, &s3) {
+        Err(SelectionError::DimensionMismatch { expected, got, .. }) => {
+            assert_eq!((expected, got), (2, 3));
+        }
+        other => panic!("expected DimensionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn constant_columns_score_zero_without_nan() {
+    // Constant accuracy rows induce a similarity matrix whose upper
+    // triangle has zero variance; Pearson degenerates and the score must
+    // be exactly 0.0 (the documented convention), not NaN.
+    let constant = similarity(&[&[0.5, 0.5, 0.5], &[0.5, 0.5, 0.5]], 2);
+    let varied = similarity(&[&[0.9, 0.5, 0.1], &[0.8, 0.4, 0.2]], 2);
+    for (full, compact) in [(&constant, &varied), (&varied, &constant)] {
+        let score = similarity_preservation(full, compact).unwrap();
+        assert_eq!(score, 0.0, "zero-variance side must pin the score to 0");
+        assert!(!score.is_nan());
+    }
+    let score = similarity_preservation(&constant, &constant).unwrap();
+    assert_eq!(score, 0.0);
+}
+
+#[test]
+fn identical_structure_scores_one() {
+    let varied = similarity(&[&[0.9, 0.5, 0.1], &[0.8, 0.4, 0.2]], 2);
+    let score = similarity_preservation(&varied, &varied).unwrap();
+    assert!((score - 1.0).abs() < 1e-12, "got {score}");
+}
+
+#[test]
+fn compaction_surfaces_preservation_edge_errors() {
+    // A one-model matrix can be built, but compaction over it must refuse
+    // through the same structured error instead of dividing by zero.
+    let one_model = matrix(&[&[0.7], &[0.4]]);
+    assert!(matches!(
+        compact_benchmarks(&one_model, 1, 1),
+        Err(SelectionError::InvalidConfig(_))
+    ));
+}
